@@ -1,0 +1,200 @@
+package p2h
+
+// One benchmark per table and figure of the paper's evaluation section.
+// Each benchmark runs the corresponding harness experiment at a reduced
+// scale so `go test -bench=.` completes on a laptop; cmd/p2hbench runs the
+// full-scale versions (EXPERIMENTS.md records a full run). The rows/series
+// each benchmark prints match the paper's layout; the per-op time measures
+// the whole experiment.
+//
+// Micro-benchmarks for the individual indexes (build and query) follow the
+// experiment benchmarks.
+
+import (
+	"testing"
+
+	"p2h/internal/harness"
+)
+
+// benchCfg is the reduced-scale configuration for the experiment benchmarks:
+// about a tenth of the default surrogate sizes, 10 queries per set, and two
+// representative data sets (one low-dimensional clustered, one
+// high-dimensional) unless the experiment pins its own.
+func benchCfg(sets ...string) harness.Config {
+	return harness.Config{
+		Scale: 0.1,
+		NQ:    10,
+		K:     10,
+		Seed:  1,
+		Sets:  sets,
+		Params: harness.Params{
+			LeafSize: 100,
+			HashM:    16,
+			HashL:    2,
+		},
+	}
+}
+
+// runExperiment executes one harness experiment b.N times and reports the
+// output once (verbose mode only).
+func runExperiment(b *testing.B, name string, cfg harness.Config) {
+	b.Helper()
+	var out string
+	for i := 0; i < b.N; i++ {
+		var err error
+		out, err = harness.RunExperiment(name, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if testing.Verbose() {
+		b.Log("\n" + out)
+	}
+}
+
+// BenchmarkTable2DatasetStats regenerates Table II (data set statistics).
+func BenchmarkTable2DatasetStats(b *testing.B) {
+	runExperiment(b, "table2", benchCfg())
+}
+
+// BenchmarkTable3Indexing regenerates Table III (indexing time and size for
+// BC-Tree, Ball-Tree, NH and FH at lambda = d and 8d).
+func BenchmarkTable3Indexing(b *testing.B) {
+	runExperiment(b, "table3", benchCfg("Sift", "Cifar-10"))
+}
+
+// BenchmarkFig5TimeRecall regenerates Figure 5 (query time vs recall, k=10).
+func BenchmarkFig5TimeRecall(b *testing.B) {
+	runExperiment(b, "fig5", benchCfg("Sift", "Cifar-10"))
+}
+
+// BenchmarkFig6TimeVsK regenerates Figure 6 (query time vs k at ~80% recall).
+func BenchmarkFig6TimeVsK(b *testing.B) {
+	runExperiment(b, "fig6", benchCfg("Sift"))
+}
+
+// BenchmarkFig7BranchPreference regenerates Figure 7 (center vs lower-bound
+// branch preference for Ball-Tree and BC-Tree).
+func BenchmarkFig7BranchPreference(b *testing.B) {
+	runExperiment(b, "fig7", benchCfg("Sift"))
+}
+
+// BenchmarkFig8BoundAblation regenerates Figure 8 (BC-Tree without the
+// point-level cone/ball/both bounds).
+func BenchmarkFig8BoundAblation(b *testing.B) {
+	runExperiment(b, "fig8", benchCfg("Sift"))
+}
+
+// BenchmarkFig9LargeScale regenerates Figure 9 (the large-scale surrogates).
+func BenchmarkFig9LargeScale(b *testing.B) {
+	cfg := benchCfg() // Deep100M/Sift100M surrogates default to 200k; 0.1 -> 20k
+	runExperiment(b, "fig9", cfg)
+}
+
+// BenchmarkFig10TimeProfile regenerates Figure 10 (per-phase time profile at
+// ~90% recall on Cifar-10 and Sun).
+func BenchmarkFig10TimeProfile(b *testing.B) {
+	runExperiment(b, "fig10", benchCfg())
+}
+
+// BenchmarkFig11LeafSize regenerates Figure 11 (BC-Tree leaf size sweep).
+func BenchmarkFig11LeafSize(b *testing.B) {
+	runExperiment(b, "fig11", benchCfg("Sift"))
+}
+
+// BenchmarkAblationExtras regenerates the repository's extra ablations:
+// collaborative inner products (Theorem 5) and the KD-Tree box bound.
+func BenchmarkAblationExtras(b *testing.B) {
+	runExperiment(b, "ablation", benchCfg("Sift"))
+}
+
+// --- micro-benchmarks -------------------------------------------------------
+
+// benchData prepares a 10k x 128 clustered data set and queries outside the
+// timed region.
+func benchData(b *testing.B) (*Matrix, *Matrix) {
+	b.Helper()
+	data := Dedup(GenerateDataset("Sift", 10000, 1))
+	queries := GenerateQueries(data, 64, 2)
+	return data, queries
+}
+
+func BenchmarkBuildBallTree(b *testing.B) {
+	data, _ := benchData(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NewBallTree(data, BallTreeOptions{Seed: 1})
+	}
+}
+
+func BenchmarkBuildBCTree(b *testing.B) {
+	data, _ := benchData(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NewBCTree(data, BCTreeOptions{Seed: 1})
+	}
+}
+
+func BenchmarkBuildNH(b *testing.B) {
+	data, _ := benchData(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NewNH(data, NHOptions{M: 16, Seed: 1})
+	}
+}
+
+func BenchmarkBuildFH(b *testing.B) {
+	data, _ := benchData(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NewFH(data, FHOptions{M: 16, Seed: 1})
+	}
+}
+
+// queryBench measures exact top-10 query latency, cycling over 64 queries.
+func queryBench(b *testing.B, ix Index, queries *Matrix) {
+	b.Helper()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Search(queries.Row(i%queries.N), SearchOptions{K: 10})
+	}
+}
+
+func BenchmarkQueryExactBallTree(b *testing.B) {
+	data, queries := benchData(b)
+	queryBench(b, NewBallTree(data, BallTreeOptions{Seed: 1}), queries)
+}
+
+func BenchmarkQueryExactBCTree(b *testing.B) {
+	data, queries := benchData(b)
+	queryBench(b, NewBCTree(data, BCTreeOptions{Seed: 1}), queries)
+}
+
+func BenchmarkQueryExactLinearScan(b *testing.B) {
+	data, queries := benchData(b)
+	queryBench(b, NewLinearScan(data), queries)
+}
+
+// budgetQueryBench measures latency at a 5% candidate budget.
+func budgetQueryBench(b *testing.B, ix Index, queries *Matrix, n int) {
+	b.Helper()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Search(queries.Row(i%queries.N), SearchOptions{K: 10, Budget: n / 20})
+	}
+}
+
+func BenchmarkQueryBudgetBCTree(b *testing.B) {
+	data, queries := benchData(b)
+	budgetQueryBench(b, NewBCTree(data, BCTreeOptions{Seed: 1}), queries, data.N)
+}
+
+func BenchmarkQueryBudgetNH(b *testing.B) {
+	data, queries := benchData(b)
+	budgetQueryBench(b, NewNH(data, NHOptions{M: 16, Seed: 1}), queries, data.N)
+}
+
+func BenchmarkQueryBudgetFH(b *testing.B) {
+	data, queries := benchData(b)
+	budgetQueryBench(b, NewFH(data, FHOptions{M: 16, Seed: 1}), queries, data.N)
+}

@@ -1,0 +1,106 @@
+// Command p2hbench regenerates the paper's evaluation: Table II, Table III,
+// and Figures 5-11, plus the repository's extra ablations, on the synthetic
+// surrogate data sets.
+//
+// Usage:
+//
+//	p2hbench -exp fig5 -sets Music,Sift -scale 0.5 -v
+//	p2hbench -exp all -out results.txt
+//
+// Every experiment accepts -scale to shrink or grow the default point
+// counts, so a laptop run and an overnight run use the same code path.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"p2h/internal/harness"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("p2hbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		exp      = fs.String("exp", "all", "experiment to run: "+strings.Join(harness.Experiments(), ", ")+", or 'all' (comma-separated lists accepted)")
+		sets     = fs.String("sets", "", "comma-separated data set names (default: the experiment's paper defaults)")
+		scale    = fs.Float64("scale", 1, "multiplier on the default per-set point counts")
+		nq       = fs.Int("nq", 50, "hyperplane queries per data set")
+		k        = fs.Int("k", 10, "top-k for the time-recall experiments")
+		seed     = fs.Int64("seed", 1, "seed for data generation and index construction")
+		leafSize = fs.Int("leafsize", 100, "tree leaf size N0")
+		hashM    = fs.Int("hashm", 32, "NH/FH projection count m")
+		hashL    = fs.Int("hashl", 2, "NH/FH collision/separation threshold l")
+		lambdaF  = fs.Int("lambda", 2, "NH/FH sampled dimension as a multiple of d (Table III uses 1 and 8 regardless)")
+		maxL     = fs.Int("maxlambda", 16384, "cap on the sampled dimension for very high-d sets")
+		verbose  = fs.Bool("v", false, "log per-step progress to stderr")
+		outPath  = fs.String("out", "", "also write results to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	cfg := harness.Config{
+		Scale: *scale,
+		NQ:    *nq,
+		K:     *k,
+		Seed:  *seed,
+		Params: harness.Params{
+			LeafSize:     *leafSize,
+			Seed:         *seed,
+			LambdaFactor: *lambdaF,
+			MaxLambda:    *maxL,
+			HashM:        *hashM,
+			HashL:        *hashL,
+		},
+	}
+	if *sets != "" {
+		cfg.Sets = splitList(*sets)
+	}
+	if *verbose {
+		cfg.Progress = stderr
+	}
+
+	names := splitList(*exp)
+	if len(names) == 1 && names[0] == "all" {
+		names = harness.Experiments()
+	}
+
+	out := io.Writer(stdout)
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintf(stderr, "p2hbench: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		out = io.MultiWriter(stdout, f)
+	}
+
+	for _, name := range names {
+		result, err := harness.RunExperiment(name, cfg)
+		if err != nil {
+			fmt.Fprintf(stderr, "p2hbench: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(out, "=== %s ===\n%s\n", name, result)
+	}
+	return 0
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleExperiment(t *testing.T) {
+	var out, errw bytes.Buffer
+	code := run([]string{
+		"-exp", "table2", "-sets", "Music", "-scale", "0.01", "-nq", "3",
+	}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errw.String())
+	}
+	if !strings.Contains(out.String(), "Table II") || !strings.Contains(out.String(), "Music") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"-exp", "nope"}, &out, &errw); code != 1 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(errw.String(), "unknown experiment") {
+		t.Fatalf("stderr: %s", errw.String())
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"-bogus"}, &out, &errw); code != 2 {
+		t.Fatalf("exit %d", code)
+	}
+}
+
+func TestRunUnknownSet(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"-exp", "table2", "-sets", "NotASet"}, &out, &errw); code != 1 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(errw.String(), "unknown data set") {
+		t.Fatalf("stderr: %s", errw.String())
+	}
+}
+
+func TestRunWritesOutFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "res.txt")
+	var out, errw bytes.Buffer
+	code := run([]string{
+		"-exp", "table2", "-sets", "Music", "-scale", "0.01", "-nq", "3", "-out", path,
+	}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errw.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != out.String() {
+		t.Fatal("file content differs from stdout")
+	}
+}
+
+func TestRunCommaSeparatedExperiments(t *testing.T) {
+	var out, errw bytes.Buffer
+	code := run([]string{
+		"-exp", "table2,fig5", "-sets", "Music", "-scale", "0.01", "-nq", "3",
+		"-hashm", "4", "-leafsize", "25",
+	}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errw.String())
+	}
+	if !strings.Contains(out.String(), "=== table2 ===") || !strings.Contains(out.String(), "=== fig5 ===") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}

@@ -1,0 +1,305 @@
+// Command p2htool is the operational CLI of the library: generate surrogate
+// data sets and hyperplane queries, build and persist tree indexes, inspect
+// them, and answer queries from files.
+//
+// Subcommands:
+//
+//	p2htool gen     -set Sift -n 10000 -seed 1 -out data.fvecs
+//	p2htool queries -data data.fvecs -nq 100 -seed 2 -out queries.fvecs
+//	p2htool build   -type bctree -data data.fvecs -leafsize 100 -out index.bc
+//	p2htool info    -type bctree -index index.bc
+//	p2htool search  -type bctree -index index.bc -queries queries.fvecs -k 10
+//	p2htool eval    -type bctree -index index.bc -data data.fvecs -queries queries.fvecs -k 10
+//
+// Data files use the fvecs layout (per vector: int32 dimension then float32
+// components). Query files hold one (normal; offset) row per hyperplane.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	p2h "p2h"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+const usage = `usage: p2htool <gen|queries|build|info|search|eval> [flags]
+Run 'p2htool <subcommand> -h' for the flags of each subcommand.`
+
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) == 0 {
+		fmt.Fprintln(stderr, usage)
+		return 2
+	}
+	var err error
+	switch args[0] {
+	case "gen":
+		err = runGen(args[1:], stdout, stderr)
+	case "queries":
+		err = runQueries(args[1:], stdout, stderr)
+	case "build":
+		err = runBuild(args[1:], stdout, stderr)
+	case "info":
+		err = runInfo(args[1:], stdout, stderr)
+	case "search":
+		err = runSearch(args[1:], stdout, stderr)
+	case "eval":
+		err = runEval(args[1:], stdout, stderr)
+	case "-h", "-help", "--help", "help":
+		fmt.Fprintln(stdout, usage)
+		return 0
+	default:
+		fmt.Fprintf(stderr, "p2htool: unknown subcommand %q\n%s\n", args[0], usage)
+		return 2
+	}
+	if err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		fmt.Fprintf(stderr, "p2htool: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+func runGen(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("gen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	set := fs.String("set", "Sift", "surrogate data set name ("+strings.Join(p2h.Datasets(), ", ")+")")
+	n := fs.Int("n", 0, "number of points (0: the set's default)")
+	seed := fs.Int64("seed", 1, "generation seed")
+	out := fs.String("out", "", "output fvecs path (required)")
+	dedup := fs.Bool("dedup", true, "remove duplicate points (the paper's preprocessing)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" {
+		return fmt.Errorf("gen: -out is required")
+	}
+	known := false
+	for _, name := range p2h.Datasets() {
+		if name == *set {
+			known = true
+		}
+	}
+	if !known {
+		return fmt.Errorf("gen: unknown set %q (known: %s)", *set, strings.Join(p2h.Datasets(), ", "))
+	}
+	data := p2h.GenerateDataset(*set, *n, *seed)
+	if *dedup {
+		data = p2h.Dedup(data)
+	}
+	if err := p2h.SaveFvecs(*out, data); err != nil {
+		return fmt.Errorf("gen: %w", err)
+	}
+	fmt.Fprintf(stdout, "wrote %d points of dimension %d to %s\n", data.N, data.D, *out)
+	return nil
+}
+
+func runQueries(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("queries", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dataPath := fs.String("data", "", "data fvecs path (required)")
+	nq := fs.Int("nq", 100, "number of hyperplane queries")
+	seed := fs.Int64("seed", 2, "generation seed")
+	out := fs.String("out", "", "output fvecs path (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dataPath == "" || *out == "" {
+		return fmt.Errorf("queries: -data and -out are required")
+	}
+	data, err := p2h.LoadFvecs(*dataPath)
+	if err != nil {
+		return fmt.Errorf("queries: %w", err)
+	}
+	queries := p2h.GenerateQueries(data, *nq, *seed)
+	if err := p2h.SaveFvecs(*out, queries); err != nil {
+		return fmt.Errorf("queries: %w", err)
+	}
+	fmt.Fprintf(stdout, "wrote %d hyperplane queries of dimension %d to %s\n", queries.N, queries.D, *out)
+	return nil
+}
+
+func runBuild(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("build", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	typ := fs.String("type", "bctree", "index type: bctree or balltree")
+	dataPath := fs.String("data", "", "data fvecs path (required)")
+	leafSize := fs.Int("leafsize", 100, "maximum leaf size N0")
+	seed := fs.Int64("seed", 1, "construction seed")
+	out := fs.String("out", "", "output index path (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dataPath == "" || *out == "" {
+		return fmt.Errorf("build: -data and -out are required")
+	}
+	data, err := p2h.LoadFvecs(*dataPath)
+	if err != nil {
+		return fmt.Errorf("build: %w", err)
+	}
+	start := time.Now()
+	switch *typ {
+	case "bctree":
+		ix := p2h.NewBCTree(data, p2h.BCTreeOptions{LeafSize: *leafSize, Seed: *seed})
+		if err := ix.SaveFile(*out); err != nil {
+			return fmt.Errorf("build: %w", err)
+		}
+		fmt.Fprintf(stdout, "built bctree over %d points (d=%d) in %v, %d index bytes -> %s\n",
+			ix.N(), ix.Dim(), time.Since(start).Round(time.Millisecond), ix.IndexBytes(), *out)
+	case "balltree":
+		ix := p2h.NewBallTree(data, p2h.BallTreeOptions{LeafSize: *leafSize, Seed: *seed})
+		if err := ix.SaveFile(*out); err != nil {
+			return fmt.Errorf("build: %w", err)
+		}
+		fmt.Fprintf(stdout, "built balltree over %d points (d=%d) in %v, %d index bytes -> %s\n",
+			ix.N(), ix.Dim(), time.Since(start).Round(time.Millisecond), ix.IndexBytes(), *out)
+	default:
+		return fmt.Errorf("build: unknown index type %q (bctree or balltree)", *typ)
+	}
+	return nil
+}
+
+// loadIndex restores a persisted tree index of the given type.
+func loadIndex(typ, path string) (p2h.Index, error) {
+	switch typ {
+	case "bctree":
+		return p2h.LoadBCTreeFile(path)
+	case "balltree":
+		return p2h.LoadBallTreeFile(path)
+	}
+	return nil, fmt.Errorf("unknown index type %q (bctree or balltree)", typ)
+}
+
+func runInfo(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("info", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	typ := fs.String("type", "bctree", "index type: bctree or balltree")
+	path := fs.String("index", "", "index path (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *path == "" {
+		return fmt.Errorf("info: -index is required")
+	}
+	ix, err := loadIndex(*typ, *path)
+	if err != nil {
+		return fmt.Errorf("info: %w", err)
+	}
+	fmt.Fprintf(stdout, "type=%s points=%d dim=%d index_bytes=%d\n", *typ, ix.N(), ix.Dim(), ix.IndexBytes())
+	return nil
+}
+
+func runEval(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("eval", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	typ := fs.String("type", "bctree", "index type: bctree or balltree")
+	path := fs.String("index", "", "index path (required)")
+	dataPath := fs.String("data", "", "data fvecs path for ground truth (required)")
+	queriesPath := fs.String("queries", "", "queries fvecs path (required)")
+	k := fs.Int("k", 10, "results per query")
+	budgets := fs.String("budgets", "0.01,0.05,0.2,1.0", "comma-separated candidate fractions to evaluate")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *path == "" || *dataPath == "" || *queriesPath == "" {
+		return fmt.Errorf("eval: -index, -data and -queries are required")
+	}
+	ix, err := loadIndex(*typ, *path)
+	if err != nil {
+		return fmt.Errorf("eval: %w", err)
+	}
+	data, err := p2h.LoadFvecs(*dataPath)
+	if err != nil {
+		return fmt.Errorf("eval: %w", err)
+	}
+	queries, err := p2h.LoadFvecs(*queriesPath)
+	if err != nil {
+		return fmt.Errorf("eval: %w", err)
+	}
+	if data.D != ix.Dim() || queries.D != ix.Dim()+1 {
+		return fmt.Errorf("eval: dimensions do not line up: data %d, queries %d, index %d",
+			data.D, queries.D, ix.Dim())
+	}
+	gt := p2h.GroundTruth(data, queries, *k)
+
+	fmt.Fprintf(stdout, "%10s  %8s  %12s  %14s\n", "budget", "recall", "ms/query", "cands/query")
+	for _, tok := range strings.Split(*budgets, ",") {
+		frac, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
+		if err != nil || frac <= 0 || frac > 1 {
+			return fmt.Errorf("eval: bad budget fraction %q", tok)
+		}
+		budget := int(frac * float64(ix.N()))
+		if budget < 1 {
+			budget = 1
+		}
+		var recall float64
+		var candidates int64
+		start := time.Now()
+		for i := 0; i < queries.N; i++ {
+			res, st := ix.Search(queries.Row(i), p2h.SearchOptions{K: *k, Budget: budget})
+			recall += p2h.Recall(res, gt[i])
+			candidates += st.Candidates
+		}
+		elapsed := time.Since(start)
+		fmt.Fprintf(stdout, "%9.1f%%  %7.1f%%  %12.4f  %14.1f\n",
+			frac*100,
+			100*recall/float64(queries.N),
+			elapsed.Seconds()*1000/float64(queries.N),
+			float64(candidates)/float64(queries.N))
+	}
+	return nil
+}
+
+func runSearch(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("search", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	typ := fs.String("type", "bctree", "index type: bctree or balltree")
+	path := fs.String("index", "", "index path (required)")
+	queriesPath := fs.String("queries", "", "queries fvecs path (required)")
+	k := fs.Int("k", 10, "results per query")
+	budget := fs.Int("budget", 0, "candidate verification budget (0: exact)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *path == "" || *queriesPath == "" {
+		return fmt.Errorf("search: -index and -queries are required")
+	}
+	ix, err := loadIndex(*typ, *path)
+	if err != nil {
+		return fmt.Errorf("search: %w", err)
+	}
+	queries, err := p2h.LoadFvecs(*queriesPath)
+	if err != nil {
+		return fmt.Errorf("search: %w", err)
+	}
+	if queries.D != ix.Dim()+1 {
+		return fmt.Errorf("search: queries have dimension %d, index needs %d", queries.D, ix.Dim()+1)
+	}
+	start := time.Now()
+	var candidates int64
+	for i := 0; i < queries.N; i++ {
+		res, st := ix.Search(queries.Row(i), p2h.SearchOptions{K: *k, Budget: *budget})
+		candidates += st.Candidates
+		fmt.Fprintf(stdout, "query %d:", i)
+		for _, r := range res {
+			fmt.Fprintf(stdout, " (%d, %.6f)", r.ID, r.Dist)
+		}
+		fmt.Fprintln(stdout)
+	}
+	elapsed := time.Since(start)
+	fmt.Fprintf(stdout, "%d queries in %v (%.3f ms/query, %.0f candidates/query)\n",
+		queries.N, elapsed.Round(time.Microsecond),
+		elapsed.Seconds()*1000/float64(queries.N),
+		float64(candidates)/float64(queries.N))
+	return nil
+}

@@ -1,0 +1,148 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runOK runs the tool and fails the test on a non-zero exit.
+func runOK(t *testing.T, args ...string) string {
+	t.Helper()
+	var out, errw bytes.Buffer
+	if code := run(args, &out, &errw); code != 0 {
+		t.Fatalf("p2htool %v: exit %d\nstderr: %s", args, code, errw.String())
+	}
+	return out.String()
+}
+
+func TestEndToEndPipeline(t *testing.T) {
+	dir := t.TempDir()
+	data := filepath.Join(dir, "data.fvecs")
+	queries := filepath.Join(dir, "q.fvecs")
+	index := filepath.Join(dir, "ix.bc")
+
+	out := runOK(t, "gen", "-set", "Sift", "-n", "500", "-seed", "1", "-out", data)
+	if !strings.Contains(out, "wrote 500 points") {
+		t.Fatalf("gen output: %s", out)
+	}
+	out = runOK(t, "queries", "-data", data, "-nq", "5", "-out", queries)
+	if !strings.Contains(out, "wrote 5 hyperplane queries") {
+		t.Fatalf("queries output: %s", out)
+	}
+	out = runOK(t, "build", "-type", "bctree", "-data", data, "-leafsize", "50", "-out", index)
+	if !strings.Contains(out, "built bctree over 500 points") {
+		t.Fatalf("build output: %s", out)
+	}
+	out = runOK(t, "info", "-type", "bctree", "-index", index)
+	if !strings.Contains(out, "points=500") {
+		t.Fatalf("info output: %s", out)
+	}
+	out = runOK(t, "search", "-type", "bctree", "-index", index, "-queries", queries, "-k", "3")
+	if !strings.Contains(out, "query 0:") || !strings.Contains(out, "5 queries in") {
+		t.Fatalf("search output: %s", out)
+	}
+	// Each query line carries exactly k results.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "query ") {
+			if got := strings.Count(line, "("); got != 3 {
+				t.Fatalf("query line has %d results, want 3: %s", got, line)
+			}
+		}
+	}
+}
+
+func TestBallTreePipeline(t *testing.T) {
+	dir := t.TempDir()
+	data := filepath.Join(dir, "data.fvecs")
+	index := filepath.Join(dir, "ix.bt")
+	runOK(t, "gen", "-set", "Music", "-n", "300", "-out", data)
+	runOK(t, "build", "-type", "balltree", "-data", data, "-out", index)
+	out := runOK(t, "info", "-type", "balltree", "-index", index)
+	if !strings.Contains(out, "points=300") {
+		t.Fatalf("info output: %s", out)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := [][]string{
+		{},             // no subcommand
+		{"frobnicate"}, // unknown subcommand
+		{"gen"},        // missing -out
+		{"gen", "-set", "Nope", "-out", "/tmp/x"}, // unknown set
+		{"build", "-data", "/does/not/exist", "-out", "/tmp/x"},
+		{"info", "-index", "/does/not/exist"},
+		{"search", "-index", "/does/not/exist", "-queries", "/nope"},
+		{"build", "-type", "wat", "-data", "/tmp/x", "-out", "/tmp/y"},
+	}
+	for _, args := range cases {
+		var out, errw bytes.Buffer
+		if code := run(args, &out, &errw); code == 0 {
+			t.Fatalf("p2htool %v: expected failure", args)
+		}
+	}
+}
+
+func TestQueryDimensionMismatch(t *testing.T) {
+	dir := t.TempDir()
+	data := filepath.Join(dir, "data.fvecs")
+	other := filepath.Join(dir, "other.fvecs")
+	index := filepath.Join(dir, "ix.bc")
+	runOK(t, "gen", "-set", "Sift", "-n", "200", "-out", data)   // d=128
+	runOK(t, "gen", "-set", "Music", "-n", "200", "-out", other) // d=100
+	runOK(t, "build", "-type", "bctree", "-data", data, "-out", index)
+	var out, errw bytes.Buffer
+	if code := run([]string{"search", "-index", index, "-queries", other}, &out, &errw); code != 1 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(errw.String(), "dimension") {
+		t.Fatalf("stderr: %s", errw.String())
+	}
+}
+
+func TestHelp(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"help"}, &out, &errw); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out.String(), "usage:") {
+		t.Fatalf("help output: %s", out.String())
+	}
+}
+
+func TestEvalSubcommand(t *testing.T) {
+	dir := t.TempDir()
+	data := filepath.Join(dir, "data.fvecs")
+	queries := filepath.Join(dir, "q.fvecs")
+	index := filepath.Join(dir, "ix.bc")
+	runOK(t, "gen", "-set", "Sift", "-n", "800", "-out", data)
+	runOK(t, "queries", "-data", data, "-nq", "5", "-out", queries)
+	runOK(t, "build", "-type", "bctree", "-data", data, "-out", index)
+
+	out := runOK(t, "eval", "-type", "bctree", "-index", index,
+		"-data", data, "-queries", queries, "-k", "5", "-budgets", "0.05,1.0")
+	if !strings.Contains(out, "recall") || !strings.Contains(out, "100.0%") {
+		t.Fatalf("eval output:\n%s", out)
+	}
+	// Full budget line must report exact recall.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	last := lines[len(lines)-1]
+	if !strings.Contains(last, "100.0%") {
+		t.Fatalf("full budget not exact: %s", last)
+	}
+
+	// Bad budget fractions are rejected.
+	var outw, errw bytes.Buffer
+	if code := run([]string{"eval", "-type", "bctree", "-index", index,
+		"-data", data, "-queries", queries, "-budgets", "nope"}, &outw, &errw); code != 1 {
+		t.Fatalf("exit %d", code)
+	}
+	// Mismatched data dimensions are rejected.
+	other := filepath.Join(dir, "other.fvecs")
+	runOK(t, "gen", "-set", "Music", "-n", "100", "-out", other)
+	if code := run([]string{"eval", "-type", "bctree", "-index", index,
+		"-data", other, "-queries", queries}, &outw, &errw); code != 1 {
+		t.Fatalf("exit %d", code)
+	}
+}

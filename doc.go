@@ -1,0 +1,36 @@
+// Package p2h is a Go library for Point-to-Hyperplane Nearest Neighbor
+// Search (P2HNNS): given a database of points and a hyperplane query, find
+// the k points closest to the hyperplane.
+//
+// It reproduces "Lightweight-Yet-Efficient: Revitalizing Ball-Tree for
+// Point-to-Hyperplane Nearest Neighbor Search" (Huang & Tung, ICDE 2023):
+// the Ball-Tree branch-and-bound index with the paper's node-level ball
+// bound, and BC-Tree, which adds point-level ball and cone bounds plus
+// collaborative inner product computing. The hashing baselines NH and FH
+// (Huang et al., SIGMOD 2021), a KD-Tree alternative, and an exhaustive scan
+// are included for comparison and ground truth.
+//
+// # Model
+//
+// Data points are vectors p in R^d. A hyperplane query is a vector
+// q = (w; b) in R^(d+1) whose first d coordinates are the hyperplane normal
+// and whose last coordinate is the offset: the hyperplane is
+// {y : <w, y> + b = 0}. Indexes internally lift every point to x = (p; 1) so
+// the distance to the hyperplane reduces to |<x, q>| when ||w|| = 1 (the
+// library rescales queries that are not normalized, which leaves the nearest
+// neighbors unchanged).
+//
+// # Quick start
+//
+//	data := p2h.GenerateDataset("Sift", 10000, 1) // or p2h.FromRows(yourVectors)
+//	index := p2h.NewBCTree(data, p2h.BCTreeOptions{})
+//	q := p2h.Hyperplane(normal, offset)
+//	results, _ := index.Search(q, p2h.SearchOptions{K: 10})
+//
+// Exact search is the default; set SearchOptions.Budget to cap the number of
+// candidate verifications and trade recall for speed (the paper's candidate
+// fraction).
+//
+// The cmd/p2hbench tool regenerates every table and figure of the paper's
+// evaluation section; see DESIGN.md and EXPERIMENTS.md.
+package p2h

@@ -1,0 +1,72 @@
+// Comparison: build all four of the paper's competitors — BC-Tree,
+// Ball-Tree, NH, FH — over one data set through the public API, and print
+// their indexing cost and their recall/time trade-off at a few candidate
+// budgets. A miniature, single-data-set rendition of the paper's Table III
+// and Figure 5; cmd/p2hbench runs the full versions.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	p2h "p2h"
+)
+
+const (
+	nPoints  = 20000
+	nQueries = 30
+	topK     = 10
+)
+
+func main() {
+	data := p2h.Dedup(p2h.GenerateDataset("GloVe", nPoints, 1))
+	queries := p2h.GenerateQueries(data, nQueries, 2)
+	gt := p2h.GroundTruth(data, queries, topK)
+	fmt.Printf("data: %d points, %d dims; %d queries, k=%d\n\n", data.N, data.D, queries.N, topK)
+
+	type method struct {
+		name  string
+		build func() p2h.Index
+	}
+	methods := []method{
+		{"BC-Tree", func() p2h.Index { return p2h.NewBCTree(data, p2h.BCTreeOptions{Seed: 1}) }},
+		{"Ball-Tree", func() p2h.Index { return p2h.NewBallTree(data, p2h.BallTreeOptions{Seed: 1}) }},
+		{"FH", func() p2h.Index { return p2h.NewFH(data, p2h.FHOptions{M: 32, Seed: 1}) }},
+		{"NH", func() p2h.Index { return p2h.NewNH(data, p2h.NHOptions{M: 32, Seed: 1}) }},
+	}
+
+	budgets := []int{data.N / 100, data.N / 20, data.N / 5, data.N}
+	fmt.Printf("%-10s %12s %12s", "method", "build", "index MB")
+	for _, b := range budgets {
+		fmt.Printf("  %s", budgetLabel(b, data.N))
+	}
+	fmt.Println()
+
+	for _, m := range methods {
+		start := time.Now()
+		ix := m.build()
+		buildTime := time.Since(start)
+		fmt.Printf("%-10s %12v %12.1f", m.name, buildTime.Round(time.Millisecond),
+			float64(ix.IndexBytes())/(1024*1024))
+		for _, budget := range budgets {
+			recall, ms := evaluate(ix, queries, gt, budget)
+			fmt.Printf("  %5.1f%% %8.3fms", recall*100, ms)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\ncolumns per budget: mean recall, mean query time")
+}
+
+func budgetLabel(budget, n int) string {
+	return fmt.Sprintf("[budget %4.1f%%          ]", 100*float64(budget)/float64(n))
+}
+
+func evaluate(ix p2h.Index, queries *p2h.Matrix, gt [][]p2h.Result, budget int) (recall, ms float64) {
+	start := time.Now()
+	for i := 0; i < queries.N; i++ {
+		res, _ := ix.Search(queries.Row(i), p2h.SearchOptions{K: topK, Budget: budget})
+		recall += p2h.Recall(res, gt[i])
+	}
+	elapsed := time.Since(start)
+	return recall / float64(queries.N), elapsed.Seconds() * 1000 / float64(queries.N)
+}

@@ -1,0 +1,56 @@
+// Quickstart: build a BC-Tree over a synthetic data set, run one exact
+// hyperplane query and one budgeted (approximate) query, and check the
+// results against the exhaustive scan.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	p2h "p2h"
+)
+
+func main() {
+	// 10k SIFT-like descriptors (128 dimensions), deduplicated as the
+	// paper's preprocessing does.
+	data := p2h.Dedup(p2h.GenerateDataset("Sift", 10000, 1))
+	fmt.Printf("data: %d points, %d dimensions\n", data.N, data.D)
+
+	start := time.Now()
+	index := p2h.NewBCTree(data, p2h.BCTreeOptions{LeafSize: 100, Seed: 1})
+	fmt.Printf("BC-Tree built in %v (%d index bytes)\n",
+		time.Since(start).Round(time.Millisecond), index.IndexBytes())
+
+	// One random hyperplane query through the data bulk. A query is the
+	// hyperplane's unit normal plus its offset; build your own with
+	// p2h.Hyperplane(normal, offset).
+	queries := p2h.GenerateQueries(data, 1, 2)
+	q := queries.Row(0)
+
+	// Exact top-10: the default (no budget) is exact.
+	start = time.Now()
+	exact, stats := index.Search(q, p2h.SearchOptions{K: 10})
+	exactTime := time.Since(start)
+	fmt.Printf("\nexact top-10 (%v, %d of %d points verified):\n", exactTime.Round(time.Microsecond), stats.Candidates, data.N)
+	for i, r := range exact {
+		fmt.Printf("  %2d. point %5d at distance %.6f\n", i+1, r.ID, r.Dist)
+	}
+
+	// The same query with a 1% candidate budget: faster, approximate.
+	start = time.Now()
+	approx, stats := index.Search(q, p2h.SearchOptions{K: 10, Budget: data.N / 100})
+	approxTime := time.Since(start)
+	fmt.Printf("\n1%%-budget top-10 (%v, %d points verified): recall %.0f%%\n",
+		approxTime.Round(time.Microsecond), stats.Candidates, 100*p2h.Recall(approx, exact))
+
+	// Sanity: the exhaustive scan agrees with the exact tree search.
+	scan := p2h.NewLinearScan(data)
+	want, _ := scan.Search(q, p2h.SearchOptions{K: 10})
+	for i := range want {
+		if exact[i].ID != want[i].ID {
+			log.Fatalf("mismatch at rank %d: tree %v vs scan %v", i, exact[i], want[i])
+		}
+	}
+	fmt.Println("\nexact results verified against the exhaustive scan ✓")
+}

@@ -1,0 +1,235 @@
+package p2h
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"p2h/internal/dynamic"
+	"p2h/internal/quant"
+	"p2h/internal/shard"
+)
+
+// ShardedOptions configures NewSharded.
+type ShardedOptions struct {
+	// Shards is the number of partitions (and the maximum query
+	// parallelism). Zero selects GOMAXPROCS.
+	Shards int
+	// LeafSize is each shard tree's N0; zero selects 100.
+	LeafSize int
+	// Seed makes construction deterministic.
+	Seed int64
+	// Workers bounds the goroutines used per query; zero selects
+	// min(Shards, GOMAXPROCS), 1 makes queries sequential.
+	Workers int
+}
+
+// Sharded is a parallel BC-Tree index: the data is partitioned into compact
+// shards (the paper's Section III-A(4) scalability observation), one BC-Tree
+// per shard, and queries fan out over goroutines with an exact merge.
+type Sharded struct {
+	index *shard.Index
+	raw   int
+}
+
+// NewSharded indexes the rows of data across multiple shard trees.
+func NewSharded(data *Matrix, opts ShardedOptions) *Sharded {
+	return &Sharded{
+		index: shard.Build(data.AppendOnes(), shard.Config{
+			Shards:   opts.Shards,
+			LeafSize: opts.LeafSize,
+			Seed:     opts.Seed,
+			Workers:  opts.Workers,
+		}),
+		raw: data.D,
+	}
+}
+
+// Search implements Index. SearchOptions.Profile is ignored (the per-phase
+// timers are not meaningful across concurrent shards).
+func (t *Sharded) Search(q []float32, opts SearchOptions) ([]Result, Stats) {
+	return t.index.Search(checkQuery(q, t.raw), opts)
+}
+
+// IndexBytes implements Index.
+func (t *Sharded) IndexBytes() int64 { return t.index.IndexBytes() }
+
+// N implements Index.
+func (t *Sharded) N() int { return t.index.N() }
+
+// Dim implements Index.
+func (t *Sharded) Dim() int { return t.raw }
+
+// Shards returns the number of shard trees.
+func (t *Sharded) Shards() int { return t.index.Shards() }
+
+var _ Index = (*Sharded)(nil)
+
+// DynamicOptions configures NewDynamic.
+type DynamicOptions struct {
+	// Dim is the data dimensionality, required when starting empty
+	// (initial data == nil); otherwise it is taken from the data.
+	Dim int
+	// LeafSize is the underlying BC-Tree's N0; zero selects 100.
+	LeafSize int
+	// Seed makes rebuilds deterministic.
+	Seed int64
+	// RebuildFraction triggers a tree rebuild when pending inserts plus
+	// tombstones exceed this fraction of the live set (zero: 0.25).
+	RebuildFraction float64
+}
+
+// Dynamic is a mutable P2HNNS index: a BC-Tree snapshot plus an insert
+// buffer and delete tombstones, rebuilt automatically as the delta grows.
+// Results carry stable handles assigned by Insert. Not safe for concurrent
+// mutation.
+type Dynamic struct {
+	index *dynamic.Index
+	raw   int
+}
+
+// NewDynamic creates a mutable index, optionally bulk-loaded with the rows
+// of data (handles are then the row indices). Pass data == nil and
+// opts.Dim to start empty.
+func NewDynamic(data *Matrix, opts DynamicOptions) *Dynamic {
+	cfg := dynamic.Config{LeafSize: opts.LeafSize, Seed: opts.Seed, RebuildFraction: opts.RebuildFraction}
+	if data == nil {
+		if opts.Dim <= 0 {
+			panic("p2h: NewDynamic without data requires DynamicOptions.Dim")
+		}
+		return &Dynamic{index: dynamic.New(opts.Dim+1, cfg), raw: opts.Dim}
+	}
+	return &Dynamic{index: dynamic.NewFromMatrix(data.AppendOnes(), cfg), raw: data.D}
+}
+
+// Insert adds a point and returns its stable handle.
+func (t *Dynamic) Insert(p []float32) int32 {
+	return t.index.Insert(liftPoint(p, t.raw))
+}
+
+// Delete removes a handle; it reports whether the handle was live.
+func (t *Dynamic) Delete(handle int32) bool { return t.index.Delete(handle) }
+
+// Search implements Index over the current live set.
+func (t *Dynamic) Search(q []float32, opts SearchOptions) ([]Result, Stats) {
+	return t.index.Search(checkQuery(q, t.raw), opts)
+}
+
+// IndexBytes implements Index.
+func (t *Dynamic) IndexBytes() int64 { return t.index.IndexBytes() }
+
+// N implements Index: the number of live points.
+func (t *Dynamic) N() int { return t.index.N() }
+
+// Dim implements Index.
+func (t *Dynamic) Dim() int { return t.raw }
+
+var _ Index = (*Dynamic)(nil)
+
+// QuantizedScan is an exhaustive baseline over 8-bit quantized codes: a
+// cheap approximate pass filters points through a rigorous error bound, and
+// only survivors are verified against the float vectors, so results stay
+// exact while the hot loop reads 4x less memory. One of the optimizations
+// the paper's Section III-A(4) says the tree methods combine with.
+type QuantizedScan struct {
+	scan *quant.Scan
+	raw  int
+}
+
+// NewQuantizedScan quantizes and indexes the rows of data.
+func NewQuantizedScan(data *Matrix) *QuantizedScan {
+	return &QuantizedScan{scan: quant.NewScan(data.AppendOnes()), raw: data.D}
+}
+
+// Search implements Index; results are exact despite the quantized filter.
+func (t *QuantizedScan) Search(q []float32, opts SearchOptions) ([]Result, Stats) {
+	return t.scan.Search(checkQuery(q, t.raw), opts)
+}
+
+// IndexBytes implements Index.
+func (t *QuantizedScan) IndexBytes() int64 { return t.scan.IndexBytes() }
+
+// N implements Index.
+func (t *QuantizedScan) N() int { return t.scan.N() }
+
+// Dim implements Index.
+func (t *QuantizedScan) Dim() int { return t.raw }
+
+var _ Index = (*QuantizedScan)(nil)
+
+// SearchBatch answers many hyperplane queries concurrently on any index,
+// using at most workers goroutines (zero selects GOMAXPROCS). Results are
+// returned in query order. Every index in this library is safe for
+// concurrent readers.
+func SearchBatch(ix Index, queries *Matrix, opts SearchOptions, workers int) [][]Result {
+	if queries.D != ix.Dim()+1 {
+		panic(fmt.Sprintf("p2h: batch queries have dimension %d, want %d", queries.D, ix.Dim()+1))
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > queries.N {
+		workers = queries.N
+	}
+	out := make([][]Result, queries.N)
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= queries.N {
+					return
+				}
+				out[i], _ = ix.Search(queries.Row(i), opts)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// TuneBudget finds the smallest candidate budget (among fractions of the
+// data size) whose mean recall over the sample queries reaches target, and
+// returns that budget. If even the full budget misses the target (possible
+// only for the hashing indexes' probe ordering pathologies), the data size
+// is returned. Use the returned value as SearchOptions.Budget.
+//
+// Typical use: generate a handful of representative queries, compute their
+// ground truth once, and tune offline; the paper's "candidate fraction"
+// tuning in code.
+func TuneBudget(ix Index, queries *Matrix, gt [][]Result, k int, target float64) int {
+	if queries.N == 0 || len(gt) < queries.N {
+		panic("p2h: TuneBudget needs ground truth for every sample query")
+	}
+	n := ix.N()
+	fractions := []float64{0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0}
+	for _, f := range fractions {
+		budget := int(f * float64(n))
+		if budget < 1 {
+			budget = 1
+		}
+		var recall float64
+		for i := 0; i < queries.N; i++ {
+			res, _ := ix.Search(queries.Row(i), SearchOptions{K: k, Budget: budget})
+			recall += Recall(res, gt[i][:min(k, len(gt[i]))])
+		}
+		if recall/float64(queries.N) >= target {
+			return budget
+		}
+	}
+	return n
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,62 @@
+package balltree
+
+import (
+	"math/rand"
+
+	"p2h/internal/partition"
+	"p2h/internal/vec"
+)
+
+// Build constructs a Ball-Tree over the lifted data matrix (rows x = (p; 1))
+// with Algorithm 1's recursive seed-grow construction. The input matrix is
+// not modified; the tree keeps a reordered copy so every leaf occupies a
+// contiguous range of rows.
+func Build(data *vec.Matrix, cfg Config) *Tree {
+	if data == nil || data.N == 0 {
+		panic("balltree: empty data")
+	}
+	cfg = cfg.normalized()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	t := &Tree{
+		ids:      make([]int32, data.N),
+		leafSize: cfg.LeafSize,
+	}
+	for i := range t.ids {
+		t.ids[i] = int32(i)
+	}
+	b := &builder{data: data, rng: rng, tree: t}
+	t.root = b.build(t.ids, 0)
+	// Materialize the reordered copy so leaves scan sequentially.
+	t.points = data.SubsetRows(t.ids)
+	return t
+}
+
+type builder struct {
+	data *vec.Matrix
+	rng  *rand.Rand
+	tree *Tree
+}
+
+// build recursively constructs the subtree over ids[0:], which occupies
+// positions [offset, offset+len(ids)) of the final reordered storage.
+// It partitions ids in place (Algorithm 1).
+func (b *builder) build(ids []int32, offset int32) *node {
+	n := &node{
+		center: b.data.Centroid(ids),
+		start:  offset,
+		end:    offset + int32(len(ids)),
+	}
+	_, maxDist := b.data.MaxDistFrom(ids, n.center)
+	n.radius = maxDist * (1 + radiusSlack)
+	b.tree.nodes++
+
+	if len(ids) <= b.tree.leafSize {
+		b.tree.leaves++
+		return n
+	}
+
+	nl := partition.SeedGrow(b.data, ids, b.rng)
+	n.left = b.build(ids[:nl], offset)
+	n.right = b.build(ids[nl:], offset+int32(nl))
+	return n
+}

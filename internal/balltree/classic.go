@@ -1,0 +1,173 @@
+package balltree
+
+import (
+	"math"
+
+	"p2h/internal/core"
+	"p2h/internal/vec"
+)
+
+// This file adds the classic Ball-Tree searches the paper's related work
+// builds on (Omohundro [49]; Ram & Gray [51]): Euclidean nearest neighbor,
+// Euclidean furthest neighbor, and maximum inner product search. They share
+// the tree built for P2HNNS — one structure, four query types — which is the
+// "revitalizing Ball-Tree" theme in code.
+//
+// All three run over the *lifted* vectors x = (p; 1) the tree stores. For
+// Euclidean queries the lift is harmless as long as the query is lifted the
+// same way (the constant coordinate cancels in every difference); for MIPS
+// the caller chooses the lift semantics (a lifted query (w; b) scores
+// <w, p> + b, which is often exactly what applications want).
+
+// SearchNN returns the k indexed points nearest to q in Euclidean distance,
+// using the classic bound: every point of a node is at least
+// ||q - c|| - r away. q must have the lifted dimensionality Dim().
+func (t *Tree) SearchNN(q []float32, k int) ([]core.Result, core.Stats) {
+	if k <= 0 {
+		k = 1
+	}
+	var st core.Stats
+	tk := core.NewTopK(k)
+	s := &classicSearcher{tree: t, q: q, tk: tk, st: &st}
+	s.visitNN(t.root)
+	return tk.Results(), st
+}
+
+// SearchFN returns the k indexed points furthest from q in Euclidean
+// distance, using the mirror bound: every point of a node is at most
+// ||q - c|| + r away.
+func (t *Tree) SearchFN(q []float32, k int) ([]core.Result, core.Stats) {
+	if k <= 0 {
+		k = 1
+	}
+	var st core.Stats
+	tk := core.NewTopKMax(k)
+	s := &classicSearcher{tree: t, q: q, tkMax: tk, st: &st}
+	s.visitFN(t.root)
+	return tk.Results(), st
+}
+
+// SearchMIP returns the k indexed points with the largest inner product
+// <q, x>, using the Cauchy-Schwarz bound <q, x> <= <q, c> + ||q||·r
+// (Ram & Gray's ball bound for MIPS). Result distances hold the inner
+// products.
+func (t *Tree) SearchMIP(q []float32, k int) ([]core.Result, core.Stats) {
+	if k <= 0 {
+		k = 1
+	}
+	var st core.Stats
+	tk := core.NewTopKMax(k)
+	s := &classicSearcher{tree: t, q: q, qnorm: vec.Norm(q), tkMax: tk, st: &st}
+	s.visitMIP(t.root)
+	return tk.Results(), st
+}
+
+type classicSearcher struct {
+	tree  *Tree
+	q     []float32
+	qnorm float64
+	tk    *core.TopK
+	tkMax *core.TopKMax
+	st    *core.Stats
+}
+
+func (s *classicSearcher) visitNN(n *node) {
+	s.st.NodesVisited++
+	dc := vec.Dist(s.q, n.center)
+	s.st.IPCount++
+	if dc-n.radius >= s.tk.Lambda() {
+		s.st.PrunedNodes++
+		return
+	}
+	if n.isLeaf() {
+		s.st.LeavesVisited++
+		for pos := n.start; pos < n.end; pos++ {
+			d := vec.Dist(s.q, s.tree.points.Row(int(pos)))
+			s.st.IPCount++
+			s.st.Candidates++
+			s.tk.Push(s.tree.ids[pos], d)
+		}
+		return
+	}
+	// Closer child first: it is likelier to shrink lambda early.
+	first, second := n.left, n.right
+	if vec.SqDist(s.q, n.right.center) < vec.SqDist(s.q, n.left.center) {
+		first, second = n.right, n.left
+	}
+	s.st.IPCount += 2
+	s.visitNN(first)
+	s.visitNN(second)
+}
+
+func (s *classicSearcher) visitFN(n *node) {
+	s.st.NodesVisited++
+	dc := vec.Dist(s.q, n.center)
+	s.st.IPCount++
+	if dc+n.radius <= s.tkMax.Lambda() {
+		s.st.PrunedNodes++
+		return
+	}
+	if n.isLeaf() {
+		s.st.LeavesVisited++
+		for pos := n.start; pos < n.end; pos++ {
+			d := vec.Dist(s.q, s.tree.points.Row(int(pos)))
+			s.st.IPCount++
+			s.st.Candidates++
+			s.tkMax.Push(s.tree.ids[pos], d)
+		}
+		return
+	}
+	// Farther child first.
+	first, second := n.left, n.right
+	if vec.SqDist(s.q, n.right.center) > vec.SqDist(s.q, n.left.center) {
+		first, second = n.right, n.left
+	}
+	s.st.IPCount += 2
+	s.visitFN(first)
+	s.visitFN(second)
+}
+
+func (s *classicSearcher) visitMIP(n *node) {
+	s.st.NodesVisited++
+	ip := vec.Dot(s.q, n.center)
+	s.st.IPCount++
+	if ip+s.qnorm*n.radius <= s.tkMax.Lambda() {
+		s.st.PrunedNodes++
+		return
+	}
+	if n.isLeaf() {
+		s.st.LeavesVisited++
+		for pos := n.start; pos < n.end; pos++ {
+			v := vec.Dot(s.q, s.tree.points.Row(int(pos)))
+			s.st.IPCount++
+			s.st.Candidates++
+			s.tkMax.Push(s.tree.ids[pos], v)
+		}
+		return
+	}
+	// Larger-inner-product child first.
+	ipl := vec.Dot(s.q, n.left.center)
+	ipr := vec.Dot(s.q, n.right.center)
+	s.st.IPCount += 2
+	first, second := n.left, n.right
+	if ipr > ipl {
+		first, second = n.right, n.left
+	}
+	s.visitMIP(first)
+	s.visitMIP(second)
+}
+
+// boundNN exposes the NN bound for tests.
+func boundNN(q []float32, n *node) float64 {
+	return math.Max(vec.Dist(q, n.center)-n.radius, 0)
+}
+
+// boundFN exposes the FN bound for tests.
+func boundFN(q []float32, n *node) float64 {
+	return vec.Dist(q, n.center) + n.radius
+}
+
+// boundMIP exposes the MIPS bound for tests.
+func boundMIP(q []float32, n *node) float64 {
+	return vec.Dot(q, n.center) + vec.Norm(q)*n.radius
+}

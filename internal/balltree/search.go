@@ -1,0 +1,119 @@
+package balltree
+
+import (
+	"math"
+	"time"
+
+	"p2h/internal/core"
+	"p2h/internal/vec"
+)
+
+// Search answers a top-k P2HNNS query with Algorithm 3: depth-first
+// branch-and-bound over the ball hierarchy, pruning any node whose
+// node-level ball bound (Theorem 2)
+//
+//	lb = max(|<q, N.c>| - ||q|| * N.r, 0)
+//
+// is at least the current k-th best distance q.λ. The inner product of the
+// query with a node center is computed once per visited node and handed to
+// the recursion, so a visited internal node costs exactly two O(d) inner
+// products (one per child) — the cost Lemma 2 halves for BC-Tree.
+func (t *Tree) Search(q []float32, opts core.SearchOptions) ([]core.Result, core.Stats) {
+	opts = opts.Normalized()
+	var st core.Stats
+	tk := core.NewTopK(opts.K)
+	s := &searcher{tree: t, q: q, qnorm: vec.Norm(q), tk: tk, st: &st, opts: opts}
+	ip := vec.Dot(q, t.root.center)
+	st.IPCount++
+	s.visit(t.root, ip)
+	return tk.Results(), st
+}
+
+type searcher struct {
+	tree  *Tree
+	q     []float32
+	qnorm float64
+	tk    *core.TopK
+	st    *core.Stats
+	opts  core.SearchOptions
+}
+
+// visit implements SubBallTreeSearch. ip is <q, n.center>, already computed
+// by the caller.
+func (s *searcher) visit(n *node, ip float64) {
+	if !s.opts.BudgetLeft(s.st.Candidates) {
+		return
+	}
+	s.st.NodesVisited++
+	lb := math.Abs(ip) - s.qnorm*n.radius
+	if lb >= s.tk.Lambda() { // lb < 0 < Lambda never prunes, no max needed
+		s.st.PrunedNodes++
+		return
+	}
+	if n.isLeaf() {
+		s.scanLeaf(n)
+		return
+	}
+
+	var start time.Time
+	if s.opts.Profile != nil {
+		start = time.Now()
+	}
+	ipl := vec.Dot(s.q, n.left.center)
+	ipr := vec.Dot(s.q, n.right.center)
+	s.st.IPCount += 2
+	if s.opts.Profile != nil {
+		s.opts.Profile.Add(core.PhaseBound, time.Since(start))
+	}
+
+	first, second := n.left, n.right
+	ipf, ips := ipl, ipr
+	if s.preferRight(n, ipl, ipr) {
+		first, second = n.right, n.left
+		ipf, ips = ipr, ipl
+	}
+	s.visit(first, ipf)
+	s.visit(second, ips)
+}
+
+// preferRight decides the branch order of Algorithm 3 lines 11-16.
+func (s *searcher) preferRight(n *node, ipl, ipr float64) bool {
+	if s.opts.Preference == core.PrefLowerBound {
+		lbl := math.Abs(ipl) - s.qnorm*n.left.radius
+		lbr := math.Abs(ipr) - s.qnorm*n.right.radius
+		if lbl < 0 {
+			lbl = 0
+		}
+		if lbr < 0 {
+			lbr = 0
+		}
+		return lbr < lbl
+	}
+	return math.Abs(ipr) < math.Abs(ipl)
+}
+
+// scanLeaf is ExhaustiveScan (Algorithm 3 lines 17-20) over the contiguous
+// storage of the leaf, respecting the candidate budget.
+func (s *searcher) scanLeaf(n *node) {
+	s.st.LeavesVisited++
+	var start time.Time
+	if s.opts.Profile != nil {
+		start = time.Now()
+	}
+	for pos := n.start; pos < n.end; pos++ {
+		if !s.opts.BudgetLeft(s.st.Candidates) {
+			break
+		}
+		id := s.tree.ids[pos]
+		if s.opts.Filter != nil && !s.opts.Filter(id) {
+			continue
+		}
+		d := math.Abs(vec.Dot(s.q, s.tree.points.Row(int(pos))))
+		s.st.IPCount++
+		s.st.Candidates++
+		s.tk.Push(id, d)
+	}
+	if s.opts.Profile != nil {
+		s.opts.Profile.Add(core.PhaseVerify, time.Since(start))
+	}
+}

@@ -1,0 +1,256 @@
+package balltree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"p2h/internal/core"
+	"p2h/internal/dataset"
+	"p2h/internal/linearscan"
+	"p2h/internal/vec"
+)
+
+const distTol = 1e-9
+
+// sameDists checks two result lists agree on distances (ids may differ under
+// exact ties).
+func sameDists(a, b []core.Result) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		d := math.Abs(a[i].Dist - b[i].Dist)
+		scale := math.Max(1, math.Max(a[i].Dist, b[i].Dist))
+		if d > distTol*scale {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSearchExactMatchesLinearScan(t *testing.T) {
+	for _, family := range []dataset.Family{dataset.FamilyClustered, dataset.FamilyUniform, dataset.FamilyHeavyTail, dataset.FamilyLowRank, dataset.FamilySparse} {
+		raw := dataset.Generate(dataset.Spec{Name: "t", Family: family, RawDim: 20, Clusters: 8}, 600, 1)
+		raw = dataset.Dedup(raw)
+		data := raw.AppendOnes()
+		queries := dataset.GenerateQueries(raw, 15, 2)
+		tree := Build(data, Config{LeafSize: 25, Seed: 3})
+		scan := linearscan.New(data)
+		for k := range []int{1, 5, 10} {
+			kk := []int{1, 5, 10}[k]
+			for i := 0; i < queries.N; i++ {
+				q := queries.Row(i)
+				got, _ := tree.Search(q, core.SearchOptions{K: kk})
+				want, _ := scan.Search(q, core.SearchOptions{K: kk})
+				if !sameDists(got, want) {
+					t.Fatalf("%v k=%d query %d: tree=%v scan=%v", family, kk, i, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestSearchLowerBoundPreferenceAlsoExact(t *testing.T) {
+	raw := dataset.Generate(dataset.Spec{Name: "t", Family: dataset.FamilyClustered, RawDim: 16, Clusters: 6}, 400, 5)
+	data := raw.AppendOnes()
+	queries := dataset.GenerateQueries(raw, 10, 6)
+	tree := Build(data, Config{LeafSize: 20, Seed: 7})
+	scan := linearscan.New(data)
+	for i := 0; i < queries.N; i++ {
+		q := queries.Row(i)
+		got, _ := tree.Search(q, core.SearchOptions{K: 3, Preference: core.PrefLowerBound})
+		want, _ := scan.Search(q, core.SearchOptions{K: 3})
+		if !sameDists(got, want) {
+			t.Fatalf("query %d: lb-pref tree=%v scan=%v", i, got, want)
+		}
+	}
+}
+
+func TestSearchPrunesNodes(t *testing.T) {
+	raw := dataset.Generate(dataset.Spec{Name: "t", Family: dataset.FamilyClustered, RawDim: 12, Clusters: 16}, 4000, 8)
+	data := raw.AppendOnes()
+	queries := dataset.GenerateQueries(raw, 5, 9)
+	tree := Build(data, Config{LeafSize: 50, Seed: 1})
+	var st core.Stats
+	for i := 0; i < queries.N; i++ {
+		_, s := tree.Search(queries.Row(i), core.SearchOptions{K: 1})
+		st.Add(s)
+	}
+	if st.Candidates >= int64(queries.N)*int64(data.N) {
+		t.Fatal("no pruning happened at all")
+	}
+	if st.PrunedNodes == 0 {
+		t.Fatal("expected pruned subtrees on clustered data")
+	}
+	// Pruning must beat the exhaustive scan by a wide margin on clustered data.
+	if float64(st.Candidates) > 0.8*float64(int64(queries.N)*int64(data.N)) {
+		t.Fatalf("pruning too weak: %d candidates of %d", st.Candidates, int64(queries.N)*int64(data.N))
+	}
+}
+
+func TestSearchBudgetRespected(t *testing.T) {
+	raw := dataset.Generate(dataset.Spec{Name: "t", Family: dataset.FamilyUniform, RawDim: 10}, 1000, 10)
+	data := raw.AppendOnes()
+	queries := dataset.GenerateQueries(raw, 5, 11)
+	tree := Build(data, Config{LeafSize: 40, Seed: 2})
+	for _, budget := range []int{1, 10, 100, 999} {
+		for i := 0; i < queries.N; i++ {
+			res, st := tree.Search(queries.Row(i), core.SearchOptions{K: 5, Budget: budget})
+			if st.Candidates > int64(budget) {
+				t.Fatalf("budget %d exceeded: %d", budget, st.Candidates)
+			}
+			if len(res) == 0 {
+				t.Fatal("budgeted search must still return something")
+			}
+		}
+	}
+}
+
+func TestSearchBudgetRecallImproves(t *testing.T) {
+	raw := dataset.Generate(dataset.Spec{Name: "t", Family: dataset.FamilyClustered, RawDim: 16, Clusters: 8}, 3000, 12)
+	data := raw.AppendOnes()
+	queries := dataset.GenerateQueries(raw, 20, 13)
+	tree := Build(data, Config{LeafSize: 50, Seed: 3})
+	gt := linearscan.GroundTruth(data, queries, 10)
+	recallAt := func(budget int) float64 {
+		hit, total := 0, 0
+		for i := 0; i < queries.N; i++ {
+			res, _ := tree.Search(queries.Row(i), core.SearchOptions{K: 10, Budget: budget})
+			hit += overlap(res, gt[i])
+			total += len(gt[i])
+		}
+		return float64(hit) / float64(total)
+	}
+	low := recallAt(30)
+	high := recallAt(3000)
+	if high < low-0.01 {
+		t.Fatalf("recall must not degrade with budget: %.3f -> %.3f", low, high)
+	}
+	if high < 0.95 {
+		t.Fatalf("large budget recall too low: %.3f", high)
+	}
+}
+
+func overlap(res, gt []core.Result) int {
+	// count returned ids whose distance is within the gt k-th distance
+	// (ties counted as hits, the standard recall convention).
+	if len(gt) == 0 {
+		return 0
+	}
+	kth := gt[len(gt)-1].Dist
+	hits := 0
+	for _, r := range res {
+		if r.Dist <= kth*(1+1e-9)+1e-12 {
+			hits++
+		}
+	}
+	if hits > len(gt) {
+		hits = len(gt)
+	}
+	return hits
+}
+
+func TestSearchKLargerThanN(t *testing.T) {
+	data := vec.FromRows([][]float32{{0}, {1}, {2}}).AppendOnes()
+	tree := Build(data, Config{LeafSize: 2, Seed: 1})
+	res, _ := tree.Search([]float32{1, -1}, core.SearchOptions{K: 10})
+	if len(res) != 3 {
+		t.Fatalf("k>n should return all %d points, got %d", 3, len(res))
+	}
+}
+
+func TestSearchProfileRecordsPhases(t *testing.T) {
+	raw := dataset.Generate(dataset.Spec{Name: "t", Family: dataset.FamilyClustered, RawDim: 12, Clusters: 4}, 800, 14)
+	data := raw.AppendOnes()
+	queries := dataset.GenerateQueries(raw, 3, 15)
+	tree := Build(data, Config{LeafSize: 30, Seed: 4})
+	prof := &core.Profile{}
+	for i := 0; i < queries.N; i++ {
+		tree.Search(queries.Row(i), core.SearchOptions{K: 5, Profile: prof})
+	}
+	if prof.Get(core.PhaseVerify) <= 0 {
+		t.Fatal("profile must record verification time")
+	}
+	if prof.Get(core.PhaseBound) <= 0 {
+		t.Fatal("profile must record bound time")
+	}
+}
+
+// Property: the node-level ball bound never exceeds the true minimum
+// |<x,q>| within the node (Theorem 2 soundness).
+func TestQuickNodeBallBoundSound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(150) + 20
+		d := rng.Intn(12) + 2
+		raw := dataset.Generate(dataset.Spec{Name: "q", Family: dataset.FamilyClustered, RawDim: d, Clusters: 4}, n, seed)
+		data := raw.AppendOnes()
+		queries := dataset.GenerateQueries(raw, 3, seed+1)
+		tree := Build(data, Config{LeafSize: 10, Seed: seed})
+		for qi := 0; qi < queries.N; qi++ {
+			q := queries.Row(qi)
+			qnorm := vec.Norm(q)
+			ok := true
+			var walk func(nd *node)
+			walk = func(nd *node) {
+				lb := math.Abs(vec.Dot(q, nd.center)) - qnorm*nd.radius
+				if lb < 0 {
+					lb = 0
+				}
+				trueMin := math.Inf(1)
+				for pos := nd.start; pos < nd.end; pos++ {
+					v := math.Abs(vec.Dot(q, tree.points.Row(int(pos))))
+					if v < trueMin {
+						trueMin = v
+					}
+				}
+				if lb > trueMin*(1+1e-9)+1e-9 {
+					ok = false
+				}
+				if !nd.isLeaf() {
+					walk(nd.left)
+					walk(nd.right)
+				}
+			}
+			walk(tree.root)
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: exact search result is invariant to leaf size and preference.
+func TestQuickExactInvariantToParams(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(300) + 50
+		raw := dataset.Generate(dataset.Spec{Name: "q", Family: dataset.FamilyUniform, RawDim: 8}, n, seed)
+		data := raw.AppendOnes()
+		queries := dataset.GenerateQueries(raw, 2, seed+1)
+		ref := linearscan.New(data)
+		for qi := 0; qi < queries.N; qi++ {
+			q := queries.Row(qi)
+			want, _ := ref.Search(q, core.SearchOptions{K: 4})
+			for _, leaf := range []int{5, 37, 1000} {
+				tree := Build(data, Config{LeafSize: leaf, Seed: seed})
+				for _, pref := range []core.Preference{core.PrefCenter, core.PrefLowerBound} {
+					got, _ := tree.Search(q, core.SearchOptions{K: 4, Preference: pref})
+					if !sameDists(got, want) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,97 @@
+package balltree
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"p2h/internal/binio"
+	"p2h/internal/core"
+	"p2h/internal/dataset"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	raw := dataset.Generate(dataset.Spec{Name: "t", Family: dataset.FamilyClustered, RawDim: 14, Clusters: 6}, 700, 1)
+	data := raw.AppendOnes()
+	queries := dataset.GenerateQueries(raw, 10, 2)
+	orig := Build(data, Config{LeafSize: 30, Seed: 3})
+
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.N() != orig.N() || restored.Dim() != orig.Dim() ||
+		restored.Nodes() != orig.Nodes() || restored.Leaves() != orig.Leaves() ||
+		restored.LeafSize() != orig.LeafSize() {
+		t.Fatalf("metadata mismatch: %s vs %s", restored, orig)
+	}
+	for i := 0; i < queries.N; i++ {
+		q := queries.Row(i)
+		a, sa := orig.Search(q, core.SearchOptions{K: 7})
+		b, sb := restored.Search(q, core.SearchOptions{K: 7})
+		if len(a) != len(b) {
+			t.Fatalf("query %d: result counts differ", i)
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("query %d rank %d: %v != %v", i, j, a[j], b[j])
+			}
+		}
+		if sa != sb {
+			t.Fatalf("query %d: stats differ: %+v != %+v", i, sa, sb)
+		}
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	raw := dataset.Generate(dataset.Spec{Name: "t", Family: dataset.FamilyUniform, RawDim: 6}, 100, 4)
+	data := raw.AppendOnes()
+	orig := Build(data, Config{LeafSize: 10, Seed: 5})
+	path := filepath.Join(t.TempDir(), "tree.p2hbt")
+	if err := orig.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Nodes() != orig.Nodes() {
+		t.Fatalf("nodes %d != %d", restored.Nodes(), orig.Nodes())
+	}
+}
+
+func TestLoadRejectsCorruptInput(t *testing.T) {
+	raw := dataset.Generate(dataset.Spec{Name: "t", Family: dataset.FamilyUniform, RawDim: 5}, 80, 6)
+	data := raw.AppendOnes()
+	orig := Build(data, Config{LeafSize: 10, Seed: 7})
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	cases := map[string][]byte{
+		"empty":       {},
+		"bad magic":   append([]byte("XXXXXXXX"), good[8:]...),
+		"truncated":   good[:len(good)/2],
+		"short magic": good[:4],
+	}
+	for name, payload := range cases {
+		if _, err := Load(bytes.NewReader(payload)); !errors.Is(err, binio.ErrCorrupt) {
+			t.Fatalf("%s: want ErrCorrupt, got %v", name, err)
+		}
+	}
+
+	// Flip the node-count header field (offset: 8 magic + 4 leafSize + 4 n + 4 d).
+	bad := append([]byte(nil), good...)
+	bad[8+12] = 0xFF
+	bad[8+13] = 0xFF
+	if _, err := Load(bytes.NewReader(bad)); !errors.Is(err, binio.ErrCorrupt) {
+		t.Fatalf("corrupt node count: want ErrCorrupt, got %v", err)
+	}
+}

@@ -1,0 +1,111 @@
+// Package balltree implements the paper's Section III: the classical
+// Ball-Tree index revisited for point-to-hyperplane nearest neighbor search
+// with a novel node-level ball bound (Theorem 2) and a branch-and-bound
+// search scheme (Algorithm 3).
+//
+// The tree indexes lifted data points x = (p; 1). Each node covers a
+// contiguous range of a reordered copy of the data, so leaf verification is
+// a sequential scan, matching the paper's storage layout discussion.
+package balltree
+
+import (
+	"fmt"
+
+	"p2h/internal/vec"
+)
+
+// DefaultLeafSize is the paper's default maximum leaf size N0.
+const DefaultLeafSize = 100
+
+// radiusSlack inflates stored radii by a relative epsilon so that pruning
+// stays conservative under floating-point rounding.
+const radiusSlack = 1e-9
+
+// Config parameterizes tree construction.
+type Config struct {
+	// LeafSize is the maximum number of points per leaf (the paper's N0).
+	// Zero selects DefaultLeafSize.
+	LeafSize int
+	// Seed drives the random pivot choice of the seed-grow split
+	// (Algorithm 2); builds are deterministic given a seed.
+	Seed int64
+}
+
+func (c Config) normalized() Config {
+	if c.LeafSize <= 0 {
+		c.LeafSize = DefaultLeafSize
+	}
+	return c
+}
+
+// node is one ball of the tree. Leaf nodes have nil children and cover
+// positions [start, end) of the reordered point storage.
+type node struct {
+	center      []float32
+	radius      float64
+	start, end  int32
+	left, right *node
+}
+
+func (n *node) count() int32 { return n.end - n.start }
+func (n *node) isLeaf() bool { return n.left == nil }
+
+// Tree is a Ball-Tree over lifted data points.
+type Tree struct {
+	points   *vec.Matrix // reordered copy: leaf ranges are contiguous rows
+	ids      []int32     // position -> original data id
+	root     *node
+	leafSize int
+	nodes    int // total node count
+	leaves   int
+}
+
+// N returns the number of indexed points.
+func (t *Tree) N() int { return t.points.N }
+
+// Dim returns the lifted dimensionality.
+func (t *Tree) Dim() int { return t.points.D }
+
+// LeafSize returns the configured maximum leaf size N0.
+func (t *Tree) LeafSize() int { return t.leafSize }
+
+// Nodes returns the total number of tree nodes (internal + leaf).
+func (t *Tree) Nodes() int { return t.nodes }
+
+// Leaves returns the number of leaf nodes.
+func (t *Tree) Leaves() int { return t.leaves }
+
+// Height returns the height of the tree (a single leaf tree has height 1).
+func (t *Tree) Height() int { return height(t.root) }
+
+func height(n *node) int {
+	if n == nil {
+		return 0
+	}
+	if n.isLeaf() {
+		return 1
+	}
+	hl, hr := height(n.left), height(n.right)
+	if hl > hr {
+		return hl + 1
+	}
+	return hr + 1
+}
+
+// IndexBytes estimates the memory footprint of the index structure itself:
+// node centers, radii, child pointers, and the position->id map. The
+// reordered copy of the data is reported separately by DataBytes, mirroring
+// how the paper's Table III separates index size from data size.
+func (t *Tree) IndexBytes() int64 {
+	perNode := int64(t.points.D)*4 + 8 /*radius*/ + 2*8 /*children*/ + 2*4 /*range*/
+	return int64(t.nodes)*perNode + int64(len(t.ids))*4
+}
+
+// DataBytes returns the size of the reordered data copy.
+func (t *Tree) DataBytes() int64 { return t.points.Bytes() }
+
+// String summarizes the tree for logs.
+func (t *Tree) String() string {
+	return fmt.Sprintf("balltree{n=%d d=%d leafsize=%d nodes=%d leaves=%d height=%d}",
+		t.N(), t.Dim(), t.leafSize, t.nodes, t.leaves, t.Height())
+}

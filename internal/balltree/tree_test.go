@@ -1,0 +1,177 @@
+package balltree
+
+import (
+	"math"
+	"testing"
+
+	"p2h/internal/dataset"
+	"p2h/internal/vec"
+)
+
+func buildTestData(t *testing.T, family dataset.Family, n, d int, seed int64) (*vec.Matrix, *vec.Matrix) {
+	t.Helper()
+	raw := dataset.Generate(dataset.Spec{Name: "t", Family: family, RawDim: d, Clusters: 8}, n, seed)
+	queries := dataset.GenerateQueries(raw, 10, seed+1)
+	return raw.AppendOnes(), queries
+}
+
+func TestBuildPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Build(vec.NewMatrix(0, 4), Config{})
+}
+
+func TestBuildBasicInvariants(t *testing.T) {
+	data, _ := buildTestData(t, dataset.FamilyClustered, 500, 16, 1)
+	tree := Build(data, Config{LeafSize: 20, Seed: 1})
+	if tree.N() != 500 || tree.Dim() != 17 {
+		t.Fatalf("tree %s", tree)
+	}
+	if tree.LeafSize() != 20 {
+		t.Fatalf("leaf size %d", tree.LeafSize())
+	}
+	checkTreeInvariants(t, tree)
+}
+
+// checkTreeInvariants verifies the structural properties of Section III-B:
+// child partition (Eqs. 4-5 via contiguous ranges), leaf size <= N0, and
+// ball containment (Eq. 7): every point within its node's radius.
+func checkTreeInvariants(t *testing.T, tree *Tree) {
+	t.Helper()
+	seen := make([]bool, tree.N())
+	for _, id := range tree.ids {
+		if seen[id] {
+			t.Fatalf("id %d appears twice in reordering", id)
+		}
+		seen[id] = true
+	}
+	var walk func(n *node)
+	var leaves, nodes int
+	walk = func(n *node) {
+		nodes++
+		if n.count() <= 0 {
+			t.Fatal("empty node")
+		}
+		for pos := n.start; pos < n.end; pos++ {
+			d := vec.Dist(tree.points.Row(int(pos)), n.center)
+			if d > n.radius {
+				t.Fatalf("point at pos %d outside ball: %v > %v", pos, d, n.radius)
+			}
+		}
+		if n.isLeaf() {
+			leaves++
+			return
+		}
+		if n.left.start != n.start || n.right.end != n.end || n.left.end != n.right.start {
+			t.Fatalf("children do not partition parent: [%d,%d) -> [%d,%d)+[%d,%d)",
+				n.start, n.end, n.left.start, n.left.end, n.right.start, n.right.end)
+		}
+		walk(n.left)
+		walk(n.right)
+	}
+	walk(tree.root)
+	if leaves != tree.Leaves() || nodes != tree.Nodes() {
+		t.Fatalf("node accounting: counted %d/%d, tree says %d/%d", nodes, leaves, tree.Nodes(), tree.Leaves())
+	}
+	// Leaf size: leaves created by normal splits obey N0; degenerate
+	// duplicate-heavy data may exceed it, but the test data is deduped noise.
+	var checkLeaf func(n *node)
+	checkLeaf = func(n *node) {
+		if n.isLeaf() {
+			if int(n.count()) > tree.leafSize {
+				t.Fatalf("leaf size %d > N0=%d", n.count(), tree.leafSize)
+			}
+			return
+		}
+		checkLeaf(n.left)
+		checkLeaf(n.right)
+	}
+	checkLeaf(tree.root)
+}
+
+func TestBuildDefaultLeafSize(t *testing.T) {
+	data, _ := buildTestData(t, dataset.FamilyUniform, 300, 8, 2)
+	tree := Build(data, Config{})
+	if tree.LeafSize() != DefaultLeafSize {
+		t.Fatalf("default leaf size %d", tree.LeafSize())
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	data, _ := buildTestData(t, dataset.FamilyClustered, 400, 12, 3)
+	a := Build(data, Config{LeafSize: 25, Seed: 9})
+	b := Build(data, Config{LeafSize: 25, Seed: 9})
+	if a.Nodes() != b.Nodes() || a.Height() != b.Height() {
+		t.Fatal("same seed must build identical trees")
+	}
+	for i := range a.ids {
+		if a.ids[i] != b.ids[i] {
+			t.Fatal("same seed must produce identical reordering")
+		}
+	}
+}
+
+func TestBuildAllIdenticalPoints(t *testing.T) {
+	rows := make([][]float32, 64)
+	for i := range rows {
+		rows[i] = []float32{1, 2, 3}
+	}
+	data := vec.FromRows(rows).AppendOnes()
+	tree := Build(data, Config{LeafSize: 8, Seed: 1})
+	checkTreeInvariants(t, tree)
+	if tree.root.radius > 1e-6 {
+		t.Fatalf("radius of identical points should be ~0, got %v", tree.root.radius)
+	}
+}
+
+func TestBuildSinglePoint(t *testing.T) {
+	data := vec.FromRows([][]float32{{1, 2}}).AppendOnes()
+	tree := Build(data, Config{})
+	if tree.Nodes() != 1 || tree.Leaves() != 1 || tree.Height() != 1 {
+		t.Fatalf("single point tree: %s", tree)
+	}
+}
+
+func TestNodeCountBound(t *testing.T) {
+	// With N0 >> 1 the paper notes the node count is well below n.
+	data, _ := buildTestData(t, dataset.FamilyClustered, 2000, 10, 4)
+	tree := Build(data, Config{LeafSize: 100, Seed: 1})
+	if tree.Nodes() >= 2000/10 {
+		t.Fatalf("too many nodes: %d", tree.Nodes())
+	}
+}
+
+func TestIndexBytesReasonable(t *testing.T) {
+	data, _ := buildTestData(t, dataset.FamilyClustered, 2000, 64, 5)
+	tree := Build(data, Config{LeafSize: 100, Seed: 1})
+	ib, db := tree.IndexBytes(), tree.DataBytes()
+	if ib <= 0 || db <= 0 {
+		t.Fatal("byte accounting must be positive")
+	}
+	// Paper Section V-D: index size much smaller than data size for N0=100.
+	if ib >= db {
+		t.Fatalf("index bytes %d should be below data bytes %d", ib, db)
+	}
+}
+
+func TestRadiusMonotoneDown(t *testing.T) {
+	// Radii shrink (weakly) from root to leaves on typical data: each child
+	// covers a subset. Not a theorem for arbitrary centers, but holds for
+	// centroid balls on blobby data; treat violations beyond slack as bugs.
+	data, _ := buildTestData(t, dataset.FamilyClustered, 800, 8, 6)
+	tree := Build(data, Config{LeafSize: 50, Seed: 2})
+	var walk func(n *node, parentR float64)
+	walk = func(n *node, parentR float64) {
+		if n.radius > parentR*2+1e-9 {
+			t.Fatalf("child radius %v wildly exceeds parent %v", n.radius, parentR)
+		}
+		if !n.isLeaf() {
+			walk(n.left, n.radius)
+			walk(n.right, n.radius)
+		}
+	}
+	walk(tree.root, math.Inf(1))
+}

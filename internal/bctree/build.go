@@ -1,0 +1,132 @@
+package bctree
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"p2h/internal/partition"
+	"p2h/internal/vec"
+)
+
+// Build constructs a BC-Tree over the lifted data matrix (rows x = (p; 1))
+// with Algorithm 4. It uses the same seed-grow splitting rule as Ball-Tree
+// and maintains the same center and radius per node, plus the leaf-level ball
+// and cone structures. Internal-node centers are assembled from the children
+// via Lemma 1 in O(d) instead of O(d|N|). The input matrix is not modified;
+// the tree keeps a reordered copy so every leaf occupies a contiguous range
+// of rows, sorted by descending r_x for batch pruning.
+func Build(data *vec.Matrix, cfg Config) *Tree {
+	if data == nil || data.N == 0 {
+		panic("bctree: empty data")
+	}
+	cfg = cfg.normalized()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	t := &Tree{
+		ids:      make([]int32, data.N),
+		leafSize: cfg.LeafSize,
+	}
+	for i := range t.ids {
+		t.ids[i] = int32(i)
+	}
+	b := &builder{data: data, rng: rng, tree: t}
+	t.root = b.build(t.ids, 0)
+	t.points = data.SubsetRows(t.ids)
+	return t
+}
+
+type builder struct {
+	data *vec.Matrix
+	rng  *rand.Rand
+	tree *Tree
+}
+
+// build recursively constructs the subtree over ids, which occupies positions
+// [offset, offset+len(ids)) of the final reordered storage. It partitions
+// (and, in leaves, sorts) ids in place.
+func (b *builder) build(ids []int32, offset int32) *node {
+	b.tree.nodes++
+	if len(ids) <= b.tree.leafSize {
+		b.tree.leaves++
+		return b.buildLeaf(ids, offset)
+	}
+
+	n := &node{start: offset, end: offset + int32(len(ids))}
+	nl := partition.SeedGrow(b.data, ids, b.rng)
+	n.left = b.build(ids[:nl], offset)
+	n.right = b.build(ids[nl:], offset+int32(nl))
+
+	// Lemma 1: N.c * |N| = N.lc.c * |N.lc| + N.rc.c * |N.rc|, so the center
+	// of an internal node costs O(d) once its children are built.
+	n.center = combineCenters(n.left, n.right)
+	n.centerNorm = vec.Norm(n.center)
+	_, maxDist := b.data.MaxDistFrom(ids, n.center)
+	n.radius = maxDist * (1 + radiusSlack)
+	return n
+}
+
+// combineCenters applies Lemma 1 to derive a parent's center from its
+// children's centers and counts.
+func combineCenters(l, r *node) []float32 {
+	cl, cr := float64(l.count()), float64(r.count())
+	inv := 1 / (cl + cr)
+	out := make([]float32, len(l.center))
+	for i := range out {
+		out[i] = float32((cl*float64(l.center[i]) + cr*float64(r.center[i])) * inv)
+	}
+	return out
+}
+
+// buildLeaf computes the leaf's ball (center, radius, r_x) and cone
+// (||x||cos phi_x, ||x||sin phi_x) structures — Algorithm 4 lines 3-9 — and
+// sorts the leaf's ids in descending order of r_x so the point-level ball
+// bound prunes in a batch.
+func (b *builder) buildLeaf(ids []int32, offset int32) *node {
+	n := &node{
+		center: b.data.Centroid(ids),
+		start:  offset,
+		end:    offset + int32(len(ids)),
+	}
+	n.centerNorm = vec.Norm(n.center)
+
+	radii := make([]float64, len(ids))
+	for i, id := range ids {
+		radii[i] = vec.Dist(b.data.Row(int(id)), n.center)
+	}
+	order := make([]int, len(ids))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, c int) bool { return radii[order[a]] > radii[order[c]] })
+
+	sortedIDs := make([]int32, len(ids))
+	n.rx = make([]float64, len(ids))
+	n.xcos = make([]float64, len(ids))
+	n.xsin = make([]float64, len(ids))
+	for pos, idx := range order {
+		id := ids[idx]
+		sortedIDs[pos] = id
+		r := radii[idx]
+		n.rx[pos] = r * (1 + radiusSlack)
+		x := b.data.Row(int(id))
+		xnorm := vec.Norm(x)
+		var xcos float64
+		if n.centerNorm > 0 {
+			xcos = vec.Dot(x, n.center) / n.centerNorm
+		}
+		// Clamp |cos phi_x| <= 1 scaled by ||x||, then derive the rejection;
+		// rounding can push the projection a hair past the norm.
+		if xcos > xnorm {
+			xcos = xnorm
+		} else if xcos < -xnorm {
+			xcos = -xnorm
+		}
+		n.xcos[pos] = xcos
+		n.xsin[pos] = math.Sqrt(math.Max(0, xnorm*xnorm-xcos*xcos))
+	}
+	copy(ids, sortedIDs)
+	if n.count() > 0 {
+		n.radius = n.rx[0] // already slack-inflated, and rx is descending
+	}
+	return n
+}

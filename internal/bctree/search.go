@@ -1,0 +1,185 @@
+package bctree
+
+import (
+	"math"
+	"time"
+
+	"p2h/internal/core"
+	"p2h/internal/vec"
+)
+
+// Search answers a top-k P2HNNS query with Algorithm 5: the Ball-Tree
+// branch-and-bound of Algorithm 3 augmented with
+//
+//   - collaborative inner product computing (Lemma 2): a visited internal
+//     node computes the O(d) inner product for its left child only; the right
+//     child's follows in O(1) from the node's own inner product, cutting the
+//     node-level bound cost almost in half (Theorem 5);
+//   - point-level pruning in the leaves (ScanWithPruning): the point-level
+//     ball bound (Corollary 1) prunes the tail of the radius-sorted leaf in a
+//     batch, and the point-level cone bound (Theorem 3) prunes single points
+//     it misses, both in O(1) per point.
+//
+// The ablation switches in opts reproduce the paper's Figure 8 variants.
+func (t *Tree) Search(q []float32, opts core.SearchOptions) ([]core.Result, core.Stats) {
+	opts = opts.Normalized()
+	var st core.Stats
+	tk := core.NewTopK(opts.K)
+	s := &searcher{tree: t, q: q, qnorm: vec.Norm(q), sqQnorm: 0, tk: tk, st: &st, opts: opts}
+	s.sqQnorm = s.qnorm * s.qnorm
+	ip := vec.Dot(q, t.root.center)
+	st.IPCount++
+	s.visit(t.root, ip)
+	return tk.Results(), st
+}
+
+type searcher struct {
+	tree    *Tree
+	q       []float32
+	qnorm   float64
+	sqQnorm float64
+	tk      *core.TopK
+	st      *core.Stats
+	opts    core.SearchOptions
+}
+
+// visit implements SubBCTreeSearch. ip is <q, n.center>, already known to the
+// caller: computed directly for the root and for left children, derived via
+// Lemma 2 for right children.
+func (s *searcher) visit(n *node, ip float64) {
+	if !s.opts.BudgetLeft(s.st.Candidates) {
+		return
+	}
+	s.st.NodesVisited++
+	lb := math.Abs(ip) - s.qnorm*n.radius
+	if lb >= s.tk.Lambda() { // lb < 0 < Lambda never prunes, no max needed
+		s.st.PrunedNodes++
+		return
+	}
+	if n.isLeaf() {
+		s.scanWithPruning(n, ip)
+		return
+	}
+
+	var start time.Time
+	if s.opts.Profile != nil {
+		start = time.Now()
+	}
+	ipl := vec.Dot(s.q, n.left.center)
+	s.st.IPCount++
+	var ipr float64
+	if s.opts.DisableCollabIP {
+		ipr = vec.Dot(s.q, n.right.center)
+		s.st.IPCount++
+	} else {
+		// Lemma 2: <q, rc.c> = (|N| <q, N.c> - |lc| <q, lc.c>) / |rc|.
+		cn, cl, cr := float64(n.count()), float64(n.left.count()), float64(n.right.count())
+		ipr = (cn*ip - cl*ipl) / cr
+		s.st.CollabIPs++
+	}
+	if s.opts.Profile != nil {
+		s.opts.Profile.Add(core.PhaseBound, time.Since(start))
+	}
+
+	first, second := n.left, n.right
+	ipf, ips := ipl, ipr
+	if s.preferRight(n, ipl, ipr) {
+		first, second = n.right, n.left
+		ipf, ips = ipr, ipl
+	}
+	s.visit(first, ipf)
+	s.visit(second, ips)
+}
+
+// preferRight decides the branch order (Algorithm 5 lines 12-17).
+func (s *searcher) preferRight(n *node, ipl, ipr float64) bool {
+	if s.opts.Preference == core.PrefLowerBound {
+		lbl := math.Abs(ipl) - s.qnorm*n.left.radius
+		lbr := math.Abs(ipr) - s.qnorm*n.right.radius
+		if lbl < 0 {
+			lbl = 0
+		}
+		if lbr < 0 {
+			lbr = 0
+		}
+		return lbr < lbl
+	}
+	return math.Abs(ipr) < math.Abs(ipl)
+}
+
+// scanWithPruning implements Algorithm 5 lines 18-26 over the contiguous,
+// radius-sorted storage of the leaf.
+func (s *searcher) scanWithPruning(n *node, ip float64) {
+	s.st.LeavesVisited++
+	var leafStart time.Time
+	var verifyDur time.Duration
+	profiling := s.opts.Profile != nil
+	if profiling {
+		leafStart = time.Now()
+	}
+
+	absIP := math.Abs(ip)
+	useBall := !s.opts.DisablePointBall
+	useCone := !s.opts.DisablePointCone && n.centerNorm > 0
+	var qcos, qsin float64
+	if useCone {
+		// ||q|| cos theta = <q, N.c> / ||N.c||; the rejection follows from
+		// Pythagoras. Rounding can push the projection a hair past ||q||.
+		qcos = ip / n.centerNorm
+		qsin = math.Sqrt(math.Max(0, s.sqQnorm-qcos*qcos))
+	}
+
+	count := int(n.count())
+	for i := 0; i < count; i++ {
+		if !s.opts.BudgetLeft(s.st.Candidates) {
+			break
+		}
+		if useBall {
+			// Corollary 1. r_x is descending, so this bound is ascending
+			// along the scan: once it reaches lambda the rest of the leaf
+			// is pruned in a batch.
+			if lbBall := absIP - s.qnorm*n.rx[i]; lbBall >= s.tk.Lambda() {
+				s.st.PrunedPoints += int64(count - i)
+				break
+			}
+		}
+		if useCone {
+			// Theorem 3, via the paper's O(1) decomposition:
+			//   ||x|| ||q|| cos(theta+phi) = qcos*xcos - qsin*xsin
+			//   ||x|| ||q|| cos(|theta-phi|) = qcos*xcos + qsin*xsin.
+			sumA := qcos*n.xcos[i] - qsin*n.xsin[i]
+			sumB := qcos*n.xcos[i] + qsin*n.xsin[i]
+			var lbCone float64
+			if sumA > 0 && qcos > 0 && n.xcos[i] > 0 {
+				lbCone = sumA
+			} else if sumB < 0 {
+				lbCone = -sumB
+			}
+			if lbCone*(1-boundSlack) >= s.tk.Lambda() {
+				s.st.PrunedPoints++
+				continue
+			}
+		}
+		pos := n.start + int32(i)
+		id := s.tree.ids[pos]
+		if s.opts.Filter != nil && !s.opts.Filter(id) {
+			continue
+		}
+		var t0 time.Time
+		if profiling {
+			t0 = time.Now()
+		}
+		d := math.Abs(vec.Dot(s.q, s.tree.points.Row(int(pos))))
+		s.st.IPCount++
+		s.st.Candidates++
+		s.tk.Push(id, d)
+		if profiling {
+			verifyDur += time.Since(t0)
+		}
+	}
+
+	if profiling {
+		s.opts.Profile.Add(core.PhaseVerify, verifyDur)
+		s.opts.Profile.Add(core.PhaseBound, time.Since(leafStart)-verifyDur)
+	}
+}

@@ -1,0 +1,332 @@
+package bctree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"p2h/internal/core"
+	"p2h/internal/dataset"
+	"p2h/internal/linearscan"
+	"p2h/internal/vec"
+)
+
+const distTol = 1e-9
+
+func sameDists(a, b []core.Result) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		d := math.Abs(a[i].Dist - b[i].Dist)
+		scale := math.Max(1, math.Max(a[i].Dist, b[i].Dist))
+		if d > distTol*scale {
+			return false
+		}
+	}
+	return true
+}
+
+// allVariants enumerates the Figure 8 ablation combinations plus the
+// collaborative-IP switch; with an unlimited budget all must be exact.
+func allVariants() []core.SearchOptions {
+	var out []core.SearchOptions
+	for _, noBall := range []bool{false, true} {
+		for _, noCone := range []bool{false, true} {
+			for _, noCollab := range []bool{false, true} {
+				out = append(out, core.SearchOptions{
+					DisablePointBall: noBall,
+					DisablePointCone: noCone,
+					DisableCollabIP:  noCollab,
+				})
+			}
+		}
+	}
+	return out
+}
+
+func TestSearchExactMatchesLinearScanAllVariants(t *testing.T) {
+	for _, family := range []dataset.Family{dataset.FamilyClustered, dataset.FamilyUniform, dataset.FamilyHeavyTail, dataset.FamilyLowRank, dataset.FamilySparse} {
+		raw := dataset.Generate(dataset.Spec{Name: "t", Family: family, RawDim: 20, Clusters: 8}, 600, 1)
+		raw = dataset.Dedup(raw)
+		data := raw.AppendOnes()
+		queries := dataset.GenerateQueries(raw, 10, 2)
+		tree := Build(data, Config{LeafSize: 25, Seed: 3})
+		scan := linearscan.New(data)
+		for _, k := range []int{1, 5, 10} {
+			for i := 0; i < queries.N; i++ {
+				q := queries.Row(i)
+				want, _ := scan.Search(q, core.SearchOptions{K: k})
+				for _, variant := range allVariants() {
+					variant.K = k
+					got, _ := tree.Search(q, variant)
+					if !sameDists(got, want) {
+						t.Fatalf("%v k=%d query %d variant %+v: tree=%v scan=%v",
+							family, k, i, variant, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSearchBothPreferencesExact(t *testing.T) {
+	raw := dataset.Generate(dataset.Spec{Name: "t", Family: dataset.FamilyClustered, RawDim: 16, Clusters: 6}, 400, 5)
+	data := raw.AppendOnes()
+	queries := dataset.GenerateQueries(raw, 10, 6)
+	tree := Build(data, Config{LeafSize: 20, Seed: 7})
+	scan := linearscan.New(data)
+	for i := 0; i < queries.N; i++ {
+		q := queries.Row(i)
+		want, _ := scan.Search(q, core.SearchOptions{K: 3})
+		for _, pref := range []core.Preference{core.PrefCenter, core.PrefLowerBound} {
+			got, _ := tree.Search(q, core.SearchOptions{K: 3, Preference: pref})
+			if !sameDists(got, want) {
+				t.Fatalf("query %d pref %v: tree=%v scan=%v", i, pref, got, want)
+			}
+		}
+	}
+}
+
+// TestPointPruningReducesCandidates checks the point of Section IV-B: with
+// the point-level bounds on, fewer candidates are verified than without.
+func TestPointPruningReducesCandidates(t *testing.T) {
+	raw := dataset.Generate(dataset.Spec{Name: "t", Family: dataset.FamilyClustered, RawDim: 24, Clusters: 16}, 5000, 8)
+	data := raw.AppendOnes()
+	queries := dataset.GenerateQueries(raw, 10, 9)
+	tree := Build(data, Config{LeafSize: 100, Seed: 1})
+	var with, without core.Stats
+	for i := 0; i < queries.N; i++ {
+		_, s1 := tree.Search(queries.Row(i), core.SearchOptions{K: 10})
+		with.Add(s1)
+		_, s2 := tree.Search(queries.Row(i), core.SearchOptions{K: 10, DisablePointBall: true, DisablePointCone: true})
+		without.Add(s2)
+	}
+	if with.Candidates >= without.Candidates {
+		t.Fatalf("point-level pruning did not reduce verification: %d >= %d", with.Candidates, without.Candidates)
+	}
+	if with.PrunedPoints == 0 {
+		t.Fatal("expected pruned points on clustered data")
+	}
+}
+
+// TestCollabIPHalvesInnerProducts checks Theorem 5: with Lemma 2 on, the
+// number of O(d) center inner products is (about) half of the variant that
+// computes both children directly.
+func TestCollabIPHalvesInnerProducts(t *testing.T) {
+	raw := dataset.Generate(dataset.Spec{Name: "t", Family: dataset.FamilyClustered, RawDim: 16, Clusters: 8}, 3000, 10)
+	data := raw.AppendOnes()
+	queries := dataset.GenerateQueries(raw, 10, 11)
+	tree := Build(data, Config{LeafSize: 50, Seed: 2})
+	for i := 0; i < queries.N; i++ {
+		q := queries.Row(i)
+		_, on := tree.Search(q, core.SearchOptions{K: 1})
+		_, off := tree.Search(q, core.SearchOptions{K: 1, DisableCollabIP: true})
+		// Center IPs only: subtract the verification IPs (= Candidates).
+		onIP := on.IPCount - on.Candidates
+		offIP := off.IPCount - off.Candidates
+		if on.CollabIPs == 0 {
+			t.Fatal("collaborative IPs never used")
+		}
+		// Theorem 5: C_N -> (C_N+1)/2 over the same traversal. The traversals
+		// coincide here because the derived inner products are exact.
+		want := (offIP + 1) / 2
+		if onIP != want {
+			t.Fatalf("query %d: collab IP count %d, want (C_N+1)/2 = %d (C_N=%d)", i, onIP, want, offIP)
+		}
+	}
+}
+
+func TestSearchBudgetRespected(t *testing.T) {
+	raw := dataset.Generate(dataset.Spec{Name: "t", Family: dataset.FamilyUniform, RawDim: 10}, 1000, 10)
+	data := raw.AppendOnes()
+	queries := dataset.GenerateQueries(raw, 5, 11)
+	tree := Build(data, Config{LeafSize: 40, Seed: 2})
+	for _, budget := range []int{1, 10, 100, 999} {
+		for i := 0; i < queries.N; i++ {
+			res, st := tree.Search(queries.Row(i), core.SearchOptions{K: 5, Budget: budget})
+			if st.Candidates > int64(budget) {
+				t.Fatalf("budget %d exceeded: %d", budget, st.Candidates)
+			}
+			if len(res) == 0 {
+				t.Fatal("budgeted search must still return something")
+			}
+		}
+	}
+}
+
+func TestSearchProfileRecordsPhases(t *testing.T) {
+	raw := dataset.Generate(dataset.Spec{Name: "t", Family: dataset.FamilyClustered, RawDim: 12, Clusters: 4}, 800, 14)
+	data := raw.AppendOnes()
+	queries := dataset.GenerateQueries(raw, 3, 15)
+	tree := Build(data, Config{LeafSize: 30, Seed: 4})
+	prof := &core.Profile{}
+	for i := 0; i < queries.N; i++ {
+		tree.Search(queries.Row(i), core.SearchOptions{K: 5, Profile: prof})
+	}
+	if prof.Get(core.PhaseVerify) <= 0 {
+		t.Fatal("profile must record verification time")
+	}
+	if prof.Get(core.PhaseBound) <= 0 {
+		t.Fatal("profile must record bound time")
+	}
+}
+
+func TestSearchKLargerThanN(t *testing.T) {
+	data := vec.FromRows([][]float32{{0}, {1}, {2}}).AppendOnes()
+	tree := Build(data, Config{LeafSize: 2, Seed: 1})
+	res, _ := tree.Search([]float32{1, -1}, core.SearchOptions{K: 10})
+	if len(res) != 3 {
+		t.Fatalf("k>n should return all 3 points, got %d", len(res))
+	}
+}
+
+// coneBound evaluates the RHS of Inequality 10 for one leaf point, mirroring
+// the production code paths for use in bound-soundness properties.
+func coneBound(qcos, qsin, xcos, xsin float64) float64 {
+	sumA := qcos*xcos - qsin*xsin
+	sumB := qcos*xcos + qsin*xsin
+	if sumA > 0 && qcos > 0 && xcos > 0 {
+		return sumA
+	}
+	if sumB < 0 {
+		return -sumB
+	}
+	return 0
+}
+
+// TestQuickPointBoundsSound checks, over random data and queries, the chain
+// of Theorems 2-4: for every leaf point,
+//
+//	point-ball bound <= point-cone bound <= |<x,q>|  (up to rounding slack).
+func TestQuickPointBoundsSound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(200) + 20
+		d := rng.Intn(14) + 2
+		family := []dataset.Family{dataset.FamilyClustered, dataset.FamilyUniform, dataset.FamilyHeavyTail}[rng.Intn(3)]
+		raw := dataset.Generate(dataset.Spec{Name: "q", Family: family, RawDim: d, Clusters: 4}, n, seed)
+		data := raw.AppendOnes()
+		queries := dataset.GenerateQueries(raw, 3, seed+1)
+		tree := Build(data, Config{LeafSize: 16, Seed: seed})
+		for qi := 0; qi < queries.N; qi++ {
+			q := queries.Row(qi)
+			qnorm := vec.Norm(q)
+			ok := true
+			var walk func(nd *node)
+			walk = func(nd *node) {
+				if !nd.isLeaf() {
+					walk(nd.left)
+					walk(nd.right)
+					return
+				}
+				ip := vec.Dot(q, nd.center)
+				absIP := math.Abs(ip)
+				qcos := 0.0
+				if nd.centerNorm > 0 {
+					qcos = ip / nd.centerNorm
+				}
+				qsin := math.Sqrt(math.Max(0, qnorm*qnorm-qcos*qcos))
+				for i := 0; i < int(nd.count()); i++ {
+					truth := math.Abs(vec.Dot(q, tree.points.Row(int(nd.start)+i)))
+					ball := math.Max(0, absIP-qnorm*nd.rx[i])
+					cone := coneBound(qcos, qsin, nd.xcos[i], nd.xsin[i])
+					tol := 1e-6 * (1 + truth + qnorm)
+					if ball > truth+tol {
+						ok = false // ball bound unsound
+					}
+					if cone > truth+tol {
+						ok = false // cone bound unsound
+					}
+					if cone < ball-tol {
+						ok = false // Theorem 4: cone must dominate ball
+					}
+				}
+			}
+			walk(tree.root)
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickCollabIPIdentity checks Lemma 2 directly on built trees: the
+// derived right-child inner product matches the direct computation.
+func TestQuickCollabIPIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(300) + 40
+		d := rng.Intn(10) + 2
+		raw := dataset.Generate(dataset.Spec{Name: "q", Family: dataset.FamilyHeavyTail, RawDim: d}, n, seed)
+		data := raw.AppendOnes()
+		queries := dataset.GenerateQueries(raw, 2, seed+1)
+		tree := Build(data, Config{LeafSize: 10, Seed: seed})
+		for qi := 0; qi < queries.N; qi++ {
+			q := queries.Row(qi)
+			ok := true
+			var walk func(nd *node)
+			walk = func(nd *node) {
+				if nd.isLeaf() {
+					return
+				}
+				ip := vec.Dot(q, nd.center)
+				ipl := vec.Dot(q, nd.left.center)
+				ipr := vec.Dot(q, nd.right.center)
+				cn, cl, cr := float64(nd.count()), float64(nd.left.count()), float64(nd.right.count())
+				derived := (cn*ip - cl*ipl) / cr
+				scale := math.Max(1, math.Abs(ipr))
+				// float32 center storage dominates the error budget here.
+				if math.Abs(derived-ipr) > 1e-3*scale {
+					ok = false
+				}
+				walk(nd.left)
+				walk(nd.right)
+			}
+			walk(tree.root)
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickExactInvariantToParams: exact results do not depend on leaf size,
+// preference, or ablation switches.
+func TestQuickExactInvariantToParams(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(250) + 50
+		raw := dataset.Generate(dataset.Spec{Name: "q", Family: dataset.FamilyUniform, RawDim: 8}, n, seed)
+		data := raw.AppendOnes()
+		queries := dataset.GenerateQueries(raw, 2, seed+1)
+		ref := linearscan.New(data)
+		for qi := 0; qi < queries.N; qi++ {
+			q := queries.Row(qi)
+			want, _ := ref.Search(q, core.SearchOptions{K: 4})
+			for _, leaf := range []int{5, 37, 1000} {
+				tree := Build(data, Config{LeafSize: leaf, Seed: seed})
+				for _, variant := range allVariants() {
+					variant.K = 4
+					got, _ := tree.Search(q, variant)
+					if !sameDists(got, want) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}

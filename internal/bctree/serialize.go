@@ -1,0 +1,183 @@
+package bctree
+
+import (
+	"io"
+	"os"
+
+	"p2h/internal/binio"
+	"p2h/internal/vec"
+)
+
+// magic identifies the BC-Tree serialization format, version 1.
+var magic = []byte("P2HBC001")
+
+// maxSerialDim guards against corrupt headers allocating absurd buffers.
+const maxSerialDim = 1 << 20
+
+// Save writes the tree to w in a self-contained binary format that Load can
+// restore without the original data matrix. Leaf nodes carry their ball and
+// cone arrays so restored trees prune identically.
+func (t *Tree) Save(w io.Writer) error {
+	bw := binio.NewWriter(w)
+	bw.Bytes(magic)
+	bw.I32(int32(t.leafSize))
+	bw.I32(int32(t.points.N))
+	bw.I32(int32(t.points.D))
+	bw.I32(int32(t.nodes))
+	bw.I32(int32(t.leaves))
+	bw.I32s(t.ids)
+	bw.F32s(t.points.Data)
+	saveNode(bw, t.root)
+	return bw.Flush()
+}
+
+func saveNode(bw *binio.Writer, n *node) {
+	if n.isLeaf() {
+		bw.U8(1)
+	} else {
+		bw.U8(0)
+	}
+	bw.I32(n.start)
+	bw.I32(n.end)
+	bw.F64(n.radius)
+	bw.F64(n.centerNorm)
+	bw.F32s(n.center)
+	if n.isLeaf() {
+		bw.F64s(n.rx)
+		bw.F64s(n.xcos)
+		bw.F64s(n.xsin)
+		return
+	}
+	saveNode(bw, n.left)
+	saveNode(bw, n.right)
+}
+
+// Load restores a tree written by Save. The stream is validated structurally;
+// corrupt input yields an error wrapping binio.ErrCorrupt.
+func Load(r io.Reader) (*Tree, error) {
+	br := binio.NewReader(r)
+	br.Expect(magic)
+	leafSize := int(br.I32())
+	n := int(br.I32())
+	d := int(br.I32())
+	nodes := int(br.I32())
+	leaves := int(br.I32())
+	if err := br.Err(); err != nil {
+		return nil, err
+	}
+	if leafSize <= 0 || n <= 0 || d <= 0 || d > maxSerialDim {
+		br.Fail("bad header: leafSize=%d n=%d d=%d", leafSize, n, d)
+		return nil, br.Err()
+	}
+	if nodes < 1 || nodes > 2*n || leaves < 1 || leaves > nodes {
+		br.Fail("bad node counts: nodes=%d leaves=%d n=%d", nodes, leaves, n)
+		return nil, br.Err()
+	}
+	t := &Tree{leafSize: leafSize, nodes: nodes, leaves: leaves}
+	t.ids = br.I32s(n)
+	if br.Err() == nil {
+		for _, id := range t.ids {
+			if id < 0 || int(id) >= n {
+				br.Fail("id %d out of range", id)
+				break
+			}
+		}
+	}
+	data := br.F32s(n * d)
+	if err := br.Err(); err != nil {
+		return nil, err
+	}
+	t.points = &vec.Matrix{Data: data, N: n, D: d}
+
+	ld := &loader{br: br, n: int32(n), d: d, budget: nodes}
+	t.root = ld.load()
+	if err := br.Err(); err != nil {
+		return nil, err
+	}
+	if ld.budget != 0 {
+		br.Fail("node count mismatch: %d unread", ld.budget)
+		return nil, br.Err()
+	}
+	if t.root.start != 0 || t.root.end != int32(n) {
+		br.Fail("root range [%d,%d) != [0,%d)", t.root.start, t.root.end, n)
+		return nil, br.Err()
+	}
+	return t, nil
+}
+
+type loader struct {
+	br     *binio.Reader
+	n      int32
+	d      int
+	budget int // remaining nodes allowed; bounds recursion on corrupt input
+}
+
+func (ld *loader) load() *node {
+	if ld.budget <= 0 {
+		ld.br.Fail("more nodes than declared")
+		return &node{}
+	}
+	ld.budget--
+	leaf := ld.br.U8()
+	n := &node{start: ld.br.I32(), end: ld.br.I32(), radius: ld.br.F64(), centerNorm: ld.br.F64()}
+	n.center = ld.br.F32s(ld.d)
+	if ld.br.Err() != nil {
+		return n
+	}
+	if n.start < 0 || n.end <= n.start || n.end > ld.n {
+		ld.br.Fail("node range [%d,%d) invalid for n=%d", n.start, n.end, ld.n)
+		return n
+	}
+	if n.radius < 0 || n.centerNorm < 0 {
+		ld.br.Fail("negative radius %v or norm %v", n.radius, n.centerNorm)
+		return n
+	}
+	if leaf == 1 {
+		cnt := int(n.count())
+		n.rx = ld.br.F64s(cnt)
+		n.xcos = ld.br.F64s(cnt)
+		n.xsin = ld.br.F64s(cnt)
+		if ld.br.Err() != nil {
+			return n
+		}
+		for i := 1; i < cnt; i++ {
+			if n.rx[i] > n.rx[i-1] {
+				ld.br.Fail("leaf radii not descending at %d", i)
+				return n
+			}
+		}
+		return n
+	}
+	n.left = ld.load()
+	n.right = ld.load()
+	if ld.br.Err() != nil {
+		return n
+	}
+	if n.left.start != n.start || n.right.end != n.end || n.left.end != n.right.start {
+		ld.br.Fail("children do not partition [%d,%d)", n.start, n.end)
+	}
+	return n
+}
+
+// SaveFile writes the tree to the named file.
+func (t *Tree) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile restores a tree from the named file.
+func LoadFile(path string) (*Tree, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}

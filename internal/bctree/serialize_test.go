@@ -1,0 +1,93 @@
+package bctree
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"p2h/internal/binio"
+	"p2h/internal/dataset"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	raw := dataset.Generate(dataset.Spec{Name: "t", Family: dataset.FamilyClustered, RawDim: 14, Clusters: 6}, 700, 1)
+	data := raw.AppendOnes()
+	queries := dataset.GenerateQueries(raw, 10, 2)
+	orig := Build(data, Config{LeafSize: 30, Seed: 3})
+
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.N() != orig.N() || restored.Dim() != orig.Dim() ||
+		restored.Nodes() != orig.Nodes() || restored.Leaves() != orig.Leaves() {
+		t.Fatalf("metadata mismatch: %s vs %s", restored, orig)
+	}
+	checkTreeInvariants(t, restored)
+	// Restored trees must search identically, including pruning stats, and
+	// across ablation variants (the leaf arrays must survive the trip).
+	for i := 0; i < queries.N; i++ {
+		q := queries.Row(i)
+		for _, variant := range allVariants() {
+			variant.K = 7
+			a, sa := orig.Search(q, variant)
+			b, sb := restored.Search(q, variant)
+			if len(a) != len(b) {
+				t.Fatalf("query %d: result counts differ", i)
+			}
+			for j := range a {
+				if a[j] != b[j] {
+					t.Fatalf("query %d rank %d: %v != %v", i, j, a[j], b[j])
+				}
+			}
+			if sa != sb {
+				t.Fatalf("query %d: stats differ: %+v != %+v", i, sa, sb)
+			}
+		}
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	raw := dataset.Generate(dataset.Spec{Name: "t", Family: dataset.FamilyUniform, RawDim: 6}, 100, 4)
+	data := raw.AppendOnes()
+	orig := Build(data, Config{LeafSize: 10, Seed: 5})
+	path := filepath.Join(t.TempDir(), "tree.p2hbc")
+	if err := orig.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Nodes() != orig.Nodes() {
+		t.Fatalf("nodes %d != %d", restored.Nodes(), orig.Nodes())
+	}
+}
+
+func TestLoadRejectsCorruptInput(t *testing.T) {
+	raw := dataset.Generate(dataset.Spec{Name: "t", Family: dataset.FamilyUniform, RawDim: 5}, 80, 6)
+	data := raw.AppendOnes()
+	orig := Build(data, Config{LeafSize: 10, Seed: 7})
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	cases := map[string][]byte{
+		"empty":          {},
+		"bad magic":      append([]byte("XXXXXXXX"), good[8:]...),
+		"truncated":      good[:len(good)-9],
+		"balltree magic": append([]byte("P2HBT001"), good[8:]...),
+	}
+	for name, payload := range cases {
+		if _, err := Load(bytes.NewReader(payload)); !errors.Is(err, binio.ErrCorrupt) {
+			t.Fatalf("%s: want ErrCorrupt, got %v", name, err)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+// Package bctree implements the paper's Section IV: BC-Tree, a Ball-Tree
+// whose leaf nodes additionally maintain Ball and Cone structures per data
+// point. The extra structures enable two O(1) point-level lower bounds —
+// the point-level ball bound (Corollary 1) and the tighter point-level cone
+// bound (Theorem 3) — which prune individual candidates inside a leaf before
+// the O(d) verification, and a collaborative inner product computing strategy
+// (Lemma 2) that nearly halves the node-level bound cost (Theorem 5).
+package bctree
+
+import (
+	"fmt"
+
+	"p2h/internal/vec"
+)
+
+// DefaultLeafSize is the paper's default maximum leaf size N0.
+const DefaultLeafSize = 100
+
+// radiusSlack inflates stored radii by a relative epsilon so pruning stays
+// conservative under floating-point rounding.
+const radiusSlack = 1e-9
+
+// boundSlack deflates computed point-level bounds by a relative epsilon, for
+// the same reason. Accumulated float64 rounding across the collaborative
+// inner product chain stays orders of magnitude below this.
+const boundSlack = 1e-9
+
+// Config parameterizes BC-Tree construction.
+type Config struct {
+	// LeafSize is the maximum number of points per leaf (the paper's N0).
+	// Zero selects DefaultLeafSize.
+	LeafSize int
+	// Seed drives the random pivot choice of the seed-grow split
+	// (Algorithm 2); builds are deterministic given a seed.
+	Seed int64
+}
+
+func (c Config) normalized() Config {
+	if c.LeafSize <= 0 {
+		c.LeafSize = DefaultLeafSize
+	}
+	return c
+}
+
+// node is one ball of the tree. Leaf nodes carry the per-point ball and cone
+// structures over positions [start, end) of the reordered storage; the slices
+// below are indexed by position - start and ordered by descending radius.
+type node struct {
+	center     []float32
+	centerNorm float64 // ||center||, precomputed for the cone bound
+	radius     float64
+	start, end int32
+
+	left, right *node
+
+	// Leaf-only point-level structures (Algorithm 4 lines 5-9).
+	rx   []float64 // ball radii r_x = ||x - center||, descending
+	xcos []float64 // ||x|| cos(phi_x), the projection of x onto center
+	xsin []float64 // ||x|| sin(phi_x), the rejection of x from center
+}
+
+func (n *node) count() int32 { return n.end - n.start }
+func (n *node) isLeaf() bool { return n.left == nil }
+
+// Tree is a BC-Tree over lifted data points x = (p; 1).
+type Tree struct {
+	points   *vec.Matrix // reordered copy: leaf ranges are contiguous rows
+	ids      []int32     // position -> original data id
+	root     *node
+	leafSize int
+	nodes    int
+	leaves   int
+}
+
+// N returns the number of indexed points.
+func (t *Tree) N() int { return t.points.N }
+
+// Dim returns the lifted dimensionality.
+func (t *Tree) Dim() int { return t.points.D }
+
+// LeafSize returns the configured maximum leaf size N0.
+func (t *Tree) LeafSize() int { return t.leafSize }
+
+// Nodes returns the total number of tree nodes (internal + leaf).
+func (t *Tree) Nodes() int { return t.nodes }
+
+// Leaves returns the number of leaf nodes.
+func (t *Tree) Leaves() int { return t.leaves }
+
+// Height returns the height of the tree (a single leaf tree has height 1).
+func (t *Tree) Height() int { return height(t.root) }
+
+func height(n *node) int {
+	if n == nil {
+		return 0
+	}
+	if n.isLeaf() {
+		return 1
+	}
+	hl, hr := height(n.left), height(n.right)
+	if hl > hr {
+		return hl + 1
+	}
+	return hr + 1
+}
+
+// IndexBytes estimates the memory footprint of the index structure: node
+// centers, radii, child pointers, the position->id map, and the three
+// Θ(n)-size leaf arrays that BC-Tree adds over Ball-Tree (Theorem 6).
+func (t *Tree) IndexBytes() int64 {
+	perNode := int64(t.points.D)*4 + 2*8 /*radius+norm*/ + 2*8 /*children*/ + 2*4 /*range*/
+	return int64(t.nodes)*perNode + int64(len(t.ids))*4 + int64(t.points.N)*3*8
+}
+
+// DataBytes returns the size of the reordered data copy.
+func (t *Tree) DataBytes() int64 { return t.points.Bytes() }
+
+// String summarizes the tree for logs.
+func (t *Tree) String() string {
+	return fmt.Sprintf("bctree{n=%d d=%d leafsize=%d nodes=%d leaves=%d height=%d}",
+		t.N(), t.Dim(), t.leafSize, t.nodes, t.leaves, t.Height())
+}

@@ -1,0 +1,190 @@
+package bctree
+
+import (
+	"math"
+	"testing"
+
+	"p2h/internal/dataset"
+	"p2h/internal/vec"
+)
+
+func buildTestData(t *testing.T, family dataset.Family, n, d int, seed int64) (*vec.Matrix, *vec.Matrix) {
+	t.Helper()
+	raw := dataset.Generate(dataset.Spec{Name: "t", Family: family, RawDim: d, Clusters: 8}, n, seed)
+	queries := dataset.GenerateQueries(raw, 10, seed+1)
+	return raw.AppendOnes(), queries
+}
+
+func TestBuildPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Build(vec.NewMatrix(0, 4), Config{})
+}
+
+func TestBuildBasicInvariants(t *testing.T) {
+	data, _ := buildTestData(t, dataset.FamilyClustered, 500, 16, 1)
+	tree := Build(data, Config{LeafSize: 20, Seed: 1})
+	if tree.N() != 500 || tree.Dim() != 17 {
+		t.Fatalf("tree %s", tree)
+	}
+	checkTreeInvariants(t, tree)
+}
+
+// checkTreeInvariants verifies the structural properties of Algorithm 4:
+// the Ball-Tree invariants (partition, containment, leaf size) plus the
+// BC-Tree leaf structures: r_x descending, the ball identity r_x=||x-c||,
+// and the cone identity xcos^2 + xsin^2 = ||x||^2 together with the
+// Figure 4 relation (||x||sin phi)^2 + (||c|| - ||x||cos phi)^2 = r_x^2.
+func checkTreeInvariants(t *testing.T, tree *Tree) {
+	t.Helper()
+	seen := make([]bool, tree.N())
+	for _, id := range tree.ids {
+		if seen[id] {
+			t.Fatalf("id %d appears twice in reordering", id)
+		}
+		seen[id] = true
+	}
+	var nodes, leaves int
+	var walk func(n *node)
+	walk = func(n *node) {
+		nodes++
+		if n.count() <= 0 {
+			t.Fatal("empty node")
+		}
+		if got := vec.Norm(n.center); math.Abs(got-n.centerNorm) > 1e-9*(1+got) {
+			t.Fatalf("stale centerNorm: %v != %v", n.centerNorm, got)
+		}
+		for pos := n.start; pos < n.end; pos++ {
+			d := vec.Dist(tree.points.Row(int(pos)), n.center)
+			if d > n.radius {
+				t.Fatalf("point at pos %d outside ball: %v > %v", pos, d, n.radius)
+			}
+		}
+		if n.isLeaf() {
+			leaves++
+			if int(n.count()) > tree.leafSize {
+				t.Fatalf("leaf size %d > N0=%d", n.count(), tree.leafSize)
+			}
+			cnt := int(n.count())
+			if len(n.rx) != cnt || len(n.xcos) != cnt || len(n.xsin) != cnt {
+				t.Fatalf("leaf arrays sized %d/%d/%d, want %d", len(n.rx), len(n.xcos), len(n.xsin), cnt)
+			}
+			for i := 0; i < cnt; i++ {
+				if i > 0 && n.rx[i] > n.rx[i-1]+1e-12 {
+					t.Fatalf("rx not descending at %d: %v > %v", i, n.rx[i], n.rx[i-1])
+				}
+				x := tree.points.Row(int(n.start) + i)
+				r := vec.Dist(x, n.center)
+				if math.Abs(n.rx[i]-r) > 1e-6*(1+r) {
+					t.Fatalf("rx[%d]=%v but true dist %v", i, n.rx[i], r)
+				}
+				xn := vec.Norm(x)
+				if got := math.Hypot(n.xcos[i], n.xsin[i]); math.Abs(got-xn) > 1e-6*(1+xn) {
+					t.Fatalf("cone identity broken: hypot=%v, ||x||=%v", got, xn)
+				}
+				if n.xsin[i] < 0 {
+					t.Fatalf("xsin must be nonnegative, got %v", n.xsin[i])
+				}
+				// Figure 4: the rejection and the center-offset projection
+				// form a right triangle with hypotenuse r_x.
+				lhs := n.xsin[i]*n.xsin[i] + (n.centerNorm-n.xcos[i])*(n.centerNorm-n.xcos[i])
+				if math.Abs(lhs-r*r) > 1e-5*(1+r*r) {
+					t.Fatalf("Figure 4 identity broken: %v != %v", lhs, r*r)
+				}
+			}
+			return
+		}
+		if n.left.start != n.start || n.right.end != n.end || n.left.end != n.right.start {
+			t.Fatalf("children do not partition parent")
+		}
+		walk(n.left)
+		walk(n.right)
+	}
+	walk(tree.root)
+	if leaves != tree.Leaves() || nodes != tree.Nodes() {
+		t.Fatalf("node accounting: counted %d/%d, tree says %d/%d", nodes, leaves, tree.Nodes(), tree.Leaves())
+	}
+}
+
+// TestLemma1CenterMatchesDirectCentroid verifies that internal centers
+// assembled bottom-up via Lemma 1 equal the direct centroid of the node's
+// points, up to float32 storage rounding.
+func TestLemma1CenterMatchesDirectCentroid(t *testing.T) {
+	data, _ := buildTestData(t, dataset.FamilyHeavyTail, 700, 10, 2)
+	tree := Build(data, Config{LeafSize: 30, Seed: 2})
+	var walk func(n *node)
+	walk = func(n *node) {
+		ids := make([]int32, 0, n.count())
+		for pos := n.start; pos < n.end; pos++ {
+			ids = append(ids, pos)
+		}
+		direct := tree.points.Centroid(ids)
+		for j := range direct {
+			diff := math.Abs(float64(direct[j]) - float64(n.center[j]))
+			scale := math.Max(1, math.Abs(float64(direct[j])))
+			if diff > 1e-4*scale {
+				t.Fatalf("center[%d] drifted: lemma1=%v direct=%v", j, n.center[j], direct[j])
+			}
+		}
+		if !n.isLeaf() {
+			walk(n.left)
+			walk(n.right)
+		}
+	}
+	walk(tree.root)
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	data, _ := buildTestData(t, dataset.FamilyClustered, 400, 12, 3)
+	a := Build(data, Config{LeafSize: 25, Seed: 9})
+	b := Build(data, Config{LeafSize: 25, Seed: 9})
+	if a.Nodes() != b.Nodes() || a.Height() != b.Height() {
+		t.Fatal("same seed must build identical trees")
+	}
+	for i := range a.ids {
+		if a.ids[i] != b.ids[i] {
+			t.Fatal("same seed must produce identical reordering")
+		}
+	}
+}
+
+func TestBuildAllIdenticalPoints(t *testing.T) {
+	rows := make([][]float32, 64)
+	for i := range rows {
+		rows[i] = []float32{1, 2, 3}
+	}
+	data := vec.FromRows(rows).AppendOnes()
+	tree := Build(data, Config{LeafSize: 8, Seed: 1})
+	checkTreeInvariants(t, tree)
+}
+
+func TestBuildSinglePoint(t *testing.T) {
+	data := vec.FromRows([][]float32{{1, 2}}).AppendOnes()
+	tree := Build(data, Config{})
+	if tree.Nodes() != 1 || tree.Leaves() != 1 || tree.Height() != 1 {
+		t.Fatalf("single point tree: %s", tree)
+	}
+}
+
+func TestIndexBytesLargerThanBallTreeExtras(t *testing.T) {
+	// Theorem 6: BC-Tree spends 3 extra n-size arrays over Ball-Tree.
+	data, _ := buildTestData(t, dataset.FamilyClustered, 2000, 32, 5)
+	tree := Build(data, Config{LeafSize: 100, Seed: 1})
+	if tree.IndexBytes() < int64(tree.N())*3*8 {
+		t.Fatalf("index accounting misses the 3n arrays: %d", tree.IndexBytes())
+	}
+	if tree.IndexBytes() >= tree.DataBytes() {
+		t.Fatalf("index bytes %d should stay below data bytes %d at N0=100", tree.IndexBytes(), tree.DataBytes())
+	}
+}
+
+func TestDefaultLeafSizeApplied(t *testing.T) {
+	data, _ := buildTestData(t, dataset.FamilyUniform, 300, 8, 2)
+	tree := Build(data, Config{})
+	if tree.LeafSize() != DefaultLeafSize {
+		t.Fatalf("default leaf size %d", tree.LeafSize())
+	}
+}

@@ -1,0 +1,220 @@
+// Package binio provides sticky-error little-endian binary readers and
+// writers for the index serialization formats. A single error check after a
+// run of field operations replaces per-field error plumbing; the first error
+// wins and later operations become no-ops.
+package binio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// ErrCorrupt reports a structurally invalid stream.
+var ErrCorrupt = errors.New("binio: corrupt stream")
+
+// Writer serializes fixed-width values in little-endian order.
+type Writer struct {
+	w   *bufio.Writer
+	err error
+}
+
+// NewWriter wraps w. Call Flush when done and check its error.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriter(w)}
+}
+
+func (w *Writer) put(buf []byte) {
+	if w.err != nil {
+		return
+	}
+	_, w.err = w.w.Write(buf)
+}
+
+// U8 writes one byte.
+func (w *Writer) U8(v byte) {
+	if w.err != nil {
+		return
+	}
+	w.err = w.w.WriteByte(v)
+}
+
+// I32 writes an int32.
+func (w *Writer) I32(v int32) {
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], uint32(v))
+	w.put(buf[:])
+}
+
+// I64 writes an int64.
+func (w *Writer) I64(v int64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(v))
+	w.put(buf[:])
+}
+
+// F64 writes a float64.
+func (w *Writer) F64(v float64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+	w.put(buf[:])
+}
+
+// Bytes writes raw bytes.
+func (w *Writer) Bytes(b []byte) { w.put(b) }
+
+// F32s writes a []float32 payload (no length prefix).
+func (w *Writer) F32s(vs []float32) {
+	var buf [4]byte
+	for _, v := range vs {
+		binary.LittleEndian.PutUint32(buf[:], math.Float32bits(v))
+		w.put(buf[:])
+	}
+}
+
+// F64s writes a []float64 payload (no length prefix).
+func (w *Writer) F64s(vs []float64) {
+	for _, v := range vs {
+		w.F64(v)
+	}
+}
+
+// I32s writes a []int32 payload (no length prefix).
+func (w *Writer) I32s(vs []int32) {
+	for _, v := range vs {
+		w.I32(v)
+	}
+}
+
+// Err returns the first error encountered.
+func (w *Writer) Err() error { return w.err }
+
+// Flush flushes buffered output and returns the first error.
+func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	return w.w.Flush()
+}
+
+// Reader deserializes fixed-width values in little-endian order.
+type Reader struct {
+	r   *bufio.Reader
+	err error
+}
+
+// NewReader wraps r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReader(r)}
+}
+
+func (r *Reader) get(buf []byte) bool {
+	if r.err != nil {
+		return false
+	}
+	if _, err := io.ReadFull(r.r, buf); err != nil {
+		r.err = fmt.Errorf("%w: %v", ErrCorrupt, err)
+		return false
+	}
+	return true
+}
+
+// U8 reads one byte.
+func (r *Reader) U8() byte {
+	var buf [1]byte
+	if !r.get(buf[:]) {
+		return 0
+	}
+	return buf[0]
+}
+
+// I32 reads an int32.
+func (r *Reader) I32() int32 {
+	var buf [4]byte
+	if !r.get(buf[:]) {
+		return 0
+	}
+	return int32(binary.LittleEndian.Uint32(buf[:]))
+}
+
+// I64 reads an int64.
+func (r *Reader) I64() int64 {
+	var buf [8]byte
+	if !r.get(buf[:]) {
+		return 0
+	}
+	return int64(binary.LittleEndian.Uint64(buf[:]))
+}
+
+// F64 reads a float64.
+func (r *Reader) F64() float64 {
+	var buf [8]byte
+	if !r.get(buf[:]) {
+		return 0
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(buf[:]))
+}
+
+// Expect reads len(want) bytes and fails the stream if they differ.
+func (r *Reader) Expect(want []byte) {
+	buf := make([]byte, len(want))
+	if !r.get(buf) {
+		return
+	}
+	for i := range want {
+		if buf[i] != want[i] {
+			r.err = fmt.Errorf("%w: bad magic %q", ErrCorrupt, buf)
+			return
+		}
+	}
+}
+
+// F32s reads n float32 values.
+func (r *Reader) F32s(n int) []float32 {
+	out := make([]float32, n)
+	var buf [4]byte
+	for i := range out {
+		if !r.get(buf[:]) {
+			return nil
+		}
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[:]))
+	}
+	return out
+}
+
+// F64s reads n float64 values.
+func (r *Reader) F64s(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = r.F64()
+	}
+	if r.err != nil {
+		return nil
+	}
+	return out
+}
+
+// I32s reads n int32 values.
+func (r *Reader) I32s(n int) []int32 {
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = r.I32()
+	}
+	if r.err != nil {
+		return nil
+	}
+	return out
+}
+
+// Fail records a validation failure with context.
+func (r *Reader) Fail(format string, args ...interface{}) {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+	}
+}
+
+// Err returns the first error encountered.
+func (r *Reader) Err() error { return r.err }

@@ -1,0 +1,128 @@
+package binio
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTripScalars(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.U8(7)
+	w.I32(-12345)
+	w.I64(1 << 40)
+	w.F64(math.Pi)
+	w.Bytes([]byte("MAGIC123"))
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := NewReader(&buf)
+	if got := r.U8(); got != 7 {
+		t.Fatalf("u8 %d", got)
+	}
+	if got := r.I32(); got != -12345 {
+		t.Fatalf("i32 %d", got)
+	}
+	if got := r.I64(); got != 1<<40 {
+		t.Fatalf("i64 %d", got)
+	}
+	if got := r.F64(); got != math.Pi {
+		t.Fatalf("f64 %v", got)
+	}
+	r.Expect([]byte("MAGIC123"))
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickRoundTripSlices(t *testing.T) {
+	f := func(f32 []float32, f64 []float64, i32 []int32) bool {
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		w.F32s(f32)
+		w.F64s(f64)
+		w.I32s(i32)
+		if w.Flush() != nil {
+			return false
+		}
+		r := NewReader(&buf)
+		g32 := r.F32s(len(f32))
+		g64 := r.F64s(len(f64))
+		gi := r.I32s(len(i32))
+		if r.Err() != nil {
+			return false
+		}
+		for i := range f32 {
+			if math.Float32bits(g32[i]) != math.Float32bits(f32[i]) {
+				return false
+			}
+		}
+		for i := range f64 {
+			if math.Float64bits(g64[i]) != math.Float64bits(f64[i]) {
+				return false
+			}
+		}
+		for i := range i32 {
+			if gi[i] != i32[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTruncatedStreamFails(t *testing.T) {
+	r := NewReader(strings.NewReader("ab"))
+	r.I32()
+	if !errors.Is(r.Err(), ErrCorrupt) {
+		t.Fatalf("want ErrCorrupt, got %v", r.Err())
+	}
+	// Sticky: later reads stay failed and return zero values.
+	if got := r.I64(); got != 0 {
+		t.Fatalf("sticky reader must return zero, got %d", got)
+	}
+}
+
+func TestExpectMismatch(t *testing.T) {
+	r := NewReader(strings.NewReader("WRONG123"))
+	r.Expect([]byte("MAGIC123"))
+	if !errors.Is(r.Err(), ErrCorrupt) {
+		t.Fatalf("want ErrCorrupt, got %v", r.Err())
+	}
+}
+
+func TestFailFormatsContext(t *testing.T) {
+	r := NewReader(strings.NewReader(""))
+	r.Fail("n=%d out of range", 42)
+	if !errors.Is(r.Err(), ErrCorrupt) || !strings.Contains(r.Err().Error(), "n=42") {
+		t.Fatalf("got %v", r.Err())
+	}
+	// First error wins.
+	r.Fail("second")
+	if strings.Contains(r.Err().Error(), "second") {
+		t.Fatal("second Fail must not overwrite the first")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write(p []byte) (int, error) { return 0, errors.New("disk full") }
+
+func TestWriterStickyError(t *testing.T) {
+	w := NewWriter(failWriter{})
+	// Overflow the 4KB bufio buffer to force the underlying write.
+	big := make([]float64, 1024)
+	w.F64s(big)
+	w.F64s(big)
+	if w.Err() == nil && w.Flush() == nil {
+		t.Fatal("expected write error to surface")
+	}
+}

@@ -1,0 +1,5 @@
+// Package core holds the search machinery shared by every P2HNNS index in
+// this repository: result records, the bounded top-k heap that maintains the
+// paper's running threshold q.λ, per-query work counters, and the phase
+// profile used to reproduce the paper's Figure 10 time breakdown.
+package core

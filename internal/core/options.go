@@ -1,0 +1,72 @@
+package core
+
+// Preference selects the branching order of the tree search
+// (paper Section III-C, "Branch Preference Choice").
+type Preference int
+
+const (
+	// PrefCenter visits first the child whose center has the smaller
+	// absolute inner product with the query. The paper's default and the
+	// uniformly better choice (Figure 7).
+	PrefCenter Preference = iota
+	// PrefLowerBound visits first the child with the smaller node-level
+	// ball bound. Kept for the Figure 7 comparison.
+	PrefLowerBound
+)
+
+// String returns the label used in experiment output.
+func (p Preference) String() string {
+	if p == PrefLowerBound {
+		return "lower-bound"
+	}
+	return "center"
+}
+
+// SearchOptions parameterizes one P2HNNS query against any index.
+type SearchOptions struct {
+	// K is the number of neighbors to return. Zero means 1.
+	K int
+	// Budget caps the number of candidate verifications; once reached the
+	// search stops and returns its current best results. This is the
+	// paper's "candidate fraction" approximation knob. Budget <= 0 means
+	// unlimited, which makes the tree methods exact.
+	Budget int
+	// Preference picks the branch order for the tree methods.
+	Preference Preference
+	// Filter, if non-nil, restricts the search to ids it accepts: rejected
+	// points are neither verified nor counted against the budget. Used for
+	// tombstones (internal/dynamic) and attribute filtering.
+	Filter func(id int32) bool
+	// Profile, if non-nil, receives the per-phase time breakdown
+	// (Figure 10). Leaving it nil removes all timing overhead.
+	Profile *Profile
+
+	// The three switches below ablate BC-Tree strategies (paper Figure 8
+	// and Theorem 5). They are ignored by the other indexes.
+
+	// DisablePointBall turns off the point-level ball bound (Corollary 1),
+	// producing the paper's BC-Tree-wo-B variant.
+	DisablePointBall bool
+	// DisablePointCone turns off the point-level cone bound (Theorem 3),
+	// producing the paper's BC-Tree-wo-C variant. Setting both switches
+	// yields BC-Tree-wo-BC (exhaustive leaf scans, as Ball-Tree does).
+	DisablePointCone bool
+	// DisableCollabIP turns off collaborative inner product computing
+	// (Lemma 2), so both children of a visited internal node cost a full
+	// O(d) inner product. Used by the Theorem 5 ablation bench.
+	DisableCollabIP bool
+}
+
+// Normalized returns a copy with defaults applied.
+func (o SearchOptions) Normalized() SearchOptions {
+	if o.K <= 0 {
+		o.K = 1
+	}
+	return o
+}
+
+// BudgetLeft reports whether more candidates may be verified given the count
+// so far.
+func (o SearchOptions) BudgetLeft(verified int64) bool {
+	return o.Budget <= 0 || verified < int64(o.Budget)
+}

@@ -1,0 +1,21 @@
+package core
+
+import "sort"
+
+// Result is one answer of a top-k P2HNNS query: the data point ID and its
+// point-to-hyperplane distance |<x, q>|.
+type Result struct {
+	ID   int32
+	Dist float64
+}
+
+// SortResults orders results by ascending distance, breaking ties by ID so
+// that output is deterministic across methods.
+func SortResults(rs []Result) {
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].Dist != rs[j].Dist {
+			return rs[i].Dist < rs[j].Dist
+		}
+		return rs[i].ID < rs[j].ID
+	})
+}

@@ -1,0 +1,98 @@
+package core
+
+import "time"
+
+// Stats counts the work one query performed. The counters map onto the cost
+// model of the paper's Section III-C: candidate verifications (exhaustive
+// leaf scans), lower-bound computations, and node traversal.
+type Stats struct {
+	IPCount       int64 // full O(d) inner products (bound centers + verification)
+	Candidates    int64 // data points verified against the query
+	NodesVisited  int64 // internal + leaf nodes whose bound was evaluated
+	LeavesVisited int64 // leaf nodes scanned
+	PrunedNodes   int64 // subtrees cut by the node-level ball bound
+	PrunedPoints  int64 // leaf points skipped by point-level bounds
+	BucketProbes  int64 // hash-table probes (NH/FH only)
+	CollabIPs     int64 // O(1) center inner products obtained via Lemma 2
+}
+
+// Add accumulates o into s.
+func (s *Stats) Add(o Stats) {
+	s.IPCount += o.IPCount
+	s.Candidates += o.Candidates
+	s.NodesVisited += o.NodesVisited
+	s.LeavesVisited += o.LeavesVisited
+	s.PrunedNodes += o.PrunedNodes
+	s.PrunedPoints += o.PrunedPoints
+	s.BucketProbes += o.BucketProbes
+	s.CollabIPs += o.CollabIPs
+}
+
+// Phase identifies one bucket of the Figure 10 time-profile breakdown.
+type Phase int
+
+const (
+	// PhaseVerify is candidate verification: exact |<x,q>| on data points.
+	PhaseVerify Phase = iota
+	// PhaseBound is lower-bound computation (tree methods).
+	PhaseBound
+	// PhaseLookup is hash computation and bucket probing (NH/FH).
+	PhaseLookup
+	// PhaseOther is everything else (traversal bookkeeping, heap updates).
+	PhaseOther
+	numPhases
+)
+
+// String names the phase as the paper's Figure 10 legend does.
+func (p Phase) String() string {
+	switch p {
+	case PhaseVerify:
+		return "Verification"
+	case PhaseBound:
+		return "Lower Bounds"
+	case PhaseLookup:
+		return "Table Lookup"
+	case PhaseOther:
+		return "Others"
+	}
+	return "Unknown"
+}
+
+// Profile accumulates wall-clock time per phase. A nil *Profile disables
+// instrumentation; index search loops only call time.Now when one is set.
+type Profile struct {
+	Durations [numPhases]time.Duration
+}
+
+// Add accrues d into phase p. Add on a nil profile is a no-op.
+func (pr *Profile) Add(p Phase, d time.Duration) {
+	if pr == nil {
+		return
+	}
+	pr.Durations[p] += d
+}
+
+// Total returns the sum over all phases.
+func (pr *Profile) Total() time.Duration {
+	if pr == nil {
+		return 0
+	}
+	var t time.Duration
+	for _, d := range pr.Durations {
+		t += d
+	}
+	return t
+}
+
+// Get returns the accumulated duration for phase p.
+func (pr *Profile) Get(p Phase) time.Duration {
+	if pr == nil {
+		return 0
+	}
+	return pr.Durations[p]
+}
+
+// Phases lists all phases in display order.
+func Phases() []Phase {
+	return []Phase{PhaseVerify, PhaseLookup, PhaseBound, PhaseOther}
+}

@@ -1,0 +1,97 @@
+package core
+
+import "math"
+
+// TopK maintains the k best (smallest-distance) results seen so far as a
+// bounded max-heap. Lambda, the paper's q.λ, is the distance of the current
+// k-th best match — the pruning threshold for every lower bound — and is
+// +Inf until k results have been collected.
+type TopK struct {
+	k    int
+	heap []Result // max-heap ordered by Dist (root = worst kept result)
+}
+
+// NewTopK returns a collector for the k best results. k must be positive.
+func NewTopK(k int) *TopK {
+	if k <= 0 {
+		panic("core: TopK requires k > 0")
+	}
+	return &TopK{k: k, heap: make([]Result, 0, k)}
+}
+
+// K returns the configured k.
+func (t *TopK) K() int { return t.k }
+
+// Len returns the number of results currently held.
+func (t *TopK) Len() int { return len(t.heap) }
+
+// Full reports whether k results have been collected.
+func (t *TopK) Full() bool { return len(t.heap) == t.k }
+
+// Lambda returns the current pruning threshold: the k-th best distance if the
+// collector is full, +Inf otherwise.
+func (t *TopK) Lambda() float64 {
+	if t.Full() {
+		return t.heap[0].Dist
+	}
+	return math.Inf(1)
+}
+
+// Push offers a candidate. It is kept if the collector is not yet full or if
+// dist beats the current worst kept result. Push reports whether the
+// candidate was kept.
+func (t *TopK) Push(id int32, dist float64) bool {
+	if !t.Full() {
+		t.heap = append(t.heap, Result{ID: id, Dist: dist})
+		t.siftUp(len(t.heap) - 1)
+		return true
+	}
+	if dist >= t.heap[0].Dist {
+		return false
+	}
+	t.heap[0] = Result{ID: id, Dist: dist}
+	t.siftDown(0)
+	return true
+}
+
+// Results returns the kept results sorted by ascending distance (ties by ID).
+// The collector remains usable afterwards.
+func (t *TopK) Results() []Result {
+	out := make([]Result, len(t.heap))
+	copy(out, t.heap)
+	SortResults(out)
+	return out
+}
+
+// Reset empties the collector, retaining capacity.
+func (t *TopK) Reset() { t.heap = t.heap[:0] }
+
+func (t *TopK) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if t.heap[parent].Dist >= t.heap[i].Dist {
+			return
+		}
+		t.heap[parent], t.heap[i] = t.heap[i], t.heap[parent]
+		i = parent
+	}
+}
+
+func (t *TopK) siftDown(i int) {
+	n := len(t.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < n && t.heap[l].Dist > t.heap[largest].Dist {
+			largest = l
+		}
+		if r < n && t.heap[r].Dist > t.heap[largest].Dist {
+			largest = r
+		}
+		if largest == i {
+			return
+		}
+		t.heap[i], t.heap[largest] = t.heap[largest], t.heap[i]
+		i = largest
+	}
+}

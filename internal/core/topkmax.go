@@ -1,0 +1,111 @@
+package core
+
+import (
+	"math"
+	"sort"
+)
+
+// TopKMax maintains the k largest-scored results seen so far as a bounded
+// min-heap — the mirror of TopK, used by the furthest-neighbor and maximum
+// inner product searches. Lambda is the score of the current k-th best
+// (i.e., the smallest kept score): a candidate or node whose upper bound is
+// at most Lambda cannot improve the result.
+type TopKMax struct {
+	k    int
+	heap []Result // min-heap ordered by Dist (root = weakest kept result)
+}
+
+// NewTopKMax returns a collector for the k largest scores. k must be
+// positive.
+func NewTopKMax(k int) *TopKMax {
+	if k <= 0 {
+		panic("core: TopKMax requires k > 0")
+	}
+	return &TopKMax{k: k, heap: make([]Result, 0, k)}
+}
+
+// K returns the configured k.
+func (t *TopKMax) K() int { return t.k }
+
+// Len returns the number of results currently held.
+func (t *TopKMax) Len() int { return len(t.heap) }
+
+// Full reports whether k results have been collected.
+func (t *TopKMax) Full() bool { return len(t.heap) == t.k }
+
+// Lambda returns the pruning threshold: the k-th largest score if the
+// collector is full, -Inf otherwise.
+func (t *TopKMax) Lambda() float64 {
+	if t.Full() {
+		return t.heap[0].Dist
+	}
+	return math.Inf(-1)
+}
+
+// Push offers a candidate score; it is kept if the collector is not yet full
+// or if it beats the weakest kept result. Push reports whether the candidate
+// was kept.
+func (t *TopKMax) Push(id int32, score float64) bool {
+	if !t.Full() {
+		t.heap = append(t.heap, Result{ID: id, Dist: score})
+		t.siftUp(len(t.heap) - 1)
+		return true
+	}
+	if score <= t.heap[0].Dist {
+		return false
+	}
+	t.heap[0] = Result{ID: id, Dist: score}
+	t.siftDown(0)
+	return true
+}
+
+// Results returns the kept results sorted by descending score (ties by ID).
+// The collector remains usable afterwards.
+func (t *TopKMax) Results() []Result {
+	out := make([]Result, len(t.heap))
+	copy(out, t.heap)
+	sortResultsDesc(out)
+	return out
+}
+
+// Reset empties the collector, retaining capacity.
+func (t *TopKMax) Reset() { t.heap = t.heap[:0] }
+
+func (t *TopKMax) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if t.heap[parent].Dist <= t.heap[i].Dist {
+			return
+		}
+		t.heap[parent], t.heap[i] = t.heap[i], t.heap[parent]
+		i = parent
+	}
+}
+
+func (t *TopKMax) siftDown(i int) {
+	n := len(t.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && t.heap[l].Dist < t.heap[smallest].Dist {
+			smallest = l
+		}
+		if r < n && t.heap[r].Dist < t.heap[smallest].Dist {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		t.heap[i], t.heap[smallest] = t.heap[smallest], t.heap[i]
+		i = smallest
+	}
+}
+
+func sortResultsDesc(rs []Result) {
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].Dist != rs[j].Dist {
+			return rs[i].Dist > rs[j].Dist
+		}
+		return rs[i].ID < rs[j].ID
+	})
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestTopKMaxBasics(t *testing.T) {
+	tk := NewTopKMax(3)
+	if tk.K() != 3 || tk.Len() != 0 || tk.Full() {
+		t.Fatal("fresh collector state")
+	}
+	if !math.IsInf(tk.Lambda(), -1) {
+		t.Fatalf("lambda before full must be -Inf, got %v", tk.Lambda())
+	}
+	for i, v := range []float64{1, 5, 3} {
+		if !tk.Push(int32(i), v) {
+			t.Fatalf("push %d must be kept while not full", i)
+		}
+	}
+	if !tk.Full() || tk.Lambda() != 1 {
+		t.Fatalf("lambda %v want 1", tk.Lambda())
+	}
+	if tk.Push(9, 0.5) {
+		t.Fatal("weaker score must be rejected")
+	}
+	if !tk.Push(10, 4) {
+		t.Fatal("stronger score must be kept")
+	}
+	res := tk.Results()
+	want := []float64{5, 4, 3}
+	for i, r := range res {
+		if r.Dist != want[i] {
+			t.Fatalf("results %v", res)
+		}
+	}
+}
+
+func TestTopKMaxPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewTopKMax(0)
+}
+
+func TestTopKMaxReset(t *testing.T) {
+	tk := NewTopKMax(2)
+	tk.Push(1, 1)
+	tk.Push(2, 2)
+	tk.Reset()
+	if tk.Len() != 0 || tk.Full() {
+		t.Fatal("reset must empty the collector")
+	}
+}
+
+func TestTopKMaxDescendingTieOrder(t *testing.T) {
+	tk := NewTopKMax(3)
+	tk.Push(7, 2)
+	tk.Push(3, 2)
+	tk.Push(5, 2)
+	res := tk.Results()
+	if res[0].ID != 3 || res[1].ID != 5 || res[2].ID != 7 {
+		t.Fatalf("ties must order by ascending ID: %v", res)
+	}
+}
+
+// TestQuickTopKMaxMatchesSort: the collector agrees with sorting the whole
+// stream descending and taking the first k.
+func TestQuickTopKMaxMatchesSort(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(200) + 1
+		k := rng.Intn(20) + 1
+		scores := make([]float64, n)
+		tk := NewTopKMax(k)
+		for i := range scores {
+			scores[i] = rng.NormFloat64()
+			tk.Push(int32(i), scores[i])
+		}
+		sorted := append([]float64(nil), scores...)
+		sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+		res := tk.Results()
+		wantLen := k
+		if n < k {
+			wantLen = n
+		}
+		if len(res) != wantLen {
+			return false
+		}
+		for i, r := range res {
+			if r.Dist != sorted[i] {
+				return false
+			}
+		}
+		// Lambda equals the weakest kept score once full.
+		if n >= k && tk.Lambda() != sorted[k-1] {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

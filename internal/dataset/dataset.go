@@ -1,0 +1,145 @@
+// Package dataset provides the data substrate for the reproduction: synthetic
+// generators standing in for the paper's 16 real-world data sets (Table II),
+// the hyperplane-query generator of Huang et al. [30], duplicate removal, and
+// an fvecs-style binary interchange format.
+//
+// The real corpora (Music, GloVe, Sift, ..., Deep100M, Sift100M) total tens
+// of gigabytes and cannot ship with this repository, so each one is mapped to
+// a synthetic family that preserves the geometric structure the paper's
+// pruning bounds interact with: cluster concentration (image descriptors),
+// low-rank correlation (text embeddings), heavy-tailed norms (ratings), and
+// sparse non-negative blocks (biology). See DESIGN.md Section 5.
+package dataset
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Family identifies a synthetic generator family.
+type Family int
+
+const (
+	// FamilyClustered is a Gaussian mixture: well-separated centers with
+	// unit intra-cluster spread. Stands in for image/audio descriptors
+	// (Sift, Tiny, Cifar-10, Gist, ...), which are strongly clustered —
+	// the regime where ball bounds prune best.
+	FamilyClustered Family = iota
+	// FamilyLowRank draws points from a low-rank linear model plus noise,
+	// mimicking text embeddings (GloVe, NUSW) whose intrinsic dimension
+	// is far below d.
+	FamilyLowRank
+	// FamilyHeavyTail places points uniformly on directions with
+	// log-normal radii, mimicking rating/latent-factor data (Music) with
+	// a wide norm spread.
+	FamilyHeavyTail
+	// FamilySparse emits block-sparse non-negative vectors, mimicking
+	// bag-of-words / biology features (Enron, P53).
+	FamilySparse
+	// FamilyUniform is an iid Gaussian cube; no exploitable structure.
+	// Used by tests as a worst case, not mapped to a paper data set.
+	FamilyUniform
+)
+
+// String returns the family name.
+func (f Family) String() string {
+	switch f {
+	case FamilyClustered:
+		return "clustered"
+	case FamilyLowRank:
+		return "low-rank"
+	case FamilyHeavyTail:
+		return "heavy-tail"
+	case FamilySparse:
+		return "sparse"
+	case FamilyUniform:
+		return "uniform"
+	}
+	return "unknown"
+}
+
+// Spec describes one data set surrogate: the paper's published statistics
+// plus the synthetic family and default reproduction size.
+type Spec struct {
+	Name     string
+	Family   Family
+	PaperN   int    // row count reported in Table II
+	RawDim   int    // data dimension d reported in Table II
+	DataType string // Table II data-type column
+	ScaledN  int    // default reproduction row count (before -scale)
+	Clusters int    // mixture components for FamilyClustered
+}
+
+// catalog lists the 16 data sets of Table II in paper order.
+var catalog = []Spec{
+	{Name: "Music", Family: FamilyHeavyTail, PaperN: 1000000, RawDim: 100, DataType: "Rating", ScaledN: 20000, Clusters: 0},
+	{Name: "GloVe", Family: FamilyLowRank, PaperN: 1183514, RawDim: 100, DataType: "Text", ScaledN: 20000, Clusters: 0},
+	{Name: "Sift", Family: FamilyClustered, PaperN: 985462, RawDim: 128, DataType: "Image", ScaledN: 20000, Clusters: 64},
+	{Name: "UKBench", Family: FamilyClustered, PaperN: 1097907, RawDim: 128, DataType: "Image", ScaledN: 20000, Clusters: 64},
+	{Name: "Tiny", Family: FamilyClustered, PaperN: 1000000, RawDim: 384, DataType: "Image", ScaledN: 10000, Clusters: 48},
+	{Name: "Msong", Family: FamilyClustered, PaperN: 992272, RawDim: 420, DataType: "Audio", ScaledN: 10000, Clusters: 48},
+	{Name: "NUSW", Family: FamilyLowRank, PaperN: 268643, RawDim: 500, DataType: "Image", ScaledN: 8000, Clusters: 0},
+	{Name: "Cifar-10", Family: FamilyClustered, PaperN: 50000, RawDim: 512, DataType: "Image", ScaledN: 8000, Clusters: 32},
+	{Name: "Sun", Family: FamilyClustered, PaperN: 79106, RawDim: 512, DataType: "Image", ScaledN: 8000, Clusters: 32},
+	{Name: "LabelMe", Family: FamilyClustered, PaperN: 181093, RawDim: 512, DataType: "Image", ScaledN: 8000, Clusters: 32},
+	{Name: "Gist", Family: FamilyClustered, PaperN: 982694, RawDim: 960, DataType: "Image", ScaledN: 5000, Clusters: 24},
+	{Name: "Enron", Family: FamilySparse, PaperN: 94987, RawDim: 1369, DataType: "Text", ScaledN: 4000, Clusters: 0},
+	{Name: "Trevi", Family: FamilyClustered, PaperN: 100900, RawDim: 4096, DataType: "Image", ScaledN: 2000, Clusters: 16},
+	{Name: "P53", Family: FamilySparse, PaperN: 31153, RawDim: 5408, DataType: "Biology", ScaledN: 1500, Clusters: 0},
+	{Name: "Deep100M", Family: FamilyClustered, PaperN: 100000000, RawDim: 96, DataType: "Image", ScaledN: 200000, Clusters: 128},
+	{Name: "Sift100M", Family: FamilyClustered, PaperN: 99986452, RawDim: 128, DataType: "Image", ScaledN: 200000, Clusters: 128},
+}
+
+// Catalog returns the specs of all 16 surrogate data sets in Table II order.
+func Catalog() []Spec {
+	out := make([]Spec, len(catalog))
+	copy(out, catalog)
+	return out
+}
+
+// SmallSets returns the 14 "small" data sets used by Figures 5-8 and 10-11
+// (everything except Deep100M and Sift100M).
+func SmallSets() []Spec {
+	out := make([]Spec, 0, 14)
+	for _, s := range catalog {
+		if s.Name != "Deep100M" && s.Name != "Sift100M" {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// LargeSets returns the two 100M-scale data sets used by Figure 9.
+func LargeSets() []Spec {
+	return []Spec{ByName("Deep100M"), ByName("Sift100M")}
+}
+
+// ByName looks a spec up by its Table II name (case sensitive).
+// It panics on unknown names; use Lookup for a soft failure.
+func ByName(name string) Spec {
+	s, ok := Lookup(name)
+	if !ok {
+		panic(fmt.Sprintf("dataset: unknown data set %q", name))
+	}
+	return s
+}
+
+// Lookup looks a spec up by name and reports whether it exists.
+func Lookup(name string) (Spec, bool) {
+	for _, s := range catalog {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// Names returns all catalog names sorted alphabetically.
+func Names() []string {
+	out := make([]string, len(catalog))
+	for i, s := range catalog {
+		out[i] = s.Name
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,98 @@
+package dataset
+
+import (
+	"testing"
+)
+
+func TestCatalogHas16Sets(t *testing.T) {
+	c := Catalog()
+	if len(c) != 16 {
+		t.Fatalf("catalog has %d sets, want 16", len(c))
+	}
+	// Table II order: first and last entries.
+	if c[0].Name != "Music" || c[15].Name != "Sift100M" {
+		t.Fatalf("catalog order wrong: %s ... %s", c[0].Name, c[15].Name)
+	}
+}
+
+func TestCatalogMatchesTableII(t *testing.T) {
+	want := map[string]struct{ n, d int }{
+		"Music":    {1000000, 100},
+		"GloVe":    {1183514, 100},
+		"Sift":     {985462, 128},
+		"UKBench":  {1097907, 128},
+		"Tiny":     {1000000, 384},
+		"Msong":    {992272, 420},
+		"NUSW":     {268643, 500},
+		"Cifar-10": {50000, 512},
+		"Sun":      {79106, 512},
+		"LabelMe":  {181093, 512},
+		"Gist":     {982694, 960},
+		"Enron":    {94987, 1369},
+		"Trevi":    {100900, 4096},
+		"P53":      {31153, 5408},
+		"Deep100M": {100000000, 96},
+		"Sift100M": {99986452, 128},
+	}
+	for name, w := range want {
+		s := ByName(name)
+		if s.PaperN != w.n || s.RawDim != w.d {
+			t.Errorf("%s: got (n=%d,d=%d), Table II says (n=%d,d=%d)", name, s.PaperN, s.RawDim, w.n, w.d)
+		}
+	}
+}
+
+func TestSmallAndLargeSets(t *testing.T) {
+	if len(SmallSets()) != 14 {
+		t.Fatalf("SmallSets = %d, want 14", len(SmallSets()))
+	}
+	ls := LargeSets()
+	if len(ls) != 2 || ls[0].Name != "Deep100M" || ls[1].Name != "Sift100M" {
+		t.Fatalf("LargeSets = %v", ls)
+	}
+	for _, s := range SmallSets() {
+		if s.Name == "Deep100M" || s.Name == "Sift100M" {
+			t.Fatalf("SmallSets must not contain %s", s.Name)
+		}
+	}
+}
+
+func TestLookupAndByName(t *testing.T) {
+	if _, ok := Lookup("NoSuchSet"); ok {
+		t.Fatal("Lookup of unknown set must fail")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ByName of unknown set must panic")
+		}
+	}()
+	ByName("NoSuchSet")
+}
+
+func TestNamesSorted(t *testing.T) {
+	names := Names()
+	if len(names) != 16 {
+		t.Fatalf("Names = %d entries", len(names))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i] < names[i-1] {
+			t.Fatalf("Names not sorted at %d: %s < %s", i, names[i], names[i-1])
+		}
+	}
+}
+
+func TestFamilyString(t *testing.T) {
+	cases := map[Family]string{
+		FamilyClustered: "clustered",
+		FamilyLowRank:   "low-rank",
+		FamilyHeavyTail: "heavy-tail",
+		FamilySparse:    "sparse",
+		FamilyUniform:   "uniform",
+		Family(42):      "unknown",
+	}
+	for f, s := range cases {
+		if f.String() != s {
+			t.Errorf("Family(%d).String() = %q, want %q", f, f.String(), s)
+		}
+	}
+}

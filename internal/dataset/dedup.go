@@ -1,0 +1,58 @@
+package dataset
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+
+	"p2h/internal/vec"
+)
+
+// Dedup removes exact duplicate rows, keeping the first occurrence of each
+// distinct vector, mirroring the paper's preprocessing ("we first remove the
+// duplicate data points"). The relative row order of survivors is preserved.
+func Dedup(m *vec.Matrix) *vec.Matrix {
+	type slot struct{ rows []int32 }
+	buckets := make(map[uint64]*slot, m.N)
+	keep := make([]int32, 0, m.N)
+	h := fnv.New64a()
+	var buf [4]byte
+	for i := 0; i < m.N; i++ {
+		row := m.Row(i)
+		h.Reset()
+		for _, v := range row {
+			binary.LittleEndian.PutUint32(buf[:], math.Float32bits(v))
+			h.Write(buf[:])
+		}
+		key := h.Sum64()
+		s := buckets[key]
+		if s == nil {
+			s = &slot{}
+			buckets[key] = s
+		}
+		dup := false
+		for _, prev := range s.rows {
+			if rowsEqual(m.Row(int(prev)), row) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			s.rows = append(s.rows, int32(i))
+			keep = append(keep, int32(i))
+		}
+	}
+	if len(keep) == m.N {
+		return m
+	}
+	return m.SubsetRows(keep)
+}
+
+func rowsEqual(a, b []float32) bool {
+	for i := range a {
+		if math.Float32bits(a[i]) != math.Float32bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}

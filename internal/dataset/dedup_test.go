@@ -1,0 +1,56 @@
+package dataset
+
+import (
+	"testing"
+
+	"p2h/internal/vec"
+)
+
+func TestDedupRemovesDuplicates(t *testing.T) {
+	m := vec.FromRows([][]float32{
+		{1, 2}, {3, 4}, {1, 2}, {5, 6}, {3, 4}, {1, 2},
+	})
+	got := Dedup(m)
+	if got.N != 3 {
+		t.Fatalf("Dedup kept %d rows, want 3", got.N)
+	}
+	want := [][]float32{{1, 2}, {3, 4}, {5, 6}}
+	for i, w := range want {
+		r := got.Row(i)
+		if r[0] != w[0] || r[1] != w[1] {
+			t.Fatalf("row %d = %v, want %v (order must be preserved)", i, r, w)
+		}
+	}
+}
+
+func TestDedupNoDuplicatesReturnsSame(t *testing.T) {
+	m := vec.FromRows([][]float32{{1, 0}, {0, 1}, {1, 1}})
+	got := Dedup(m)
+	if got != m {
+		t.Fatal("Dedup with no duplicates should return the input matrix unchanged")
+	}
+}
+
+func TestDedupDistinguishesNegativeZero(t *testing.T) {
+	// +0 and -0 have distinct bit patterns; Dedup works on bits, so the two
+	// rows are kept. This is intentional: it matches bytewise dedup of the
+	// original corpora files.
+	m := vec.FromRows([][]float32{{0}, {float32(negZero())}})
+	got := Dedup(m)
+	if got.N != 2 {
+		t.Fatalf("Dedup merged +0 and -0; kept %d rows", got.N)
+	}
+}
+
+func negZero() float64 {
+	z := 0.0
+	return -z
+}
+
+func TestDedupLargeRandomNoCollisionLoss(t *testing.T) {
+	m := Generate(Spec{Name: "t", Family: FamilyUniform, RawDim: 6}, 2000, 1)
+	got := Dedup(m)
+	if got.N != m.N {
+		t.Fatalf("random floats should all be unique: %d != %d", got.N, m.N)
+	}
+}

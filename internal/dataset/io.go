@@ -1,0 +1,94 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"p2h/internal/vec"
+)
+
+// The interchange format is the fvecs layout used by the corpora the paper
+// evaluates (corpus-texmex.irisa.fr): every vector is an int32 dimension
+// followed by that many little-endian float32 components. All vectors in a
+// file must share one dimension.
+
+// maxDim guards against corrupt headers allocating absurd buffers.
+const maxDim = 1 << 20
+
+// ErrBadFormat reports a structurally invalid fvecs stream.
+var ErrBadFormat = errors.New("dataset: bad fvecs format")
+
+// WriteFvecs writes m to w in fvecs format.
+func WriteFvecs(w io.Writer, m *vec.Matrix) error {
+	bw := bufio.NewWriter(w)
+	for i := 0; i < m.N; i++ {
+		if err := binary.Write(bw, binary.LittleEndian, int32(m.D)); err != nil {
+			return fmt.Errorf("dataset: write header row %d: %w", i, err)
+		}
+		if err := binary.Write(bw, binary.LittleEndian, m.Row(i)); err != nil {
+			return fmt.Errorf("dataset: write row %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadFvecs reads an entire fvecs stream into a matrix.
+func ReadFvecs(r io.Reader) (*vec.Matrix, error) {
+	br := bufio.NewReader(r)
+	var rows [][]float32
+	d := -1
+	for rowIdx := 0; ; rowIdx++ {
+		var dim int32
+		err := binary.Read(br, binary.LittleEndian, &dim)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: read header row %d: %w", rowIdx, err)
+		}
+		if dim <= 0 || dim > maxDim {
+			return nil, fmt.Errorf("%w: row %d has dimension %d", ErrBadFormat, rowIdx, dim)
+		}
+		if d == -1 {
+			d = int(dim)
+		} else if int(dim) != d {
+			return nil, fmt.Errorf("%w: row %d dimension %d != %d", ErrBadFormat, rowIdx, dim, d)
+		}
+		row := make([]float32, d)
+		if err := binary.Read(br, binary.LittleEndian, row); err != nil {
+			return nil, fmt.Errorf("%w: truncated row %d: %v", ErrBadFormat, rowIdx, err)
+		}
+		rows = append(rows, row)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("%w: empty stream", ErrBadFormat)
+	}
+	return vec.FromRows(rows), nil
+}
+
+// SaveFvecs writes m to the named file.
+func SaveFvecs(path string, m *vec.Matrix) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteFvecs(f, m); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFvecs reads the named fvecs file.
+func LoadFvecs(path string) (*vec.Matrix, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadFvecs(f)
+}

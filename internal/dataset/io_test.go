@@ -1,0 +1,133 @@
+package dataset
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"p2h/internal/vec"
+)
+
+func TestFvecsRoundTrip(t *testing.T) {
+	m := Generate(Spec{Name: "t", Family: FamilyUniform, RawDim: 13}, 47, 1)
+	var buf bytes.Buffer
+	if err := WriteFvecs(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFvecs(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N != m.N || got.D != m.D {
+		t.Fatalf("round trip shape %dx%d, want %dx%d", got.N, got.D, m.N, m.D)
+	}
+	for i := range m.Data {
+		if got.Data[i] != m.Data[i] {
+			t.Fatalf("round trip data mismatch at %d", i)
+		}
+	}
+}
+
+func TestFvecsFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "test.fvecs")
+	m := Generate(Spec{Name: "t", Family: FamilyUniform, RawDim: 5}, 11, 2)
+	if err := SaveFvecs(path, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFvecs(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N != 11 || got.D != 5 {
+		t.Fatalf("loaded shape %dx%d", got.N, got.D)
+	}
+}
+
+func TestLoadFvecsMissingFile(t *testing.T) {
+	_, err := LoadFvecs(filepath.Join(t.TempDir(), "nope.fvecs"))
+	if err == nil || !os.IsNotExist(err) {
+		t.Fatalf("want not-exist error, got %v", err)
+	}
+}
+
+func TestReadFvecsEmpty(t *testing.T) {
+	_, err := ReadFvecs(bytes.NewReader(nil))
+	if !errors.Is(err, ErrBadFormat) {
+		t.Fatalf("empty stream: want ErrBadFormat, got %v", err)
+	}
+}
+
+func TestReadFvecsNegativeDim(t *testing.T) {
+	var buf bytes.Buffer
+	binary.Write(&buf, binary.LittleEndian, int32(-4))
+	_, err := ReadFvecs(&buf)
+	if !errors.Is(err, ErrBadFormat) {
+		t.Fatalf("negative dim: want ErrBadFormat, got %v", err)
+	}
+}
+
+func TestReadFvecsHugeDim(t *testing.T) {
+	var buf bytes.Buffer
+	binary.Write(&buf, binary.LittleEndian, int32(maxDim+1))
+	_, err := ReadFvecs(&buf)
+	if !errors.Is(err, ErrBadFormat) {
+		t.Fatalf("huge dim: want ErrBadFormat, got %v", err)
+	}
+}
+
+func TestReadFvecsTruncatedRow(t *testing.T) {
+	var buf bytes.Buffer
+	binary.Write(&buf, binary.LittleEndian, int32(4))
+	binary.Write(&buf, binary.LittleEndian, []float32{1, 2}) // 2 of 4 values
+	_, err := ReadFvecs(&buf)
+	if !errors.Is(err, ErrBadFormat) {
+		t.Fatalf("truncated row: want ErrBadFormat, got %v", err)
+	}
+}
+
+func TestReadFvecsInconsistentDims(t *testing.T) {
+	var buf bytes.Buffer
+	binary.Write(&buf, binary.LittleEndian, int32(2))
+	binary.Write(&buf, binary.LittleEndian, []float32{1, 2})
+	binary.Write(&buf, binary.LittleEndian, int32(3))
+	binary.Write(&buf, binary.LittleEndian, []float32{1, 2, 3})
+	_, err := ReadFvecs(&buf)
+	if !errors.Is(err, ErrBadFormat) {
+		t.Fatalf("inconsistent dims: want ErrBadFormat, got %v", err)
+	}
+}
+
+// Property: round trip through fvecs is the identity for random matrices.
+func TestQuickFvecsRoundTrip(t *testing.T) {
+	f := func(seed int64, nn, dd uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, d := int(nn%20)+1, int(dd%16)+1
+		m := vec.NewMatrix(n, d)
+		for i := range m.Data {
+			m.Data[i] = float32(rng.NormFloat64())
+		}
+		var buf bytes.Buffer
+		if err := WriteFvecs(&buf, m); err != nil {
+			return false
+		}
+		got, err := ReadFvecs(&buf)
+		if err != nil || got.N != n || got.D != d {
+			return false
+		}
+		for i := range m.Data {
+			if got.Data[i] != m.Data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

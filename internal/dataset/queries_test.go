@@ -1,0 +1,84 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+
+	"p2h/internal/vec"
+)
+
+func TestGenerateQueriesShapeAndNormalization(t *testing.T) {
+	data := Generate(Spec{Name: "t", Family: FamilyClustered, RawDim: 20, Clusters: 4}, 300, 1)
+	q := GenerateQueries(data, 25, 2)
+	if q.N != 25 || q.D != 21 {
+		t.Fatalf("queries shape %dx%d, want 25x21", q.N, q.D)
+	}
+	for i := 0; i < q.N; i++ {
+		w := q.Row(i)[:20]
+		n := vec.Norm(w)
+		if math.Abs(n-1) > 1e-5 {
+			t.Fatalf("query %d normal not unit: %v", i, n)
+		}
+	}
+}
+
+// The hyperplanes must pass through the data region: for each query there
+// must exist points on both sides (otherwise |<x,q>| is minimized at the
+// data boundary and the problem degenerates).
+func TestGenerateQueriesCutData(t *testing.T) {
+	data := Generate(Spec{Name: "t", Family: FamilyClustered, RawDim: 16, Clusters: 8}, 500, 3)
+	lifted := data.AppendOnes()
+	q := GenerateQueries(data, 20, 4)
+	cut := 0
+	for i := 0; i < q.N; i++ {
+		pos, neg := false, false
+		for j := 0; j < lifted.N; j++ {
+			v := vec.Dot(lifted.Row(j), q.Row(i))
+			if v > 0 {
+				pos = true
+			} else if v < 0 {
+				neg = true
+			}
+			if pos && neg {
+				break
+			}
+		}
+		if pos && neg {
+			cut++
+		}
+	}
+	if cut < q.N*3/4 {
+		t.Fatalf("only %d/%d hyperplanes cut the data", cut, q.N)
+	}
+}
+
+func TestGenerateQueriesDeterministic(t *testing.T) {
+	data := Generate(Spec{Name: "t", Family: FamilyUniform, RawDim: 8}, 100, 1)
+	a := GenerateQueries(data, 10, 42)
+	b := GenerateQueries(data, 10, 42)
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatal("same seed must generate identical queries")
+		}
+	}
+}
+
+func TestGenerateQueriesPanics(t *testing.T) {
+	data := Generate(Spec{Name: "t", Family: FamilyUniform, RawDim: 8}, 10, 1)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("nq=0 must panic")
+			}
+		}()
+		GenerateQueries(data, 0, 1)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("empty data must panic")
+			}
+		}()
+		GenerateQueries(vec.NewMatrix(0, 8), 5, 1)
+	}()
+}

@@ -1,0 +1,232 @@
+// Package dynamic makes the static BC-Tree mutable: inserts accumulate in a
+// buffer that queries scan exhaustively, deletes become tombstones filtered
+// out of tree results, and the tree is rebuilt from the live set once the
+// buffer and the tombstones together exceed a configurable fraction of the
+// indexed points. Point handles are stable across rebuilds.
+//
+// The paper's trees are static (built once over a fixed data set); this
+// wrapper is the standard "static structure + delta" construction that turns
+// any bulk-built index into an updatable one while keeping queries exact.
+package dynamic
+
+import (
+	"fmt"
+
+	"p2h/internal/bctree"
+	"p2h/internal/core"
+	"p2h/internal/vec"
+)
+
+// Config parameterizes the dynamic index.
+type Config struct {
+	// LeafSize is the underlying BC-Tree's N0; zero selects the default.
+	LeafSize int
+	// Seed drives tree construction.
+	Seed int64
+	// RebuildFraction triggers a rebuild when (buffer size + tombstones)
+	// exceeds this fraction of the live set. Zero selects 0.25.
+	RebuildFraction float64
+}
+
+func (c Config) normalized() Config {
+	if c.RebuildFraction <= 0 {
+		c.RebuildFraction = 0.25
+	}
+	return c
+}
+
+// Index is a mutable P2HNNS index over lifted vectors. It is not safe for
+// concurrent mutation; concurrent readers are fine between mutations.
+type Index struct {
+	cfg Config
+	dim int // lifted dimensionality
+
+	rows  *vec.Matrix // all vectors ever inserted; row index = stable handle
+	alive []bool
+	live  int // number of alive handles
+
+	tree    *bctree.Tree // over a snapshot of handles; nil when empty
+	treeIDs []int32      // tree-local id -> handle
+	treeDel int          // tombstones inside the tree snapshot
+	buffer  []int32      // handles inserted since the last rebuild
+}
+
+// New creates a dynamic index for lifted vectors of dimension dim
+// (raw dimension + 1). Seed an initial bulk load with Insert or InsertAll.
+func New(dim int, cfg Config) *Index {
+	if dim <= 0 {
+		panic(fmt.Sprintf("dynamic: invalid dimension %d", dim))
+	}
+	return &Index{cfg: cfg.normalized(), dim: dim, rows: vec.NewMatrix(0, dim)}
+}
+
+// NewFromMatrix bulk-loads the rows of data (lifted vectors); handles are
+// the row indices.
+func NewFromMatrix(data *vec.Matrix, cfg Config) *Index {
+	ix := New(data.D, cfg)
+	for i := 0; i < data.N; i++ {
+		ix.Insert(data.Row(i))
+	}
+	ix.Rebuild()
+	return ix
+}
+
+// N returns the number of live points.
+func (ix *Index) N() int { return ix.live }
+
+// Dim returns the lifted dimensionality.
+func (ix *Index) Dim() int { return ix.dim }
+
+// BufferLen returns the number of points pending outside the tree.
+func (ix *Index) BufferLen() int { return len(ix.buffer) }
+
+// Insert adds a lifted vector and returns its stable handle.
+func (ix *Index) Insert(x []float32) int32 {
+	if len(x) != ix.dim {
+		panic(fmt.Sprintf("dynamic: vector dimension %d != %d", len(x), ix.dim))
+	}
+	handle := int32(ix.rows.N)
+	ix.rows.Data = append(ix.rows.Data, x...)
+	ix.rows.N++
+	ix.alive = append(ix.alive, true)
+	ix.live++
+	ix.buffer = append(ix.buffer, handle)
+	ix.maybeRebuild()
+	return handle
+}
+
+// Delete removes a handle. It reports whether the handle was live.
+func (ix *Index) Delete(handle int32) bool {
+	if handle < 0 || int(handle) >= len(ix.alive) || !ix.alive[handle] {
+		return false
+	}
+	ix.alive[handle] = false
+	ix.live--
+	// A tombstone inside the tree degrades queries; one in the buffer is
+	// removed immediately.
+	inBuffer := false
+	for i, h := range ix.buffer {
+		if h == handle {
+			ix.buffer = append(ix.buffer[:i], ix.buffer[i+1:]...)
+			inBuffer = true
+			break
+		}
+	}
+	if !inBuffer {
+		ix.treeDel++
+	}
+	ix.maybeRebuild()
+	return true
+}
+
+// Vector returns the stored vector of a live handle (aliasing internal
+// storage) and whether the handle is live.
+func (ix *Index) Vector(handle int32) ([]float32, bool) {
+	if handle < 0 || int(handle) >= len(ix.alive) || !ix.alive[handle] {
+		return nil, false
+	}
+	return ix.rows.Row(int(handle)), true
+}
+
+// maybeRebuild rebuilds the tree when the delta (buffer + tombstones)
+// outgrows the configured fraction of the live set.
+func (ix *Index) maybeRebuild() {
+	treeLive := 0
+	if ix.tree != nil {
+		treeLive = len(ix.treeIDs) - ix.treeDel
+	}
+	delta := len(ix.buffer) + ix.treeDel
+	if delta == 0 {
+		return
+	}
+	// Always fold a buffer into a first tree once it is worth building.
+	if treeLive == 0 && len(ix.buffer) >= 2*bctree.DefaultLeafSize {
+		ix.Rebuild()
+		return
+	}
+	if treeLive > 0 && float64(delta) > ix.cfg.RebuildFraction*float64(ix.live) {
+		ix.Rebuild()
+	}
+}
+
+// Rebuild folds the buffer and drops tombstones by rebuilding the tree over
+// the live set. It is also safe to call explicitly (e.g. after a bulk load).
+func (ix *Index) Rebuild() {
+	if ix.live == 0 {
+		ix.tree = nil
+		ix.treeIDs = nil
+		ix.treeDel = 0
+		ix.buffer = nil
+		return
+	}
+	ids := make([]int32, 0, ix.live)
+	for h, ok := range ix.alive {
+		if ok {
+			ids = append(ids, int32(h))
+		}
+	}
+	sub := ix.rows.SubsetRows(ids)
+	ix.tree = bctree.Build(sub, bctree.Config{LeafSize: ix.cfg.LeafSize, Seed: ix.cfg.Seed})
+	ix.treeIDs = ids
+	ix.treeDel = 0
+	ix.buffer = nil
+}
+
+// Search answers a top-k P2HNNS query over the live set: the tree snapshot
+// (with tombstones filtered) plus an exhaustive pass over the buffer.
+// Results carry stable handles. opts.Filter composes with the liveness
+// filter and receives handles.
+func (ix *Index) Search(q []float32, opts core.SearchOptions) ([]core.Result, core.Stats) {
+	opts = opts.Normalized()
+	var st core.Stats
+	tk := core.NewTopK(opts.K)
+
+	userFilter := opts.Filter
+	accepts := func(handle int32) bool {
+		if !ix.alive[handle] {
+			return false
+		}
+		return userFilter == nil || userFilter(handle)
+	}
+
+	if ix.tree != nil {
+		treeOpts := opts
+		treeIDs := ix.treeIDs
+		treeOpts.Filter = func(local int32) bool { return accepts(treeIDs[local]) }
+		res, s := ix.tree.Search(q, treeOpts)
+		st.Add(s)
+		for _, r := range res {
+			tk.Push(treeIDs[r.ID], r.Dist)
+		}
+	}
+
+	for _, handle := range ix.buffer {
+		if !opts.BudgetLeft(st.Candidates) {
+			break
+		}
+		if !accepts(handle) {
+			continue
+		}
+		d := vec.AbsDot(q, ix.rows.Row(int(handle)))
+		st.IPCount++
+		st.Candidates++
+		tk.Push(handle, d)
+	}
+	return tk.Results(), st
+}
+
+// IndexBytes reports the tree footprint plus the delta bookkeeping.
+func (ix *Index) IndexBytes() int64 {
+	var total int64
+	if ix.tree != nil {
+		total += ix.tree.IndexBytes() + int64(len(ix.treeIDs))*4
+	}
+	total += int64(len(ix.buffer))*4 + int64(len(ix.alive))
+	return total
+}
+
+// String summarizes the index for logs.
+func (ix *Index) String() string {
+	return fmt.Sprintf("dynamic{live=%d buffer=%d tombstones=%d dim=%d}",
+		ix.live, len(ix.buffer), ix.treeDel, ix.dim)
+}

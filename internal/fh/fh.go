@@ -1,0 +1,250 @@
+// Package fh implements FH (Furthest Hyperplane hash), the second hashing
+// baseline of Huang et al. [30].
+//
+// FH shares NH's sampled tensor transformation but keeps the query sign, so
+// points near the hyperplane map to points *far* from the transformed query:
+// a furthest neighbor search. Two FH-specific mechanisms are reproduced:
+//
+//   - Norm-based multi-partitioning: points are split into partitions by the
+//     norm of their transformed vector, descending, with ratio b: a partition
+//     ends where ||f(x)|| drops below b times the partition's maximum. Each
+//     partition completes its members' norms to its own sqrt(M_j), which
+//     keeps the norm-completion coordinate — pure distortion — small for
+//     every partition instead of being dictated by the global maximum.
+//   - Separation threshold l: a point becomes a candidate only after it
+//     collides with the query in l projections, probed furthest-first
+//     (RQALSH-style).
+package fh
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"p2h/internal/core"
+	"p2h/internal/lsh"
+	"p2h/internal/transform"
+	"p2h/internal/vec"
+)
+
+// Config parameterizes FH.
+type Config struct {
+	// Lambda is the sampled transform dimension (paper: {d, 2d, 4d, 8d}).
+	// Zero selects 2d.
+	Lambda int
+	// M is the number of hash projections per partition. Zero selects 64.
+	M int
+	// L is the separation threshold (paper: {2, 4, 6}). Zero selects 2.
+	L int
+	// B is the norm partition ratio in (0, 1). Zero selects 0.9.
+	B float64
+	// FullTransform switches to the exact d(d+1)/2-dimensional tensor
+	// lift instead of lambda sampled monomials (see nh.Config). Use only
+	// for small d.
+	FullTransform bool
+	// Seed drives the sampled transform, the partitioning, and the
+	// projections.
+	Seed int64
+}
+
+func (c Config) normalized(d int) Config {
+	if c.Lambda <= 0 {
+		c.Lambda = 2 * d
+	}
+	if c.M <= 0 {
+		c.M = 64
+	}
+	if c.L <= 0 {
+		c.L = 2
+	}
+	if c.B <= 0 || c.B >= 1 {
+		c.B = 0.9
+	}
+	return c
+}
+
+// minPartition is the smallest tail worth its own hash tables; smaller
+// remainders are merged into the preceding partition.
+const minPartition = 16
+
+// part is one norm partition with its own LSH tables.
+type part struct {
+	ids       []int32 // original data ids, descending transformed norm
+	hash      *lsh.Index
+	maxSqNorm float64 // M_j
+}
+
+// Index is a built FH index.
+type Index struct {
+	data  *vec.Matrix // lifted originals, for candidate verification
+	tr    transform.Transform
+	parts []part
+	cfg   Config
+}
+
+// Build transforms the data, partitions it by transformed norm with ratio b,
+// and hashes each partition with its own norm completion.
+func Build(data *vec.Matrix, cfg Config) *Index {
+	if data == nil || data.N == 0 {
+		panic("fh: empty data")
+	}
+	cfg = cfg.normalized(data.D)
+	var tr transform.Transform
+	if cfg.FullTransform {
+		tr = transform.NewFull(data.D)
+	} else {
+		tr = transform.NewSampled(data.D, cfg.Lambda, cfg.Seed)
+	}
+
+	fm := transform.DataMatrix(tr, data)
+	sq := make([]float64, fm.N)
+	order := make([]int32, fm.N)
+	for i := 0; i < fm.N; i++ {
+		sq[i] = vec.SqNorm(fm.Row(i))
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(a, b int) bool { return sq[order[a]] > sq[order[b]] })
+
+	ix := &Index{data: data, tr: tr, cfg: cfg}
+	b2 := cfg.B * cfg.B
+	for start := 0; start < fm.N; {
+		maxSq := sq[order[start]]
+		end := start + 1
+		for end < fm.N && (maxSq == 0 || sq[order[end]] >= b2*maxSq) {
+			end++
+		}
+		if fm.N-end < minPartition {
+			end = fm.N
+		}
+		ids := make([]int32, end-start)
+		copy(ids, order[start:end])
+		aug := vec.NewMatrix(len(ids), fm.D+1)
+		for i, id := range ids {
+			row := aug.Row(i)
+			copy(row, fm.Row(int(id)))
+			row[fm.D] = float32(math.Sqrt(math.Max(0, maxSq-sq[id])))
+		}
+		ix.parts = append(ix.parts, part{
+			ids:       ids,
+			hash:      lsh.Build(aug, lsh.Config{M: cfg.M, Seed: cfg.Seed + int64(start) + 1}),
+			maxSqNorm: maxSq,
+		})
+		start = end
+	}
+	return ix
+}
+
+// N returns the number of indexed points.
+func (ix *Index) N() int { return ix.data.N }
+
+// Dim returns the lifted data dimensionality.
+func (ix *Index) Dim() int { return ix.data.D }
+
+// Lambda returns the transformed dimension in use: lambda, or d(d+1)/2 with
+// the full transform.
+func (ix *Index) Lambda() int { return ix.tr.Dim() }
+
+// Partitions returns the number of norm partitions.
+func (ix *Index) Partitions() int { return len(ix.parts) }
+
+// IndexBytes reports the memory footprint: every partition's hash tables and
+// id list, plus the sampled monomial pairs. FH's per-partition tables are the
+// extra space the paper's Table III discussion attributes to its partitioning.
+func (ix *Index) IndexBytes() int64 {
+	total := ix.tr.Bytes()
+	for i := range ix.parts {
+		total += ix.parts[i].hash.Bytes() + int64(len(ix.parts[i].ids))*4
+	}
+	return total
+}
+
+// String summarizes the index for logs.
+func (ix *Index) String() string {
+	return fmt.Sprintf("fh{n=%d d=%d lambda=%d m=%d l=%d b=%.2f parts=%d}",
+		ix.N(), ix.Dim(), ix.cfg.Lambda, ix.cfg.M, ix.cfg.L, ix.cfg.B, len(ix.parts))
+}
+
+// Search answers a top-k P2HNNS query: transform the query (keeping its
+// sign), probe every partition furthest-first, and verify candidates against
+// the original vectors. The candidate budget is shared across partitions in
+// proportion to their sizes. Budget <= 0 verifies every point, which makes
+// the result exact.
+func (ix *Index) Search(q []float32, opts core.SearchOptions) ([]core.Result, core.Stats) {
+	opts = opts.Normalized()
+	var st core.Stats
+	tk := core.NewTopK(opts.K)
+
+	var start time.Time
+	if opts.Profile != nil {
+		start = time.Now()
+	}
+	gq := ix.tr.Query(q)
+	fq := make([]float32, len(gq)+1)
+	copy(fq, gq)
+	if opts.Profile != nil {
+		opts.Profile.Add(core.PhaseLookup, time.Since(start))
+	}
+
+	budget := opts.Budget
+	if budget <= 0 || budget > ix.data.N {
+		budget = ix.data.N
+	}
+
+	profiling := opts.Profile != nil
+	for pi := range ix.parts {
+		p := &ix.parts[pi]
+		share := (budget*len(p.ids) + ix.data.N - 1) / ix.data.N
+		if share <= 0 {
+			continue
+		}
+		if share > len(p.ids) {
+			share = len(p.ids)
+		}
+
+		var t0 time.Time
+		if profiling {
+			t0 = time.Now()
+		}
+		qp := p.hash.Project(fq)
+		if profiling {
+			opts.Profile.Add(core.PhaseLookup, time.Since(t0))
+		}
+
+		verified := 0
+		var lookupDur, verifyDur time.Duration
+		var lastPop time.Time
+		if profiling {
+			lastPop = time.Now()
+		}
+		st.BucketProbes += p.hash.ProbeFar(qp, ix.cfg.L, func(local int32) bool {
+			id := p.ids[local]
+			if opts.Filter != nil && !opts.Filter(id) {
+				return verified < share
+			}
+			if profiling {
+				lookupDur += time.Since(lastPop)
+			}
+			var v0 time.Time
+			if profiling {
+				v0 = time.Now()
+			}
+			d := math.Abs(vec.Dot(q, ix.data.Row(int(id))))
+			st.IPCount++
+			st.Candidates++
+			verified++
+			tk.Push(id, d)
+			if profiling {
+				verifyDur += time.Since(v0)
+				lastPop = time.Now()
+			}
+			return verified < share
+		})
+		if profiling {
+			lookupDur += time.Since(lastPop)
+			opts.Profile.Add(core.PhaseLookup, lookupDur)
+			opts.Profile.Add(core.PhaseVerify, verifyDur)
+		}
+	}
+	return tk.Results(), st
+}

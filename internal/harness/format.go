@@ -1,0 +1,86 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a titled, column-aligned text table, the output format of the
+// Table II / Table III reproductions.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends one row; cells beyond the header are dropped in rendering.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i := 0; i < len(t.Header); i++ {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	line(t.Header)
+	rule := make([]string, len(t.Header))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	line(rule)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return b.String()
+}
+
+// Point is one (x, y) sample of a plotted curve.
+type Point struct {
+	X, Y float64
+}
+
+// Series is one named curve of a figure.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// FormatSeries renders a figure's curves as per-series listings, the text
+// stand-in for the paper's plots.
+func FormatSeries(title, xlabel, ylabel string, series []Series) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	for _, s := range series {
+		fmt.Fprintf(&b, "  %s (%s, %s):\n", s.Name, xlabel, ylabel)
+		for _, p := range s.Points {
+			fmt.Fprintf(&b, "    %10.3f  %12.6f\n", p.X, p.Y)
+		}
+	}
+	return b.String()
+}

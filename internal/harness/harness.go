@@ -1,0 +1,215 @@
+// Package harness runs the paper's evaluation: it prepares workloads
+// (synthetic surrogate data, hyperplane queries, ground truth), evaluates
+// indexes over candidate-budget sweeps, and formats the series and tables
+// that reproduce Table II, Table III, and Figures 5-11.
+package harness
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"p2h/internal/core"
+	"p2h/internal/dataset"
+	"p2h/internal/linearscan"
+	"p2h/internal/vec"
+)
+
+// BuiltIndex is the common surface of every built P2HNNS index.
+type BuiltIndex interface {
+	// Search answers one top-k hyperplane query.
+	Search(q []float32, opts core.SearchOptions) ([]core.Result, core.Stats)
+	// IndexBytes reports the memory footprint of the index structure.
+	IndexBytes() int64
+}
+
+// Method names one competitor and knows how to build its index over a lifted
+// data matrix.
+type Method struct {
+	Name  string
+	Build func(data *vec.Matrix) BuiltIndex
+}
+
+// BuildResult carries the Table III measurements for one build.
+type BuildResult struct {
+	Method    string
+	BuildTime time.Duration
+	Bytes     int64
+	Index     BuiltIndex
+}
+
+// BuildTimed builds the method's index and measures wall-clock time and size.
+func (m Method) BuildTimed(data *vec.Matrix) BuildResult {
+	start := time.Now()
+	ix := m.Build(data)
+	return BuildResult{
+		Method:    m.Name,
+		BuildTime: time.Since(start),
+		Bytes:     ix.IndexBytes(),
+		Index:     ix,
+	}
+}
+
+// Workload is one prepared data set: deduped raw points, the lifted matrix
+// indexes consume, hyperplane queries, and lazily computed ground truth.
+type Workload struct {
+	Spec    dataset.Spec
+	Raw     *vec.Matrix
+	Data    *vec.Matrix // lifted: x = (p; 1)
+	Queries *vec.Matrix
+
+	gt map[int][][]core.Result
+}
+
+// Prepare generates a workload for the spec: n raw points (spec default if
+// n <= 0), deduplicated, lifted, with nq hyperplane queries. Deterministic in
+// seed.
+func Prepare(spec dataset.Spec, n, nq int, seed int64) *Workload {
+	raw := dataset.Dedup(dataset.Generate(spec, n, seed))
+	return &Workload{
+		Spec:    spec,
+		Raw:     raw,
+		Data:    raw.AppendOnes(),
+		Queries: dataset.GenerateQueries(raw, nq, seed+1),
+		gt:      make(map[int][][]core.Result),
+	}
+}
+
+// GroundTruth returns the exact top-k results per query, computed once.
+func (w *Workload) GroundTruth(k int) [][]core.Result {
+	if gt, ok := w.gt[k]; ok {
+		return gt
+	}
+	gt := linearscan.GroundTruth(w.Data, w.Queries, k)
+	w.gt[k] = gt
+	return gt
+}
+
+// N returns the workload's deduplicated point count.
+func (w *Workload) N() int { return w.Data.N }
+
+// Recall measures the fraction of the exact top-k a result list recovered.
+// Any returned point whose distance is within the exact k-th distance counts
+// as a hit (the tie convention recall evaluations use), capped at k.
+func Recall(res, gt []core.Result) float64 {
+	if len(gt) == 0 {
+		return 1
+	}
+	kth := gt[len(gt)-1].Dist
+	hits := 0
+	for _, r := range res {
+		if r.Dist <= kth*(1+1e-9)+1e-12 {
+			hits++
+		}
+	}
+	if hits > len(gt) {
+		hits = len(gt)
+	}
+	return float64(hits) / float64(len(gt))
+}
+
+// Eval measures one configuration: it runs every workload query through the
+// index with opts and averages recall and wall-clock time.
+type Eval struct {
+	Recall    float64 // mean recall over queries
+	QueryMS   float64 // mean wall-clock milliseconds per query
+	Stats     core.Stats
+	Profile   core.Profile // populated when opts.Profile was requested
+	WallTotal time.Duration
+}
+
+// Run evaluates ix on every query of w under opts. If profile is true the
+// per-phase breakdown is collected (at some timing overhead).
+func Run(ix BuiltIndex, w *Workload, opts core.SearchOptions, profile bool) Eval {
+	opts = opts.Normalized()
+	gt := w.GroundTruth(opts.K)
+	var ev Eval
+	var prof core.Profile
+	if profile {
+		opts.Profile = &prof
+	}
+	start := time.Now()
+	for i := 0; i < w.Queries.N; i++ {
+		res, st := ix.Search(w.Queries.Row(i), opts)
+		ev.Recall += Recall(res, gt[i])
+		ev.Stats.Add(st)
+	}
+	ev.WallTotal = time.Since(start)
+	nq := float64(w.Queries.N)
+	ev.Recall /= nq
+	ev.QueryMS = ev.WallTotal.Seconds() * 1000 / nq
+	ev.Profile = prof
+	return ev
+}
+
+// BudgetFractions is the default candidate-fraction sweep for the
+// time-recall curves (the paper's approximation knob).
+var BudgetFractions = []float64{0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0}
+
+// Sweep evaluates ix across the budget fractions and returns one Eval per
+// fraction, in order.
+func Sweep(ix BuiltIndex, w *Workload, k int, fractions []float64, base core.SearchOptions) []Eval {
+	if len(fractions) == 0 {
+		fractions = BudgetFractions
+	}
+	out := make([]Eval, 0, len(fractions))
+	for _, f := range fractions {
+		opts := base
+		opts.K = k
+		opts.Budget = budgetFor(f, w.N())
+		out = append(out, Run(ix, w, opts, false))
+	}
+	return out
+}
+
+func budgetFor(fraction float64, n int) int {
+	b := int(math.Ceil(fraction * float64(n)))
+	if b < 1 {
+		b = 1
+	}
+	if b > n {
+		b = n
+	}
+	return b
+}
+
+// FindBudget locates the smallest sweep budget reaching the target recall and
+// returns its evaluation. If no fraction reaches the target the full-budget
+// evaluation is returned. This pins the paper's "at about 80% recall"
+// operating points (Figures 6, 8, 10).
+func FindBudget(ix BuiltIndex, w *Workload, k int, target float64, base core.SearchOptions) (int, Eval) {
+	var last Eval
+	var lastBudget int
+	for _, f := range BudgetFractions {
+		opts := base
+		opts.K = k
+		opts.Budget = budgetFor(f, w.N())
+		last = Run(ix, w, opts, false)
+		lastBudget = opts.Budget
+		if last.Recall >= target {
+			return opts.Budget, last
+		}
+	}
+	return lastBudget, last
+}
+
+// scanIndex adapts the linear scan to BuiltIndex (its "index" is free).
+type scanIndex struct{ *linearscan.Scanner }
+
+// IndexBytes is zero: the scan holds no structure beyond the data itself.
+func (scanIndex) IndexBytes() int64 { return 0 }
+
+// String names the adapter in logs.
+func (scanIndex) String() string { return "linear-scan" }
+
+var _ BuiltIndex = scanIndex{}
+
+// fmtBytes renders a byte count the way Table III does (MB with one digit).
+func fmtBytes(b int64) string {
+	return fmt.Sprintf("%.1f", float64(b)/(1024*1024))
+}
+
+// fmtSeconds renders a duration in seconds with one digit.
+func fmtSeconds(d time.Duration) string {
+	return fmt.Sprintf("%.1f", d.Seconds())
+}

@@ -1,0 +1,165 @@
+package harness
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"p2h/internal/core"
+	"p2h/internal/dataset"
+)
+
+func tinySpec(family dataset.Family, d int) dataset.Spec {
+	return dataset.Spec{Name: "tiny", Family: family, RawDim: d, ScaledN: 400, Clusters: 4}
+}
+
+func TestRecallConventions(t *testing.T) {
+	gt := []core.Result{{ID: 1, Dist: 0.1}, {ID: 2, Dist: 0.2}, {ID: 3, Dist: 0.3}}
+	cases := []struct {
+		name string
+		res  []core.Result
+		want float64
+	}{
+		{"perfect", gt, 1},
+		{"empty", nil, 0},
+		{"half", gt[:1], 1.0 / 3},
+		{"different ids same dists", []core.Result{{ID: 9, Dist: 0.1}, {ID: 8, Dist: 0.25}, {ID: 7, Dist: 0.3}}, 1},
+		{"too far", []core.Result{{ID: 9, Dist: 0.9}}, 0},
+		{"overfull capped", []core.Result{{ID: 1, Dist: 0.1}, {ID: 2, Dist: 0.1}, {ID: 3, Dist: 0.1}, {ID: 4, Dist: 0.1}}, 1},
+	}
+	for _, c := range cases {
+		if got := Recall(c.res, gt); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("%s: recall %v want %v", c.name, got, c.want)
+		}
+	}
+	if got := Recall(nil, nil); got != 1 {
+		t.Errorf("empty gt should be recall 1, got %v", got)
+	}
+}
+
+func TestPrepareDeterministic(t *testing.T) {
+	spec := tinySpec(dataset.FamilyClustered, 8)
+	a := Prepare(spec, 200, 5, 7)
+	b := Prepare(spec, 200, 5, 7)
+	if a.N() != b.N() || a.Queries.N != b.Queries.N {
+		t.Fatal("same seed, different workload shape")
+	}
+	for i := range a.Data.Data {
+		if a.Data.Data[i] != b.Data.Data[i] {
+			t.Fatal("same seed, different data")
+		}
+	}
+}
+
+func TestGroundTruthCached(t *testing.T) {
+	w := Prepare(tinySpec(dataset.FamilyUniform, 6), 150, 4, 1)
+	g1 := w.GroundTruth(5)
+	g2 := w.GroundTruth(5)
+	if &g1[0] != &g2[0] {
+		t.Fatal("ground truth not cached")
+	}
+	if len(g1) != w.Queries.N || len(g1[0]) != 5 {
+		t.Fatalf("ground truth shape %dx%d", len(g1), len(g1[0]))
+	}
+}
+
+func TestRunFullBudgetExactForTrees(t *testing.T) {
+	w := Prepare(tinySpec(dataset.FamilyClustered, 10), 400, 8, 2)
+	for _, m := range []Method{BallTree(Params{Seed: 3}), BCTree(Params{Seed: 3}), KDTree(Params{}), LinearScan()} {
+		ix := m.Build(w.Data)
+		ev := Run(ix, w, core.SearchOptions{K: 5}, false)
+		if ev.Recall < 1-1e-12 {
+			t.Fatalf("%s: unlimited budget must be exact, recall %v", m.Name, ev.Recall)
+		}
+		if ev.QueryMS <= 0 {
+			t.Fatalf("%s: query time must be positive", m.Name)
+		}
+	}
+}
+
+func TestBuildTimedMeasures(t *testing.T) {
+	w := Prepare(tinySpec(dataset.FamilyClustered, 10), 300, 4, 3)
+	br := BCTree(Params{Seed: 1}).BuildTimed(w.Data)
+	if br.BuildTime <= 0 || br.Bytes <= 0 || br.Index == nil || br.Method != "BC-Tree" {
+		t.Fatalf("build result %+v", br)
+	}
+}
+
+func TestSweepMonotoneBudgets(t *testing.T) {
+	w := Prepare(tinySpec(dataset.FamilyClustered, 12), 800, 10, 4)
+	ix := BCTree(Params{Seed: 5}).Build(w.Data)
+	evals := Sweep(ix, w, 10, nil, core.SearchOptions{})
+	if len(evals) != len(BudgetFractions) {
+		t.Fatalf("%d evals", len(evals))
+	}
+	if evals[len(evals)-1].Recall < 1-1e-12 {
+		t.Fatalf("full fraction must be exact, got %v", evals[len(evals)-1].Recall)
+	}
+	// Recall must not collapse as budget grows (tiny jitter tolerated).
+	for i := 1; i < len(evals); i++ {
+		if evals[i].Recall < evals[i-1].Recall-0.05 {
+			t.Fatalf("recall dropped hard at %d: %v -> %v", i, evals[i-1].Recall, evals[i].Recall)
+		}
+	}
+}
+
+func TestFindBudgetHitsTarget(t *testing.T) {
+	w := Prepare(tinySpec(dataset.FamilyClustered, 12), 800, 10, 5)
+	ix := BallTree(Params{Seed: 6}).Build(w.Data)
+	budget, ev := FindBudget(ix, w, 10, 0.8, core.SearchOptions{})
+	if ev.Recall < 0.8 {
+		t.Fatalf("budget %d recall %v < target", budget, ev.Recall)
+	}
+	if budget <= 0 || budget > w.N() {
+		t.Fatalf("budget %d out of range", budget)
+	}
+}
+
+func TestMethodsHaveDistinctNames(t *testing.T) {
+	seen := map[string]bool{}
+	for _, m := range DefaultMethods(Params{}) {
+		if seen[m.Name] {
+			t.Fatalf("duplicate method name %s", m.Name)
+		}
+		seen[m.Name] = true
+	}
+	for _, m := range table3Methods(Params{}) {
+		_ = m.Name // all six must be constructible
+	}
+	if len(table3Methods(Params{})) != 6 {
+		t.Fatal("Table III needs six method columns")
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tab := &Table{
+		Title:  "demo",
+		Header: []string{"A", "LongColumn"},
+	}
+	tab.AddRow("x", "1")
+	tab.AddRow("longer", "2")
+	out := tab.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title + header + rule + 2 rows
+		t.Fatalf("want 5 lines, got %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "demo") {
+		t.Fatalf("missing title: %q", lines[0])
+	}
+	// All body lines align to the same width.
+	if len(lines[1]) != len(lines[2]) {
+		t.Fatalf("rule width %d != header width %d", len(lines[2]), len(lines[1]))
+	}
+}
+
+func TestFormatSeriesShape(t *testing.T) {
+	out := FormatSeries("fig", "x", "y", []Series{
+		{Name: "a", Points: []Point{{1, 2}, {3, 4}}},
+	})
+	if !strings.Contains(out, "fig") || !strings.Contains(out, "a (x, y):") {
+		t.Fatalf("series format:\n%s", out)
+	}
+	if strings.Count(out, "\n") != 4 {
+		t.Fatalf("unexpected line count:\n%s", out)
+	}
+}

@@ -1,0 +1,185 @@
+package kdtree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"p2h/internal/core"
+	"p2h/internal/dataset"
+	"p2h/internal/linearscan"
+	"p2h/internal/vec"
+)
+
+func testData(t *testing.T, family dataset.Family, n, d int, seed int64) (data, queries *vec.Matrix) {
+	t.Helper()
+	raw := dataset.Generate(dataset.Spec{Name: "t", Family: family, RawDim: d, Clusters: 8}, n, seed)
+	return raw.AppendOnes(), dataset.GenerateQueries(raw, 10, seed+1)
+}
+
+func TestBuildPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Build(vec.NewMatrix(0, 3), Config{})
+}
+
+func TestBuildInvariants(t *testing.T) {
+	data, _ := testData(t, dataset.FamilyClustered, 500, 12, 1)
+	tree := Build(data, Config{LeafSize: 20})
+	if tree.N() != 500 || tree.Dim() != 13 {
+		t.Fatalf("tree %s", tree)
+	}
+	seen := make([]bool, tree.N())
+	for _, id := range tree.ids {
+		if seen[id] {
+			t.Fatalf("id %d appears twice", id)
+		}
+		seen[id] = true
+	}
+	var nodes, leaves int
+	var walk func(n *node)
+	walk = func(n *node) {
+		nodes++
+		if n.count() <= 0 {
+			t.Fatal("empty node")
+		}
+		for pos := n.start; pos < n.end; pos++ {
+			row := tree.points.Row(int(pos))
+			for j, v := range row {
+				if v < n.lo[j] || v > n.hi[j] {
+					t.Fatalf("point outside box at dim %d: %v not in [%v,%v]", j, v, n.lo[j], n.hi[j])
+				}
+			}
+		}
+		if n.isLeaf() {
+			leaves++
+			if int(n.count()) > tree.leafSize {
+				t.Fatalf("leaf size %d > %d", n.count(), tree.leafSize)
+			}
+			return
+		}
+		if n.left.start != n.start || n.right.end != n.end || n.left.end != n.right.start {
+			t.Fatal("children do not partition parent")
+		}
+		walk(n.left)
+		walk(n.right)
+	}
+	walk(tree.root)
+	if nodes != tree.Nodes() || leaves != tree.Leaves() {
+		t.Fatalf("node accounting: %d/%d vs %d/%d", nodes, leaves, tree.Nodes(), tree.Leaves())
+	}
+}
+
+func TestSearchExactMatchesLinearScan(t *testing.T) {
+	for _, family := range []dataset.Family{dataset.FamilyClustered, dataset.FamilyUniform, dataset.FamilySparse} {
+		raw := dataset.Generate(dataset.Spec{Name: "t", Family: family, RawDim: 16, Clusters: 8}, 500, 2)
+		data := raw.AppendOnes()
+		queries := dataset.GenerateQueries(raw, 10, 3)
+		tree := Build(data, Config{LeafSize: 25})
+		scan := linearscan.New(data)
+		for i := 0; i < queries.N; i++ {
+			q := queries.Row(i)
+			got, _ := tree.Search(q, core.SearchOptions{K: 5})
+			want, _ := scan.Search(q, core.SearchOptions{K: 5})
+			for j := range want {
+				if math.Abs(got[j].Dist-want[j].Dist) > 1e-9*(1+want[j].Dist) {
+					t.Fatalf("%v query %d rank %d: %v != %v", family, i, j, got[j], want[j])
+				}
+			}
+		}
+	}
+}
+
+func TestSearchBudgetRespected(t *testing.T) {
+	data, queries := testData(t, dataset.FamilyUniform, 800, 8, 4)
+	tree := Build(data, Config{LeafSize: 40})
+	for _, budget := range []int{1, 20, 200} {
+		for i := 0; i < queries.N; i++ {
+			res, st := tree.Search(queries.Row(i), core.SearchOptions{K: 5, Budget: budget})
+			if st.Candidates > int64(budget) {
+				t.Fatalf("budget %d exceeded: %d", budget, st.Candidates)
+			}
+			if len(res) == 0 {
+				t.Fatal("budgeted search must return something")
+			}
+		}
+	}
+}
+
+func TestSearchPrunes(t *testing.T) {
+	data, queries := testData(t, dataset.FamilyClustered, 4000, 10, 5)
+	tree := Build(data, Config{LeafSize: 50})
+	var st core.Stats
+	for i := 0; i < queries.N; i++ {
+		_, s := tree.Search(queries.Row(i), core.SearchOptions{K: 1})
+		st.Add(s)
+	}
+	if st.PrunedNodes == 0 {
+		t.Fatal("expected pruned subtrees")
+	}
+	if float64(st.Candidates) > 0.9*float64(int64(queries.N)*int64(data.N)) {
+		t.Fatalf("pruning too weak: %d", st.Candidates)
+	}
+}
+
+// TestQuickBoxBoundSound: the box bound never exceeds the true minimum
+// |<x,q>| of any point in the node.
+func TestQuickBoxBoundSound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(200) + 20
+		d := rng.Intn(10) + 2
+		raw := dataset.Generate(dataset.Spec{Name: "q", Family: dataset.FamilyUniform, RawDim: d}, n, seed)
+		data := raw.AppendOnes()
+		queries := dataset.GenerateQueries(raw, 3, seed+1)
+		tree := Build(data, Config{LeafSize: 10})
+		for qi := 0; qi < queries.N; qi++ {
+			q := queries.Row(qi)
+			ok := true
+			var walk func(nd *node)
+			walk = func(nd *node) {
+				lo, hi := ipInterval(q, nd)
+				lb := boxBound(lo, hi)
+				trueMin := math.Inf(1)
+				for pos := nd.start; pos < nd.end; pos++ {
+					v := math.Abs(vec.Dot(q, tree.points.Row(int(pos))))
+					if v < trueMin {
+						trueMin = v
+					}
+				}
+				if lb > trueMin*(1+1e-6)+1e-6 {
+					ok = false
+				}
+				if !nd.isLeaf() {
+					walk(nd.left)
+					walk(nd.right)
+				}
+			}
+			walk(tree.root)
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSinglePoint(t *testing.T) {
+	data := vec.FromRows([][]float32{{5, -2}}).AppendOnes()
+	tree := Build(data, Config{})
+	res, _ := tree.Search([]float32{1, 0, -1}, core.SearchOptions{K: 1})
+	if len(res) != 1 || res[0].ID != 0 {
+		t.Fatalf("result %v", res)
+	}
+	want := math.Abs(5*1 + 0 - 1)
+	if math.Abs(res[0].Dist-want) > 1e-9 {
+		t.Fatalf("distance %v want %v", res[0].Dist, want)
+	}
+}

@@ -1,0 +1,103 @@
+package linearscan
+
+import (
+	"math"
+	"testing"
+
+	"p2h/internal/core"
+	"p2h/internal/dataset"
+	"p2h/internal/vec"
+)
+
+func TestSearchExactTiny(t *testing.T) {
+	// Points on a line, query hyperplane x0 = 2.5 (normal (1,0), offset -2.5).
+	data := vec.FromRows([][]float32{{0}, {1}, {2}, {3}, {4}}).AppendOnes()
+	q := []float32{1, -2.5}
+	s := New(data)
+	res, st := s.Search(q, core.SearchOptions{K: 2})
+	if len(res) != 2 {
+		t.Fatalf("got %d results", len(res))
+	}
+	// Closest to 2.5 are points 2 and 3, both at distance 0.5.
+	if res[0].Dist != 0.5 || res[1].Dist != 0.5 {
+		t.Fatalf("dists = %v", res)
+	}
+	if res[0].ID != 2 || res[1].ID != 3 {
+		t.Fatalf("ids = %v (tie must break by id)", res)
+	}
+	if st.Candidates != 5 || st.IPCount != 5 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestSearchBudget(t *testing.T) {
+	data := vec.FromRows([][]float32{{0}, {1}, {2}, {3}}).AppendOnes()
+	q := []float32{1, -3} // nearest is point 3 (dist 0)
+	s := New(data)
+	res, st := s.Search(q, core.SearchOptions{K: 1, Budget: 2})
+	if st.Candidates != 2 {
+		t.Fatalf("budget ignored: %+v", st)
+	}
+	// Only points 0,1 scanned; best among them is point 1 at dist 2.
+	if res[0].ID != 1 || res[0].Dist != 2 {
+		t.Fatalf("res = %v", res)
+	}
+}
+
+func TestNewPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(vec.NewMatrix(0, 3))
+}
+
+func TestGroundTruthShapes(t *testing.T) {
+	raw := dataset.Generate(dataset.Spec{Name: "t", Family: dataset.FamilyClustered, RawDim: 12, Clusters: 4}, 200, 1)
+	data := raw.AppendOnes()
+	queries := dataset.GenerateQueries(raw, 7, 2)
+	gt := GroundTruth(data, queries, 5)
+	if len(gt) != 7 {
+		t.Fatalf("gt rows = %d", len(gt))
+	}
+	for i, g := range gt {
+		if len(g) != 5 {
+			t.Fatalf("query %d: %d results", i, len(g))
+		}
+		for j := 1; j < len(g); j++ {
+			if g[j].Dist < g[j-1].Dist {
+				t.Fatalf("query %d results unsorted", i)
+			}
+		}
+	}
+}
+
+func TestSearchProfile(t *testing.T) {
+	data := vec.FromRows([][]float32{{0}, {1}}).AppendOnes()
+	prof := &core.Profile{}
+	New(data).Search([]float32{1, 0}, core.SearchOptions{K: 1, Profile: prof})
+	if prof.Get(core.PhaseVerify) <= 0 {
+		t.Fatal("profile must record verification time")
+	}
+}
+
+func TestSearchMatchesManualMin(t *testing.T) {
+	raw := dataset.Generate(dataset.Spec{Name: "t", Family: dataset.FamilyUniform, RawDim: 10}, 300, 3)
+	data := raw.AppendOnes()
+	queries := dataset.GenerateQueries(raw, 5, 4)
+	s := New(data)
+	for i := 0; i < queries.N; i++ {
+		q := queries.Row(i)
+		res, _ := s.Search(q, core.SearchOptions{K: 1})
+		best := math.Inf(1)
+		for j := 0; j < data.N; j++ {
+			if d := math.Abs(vec.Dot(q, data.Row(j))); d < best {
+				best = d
+			}
+		}
+		if res[0].Dist != best {
+			t.Fatalf("query %d: scan=%v manual=%v", i, res[0].Dist, best)
+		}
+	}
+}

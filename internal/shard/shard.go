@@ -1,0 +1,206 @@
+// Package shard implements the scalable variant the paper's Section
+// III-A(4) sketches: because Ball-Tree is a space partition method, a
+// massive data set can be split into fine granularities and searched in
+// parallel. The index holds one BC-Tree per shard; a query fans out over a
+// bounded pool of goroutines and the per-shard top-k results merge into an
+// exact global top-k.
+//
+// Shards are formed by recursive seed-grow splitting (the trees' own
+// partition rule), so each shard covers a compact region and its tree prunes
+// as well as a monolithic tree over that region would.
+package shard
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"p2h/internal/bctree"
+	"p2h/internal/core"
+	"p2h/internal/partition"
+	"p2h/internal/vec"
+)
+
+// Config parameterizes the sharded index.
+type Config struct {
+	// Shards is the number of partitions (and the maximum query
+	// parallelism). Zero selects GOMAXPROCS.
+	Shards int
+	// LeafSize is each shard tree's N0; zero selects the BC-Tree default.
+	LeafSize int
+	// Seed drives the shard partitioning and tree construction.
+	Seed int64
+	// Workers bounds the goroutines used per query. Zero selects
+	// min(Shards, GOMAXPROCS); 1 makes queries sequential.
+	Workers int
+}
+
+func (c Config) normalized() Config {
+	if c.Shards <= 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+	}
+	if c.Workers <= 0 {
+		c.Workers = c.Shards
+		if p := runtime.GOMAXPROCS(0); c.Workers > p {
+			c.Workers = p
+		}
+	}
+	return c
+}
+
+// Index is a sharded BC-Tree.
+type Index struct {
+	trees   []*bctree.Tree
+	ids     [][]int32 // shard-local row -> global data id
+	n, d    int
+	workers int
+}
+
+// Build partitions the lifted data into cfg.Shards compact regions and
+// builds one BC-Tree per region.
+func Build(data *vec.Matrix, cfg Config) *Index {
+	if data == nil || data.N == 0 {
+		panic("shard: empty data")
+	}
+	cfg = cfg.normalized()
+	if cfg.Shards > data.N {
+		cfg.Shards = data.N
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	all := make([]int32, data.N)
+	for i := range all {
+		all[i] = int32(i)
+	}
+	parts := splitParts(data, all, cfg.Shards, rng)
+
+	ix := &Index{n: data.N, d: data.D, workers: cfg.Workers}
+	for si, part := range parts {
+		sub := data.SubsetRows(part)
+		ids := make([]int32, len(part))
+		copy(ids, part)
+		ix.ids = append(ix.ids, ids)
+		ix.trees = append(ix.trees, bctree.Build(sub, bctree.Config{
+			LeafSize: cfg.LeafSize,
+			Seed:     cfg.Seed + int64(si) + 1,
+		}))
+	}
+	return ix
+}
+
+// splitParts recursively halves the largest remaining part with the
+// seed-grow rule until `want` parts exist.
+func splitParts(data *vec.Matrix, ids []int32, want int, rng *rand.Rand) [][]int32 {
+	parts := [][]int32{ids}
+	for len(parts) < want {
+		// Take the largest part. Linear scan: part counts are tiny.
+		largest := 0
+		for i := 1; i < len(parts); i++ {
+			if len(parts[i]) > len(parts[largest]) {
+				largest = i
+			}
+		}
+		p := parts[largest]
+		if len(p) < 2 {
+			break // cannot split further
+		}
+		nl := partition.SeedGrow(data, p, rng)
+		parts[largest] = p[:nl]
+		parts = append(parts, p[nl:])
+	}
+	return parts
+}
+
+// N returns the number of indexed points.
+func (ix *Index) N() int { return ix.n }
+
+// Dim returns the lifted dimensionality.
+func (ix *Index) Dim() int { return ix.d }
+
+// Shards returns the number of shards.
+func (ix *Index) Shards() int { return len(ix.trees) }
+
+// IndexBytes reports the summed footprint of all shard trees plus the
+// id maps.
+func (ix *Index) IndexBytes() int64 {
+	var total int64
+	for si, t := range ix.trees {
+		total += t.IndexBytes() + int64(len(ix.ids[si]))*4
+	}
+	return total
+}
+
+// String summarizes the index for logs.
+func (ix *Index) String() string {
+	return fmt.Sprintf("shard{n=%d d=%d shards=%d workers=%d}", ix.n, ix.d, len(ix.trees), ix.workers)
+}
+
+// Search fans the query out across the shards (at most cfg.Workers
+// goroutines), asks each shard tree for its local top-k, and merges exactly.
+// The candidate budget is divided across shards in proportion to their
+// sizes. Per-phase profiling is not supported concurrently; the Profile
+// option is ignored.
+func (ix *Index) Search(q []float32, opts core.SearchOptions) ([]core.Result, core.Stats) {
+	opts = opts.Normalized()
+	opts.Profile = nil
+
+	type shardOut struct {
+		res []core.Result
+		st  core.Stats
+	}
+	outs := make([]shardOut, len(ix.trees))
+
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, ix.workers)
+	for si := range ix.trees {
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			shardOpts := opts
+			if opts.Budget > 0 {
+				share := (opts.Budget*len(ix.ids[si]) + ix.n - 1) / ix.n
+				if share < 1 {
+					share = 1
+				}
+				shardOpts.Budget = share
+			}
+			if opts.Filter != nil {
+				// The shard tree sees local ids; the caller's filter
+				// speaks global ids.
+				userFilter := opts.Filter
+				localIDs := ix.ids[si]
+				shardOpts.Filter = func(local int32) bool {
+					return userFilter(localIDs[local])
+				}
+			}
+			res, st := ix.trees[si].Search(q, shardOpts)
+			// Map shard-local ids back to global ids.
+			for i := range res {
+				res[i].ID = ix.ids[si][res[i].ID]
+			}
+			outs[si] = shardOut{res: res, st: st}
+		}(si)
+	}
+	wg.Wait()
+
+	var st core.Stats
+	var merged []core.Result
+	for _, o := range outs {
+		st.Add(o.st)
+		merged = append(merged, o.res...)
+	}
+	sort.Slice(merged, func(i, j int) bool {
+		if merged[i].Dist != merged[j].Dist {
+			return merged[i].Dist < merged[j].Dist
+		}
+		return merged[i].ID < merged[j].ID
+	})
+	if len(merged) > opts.K {
+		merged = merged[:opts.K]
+	}
+	return merged, st
+}

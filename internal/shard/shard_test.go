@@ -1,0 +1,144 @@
+package shard
+
+import (
+	"math"
+	"testing"
+
+	"p2h/internal/core"
+	"p2h/internal/dataset"
+	"p2h/internal/linearscan"
+	"p2h/internal/vec"
+)
+
+func setup(t *testing.T, n int, seed int64) (*vec.Matrix, *vec.Matrix) {
+	t.Helper()
+	raw := dataset.Generate(dataset.Spec{Name: "t", Family: dataset.FamilyClustered, RawDim: 16, Clusters: 8}, n, seed)
+	raw = dataset.Dedup(raw)
+	return raw.AppendOnes(), dataset.GenerateQueries(raw, 10, seed+1)
+}
+
+func TestBuildPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Build(vec.NewMatrix(0, 3), Config{})
+}
+
+func TestShardsPartitionData(t *testing.T) {
+	data, _ := setup(t, 1000, 1)
+	ix := Build(data, Config{Shards: 7, Seed: 2})
+	if ix.Shards() != 7 {
+		t.Fatalf("shards %d", ix.Shards())
+	}
+	seen := make([]bool, data.N)
+	total := 0
+	for _, ids := range ix.ids {
+		total += len(ids)
+		for _, id := range ids {
+			if seen[id] {
+				t.Fatalf("id %d in two shards", id)
+			}
+			seen[id] = true
+		}
+	}
+	if total != data.N {
+		t.Fatalf("shards cover %d of %d", total, data.N)
+	}
+}
+
+func TestSearchExactMatchesLinearScan(t *testing.T) {
+	data, queries := setup(t, 900, 3)
+	scan := linearscan.New(data)
+	for _, shards := range []int{1, 2, 5, 16} {
+		ix := Build(data, Config{Shards: shards, LeafSize: 25, Seed: 4})
+		for qi := 0; qi < queries.N; qi++ {
+			q := queries.Row(qi)
+			got, _ := ix.Search(q, core.SearchOptions{K: 7})
+			want, _ := scan.Search(q, core.SearchOptions{K: 7})
+			if len(got) != len(want) {
+				t.Fatalf("shards=%d query %d: %d results, want %d", shards, qi, len(got), len(want))
+			}
+			for i := range want {
+				if math.Abs(got[i].Dist-want[i].Dist) > 1e-9*(1+want[i].Dist) {
+					t.Fatalf("shards=%d query %d rank %d: %v != %v", shards, qi, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestSearchSequentialWorkerMatchesParallel(t *testing.T) {
+	data, queries := setup(t, 800, 5)
+	par := Build(data, Config{Shards: 8, Seed: 6})
+	seq := Build(data, Config{Shards: 8, Seed: 6, Workers: 1})
+	for qi := 0; qi < queries.N; qi++ {
+		q := queries.Row(qi)
+		a, _ := par.Search(q, core.SearchOptions{K: 5})
+		b, _ := seq.Search(q, core.SearchOptions{K: 5})
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("query %d rank %d: parallel %v vs sequential %v", qi, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestSearchBudgetSharedAcrossShards(t *testing.T) {
+	data, queries := setup(t, 1200, 7)
+	ix := Build(data, Config{Shards: 6, Seed: 8})
+	for _, budget := range []int{6, 60, 600} {
+		for qi := 0; qi < queries.N; qi++ {
+			_, st := ix.Search(queries.Row(qi), core.SearchOptions{K: 5, Budget: budget})
+			// Each shard's ceil share can add at most one extra candidate.
+			if st.Candidates > int64(budget+ix.Shards()) {
+				t.Fatalf("budget %d exceeded: %d", budget, st.Candidates)
+			}
+		}
+	}
+}
+
+func TestMoreShardsThanPoints(t *testing.T) {
+	rows := [][]float32{{1, 0}, {0, 1}, {1, 1}}
+	data := vec.FromRows(rows).AppendOnes()
+	ix := Build(data, Config{Shards: 64, Seed: 1})
+	if ix.Shards() > data.N {
+		t.Fatalf("shards %d > n %d", ix.Shards(), data.N)
+	}
+	res, _ := ix.Search([]float32{1, 0, -1}, core.SearchOptions{K: 3})
+	if len(res) != 3 {
+		t.Fatalf("want all 3 points, got %d", len(res))
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	data, queries := setup(t, 500, 9)
+	a := Build(data, Config{Shards: 4, Seed: 10})
+	b := Build(data, Config{Shards: 4, Seed: 10})
+	for qi := 0; qi < queries.N; qi++ {
+		q := queries.Row(qi)
+		ra, _ := a.Search(q, core.SearchOptions{K: 5})
+		rb, _ := b.Search(q, core.SearchOptions{K: 5})
+		for i := range ra {
+			if ra[i] != rb[i] {
+				t.Fatalf("same seed, different results at %d", i)
+			}
+		}
+	}
+}
+
+func TestIndexBytesSumsShards(t *testing.T) {
+	data, _ := setup(t, 600, 11)
+	ix := Build(data, Config{Shards: 3, Seed: 12})
+	if ix.IndexBytes() <= 0 {
+		t.Fatal("bytes must be positive")
+	}
+	var manual int64
+	for si, tr := range ix.trees {
+		manual += tr.IndexBytes() + int64(len(ix.ids[si]))*4
+	}
+	if ix.IndexBytes() != manual {
+		t.Fatalf("accounting %d != %d", ix.IndexBytes(), manual)
+	}
+}

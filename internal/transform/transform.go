@@ -1,0 +1,187 @@
+// Package transform implements the asymmetric vector transformations that NH
+// and FH (Huang et al., SIGMOD 2021, the paper's reference [30]) apply before
+// hashing.
+//
+// The key identity: for lifted data x = (p; 1) and a hyperplane query q, both
+// in R^d, the squared inner product factors through a tensor lift,
+//
+//	<f(x), g(q)> = <x, q>^2,
+//
+// where f and g expand x and q into the D = d(d+1)/2 monomials x_i*x_j
+// (i <= j). Squaring removes the absolute-value operation that makes the P2H
+// distance non-metric, at the price of an Omega(d^2) dimension blow-up — the
+// overhead the paper's Ball-Tree and BC-Tree avoid.
+//
+// NH appends one coordinate to turn minimizing <x,q>^2 into Euclidean NNS:
+//
+//	P(f(x)) = (f(x); sqrt(M - ||f(x)||^2)),  Q(g(q)) = (-g(q); 0),
+//	||P - Q||^2 = M + ||g(q)||^2 + 2<x,q>^2,
+//
+// with M an upper bound on ||f(x)||^2 over the data set, so the nearest
+// transformed point has the smallest P2H distance. FH keeps +g(q) instead,
+// making it a furthest neighbor search. Both additive constants
+// (M + ||g(q)||^2) are exactly the distortion the paper's Section I analyzes.
+//
+// The full transform is quadratic in d; Sampled approximates it by drawing
+// lambda random monomials, reducing the dimension to lambda at the cost of an
+// additive estimation error (the paper's randomized-sampling variant).
+package transform
+
+import (
+	"fmt"
+	"math/rand"
+
+	"p2h/internal/vec"
+)
+
+// Transform is the common surface of the exact (Full) and approximate
+// (Sampled) tensor lifts.
+type Transform interface {
+	// InDim returns the input dimension d.
+	InDim() int
+	// Dim returns the transformed dimension.
+	Dim() int
+	// Data lifts a data vector (f in the identity above).
+	Data(x []float32) []float32
+	// Query lifts a query vector (g in the identity above).
+	Query(q []float32) []float32
+	// Bytes reports the transform's own memory footprint.
+	Bytes() int64
+}
+
+// Full is the exact tensor transform of dimension d(d+1)/2.
+type Full struct {
+	d int
+}
+
+// NewFull returns the exact transform for input dimension d.
+func NewFull(d int) *Full {
+	if d <= 0 {
+		panic(fmt.Sprintf("transform: invalid dimension %d", d))
+	}
+	return &Full{d: d}
+}
+
+// InDim returns the input dimension d.
+func (t *Full) InDim() int { return t.d }
+
+// Dim returns the transformed dimension d(d+1)/2.
+func (t *Full) Dim() int { return t.d * (t.d + 1) / 2 }
+
+// Data computes f(x): the monomials x_i*x_j for i <= j.
+func (t *Full) Data(x []float32) []float32 {
+	t.check(x)
+	out := make([]float32, 0, t.Dim())
+	for i := 0; i < t.d; i++ {
+		for j := i; j < t.d; j++ {
+			out = append(out, x[i]*x[j])
+		}
+	}
+	return out
+}
+
+// Query computes g(q): q_i*q_j for i == j and 2*q_i*q_j for i < j, so that
+// <Data(x), Query(q)> = <x, q>^2 exactly.
+func (t *Full) Query(q []float32) []float32 {
+	t.check(q)
+	out := make([]float32, 0, t.Dim())
+	for i := 0; i < t.d; i++ {
+		for j := i; j < t.d; j++ {
+			v := q[i] * q[j]
+			if i != j {
+				v *= 2
+			}
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func (t *Full) check(v []float32) {
+	if len(v) != t.d {
+		panic(fmt.Sprintf("transform: vector dimension %d != %d", len(v), t.d))
+	}
+}
+
+// Bytes reports the memory footprint: Full stores nothing beyond d.
+func (t *Full) Bytes() int64 { return 0 }
+
+// Sampled approximates the tensor transform with lambda monomials whose index
+// pairs are drawn iid uniformly from [0,d)^2. For any x and q,
+//
+//	E[<Data(x), Query(q)>] = (lambda / d^2) * <x, q>^2,
+//
+// an unbiased estimator up to a constant factor that ranking does not see.
+// The estimator's variance is the additive error that costs NH and FH their
+// theoretical guarantee (paper Section I).
+type Sampled struct {
+	d      int
+	is, js []int32
+}
+
+// NewSampled draws a sampled transform of dimension lambda for input
+// dimension d, deterministic in seed.
+func NewSampled(d, lambda int, seed int64) *Sampled {
+	if d <= 0 || lambda <= 0 {
+		panic(fmt.Sprintf("transform: invalid shape d=%d lambda=%d", d, lambda))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	t := &Sampled{d: d, is: make([]int32, lambda), js: make([]int32, lambda)}
+	for k := 0; k < lambda; k++ {
+		t.is[k] = int32(rng.Intn(d))
+		t.js[k] = int32(rng.Intn(d))
+	}
+	return t
+}
+
+// InDim returns the input dimension d.
+func (t *Sampled) InDim() int { return t.d }
+
+// Dim returns the sampled dimension lambda.
+func (t *Sampled) Dim() int { return len(t.is) }
+
+// Data computes the sampled monomials of x.
+func (t *Sampled) Data(x []float32) []float32 {
+	t.check(x)
+	out := make([]float32, len(t.is))
+	for k := range t.is {
+		out[k] = x[t.is[k]] * x[t.js[k]]
+	}
+	return out
+}
+
+// Query computes the sampled monomials of q. Sampling over ordered pairs
+// already weights off-diagonal terms twice in expectation, so no factor 2.
+func (t *Sampled) Query(q []float32) []float32 {
+	t.check(q)
+	out := make([]float32, len(t.is))
+	for k := range t.is {
+		out[k] = q[t.is[k]] * q[t.js[k]]
+	}
+	return out
+}
+
+func (t *Sampled) check(v []float32) {
+	if len(v) != t.d {
+		panic(fmt.Sprintf("transform: vector dimension %d != %d", len(v), t.d))
+	}
+}
+
+// Bytes reports the memory the sampled index pairs occupy.
+func (t *Sampled) Bytes() int64 { return int64(len(t.is)) * 8 }
+
+// Interface conformance checks.
+var (
+	_ Transform = (*Full)(nil)
+	_ Transform = (*Sampled)(nil)
+)
+
+// DataMatrix applies t.Data to every row of m, producing the transformed
+// data matrix NH and FH hash.
+func DataMatrix(t Transform, m *vec.Matrix) *vec.Matrix {
+	out := vec.NewMatrix(m.N, t.Dim())
+	for i := 0; i < m.N; i++ {
+		copy(out.Row(i), t.Data(m.Row(i)))
+	}
+	return out
+}

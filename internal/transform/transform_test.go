@@ -1,0 +1,134 @@
+package transform
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"p2h/internal/vec"
+)
+
+func randVec(rng *rand.Rand, d int) []float32 {
+	v := make([]float32, d)
+	for i := range v {
+		v[i] = float32(rng.NormFloat64())
+	}
+	return v
+}
+
+// TestQuickFullIdentity: <f(x), g(q)> == <x, q>^2 exactly (up to rounding).
+func TestQuickFullIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := rng.Intn(20) + 1
+		tr := NewFull(d)
+		x, q := randVec(rng, d), randVec(rng, d)
+		lhs := vec.Dot(tr.Data(x), tr.Query(q))
+		ip := vec.Dot(x, q)
+		rhs := ip * ip
+		return math.Abs(lhs-rhs) <= 1e-4*(1+math.Abs(rhs))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFullDim(t *testing.T) {
+	for _, d := range []int{1, 2, 3, 10, 100} {
+		tr := NewFull(d)
+		want := d * (d + 1) / 2
+		if tr.Dim() != want {
+			t.Fatalf("d=%d: dim %d want %d", d, tr.Dim(), want)
+		}
+		if got := len(tr.Data(make([]float32, d))); got != want {
+			t.Fatalf("d=%d: Data len %d want %d", d, got, want)
+		}
+		if got := len(tr.Query(make([]float32, d))); got != want {
+			t.Fatalf("d=%d: Query len %d want %d", d, got, want)
+		}
+	}
+}
+
+// TestSampledUnbiased: over many monomial draws the sampled estimate
+// concentrates on (lambda/d^2) <x,q>^2.
+func TestSampledUnbiased(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	d := 8
+	x, q := randVec(rng, d), randVec(rng, d)
+	ip := vec.Dot(x, q)
+	want := ip * ip
+	const trials = 400
+	lambda := 64
+	var sum float64
+	for trial := 0; trial < trials; trial++ {
+		tr := NewSampled(d, lambda, int64(trial))
+		est := vec.Dot(tr.Data(x), tr.Query(q)) * float64(d*d) / float64(lambda)
+		sum += est
+	}
+	mean := sum / trials
+	if math.Abs(mean-want) > 0.15*(1+math.Abs(want)) {
+		t.Fatalf("sampled estimator biased: mean %v want %v", mean, want)
+	}
+}
+
+func TestSampledDeterministicInSeed(t *testing.T) {
+	a := NewSampled(10, 30, 7)
+	b := NewSampled(10, 30, 7)
+	x := randVec(rand.New(rand.NewSource(1)), 10)
+	fa, fb := a.Data(x), b.Data(x)
+	for i := range fa {
+		if fa[i] != fb[i] {
+			t.Fatal("same seed must give the same sampled transform")
+		}
+	}
+	c := NewSampled(10, 30, 8)
+	diff := false
+	fc := c.Data(x)
+	for i := range fa {
+		if fa[i] != fc[i] {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds should give different transforms")
+	}
+}
+
+func TestDataMatrixShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := vec.NewMatrix(5, 6)
+	for i := range m.Data {
+		m.Data[i] = float32(rng.NormFloat64())
+	}
+	tr := NewSampled(6, 12, 1)
+	out := DataMatrix(tr, m)
+	if out.N != 5 || out.D != 12 {
+		t.Fatalf("shape %dx%d", out.N, out.D)
+	}
+	// Row content must match the per-vector transform.
+	for i := 0; i < m.N; i++ {
+		want := tr.Data(m.Row(i))
+		got := out.Row(i)
+		for j := range want {
+			if want[j] != got[j] {
+				t.Fatalf("row %d differs at %d", i, j)
+			}
+		}
+	}
+}
+
+func TestInvalidInputsPanic(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("full d=0", func() { NewFull(0) })
+	mustPanic("sampled lambda=0", func() { NewSampled(4, 0, 1) })
+	mustPanic("full wrong dim", func() { NewFull(4).Data(make([]float32, 3)) })
+	mustPanic("sampled wrong dim", func() { NewSampled(4, 8, 1).Query(make([]float32, 5)) })
+}
