@@ -198,3 +198,38 @@ func BenchmarkQueryBudgetFH(b *testing.B) {
 	data, queries := benchData(b)
 	budgetQueryBench(b, NewFH(data, FHOptions{M: 16, Seed: 1}), queries, data.N)
 }
+
+// BenchmarkServer compares three ways of answering the same exact top-10
+// workload on one BC-Tree: a sequential single-query loop (the baseline),
+// the micro-batching server with its result cache disabled (batching +
+// worker parallelism alone), and the full server (batching + cache; the
+// workload cycles over 64 distinct hyperplanes, so steady state is nearly
+// all cache hits). The server variants drive one concurrent caller per
+// GOMAXPROCS via RunParallel — the serving scenario the layer exists for.
+func BenchmarkServer(b *testing.B) {
+	data, queries := benchData(b)
+	ix := NewBCTree(data, BCTreeOptions{Seed: 1})
+	opts := SearchOptions{K: 10}
+
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ix.Search(queries.Row(i%queries.N), opts)
+		}
+	})
+	serverBench := func(cacheEntries int) func(b *testing.B) {
+		return func(b *testing.B) {
+			srv := NewServer(ix, ServerOptions{CacheEntries: cacheEntries})
+			defer srv.Close()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					srv.Search(queries.Row(i%queries.N), opts)
+					i++
+				}
+			})
+		}
+	}
+	b.Run("server-nocache", serverBench(-1))
+	b.Run("server-cached", serverBench(0))
+}

@@ -1,0 +1,269 @@
+// Command p2hserve drives the concurrent query-serving layer: it loads or
+// generates a data set, builds an index, wraps it in a p2h.Server, replays a
+// query stream from a file, stdin, or a generator against it from many
+// concurrent clients, and reports throughput and latency percentiles.
+//
+// Usage:
+//
+//	p2hserve -set Sift -n 20000 -nq 500 -clients 8 -repeat 4
+//	p2hserve -data data.fvecs -queries queries.fvecs -index dynamic -k 10
+//	awk-or-your-tool-emitting-text-queries | p2hserve -data data.fvecs -stdin
+//
+// Queries arrive as fvecs rows (-queries) or as text lines of d+1
+// space-separated floats, normal then offset (-stdin). Every query is
+// answered through the server's micro-batching worker pool and result
+// cache; -compare additionally replays the identical workload as a
+// sequential single-query loop on the bare index and reports the speedup.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	p2h "p2h"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("p2hserve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		dataPath  = fs.String("data", "", "fvecs file with the data points (default: generate -set)")
+		set       = fs.String("set", "Sift", "surrogate data set to generate when -data is empty")
+		n         = fs.Int("n", 10000, "points to generate when -data is empty")
+		seed      = fs.Int64("seed", 1, "seed for data/query generation and index construction")
+		indexKind = fs.String("index", "bc", "index to serve: bc, ball, kd, scan, quant, sharded, dynamic")
+		leafSize  = fs.Int("leafsize", 100, "tree leaf size N0")
+		shards    = fs.Int("shards", 0, "shard count for -index sharded (0: GOMAXPROCS)")
+		queryPath = fs.String("queries", "", "fvecs file with (normal; offset) query rows")
+		useStdin  = fs.Bool("stdin", false, "read text queries from stdin: d+1 floats per line")
+		nq        = fs.Int("nq", 200, "queries to generate when neither -queries nor -stdin is given")
+		k         = fs.Int("k", 10, "neighbors per query")
+		budget    = fs.Int("budget", 0, "candidate budget per query (0: exact)")
+		clients   = fs.Int("clients", 8, "concurrent client goroutines replaying the stream")
+		repeat    = fs.Int("repeat", 1, "times each client replays the full query stream")
+		workers   = fs.Int("workers", 0, "server worker goroutines (0: GOMAXPROCS)")
+		maxBatch  = fs.Int("maxbatch", 16, "largest micro-batch handed to one worker")
+		maxDelay  = fs.Duration("maxdelay", 100*time.Microsecond, "batch window for an under-filled round")
+		cacheSize = fs.Int("cache", 1024, "result cache entries (0 or negative: disabled)")
+		compare   = fs.Bool("compare", false, "also run the workload sequentially on the bare index")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	data, err := loadData(*dataPath, *set, *n, *seed)
+	if err != nil {
+		fmt.Fprintf(stderr, "p2hserve: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "data: %d points, %d dimensions\n", data.N, data.D)
+
+	buildStart := time.Now()
+	ix, err := buildIndex(*indexKind, data, *leafSize, *shards, *seed)
+	if err != nil {
+		fmt.Fprintf(stderr, "p2hserve: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "index: %s built in %v (%d index bytes)\n",
+		*indexKind, time.Since(buildStart).Round(time.Millisecond), ix.IndexBytes())
+
+	queries, err := loadQueries(*queryPath, *useStdin, stdin, data, *nq, *seed+1)
+	if err != nil {
+		fmt.Fprintf(stderr, "p2hserve: %v\n", err)
+		return 1
+	}
+	if queries.N == 0 {
+		fmt.Fprintln(stderr, "p2hserve: no queries")
+		return 1
+	}
+	if queries.D != data.D+1 {
+		fmt.Fprintf(stderr, "p2hserve: queries have dimension %d, want %d (normal) + 1 (offset)\n", queries.D, data.D+1)
+		return 1
+	}
+	fmt.Fprintf(stdout, "queries: %d hyperplanes x %d clients x %d repeats, k=%d budget=%d\n",
+		queries.N, *clients, *repeat, *k, *budget)
+
+	opts := p2h.SearchOptions{K: *k, Budget: *budget}
+	cache := *cacheSize
+	if cache <= 0 {
+		cache = -1 // at the CLI, -cache 0 means off, not "use the default"
+	}
+	srv := p2h.NewServer(ix, p2h.ServerOptions{
+		Workers:      *workers,
+		MaxBatch:     *maxBatch,
+		MaxDelay:     *maxDelay,
+		CacheEntries: cache,
+	})
+	defer srv.Close()
+
+	lat, wall := replay(srv.Search, queries, opts, *clients, *repeat)
+	report(stdout, "server", lat, wall)
+	st := srv.Stats()
+	hitRate := 0.0
+	if st.CacheHits+st.CacheMisses > 0 {
+		hitRate = float64(st.CacheHits) / float64(st.CacheHits+st.CacheMisses)
+	}
+	meanBatch := 0.0
+	if st.Batches > 0 {
+		meanBatch = float64(st.Queries) / float64(st.Batches)
+	}
+	fmt.Fprintf(stdout, "server: %d batches (mean %.1f queries/batch), cache hit rate %.1f%%\n",
+		st.Batches, meanBatch, 100*hitRate)
+
+	if *compare {
+		seqLat, seqWall := replay(ix.Search, queries, opts, 1, *clients**repeat)
+		report(stdout, "sequential", seqLat, seqWall)
+		fmt.Fprintf(stdout, "speedup: %.2fx (server %.0f qps vs sequential %.0f qps)\n",
+			qps(len(lat), wall)/qps(len(seqLat), seqWall), qps(len(lat), wall), qps(len(seqLat), seqWall))
+	}
+	return 0
+}
+
+func loadData(path, set string, n int, seed int64) (*p2h.Matrix, error) {
+	if path != "" {
+		return p2h.LoadFvecs(path)
+	}
+	return p2h.Dedup(p2h.GenerateDataset(set, n, seed)), nil
+}
+
+func buildIndex(kind string, data *p2h.Matrix, leafSize, shards int, seed int64) (p2h.Index, error) {
+	switch kind {
+	case "bc":
+		return p2h.NewBCTree(data, p2h.BCTreeOptions{LeafSize: leafSize, Seed: seed}), nil
+	case "ball":
+		return p2h.NewBallTree(data, p2h.BallTreeOptions{LeafSize: leafSize, Seed: seed}), nil
+	case "kd":
+		return p2h.NewKDTree(data, p2h.KDTreeOptions{LeafSize: leafSize}), nil
+	case "scan":
+		return p2h.NewLinearScan(data), nil
+	case "quant":
+		return p2h.NewQuantizedScan(data), nil
+	case "sharded":
+		return p2h.NewSharded(data, p2h.ShardedOptions{Shards: shards, LeafSize: leafSize, Seed: seed}), nil
+	case "dynamic":
+		return p2h.NewDynamic(data, p2h.DynamicOptions{LeafSize: leafSize, Seed: seed}), nil
+	}
+	return nil, fmt.Errorf("unknown index %q (want bc, ball, kd, scan, quant, sharded, or dynamic)", kind)
+}
+
+func loadQueries(path string, useStdin bool, stdin io.Reader, data *p2h.Matrix, nq int, seed int64) (*p2h.Matrix, error) {
+	switch {
+	case path != "":
+		return p2h.LoadFvecs(path)
+	case useStdin:
+		return readTextQueries(stdin)
+	default:
+		return p2h.GenerateQueries(data, nq, seed), nil
+	}
+}
+
+// readTextQueries parses one query per line: d+1 space-separated floats,
+// normal first, offset last. Blank lines and #-comments are skipped.
+func readTextQueries(r io.Reader) (*p2h.Matrix, error) {
+	var rows [][]float32
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		row := make([]float32, len(fields))
+		for i, f := range fields {
+			v, err := strconv.ParseFloat(f, 32)
+			if err != nil {
+				return nil, fmt.Errorf("stdin line %d: %v", line, err)
+			}
+			row[i] = float32(v)
+		}
+		if len(rows) > 0 && len(row) != len(rows[0]) {
+			return nil, fmt.Errorf("stdin line %d: %d values, want %d", line, len(row), len(rows[0]))
+		}
+		rows = append(rows, row)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("stdin: no queries")
+	}
+	return p2h.FromRows(rows), nil
+}
+
+// replay fans the query stream out over clients goroutines, each running the
+// full stream repeat times, and returns every per-query latency plus the
+// wall-clock time of the whole replay.
+func replay(search func([]float32, p2h.SearchOptions) ([]p2h.Result, p2h.Stats), queries *p2h.Matrix, opts p2h.SearchOptions, clients, repeat int) ([]time.Duration, time.Duration) {
+	perClient := make([][]time.Duration, clients)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			lat := make([]time.Duration, 0, repeat*queries.N)
+			for rep := 0; rep < repeat; rep++ {
+				for i := 0; i < queries.N; i++ {
+					q := queries.Row((i + c) % queries.N) // stagger clients
+					t0 := time.Now()
+					search(q, opts)
+					lat = append(lat, time.Since(t0))
+				}
+			}
+			perClient[c] = lat
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	var all []time.Duration
+	for _, lat := range perClient {
+		all = append(all, lat...)
+	}
+	return all, wall
+}
+
+func qps(queries int, wall time.Duration) float64 {
+	if wall <= 0 {
+		return 0
+	}
+	return float64(queries) / wall.Seconds()
+}
+
+func report(w io.Writer, label string, lat []time.Duration, wall time.Duration) {
+	sorted := append([]time.Duration(nil), lat...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sum time.Duration
+	for _, d := range sorted {
+		sum += d
+	}
+	pct := func(p float64) time.Duration {
+		if len(sorted) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(sorted)-1))
+		return sorted[i]
+	}
+	fmt.Fprintf(w, "%s: %d queries in %v -> %.0f qps\n", label, len(lat), wall.Round(time.Millisecond), qps(len(lat), wall))
+	fmt.Fprintf(w, "%s: latency mean %v p50 %v p95 %v p99 %v max %v\n",
+		label,
+		(sum / time.Duration(max(1, len(sorted)))).Round(time.Microsecond),
+		pct(0.50).Round(time.Microsecond),
+		pct(0.95).Round(time.Microsecond),
+		pct(0.99).Round(time.Microsecond),
+		pct(1.0).Round(time.Microsecond))
+}

@@ -1,0 +1,130 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	p2h "p2h"
+)
+
+func runCmd(t *testing.T, stdin string, args ...string) (string, string, int) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, strings.NewReader(stdin), &stdout, &stderr)
+	return stdout.String(), stderr.String(), code
+}
+
+func TestServeGeneratedWorkload(t *testing.T) {
+	out, errOut, code := runCmd(t, "",
+		"-set", "Sift", "-n", "400", "-nq", "20",
+		"-clients", "3", "-repeat", "2", "-k", "5", "-compare")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	for _, want := range []string{
+		"data: ", "index: bc built",
+		"server: 120 queries", "qps", "latency mean",
+		"cache hit rate", "sequential: 120 queries", "speedup:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestServeCacheZeroDisablesCache(t *testing.T) {
+	out, errOut, code := runCmd(t, "",
+		"-set", "Sift", "-n", "300", "-nq", "10", "-clients", "2", "-repeat", "3", "-cache", "0")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	// Repeated queries with the cache off must never hit.
+	if !strings.Contains(out, "cache hit rate 0.0%") {
+		t.Fatalf("-cache 0 left the cache on:\n%s", out)
+	}
+}
+
+func TestServeEveryIndexKind(t *testing.T) {
+	for _, kind := range []string{"bc", "ball", "kd", "scan", "quant", "sharded", "dynamic"} {
+		out, errOut, code := runCmd(t, "",
+			"-set", "Sift", "-n", "200", "-nq", "5", "-clients", "2", "-index", kind)
+		if code != 0 {
+			t.Fatalf("%s: exit %d, stderr: %s", kind, code, errOut)
+		}
+		if !strings.Contains(out, "index: "+kind+" built") {
+			t.Fatalf("%s: output:\n%s", kind, out)
+		}
+	}
+}
+
+func TestServeStdinQueries(t *testing.T) {
+	data := p2h.GenerateDataset("Sift", 100, 1)
+	queries := p2h.GenerateQueries(data, 2, 2)
+	var sb strings.Builder
+	sb.WriteString("# two hyperplanes\n\n")
+	for i := 0; i < queries.N; i++ {
+		row := queries.Row(i)
+		parts := make([]string, len(row))
+		for j, v := range row {
+			parts[j] = strconv.FormatFloat(float64(v), 'g', -1, 32)
+		}
+		sb.WriteString(strings.Join(parts, " ") + "\n")
+	}
+	out, errOut, code := runCmd(t, sb.String(),
+		"-set", "Sift", "-n", "100", "-stdin", "-clients", "2")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	if !strings.Contains(out, "queries: 2 hyperplanes") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestServeQueryFile(t *testing.T) {
+	dir := t.TempDir()
+	data := p2h.GenerateDataset("Sift", 150, 1)
+	dataPath := filepath.Join(dir, "data.fvecs")
+	if err := p2h.SaveFvecs(dataPath, data); err != nil {
+		t.Fatal(err)
+	}
+	queryPath := filepath.Join(dir, "queries.fvecs")
+	if err := p2h.SaveFvecs(queryPath, p2h.GenerateQueries(data, 4, 2)); err != nil {
+		t.Fatal(err)
+	}
+	out, errOut, code := runCmd(t, "",
+		"-data", dataPath, "-queries", queryPath, "-clients", "2", "-index", "dynamic")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	if !strings.Contains(out, "queries: 4 hyperplanes") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestServeErrors(t *testing.T) {
+	for name, args := range map[string][]string{
+		"bad-index":   {"-set", "Sift", "-n", "100", "-index", "nope"},
+		"bad-data":    {"-data", "/definitely/not/here.fvecs"},
+		"bad-queries": {"-set", "Sift", "-n", "100", "-queries", "/nope.fvecs"},
+	} {
+		_, errOut, code := runCmd(t, "", args...)
+		if code == 0 {
+			t.Fatalf("%s: expected failure", name)
+		}
+		if errOut == "" {
+			t.Fatalf("%s: no diagnostic", name)
+		}
+	}
+	// Bad flag exits 2.
+	if _, _, code := runCmd(t, "", "-definitely-not-a-flag"); code != 2 {
+		t.Fatalf("bad flag exit %d", code)
+	}
+	// Malformed stdin query.
+	_, errOut, code := runCmd(t, "not a number\n", "-set", "Sift", "-n", "100", "-stdin")
+	if code == 0 || !strings.Contains(errOut, "stdin line 1") {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+}

@@ -31,6 +31,19 @@
 // candidate verifications and trade recall for speed (the paper's candidate
 // fraction).
 //
+// # Serving
+//
+// Every index is safe for concurrent readers, and SearchBatch fans a query
+// matrix over a goroutine pool. For serving live traffic, Server wraps any
+// Index (including Sharded and Dynamic) behind a micro-batching worker pool
+// with a normalized-query result cache and snapshot-consistent reads across
+// concurrent Insert/Delete:
+//
+//	srv := p2h.NewServer(index, p2h.ServerOptions{})
+//	defer srv.Close()
+//	results, _ := srv.Search(q, p2h.SearchOptions{K: 10})
+//
 // The cmd/p2hbench tool regenerates every table and figure of the paper's
-// evaluation section; see DESIGN.md and EXPERIMENTS.md.
+// evaluation section, and cmd/p2hserve benchmarks the serving layer on a
+// query stream; see README.md, DESIGN.md and EXPERIMENTS.md.
 package p2h

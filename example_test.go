@@ -1,0 +1,80 @@
+package p2h_test
+
+// Runnable godoc examples: `go test` executes each one and checks its
+// output, so every snippet documented here is guaranteed to compile and
+// behave as shown. Example_quickstart is the README quickstart.
+
+import (
+	"fmt"
+
+	p2h "p2h"
+)
+
+// A query is the hyperplane's normal with the offset appended; Hyperplane
+// just assembles the two (normalization happens inside the indexes).
+func ExampleHyperplane() {
+	q := p2h.Hyperplane([]float32{0.6, 0.8}, -2)
+	fmt.Println(q)
+	// Output: [0.6 0.8 -2]
+}
+
+// Distance computes the paper's Equation 1 directly; unlike index queries
+// it accepts non-unit normals.
+func ExampleDistance() {
+	p := []float32{1, 1}
+	q := p2h.Hyperplane([]float32{3, 4}, -2) // |3*1 + 4*1 - 2| / ||(3,4)|| = 5/5
+	fmt.Println(p2h.Distance(p, q))
+	// Output: 1
+}
+
+// SearchBatch answers many hyperplane queries concurrently on any index,
+// returning results in query order.
+func ExampleSearchBatch() {
+	data := p2h.FromRows([][]float32{{0}, {1}, {2}, {3}})
+	index := p2h.NewBCTree(data, p2h.BCTreeOptions{})
+	queries := p2h.FromRows([][]float32{
+		{1, -0.4}, // hyperplane x = 0.4: nearest point is 0
+		{1, -2.9}, // hyperplane x = 2.9: nearest point is 3
+	})
+	batch := p2h.SearchBatch(index, queries, p2h.SearchOptions{K: 1}, 2)
+	fmt.Println(batch[0][0].ID, batch[1][0].ID)
+	// Output: 0 3
+}
+
+// Server wraps any index behind a thread-safe micro-batching worker pool
+// with a result cache; Search blocks until the answer is served.
+func ExampleServer() {
+	data := p2h.FromRows([][]float32{{0, 0}, {1, 0}, {2, 0}, {3, 0}})
+	srv := p2h.NewServer(p2h.NewBCTree(data, p2h.BCTreeOptions{}), p2h.ServerOptions{Workers: 2})
+	defer srv.Close()
+
+	q := p2h.Hyperplane([]float32{1, 0}, -2.2) // hyperplane x = 2.2
+	results, _ := srv.Search(q, p2h.SearchOptions{K: 2})
+	for _, r := range results {
+		fmt.Printf("point %d at distance %.1f\n", r.ID, r.Dist)
+	}
+	// Output:
+	// point 2 at distance 0.2
+	// point 3 at distance 0.8
+}
+
+// The README quickstart: build a BC-Tree over a synthetic data set, answer
+// one exact top-k hyperplane query, and cross-check it against the
+// exhaustive scan.
+func Example_quickstart() {
+	data := p2h.Dedup(p2h.GenerateDataset("Sift", 2000, 1))
+	index := p2h.NewBCTree(data, p2h.BCTreeOptions{})
+
+	queries := p2h.GenerateQueries(data, 1, 2)
+	q := queries.Row(0)
+	results, stats := index.Search(q, p2h.SearchOptions{K: 10})
+
+	exact, _ := p2h.NewLinearScan(data).Search(q, p2h.SearchOptions{K: 10})
+	fmt.Println("top-k size:", len(results))
+	fmt.Println("matches exhaustive scan:", results[0] == exact[0])
+	fmt.Println("pruned some work:", stats.Candidates < int64(data.N))
+	// Output:
+	// top-k size: 10
+	// matches exhaustive scan: true
+	// pruned some work: true
+}

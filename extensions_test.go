@@ -53,6 +53,34 @@ func TestSearchBatchMatchesSequential(t *testing.T) {
 	}
 }
 
+func TestSearchBatchDefaultsWorkers(t *testing.T) {
+	data, queries, _ := testSetup(t)
+	ix := NewBCTree(data, BCTreeOptions{Seed: 3})
+	want := SearchBatch(ix, queries, SearchOptions{K: 5}, 1)
+	for _, workers := range []int{0, -4} { // non-positive selects GOMAXPROCS
+		got := SearchBatch(ix, queries, SearchOptions{K: 5}, workers)
+		if len(got) != queries.N {
+			t.Fatalf("workers=%d: %d result sets", workers, len(got))
+		}
+		for i := range want {
+			for j := range want[i] {
+				if got[i][j] != want[i][j] {
+					t.Fatalf("workers=%d query %d rank %d: %v != %v", workers, i, j, got[i][j], want[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestSearchBatchEmptyQueryMatrix(t *testing.T) {
+	data, _, _ := testSetup(t)
+	ix := NewBCTree(data, BCTreeOptions{Seed: 3})
+	out := SearchBatch(ix, NewMatrix(0, data.D+1), SearchOptions{K: 5}, 4)
+	if out == nil || len(out) != 0 {
+		t.Fatalf("empty batch: %v", out)
+	}
+}
+
 func TestSearchBatchValidatesDimensions(t *testing.T) {
 	data, _, _ := testSetup(t)
 	ix := NewBCTree(data, BCTreeOptions{})
@@ -78,6 +106,16 @@ func TestTuneBudgetReachesTarget(t *testing.T) {
 	}
 	if recall/float64(queries.N) < 0.9 {
 		t.Fatalf("tuned budget %d gives recall %v < 0.9", budget, recall/float64(queries.N))
+	}
+}
+
+func TestTuneBudgetUnreachableTargetReturnsN(t *testing.T) {
+	data, queries, gt := testSetup(t)
+	ix := NewBCTree(data, BCTreeOptions{Seed: 4})
+	// Recall can never exceed 1, so an impossible target must fall through
+	// the whole fraction ladder and return the full data size.
+	if budget := TuneBudget(ix, queries, gt, 5, 1.5); budget != data.N {
+		t.Fatalf("unreachable target: budget %d, want n=%d", budget, data.N)
 	}
 }
 

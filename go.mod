@@ -1,0 +1,3 @@
+module p2h
+
+go 1.24

@@ -1,0 +1,125 @@
+package server
+
+import (
+	"testing"
+
+	"p2h/internal/core"
+)
+
+func key(v float32) ([]float32, optsKey, uint64) {
+	q := []float32{v, 0, 0.5}
+	ok := makeOptsKey(core.SearchOptions{K: 3})
+	return q, ok, hashKey(q, ok)
+}
+
+func TestLRUGetPutRoundTrip(t *testing.T) {
+	c := newLRU(4)
+	q, ok, h := key(1)
+	res := []core.Result{{ID: 7, Dist: 0.25}}
+	st := core.Stats{Candidates: 9}
+	c.put(h, q, ok, 0, res, st)
+	got, gotSt, hit := c.get(h, q, ok, 0)
+	if !hit || len(got) != 1 || got[0] != res[0] || gotSt != st {
+		t.Fatalf("round trip: hit=%v res=%v stats=%+v", hit, got, gotSt)
+	}
+	// The copy returned must be private: corrupting it leaves the cache intact.
+	got[0].ID = 99
+	again, _, _ := c.get(h, q, ok, 0)
+	if again[0].ID != 7 {
+		t.Fatalf("cache entry aliased by caller: %v", again)
+	}
+}
+
+func TestLRUEpochInvalidation(t *testing.T) {
+	c := newLRU(4)
+	q, ok, h := key(2)
+	c.put(h, q, ok, 5, []core.Result{{ID: 1}}, core.Stats{})
+	if _, _, hit := c.get(h, q, ok, 6); hit {
+		t.Fatal("stale epoch served")
+	}
+	if c.len() != 0 {
+		t.Fatalf("stale entry kept: len %d", c.len())
+	}
+}
+
+func TestLRUOptionsDistinguished(t *testing.T) {
+	c := newLRU(4)
+	q := []float32{1, 0, 0.5}
+	k3 := makeOptsKey(core.SearchOptions{K: 3})
+	k5 := makeOptsKey(core.SearchOptions{K: 5})
+	c.put(hashKey(q, k3), q, k3, 0, []core.Result{{ID: 1}}, core.Stats{})
+	if _, _, hit := c.get(hashKey(q, k5), q, k5, 0); hit {
+		t.Fatal("different K served the same entry")
+	}
+}
+
+func TestLRUEvictsLeastRecent(t *testing.T) {
+	c := newLRU(2)
+	qa, oa, ha := key(10)
+	qb, ob, hb := key(11)
+	qc, oc, hc := key(12)
+	c.put(ha, qa, oa, 0, []core.Result{{ID: 1}}, core.Stats{})
+	c.put(hb, qb, ob, 0, []core.Result{{ID: 2}}, core.Stats{})
+	c.get(ha, qa, oa, 0) // touch a, making b the eviction victim
+	c.put(hc, qc, oc, 0, []core.Result{{ID: 3}}, core.Stats{})
+	if _, _, hit := c.get(ha, qa, oa, 0); !hit {
+		t.Fatal("recently used entry evicted")
+	}
+	if _, _, hit := c.get(hb, qb, ob, 0); hit {
+		t.Fatal("least recent entry kept")
+	}
+	if c.len() != 2 {
+		t.Fatalf("len %d", c.len())
+	}
+}
+
+func TestLRUReplaceSameHash(t *testing.T) {
+	c := newLRU(2)
+	q, ok, h := key(3)
+	c.put(h, q, ok, 0, []core.Result{{ID: 1}}, core.Stats{})
+	c.put(h, q, ok, 0, []core.Result{{ID: 2}}, core.Stats{})
+	res, _, hit := c.get(h, q, ok, 0)
+	if !hit || res[0].ID != 2 || c.len() != 1 {
+		t.Fatalf("replace: hit=%v res=%v len=%d", hit, res, c.len())
+	}
+}
+
+func TestLRUPutKeepsNewerEpoch(t *testing.T) {
+	c := newLRU(4)
+	q, ok, h := key(4)
+	c.put(h, q, ok, 2, []core.Result{{ID: 2}}, core.Stats{})
+	c.put(h, q, ok, 1, []core.Result{{ID: 1}}, core.Stats{}) // slow straggler
+	res, _, hit := c.get(h, q, ok, 2)
+	if !hit || res[0].ID != 2 {
+		t.Fatalf("stale put clobbered fresh entry: hit=%v res=%v", hit, res)
+	}
+}
+
+func TestOptsKeyCanonicalizesUnlimitedBudget(t *testing.T) {
+	zero := makeOptsKey(core.SearchOptions{K: 3})
+	neg := makeOptsKey(core.SearchOptions{K: 3, Budget: -7})
+	if zero != neg {
+		t.Fatalf("Budget 0 and -7 both mean unlimited but key differently: %+v vs %+v", zero, neg)
+	}
+	if lim := makeOptsKey(core.SearchOptions{K: 3, Budget: 10}); lim == zero {
+		t.Fatal("limited budget keyed as unlimited")
+	}
+}
+
+func TestHashKeySensitivity(t *testing.T) {
+	q, ok, h := key(1)
+	q2 := []float32{1, 0, 0.5000001}
+	if hashKey(q2, ok) == h {
+		t.Fatal("query perturbation not reflected in hash")
+	}
+	ok2 := ok
+	ok2.budget = 100
+	if hashKey(q, ok2) == h {
+		t.Fatal("budget not reflected in hash")
+	}
+	ok3 := ok
+	ok3.noCone = true
+	if hashKey(q, ok3) == h {
+		t.Fatal("ablation flag not reflected in hash")
+	}
+}

@@ -1,0 +1,411 @@
+// Package server turns a single-query P2HNNS index into a concurrent
+// query-serving engine: callers from any number of goroutines submit queries
+// that are grouped into micro-batches, dispatched over a bounded worker
+// pool, answered through a bounded result cache, and — when the underlying
+// index is mutable — kept snapshot-consistent against concurrent inserts and
+// deletes.
+//
+// The engine adds three mechanisms on top of a plain Searcher:
+//
+//   - Micro-batching. A single dispatcher goroutine drains the request
+//     channel into rounds, splits each round into per-worker chunks of at
+//     most MaxBatch queries, and hands whole chunks to workers. Under load
+//     this amortizes channel handoffs and scheduler wakeups over the chunk,
+//     keeps duplicate queries flowing through the shared cache, and lets
+//     each worker reuse one normalization scratch buffer across every query
+//     it ever serves instead of allocating per query. The dispatcher only
+//     holds a round open (for at most MaxDelay) while every worker is
+//     already busy; a query that an idle worker could serve is dispatched
+//     immediately with no added latency.
+//
+//   - Result caching. A query is canonicalized to its unit-normal form, so
+//     scaled duplicates of the same hyperplane share one cache slot. The
+//     cache key is the canonical query plus the semantically relevant
+//     SearchOptions fields; entries live in a bounded LRU and are stamped
+//     with the mutation epoch at which they were computed, so any insert or
+//     delete invalidates every older entry without an eager sweep. Queries
+//     with a Filter or Profile attached bypass the cache (a filter is an
+//     arbitrary function; a profile wants fresh timings).
+//
+//   - Snapshot-consistent mutation. When the index exposes Insert/Delete,
+//     searches run under a read lock and mutations under the write lock of
+//     one RWMutex, and every mutation bumps an epoch counter. A search
+//     therefore always observes a fully applied state — never a
+//     half-rebuilt tree — and cached results can never leak across a
+//     mutation. Immutable indexes skip the lock entirely: every index in
+//     this repository is safe for concurrent readers.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"p2h/internal/core"
+	"p2h/internal/vec"
+)
+
+// Searcher is the minimal read surface the engine serves. p2h.Index
+// satisfies it.
+type Searcher interface {
+	// Search answers one top-k hyperplane query; q has length Dim()+1 and
+	// the engine guarantees a unit normal.
+	Search(q []float32, opts core.SearchOptions) ([]core.Result, core.Stats)
+	// Dim is the raw point dimensionality; queries carry one extra offset
+	// coordinate.
+	Dim() int
+}
+
+// Mutator is the optional write surface of a mutable index (p2h.Dynamic).
+type Mutator interface {
+	Insert(p []float32) int32
+	Delete(handle int32) bool
+}
+
+// ErrImmutable is returned by Insert/Delete when the wrapped index has no
+// mutation surface.
+var ErrImmutable = errors.New("server: underlying index does not support mutation")
+
+// Config parameterizes an Engine; zero values select the documented
+// defaults.
+type Config struct {
+	// Workers bounds the goroutines executing searches (zero: GOMAXPROCS).
+	Workers int
+	// MaxBatch is the largest micro-batch handed to one worker (zero: 16).
+	MaxBatch int
+	// MaxDelay is how long the dispatcher holds an under-filled round open
+	// waiting for more queries (zero: 100µs). The window only engages
+	// while every worker is busy — waiting then costs nothing and buys
+	// fuller batches; a query that an idle worker could serve is always
+	// dispatched immediately.
+	MaxDelay time.Duration
+	// CacheEntries bounds the result cache (zero: 1024; negative: cache
+	// disabled).
+	CacheEntries int
+}
+
+func (c Config) normalized() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 16
+	}
+	if c.MaxDelay <= 0 {
+		c.MaxDelay = 100 * time.Microsecond
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 1024
+	}
+	return c
+}
+
+// Stats is a point-in-time snapshot of the engine's counters.
+type Stats struct {
+	Queries     int64  // searches served
+	Batches     int64  // micro-batches dispatched
+	CacheHits   int64  // searches answered from the cache
+	CacheMisses int64  // cacheable searches that ran the index
+	Inserts     int64  // successful Insert calls
+	Deletes     int64  // Delete calls that removed a live handle
+	Epoch       uint64 // mutation epoch (0 until the first mutation)
+}
+
+// request is one in-flight search; done is closed once res/stats (or
+// panicVal) are set.
+type request struct {
+	q        []float32 // caller's query, read-only
+	norm     float64   // ||normal||, computed once at submission
+	opts     core.SearchOptions
+	res      []core.Result
+	stats    core.Stats
+	panicVal any // panic raised while serving, re-raised in the caller
+	done     chan struct{}
+}
+
+// Engine is the concurrent serving layer. All methods are safe for
+// concurrent use; Close must only be called once no Search/Insert/Delete is
+// in flight or forthcoming.
+type Engine struct {
+	ix  Searcher
+	mut Mutator // nil for immutable indexes
+	cfg Config
+	dim int // query length, ix.Dim()+1
+
+	mu    sync.RWMutex  // searches read-lock, mutations write-lock (mut != nil only)
+	epoch atomic.Uint64 // bumped by every applied mutation
+	cache *lru          // nil when disabled
+
+	reqs     chan *request
+	batches  chan []*request
+	inflight atomic.Int64 // chunks dispatched but not yet completed
+	closed   atomic.Bool
+	wg       sync.WaitGroup // dispatcher + workers
+
+	queries, batchCount, hits, misses, inserts, deletes atomic.Int64
+}
+
+// New builds and starts an engine over ix. Pass the index's mutation surface
+// as mut (or nil for read-only serving); when non-nil, the engine serializes
+// Insert/Delete against searches and invalidates the cache on every applied
+// mutation.
+func New(ix Searcher, mut Mutator, cfg Config) *Engine {
+	cfg = cfg.normalized()
+	e := &Engine{
+		ix:      ix,
+		mut:     mut,
+		cfg:     cfg,
+		dim:     ix.Dim() + 1,
+		reqs:    make(chan *request, cfg.Workers*cfg.MaxBatch),
+		batches: make(chan []*request, cfg.Workers),
+	}
+	if cfg.CacheEntries > 0 {
+		e.cache = newLRU(cfg.CacheEntries)
+	}
+	e.wg.Add(1 + cfg.Workers)
+	go e.dispatcher()
+	for i := 0; i < cfg.Workers; i++ {
+		go e.worker()
+	}
+	return e
+}
+
+// Search answers one top-k hyperplane query; it blocks until a worker has
+// served it. Like Index.Search it panics on a malformed query, but in the
+// calling goroutine, before the query is enqueued.
+func (e *Engine) Search(q []float32, opts core.SearchOptions) ([]core.Result, core.Stats) {
+	if e.closed.Load() {
+		panic("server: Search on closed engine")
+	}
+	if len(q) != e.dim {
+		panic(fmt.Sprintf("server: query has dimension %d, want %d (normal) + 1 (offset)", len(q), e.dim))
+	}
+	norm := vec.Norm(q[:e.dim-1])
+	if norm == 0 {
+		panic("server: hyperplane normal must be non-zero")
+	}
+	r := &request{q: q, norm: norm, opts: opts.Normalized(), done: make(chan struct{})}
+	e.reqs <- r
+	<-r.done
+	if r.panicVal != nil {
+		// A panic raised while serving (e.g. by a user Filter) belongs to
+		// the caller that submitted the query, not to the worker pool.
+		panic(r.panicVal)
+	}
+	return r.res, r.stats
+}
+
+// Insert adds a point through the mutation surface, serialized against
+// searches. It returns the stable handle assigned by the index.
+func (e *Engine) Insert(p []float32) (int32, error) {
+	if e.mut == nil {
+		return 0, ErrImmutable
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock() // deferred so a panicking mutator cannot wedge the lock
+	h := e.mut.Insert(p)
+	e.epoch.Add(1)
+	e.inserts.Add(1)
+	return h, nil
+}
+
+// Delete removes a handle through the mutation surface, serialized against
+// searches. It reports whether the handle was live.
+func (e *Engine) Delete(handle int32) (bool, error) {
+	if e.mut == nil {
+		return false, ErrImmutable
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ok := e.mut.Delete(handle)
+	if ok {
+		e.epoch.Add(1)
+		e.deletes.Add(1)
+	}
+	return ok, nil
+}
+
+// Stats snapshots the engine's counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Queries:     e.queries.Load(),
+		Batches:     e.batchCount.Load(),
+		CacheHits:   e.hits.Load(),
+		CacheMisses: e.misses.Load(),
+		Inserts:     e.inserts.Load(),
+		Deletes:     e.deletes.Load(),
+		Epoch:       e.epoch.Load(),
+	}
+}
+
+// Close drains every already-submitted query and stops the batcher and
+// workers. It is idempotent; submitting after Close panics.
+func (e *Engine) Close() {
+	if e.closed.Swap(true) {
+		return
+	}
+	close(e.reqs)
+	e.wg.Wait()
+}
+
+// dispatcher assembles incoming requests into rounds and splits every round
+// into per-worker chunks. Dispatch is work-conserving: whenever a worker is
+// idle, the drained round goes out immediately; only while every worker is
+// busy does the dispatcher hold an under-filled round open, for at most
+// MaxDelay, to coalesce stragglers into fuller batches.
+func (e *Engine) dispatcher() {
+	defer e.wg.Done()
+	defer close(e.batches)
+	maxRound := e.cfg.Workers * e.cfg.MaxBatch
+	round := make([]*request, 0, maxRound)
+	for {
+		r, ok := <-e.reqs
+		if !ok {
+			return
+		}
+		round = append(round[:0], r)
+		// Opportunistically drain everything already queued.
+		open := true
+	drain:
+		for len(round) < maxRound {
+			select {
+			case r, more := <-e.reqs:
+				if !more {
+					open = false
+					break drain
+				}
+				round = append(round, r)
+			default:
+				break drain
+			}
+		}
+		// Dispatch is work-conserving: while any worker could start this
+		// round right now, it goes out immediately. Only when every worker
+		// is already busy — so waiting costs nothing — is the round held
+		// open briefly to coalesce late arrivals into fuller batches.
+		if open && len(round) < maxRound &&
+			e.inflight.Load() >= int64(e.cfg.Workers) {
+			timer := time.NewTimer(e.cfg.MaxDelay)
+		fill:
+			for len(round) < maxRound {
+				select {
+				case r, more := <-e.reqs:
+					if !more {
+						open = false
+						break fill
+					}
+					round = append(round, r)
+				case <-timer.C:
+					break fill
+				}
+			}
+			timer.Stop()
+		}
+		e.dispatch(round)
+		if !open {
+			return
+		}
+	}
+}
+
+// dispatch splits a round into chunks sized to occupy every worker (capped
+// at MaxBatch) and hands them to the pool. Chunks own their backing arrays;
+// the round slice is reused by the dispatcher.
+func (e *Engine) dispatch(round []*request) {
+	n := len(round)
+	chunk := (n + e.cfg.Workers - 1) / e.cfg.Workers
+	if chunk > e.cfg.MaxBatch {
+		chunk = e.cfg.MaxBatch
+	}
+	for i := 0; i < n; i += chunk {
+		j := i + chunk
+		if j > n {
+			j = n
+		}
+		b := make([]*request, j-i)
+		copy(b, round[i:j])
+		e.batchCount.Add(1)
+		e.inflight.Add(1)
+		e.batches <- b
+	}
+}
+
+// worker serves whole chunks, reusing one normalization scratch buffer for
+// every query of its lifetime.
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	scratch := make([]float32, e.dim)
+	for batch := range e.batches {
+		for _, r := range batch {
+			e.serve(r, scratch)
+		}
+		e.inflight.Add(-1)
+	}
+}
+
+// serve answers one request: canonicalize, consult the cache, search under
+// the read lock, publish. Duplicate queries inside one batch hit the cache
+// entry their first occurrence installed.
+func (e *Engine) serve(r *request, scratch []float32) {
+	defer close(r.done)
+	defer func() {
+		// A panicking Search (a user Filter, a buggy index) must neither
+		// kill the worker pool nor strand the rest of the chunk; the panic
+		// value travels back to the submitting caller instead.
+		if p := recover(); p != nil {
+			r.panicVal = p
+		}
+	}()
+	e.queries.Add(1)
+
+	q := canonicalize(scratch, r.q, r.norm)
+	cacheable := e.cache != nil && r.opts.Filter == nil && r.opts.Profile == nil
+	var h uint64
+	var ok optsKey
+	if cacheable {
+		ok = makeOptsKey(r.opts)
+		h = hashKey(q, ok)
+		if res, st, hit := e.cache.get(h, q, ok, e.epoch.Load()); hit {
+			e.hits.Add(1)
+			r.res, r.stats = res, st
+			return
+		}
+		e.misses.Add(1)
+	}
+
+	var epoch uint64
+	res, st := func() ([]core.Result, core.Stats) {
+		if e.mut != nil {
+			e.mu.RLock()
+			defer e.mu.RUnlock()
+		}
+		// Under the read lock (or with no mutator at all) the epoch cannot
+		// move while the search runs, so stamping entries with it is
+		// race-free.
+		epoch = e.epoch.Load()
+		return e.ix.Search(q, r.opts)
+	}()
+
+	if cacheable {
+		e.cache.put(h, q, ok, epoch, res, st)
+	}
+	r.res, r.stats = res, st
+}
+
+// canonicalize copies q into dst rescaled to a unit normal (n is ||normal||,
+// already computed at submission), so that scaled duplicates of one
+// hyperplane map to identical bytes and share one cache slot. The tolerance
+// band matches p2h.checkQuery, which stays responsible for validation at the
+// index boundary; this copy exists purely for cache-key identity.
+func canonicalize(dst, q []float32, n float64) []float32 {
+	dst = dst[:len(q)]
+	copy(dst, q)
+	if n > 1-1e-6 && n < 1+1e-6 {
+		return dst
+	}
+	vec.Scale(dst, 1/n)
+	return dst
+}

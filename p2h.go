@@ -73,7 +73,12 @@ func checkQuery(q []float32, d int) []float32 {
 	if n == 0 {
 		panic("p2h: hyperplane normal must be non-zero")
 	}
-	if n > 1-1e-9 && n < 1+1e-9 {
+	// A normal within one part in 10^6 of unit length passes as-is: the
+	// induced distance error sits below the float32 resolution of the
+	// accumulated inner products, and the band admits queries that were
+	// normalized in float32 upstream (e.g. the serving layer's canonical
+	// forms), sparing them a pointless copy-and-rescale.
+	if n > 1-1e-6 && n < 1+1e-6 {
 		return q
 	}
 	out := make([]float32, len(q))

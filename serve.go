@@ -1,0 +1,95 @@
+package p2h
+
+import (
+	"time"
+
+	"p2h/internal/server"
+)
+
+// ServerOptions configures NewServer; zero values select the documented
+// defaults.
+type ServerOptions struct {
+	// Workers bounds the goroutines executing searches (zero: GOMAXPROCS).
+	Workers int
+	// MaxBatch is the largest micro-batch dispatched to one worker
+	// (zero: 16). 1 disables batching.
+	MaxBatch int
+	// MaxDelay is how long the dispatcher holds an under-filled batch
+	// window open waiting for more queries (zero: 100µs). The window only
+	// engages while every worker is busy; a query that an idle worker
+	// could serve is dispatched immediately.
+	MaxDelay time.Duration
+	// CacheEntries bounds the result cache (zero: 1024; negative: cache
+	// disabled).
+	CacheEntries int
+}
+
+// ServerStats is a point-in-time snapshot of a Server's counters.
+type ServerStats = server.Stats
+
+// ErrImmutable is returned by Server.Insert and Server.Delete when the
+// wrapped index has no mutation surface (only Dynamic has one).
+var ErrImmutable = server.ErrImmutable
+
+// Server is a concurrent query-serving layer over any Index: callers from
+// any number of goroutines submit queries that are micro-batched over a
+// bounded worker pool, answered through a bounded LRU cache of normalized
+// queries, and — when the index is a Dynamic — kept snapshot-consistent
+// against concurrent Insert and Delete calls, which invalidate the cache
+// through a mutation epoch.
+//
+// All methods are safe for concurrent use. Close drains in-flight queries
+// and stops the workers; searching after Close panics.
+type Server struct {
+	engine *server.Engine
+}
+
+// mutator matches the Insert/Delete surface of Dynamic (and of any
+// user-provided Index exposing the same mutation methods).
+type mutator interface {
+	Insert(p []float32) int32
+	Delete(handle int32) bool
+}
+
+// NewServer starts a serving layer over ix. If ix exposes the Dynamic
+// mutation surface, Server.Insert and Server.Delete route through it with
+// snapshot consistency; otherwise they return ErrImmutable.
+func NewServer(ix Index, opts ServerOptions) *Server {
+	var mut server.Mutator
+	if m, ok := ix.(mutator); ok {
+		mut = m
+	}
+	return &Server{engine: server.New(ix, mut, server.Config{
+		Workers:      opts.Workers,
+		MaxBatch:     opts.MaxBatch,
+		MaxDelay:     opts.MaxDelay,
+		CacheEntries: opts.CacheEntries,
+	})}
+}
+
+// Search answers one top-k hyperplane query, blocking until a worker has
+// served it. Semantics match Index.Search exactly (including panics on
+// malformed queries, raised in the calling goroutine); cached answers are
+// bit-identical to what the index would return.
+func (s *Server) Search(q []float32, opts SearchOptions) ([]Result, Stats) {
+	return s.engine.Search(q, opts)
+}
+
+// Insert adds a point through the underlying Dynamic index, serialized
+// against in-flight searches, and returns its stable handle.
+func (s *Server) Insert(p []float32) (int32, error) {
+	return s.engine.Insert(p)
+}
+
+// Delete removes a handle through the underlying Dynamic index, serialized
+// against in-flight searches. It reports whether the handle was live.
+func (s *Server) Delete(handle int32) (bool, error) {
+	return s.engine.Delete(handle)
+}
+
+// Stats snapshots the server's counters.
+func (s *Server) Stats() ServerStats { return s.engine.Stats() }
+
+// Close drains every already-submitted query and stops the server. It is
+// idempotent; it must not race new Search/Insert/Delete calls.
+func (s *Server) Close() { s.engine.Close() }

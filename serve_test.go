@@ -1,0 +1,173 @@
+package p2h
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestServerMatchesDirectSearchAllIndexes(t *testing.T) {
+	data, queries, _ := testSetup(t)
+	for name, ix := range allIndexes(data) {
+		srv := NewServer(ix, ServerOptions{Workers: 3, MaxBatch: 4, MaxDelay: 20 * time.Microsecond})
+		for pass := 0; pass < 2; pass++ { // pass 2 is served from the cache
+			for i := 0; i < queries.N; i++ {
+				got, _ := srv.Search(queries.Row(i), SearchOptions{K: 5})
+				want, _ := ix.Search(queries.Row(i), SearchOptions{K: 5})
+				if len(got) != len(want) {
+					t.Fatalf("%s pass %d query %d: %d results, want %d", name, pass, i, len(got), len(want))
+				}
+				for j := range want {
+					if got[j] != want[j] {
+						t.Fatalf("%s pass %d query %d rank %d: %v != %v", name, pass, i, j, got[j], want[j])
+					}
+				}
+			}
+		}
+		st := srv.Stats()
+		if st.Queries != int64(2*queries.N) || st.CacheHits < int64(queries.N) {
+			t.Fatalf("%s stats %+v", name, st)
+		}
+		srv.Close()
+	}
+}
+
+func TestServerImmutableIndexRejectsMutation(t *testing.T) {
+	data, _, _ := testSetup(t)
+	srv := NewServer(NewBCTree(data, BCTreeOptions{Seed: 1}), ServerOptions{Workers: 1})
+	defer srv.Close()
+	if _, err := srv.Insert(data.Row(0)); err != ErrImmutable {
+		t.Fatalf("Insert err %v", err)
+	}
+	if _, err := srv.Delete(0); err != ErrImmutable {
+		t.Fatalf("Delete err %v", err)
+	}
+}
+
+func TestServerDynamicMutationVisible(t *testing.T) {
+	data, queries, _ := testSetup(t)
+	srv := NewServer(NewDynamic(data, DynamicOptions{Seed: 1}), ServerOptions{Workers: 2})
+	defer srv.Close()
+	q := queries.Row(0)
+	before, _ := srv.Search(q, SearchOptions{K: 2})
+	// Deleting the best answer promotes the runner-up, through the cache.
+	if ok, err := srv.Delete(before[0].ID); err != nil || !ok {
+		t.Fatalf("delete: %v %v", ok, err)
+	}
+	after, _ := srv.Search(q, SearchOptions{K: 1})
+	if after[0].ID != before[1].ID {
+		t.Fatalf("after delete want %v, got %v", before[1], after[0])
+	}
+	// Re-inserting the deleted vector restores the old distance (new handle).
+	h, err := srv.Insert(data.Row(int(before[0].ID)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, _ := srv.Search(q, SearchOptions{K: 1})
+	if again[0].ID != h {
+		t.Fatalf("reinserted point (handle %d) should win again, got %v", h, again[0])
+	}
+	st := srv.Stats()
+	if st.Inserts != 1 || st.Deletes != 1 || st.Epoch != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestServerConcurrentSearchAndMutate interleaves concurrent Search callers
+// with Dynamic Insert/Delete through one Server; run with -race it is the
+// data-race acceptance test for the serving layer.
+func TestServerConcurrentSearchAndMutate(t *testing.T) {
+	data, queries, _ := testSetup(t)
+	srv := NewServer(NewDynamic(data, DynamicOptions{Seed: 1}), ServerOptions{
+		Workers:      4,
+		MaxBatch:     4,
+		MaxDelay:     20 * time.Microsecond,
+		CacheEntries: 64,
+	})
+	defer srv.Close()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				h, err := srv.Insert(data.Row((g*37 + i) % data.N))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if i%2 == 0 {
+					if _, err := srv.Delete(h); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				res, _ := srv.Search(queries.Row((g+i)%queries.N), SearchOptions{K: 5})
+				if len(res) != 5 {
+					t.Errorf("got %d results mid-mutation", len(res))
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// Every original point is still live, so exact results must match a
+	// fresh scan over the surviving set.
+	res, _ := srv.Search(queries.Row(0), SearchOptions{K: 5})
+	for i := 1; i < len(res); i++ {
+		if res[i].Dist < res[i-1].Dist {
+			t.Fatalf("results out of order: %v", res)
+		}
+	}
+	if st := srv.Stats(); st.Queries < 200 || st.Epoch == 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestServerUncacheableOptions(t *testing.T) {
+	data, queries, _ := testSetup(t)
+	srv := NewServer(NewBCTree(data, BCTreeOptions{Seed: 1}), ServerOptions{Workers: 2})
+	defer srv.Close()
+	q := queries.Row(0)
+	// A Filter bypasses the cache and is still honored.
+	opts := SearchOptions{K: 3, Filter: func(id int32) bool { return id%2 == 0 }}
+	for i := 0; i < 2; i++ {
+		res, _ := srv.Search(q, opts)
+		for _, r := range res {
+			if r.ID%2 != 0 {
+				t.Fatalf("filter ignored: %v", r)
+			}
+		}
+	}
+	// A Profile bypasses the cache and still accumulates time.
+	var prof Profile
+	srv.Search(q, SearchOptions{K: 3, Profile: &prof})
+	if prof.Total() <= 0 {
+		t.Fatal("profile not populated")
+	}
+	if st := srv.Stats(); st.CacheHits != 0 {
+		t.Fatalf("uncacheable queries hit the cache: %+v", st)
+	}
+}
+
+func TestServerPanicsOnBadQuery(t *testing.T) {
+	data, _, _ := testSetup(t)
+	srv := NewServer(NewBCTree(data, BCTreeOptions{}), ServerOptions{Workers: 1})
+	defer srv.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	srv.Search(make([]float32, data.D), SearchOptions{K: 1}) // missing offset dim
+}
