@@ -226,10 +226,3 @@ func TuneBudget(ix Index, queries *Matrix, gt [][]Result, k int, target float64)
 	}
 	return n
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

@@ -10,7 +10,8 @@ import (
 // Build constructs a Ball-Tree over the lifted data matrix (rows x = (p; 1))
 // with Algorithm 1's recursive seed-grow construction. The input matrix is
 // not modified; the tree keeps a reordered copy so every leaf occupies a
-// contiguous range of rows.
+// contiguous range of rows. Nodes are appended to the flat arena in preorder,
+// so the root is index 0 and both children of a node sit at larger indices.
 func Build(data *vec.Matrix, cfg Config) *Tree {
 	if data == nil || data.N == 0 {
 		panic("balltree: empty data")
@@ -25,38 +26,47 @@ func Build(data *vec.Matrix, cfg Config) *Tree {
 		t.ids[i] = int32(i)
 	}
 	b := &builder{data: data, rng: rng, tree: t}
-	t.root = b.build(t.ids, 0)
+	b.build(t.ids, 0)
+	t.centers = &vec.Matrix{Data: b.centers, N: len(t.nodes), D: data.D}
 	// Materialize the reordered copy so leaves scan sequentially.
 	t.points = data.SubsetRows(t.ids)
 	return t
 }
 
 type builder struct {
-	data *vec.Matrix
-	rng  *rand.Rand
-	tree *Tree
+	data    *vec.Matrix
+	rng     *rand.Rand
+	tree    *Tree
+	centers []float32 // packed centers, row ni = center of arena node ni
 }
 
 // build recursively constructs the subtree over ids[0:], which occupies
 // positions [offset, offset+len(ids)) of the final reordered storage.
-// It partitions ids in place (Algorithm 1).
-func (b *builder) build(ids []int32, offset int32) *node {
-	n := &node{
-		center: b.data.Centroid(ids),
-		start:  offset,
-		end:    offset + int32(len(ids)),
-	}
-	_, maxDist := b.data.MaxDistFrom(ids, n.center)
-	n.radius = maxDist * (1 + radiusSlack)
-	b.tree.nodes++
+// It partitions ids in place (Algorithm 1) and returns the arena index of
+// the subtree root.
+func (b *builder) build(ids []int32, offset int32) int32 {
+	ni := int32(len(b.tree.nodes))
+	b.tree.nodes = append(b.tree.nodes, nodeRec{
+		start: offset,
+		end:   offset + int32(len(ids)),
+		left:  noChild,
+		right: noChild,
+	})
+	d := b.data.D
+	b.centers = append(b.centers, b.data.Centroid(ids)...)
+	_, maxDist := b.data.MaxDistFrom(ids, b.centers[int(ni)*d:(int(ni)+1)*d])
+	b.tree.nodes[ni].radius = maxDist * (1 + radiusSlack)
 
 	if len(ids) <= b.tree.leafSize {
 		b.tree.leaves++
-		return n
+		return ni
 	}
 
 	nl := partition.SeedGrow(b.data, ids, b.rng)
-	n.left = b.build(ids[:nl], offset)
-	n.right = b.build(ids[nl:], offset+int32(nl))
-	return n
+	left := b.build(ids[:nl], offset)
+	right := b.build(ids[nl:], offset+int32(nl))
+	// Re-index after the recursive appends: the arena may have been regrown.
+	b.tree.nodes[ni].left = left
+	b.tree.nodes[ni].right = right
+	return ni
 }

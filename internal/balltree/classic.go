@@ -29,7 +29,7 @@ func (t *Tree) SearchNN(q []float32, k int) ([]core.Result, core.Stats) {
 	var st core.Stats
 	tk := core.NewTopK(k)
 	s := &classicSearcher{tree: t, q: q, tk: tk, st: &st}
-	s.visitNN(t.root)
+	s.visitNN(0)
 	return tk.Results(), st
 }
 
@@ -43,7 +43,7 @@ func (t *Tree) SearchFN(q []float32, k int) ([]core.Result, core.Stats) {
 	var st core.Stats
 	tk := core.NewTopKMax(k)
 	s := &classicSearcher{tree: t, q: q, tkMax: tk, st: &st}
-	s.visitFN(t.root)
+	s.visitFN(0)
 	return tk.Results(), st
 }
 
@@ -58,7 +58,7 @@ func (t *Tree) SearchMIP(q []float32, k int) ([]core.Result, core.Stats) {
 	var st core.Stats
 	tk := core.NewTopKMax(k)
 	s := &classicSearcher{tree: t, q: q, qnorm: vec.Norm(q), tkMax: tk, st: &st}
-	s.visitMIP(t.root)
+	s.visitMIP(0)
 	return tk.Results(), st
 }
 
@@ -69,11 +69,26 @@ type classicSearcher struct {
 	tk    *core.TopK
 	tkMax *core.TopKMax
 	st    *core.Stats
+	buf   []float64
 }
 
-func (s *classicSearcher) visitNN(n *node) {
+func (s *classicSearcher) scratch(m int) []float64 {
+	if cap(s.buf) < m {
+		s.buf = make([]float64, m)
+	}
+	return s.buf[:m]
+}
+
+// leafRows returns the contiguous row block of a leaf.
+func (s *classicSearcher) leafRows(n *nodeRec) []float32 {
+	d := s.tree.points.D
+	return s.tree.points.Data[int(n.start)*d : int(n.end)*d]
+}
+
+func (s *classicSearcher) visitNN(ni int32) {
 	s.st.NodesVisited++
-	dc := vec.Dist(s.q, n.center)
+	n := &s.tree.nodes[ni]
+	dc := vec.Dist(s.q, s.tree.center(ni))
 	s.st.IPCount++
 	if dc-n.radius >= s.tk.Lambda() {
 		s.st.PrunedNodes++
@@ -81,17 +96,19 @@ func (s *classicSearcher) visitNN(n *node) {
 	}
 	if n.isLeaf() {
 		s.st.LeavesVisited++
-		for pos := n.start; pos < n.end; pos++ {
-			d := vec.Dist(s.q, s.tree.points.Row(int(pos)))
-			s.st.IPCount++
-			s.st.Candidates++
-			s.tk.Push(s.tree.ids[pos], d)
+		m := int(n.count())
+		dists := s.scratch(m)
+		vec.SqDistBlock(s.q, s.leafRows(n), dists)
+		s.st.IPCount += int64(m)
+		s.st.Candidates += int64(m)
+		for i := 0; i < m; i++ {
+			s.tk.Push(s.tree.ids[int(n.start)+i], math.Sqrt(dists[i]))
 		}
 		return
 	}
 	// Closer child first: it is likelier to shrink lambda early.
 	first, second := n.left, n.right
-	if vec.SqDist(s.q, n.right.center) < vec.SqDist(s.q, n.left.center) {
+	if vec.SqDist(s.q, s.tree.center(n.right)) < vec.SqDist(s.q, s.tree.center(n.left)) {
 		first, second = n.right, n.left
 	}
 	s.st.IPCount += 2
@@ -99,9 +116,10 @@ func (s *classicSearcher) visitNN(n *node) {
 	s.visitNN(second)
 }
 
-func (s *classicSearcher) visitFN(n *node) {
+func (s *classicSearcher) visitFN(ni int32) {
 	s.st.NodesVisited++
-	dc := vec.Dist(s.q, n.center)
+	n := &s.tree.nodes[ni]
+	dc := vec.Dist(s.q, s.tree.center(ni))
 	s.st.IPCount++
 	if dc+n.radius <= s.tkMax.Lambda() {
 		s.st.PrunedNodes++
@@ -109,17 +127,19 @@ func (s *classicSearcher) visitFN(n *node) {
 	}
 	if n.isLeaf() {
 		s.st.LeavesVisited++
-		for pos := n.start; pos < n.end; pos++ {
-			d := vec.Dist(s.q, s.tree.points.Row(int(pos)))
-			s.st.IPCount++
-			s.st.Candidates++
-			s.tkMax.Push(s.tree.ids[pos], d)
+		m := int(n.count())
+		dists := s.scratch(m)
+		vec.SqDistBlock(s.q, s.leafRows(n), dists)
+		s.st.IPCount += int64(m)
+		s.st.Candidates += int64(m)
+		for i := 0; i < m; i++ {
+			s.tkMax.Push(s.tree.ids[int(n.start)+i], math.Sqrt(dists[i]))
 		}
 		return
 	}
 	// Farther child first.
 	first, second := n.left, n.right
-	if vec.SqDist(s.q, n.right.center) > vec.SqDist(s.q, n.left.center) {
+	if vec.SqDist(s.q, s.tree.center(n.right)) > vec.SqDist(s.q, s.tree.center(n.left)) {
 		first, second = n.right, n.left
 	}
 	s.st.IPCount += 2
@@ -127,9 +147,10 @@ func (s *classicSearcher) visitFN(n *node) {
 	s.visitFN(second)
 }
 
-func (s *classicSearcher) visitMIP(n *node) {
+func (s *classicSearcher) visitMIP(ni int32) {
 	s.st.NodesVisited++
-	ip := vec.Dot(s.q, n.center)
+	n := &s.tree.nodes[ni]
+	ip := vec.Dot(s.q, s.tree.center(ni))
 	s.st.IPCount++
 	if ip+s.qnorm*n.radius <= s.tkMax.Lambda() {
 		s.st.PrunedNodes++
@@ -137,17 +158,19 @@ func (s *classicSearcher) visitMIP(n *node) {
 	}
 	if n.isLeaf() {
 		s.st.LeavesVisited++
-		for pos := n.start; pos < n.end; pos++ {
-			v := vec.Dot(s.q, s.tree.points.Row(int(pos)))
-			s.st.IPCount++
-			s.st.Candidates++
-			s.tkMax.Push(s.tree.ids[pos], v)
+		m := int(n.count())
+		dists := s.scratch(m)
+		vec.DotBlock(s.q, s.leafRows(n), dists)
+		s.st.IPCount += int64(m)
+		s.st.Candidates += int64(m)
+		for i := 0; i < m; i++ {
+			s.tkMax.Push(s.tree.ids[int(n.start)+i], dists[i])
 		}
 		return
 	}
 	// Larger-inner-product child first.
-	ipl := vec.Dot(s.q, n.left.center)
-	ipr := vec.Dot(s.q, n.right.center)
+	ipl := vec.Dot(s.q, s.tree.center(n.left))
+	ipr := vec.Dot(s.q, s.tree.center(n.right))
 	s.st.IPCount += 2
 	first, second := n.left, n.right
 	if ipr > ipl {
@@ -158,16 +181,16 @@ func (s *classicSearcher) visitMIP(n *node) {
 }
 
 // boundNN exposes the NN bound for tests.
-func boundNN(q []float32, n *node) float64 {
-	return math.Max(vec.Dist(q, n.center)-n.radius, 0)
+func boundNN(q []float32, center []float32, radius float64) float64 {
+	return math.Max(vec.Dist(q, center)-radius, 0)
 }
 
 // boundFN exposes the FN bound for tests.
-func boundFN(q []float32, n *node) float64 {
-	return vec.Dist(q, n.center) + n.radius
+func boundFN(q []float32, center []float32, radius float64) float64 {
+	return vec.Dist(q, center) + radius
 }
 
 // boundMIP exposes the MIPS bound for tests.
-func boundMIP(q []float32, n *node) float64 {
-	return vec.Dot(q, n.center) + vec.Norm(q)*n.radius
+func boundMIP(q []float32, center []float32, radius float64) float64 {
+	return vec.Dot(q, center) + vec.Norm(q)*radius
 }

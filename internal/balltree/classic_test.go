@@ -143,8 +143,10 @@ func TestQuickClassicBoundsSound(t *testing.T) {
 		for qi := 0; qi < queries.N; qi++ {
 			q := queries.Row(qi)
 			ok := true
-			var walk func(nd *node)
-			walk = func(nd *node) {
+			var walk func(ni int32)
+			walk = func(ni int32) {
+				nd := &tree.nodes[ni]
+				c := tree.center(ni)
 				minD, maxD := math.Inf(1), math.Inf(-1)
 				maxIP := math.Inf(-1)
 				for pos := nd.start; pos < nd.end; pos++ {
@@ -156,13 +158,13 @@ func TestQuickClassicBoundsSound(t *testing.T) {
 					maxIP = math.Max(maxIP, ip)
 				}
 				tol := 1e-6 * (1 + maxD)
-				if boundNN(q, nd) > minD+tol {
+				if boundNN(q, c, nd.radius) > minD+tol {
 					ok = false
 				}
-				if boundFN(q, nd) < maxD-tol {
+				if boundFN(q, c, nd.radius) < maxD-tol {
 					ok = false
 				}
-				if boundMIP(q, nd) < maxIP-tol {
+				if boundMIP(q, c, nd.radius) < maxIP-tol {
 					ok = false
 				}
 				if !nd.isLeaf() {
@@ -170,7 +172,7 @@ func TestQuickClassicBoundsSound(t *testing.T) {
 					walk(nd.right)
 				}
 			}
-			walk(tree.root)
+			walk(0)
 			if !ok {
 				return false
 			}

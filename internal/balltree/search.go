@@ -17,15 +17,16 @@ import (
 // is at least the current k-th best distance q.λ. The inner product of the
 // query with a node center is computed once per visited node and handed to
 // the recursion, so a visited internal node costs exactly two O(d) inner
-// products (one per child) — the cost Lemma 2 halves for BC-Tree.
+// products (one per child) — the cost Lemma 2 halves for BC-Tree. Leaf
+// verification is one vec.DotBlock call over the leaf's contiguous rows.
 func (t *Tree) Search(q []float32, opts core.SearchOptions) ([]core.Result, core.Stats) {
 	opts = opts.Normalized()
 	var st core.Stats
 	tk := core.NewTopK(opts.K)
 	s := &searcher{tree: t, q: q, qnorm: vec.Norm(q), tk: tk, st: &st, opts: opts}
-	ip := vec.Dot(q, t.root.center)
+	ip := vec.Dot(q, t.center(0))
 	st.IPCount++
-	s.visit(t.root, ip)
+	s.visit(0, ip)
 	return tk.Results(), st
 }
 
@@ -36,15 +37,26 @@ type searcher struct {
 	tk    *core.TopK
 	st    *core.Stats
 	opts  core.SearchOptions
+	buf   []float64 // per-leaf scratch for blocked inner products
 }
 
-// visit implements SubBallTreeSearch. ip is <q, n.center>, already computed
+// scratch returns a distance buffer of at least m entries, reused across the
+// leaves one query visits.
+func (s *searcher) scratch(m int) []float64 {
+	if cap(s.buf) < m {
+		s.buf = make([]float64, m)
+	}
+	return s.buf[:m]
+}
+
+// visit implements SubBallTreeSearch. ip is <q, center(ni)>, already computed
 // by the caller.
-func (s *searcher) visit(n *node, ip float64) {
+func (s *searcher) visit(ni int32, ip float64) {
 	if !s.opts.BudgetLeft(s.st.Candidates) {
 		return
 	}
 	s.st.NodesVisited++
+	n := &s.tree.nodes[ni]
 	lb := math.Abs(ip) - s.qnorm*n.radius
 	if lb >= s.tk.Lambda() { // lb < 0 < Lambda never prunes, no max needed
 		s.st.PrunedNodes++
@@ -59,8 +71,8 @@ func (s *searcher) visit(n *node, ip float64) {
 	if s.opts.Profile != nil {
 		start = time.Now()
 	}
-	ipl := vec.Dot(s.q, n.left.center)
-	ipr := vec.Dot(s.q, n.right.center)
+	ipl := vec.Dot(s.q, s.tree.center(n.left))
+	ipr := vec.Dot(s.q, s.tree.center(n.right))
 	s.st.IPCount += 2
 	if s.opts.Profile != nil {
 		s.opts.Profile.Add(core.PhaseBound, time.Since(start))
@@ -77,10 +89,10 @@ func (s *searcher) visit(n *node, ip float64) {
 }
 
 // preferRight decides the branch order of Algorithm 3 lines 11-16.
-func (s *searcher) preferRight(n *node, ipl, ipr float64) bool {
+func (s *searcher) preferRight(n *nodeRec, ipl, ipr float64) bool {
 	if s.opts.Preference == core.PrefLowerBound {
-		lbl := math.Abs(ipl) - s.qnorm*n.left.radius
-		lbr := math.Abs(ipr) - s.qnorm*n.right.radius
+		lbl := math.Abs(ipl) - s.qnorm*s.tree.nodes[n.left].radius
+		lbr := math.Abs(ipr) - s.qnorm*s.tree.nodes[n.right].radius
 		if lbl < 0 {
 			lbl = 0
 		}
@@ -93,27 +105,56 @@ func (s *searcher) preferRight(n *node, ipl, ipr float64) bool {
 }
 
 // scanLeaf is ExhaustiveScan (Algorithm 3 lines 17-20) over the contiguous
-// storage of the leaf, respecting the candidate budget.
-func (s *searcher) scanLeaf(n *node) {
+// storage of the leaf, respecting the candidate budget. Without a filter the
+// whole (budget-capped) block is verified by one blocked kernel call.
+func (s *searcher) scanLeaf(n *nodeRec) {
 	s.st.LeavesVisited++
 	var start time.Time
 	if s.opts.Profile != nil {
 		start = time.Now()
 	}
+
+	if s.opts.Filter != nil {
+		s.scanLeafFiltered(n)
+	} else {
+		m := int(n.count())
+		if s.opts.Budget > 0 {
+			if left := int(int64(s.opts.Budget) - s.st.Candidates); left < m {
+				m = left
+			}
+		}
+		if m > 0 {
+			d := s.tree.points.D
+			rows := s.tree.points.Data[int(n.start)*d : (int(n.start)+m)*d]
+			dists := s.scratch(m)
+			vec.DotBlock(s.q, rows, dists)
+			s.st.IPCount += int64(m)
+			s.st.Candidates += int64(m)
+			for i := 0; i < m; i++ {
+				s.tk.Push(s.tree.ids[int(n.start)+i], math.Abs(dists[i]))
+			}
+		}
+	}
+
+	if s.opts.Profile != nil {
+		s.opts.Profile.Add(core.PhaseVerify, time.Since(start))
+	}
+}
+
+// scanLeafFiltered is the point-at-a-time path for filtered queries: rejected
+// ids must not cost an inner product nor count against the budget.
+func (s *searcher) scanLeafFiltered(n *nodeRec) {
 	for pos := n.start; pos < n.end; pos++ {
 		if !s.opts.BudgetLeft(s.st.Candidates) {
 			break
 		}
 		id := s.tree.ids[pos]
-		if s.opts.Filter != nil && !s.opts.Filter(id) {
+		if !s.opts.Filter(id) {
 			continue
 		}
 		d := math.Abs(vec.Dot(s.q, s.tree.points.Row(int(pos))))
 		s.st.IPCount++
 		s.st.Candidates++
 		s.tk.Push(id, d)
-	}
-	if s.opts.Profile != nil {
-		s.opts.Profile.Add(core.PhaseVerify, time.Since(start))
 	}
 }

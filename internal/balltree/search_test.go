@@ -193,9 +193,10 @@ func TestQuickNodeBallBoundSound(t *testing.T) {
 			q := queries.Row(qi)
 			qnorm := vec.Norm(q)
 			ok := true
-			var walk func(nd *node)
-			walk = func(nd *node) {
-				lb := math.Abs(vec.Dot(q, nd.center)) - qnorm*nd.radius
+			var walk func(ni int32)
+			walk = func(ni int32) {
+				nd := &tree.nodes[ni]
+				lb := math.Abs(vec.Dot(q, tree.center(ni))) - qnorm*nd.radius
 				if lb < 0 {
 					lb = 0
 				}
@@ -214,7 +215,7 @@ func TestQuickNodeBallBoundSound(t *testing.T) {
 					walk(nd.right)
 				}
 			}
-			walk(tree.root)
+			walk(0)
 			if !ok {
 				return false
 			}

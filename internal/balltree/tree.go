@@ -6,6 +6,13 @@
 // The tree indexes lifted data points x = (p; 1). Each node covers a
 // contiguous range of a reordered copy of the data, so leaf verification is
 // a sequential scan, matching the paper's storage layout discussion.
+//
+// Storage is a flat arena: all nodes live in one []nodeRec slice with
+// children addressed by index, all node centers are packed into one
+// contiguous centers matrix (row i = center of node i), and each leaf's
+// points occupy a contiguous row-major block of the reordered data. A
+// visited node therefore costs no pointer chasing, and leaf verification is
+// one blocked kernel call over sequential memory (vec.DotBlock).
 package balltree
 
 import (
@@ -20,6 +27,9 @@ const DefaultLeafSize = 100
 // radiusSlack inflates stored radii by a relative epsilon so that pruning
 // stays conservative under floating-point rounding.
 const radiusSlack = 1e-9
+
+// noChild marks a leaf's child slots in the flat arena.
+const noChild = int32(-1)
 
 // Config parameterizes tree construction.
 type Config struct {
@@ -38,27 +48,32 @@ func (c Config) normalized() Config {
 	return c
 }
 
-// node is one ball of the tree. Leaf nodes have nil children and cover
-// positions [start, end) of the reordered point storage.
-type node struct {
-	center      []float32
+// nodeRec is one ball of the tree in the flat arena. Leaf nodes have
+// left == right == noChild and cover positions [start, end) of the reordered
+// point storage. The node's center is row i of the tree's centers matrix,
+// where i is the node's arena index. Children always sit at larger arena
+// indices than their parent (preorder construction).
+type nodeRec struct {
 	radius      float64
 	start, end  int32
-	left, right *node
+	left, right int32 // arena indices of children, noChild for leaves
 }
 
-func (n *node) count() int32 { return n.end - n.start }
-func (n *node) isLeaf() bool { return n.left == nil }
+func (n *nodeRec) count() int32 { return n.end - n.start }
+func (n *nodeRec) isLeaf() bool { return n.left == noChild }
 
 // Tree is a Ball-Tree over lifted data points.
 type Tree struct {
 	points   *vec.Matrix // reordered copy: leaf ranges are contiguous rows
 	ids      []int32     // position -> original data id
-	root     *node
+	nodes    []nodeRec   // flat arena, root at index 0, preorder
+	centers  *vec.Matrix // nodes x d: packed node centers
 	leafSize int
-	nodes    int // total node count
 	leaves   int
 }
+
+// center returns node ni's center, a row of the packed centers matrix.
+func (t *Tree) center(ni int32) []float32 { return t.centers.Row(int(ni)) }
 
 // N returns the number of indexed points.
 func (t *Tree) N() int { return t.points.N }
@@ -70,22 +85,20 @@ func (t *Tree) Dim() int { return t.points.D }
 func (t *Tree) LeafSize() int { return t.leafSize }
 
 // Nodes returns the total number of tree nodes (internal + leaf).
-func (t *Tree) Nodes() int { return t.nodes }
+func (t *Tree) Nodes() int { return len(t.nodes) }
 
 // Leaves returns the number of leaf nodes.
 func (t *Tree) Leaves() int { return t.leaves }
 
 // Height returns the height of the tree (a single leaf tree has height 1).
-func (t *Tree) Height() int { return height(t.root) }
+func (t *Tree) Height() int { return t.height(0) }
 
-func height(n *node) int {
-	if n == nil {
-		return 0
-	}
+func (t *Tree) height(ni int32) int {
+	n := &t.nodes[ni]
 	if n.isLeaf() {
 		return 1
 	}
-	hl, hr := height(n.left), height(n.right)
+	hl, hr := t.height(n.left), t.height(n.right)
 	if hl > hr {
 		return hl + 1
 	}
@@ -93,12 +106,13 @@ func height(n *node) int {
 }
 
 // IndexBytes estimates the memory footprint of the index structure itself:
-// node centers, radii, child pointers, and the position->id map. The
-// reordered copy of the data is reported separately by DataBytes, mirroring
-// how the paper's Table III separates index size from data size.
+// the packed centers matrix, the node records (radius, range, child indices),
+// and the position->id map. The reordered copy of the data is reported
+// separately by DataBytes, mirroring how the paper's Table III separates
+// index size from data size.
 func (t *Tree) IndexBytes() int64 {
-	perNode := int64(t.points.D)*4 + 8 /*radius*/ + 2*8 /*children*/ + 2*4 /*range*/
-	return int64(t.nodes)*perNode + int64(len(t.ids))*4
+	const perNode = 8 /*radius*/ + 2*4 /*range*/ + 2*4 /*children*/
+	return t.centers.Bytes() + int64(len(t.nodes))*perNode + int64(len(t.ids))*4
 }
 
 // DataBytes returns the size of the reordered data copy.
@@ -107,5 +121,5 @@ func (t *Tree) DataBytes() int64 { return t.points.Bytes() }
 // String summarizes the tree for logs.
 func (t *Tree) String() string {
 	return fmt.Sprintf("balltree{n=%d d=%d leafsize=%d nodes=%d leaves=%d height=%d}",
-		t.N(), t.Dim(), t.leafSize, t.nodes, t.leaves, t.Height())
+		t.N(), t.Dim(), t.leafSize, t.Nodes(), t.leaves, t.Height())
 }

@@ -48,48 +48,45 @@ func checkTreeInvariants(t *testing.T, tree *Tree) {
 		}
 		seen[id] = true
 	}
-	var walk func(n *node)
+	var walk func(ni int32)
 	var leaves, nodes int
-	walk = func(n *node) {
+	walk = func(ni int32) {
+		n := &tree.nodes[ni]
 		nodes++
 		if n.count() <= 0 {
 			t.Fatal("empty node")
 		}
 		for pos := n.start; pos < n.end; pos++ {
-			d := vec.Dist(tree.points.Row(int(pos)), n.center)
+			d := vec.Dist(tree.points.Row(int(pos)), tree.center(ni))
 			if d > n.radius {
 				t.Fatalf("point at pos %d outside ball: %v > %v", pos, d, n.radius)
 			}
 		}
 		if n.isLeaf() {
 			leaves++
-			return
-		}
-		if n.left.start != n.start || n.right.end != n.end || n.left.end != n.right.start {
-			t.Fatalf("children do not partition parent: [%d,%d) -> [%d,%d)+[%d,%d)",
-				n.start, n.end, n.left.start, n.left.end, n.right.start, n.right.end)
-		}
-		walk(n.left)
-		walk(n.right)
-	}
-	walk(tree.root)
-	if leaves != tree.Leaves() || nodes != tree.Nodes() {
-		t.Fatalf("node accounting: counted %d/%d, tree says %d/%d", nodes, leaves, tree.Nodes(), tree.Leaves())
-	}
-	// Leaf size: leaves created by normal splits obey N0; degenerate
-	// duplicate-heavy data may exceed it, but the test data is deduped noise.
-	var checkLeaf func(n *node)
-	checkLeaf = func(n *node) {
-		if n.isLeaf() {
+			// Leaf size: leaves created by normal splits obey N0; degenerate
+			// duplicate-heavy data may exceed it, but the test data is deduped
+			// noise.
 			if int(n.count()) > tree.leafSize {
 				t.Fatalf("leaf size %d > N0=%d", n.count(), tree.leafSize)
 			}
 			return
 		}
-		checkLeaf(n.left)
-		checkLeaf(n.right)
+		l, r := &tree.nodes[n.left], &tree.nodes[n.right]
+		if l.start != n.start || r.end != n.end || l.end != r.start {
+			t.Fatalf("children do not partition parent: [%d,%d) -> [%d,%d)+[%d,%d)",
+				n.start, n.end, l.start, l.end, r.start, r.end)
+		}
+		if n.left <= ni || n.right <= ni {
+			t.Fatalf("children %d,%d not after parent %d in preorder arena", n.left, n.right, ni)
+		}
+		walk(n.left)
+		walk(n.right)
 	}
-	checkLeaf(tree.root)
+	walk(0)
+	if leaves != tree.Leaves() || nodes != tree.Nodes() {
+		t.Fatalf("node accounting: counted %d/%d, tree says %d/%d", nodes, leaves, tree.Nodes(), tree.Leaves())
+	}
 }
 
 func TestBuildDefaultLeafSize(t *testing.T) {
@@ -122,8 +119,8 @@ func TestBuildAllIdenticalPoints(t *testing.T) {
 	data := vec.FromRows(rows).AppendOnes()
 	tree := Build(data, Config{LeafSize: 8, Seed: 1})
 	checkTreeInvariants(t, tree)
-	if tree.root.radius > 1e-6 {
-		t.Fatalf("radius of identical points should be ~0, got %v", tree.root.radius)
+	if tree.nodes[0].radius > 1e-6 {
+		t.Fatalf("radius of identical points should be ~0, got %v", tree.nodes[0].radius)
 	}
 }
 
@@ -163,8 +160,9 @@ func TestRadiusMonotoneDown(t *testing.T) {
 	// centroid balls on blobby data; treat violations beyond slack as bugs.
 	data, _ := buildTestData(t, dataset.FamilyClustered, 800, 8, 6)
 	tree := Build(data, Config{LeafSize: 50, Seed: 2})
-	var walk func(n *node, parentR float64)
-	walk = func(n *node, parentR float64) {
+	var walk func(ni int32, parentR float64)
+	walk = func(ni int32, parentR float64) {
+		n := &tree.nodes[ni]
 		if n.radius > parentR*2+1e-9 {
 			t.Fatalf("child radius %v wildly exceeds parent %v", n.radius, parentR)
 		}
@@ -173,5 +171,5 @@ func TestRadiusMonotoneDown(t *testing.T) {
 			walk(n.right, n.radius)
 		}
 	}
-	walk(tree.root, math.Inf(1))
+	walk(0, math.Inf(1))
 }

@@ -17,19 +17,21 @@ import (
 //     node-level bound cost almost in half (Theorem 5);
 //   - point-level pruning in the leaves (ScanWithPruning): the point-level
 //     ball bound (Corollary 1) prunes the tail of the radius-sorted leaf in a
-//     batch, and the point-level cone bound (Theorem 3) prunes single points
-//     it misses, both in O(1) per point.
+//     batch (vec.BallCutoff finds the cut by binary search), and the
+//     point-level cone bound (Theorem 3) prunes single points it misses via
+//     the fused vec.ConeSelect kernel; survivors are verified by one blocked
+//     vec.DotBlock call when the whole prefix survives.
 //
 // The ablation switches in opts reproduce the paper's Figure 8 variants.
 func (t *Tree) Search(q []float32, opts core.SearchOptions) ([]core.Result, core.Stats) {
 	opts = opts.Normalized()
 	var st core.Stats
 	tk := core.NewTopK(opts.K)
-	s := &searcher{tree: t, q: q, qnorm: vec.Norm(q), sqQnorm: 0, tk: tk, st: &st, opts: opts}
+	s := &searcher{tree: t, q: q, qnorm: vec.Norm(q), tk: tk, st: &st, opts: opts}
 	s.sqQnorm = s.qnorm * s.qnorm
-	ip := vec.Dot(q, t.root.center)
+	ip := vec.Dot(q, t.center(0))
 	st.IPCount++
-	s.visit(t.root, ip)
+	s.visit(0, ip)
 	return tk.Results(), st
 }
 
@@ -41,16 +43,28 @@ type searcher struct {
 	tk      *core.TopK
 	st      *core.Stats
 	opts    core.SearchOptions
+	buf     []float64 // per-leaf scratch for blocked inner products
+	sel     []int32   // per-leaf scratch for cone-bound survivors
 }
 
-// visit implements SubBCTreeSearch. ip is <q, n.center>, already known to the
-// caller: computed directly for the root and for left children, derived via
-// Lemma 2 for right children.
-func (s *searcher) visit(n *node, ip float64) {
+// scratch returns a distance buffer of at least m entries, reused across the
+// leaves one query visits.
+func (s *searcher) scratch(m int) []float64 {
+	if cap(s.buf) < m {
+		s.buf = make([]float64, m)
+	}
+	return s.buf[:m]
+}
+
+// visit implements SubBCTreeSearch. ip is <q, center(ni)>, already known to
+// the caller: computed directly for the root and for left children, derived
+// via Lemma 2 for right children.
+func (s *searcher) visit(ni int32, ip float64) {
 	if !s.opts.BudgetLeft(s.st.Candidates) {
 		return
 	}
 	s.st.NodesVisited++
+	n := &s.tree.nodes[ni]
 	lb := math.Abs(ip) - s.qnorm*n.radius
 	if lb >= s.tk.Lambda() { // lb < 0 < Lambda never prunes, no max needed
 		s.st.PrunedNodes++
@@ -65,15 +79,17 @@ func (s *searcher) visit(n *node, ip float64) {
 	if s.opts.Profile != nil {
 		start = time.Now()
 	}
-	ipl := vec.Dot(s.q, n.left.center)
+	ipl := vec.Dot(s.q, s.tree.center(n.left))
 	s.st.IPCount++
 	var ipr float64
 	if s.opts.DisableCollabIP {
-		ipr = vec.Dot(s.q, n.right.center)
+		ipr = vec.Dot(s.q, s.tree.center(n.right))
 		s.st.IPCount++
 	} else {
 		// Lemma 2: <q, rc.c> = (|N| <q, N.c> - |lc| <q, lc.c>) / |rc|.
-		cn, cl, cr := float64(n.count()), float64(n.left.count()), float64(n.right.count())
+		cn := float64(n.count())
+		cl := float64(s.tree.nodes[n.left].count())
+		cr := float64(s.tree.nodes[n.right].count())
 		ipr = (cn*ip - cl*ipl) / cr
 		s.st.CollabIPs++
 	}
@@ -92,10 +108,10 @@ func (s *searcher) visit(n *node, ip float64) {
 }
 
 // preferRight decides the branch order (Algorithm 5 lines 12-17).
-func (s *searcher) preferRight(n *node, ipl, ipr float64) bool {
+func (s *searcher) preferRight(n *nodeRec, ipl, ipr float64) bool {
 	if s.opts.Preference == core.PrefLowerBound {
-		lbl := math.Abs(ipl) - s.qnorm*n.left.radius
-		lbr := math.Abs(ipr) - s.qnorm*n.right.radius
+		lbl := math.Abs(ipl) - s.qnorm*s.tree.nodes[n.left].radius
+		lbr := math.Abs(ipr) - s.qnorm*s.tree.nodes[n.right].radius
 		if lbl < 0 {
 			lbl = 0
 		}
@@ -108,8 +124,14 @@ func (s *searcher) preferRight(n *node, ipl, ipr float64) bool {
 }
 
 // scanWithPruning implements Algorithm 5 lines 18-26 over the contiguous,
-// radius-sorted storage of the leaf.
-func (s *searcher) scanWithPruning(n *node, ip float64) {
+// radius-sorted storage of the leaf, blocked: the ball bound cuts the tail of
+// the leaf in one binary search, the fused cone kernel selects survivors in
+// the remaining prefix, and the survivors are verified either by one
+// DotBlock call (when the whole prefix survives, the common case on hard
+// leaves) or point by point (when the cone bound thinned them out). Bounds
+// are evaluated against the λ at leaf entry; λ only shrinks during the scan,
+// so the snapshot prunes conservatively and results stay exact.
+func (s *searcher) scanWithPruning(n *nodeRec, ip float64) {
 	s.st.LeavesVisited++
 	var leafStart time.Time
 	var verifyDur time.Duration
@@ -118,39 +140,121 @@ func (s *searcher) scanWithPruning(n *node, ip float64) {
 		leafStart = time.Now()
 	}
 
+	if s.opts.Filter != nil {
+		verifyDur = s.scanFiltered(n, ip)
+		if profiling {
+			s.opts.Profile.Add(core.PhaseVerify, verifyDur)
+			s.opts.Profile.Add(core.PhaseBound, time.Since(leafStart)-verifyDur)
+		}
+		return
+	}
+
+	start := int(n.start)
+	count := int(n.count())
+	lambda := s.tk.Lambda()
+	absIP := math.Abs(ip)
+
+	// Corollary 1: r_x is descending, so the ball bound ascends along the
+	// leaf; everything past the cutoff is pruned in a batch.
+	m := count
+	if !s.opts.DisablePointBall {
+		m = vec.BallCutoff(absIP, s.qnorm, lambda, s.tree.rx[start:start+count])
+		s.st.PrunedPoints += int64(count - m)
+	}
+
+	// Theorem 3 via the fused kernel: select the survivors of the prefix.
+	useCone := !s.opts.DisablePointCone && n.centerNorm > 0
+	var sel []int32
+	dense := true // all of [0, m) survived; allows one blocked verification
+	if useCone && m > 0 {
+		// ||q|| cos theta = <q, N.c> / ||N.c||; the rejection follows from
+		// Pythagoras. Rounding can push the projection a hair past ||q||.
+		qcos := ip / n.centerNorm
+		qsin := math.Sqrt(math.Max(0, s.sqQnorm-qcos*qcos))
+		sel = vec.ConeSelect(qcos, qsin, lambda, boundSlack,
+			s.tree.xcos[start:start+m], s.tree.xsin[start:start+m], s.sel[:0])
+		s.sel = sel // keep the grown capacity for the next leaf
+		s.st.PrunedPoints += int64(m - len(sel))
+		dense = len(sel) == m
+	}
+
+	// Cap verification work by the remaining candidate budget.
+	verify := m
+	if !dense {
+		verify = len(sel)
+	}
+	if s.opts.Budget > 0 {
+		if left := int(int64(s.opts.Budget) - s.st.Candidates); left < verify {
+			verify = left
+		}
+	}
+	if verify <= 0 {
+		if profiling {
+			s.opts.Profile.Add(core.PhaseBound, time.Since(leafStart))
+		}
+		return
+	}
+
+	var t0 time.Time
+	if profiling {
+		t0 = time.Now()
+	}
+	d := s.tree.points.D
+	if dense {
+		rows := s.tree.points.Data[start*d : (start+verify)*d]
+		dists := s.scratch(verify)
+		vec.DotBlock(s.q, rows, dists)
+		for i := 0; i < verify; i++ {
+			s.tk.Push(s.tree.ids[start+i], math.Abs(dists[i]))
+		}
+	} else {
+		for _, i := range sel[:verify] {
+			pos := start + int(i)
+			v := math.Abs(vec.Dot(s.q, s.tree.points.Row(pos)))
+			s.tk.Push(s.tree.ids[pos], v)
+		}
+	}
+	s.st.IPCount += int64(verify)
+	s.st.Candidates += int64(verify)
+	if profiling {
+		verifyDur = time.Since(t0)
+		s.opts.Profile.Add(core.PhaseVerify, verifyDur)
+		s.opts.Profile.Add(core.PhaseBound, time.Since(leafStart)-verifyDur)
+	}
+}
+
+// scanFiltered is the point-at-a-time path for filtered queries: rejected
+// ids must not cost an inner product nor count against the budget, so the
+// bounds are evaluated per point with the evolving λ, as in Algorithm 5.
+// It returns the time spent on verification for the profile's phase split.
+func (s *searcher) scanFiltered(n *nodeRec, ip float64) time.Duration {
+	profiling := s.opts.Profile != nil
+	var verifyDur time.Duration
+	start := int(n.start)
+	count := int(n.count())
 	absIP := math.Abs(ip)
 	useBall := !s.opts.DisablePointBall
 	useCone := !s.opts.DisablePointCone && n.centerNorm > 0
 	var qcos, qsin float64
 	if useCone {
-		// ||q|| cos theta = <q, N.c> / ||N.c||; the rejection follows from
-		// Pythagoras. Rounding can push the projection a hair past ||q||.
 		qcos = ip / n.centerNorm
 		qsin = math.Sqrt(math.Max(0, s.sqQnorm-qcos*qcos))
 	}
-
-	count := int(n.count())
 	for i := 0; i < count; i++ {
 		if !s.opts.BudgetLeft(s.st.Candidates) {
 			break
 		}
 		if useBall {
-			// Corollary 1. r_x is descending, so this bound is ascending
-			// along the scan: once it reaches lambda the rest of the leaf
-			// is pruned in a batch.
-			if lbBall := absIP - s.qnorm*n.rx[i]; lbBall >= s.tk.Lambda() {
+			if lbBall := absIP - s.qnorm*s.tree.rx[start+i]; lbBall >= s.tk.Lambda() {
 				s.st.PrunedPoints += int64(count - i)
 				break
 			}
 		}
 		if useCone {
-			// Theorem 3, via the paper's O(1) decomposition:
-			//   ||x|| ||q|| cos(theta+phi) = qcos*xcos - qsin*xsin
-			//   ||x|| ||q|| cos(|theta-phi|) = qcos*xcos + qsin*xsin.
-			sumA := qcos*n.xcos[i] - qsin*n.xsin[i]
-			sumB := qcos*n.xcos[i] + qsin*n.xsin[i]
+			sumA := qcos*s.tree.xcos[start+i] - qsin*s.tree.xsin[start+i]
+			sumB := qcos*s.tree.xcos[start+i] + qsin*s.tree.xsin[start+i]
 			var lbCone float64
-			if sumA > 0 && qcos > 0 && n.xcos[i] > 0 {
+			if sumA > 0 && qcos > 0 && s.tree.xcos[start+i] > 0 {
 				lbCone = sumA
 			} else if sumB < 0 {
 				lbCone = -sumB
@@ -160,26 +264,21 @@ func (s *searcher) scanWithPruning(n *node, ip float64) {
 				continue
 			}
 		}
-		pos := n.start + int32(i)
-		id := s.tree.ids[pos]
-		if s.opts.Filter != nil && !s.opts.Filter(id) {
+		id := s.tree.ids[start+i]
+		if !s.opts.Filter(id) {
 			continue
 		}
 		var t0 time.Time
 		if profiling {
 			t0 = time.Now()
 		}
-		d := math.Abs(vec.Dot(s.q, s.tree.points.Row(int(pos))))
+		v := math.Abs(vec.Dot(s.q, s.tree.points.Row(start+i)))
 		s.st.IPCount++
 		s.st.Candidates++
-		s.tk.Push(id, d)
+		s.tk.Push(id, v)
 		if profiling {
 			verifyDur += time.Since(t0)
 		}
 	}
-
-	if profiling {
-		s.opts.Profile.Add(core.PhaseVerify, verifyDur)
-		s.opts.Profile.Add(core.PhaseBound, time.Since(leafStart)-verifyDur)
-	}
+	return verifyDur
 }

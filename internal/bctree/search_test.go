@@ -173,6 +173,30 @@ func TestSearchProfileRecordsPhases(t *testing.T) {
 	}
 }
 
+// TestSearchFilteredProfileRecordsPhases pins the phase split on the
+// filtered (point-at-a-time) leaf path: verification inner products must be
+// charged to PhaseVerify, not lumped into PhaseBound.
+func TestSearchFilteredProfileRecordsPhases(t *testing.T) {
+	raw := dataset.Generate(dataset.Spec{Name: "t", Family: dataset.FamilyClustered, RawDim: 12, Clusters: 4}, 800, 14)
+	data := raw.AppendOnes()
+	queries := dataset.GenerateQueries(raw, 3, 15)
+	tree := Build(data, Config{LeafSize: 30, Seed: 4})
+	prof := &core.Profile{}
+	for i := 0; i < queries.N; i++ {
+		tree.Search(queries.Row(i), core.SearchOptions{
+			K:       5,
+			Profile: prof,
+			Filter:  func(id int32) bool { return id%2 == 0 },
+		})
+	}
+	if prof.Get(core.PhaseVerify) <= 0 {
+		t.Fatal("filtered profile must record verification time")
+	}
+	if prof.Get(core.PhaseBound) <= 0 {
+		t.Fatal("filtered profile must record bound time")
+	}
+}
+
 func TestSearchKLargerThanN(t *testing.T) {
 	data := vec.FromRows([][]float32{{0}, {1}, {2}}).AppendOnes()
 	tree := Build(data, Config{LeafSize: 2, Seed: 1})
@@ -214,24 +238,25 @@ func TestQuickPointBoundsSound(t *testing.T) {
 			q := queries.Row(qi)
 			qnorm := vec.Norm(q)
 			ok := true
-			var walk func(nd *node)
-			walk = func(nd *node) {
+			var walk func(ni int32)
+			walk = func(ni int32) {
+				nd := &tree.nodes[ni]
 				if !nd.isLeaf() {
 					walk(nd.left)
 					walk(nd.right)
 					return
 				}
-				ip := vec.Dot(q, nd.center)
+				ip := vec.Dot(q, tree.center(ni))
 				absIP := math.Abs(ip)
 				qcos := 0.0
 				if nd.centerNorm > 0 {
 					qcos = ip / nd.centerNorm
 				}
 				qsin := math.Sqrt(math.Max(0, qnorm*qnorm-qcos*qcos))
-				for i := 0; i < int(nd.count()); i++ {
-					truth := math.Abs(vec.Dot(q, tree.points.Row(int(nd.start)+i)))
-					ball := math.Max(0, absIP-qnorm*nd.rx[i])
-					cone := coneBound(qcos, qsin, nd.xcos[i], nd.xsin[i])
+				for pos := int(nd.start); pos < int(nd.end); pos++ {
+					truth := math.Abs(vec.Dot(q, tree.points.Row(pos)))
+					ball := math.Max(0, absIP-qnorm*tree.rx[pos])
+					cone := coneBound(qcos, qsin, tree.xcos[pos], tree.xsin[pos])
 					tol := 1e-6 * (1 + truth + qnorm)
 					if ball > truth+tol {
 						ok = false // ball bound unsound
@@ -244,7 +269,7 @@ func TestQuickPointBoundsSound(t *testing.T) {
 					}
 				}
 			}
-			walk(tree.root)
+			walk(0)
 			if !ok {
 				return false
 			}
@@ -270,15 +295,17 @@ func TestQuickCollabIPIdentity(t *testing.T) {
 		for qi := 0; qi < queries.N; qi++ {
 			q := queries.Row(qi)
 			ok := true
-			var walk func(nd *node)
-			walk = func(nd *node) {
+			var walk func(ni int32)
+			walk = func(ni int32) {
+				nd := &tree.nodes[ni]
 				if nd.isLeaf() {
 					return
 				}
-				ip := vec.Dot(q, nd.center)
-				ipl := vec.Dot(q, nd.left.center)
-				ipr := vec.Dot(q, nd.right.center)
-				cn, cl, cr := float64(nd.count()), float64(nd.left.count()), float64(nd.right.count())
+				l, r := &tree.nodes[nd.left], &tree.nodes[nd.right]
+				ip := vec.Dot(q, tree.center(ni))
+				ipl := vec.Dot(q, tree.center(nd.left))
+				ipr := vec.Dot(q, tree.center(nd.right))
+				cn, cl, cr := float64(nd.count()), float64(l.count()), float64(r.count())
 				derived := (cn*ip - cl*ipl) / cr
 				scale := math.Max(1, math.Abs(ipr))
 				// float32 center storage dominates the error budget here.
@@ -288,7 +315,7 @@ func TestQuickCollabIPIdentity(t *testing.T) {
 				walk(nd.left)
 				walk(nd.right)
 			}
-			walk(tree.root)
+			walk(0)
 			if !ok {
 				return false
 			}

@@ -1,6 +1,7 @@
 package bctree
 
 import (
+	"bytes"
 	"io"
 	"os"
 
@@ -8,55 +9,65 @@ import (
 	"p2h/internal/vec"
 )
 
-// magic identifies the BC-Tree serialization format, version 1.
-var magic = []byte("P2HBC001")
+// Serialization formats. Version 2 mirrors the in-memory flat arena:
+// columnar node arrays and position-indexed point-level structures instead
+// of a recursive record stream. Version 1 (the pointer tree era) is still
+// accepted by Load and converted to the arena on the fly; Save always writes
+// version 2.
+var (
+	magicV1 = []byte("P2HBC001")
+	magicV2 = []byte("P2HBC002")
+)
 
 // maxSerialDim guards against corrupt headers allocating absurd buffers.
 const maxSerialDim = 1 << 20
 
-// Save writes the tree to w in a self-contained binary format that Load can
-// restore without the original data matrix. Leaf nodes carry their ball and
-// cone arrays so restored trees prune identically.
+// Save writes the tree to w in the version 2 flat format, self-contained so
+// Load can restore it without the original data matrix. The point-level
+// ball and cone arrays ride along so restored trees prune identically.
 func (t *Tree) Save(w io.Writer) error {
 	bw := binio.NewWriter(w)
-	bw.Bytes(magic)
+	bw.Bytes(magicV2)
 	bw.I32(int32(t.leafSize))
 	bw.I32(int32(t.points.N))
 	bw.I32(int32(t.points.D))
-	bw.I32(int32(t.nodes))
+	bw.I32(int32(len(t.nodes)))
 	bw.I32(int32(t.leaves))
 	bw.I32s(t.ids)
 	bw.F32s(t.points.Data)
-	saveNode(bw, t.root)
+	bw.F32s(t.centers.Data)
+	for i := range t.nodes {
+		bw.F64(t.nodes[i].radius)
+		bw.F64(t.nodes[i].centerNorm)
+	}
+	for i := range t.nodes {
+		n := &t.nodes[i]
+		bw.I32(n.start)
+		bw.I32(n.end)
+		bw.I32(n.left)
+		bw.I32(n.right)
+	}
+	bw.F64s(t.rx)
+	bw.F64s(t.xcos)
+	bw.F64s(t.xsin)
 	return bw.Flush()
 }
 
-func saveNode(bw *binio.Writer, n *node) {
-	if n.isLeaf() {
-		bw.U8(1)
-	} else {
-		bw.U8(0)
-	}
-	bw.I32(n.start)
-	bw.I32(n.end)
-	bw.F64(n.radius)
-	bw.F64(n.centerNorm)
-	bw.F32s(n.center)
-	if n.isLeaf() {
-		bw.F64s(n.rx)
-		bw.F64s(n.xcos)
-		bw.F64s(n.xsin)
-		return
-	}
-	saveNode(bw, n.left)
-	saveNode(bw, n.right)
-}
-
-// Load restores a tree written by Save. The stream is validated structurally;
-// corrupt input yields an error wrapping binio.ErrCorrupt.
+// Load restores a tree written by Save (version 2) or by the version 1
+// format of earlier releases. The stream is validated structurally; corrupt
+// input yields an error wrapping binio.ErrCorrupt.
 func Load(r io.Reader) (*Tree, error) {
 	br := binio.NewReader(r)
-	br.Expect(magic)
+	magic := br.Raw(len(magicV2))
+	if err := br.Err(); err != nil {
+		return nil, err
+	}
+	v2 := bytes.Equal(magic, magicV2)
+	if !v2 && !bytes.Equal(magic, magicV1) {
+		br.Fail("bad magic %q", magic)
+		return nil, br.Err()
+	}
+
 	leafSize := int(br.I32())
 	n := int(br.I32())
 	d := int(br.I32())
@@ -73,7 +84,7 @@ func Load(r io.Reader) (*Tree, error) {
 		br.Fail("bad node counts: nodes=%d leaves=%d n=%d", nodes, leaves, n)
 		return nil, br.Err()
 	}
-	t := &Tree{leafSize: leafSize, nodes: nodes, leaves: leaves}
+	t := &Tree{leafSize: leafSize, leaves: leaves}
 	t.ids = br.I32s(n)
 	if br.Err() == nil {
 		for _, id := range t.ids {
@@ -89,74 +100,189 @@ func Load(r io.Reader) (*Tree, error) {
 	}
 	t.points = &vec.Matrix{Data: data, N: n, D: d}
 
-	ld := &loader{br: br, n: int32(n), d: d, budget: nodes}
-	t.root = ld.load()
+	if v2 {
+		loadFlat(br, t, nodes, d)
+	} else {
+		loadLegacy(br, t, nodes, d)
+	}
 	if err := br.Err(); err != nil {
 		return nil, err
 	}
-	if ld.budget != 0 {
-		br.Fail("node count mismatch: %d unread", ld.budget)
-		return nil, br.Err()
-	}
-	if t.root.start != 0 || t.root.end != int32(n) {
-		br.Fail("root range [%d,%d) != [0,%d)", t.root.start, t.root.end, n)
-		return nil, br.Err()
+	if err := validateArena(br, t, leaves); err != nil {
+		return nil, err
 	}
 	return t, nil
 }
 
-type loader struct {
+// loadFlat reads the version 2 columnar node arrays and the position-indexed
+// point-level structures.
+func loadFlat(br *binio.Reader, t *Tree, nodes, d int) {
+	centers := br.F32s(nodes * d)
+	if br.Err() != nil {
+		return
+	}
+	t.centers = &vec.Matrix{Data: centers, N: nodes, D: d}
+	t.nodes = make([]nodeRec, nodes)
+	for i := range t.nodes {
+		t.nodes[i].radius = br.F64()
+		t.nodes[i].centerNorm = br.F64()
+	}
+	for i := range t.nodes {
+		n := &t.nodes[i]
+		n.start = br.I32()
+		n.end = br.I32()
+		n.left = br.I32()
+		n.right = br.I32()
+	}
+	n := t.points.N
+	t.rx = br.F64s(n)
+	t.xcos = br.F64s(n)
+	t.xsin = br.F64s(n)
+}
+
+// loadLegacy reads the version 1 recursive record stream (leaf flag, range,
+// radius, centerNorm, center, per-leaf point arrays, then children),
+// appending nodes to the arena in the file's preorder and scattering the
+// leaf arrays into the position-indexed layout.
+func loadLegacy(br *binio.Reader, t *Tree, nodes, d int) {
+	n := t.points.N
+	t.centers = &vec.Matrix{Data: make([]float32, 0, nodes*d), N: 0, D: d}
+	t.rx = make([]float64, n)
+	t.xcos = make([]float64, n)
+	t.xsin = make([]float64, n)
+	ld := &legacyLoader{br: br, t: t, budget: nodes}
+	ld.load()
+	if br.Err() == nil && ld.budget != 0 {
+		br.Fail("node count mismatch: %d unread", ld.budget)
+	}
+	t.centers.N = len(t.nodes)
+}
+
+type legacyLoader struct {
 	br     *binio.Reader
-	n      int32
-	d      int
+	t      *Tree
 	budget int // remaining nodes allowed; bounds recursion on corrupt input
 }
 
-func (ld *loader) load() *node {
+func (ld *legacyLoader) load() int32 {
 	if ld.budget <= 0 {
 		ld.br.Fail("more nodes than declared")
-		return &node{}
+		return noChild
 	}
 	ld.budget--
+	ni := int32(len(ld.t.nodes))
 	leaf := ld.br.U8()
-	n := &node{start: ld.br.I32(), end: ld.br.I32(), radius: ld.br.F64(), centerNorm: ld.br.F64()}
-	n.center = ld.br.F32s(ld.d)
+	ld.t.nodes = append(ld.t.nodes, nodeRec{
+		start: ld.br.I32(),
+		end:   ld.br.I32(),
+		left:  noChild,
+		right: noChild,
+	})
+	nd := &ld.t.nodes[ni]
+	nd.radius = ld.br.F64()
+	nd.centerNorm = ld.br.F64()
+	ld.t.centers.Data = append(ld.t.centers.Data, ld.br.F32s(ld.t.centers.D)...)
 	if ld.br.Err() != nil {
-		return n
+		return ni
 	}
-	if n.start < 0 || n.end <= n.start || n.end > ld.n {
-		ld.br.Fail("node range [%d,%d) invalid for n=%d", n.start, n.end, ld.n)
-		return n
-	}
-	if n.radius < 0 || n.centerNorm < 0 {
-		ld.br.Fail("negative radius %v or norm %v", n.radius, n.centerNorm)
-		return n
+	if nd.start < 0 || nd.end <= nd.start || nd.end > int32(ld.t.points.N) {
+		ld.br.Fail("node range [%d,%d) invalid", nd.start, nd.end)
+		return ni
 	}
 	if leaf == 1 {
-		cnt := int(n.count())
-		n.rx = ld.br.F64s(cnt)
-		n.xcos = ld.br.F64s(cnt)
-		n.xsin = ld.br.F64s(cnt)
-		if ld.br.Err() != nil {
-			return n
+		cnt := int(nd.count())
+		start := int(nd.start)
+		copy(ld.t.rx[start:start+cnt], ld.br.F64s(cnt))
+		copy(ld.t.xcos[start:start+cnt], ld.br.F64s(cnt))
+		copy(ld.t.xsin[start:start+cnt], ld.br.F64s(cnt))
+		return ni
+	}
+	left := ld.load()
+	right := ld.load()
+	ld.t.nodes[ni].left = left
+	ld.t.nodes[ni].right = right
+	return ni
+}
+
+// validateArena checks the structural invariants shared by both formats:
+// in-range node fields, the root covering [0, n), children partitioning
+// their parent at strictly larger arena indices, every node reachable from
+// the root exactly once with the declared leaf count, and descending radii
+// within each leaf's slice of the point-level arrays.
+func validateArena(br *binio.Reader, t *Tree, leaves int) error {
+	nodes := int32(len(t.nodes))
+	n := int32(t.points.N)
+	for i := range t.nodes {
+		nd := &t.nodes[i]
+		if nd.start < 0 || nd.end <= nd.start || nd.end > n {
+			br.Fail("node %d range [%d,%d) invalid for n=%d", i, nd.start, nd.end, n)
+			return br.Err()
 		}
-		for i := 1; i < cnt; i++ {
-			if n.rx[i] > n.rx[i-1] {
-				ld.br.Fail("leaf radii not descending at %d", i)
-				return n
+		if nd.radius < 0 || nd.centerNorm < 0 {
+			br.Fail("node %d negative radius %v or norm %v", i, nd.radius, nd.centerNorm)
+			return br.Err()
+		}
+		if (nd.left == noChild) != (nd.right == noChild) {
+			br.Fail("node %d half-leaf: left=%d right=%d", i, nd.left, nd.right)
+			return br.Err()
+		}
+		if nd.left != noChild {
+			if nd.left <= int32(i) || nd.left >= nodes || nd.right <= int32(i) || nd.right >= nodes {
+				br.Fail("node %d children %d,%d out of order", i, nd.left, nd.right)
+				return br.Err()
 			}
 		}
-		return n
 	}
-	n.left = ld.load()
-	n.right = ld.load()
-	if ld.br.Err() != nil {
-		return n
+	if t.nodes[0].start != 0 || t.nodes[0].end != n {
+		br.Fail("root range [%d,%d) != [0,%d)", t.nodes[0].start, t.nodes[0].end, n)
+		return br.Err()
 	}
-	if n.left.start != n.start || n.right.end != n.end || n.left.end != n.right.start {
-		ld.br.Fail("children do not partition [%d,%d)", n.start, n.end)
+	visited := make([]bool, nodes)
+	leafCount := 0
+	var walk func(ni int32)
+	walk = func(ni int32) {
+		if br.Err() != nil {
+			return
+		}
+		if visited[ni] {
+			br.Fail("node %d reachable twice", ni)
+			return
+		}
+		visited[ni] = true
+		nd := &t.nodes[ni]
+		if nd.isLeaf() {
+			leafCount++
+			for p := nd.start + 1; p < nd.end; p++ {
+				if t.rx[p] > t.rx[p-1] {
+					br.Fail("leaf %d radii not descending at position %d", ni, p)
+					return
+				}
+			}
+			return
+		}
+		l, r := &t.nodes[nd.left], &t.nodes[nd.right]
+		if l.start != nd.start || r.end != nd.end || l.end != r.start {
+			br.Fail("children do not partition [%d,%d)", nd.start, nd.end)
+			return
+		}
+		walk(nd.left)
+		walk(nd.right)
 	}
-	return n
+	walk(0)
+	if err := br.Err(); err != nil {
+		return err
+	}
+	for i, ok := range visited {
+		if !ok {
+			br.Fail("node %d unreachable from root", i)
+			return br.Err()
+		}
+	}
+	if leafCount != leaves {
+		br.Fail("leaf count %d != declared %d", leafCount, leaves)
+		return br.Err()
+	}
+	return nil
 }
 
 // SaveFile writes the tree to the named file.

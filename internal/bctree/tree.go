@@ -5,6 +5,16 @@
 // bound (Theorem 3) — which prune individual candidates inside a leaf before
 // the O(d) verification, and a collaborative inner product computing strategy
 // (Lemma 2) that nearly halves the node-level bound cost (Theorem 5).
+//
+// Storage is a flat arena: all nodes live in one []nodeRec slice with
+// children addressed by index, all node centers are packed into one
+// contiguous centers matrix (row i = center of node i), and the per-point
+// ball/cone structures are three position-indexed arrays of length n — each
+// storage position belongs to exactly one leaf, so a leaf's slice of those
+// arrays is contiguous and its radii stay descending within the slice. Leaf
+// verification runs as fused bound kernels plus one blocked inner-product
+// call over sequential memory (vec.BallCutoff / vec.ConeSelect /
+// vec.DotBlock).
 package bctree
 
 import (
@@ -25,6 +35,9 @@ const radiusSlack = 1e-9
 // inner product chain stays orders of magnitude below this.
 const boundSlack = 1e-9
 
+// noChild marks a leaf's child slots in the flat arena.
+const noChild = int32(-1)
+
 // Config parameterizes BC-Tree construction.
 type Config struct {
 	// LeafSize is the maximum number of points per leaf (the paper's N0).
@@ -42,35 +55,40 @@ func (c Config) normalized() Config {
 	return c
 }
 
-// node is one ball of the tree. Leaf nodes carry the per-point ball and cone
-// structures over positions [start, end) of the reordered storage; the slices
-// below are indexed by position - start and ordered by descending radius.
-type node struct {
-	center     []float32
-	centerNorm float64 // ||center||, precomputed for the cone bound
-	radius     float64
-	start, end int32
-
-	left, right *node
-
-	// Leaf-only point-level structures (Algorithm 4 lines 5-9).
-	rx   []float64 // ball radii r_x = ||x - center||, descending
-	xcos []float64 // ||x|| cos(phi_x), the projection of x onto center
-	xsin []float64 // ||x|| sin(phi_x), the rejection of x from center
+// nodeRec is one ball of the tree in the flat arena. Leaf nodes have
+// left == right == noChild and cover positions [start, end) of the reordered
+// storage; their point-level structures are the [start, end) slices of the
+// tree's rx/xcos/xsin arrays, ordered by descending r_x. Children always sit
+// at larger arena indices than their parent (preorder construction).
+type nodeRec struct {
+	radius      float64
+	centerNorm  float64 // ||center||, precomputed for the cone bound
+	start, end  int32
+	left, right int32 // arena indices of children, noChild for leaves
 }
 
-func (n *node) count() int32 { return n.end - n.start }
-func (n *node) isLeaf() bool { return n.left == nil }
+func (n *nodeRec) count() int32 { return n.end - n.start }
+func (n *nodeRec) isLeaf() bool { return n.left == noChild }
 
 // Tree is a BC-Tree over lifted data points x = (p; 1).
 type Tree struct {
-	points   *vec.Matrix // reordered copy: leaf ranges are contiguous rows
-	ids      []int32     // position -> original data id
-	root     *node
+	points  *vec.Matrix // reordered copy: leaf ranges are contiguous rows
+	ids     []int32     // position -> original data id
+	nodes   []nodeRec   // flat arena, root at index 0, preorder
+	centers *vec.Matrix // nodes x d: packed node centers
+
+	// Position-indexed point-level structures (Algorithm 4 lines 5-9),
+	// length n; within each leaf's [start, end) slice rx is descending.
+	rx   []float64 // ball radii r_x = ||x - center||
+	xcos []float64 // ||x|| cos(phi_x), the projection of x onto center
+	xsin []float64 // ||x|| sin(phi_x), the rejection of x from center
+
 	leafSize int
-	nodes    int
 	leaves   int
 }
+
+// center returns node ni's center, a row of the packed centers matrix.
+func (t *Tree) center(ni int32) []float32 { return t.centers.Row(int(ni)) }
 
 // N returns the number of indexed points.
 func (t *Tree) N() int { return t.points.N }
@@ -82,34 +100,34 @@ func (t *Tree) Dim() int { return t.points.D }
 func (t *Tree) LeafSize() int { return t.leafSize }
 
 // Nodes returns the total number of tree nodes (internal + leaf).
-func (t *Tree) Nodes() int { return t.nodes }
+func (t *Tree) Nodes() int { return len(t.nodes) }
 
 // Leaves returns the number of leaf nodes.
 func (t *Tree) Leaves() int { return t.leaves }
 
 // Height returns the height of the tree (a single leaf tree has height 1).
-func (t *Tree) Height() int { return height(t.root) }
+func (t *Tree) Height() int { return t.height(0) }
 
-func height(n *node) int {
-	if n == nil {
-		return 0
-	}
+func (t *Tree) height(ni int32) int {
+	n := &t.nodes[ni]
 	if n.isLeaf() {
 		return 1
 	}
-	hl, hr := height(n.left), height(n.right)
+	hl, hr := t.height(n.left), t.height(n.right)
 	if hl > hr {
 		return hl + 1
 	}
 	return hr + 1
 }
 
-// IndexBytes estimates the memory footprint of the index structure: node
-// centers, radii, child pointers, the position->id map, and the three
-// Θ(n)-size leaf arrays that BC-Tree adds over Ball-Tree (Theorem 6).
+// IndexBytes estimates the memory footprint of the index structure: the
+// packed centers matrix, the node records, the position->id map, and the
+// three Θ(n)-size point-level arrays that BC-Tree adds over Ball-Tree
+// (Theorem 6).
 func (t *Tree) IndexBytes() int64 {
-	perNode := int64(t.points.D)*4 + 2*8 /*radius+norm*/ + 2*8 /*children*/ + 2*4 /*range*/
-	return int64(t.nodes)*perNode + int64(len(t.ids))*4 + int64(t.points.N)*3*8
+	const perNode = 2*8 /*radius+norm*/ + 2*4 /*range*/ + 2*4 /*children*/
+	return t.centers.Bytes() + int64(len(t.nodes))*perNode +
+		int64(len(t.ids))*4 + int64(t.points.N)*3*8
 }
 
 // DataBytes returns the size of the reordered data copy.
@@ -118,5 +136,5 @@ func (t *Tree) DataBytes() int64 { return t.points.Bytes() }
 // String summarizes the tree for logs.
 func (t *Tree) String() string {
 	return fmt.Sprintf("bctree{n=%d d=%d leafsize=%d nodes=%d leaves=%d height=%d}",
-		t.N(), t.Dim(), t.leafSize, t.nodes, t.leaves, t.Height())
+		t.N(), t.Dim(), t.leafSize, t.Nodes(), t.leaves, t.Height())
 }

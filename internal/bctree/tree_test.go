@@ -47,18 +47,24 @@ func checkTreeInvariants(t *testing.T, tree *Tree) {
 		}
 		seen[id] = true
 	}
+	if len(tree.rx) != tree.N() || len(tree.xcos) != tree.N() || len(tree.xsin) != tree.N() {
+		t.Fatalf("point-level arrays sized %d/%d/%d, want %d",
+			len(tree.rx), len(tree.xcos), len(tree.xsin), tree.N())
+	}
 	var nodes, leaves int
-	var walk func(n *node)
-	walk = func(n *node) {
+	var walk func(ni int32)
+	walk = func(ni int32) {
+		n := &tree.nodes[ni]
+		center := tree.center(ni)
 		nodes++
 		if n.count() <= 0 {
 			t.Fatal("empty node")
 		}
-		if got := vec.Norm(n.center); math.Abs(got-n.centerNorm) > 1e-9*(1+got) {
+		if got := vec.Norm(center); math.Abs(got-n.centerNorm) > 1e-9*(1+got) {
 			t.Fatalf("stale centerNorm: %v != %v", n.centerNorm, got)
 		}
 		for pos := n.start; pos < n.end; pos++ {
-			d := vec.Dist(tree.points.Row(int(pos)), n.center)
+			d := vec.Dist(tree.points.Row(int(pos)), center)
 			if d > n.radius {
 				t.Fatalf("point at pos %d outside ball: %v > %v", pos, d, n.radius)
 			}
@@ -68,42 +74,43 @@ func checkTreeInvariants(t *testing.T, tree *Tree) {
 			if int(n.count()) > tree.leafSize {
 				t.Fatalf("leaf size %d > N0=%d", n.count(), tree.leafSize)
 			}
-			cnt := int(n.count())
-			if len(n.rx) != cnt || len(n.xcos) != cnt || len(n.xsin) != cnt {
-				t.Fatalf("leaf arrays sized %d/%d/%d, want %d", len(n.rx), len(n.xcos), len(n.xsin), cnt)
-			}
-			for i := 0; i < cnt; i++ {
-				if i > 0 && n.rx[i] > n.rx[i-1]+1e-12 {
-					t.Fatalf("rx not descending at %d: %v > %v", i, n.rx[i], n.rx[i-1])
+			for pos := int(n.start); pos < int(n.end); pos++ {
+				i := pos - int(n.start)
+				if i > 0 && tree.rx[pos] > tree.rx[pos-1]+1e-12 {
+					t.Fatalf("rx not descending at %d: %v > %v", i, tree.rx[pos], tree.rx[pos-1])
 				}
-				x := tree.points.Row(int(n.start) + i)
-				r := vec.Dist(x, n.center)
-				if math.Abs(n.rx[i]-r) > 1e-6*(1+r) {
-					t.Fatalf("rx[%d]=%v but true dist %v", i, n.rx[i], r)
+				x := tree.points.Row(pos)
+				r := vec.Dist(x, center)
+				if math.Abs(tree.rx[pos]-r) > 1e-6*(1+r) {
+					t.Fatalf("rx[%d]=%v but true dist %v", i, tree.rx[pos], r)
 				}
 				xn := vec.Norm(x)
-				if got := math.Hypot(n.xcos[i], n.xsin[i]); math.Abs(got-xn) > 1e-6*(1+xn) {
+				if got := math.Hypot(tree.xcos[pos], tree.xsin[pos]); math.Abs(got-xn) > 1e-6*(1+xn) {
 					t.Fatalf("cone identity broken: hypot=%v, ||x||=%v", got, xn)
 				}
-				if n.xsin[i] < 0 {
-					t.Fatalf("xsin must be nonnegative, got %v", n.xsin[i])
+				if tree.xsin[pos] < 0 {
+					t.Fatalf("xsin must be nonnegative, got %v", tree.xsin[pos])
 				}
 				// Figure 4: the rejection and the center-offset projection
 				// form a right triangle with hypotenuse r_x.
-				lhs := n.xsin[i]*n.xsin[i] + (n.centerNorm-n.xcos[i])*(n.centerNorm-n.xcos[i])
+				lhs := tree.xsin[pos]*tree.xsin[pos] + (n.centerNorm-tree.xcos[pos])*(n.centerNorm-tree.xcos[pos])
 				if math.Abs(lhs-r*r) > 1e-5*(1+r*r) {
 					t.Fatalf("Figure 4 identity broken: %v != %v", lhs, r*r)
 				}
 			}
 			return
 		}
-		if n.left.start != n.start || n.right.end != n.end || n.left.end != n.right.start {
+		l, r := &tree.nodes[n.left], &tree.nodes[n.right]
+		if l.start != n.start || r.end != n.end || l.end != r.start {
 			t.Fatalf("children do not partition parent")
+		}
+		if n.left <= ni || n.right <= ni {
+			t.Fatalf("children %d,%d not after parent %d in preorder arena", n.left, n.right, ni)
 		}
 		walk(n.left)
 		walk(n.right)
 	}
-	walk(tree.root)
+	walk(0)
 	if leaves != tree.Leaves() || nodes != tree.Nodes() {
 		t.Fatalf("node accounting: counted %d/%d, tree says %d/%d", nodes, leaves, tree.Nodes(), tree.Leaves())
 	}
@@ -115,18 +122,20 @@ func checkTreeInvariants(t *testing.T, tree *Tree) {
 func TestLemma1CenterMatchesDirectCentroid(t *testing.T) {
 	data, _ := buildTestData(t, dataset.FamilyHeavyTail, 700, 10, 2)
 	tree := Build(data, Config{LeafSize: 30, Seed: 2})
-	var walk func(n *node)
-	walk = func(n *node) {
+	var walk func(ni int32)
+	walk = func(ni int32) {
+		n := &tree.nodes[ni]
+		center := tree.center(ni)
 		ids := make([]int32, 0, n.count())
 		for pos := n.start; pos < n.end; pos++ {
 			ids = append(ids, pos)
 		}
 		direct := tree.points.Centroid(ids)
 		for j := range direct {
-			diff := math.Abs(float64(direct[j]) - float64(n.center[j]))
+			diff := math.Abs(float64(direct[j]) - float64(center[j]))
 			scale := math.Max(1, math.Abs(float64(direct[j])))
 			if diff > 1e-4*scale {
-				t.Fatalf("center[%d] drifted: lemma1=%v direct=%v", j, n.center[j], direct[j])
+				t.Fatalf("center[%d] drifted: lemma1=%v direct=%v", j, center[j], direct[j])
 			}
 		}
 		if !n.isLeaf() {
@@ -134,7 +143,7 @@ func TestLemma1CenterMatchesDirectCentroid(t *testing.T) {
 			walk(n.right)
 		}
 	}
-	walk(tree.root)
+	walk(0)
 }
 
 func TestBuildDeterministic(t *testing.T) {

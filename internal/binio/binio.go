@@ -158,6 +158,16 @@ func (r *Reader) F64() float64 {
 	return math.Float64frombits(binary.LittleEndian.Uint64(buf[:]))
 }
 
+// Raw reads n bytes and returns them, or nil once the stream has failed.
+// Callers use it to dispatch on one of several accepted magic values.
+func (r *Reader) Raw(n int) []byte {
+	buf := make([]byte, n)
+	if !r.get(buf) {
+		return nil
+	}
+	return buf
+}
+
 // Expect reads len(want) bytes and fails the stream if they differ.
 func (r *Reader) Expect(want []byte) {
 	buf := make([]byte, len(want))

@@ -1,0 +1,140 @@
+package vec
+
+import "sort"
+
+// This file holds the blocked kernels behind the flat tree layouts: instead
+// of one O(d) call per candidate, a leaf hands its whole contiguous row block
+// to a single kernel call. The win is not vectorization magic — accumulation
+// still runs in float64 for bound stability — but amortized call overhead,
+// bounds checks hoisted out of the hot loop, and strictly sequential reads
+// over the packed leaf block, which is what the cache prefetcher rewards.
+
+// DotBlock computes out[i] = <q, rows[i*d : (i+1)*d]> with d = len(q) for
+// every row of the packed row-major block. len(rows) must be len(out)*len(q).
+// Each row follows exactly Dot's accumulation order, so a blocked result is
+// bitwise identical to the per-row Dot call it replaces — callers compare
+// distances across code paths (e.g. tree vs. linear scan) with plain ==.
+func DotBlock(q []float32, rows []float32, out []float64) {
+	d := len(q)
+	if len(rows) != len(out)*d {
+		panic("vec: DotBlock shape mismatch")
+	}
+	i := 0
+	// Two rows per pass: each loaded element of q serves two accumulation
+	// chains, and the independent chains keep the FP units busy.
+	for ; i+2 <= len(out); i += 2 {
+		a := rows[i*d : i*d+d : i*d+d]
+		b := rows[i*d+d : i*d+2*d : i*d+2*d]
+		var a0, a1, a2, a3, b0, b1, b2, b3 float64
+		j := 0
+		for ; j+4 <= d; j += 4 {
+			q0, q1, q2, q3 := float64(q[j]), float64(q[j+1]), float64(q[j+2]), float64(q[j+3])
+			a0 += q0 * float64(a[j])
+			a1 += q1 * float64(a[j+1])
+			a2 += q2 * float64(a[j+2])
+			a3 += q3 * float64(a[j+3])
+			b0 += q0 * float64(b[j])
+			b1 += q1 * float64(b[j+1])
+			b2 += q2 * float64(b[j+2])
+			b3 += q3 * float64(b[j+3])
+		}
+		for ; j < d; j++ {
+			qj := float64(q[j])
+			a0 += qj * float64(a[j])
+			b0 += qj * float64(b[j])
+		}
+		out[i] = a0 + a1 + a2 + a3
+		out[i+1] = b0 + b1 + b2 + b3
+	}
+	if i < len(out) {
+		out[i] = Dot(q, rows[i*d:i*d+d])
+	}
+}
+
+// SqDistBlock computes out[i] = ||q - rows[i*d:(i+1)*d]||^2 for every row of
+// the packed row-major block. len(rows) must be len(out)*len(q).
+func SqDistBlock(q []float32, rows []float32, out []float64) {
+	d := len(q)
+	if len(rows) != len(out)*d {
+		panic("vec: SqDistBlock shape mismatch")
+	}
+	i := 0
+	for ; i+2 <= len(out); i += 2 {
+		a := rows[i*d : i*d+d : i*d+d]
+		b := rows[i*d+d : i*d+2*d : i*d+2*d]
+		var a0, a1, b0, b1 float64
+		j := 0
+		for ; j+2 <= d; j += 2 {
+			q0, q1 := float64(q[j]), float64(q[j+1])
+			da0 := q0 - float64(a[j])
+			da1 := q1 - float64(a[j+1])
+			db0 := q0 - float64(b[j])
+			db1 := q1 - float64(b[j+1])
+			a0 += da0 * da0
+			a1 += da1 * da1
+			b0 += db0 * db0
+			b1 += db1 * db1
+		}
+		if j < d {
+			qj := float64(q[j])
+			da := qj - float64(a[j])
+			db := qj - float64(b[j])
+			a0 += da * da
+			b0 += db * db
+		}
+		out[i] = a0 + a1
+		out[i+1] = b0 + b1
+	}
+	if i < len(out) {
+		out[i] = SqDist(q, rows[i*d:i*d+d])
+	}
+}
+
+// BallCutoff returns the number of leading entries of the descending radius
+// array rx whose point-level ball bound (Corollary 1)
+//
+//	lb_ball(i) = absIP - qnorm*rx[i]
+//
+// stays below lambda. Because rx is descending the bound ascends along the
+// array, so everything from the returned index on is prunable in one batch —
+// the flat-layout form of the paper's batch pruning, found by binary search
+// instead of a scan.
+func BallCutoff(absIP, qnorm, lambda float64, rx []float64) int {
+	if qnorm <= 0 {
+		if absIP >= lambda {
+			return 0
+		}
+		return len(rx)
+	}
+	// lb_ball(i) >= lambda  <=>  rx[i] <= (absIP-lambda)/qnorm.
+	thresh := (absIP - lambda) / qnorm
+	return sort.Search(len(rx), func(i int) bool { return rx[i] <= thresh })
+}
+
+// ConeSelect is the fused point-level cone bound kernel (Theorem 3): it
+// evaluates the O(1) cone lower bound for each point of a leaf block and
+// appends the indices of the points it cannot prune to sel, returning the
+// extended slice. qcos and qsin are the query's projection onto / rejection
+// from the leaf center; xcos and xsin are the per-point analogues stored by
+// the tree. A point survives when lbCone*(1-slack) < lambda.
+func ConeSelect(qcos, qsin, lambda, slack float64, xcos, xsin []float64, sel []int32) []int32 {
+	if len(xcos) != len(xsin) {
+		panic("vec: ConeSelect shape mismatch")
+	}
+	scale := 1 - slack
+	for i := range xcos {
+		xc, xs := xcos[i], xsin[i]
+		sumA := qcos*xc - qsin*xs
+		sumB := qcos*xc + qsin*xs
+		var lb float64
+		if sumA > 0 && qcos > 0 && xc > 0 {
+			lb = sumA
+		} else if sumB < 0 {
+			lb = -sumB
+		}
+		if lb*scale < lambda {
+			sel = append(sel, int32(i))
+		}
+	}
+	return sel
+}

@@ -1,0 +1,230 @@
+package vec
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func randBlock(rng *rand.Rand, n, d int) ([]float32, []float32) {
+	q := make([]float32, d)
+	rows := make([]float32, n*d)
+	for i := range q {
+		q[i] = float32(rng.NormFloat64())
+	}
+	for i := range rows {
+		rows[i] = float32(rng.NormFloat64())
+	}
+	return q, rows
+}
+
+func TestDotBlockMatchesDot(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 2, 3, 7, 64} {
+		for _, d := range []int{1, 2, 3, 17, 128} {
+			q, rows := randBlock(rng, n, d)
+			out := make([]float64, n)
+			DotBlock(q, rows, out)
+			for i := 0; i < n; i++ {
+				// Bitwise equality: the blocked kernel must round exactly
+				// like the per-row Dot it replaces, or exact-search results
+				// would drift between code paths.
+				if want := Dot(q, rows[i*d:(i+1)*d]); out[i] != want {
+					t.Fatalf("n=%d d=%d row %d: %v != %v", n, d, i, out[i], want)
+				}
+			}
+		}
+	}
+}
+
+func TestSqDistBlockMatchesSqDist(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{0, 1, 2, 5, 33} {
+		for _, d := range []int{1, 2, 4, 19, 96} {
+			q, rows := randBlock(rng, n, d)
+			out := make([]float64, n)
+			SqDistBlock(q, rows, out)
+			for i := 0; i < n; i++ {
+				// Bitwise equality, as for DotBlock.
+				if want := SqDist(q, rows[i*d:(i+1)*d]); out[i] != want {
+					t.Fatalf("n=%d d=%d row %d: %v != %v", n, d, i, out[i], want)
+				}
+			}
+		}
+	}
+}
+
+func TestBlockKernelsPanicOnShapeMismatch(t *testing.T) {
+	for name, f := range map[string]func(){
+		"dot":    func() { DotBlock(make([]float32, 3), make([]float32, 7), make([]float64, 2)) },
+		"sqdist": func() { SqDistBlock(make([]float32, 3), make([]float32, 7), make([]float64, 2)) },
+		"cone":   func() { ConeSelect(0, 0, 1, 0, make([]float64, 2), make([]float64, 3), nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// ballCutoffNaive is the reference scan the binary search must agree with.
+func ballCutoffNaive(absIP, qnorm, lambda float64, rx []float64) int {
+	for i, r := range rx {
+		if absIP-qnorm*r >= lambda {
+			return i
+		}
+	}
+	return len(rx)
+}
+
+func TestBallCutoffMatchesScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(40)
+		rx := make([]float64, n)
+		for i := range rx {
+			rx[i] = rng.Float64() * 10
+		}
+		sort.Sort(sort.Reverse(sort.Float64Slice(rx)))
+		absIP := rng.Float64() * 5
+		qnorm := rng.Float64() * 2
+		lambda := rng.Float64() * 3
+		got := BallCutoff(absIP, qnorm, lambda, rx)
+		want := ballCutoffNaive(absIP, qnorm, lambda, rx)
+		if got != want {
+			t.Fatalf("trial %d: cutoff %d != %d (absIP=%v qnorm=%v lambda=%v rx=%v)",
+				trial, got, want, absIP, qnorm, lambda, rx)
+		}
+	}
+}
+
+func TestBallCutoffZeroQnorm(t *testing.T) {
+	rx := []float64{3, 2, 1}
+	if got := BallCutoff(5, 0, 4, rx); got != 0 {
+		t.Fatalf("constant bound above lambda must cut everything, got %d", got)
+	}
+	if got := BallCutoff(5, 0, 6, rx); got != len(rx) {
+		t.Fatalf("constant bound below lambda must keep everything, got %d", got)
+	}
+}
+
+// coneKeepNaive mirrors the scalar cone-bound logic point by point.
+func coneKeepNaive(qcos, qsin, lambda, slack float64, xcos, xsin []float64) []int32 {
+	var keep []int32
+	for i := range xcos {
+		sumA := qcos*xcos[i] - qsin*xsin[i]
+		sumB := qcos*xcos[i] + qsin*xsin[i]
+		var lb float64
+		if sumA > 0 && qcos > 0 && xcos[i] > 0 {
+			lb = sumA
+		} else if sumB < 0 {
+			lb = -sumB
+		}
+		if lb*(1-slack) < lambda {
+			keep = append(keep, int32(i))
+		}
+	}
+	return keep
+}
+
+func TestConeSelectMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(50)
+		xcos := make([]float64, n)
+		xsin := make([]float64, n)
+		for i := range xcos {
+			xcos[i] = rng.NormFloat64()
+			xsin[i] = math.Abs(rng.NormFloat64())
+		}
+		qcos := rng.NormFloat64()
+		qsin := math.Abs(rng.NormFloat64())
+		lambda := rng.Float64() * 2
+		got := ConeSelect(qcos, qsin, lambda, 1e-9, xcos, xsin, nil)
+		want := coneKeepNaive(qcos, qsin, lambda, 1e-9, xcos, xsin)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: kept %d != %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: survivor %d: %d != %d", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestConeSelectAppendsToExisting(t *testing.T) {
+	sel := []int32{99}
+	sel = ConeSelect(0, 0, 1, 0, []float64{0}, []float64{0}, sel)
+	if len(sel) != 2 || sel[0] != 99 || sel[1] != 0 {
+		t.Fatalf("ConeSelect must append, got %v", sel)
+	}
+}
+
+// --- kernel benchmarks (the bench-regression CI job watches these) ---------
+
+func benchVectors(n, d int) ([]float32, []float32, []float64) {
+	rng := rand.New(rand.NewSource(7))
+	q, rows := randBlock(rng, n, d)
+	return q, rows, make([]float64, n)
+}
+
+func BenchmarkDot128(b *testing.B) {
+	q, rows, _ := benchVectors(1, 128)
+	b.SetBytes(128 * 4)
+	for i := 0; i < b.N; i++ {
+		sinkF64 = Dot(q, rows)
+	}
+}
+
+func BenchmarkDotBlock100x128(b *testing.B) {
+	q, rows, out := benchVectors(100, 128)
+	b.SetBytes(100 * 128 * 4)
+	for i := 0; i < b.N; i++ {
+		DotBlock(q, rows, out)
+	}
+}
+
+func BenchmarkDotLoop100x128(b *testing.B) {
+	// The pre-flat-layout leaf scan shape: one Dot call per row.
+	q, rows, out := benchVectors(100, 128)
+	b.SetBytes(100 * 128 * 4)
+	for i := 0; i < b.N; i++ {
+		for r := 0; r < 100; r++ {
+			out[r] = Dot(q, rows[r*128:(r+1)*128])
+		}
+	}
+}
+
+func BenchmarkSqDistBlock100x128(b *testing.B) {
+	q, rows, out := benchVectors(100, 128)
+	b.SetBytes(100 * 128 * 4)
+	for i := 0; i < b.N; i++ {
+		SqDistBlock(q, rows, out)
+	}
+}
+
+func BenchmarkConeSelect100(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	xcos := make([]float64, 100)
+	xsin := make([]float64, 100)
+	for i := range xcos {
+		xcos[i] = rng.NormFloat64()
+		xsin[i] = math.Abs(rng.NormFloat64())
+	}
+	sel := make([]int32, 0, 100)
+	for i := 0; i < b.N; i++ {
+		sel = ConeSelect(0.5, 0.8, 0.3, 1e-9, xcos, xsin, sel[:0])
+	}
+	sinkInt = len(sel)
+}
+
+var (
+	sinkF64 float64
+	sinkInt int
+)

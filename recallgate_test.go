@@ -1,0 +1,58 @@
+package p2h_test
+
+// The recall gate: every exact index must return recall 1.0 against the
+// exhaustive linear scan on a generated dataset. CI runs this test as its
+// own step (see .github/workflows/ci.yml), so storage-layout or kernel
+// refactors cannot silently break correctness: a pruning bound that became
+// unsound shows up here as recall < 1 long before any benchmark moves.
+
+import (
+	"math"
+	"testing"
+
+	p2h "p2h"
+)
+
+// exactIndexes enumerates the indexes that promise exact answers.
+func exactIndexes(data *p2h.Matrix) map[string]p2h.Index {
+	return map[string]p2h.Index{
+		"balltree": p2h.NewBallTree(data, p2h.BallTreeOptions{Seed: 3}),
+		"bctree":   p2h.NewBCTree(data, p2h.BCTreeOptions{Seed: 3}),
+		"kdtree":   p2h.NewKDTree(data, p2h.KDTreeOptions{}),
+		"sharded":  p2h.NewSharded(data, p2h.ShardedOptions{Shards: 4, Seed: 3}),
+		"dynamic":  p2h.NewDynamic(data, p2h.DynamicOptions{Seed: 3}),
+	}
+}
+
+func TestRecallGateExactIndexes(t *testing.T) {
+	const k = 10
+	for _, set := range []string{"Sift", "Cifar-10"} {
+		data := p2h.Dedup(p2h.GenerateDataset(set, 2000, 1))
+		queries := p2h.GenerateQueries(data, 20, 2)
+		scan := p2h.NewLinearScan(data)
+		for name, ix := range exactIndexes(data) {
+			hits, total := 0, 0
+			for qi := 0; qi < queries.N; qi++ {
+				q := queries.Row(qi)
+				got, _ := ix.Search(q, p2h.SearchOptions{K: k})
+				want, _ := scan.Search(q, p2h.SearchOptions{K: k})
+				if len(got) != len(want) {
+					t.Fatalf("%s/%s query %d: %d results, want %d", set, name, qi, len(got), len(want))
+				}
+				// Distance-based recall: a returned point counts as a hit when
+				// its distance is within the ground-truth k-th distance (the
+				// standard convention, robust to exact ties).
+				kth := want[len(want)-1].Dist
+				for _, r := range got {
+					if r.Dist <= kth*(1+1e-9)+1e-12 {
+						hits++
+					}
+				}
+				total += len(want)
+			}
+			if recall := float64(hits) / float64(total); math.Abs(recall-1) > 1e-12 {
+				t.Errorf("%s/%s: recall %.6f, want exactly 1.0", set, name, recall)
+			}
+		}
+	}
+}

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# bench.sh — run the key microbenchmarks and emit a machine-readable perf
+# snapshot (ns/op and derived qps per benchmark) so the repository tracks its
+# performance trajectory PR over PR.
+#
+#   scripts/bench.sh [out.json]     default out: BENCH_2.json
+#
+# The benchmark suite is shared with the CI bench-regression gate
+# (scripts/bench_regression.sh); this script adds the JSON snapshot. Each
+# benchmark's value is the median ns/op over BENCH_COUNT runs.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+OUT="${1:-BENCH_2.json}"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+./scripts/bench_regression.sh run "$RAW"
+
+# "BenchmarkName-8  1234  5678 ns/op ..." -> "BenchmarkName 5678", median per
+# name, then JSON. qps = 1e9 / ns_per_op, meaningful for per-query benchmarks.
+grep -E '^Benchmark[^ ]+(-[0-9]+)?\s' "$RAW" |
+  awk '{ name = $1; sub(/-[0-9]+$/, "", name); print name, $3 }' |
+  sort |
+  awk -v go_version="$(go version | awk '{print $3}')" \
+      -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+    {
+      if ($1 != name && name != "") emit()
+      name = $1
+      vals[++n] = $2
+    }
+    function emit(    mid, med) {
+      # vals arrived sorted lexically per name but medians need numeric order.
+      for (i = 1; i <= n; i++)
+        for (j = i + 1; j <= n; j++)
+          if (vals[j] + 0 < vals[i] + 0) { t = vals[i]; vals[i] = vals[j]; vals[j] = t }
+      mid = int((n + 1) / 2)
+      med = (n % 2 == 1) ? vals[mid] + 0 : (vals[mid] + vals[mid + 1]) / 2
+      lines[++m] = sprintf("    \"%s\": {\"ns_per_op\": %.1f, \"qps\": %.1f}", name, med, 1e9 / med)
+      n = 0
+    }
+    END {
+      emit()
+      printf "{\n"
+      printf "  \"generated_by\": \"scripts/bench.sh\",\n"
+      printf "  \"generated_at\": \"%s\",\n", date
+      printf "  \"go\": \"%s\",\n", go_version
+      printf "  \"benchmarks\": {\n"
+      for (i = 1; i <= m; i++) printf "%s%s\n", lines[i], (i < m ? "," : "")
+      printf "  }\n}\n"
+    }' > "$OUT"
+
+echo "wrote $OUT"

@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# bench_regression.sh — run the key microbenchmarks and gate on regressions.
+#
+#   bench_regression.sh run <out.txt>             run the benchmark suite
+#   bench_regression.sh compare <base.txt> <head.txt>
+#                                                 benchstat the two runs and
+#                                                 fail on a statistically
+#                                                 significant >15% slowdown
+#
+# The suite covers the three layers the flat tree layout optimizes: the vec
+# kernels, the balltree/bctree searches, and the serving path. -count=6 gives
+# benchstat enough samples for a significance test.
+set -euo pipefail
+
+COUNT="${BENCH_COUNT:-6}"
+BENCHTIME="${BENCH_TIME:-0.3s}"
+MAX_REGRESSION_PCT="${MAX_REGRESSION_PCT:-15}"
+
+run() {
+  local out="$1"
+  : > "$out"
+  go test -run '^$' -bench 'BenchmarkDot|BenchmarkSqDistBlock|BenchmarkConeSelect' \
+    -benchtime="$BENCHTIME" -count="$COUNT" ./internal/vec | tee -a "$out"
+  go test -run '^$' -bench 'BenchmarkQueryExactBallTree$|BenchmarkQueryExactBCTree$|BenchmarkQueryBudgetBCTree$|BenchmarkServer' \
+    -benchtime="$BENCHTIME" -count="$COUNT" . | tee -a "$out"
+}
+
+compare() {
+  local base="$1" head="$2"
+  local report
+  report=$(benchstat "$base" "$head")
+  echo "$report"
+  # benchstat marks a significant delta as "+NN.NN% (p=0.0xx n=6)" and an
+  # insignificant one as "~". Only the sec/op table is a regression signal:
+  # in the B/s table (benchmarks with b.SetBytes) a positive delta is an
+  # improvement, so the scan tracks which metric section it is inside.
+  local bad
+  bad=$(echo "$report" | awk -v max="$MAX_REGRESSION_PCT" '
+    /sec\/op/ { insec = 1; next }
+    /B\/s|B\/op|allocs\/op/ { insec = 0; next }
+    insec {
+      for (i = 1; i < NF; i++) {
+        if ($i ~ /^\+[0-9]+(\.[0-9]+)?%$/ && $(i + 1) ~ /^\(p=[0-9.]+$/) {
+          pct = substr($i, 2, length($i) - 2) + 0
+          p = substr($(i + 1), 4) + 0
+          if (pct > max && p <= 0.05) print
+        }
+      }
+    }') || true
+  if [ -n "$bad" ]; then
+    echo ""
+    echo "FAIL: statistically significant slowdown(s) above ${MAX_REGRESSION_PCT}%:"
+    echo "$bad"
+    exit 1
+  fi
+  echo "OK: no significant slowdown above ${MAX_REGRESSION_PCT}%."
+}
+
+case "${1:-}" in
+  run)     run "${2:?usage: bench_regression.sh run <out.txt>}" ;;
+  compare) compare "${2:?base file}" "${3:?head file}" ;;
+  *) echo "usage: $0 run <out.txt> | compare <base.txt> <head.txt>" >&2; exit 2 ;;
+esac
