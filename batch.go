@@ -1,0 +1,74 @@
+package p2h
+
+import (
+	"fmt"
+
+	"p2h/internal/vec"
+)
+
+// BatchIndex is the optional batched execution surface of an index: a native
+// SearchBatch answers a whole group of queries in one shared traversal
+// (internal/exec) instead of a per-query loop, amortizing node visits and
+// leaf verification across the group. BallTree, BCTree and Sharded implement
+// it; p2h.SearchBatch and the Server route through it automatically.
+type BatchIndex interface {
+	Index
+	// SearchBatch answers one top-k query per row of queries (each row a
+	// hyperplane (w; b), exactly as Search takes). Results and their
+	// ordering are identical to per-query Search calls; the per-query Stats
+	// reflect the work actually performed, which the shared traversal
+	// distributes differently than a per-query loop would.
+	SearchBatch(queries *Matrix, opts SearchOptions) ([][]Result, []Stats)
+}
+
+// checkQueryBatch validates a batch of hyperplane queries over d-dimensional
+// points and rescales any row without a unit normal, copying the matrix at
+// most once. The normalization band matches checkQuery, so batched and
+// per-query paths see bit-identical canonical queries.
+func checkQueryBatch(queries *Matrix, d int) *Matrix {
+	if queries.D != d+1 {
+		panic(fmt.Sprintf("p2h: batch queries have dimension %d, want %d (normal) + 1 (offset)", queries.D, d+1))
+	}
+	out := queries
+	for i := 0; i < queries.N; i++ {
+		q := out.Row(i)
+		n := vec.Norm(q[:d])
+		if n == 0 {
+			panic("p2h: hyperplane normal must be non-zero")
+		}
+		if n > 1-1e-6 && n < 1+1e-6 {
+			continue
+		}
+		if out == queries {
+			out = queries.Clone()
+		}
+		vec.Scale(out.Row(i), 1/n)
+	}
+	return out
+}
+
+// SearchBatch implements BatchIndex: one shared Ball-Tree traversal for the
+// whole batch.
+func (t *BallTree) SearchBatch(queries *Matrix, opts SearchOptions) ([][]Result, []Stats) {
+	return t.tree.SearchBatch(checkQueryBatch(queries, t.raw), opts)
+}
+
+// SearchBatch implements BatchIndex: one shared BC-Tree traversal for the
+// whole batch.
+func (t *BCTree) SearchBatch(queries *Matrix, opts SearchOptions) ([][]Result, []Stats) {
+	return t.tree.SearchBatch(checkQueryBatch(queries, t.raw), opts)
+}
+
+// SearchBatch implements BatchIndex: every shard serves the whole batch
+// through its shared traversal and the per-shard answers merge exactly per
+// query. Shard fan-out uses at most ShardedOptions.Workers goroutines.
+func (t *Sharded) SearchBatch(queries *Matrix, opts SearchOptions) ([][]Result, []Stats) {
+	return t.index.SearchBatch(checkQueryBatch(queries, t.raw), opts)
+}
+
+// Interface conformance checks.
+var (
+	_ BatchIndex = (*BallTree)(nil)
+	_ BatchIndex = (*BCTree)(nil)
+	_ BatchIndex = (*Sharded)(nil)
+)

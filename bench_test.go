@@ -199,6 +199,57 @@ func BenchmarkQueryBudgetFH(b *testing.B) {
 	budgetQueryBench(b, NewFH(data, FHOptions{M: 16, Seed: 1}), queries, data.N)
 }
 
+// BenchmarkSearchBatchExact is the headline number of the batched execution
+// engine: one uncached batch of 64 exact top-10 queries on a BC-Tree,
+// answered per query (the pre-engine SearchBatch behavior: a plain loop
+// over Search) versus through the native shared batched traversal. Both
+// variants run on one goroutine so the ratio isolates the engine's
+// algorithmic effect — shared node visits, per-prefix multi-query leaf
+// kernels, conversion-free float64 inner loops — rather than parallelism.
+// Results of the two paths are bitwise identical (the equivalence tests pin
+// this); only the execution differs.
+func BenchmarkSearchBatchExact(b *testing.B) {
+	data, _ := benchData(b)
+	queries := GenerateQueries(data, 64, 2)
+	ix := NewBCTree(data, BCTreeOptions{Seed: 1})
+	opts := SearchOptions{K: 10}
+
+	b.Run("perquery", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for qi := 0; qi < queries.N; qi++ {
+				ix.Search(queries.Row(qi), opts)
+			}
+		}
+	})
+	b.Run("batched", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ix.SearchBatch(queries, opts)
+		}
+	})
+}
+
+// BenchmarkServerBatched measures the serving layer on a batchable index
+// with the cache disabled: concurrent callers flood the dispatcher, whose
+// micro-batch chunks run through the index's native SearchBatch. This is
+// the uncached steady-state throughput of the full engine stack
+// (dispatcher + worker pool + batched traversal).
+func BenchmarkServerBatched(b *testing.B) {
+	data, queries := benchData(b)
+	ix := NewBCTree(data, BCTreeOptions{Seed: 1})
+	srv := NewServer(ix, ServerOptions{CacheEntries: -1})
+	defer srv.Close()
+	opts := SearchOptions{K: 10}
+	b.SetParallelism(8) // enough concurrent callers to fill micro-batches
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			srv.Search(queries.Row(i%queries.N), opts)
+			i++
+		}
+	})
+}
+
 // BenchmarkServer compares three ways of answering the same exact top-10
 // workload on one BC-Tree: a sequential single-query loop (the baseline),
 // the micro-batching server with its result cache disabled (batching +

@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"p2h/internal/harness"
@@ -42,6 +44,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		maxL     = fs.Int("maxlambda", 16384, "cap on the sampled dimension for very high-d sets")
 		verbose  = fs.Bool("v", false, "log per-step progress to stderr")
 		outPath  = fs.String("out", "", "also write results to this file")
+		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
+		memProf  = fs.String("memprofile", "", "write a heap profile taken after the experiment run to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -84,6 +88,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 		out = io.MultiWriter(stdout, f)
 	}
 
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(stderr, "p2hbench: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(stderr, "p2hbench: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	for _, name := range names {
 		result, err := harness.RunExperiment(name, cfg)
 		if err != nil {
@@ -91,6 +109,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 		fmt.Fprintf(out, "=== %s ===\n%s\n", name, result)
+	}
+
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			fmt.Fprintf(stderr, "p2hbench: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		runtime.GC() // settle the heap so the profile reflects live memory
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(stderr, "p2hbench: %v\n", err)
+			return 1
+		}
 	}
 	return 0
 }

@@ -79,3 +79,24 @@ func TestRunCommaSeparatedExperiments(t *testing.T) {
 		t.Fatalf("output:\n%s", out.String())
 	}
 }
+
+func TestProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.prof")
+	mem := filepath.Join(dir, "mem.prof")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-exp", "table2", "-scale", "0.02", "-nq", "2",
+		"-cpuprofile", cpu, "-memprofile", mem}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	for _, p := range []string{cpu, mem} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if fi.Size() == 0 {
+			t.Fatalf("profile %s is empty", p)
+		}
+	}
+}

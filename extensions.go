@@ -157,10 +157,16 @@ func (t *QuantizedScan) Dim() int { return t.raw }
 
 var _ Index = (*QuantizedScan)(nil)
 
-// SearchBatch answers many hyperplane queries concurrently on any index,
-// using at most workers goroutines (zero selects GOMAXPROCS). Results are
-// returned in query order. Every index in this library is safe for
-// concurrent readers.
+// SearchBatch answers many hyperplane queries on any index, using at most
+// workers goroutines (zero selects GOMAXPROCS). Results are returned in
+// query order and are identical to per-query Search calls.
+//
+// Indexes with a native batched path (BatchIndex: BallTree, BCTree,
+// Sharded) serve contiguous sub-batches through their shared traversal —
+// one arena walk and one pass over each visited leaf block per sub-batch
+// instead of per query — with the sub-batches spread across the workers.
+// Other indexes fall back to a per-query worker loop. Every index in this
+// library is safe for concurrent readers.
 func SearchBatch(ix Index, queries *Matrix, opts SearchOptions, workers int) [][]Result {
 	if queries.D != ix.Dim()+1 {
 		panic(fmt.Sprintf("p2h: batch queries have dimension %d, want %d", queries.D, ix.Dim()+1))
@@ -172,6 +178,53 @@ func SearchBatch(ix Index, queries *Matrix, opts SearchOptions, workers int) [][
 		workers = queries.N
 	}
 	out := make([][]Result, queries.N)
+	if queries.N == 0 {
+		return out
+	}
+
+	if bi, ok := ix.(BatchIndex); ok {
+		// Sharded parallelizes internally (bounded by its own Workers);
+		// splitting its batch here would both oversubscribe the CPU
+		// (workers × shard workers goroutines) and walk every shard tree
+		// once per sub-batch instead of once per batch. But that routing
+		// only wins when the shared batched traversal actually engages
+		// (exact, unfiltered options) and the shard fan-out offers
+		// comparable parallelism; otherwise — budgeted or filtered batches,
+		// or fewer shards than workers — the worker split below keeps the
+		// caller's parallelism.
+		if sh, sharded := ix.(*Sharded); sharded &&
+			opts.Budget <= 0 && opts.Filter == nil && opts.Profile == nil &&
+			sh.Shards() >= workers {
+			res, _ := bi.SearchBatch(queries, opts)
+			return res
+		}
+		if workers <= 1 {
+			res, _ := bi.SearchBatch(queries, opts)
+			return res
+		}
+		chunk := (queries.N + workers - 1) / workers
+		var wg sync.WaitGroup
+		for lo := 0; lo < queries.N; lo += chunk {
+			hi := lo + chunk
+			if hi > queries.N {
+				hi = queries.N
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				sub := &Matrix{
+					Data: queries.Data[lo*queries.D : hi*queries.D],
+					N:    hi - lo,
+					D:    queries.D,
+				}
+				res, _ := bi.SearchBatch(sub, opts)
+				copy(out[lo:hi], res)
+			}(lo, hi)
+		}
+		wg.Wait()
+		return out
+	}
+
 	var next int
 	var mu sync.Mutex
 	var wg sync.WaitGroup

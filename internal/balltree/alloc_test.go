@@ -1,0 +1,61 @@
+//go:build !race
+
+package balltree
+
+import (
+	"testing"
+
+	"p2h/internal/core"
+)
+
+// TestSearcherZeroAllocs pins the steady-state allocation count of the
+// pooled execution engine at zero: once a Searcher's scratch (top-k heap,
+// leaf buffer) and the caller's dst have grown to their working size,
+// repeated exact and budgeted searches must not allocate at all. Guarded
+// from -race builds, where the runtime's instrumentation allocates.
+func TestSearcherZeroAllocs(t *testing.T) {
+	tree, queries := batchSetup(t, 2000, 8, 21)
+	for _, tc := range []struct {
+		name string
+		opts core.SearchOptions
+	}{
+		{"exact", core.SearchOptions{K: 10}},
+		{"budgeted", core.SearchOptions{K: 10, Budget: 200}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s := tree.NewSearcher()
+			var dst []core.Result
+			// Warm up: grow every scratch buffer to its steady-state size.
+			for qi := 0; qi < queries.N; qi++ {
+				dst, _ = s.Search(queries.Row(qi), tc.opts, dst[:0])
+			}
+			qi := 0
+			allocs := testing.AllocsPerRun(100, func() {
+				dst, _ = s.Search(queries.Row(qi%queries.N), tc.opts, dst[:0])
+				qi++
+			})
+			if allocs != 0 {
+				t.Fatalf("steady-state Search allocated %.1f times per op, want 0", allocs)
+			}
+		})
+	}
+}
+
+// TestTreeSearchSteadyStateAllocs pins Tree.Search (which must allocate the
+// returned results slice, but nothing else) at exactly one allocation per
+// call in steady state.
+func TestTreeSearchSteadyStateAllocs(t *testing.T) {
+	tree, queries := batchSetup(t, 2000, 8, 22)
+	opts := core.SearchOptions{K: 10}
+	for qi := 0; qi < queries.N; qi++ {
+		tree.Search(queries.Row(qi), opts)
+	}
+	qi := 0
+	allocs := testing.AllocsPerRun(100, func() {
+		tree.Search(queries.Row(qi%queries.N), opts)
+		qi++
+	})
+	if allocs > 1 {
+		t.Fatalf("steady-state Tree.Search allocated %.1f times per op, want <= 1 (the results slice)", allocs)
+	}
+}

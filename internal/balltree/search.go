@@ -14,35 +14,71 @@ import (
 //
 //	lb = max(|<q, N.c>| - ||q|| * N.r, 0)
 //
-// is at least the current k-th best distance q.λ. The inner product of the
-// query with a node center is computed once per visited node and handed to
-// the recursion, so a visited internal node costs exactly two O(d) inner
+// is strictly above the current k-th best distance q.λ. The inner product of
+// the query with a node center is computed once per visited node and handed
+// to the recursion, so a visited internal node costs exactly two O(d) inner
 // products (one per child) — the cost Lemma 2 halves for BC-Tree. Leaf
 // verification is one vec.DotBlock call over the leaf's contiguous rows.
+//
+// Search runs on a pooled Searcher, so a steady-state call's only allocation
+// is the returned results slice; use a Searcher directly to eliminate that
+// one too.
 func (t *Tree) Search(q []float32, opts core.SearchOptions) ([]core.Result, core.Stats) {
-	opts = opts.Normalized()
-	var st core.Stats
-	tk := core.NewTopK(opts.K)
-	s := &searcher{tree: t, q: q, qnorm: vec.Norm(q), tk: tk, st: &st, opts: opts}
-	ip := vec.Dot(q, t.center(0))
-	st.IPCount++
-	s.visit(0, ip)
-	return tk.Results(), st
+	s := t.acquireSearcher()
+	res, st := s.Search(q, opts, nil)
+	t.releaseSearcher(s)
+	return res, st
 }
 
-type searcher struct {
+// Searcher is a reusable single-query executor over one tree: the top-k
+// collector and the per-leaf scratch persist across calls, so steady-state
+// search allocates nothing beyond growth of the caller's dst. A Searcher is
+// not safe for concurrent use; acquire one per goroutine (Tree.Search pools
+// them automatically).
+type Searcher struct {
 	tree  *Tree
 	q     []float32
 	qnorm float64
-	tk    *core.TopK
-	st    *core.Stats
+	tk    core.TopK
+	st    core.Stats
 	opts  core.SearchOptions
 	buf   []float64 // per-leaf scratch for blocked inner products
 }
 
+// NewSearcher returns a reusable executor bound to the tree.
+func (t *Tree) NewSearcher() *Searcher { return &Searcher{tree: t} }
+
+func (t *Tree) acquireSearcher() *Searcher {
+	s := t.searchers.Get()
+	s.tree = t
+	return s
+}
+
+func (t *Tree) releaseSearcher(s *Searcher) { t.searchers.Put(s) }
+
+// Search answers one query, appending the top-k results (ascending
+// (Dist, ID)) to dst. Passing a recycled dst makes the call allocation-free
+// in steady state.
+func (s *Searcher) Search(q []float32, opts core.SearchOptions, dst []core.Result) ([]core.Result, core.Stats) {
+	opts = opts.Normalized()
+	s.q = q
+	s.qnorm = vec.Norm(q)
+	s.opts = opts
+	s.st = core.Stats{}
+	s.tk.Init(opts.K)
+	ip := vec.Dot(q, s.tree.center(0))
+	s.st.IPCount++
+	s.visit(0, ip)
+	// Drop caller-owned references so the pooled Searcher cannot pin them.
+	s.q = nil
+	s.opts.Filter = nil
+	s.opts.Profile = nil
+	return s.tk.DrainInto(dst), s.st
+}
+
 // scratch returns a distance buffer of at least m entries, reused across the
 // leaves one query visits.
-func (s *searcher) scratch(m int) []float64 {
+func (s *Searcher) scratch(m int) []float64 {
 	if cap(s.buf) < m {
 		s.buf = make([]float64, m)
 	}
@@ -50,15 +86,18 @@ func (s *searcher) scratch(m int) []float64 {
 }
 
 // visit implements SubBallTreeSearch. ip is <q, center(ni)>, already computed
-// by the caller.
-func (s *searcher) visit(ni int32, ip float64) {
+// by the caller. Pruning is strict (lb > λ): a subtree tied with the current
+// k-th best distance still reaches the collector, whose canonical (Dist, ID)
+// order then decides — the invariant that makes exact results independent of
+// traversal order (see internal/exec).
+func (s *Searcher) visit(ni int32, ip float64) {
 	if !s.opts.BudgetLeft(s.st.Candidates) {
 		return
 	}
 	s.st.NodesVisited++
 	n := &s.tree.nodes[ni]
 	lb := math.Abs(ip) - s.qnorm*n.radius
-	if lb >= s.tk.Lambda() { // lb < 0 < Lambda never prunes, no max needed
+	if lb > s.tk.Lambda() { // lb < 0 < Lambda never prunes, no max needed
 		s.st.PrunedNodes++
 		return
 	}
@@ -89,7 +128,7 @@ func (s *searcher) visit(ni int32, ip float64) {
 }
 
 // preferRight decides the branch order of Algorithm 3 lines 11-16.
-func (s *searcher) preferRight(n *nodeRec, ipl, ipr float64) bool {
+func (s *Searcher) preferRight(n *nodeRec, ipl, ipr float64) bool {
 	if s.opts.Preference == core.PrefLowerBound {
 		lbl := math.Abs(ipl) - s.qnorm*s.tree.nodes[n.left].radius
 		lbr := math.Abs(ipr) - s.qnorm*s.tree.nodes[n.right].radius
@@ -107,7 +146,7 @@ func (s *searcher) preferRight(n *nodeRec, ipl, ipr float64) bool {
 // scanLeaf is ExhaustiveScan (Algorithm 3 lines 17-20) over the contiguous
 // storage of the leaf, respecting the candidate budget. Without a filter the
 // whole (budget-capped) block is verified by one blocked kernel call.
-func (s *searcher) scanLeaf(n *nodeRec) {
+func (s *Searcher) scanLeaf(n *nodeRec) {
 	s.st.LeavesVisited++
 	var start time.Time
 	if s.opts.Profile != nil {
@@ -143,7 +182,7 @@ func (s *searcher) scanLeaf(n *nodeRec) {
 
 // scanLeafFiltered is the point-at-a-time path for filtered queries: rejected
 // ids must not cost an inner product nor count against the budget.
-func (s *searcher) scanLeafFiltered(n *nodeRec) {
+func (s *Searcher) scanLeafFiltered(n *nodeRec) {
 	for pos := n.start; pos < n.end; pos++ {
 		if !s.opts.BudgetLeft(s.st.Candidates) {
 			break

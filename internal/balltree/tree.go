@@ -18,6 +18,7 @@ package balltree
 import (
 	"fmt"
 
+	"p2h/internal/exec"
 	"p2h/internal/vec"
 )
 
@@ -70,6 +71,12 @@ type Tree struct {
 	centers  *vec.Matrix // nodes x d: packed node centers
 	leafSize int
 	leaves   int
+
+	// Free lists of the execution-engine state (internal/exec): Search and
+	// SearchBatch recycle their scratch through these, so steady-state
+	// queries allocate nothing.
+	searchers exec.Pool[Searcher]
+	batchers  exec.Pool[batchSearcher]
 }
 
 // center returns node ni's center, a row of the packed centers matrix.

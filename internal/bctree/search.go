@@ -23,33 +23,69 @@ import (
 //     vec.DotBlock call when the whole prefix survives.
 //
 // The ablation switches in opts reproduce the paper's Figure 8 variants.
+//
+// Search runs on a pooled Searcher, so a steady-state call's only allocation
+// is the returned results slice; use a Searcher directly to eliminate that
+// one too.
 func (t *Tree) Search(q []float32, opts core.SearchOptions) ([]core.Result, core.Stats) {
-	opts = opts.Normalized()
-	var st core.Stats
-	tk := core.NewTopK(opts.K)
-	s := &searcher{tree: t, q: q, qnorm: vec.Norm(q), tk: tk, st: &st, opts: opts}
-	s.sqQnorm = s.qnorm * s.qnorm
-	ip := vec.Dot(q, t.center(0))
-	st.IPCount++
-	s.visit(0, ip)
-	return tk.Results(), st
+	s := t.acquireSearcher()
+	res, st := s.Search(q, opts, nil)
+	t.releaseSearcher(s)
+	return res, st
 }
 
-type searcher struct {
+// Searcher is a reusable single-query executor over one tree: the top-k
+// collector and the per-leaf scratch persist across calls, so steady-state
+// search allocates nothing beyond growth of the caller's dst. A Searcher is
+// not safe for concurrent use; acquire one per goroutine (Tree.Search pools
+// them automatically).
+type Searcher struct {
 	tree    *Tree
 	q       []float32
 	qnorm   float64
 	sqQnorm float64
-	tk      *core.TopK
-	st      *core.Stats
+	tk      core.TopK
+	st      core.Stats
 	opts    core.SearchOptions
 	buf     []float64 // per-leaf scratch for blocked inner products
 	sel     []int32   // per-leaf scratch for cone-bound survivors
 }
 
+// NewSearcher returns a reusable executor bound to the tree.
+func (t *Tree) NewSearcher() *Searcher { return &Searcher{tree: t} }
+
+func (t *Tree) acquireSearcher() *Searcher {
+	s := t.searchers.Get()
+	s.tree = t
+	return s
+}
+
+func (t *Tree) releaseSearcher(s *Searcher) { t.searchers.Put(s) }
+
+// Search answers one query, appending the top-k results (ascending
+// (Dist, ID)) to dst. Passing a recycled dst makes the call allocation-free
+// in steady state.
+func (s *Searcher) Search(q []float32, opts core.SearchOptions, dst []core.Result) ([]core.Result, core.Stats) {
+	opts = opts.Normalized()
+	s.q = q
+	s.qnorm = vec.Norm(q)
+	s.sqQnorm = s.qnorm * s.qnorm
+	s.opts = opts
+	s.st = core.Stats{}
+	s.tk.Init(opts.K)
+	ip := vec.Dot(q, s.tree.center(0))
+	s.st.IPCount++
+	s.visit(0, ip)
+	// Drop caller-owned references so the pooled Searcher cannot pin them.
+	s.q = nil
+	s.opts.Filter = nil
+	s.opts.Profile = nil
+	return s.tk.DrainInto(dst), s.st
+}
+
 // scratch returns a distance buffer of at least m entries, reused across the
 // leaves one query visits.
-func (s *searcher) scratch(m int) []float64 {
+func (s *Searcher) scratch(m int) []float64 {
 	if cap(s.buf) < m {
 		s.buf = make([]float64, m)
 	}
@@ -58,15 +94,18 @@ func (s *searcher) scratch(m int) []float64 {
 
 // visit implements SubBCTreeSearch. ip is <q, center(ni)>, already known to
 // the caller: computed directly for the root and for left children, derived
-// via Lemma 2 for right children.
-func (s *searcher) visit(ni int32, ip float64) {
+// via Lemma 2 for right children. Pruning is strict (lb > λ): candidates
+// tied with the k-th best distance reach the collector, whose canonical
+// (Dist, ID) order decides — the invariant that makes exact results
+// independent of traversal order (see internal/exec).
+func (s *Searcher) visit(ni int32, ip float64) {
 	if !s.opts.BudgetLeft(s.st.Candidates) {
 		return
 	}
 	s.st.NodesVisited++
 	n := &s.tree.nodes[ni]
 	lb := math.Abs(ip) - s.qnorm*n.radius
-	if lb >= s.tk.Lambda() { // lb < 0 < Lambda never prunes, no max needed
+	if lb > s.tk.Lambda() { // lb < 0 < Lambda never prunes, no max needed
 		s.st.PrunedNodes++
 		return
 	}
@@ -108,7 +147,7 @@ func (s *searcher) visit(ni int32, ip float64) {
 }
 
 // preferRight decides the branch order (Algorithm 5 lines 12-17).
-func (s *searcher) preferRight(n *nodeRec, ipl, ipr float64) bool {
+func (s *Searcher) preferRight(n *nodeRec, ipl, ipr float64) bool {
 	if s.opts.Preference == core.PrefLowerBound {
 		lbl := math.Abs(ipl) - s.qnorm*s.tree.nodes[n.left].radius
 		lbr := math.Abs(ipr) - s.qnorm*s.tree.nodes[n.right].radius
@@ -131,7 +170,7 @@ func (s *searcher) preferRight(n *nodeRec, ipl, ipr float64) bool {
 // leaves) or point by point (when the cone bound thinned them out). Bounds
 // are evaluated against the λ at leaf entry; λ only shrinks during the scan,
 // so the snapshot prunes conservatively and results stay exact.
-func (s *searcher) scanWithPruning(n *nodeRec, ip float64) {
+func (s *Searcher) scanWithPruning(n *nodeRec, ip float64) {
 	s.st.LeavesVisited++
 	var leafStart time.Time
 	var verifyDur time.Duration
@@ -227,7 +266,7 @@ func (s *searcher) scanWithPruning(n *nodeRec, ip float64) {
 // ids must not cost an inner product nor count against the budget, so the
 // bounds are evaluated per point with the evolving λ, as in Algorithm 5.
 // It returns the time spent on verification for the profile's phase split.
-func (s *searcher) scanFiltered(n *nodeRec, ip float64) time.Duration {
+func (s *Searcher) scanFiltered(n *nodeRec, ip float64) time.Duration {
 	profiling := s.opts.Profile != nil
 	var verifyDur time.Duration
 	start := int(n.start)
@@ -245,7 +284,7 @@ func (s *searcher) scanFiltered(n *nodeRec, ip float64) time.Duration {
 			break
 		}
 		if useBall {
-			if lbBall := absIP - s.qnorm*s.tree.rx[start+i]; lbBall >= s.tk.Lambda() {
+			if lbBall := absIP - s.qnorm*s.tree.rx[start+i]; lbBall > s.tk.Lambda() {
 				s.st.PrunedPoints += int64(count - i)
 				break
 			}
@@ -259,7 +298,7 @@ func (s *searcher) scanFiltered(n *nodeRec, ip float64) time.Duration {
 			} else if sumB < 0 {
 				lbCone = -sumB
 			}
-			if lbCone*(1-boundSlack) >= s.tk.Lambda() {
+			if lbCone*(1-boundSlack) > s.tk.Lambda() {
 				s.st.PrunedPoints++
 				continue
 			}

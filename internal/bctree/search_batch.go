@@ -1,0 +1,218 @@
+package bctree
+
+import (
+	"fmt"
+	"math"
+
+	"p2h/internal/core"
+	"p2h/internal/exec"
+	"p2h/internal/vec"
+)
+
+// SearchBatch answers one top-k query per row of queries (lifted, unit
+// normals — the same contract as Search) in a single shared traversal: the
+// arena is walked once for the whole group, collaborative inner products
+// (Lemma 2) apply per query, the point-level ball bound cuts each query's
+// verified prefix of the radius-sorted leaf, and the union of those prefixes
+// is verified for all active queries by one vec.DotBlockMulti call — the
+// leaf block streams from memory once per batch instead of once per query.
+// The point-level cone bound is skipped in batch mode: it selects per-query
+// survivor subsets that would break the dense multi-query verification, and
+// with the shared row loads the dense scan is the cheaper trade. Results and
+// their ordering are bitwise identical to per-query Search calls (exact
+// results are canonical; see internal/exec).
+//
+// Batches that are not exec.Eligible (budgeted, filtered, or profiled)
+// fall back to the per-query path on one pooled Searcher, preserving
+// per-query traversal semantics exactly.
+func (t *Tree) SearchBatch(queries *vec.Matrix, opts core.SearchOptions) ([][]core.Result, []core.Stats) {
+	if queries.D != t.points.D {
+		panic(fmt.Sprintf("bctree: batch queries have dimension %d, want %d", queries.D, t.points.D))
+	}
+	opts = opts.Normalized()
+	out := make([][]core.Result, queries.N)
+	stats := make([]core.Stats, queries.N)
+	if queries.N == 0 {
+		return out, stats
+	}
+	if !exec.Eligible(opts) || queries.N == 1 {
+		s := t.acquireSearcher()
+		exec.Fallback(s, queries, opts, out, stats)
+		t.releaseSearcher(s)
+		return out, stats
+	}
+	b := t.batchers.Get()
+	b.tree = t
+	b.run(queries, opts, out, stats)
+	t.batchers.Put(b)
+	return out, stats
+}
+
+// batchSearcher carries one shared traversal's state; it is pooled on the
+// tree and reaches a zero-allocation steady state for the traversal itself
+// (the returned result slices are the only per-batch allocations).
+type batchSearcher struct {
+	tree    *Tree
+	queries *vec.Matrix
+	opts    core.SearchOptions
+	scr     exec.BatchScratch
+	stats   []core.Stats
+}
+
+func (b *batchSearcher) run(queries *vec.Matrix, opts core.SearchOptions, out [][]core.Result, stats []core.Stats) {
+	t := b.tree
+	nq := queries.N
+	d := queries.D
+	b.queries, b.opts, b.stats = queries, opts, stats
+	scr := &b.scr
+	scr.Reset(queries, opts.K)
+
+	mark := scr.Mark()
+	act, ips := scr.Alloc(nq)
+	for i := range act {
+		act[i] = int32(i)
+	}
+	root := scr.Center64(0, t.center(0))
+	for i := range act {
+		ips[i] = vec.Dot64(scr.Q64[i*d:(i+1)*d], root)
+		stats[i].IPCount++
+	}
+	b.visit(0, act, ips)
+	scr.Release(mark)
+
+	for i := 0; i < nq; i++ {
+		out[i] = scr.Heaps[i].DrainInto(nil)
+	}
+	b.queries, b.stats = nil, nil
+}
+
+// visit walks one node for the whole group: the node-level ball bound
+// filters the active set per query (strictly, as in Searcher.visit), leaves
+// are verified for all survivors at once, and internal nodes recurse with
+// per-child segments carved from the scratch arena. The left child's inner
+// product costs O(d) per active query; the right child's follows from
+// Lemma 2 in O(1) unless the ablation switch disables it. The branch order
+// is the group's center-preference vote — order affects only pruning work,
+// never results, which are canonical.
+func (b *batchSearcher) visit(ni int32, act []int32, ips []float64) {
+	t := b.tree
+	scr := &b.scr
+	n := &t.nodes[ni]
+	live := 0
+	for j, qi := range act {
+		st := &b.stats[qi]
+		st.NodesVisited++
+		lb := math.Abs(ips[j]) - scr.QNorms[qi]*n.radius
+		if lb > scr.Heaps[qi].Lambda() {
+			st.PrunedNodes++
+			continue
+		}
+		act[live], ips[live] = qi, ips[j]
+		live++
+	}
+	if live == 0 {
+		return
+	}
+	act, ips = act[:live], ips[:live]
+	if n.isLeaf() {
+		b.scanLeaf(n, act, ips)
+		return
+	}
+
+	mark := scr.Mark()
+	actL, ipsL := scr.Alloc(live)
+	actR, ipsR := scr.Alloc(live)
+	copy(actL, act)
+	copy(actR, act)
+	d := b.queries.D
+	cl64 := scr.Center64(0, t.center(n.left))
+	var cr64 []float64
+	if b.opts.DisableCollabIP {
+		cr64 = scr.Center64(1, t.center(n.right))
+	}
+	cn := float64(n.count())
+	cl := float64(t.nodes[n.left].count())
+	cr := float64(t.nodes[n.right].count())
+	var sumL, sumR float64
+	for j, qi := range act {
+		q64 := scr.Q64[int(qi)*d : (int(qi)+1)*d]
+		ipl := vec.Dot64(q64, cl64)
+		b.stats[qi].IPCount++
+		var ipr float64
+		if b.opts.DisableCollabIP {
+			ipr = vec.Dot64(q64, cr64)
+			b.stats[qi].IPCount++
+		} else {
+			// Lemma 2: <q, rc.c> = (|N| <q, N.c> - |lc| <q, lc.c>) / |rc|.
+			ipr = (cn*ips[j] - cl*ipl) / cr
+			b.stats[qi].CollabIPs++
+		}
+		ipsL[j], ipsR[j] = ipl, ipr
+		sumL += math.Abs(ipl)
+		sumR += math.Abs(ipr)
+	}
+	if sumR < sumL {
+		b.visit(n.right, actR, ipsR)
+		b.visit(n.left, actL, ipsL)
+	} else {
+		b.visit(n.left, actL, ipsL)
+		b.visit(n.right, actR, ipsR)
+	}
+	scr.Release(mark)
+}
+
+// scanLeaf verifies the leaf for every active query: the point-level ball
+// bound (Corollary 1, strict) cuts each query's prefix of the
+// radius-sorted leaf by binary search, then one multi-query kernel call
+// computes the distance block over the union prefix and each query keeps
+// its own share. A query whose prefix is empty costs nothing beyond its
+// pruning bookkeeping.
+func (b *batchSearcher) scanLeaf(n *nodeRec, act []int32, ips []float64) {
+	t := b.tree
+	m := int(n.count())
+	if m == 0 {
+		return
+	}
+	start := int(n.start)
+	nact := len(act)
+	prefix := b.scr.Prefix(nact)
+	maxM := 0
+	for j, qi := range act {
+		st := &b.stats[qi]
+		st.LeavesVisited++
+		mj := m
+		if !b.opts.DisablePointBall {
+			mj = vec.BallCutoff(math.Abs(ips[j]), b.scr.QNorms[qi],
+				b.scr.Heaps[qi].Lambda(), t.rx[start:start+m])
+			st.PrunedPoints += int64(m - mj)
+		}
+		prefix[j] = int32(mj)
+		if mj > maxM {
+			maxM = mj
+		}
+	}
+	if maxM == 0 {
+		return
+	}
+
+	// Sort the active set by prefix length (descending) so the kernel can
+	// stop each query's products exactly at its own pruning cut.
+	exec.SortByLimitDesc(act, prefix)
+	d := t.points.D
+	rows := t.points.Data[start*d : (start+maxM)*d]
+	dists := b.scr.Dists(maxM * nact)
+	vec.DotBlockMultiIdx(b.scr.Q64, d, act, prefix, rows, b.scr.Row64(d), dists)
+	for j, qi := range act {
+		mj := int(prefix[j])
+		if mj == 0 {
+			continue
+		}
+		st := &b.stats[qi]
+		st.IPCount += int64(mj)
+		st.Candidates += int64(mj)
+		tk := &b.scr.Heaps[qi]
+		for r := 0; r < mj; r++ {
+			tk.Push(t.ids[start+r], math.Abs(dists[r*nact+j]))
+		}
+	}
+}

@@ -20,6 +20,7 @@ package bctree
 import (
 	"fmt"
 
+	"p2h/internal/exec"
 	"p2h/internal/vec"
 )
 
@@ -85,6 +86,12 @@ type Tree struct {
 
 	leafSize int
 	leaves   int
+
+	// Free lists of the execution-engine state (internal/exec): Search and
+	// SearchBatch recycle their scratch through these, so steady-state
+	// queries allocate nothing.
+	searchers exec.Pool[Searcher]
+	batchers  exec.Pool[batchSearcher]
 }
 
 // center returns node ni's center, a row of the packed centers matrix.

@@ -2,13 +2,30 @@ package core
 
 import "math"
 
-// TopK maintains the k best (smallest-distance) results seen so far as a
-// bounded max-heap. Lambda, the paper's q.λ, is the distance of the current
-// k-th best match — the pruning threshold for every lower bound — and is
-// +Inf until k results have been collected.
+// TopK maintains the k best results seen so far as a bounded max-heap.
+// Lambda, the paper's q.λ, is the distance of the current k-th best match —
+// the pruning threshold for every lower bound — and is +Inf until k results
+// have been collected.
+//
+// Results are ordered by the total order (Dist, ID): among equal distances
+// the smaller ID wins. Because the order is total, the kept set is the unique
+// minimal k-subset of everything ever pushed, independent of push order. That
+// canonicity is what lets the batched traversal (which visits nodes in a
+// different order than a per-query search) return bitwise-identical results:
+// as long as two executions offer supersets of the true top-k to the
+// collector, they keep exactly the same k records.
 type TopK struct {
 	k    int
-	heap []Result // max-heap ordered by Dist (root = worst kept result)
+	heap []Result // max-heap ordered by (Dist, ID) (root = worst kept result)
+}
+
+// resultAfter reports whether a orders strictly after b in the total
+// (Dist, ID) order, i.e. a is strictly worse than b.
+func resultAfter(a, b Result) bool {
+	if a.Dist != b.Dist {
+		return a.Dist > b.Dist
+	}
+	return a.ID > b.ID
 }
 
 // NewTopK returns a collector for the k best results. k must be positive.
@@ -16,7 +33,20 @@ func NewTopK(k int) *TopK {
 	if k <= 0 {
 		panic("core: TopK requires k > 0")
 	}
-	return &TopK{k: k, heap: make([]Result, 0, k)}
+	t := &TopK{heap: make([]Result, 0, k)}
+	t.Init(k)
+	return t
+}
+
+// Init prepares the collector for a fresh query keeping k results, retaining
+// the heap storage of earlier queries so steady-state reuse allocates
+// nothing. k must be positive.
+func (t *TopK) Init(k int) {
+	if k <= 0 {
+		panic("core: TopK requires k > 0")
+	}
+	t.k = k
+	t.heap = t.heap[:0]
 }
 
 // K returns the configured k.
@@ -38,29 +68,45 @@ func (t *TopK) Lambda() float64 {
 }
 
 // Push offers a candidate. It is kept if the collector is not yet full or if
-// dist beats the current worst kept result. Push reports whether the
-// candidate was kept.
+// (dist, id) orders strictly before the current worst kept result. Push
+// reports whether the candidate was kept.
 func (t *TopK) Push(id int32, dist float64) bool {
 	if !t.Full() {
 		t.heap = append(t.heap, Result{ID: id, Dist: dist})
 		t.siftUp(len(t.heap) - 1)
 		return true
 	}
-	if dist >= t.heap[0].Dist {
+	if !resultAfter(t.heap[0], Result{ID: id, Dist: dist}) {
 		return false
 	}
 	t.heap[0] = Result{ID: id, Dist: dist}
-	t.siftDown(0)
+	siftDown(t.heap, 0)
 	return true
 }
 
-// Results returns the kept results sorted by ascending distance (ties by ID).
-// The collector remains usable afterwards.
+// Results returns the kept results sorted by ascending (Dist, ID). The
+// collector remains usable afterwards.
 func (t *TopK) Results() []Result {
 	out := make([]Result, len(t.heap))
 	copy(out, t.heap)
 	SortResults(out)
 	return out
+}
+
+// DrainInto appends the kept results, sorted by ascending (Dist, ID), to dst
+// and empties the collector. The sort runs in place over the heap storage
+// (heapsort on the existing max-heap), so the only allocation is dst growth —
+// none at all when dst has capacity. This is the steady-state results path of
+// the pooled searchers (internal/exec).
+func (t *TopK) DrainInto(dst []Result) []Result {
+	h := t.heap
+	for n := len(h); n > 1; n-- {
+		h[0], h[n-1] = h[n-1], h[0]
+		siftDown(h[:n-1], 0)
+	}
+	dst = append(dst, h...)
+	t.heap = t.heap[:0]
+	return dst
 }
 
 // Reset empties the collector, retaining capacity.
@@ -69,7 +115,7 @@ func (t *TopK) Reset() { t.heap = t.heap[:0] }
 func (t *TopK) siftUp(i int) {
 	for i > 0 {
 		parent := (i - 1) / 2
-		if t.heap[parent].Dist >= t.heap[i].Dist {
+		if !resultAfter(t.heap[i], t.heap[parent]) {
 			return
 		}
 		t.heap[parent], t.heap[i] = t.heap[i], t.heap[parent]
@@ -77,21 +123,22 @@ func (t *TopK) siftUp(i int) {
 	}
 }
 
-func (t *TopK) siftDown(i int) {
-	n := len(t.heap)
+// siftDown restores the max-heap property of h from index i.
+func siftDown(h []Result, i int) {
+	n := len(h)
 	for {
 		l, r := 2*i+1, 2*i+2
 		largest := i
-		if l < n && t.heap[l].Dist > t.heap[largest].Dist {
+		if l < n && resultAfter(h[l], h[largest]) {
 			largest = l
 		}
-		if r < n && t.heap[r].Dist > t.heap[largest].Dist {
+		if r < n && resultAfter(h[r], h[largest]) {
 			largest = r
 		}
 		if largest == i {
 			return
 		}
-		t.heap[i], t.heap[largest] = t.heap[largest], t.heap[i]
+		h[i], h[largest] = h[largest], h[i]
 		i = largest
 	}
 }

@@ -1,0 +1,195 @@
+// Package exec is the query-execution engine shared by the tree indexes:
+// reusable single-query searchers with pooled scratch (so steady-state
+// search allocates nothing), and the scratch arena behind the batched
+// traversal mode that walks a tree's arena once for a whole group of
+// queries.
+//
+// The engine rests on one invariant established by internal/core and the
+// strict pruning inequalities in the tree searches: exact results are
+// *canonical* — the unique k smallest (Dist, ID) pairs — so any traversal
+// order that offers a superset of the true top-k to the collector returns
+// bitwise-identical results. That is what lets the batched traversal share
+// node visits and leaf verification across queries without replicating each
+// query's individual branch order.
+package exec
+
+import (
+	"sync"
+
+	"p2h/internal/core"
+	"p2h/internal/vec"
+)
+
+// Searcher is a reusable single-query executor over one index. Search
+// appends the top-k results (ascending (Dist, ID)) to dst and returns the
+// extended slice; with a recycled dst and pooled scratch a steady-state call
+// performs no allocations.
+type Searcher interface {
+	Search(q []float32, opts core.SearchOptions, dst []core.Result) ([]core.Result, core.Stats)
+}
+
+// Eligible reports whether a batch of queries sharing opts can run through
+// the shared batched traversal. Budgeted queries keep per-query traversal
+// semantics (the candidate budget is defined relative to a single query's
+// visit order), and Filter/Profile carry per-query state the shared walk
+// cannot split.
+func Eligible(opts core.SearchOptions) bool {
+	return opts.Budget <= 0 && opts.Filter == nil && opts.Profile == nil
+}
+
+// Fallback answers queries one at a time through s — the per-query path for
+// batches that are not Eligible. out and stats must have queries.N entries.
+func Fallback(s Searcher, queries *vec.Matrix, opts core.SearchOptions, out [][]core.Result, stats []core.Stats) {
+	for i := 0; i < queries.N; i++ {
+		out[i], stats[i] = s.Search(queries.Row(i), opts, nil)
+	}
+}
+
+// Pool is a typed free list over sync.Pool. The zero value is ready to use;
+// Get returns a zero-valued *T when the pool is empty, so owners re-bind any
+// per-owner fields (e.g. the tree pointer) after Get.
+type Pool[T any] struct {
+	p sync.Pool
+}
+
+// Get returns a pooled or freshly zero-allocated *T.
+func (p *Pool[T]) Get() *T {
+	if v := p.p.Get(); v != nil {
+		return v.(*T)
+	}
+	return new(T)
+}
+
+// Put recycles x for a later Get.
+func (p *Pool[T]) Put(x *T) { p.p.Put(x) }
+
+// BatchScratch holds every piece of reusable state one batched traversal
+// needs: per-query top-k collectors and norms, the active-set arena the
+// recursive walk carves per-node segments from, and the gather/output
+// buffers of the multi-query leaf kernels. A zero value is ready; all
+// storage grows on demand and is retained across runs, so a pooled
+// BatchScratch reaches a zero-allocation steady state.
+type BatchScratch struct {
+	Heaps  []core.TopK // one collector per query of the batch
+	QNorms []float64   // per-query ||q||
+	Q64    []float64   // every query widened to float64, packed row-major
+
+	// Active-set arena: visit() allocates one (act, ips) segment per child
+	// per node, strictly LIFO with the recursion, via Mark/Alloc/Release.
+	act  []int32
+	ips  []float64
+	mark int
+
+	dists  []float64 // multi-kernel output, row-major by data row
+	prefix []int32   // per-active-query verified prefix length (BC-Tree)
+	rows64 []float64 // one leaf's row block, widened per visit
+	ctr64  []float64 // node centers widened for the bound computations
+}
+
+// Reset prepares the scratch for a batch of nq queries with k results each:
+// collectors are (re)initialized, per-query norms computed, and every query
+// widened once into Q64 — the packed float64 form the conversion-free
+// kernels index for the rest of the traversal. Storage from earlier batches
+// is retained.
+func (b *BatchScratch) Reset(queries *vec.Matrix, k int) {
+	nq := queries.N
+	if nq > len(b.Heaps) {
+		h := make([]core.TopK, nq)
+		copy(h, b.Heaps)
+		b.Heaps = h
+	}
+	for i := 0; i < nq; i++ {
+		b.Heaps[i].Init(k)
+	}
+	if nq > len(b.QNorms) {
+		b.QNorms = make([]float64, nq)
+	}
+	if cap(b.Q64) < len(queries.Data) {
+		b.Q64 = make([]float64, len(queries.Data))
+	}
+	b.Q64 = b.Q64[:len(queries.Data)]
+	vec.Widen(b.Q64, queries.Data)
+	for i := 0; i < nq; i++ {
+		b.QNorms[i] = vec.Norm(queries.Row(i))
+	}
+	b.mark = 0
+}
+
+// Mark returns the current arena watermark, to be passed to Release once the
+// segments allocated after it are dead.
+func (b *BatchScratch) Mark() int { return b.mark }
+
+// Alloc carves a fresh (act, ips) segment of n entries from the arena.
+// Segments are valid until the matching Release; growth leaves earlier
+// segments on the superseded backing arrays, which their holders' stack
+// frames keep alive.
+func (b *BatchScratch) Alloc(n int) ([]int32, []float64) {
+	lo := b.mark
+	hi := lo + n
+	if hi > len(b.act) {
+		size := 2*len(b.act) + n
+		b.act = make([]int32, size)
+		b.ips = make([]float64, size)
+	}
+	b.mark = hi
+	return b.act[lo:hi:hi], b.ips[lo:hi:hi]
+}
+
+// Release rewinds the arena to a watermark previously returned by Mark.
+func (b *BatchScratch) Release(mark int) { b.mark = mark }
+
+// Dists returns a distance buffer of n entries for the multi-query kernels,
+// reused across leaves.
+func (b *BatchScratch) Dists(n int) []float64 {
+	if cap(b.dists) < n {
+		b.dists = make([]float64, n)
+	}
+	return b.dists[:n]
+}
+
+// Prefix returns an n-entry buffer for per-query verified prefix lengths,
+// reused across leaves.
+func (b *BatchScratch) Prefix(n int) []int32 {
+	if cap(b.prefix) < n {
+		b.prefix = make([]int32, n)
+	}
+	return b.prefix[:n]
+}
+
+// Row64 returns the single-row widening scratch (at least n entries) that
+// DotBlockMultiIdx fills and re-reads per leaf row.
+func (b *BatchScratch) Row64(n int) []float64 {
+	if cap(b.rows64) < n {
+		b.rows64 = make([]float64, n)
+	}
+	return b.rows64[:n]
+}
+
+// SortByLimitDesc permutes act and limits (kept aligned) so limits is
+// non-increasing — the order DotBlockMultiIdx requires to shrink its active
+// prefix as rows advance. Insertion sort: active groups are small and often
+// already sorted.
+func SortByLimitDesc(act, limits []int32) {
+	for i := 1; i < len(limits); i++ {
+		a, l := act[i], limits[i]
+		j := i
+		for j > 0 && limits[j-1] < l {
+			act[j], limits[j] = act[j-1], limits[j-1]
+			j--
+		}
+		act[j], limits[j] = a, l
+	}
+}
+
+// Center64 widens node center c into slot (0 or 1) of a reusable
+// two-center buffer for the per-node bound computations — one conversion
+// per element per visited node, amortized over the active queries.
+func (b *BatchScratch) Center64(slot int, c []float32) []float64 {
+	d := len(c)
+	if cap(b.ctr64) < 2*d {
+		b.ctr64 = make([]float64, 2*d)
+	}
+	out := b.ctr64[slot*d : (slot+1)*d]
+	vec.Widen(out, c)
+	return out
+}

@@ -1,0 +1,161 @@
+package exec
+
+import (
+	"testing"
+
+	"p2h/internal/core"
+	"p2h/internal/vec"
+)
+
+func TestEligible(t *testing.T) {
+	cases := []struct {
+		name string
+		opts core.SearchOptions
+		want bool
+	}{
+		{"exact", core.SearchOptions{K: 5}, true},
+		{"negative-budget", core.SearchOptions{K: 5, Budget: -1}, true},
+		{"budget", core.SearchOptions{K: 5, Budget: 10}, false},
+		{"filter", core.SearchOptions{K: 5, Filter: func(int32) bool { return true }}, false},
+		{"profile", core.SearchOptions{K: 5, Profile: &core.Profile{}}, false},
+		{"ablations", core.SearchOptions{K: 5, DisablePointBall: true, DisableCollabIP: true}, true},
+	}
+	for _, tc := range cases {
+		if got := Eligible(tc.opts); got != tc.want {
+			t.Errorf("%s: Eligible = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestPoolRecycles(t *testing.T) {
+	type thing struct{ n int }
+	var p Pool[thing]
+	a := p.Get()
+	if a == nil || a.n != 0 {
+		t.Fatal("Get must return a zero value when empty")
+	}
+	a.n = 7
+	p.Put(a)
+	b := p.Get()
+	// sync.Pool may drop entries, so only the recycled case is asserted.
+	if b == a && b.n != 7 {
+		t.Fatal("recycled value must keep its state")
+	}
+}
+
+func TestBatchScratchArenaLIFO(t *testing.T) {
+	var b BatchScratch
+	q := vec.NewMatrix(3, 4)
+	b.Reset(q, 2)
+
+	mark := b.Mark()
+	act1, ips1 := b.Alloc(3)
+	for i := range act1 {
+		act1[i] = int32(i)
+		ips1[i] = float64(i)
+	}
+	inner := b.Mark()
+	act2, _ := b.Alloc(2)
+	act2[0], act2[1] = 7, 8
+	if act1[0] != 0 || act1[2] != 2 {
+		t.Fatal("sibling alloc must not clobber an earlier segment")
+	}
+	b.Release(inner)
+	// A fresh alloc after release reuses the inner region.
+	act3, _ := b.Alloc(2)
+	act3[0] = 9
+	if b.Mark() != inner+2 {
+		t.Fatalf("watermark %d, want %d", b.Mark(), inner+2)
+	}
+	b.Release(mark)
+	if b.Mark() != mark {
+		t.Fatalf("watermark %d after release, want %d", b.Mark(), mark)
+	}
+}
+
+// TestBatchScratchArenaGrowth checks that segments handed out before a
+// growth stay readable and writable: the recursion keeps slices into the
+// superseded arrays alive on its stack frames.
+func TestBatchScratchArenaGrowth(t *testing.T) {
+	var b BatchScratch
+	b.Reset(vec.NewMatrix(1, 2), 1)
+	act1, ips1 := b.Alloc(4)
+	for i := range act1 {
+		act1[i], ips1[i] = int32(i+1), float64(i+1)
+	}
+	// Force several growths.
+	for i := 0; i < 10; i++ {
+		b.Alloc(1 << i)
+	}
+	for i := range act1 {
+		if act1[i] != int32(i+1) || ips1[i] != float64(i+1) {
+			t.Fatalf("pre-growth segment corrupted at %d: %d %f", i, act1[i], ips1[i])
+		}
+	}
+	act1[0] = 42 // writes must not fault either
+	if act1[0] != 42 {
+		t.Fatal("pre-growth segment not writable")
+	}
+}
+
+func TestBatchScratchResetWidensQueries(t *testing.T) {
+	var b BatchScratch
+	q := vec.FromRows([][]float32{{1, 2, 2}, {0, 3, 4}})
+	b.Reset(q, 3)
+	if len(b.Q64) != 6 {
+		t.Fatalf("Q64 length %d, want 6", len(b.Q64))
+	}
+	for i, v := range q.Data {
+		if b.Q64[i] != float64(v) {
+			t.Fatalf("Q64[%d] = %v, want %v", i, b.Q64[i], float64(v))
+		}
+	}
+	if b.QNorms[0] != 3 || b.QNorms[1] != 5 {
+		t.Fatalf("QNorms = %v, want [3 5]", b.QNorms[:2])
+	}
+	for i := range b.Heaps[:2] {
+		if b.Heaps[i].K() != 3 || b.Heaps[i].Len() != 0 {
+			t.Fatalf("heap %d not reset", i)
+		}
+	}
+}
+
+func TestSortByLimitDesc(t *testing.T) {
+	act := []int32{10, 11, 12, 13, 14}
+	limits := []int32{3, 9, 0, 9, 5}
+	SortByLimitDesc(act, limits)
+	wantLimits := []int32{9, 9, 5, 3, 0}
+	wantAct := []int32{11, 13, 14, 10, 12}
+	for i := range limits {
+		if limits[i] != wantLimits[i] || act[i] != wantAct[i] {
+			t.Fatalf("sorted (%v, %v), want (%v, %v)", act, limits, wantAct, wantLimits)
+		}
+	}
+}
+
+// fakeSearcher counts calls and returns its query index.
+type fakeSearcher struct{ calls int }
+
+func (f *fakeSearcher) Search(q []float32, opts core.SearchOptions, dst []core.Result) ([]core.Result, core.Stats) {
+	f.calls++
+	return append(dst, core.Result{ID: int32(f.calls), Dist: float64(q[0])}), core.Stats{IPCount: 1}
+}
+
+func TestFallback(t *testing.T) {
+	queries := vec.FromRows([][]float32{{1}, {2}, {3}})
+	out := make([][]core.Result, 3)
+	stats := make([]core.Stats, 3)
+	f := &fakeSearcher{}
+	Fallback(f, queries, core.SearchOptions{K: 1}, out, stats)
+	if f.calls != 3 {
+		t.Fatalf("fallback made %d calls, want 3", f.calls)
+	}
+	for i := range out {
+		if len(out[i]) != 1 || out[i][0].Dist != float64(i+1) {
+			t.Fatalf("query %d: %v", i, out[i])
+		}
+		if stats[i].IPCount != 1 {
+			t.Fatalf("query %d stats: %+v", i, stats[i])
+		}
+	}
+}

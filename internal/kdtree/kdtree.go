@@ -231,7 +231,10 @@ func (s *searcher) visit(n *node) {
 		s.opts.Profile.Add(core.PhaseBound, time.Since(start))
 	}
 
-	if lb >= s.tk.Lambda() {
+	// Strict, like the ball trees: a bound equal to λ does not prune, so
+	// boundary ties reach the collector's canonical (Dist, ID) order and
+	// exact results agree with the linear scan even on ties.
+	if lb > s.tk.Lambda() {
 		s.st.PrunedNodes++
 		return
 	}

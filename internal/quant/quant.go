@@ -193,9 +193,10 @@ func (s *Scan) Search(q []float32, opts core.SearchOptions) ([]core.Result, core
 			continue
 		}
 		approx := math.Abs(approxIP(base, w, s.codes[i*d:(i+1)*d]))
-		// |<x,q>| >= approx - eps: skip only when that floor reaches the
-		// current k-th best distance.
-		if approx-eps >= tk.Lambda() {
+		// |<x,q>| >= approx - eps: skip only when that floor strictly
+		// exceeds the current k-th best distance (ties must reach the
+		// collector's canonical (Dist, ID) order, as in the trees).
+		if approx-eps > tk.Lambda() {
 			st.PrunedPoints++
 			continue
 		}

@@ -59,6 +59,15 @@ type Searcher interface {
 	Dim() int
 }
 
+// BatchSearcher is the optional native batch surface of an index
+// (p2h.BatchIndex). When the served index exposes it, a worker hands each
+// micro-batch chunk to one SearchBatch call instead of looping per query, so
+// the index's shared batched traversal — one arena walk and one leaf-block
+// pass for the whole chunk — replaces per-query work.
+type BatchSearcher interface {
+	SearchBatch(queries *vec.Matrix, opts core.SearchOptions) ([][]core.Result, []core.Stats)
+}
+
 // Mutator is the optional write surface of a mutable index (p2h.Dynamic).
 type Mutator interface {
 	Insert(p []float32) int32
@@ -120,6 +129,9 @@ type request struct {
 	q        []float32 // caller's query, read-only
 	norm     float64   // ||normal||, computed once at submission
 	opts     core.SearchOptions
+	canon    []float32 // canonical unit-normal form, set by the serving worker
+	hash     uint64    // cache hash of (canon, opts), set with canon
+	dupOf    *request  // earlier identical request in the same chunk, if any
 	res      []core.Result
 	stats    core.Stats
 	panicVal any // panic raised while serving, re-raised in the caller
@@ -130,10 +142,11 @@ type request struct {
 // concurrent use; Close must only be called once no Search/Insert/Delete is
 // in flight or forthcoming.
 type Engine struct {
-	ix  Searcher
-	mut Mutator // nil for immutable indexes
-	cfg Config
-	dim int // query length, ix.Dim()+1
+	ix      Searcher
+	batchIx BatchSearcher // non-nil when ix has a native batched path
+	mut     Mutator       // nil for immutable indexes
+	cfg     Config
+	dim     int // query length, ix.Dim()+1
 
 	mu    sync.RWMutex  // searches read-lock, mutations write-lock (mut != nil only)
 	epoch atomic.Uint64 // bumped by every applied mutation
@@ -161,6 +174,9 @@ func New(ix Searcher, mut Mutator, cfg Config) *Engine {
 		dim:     ix.Dim() + 1,
 		reqs:    make(chan *request, cfg.Workers*cfg.MaxBatch),
 		batches: make(chan []*request, cfg.Workers),
+	}
+	if bi, ok := ix.(BatchSearcher); ok {
+		e.batchIx = bi
 	}
 	if cfg.CacheEntries > 0 {
 		e.cache = newLRU(cfg.CacheEntries)
@@ -333,22 +349,215 @@ func (e *Engine) dispatch(round []*request) {
 	}
 }
 
-// worker serves whole chunks, reusing one normalization scratch buffer for
-// every query of its lifetime.
+// workerScratch is the per-worker reusable storage: canonicalization
+// buffers, the packed canonical queries of the current chunk, and the
+// grouping slices of the batched path. One workerScratch lives as long as
+// its worker, so steady-state serving allocates only what each answer
+// returns to its caller.
+type workerScratch struct {
+	one   []float32  // canonicalization buffer for the per-request path
+	canon []float32  // packed canonical queries of the current chunk
+	pend  []*request // cache misses awaiting the batched path
+	dups  []*request // chunk-internal duplicates of a pending request
+	group []*request // one options-group of pend
+	gq    []float32  // packed queries of the current group
+}
+
+// worker serves whole chunks: when the index exposes a native batched path,
+// each chunk runs through serveBatch (cache first, then one SearchBatch per
+// options-group); otherwise requests are served one at a time.
 func (e *Engine) worker() {
 	defer e.wg.Done()
-	scratch := make([]float32, e.dim)
+	ws := &workerScratch{one: make([]float32, e.dim)}
 	for batch := range e.batches {
-		for _, r := range batch {
-			e.serve(r, scratch)
-		}
+		e.serveBatch(batch, ws)
 		e.inflight.Add(-1)
 	}
 }
 
-// serve answers one request: canonicalize, consult the cache, search under
-// the read lock, publish. Duplicate queries inside one batch hit the cache
-// entry their first occurrence installed.
+// serveBatch answers one dispatched chunk. Requests with a Filter or
+// Profile (per-query state the shared traversal cannot split) and chunks on
+// indexes without a batch surface take the per-request path; everything
+// else is canonicalized once, answered from the cache where possible, and
+// the remaining cache misses run through the index's SearchBatch grouped by
+// identical options — under load this is the common case, so the index
+// walks its arena once per chunk instead of once per query.
+func (e *Engine) serveBatch(batch []*request, ws *workerScratch) {
+	if e.batchIx == nil || len(batch) == 1 {
+		for _, r := range batch {
+			e.serve(r, ws.one)
+		}
+		return
+	}
+
+	dim := e.dim
+	if cap(ws.canon) < len(batch)*dim {
+		ws.canon = make([]float32, len(batch)*dim)
+	}
+	pend := ws.pend[:0]
+	dups := ws.dups[:0]
+	for _, r := range batch {
+		if r.opts.Filter != nil || r.opts.Profile != nil {
+			e.serve(r, ws.one)
+			continue
+		}
+		e.queries.Add(1)
+		dst := ws.canon[len(pend)*dim : (len(pend)+1)*dim]
+		r.canon = canonicalize(dst, r.q, r.norm)
+		r.hash = hashKey(r.canon, makeOptsKey(r.opts))
+		if e.cache != nil {
+			if res, st, hit := e.cache.get(r.hash, r.canon, makeOptsKey(r.opts), e.epoch.Load()); hit {
+				e.hits.Add(1)
+				r.res, r.stats = res, st
+				close(r.done)
+				continue
+			}
+		}
+		// Coalesce duplicates within the chunk: the sequential path served
+		// later occurrences from the cache entry the first one installed,
+		// and the batched path must not recompute them either.
+		r.dupOf = nil
+		for _, p := range pend {
+			if p.hash == r.hash && sameBatchOpts(p.opts, r.opts) && equalQuery(p.canon, r.canon) {
+				r.dupOf = p
+				break
+			}
+		}
+		if r.dupOf != nil {
+			if e.cache != nil {
+				e.hits.Add(1) // would have hit the leader's entry sequentially
+			}
+			dups = append(dups, r)
+			continue
+		}
+		if e.cache != nil {
+			e.misses.Add(1)
+		}
+		pend = append(pend, r)
+	}
+	ws.pend, ws.dups = pend, dups
+
+	// Partition the misses into groups of identical options; each group is
+	// one native batch call.
+	for len(pend) > 0 {
+		lead := pend[0]
+		group := append(ws.group[:0], lead)
+		keep := 0
+		for _, r := range pend[1:] {
+			if sameBatchOpts(r.opts, lead.opts) {
+				group = append(group, r)
+			} else {
+				pend[keep] = r
+				keep++
+			}
+		}
+		pend = pend[:keep]
+		ws.group = group[:0]
+		e.runGroup(group, lead.opts, ws)
+	}
+	ws.pend = ws.pend[:0]
+
+	// Serve the coalesced duplicates from their leaders' answers (each
+	// caller gets a private copy, like a cache hit). A leader that panicked
+	// propagates the same panic to its duplicates.
+	for _, r := range dups {
+		lead := r.dupOf
+		if lead.panicVal != nil {
+			r.panicVal = lead.panicVal
+		} else {
+			r.res = append([]core.Result(nil), lead.res...)
+			r.stats = lead.stats
+		}
+		close(r.done)
+	}
+	ws.dups = ws.dups[:0]
+}
+
+// sameBatchOpts reports whether two (already filter- and profile-free)
+// option sets ask the index the same question, so their requests can share
+// one batch call.
+func sameBatchOpts(a, b core.SearchOptions) bool {
+	return a.K == b.K && a.Budget == b.Budget && a.Preference == b.Preference &&
+		a.DisablePointBall == b.DisablePointBall &&
+		a.DisablePointCone == b.DisablePointCone &&
+		a.DisableCollabIP == b.DisableCollabIP
+}
+
+// runGroup answers one options-group of cache misses through the native
+// batch surface, under the read lock when the index is mutable. A panic
+// raised by the index travels back to every caller whose answer it
+// swallowed, exactly like the per-request path.
+func (e *Engine) runGroup(group []*request, opts core.SearchOptions, ws *workerScratch) {
+	if len(group) == 1 {
+		e.finishMiss(group[0])
+		return
+	}
+	dim := e.dim
+	if cap(ws.gq) < len(group)*dim {
+		ws.gq = make([]float32, len(group)*dim)
+	}
+	gq := ws.gq[:len(group)*dim]
+	for i, r := range group {
+		copy(gq[i*dim:(i+1)*dim], r.canon)
+	}
+	queries := &vec.Matrix{Data: gq, N: len(group), D: dim}
+
+	served := 0
+	defer func() {
+		if p := recover(); p != nil {
+			for _, r := range group[served:] {
+				r.panicVal = p
+				close(r.done)
+			}
+		}
+	}()
+	var epoch uint64
+	res, sts := func() ([][]core.Result, []core.Stats) {
+		if e.mut != nil {
+			e.mu.RLock()
+			defer e.mu.RUnlock()
+		}
+		epoch = e.epoch.Load()
+		return e.batchIx.SearchBatch(queries, opts)
+	}()
+	ok := makeOptsKey(opts)
+	for i, r := range group {
+		if e.cache != nil {
+			e.cache.put(r.hash, r.canon, ok, epoch, res[i], sts[i])
+		}
+		r.res, r.stats = res[i], sts[i]
+		close(r.done)
+		served = i + 1
+	}
+}
+
+// finishMiss completes a canonicalized cache miss through the single-query
+// path (a group of one gains nothing from the batch surface).
+func (e *Engine) finishMiss(r *request) {
+	defer close(r.done)
+	defer func() {
+		if p := recover(); p != nil {
+			r.panicVal = p
+		}
+	}()
+	var epoch uint64
+	res, st := func() ([]core.Result, core.Stats) {
+		if e.mut != nil {
+			e.mu.RLock()
+			defer e.mu.RUnlock()
+		}
+		epoch = e.epoch.Load()
+		return e.ix.Search(r.canon, r.opts)
+	}()
+	if e.cache != nil {
+		e.cache.put(r.hash, r.canon, makeOptsKey(r.opts), epoch, res, st)
+	}
+	r.res, r.stats = res, st
+}
+
+// serve answers one request on the per-query path: canonicalize, consult
+// the cache, search under the read lock, publish. Duplicate queries inside
+// one batch hit the cache entry their first occurrence installed.
 func (e *Engine) serve(r *request, scratch []float32) {
 	defer close(r.done)
 	defer func() {

@@ -14,8 +14,8 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
-	"sort"
 	"sync"
+	"sync/atomic"
 
 	"p2h/internal/bctree"
 	"p2h/internal/core"
@@ -137,7 +137,64 @@ func (ix *Index) String() string {
 	return fmt.Sprintf("shard{n=%d d=%d shards=%d workers=%d}", ix.n, ix.d, len(ix.trees), ix.workers)
 }
 
-// Search fans the query out across the shards (at most cfg.Workers
+// shardOpts derives shard si's view of the caller's options: the candidate
+// budget is divided across shards in proportion to their sizes, and a caller
+// filter (which speaks global ids) is wrapped to translate the shard tree's
+// local ids.
+func (ix *Index) shardOpts(opts core.SearchOptions, si int) core.SearchOptions {
+	out := opts
+	if opts.Budget > 0 {
+		share := (opts.Budget*len(ix.ids[si]) + ix.n - 1) / ix.n
+		if share < 1 {
+			share = 1
+		}
+		out.Budget = share
+	}
+	if opts.Filter != nil {
+		userFilter := opts.Filter
+		localIDs := ix.ids[si]
+		out.Filter = func(local int32) bool {
+			return userFilter(localIDs[local])
+		}
+	}
+	return out
+}
+
+// forEachShard runs fn(si) for every shard index over at most ix.workers
+// goroutines. Exactly min(workers, shards) goroutines are created — never
+// one per shard — so a search over many shards cannot flood the scheduler
+// regardless of the shard count; the pool pulls shard indices from a shared
+// counter.
+func (ix *Index) forEachShard(fn func(si int)) {
+	nw := ix.workers
+	if nw > len(ix.trees) {
+		nw = len(ix.trees)
+	}
+	if nw <= 1 {
+		for si := range ix.trees {
+			fn(si)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(nw)
+	for w := 0; w < nw; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				si := int(next.Add(1)) - 1
+				if si >= len(ix.trees) {
+					return
+				}
+				fn(si)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Search fans the query out across the shards (over at most cfg.Workers
 // goroutines), asks each shard tree for its local top-k, and merges exactly.
 // The candidate budget is divided across shards in proportion to their
 // sizes. Per-phase profiling is not supported concurrently; the Profile
@@ -152,40 +209,14 @@ func (ix *Index) Search(q []float32, opts core.SearchOptions) ([]core.Result, co
 	}
 	outs := make([]shardOut, len(ix.trees))
 
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, ix.workers)
-	for si := range ix.trees {
-		wg.Add(1)
-		go func(si int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			shardOpts := opts
-			if opts.Budget > 0 {
-				share := (opts.Budget*len(ix.ids[si]) + ix.n - 1) / ix.n
-				if share < 1 {
-					share = 1
-				}
-				shardOpts.Budget = share
-			}
-			if opts.Filter != nil {
-				// The shard tree sees local ids; the caller's filter
-				// speaks global ids.
-				userFilter := opts.Filter
-				localIDs := ix.ids[si]
-				shardOpts.Filter = func(local int32) bool {
-					return userFilter(localIDs[local])
-				}
-			}
-			res, st := ix.trees[si].Search(q, shardOpts)
-			// Map shard-local ids back to global ids.
-			for i := range res {
-				res[i].ID = ix.ids[si][res[i].ID]
-			}
-			outs[si] = shardOut{res: res, st: st}
-		}(si)
-	}
-	wg.Wait()
+	ix.forEachShard(func(si int) {
+		res, st := ix.trees[si].Search(q, ix.shardOpts(opts, si))
+		// Map shard-local ids back to global ids.
+		for i := range res {
+			res[i].ID = ix.ids[si][res[i].ID]
+		}
+		outs[si] = shardOut{res: res, st: st}
+	})
 
 	var st core.Stats
 	var merged []core.Result
@@ -193,14 +224,53 @@ func (ix *Index) Search(q []float32, opts core.SearchOptions) ([]core.Result, co
 		st.Add(o.st)
 		merged = append(merged, o.res...)
 	}
-	sort.Slice(merged, func(i, j int) bool {
-		if merged[i].Dist != merged[j].Dist {
-			return merged[i].Dist < merged[j].Dist
-		}
-		return merged[i].ID < merged[j].ID
-	})
+	core.SortResults(merged)
 	if len(merged) > opts.K {
 		merged = merged[:opts.K]
 	}
 	return merged, st
+}
+
+// SearchBatch answers one top-k query per row of queries: every shard tree
+// serves the whole batch through its shared batched traversal (falling back
+// to per-query search for budgeted or filtered options), and the per-shard
+// answers merge exactly per query. Shards are processed over at most
+// cfg.Workers goroutines. Results are bitwise identical to per-query Search
+// calls. The Profile option is ignored, as in Search.
+func (ix *Index) SearchBatch(queries *vec.Matrix, opts core.SearchOptions) ([][]core.Result, []core.Stats) {
+	opts = opts.Normalized()
+	opts.Profile = nil
+	nq := queries.N
+	out := make([][]core.Result, nq)
+	stats := make([]core.Stats, nq)
+	if nq == 0 {
+		return out, stats
+	}
+
+	shardRes := make([][][]core.Result, len(ix.trees))
+	shardStats := make([][]core.Stats, len(ix.trees))
+	ix.forEachShard(func(si int) {
+		res, sts := ix.trees[si].SearchBatch(queries, ix.shardOpts(opts, si))
+		ids := ix.ids[si]
+		for qi := range res {
+			for i := range res[qi] {
+				res[qi][i].ID = ids[res[qi][i].ID]
+			}
+		}
+		shardRes[si], shardStats[si] = res, sts
+	})
+
+	for qi := 0; qi < nq; qi++ {
+		var merged []core.Result
+		for si := range ix.trees {
+			stats[qi].Add(shardStats[si][qi])
+			merged = append(merged, shardRes[si][qi]...)
+		}
+		core.SortResults(merged)
+		if len(merged) > opts.K {
+			merged = merged[:opts.K]
+		}
+		out[qi] = merged
+	}
+	return out, stats
 }

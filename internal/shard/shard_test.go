@@ -2,6 +2,8 @@ package shard
 
 import (
 	"math"
+	"runtime"
+	"sync/atomic"
 	"testing"
 
 	"p2h/internal/core"
@@ -125,6 +127,73 @@ func TestDeterministicAcrossRuns(t *testing.T) {
 				t.Fatalf("same seed, different results at %d", i)
 			}
 		}
+	}
+}
+
+// TestSearchBoundedConcurrency pins the fan-out's goroutine discipline:
+// exactly min(Workers, Shards) goroutines process shards — never one per
+// shard — so a search over many shards cannot flood the scheduler. The
+// filter samples the process goroutine count mid-search; the old
+// spawn-then-gate pattern (one goroutine per shard parked on a semaphore)
+// fails this even though its semaphore bounded execution.
+func TestSearchBoundedConcurrency(t *testing.T) {
+	data, queries := setup(t, 800, 13)
+	const workers = 2
+	ix := Build(data, Config{Shards: 16, Seed: 14, Workers: workers})
+
+	baseline := runtime.NumGoroutine()
+	var peak atomic.Int64
+	observe := func(int32) bool {
+		g := int64(runtime.NumGoroutine())
+		for {
+			p := peak.Load()
+			if g <= p || peak.CompareAndSwap(p, g) {
+				break
+			}
+		}
+		return true
+	}
+	for qi := 0; qi < queries.N; qi++ {
+		ix.Search(queries.Row(qi), core.SearchOptions{K: 3, Filter: observe})
+	}
+	if extra := peak.Load() - int64(baseline); extra > workers {
+		t.Fatalf("search ran %d extra goroutines, Workers=%d allows at most %d", extra, workers, workers)
+	}
+}
+
+// TestSearchBatchMatchesSequential checks the sharded batched path returns
+// bitwise-identical results to per-query Search across exact, budgeted,
+// filtered and k>n options.
+func TestSearchBatchMatchesSequential(t *testing.T) {
+	data, queries := setup(t, 1100, 15)
+	for i := 0; i < queries.N; i++ {
+		q := queries.Row(i)
+		vec.Normalize(q[:len(q)-1])
+	}
+	ix := Build(data, Config{Shards: 5, LeafSize: 30, Seed: 16})
+	for _, tc := range []struct {
+		name string
+		opts core.SearchOptions
+	}{
+		{"exact", core.SearchOptions{K: 7}},
+		{"kBig", core.SearchOptions{K: data.N + 3}},
+		{"budget", core.SearchOptions{K: 7, Budget: 90}},
+		{"filtered", core.SearchOptions{K: 7, Filter: func(id int32) bool { return id%4 != 0 }}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			batch, _ := ix.SearchBatch(queries, tc.opts)
+			for qi := 0; qi < queries.N; qi++ {
+				want, _ := ix.Search(queries.Row(qi), tc.opts)
+				if len(batch[qi]) != len(want) {
+					t.Fatalf("query %d: %d results, want %d", qi, len(batch[qi]), len(want))
+				}
+				for i := range want {
+					if batch[qi][i] != want[i] {
+						t.Fatalf("query %d rank %d: %+v != %+v", qi, i, batch[qi][i], want[i])
+					}
+				}
+			}
+		})
 	}
 }
 

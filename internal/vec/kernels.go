@@ -95,20 +95,24 @@ func SqDistBlock(q []float32, rows []float32, out []float64) {
 //
 //	lb_ball(i) = absIP - qnorm*rx[i]
 //
-// stays below lambda. Because rx is descending the bound ascends along the
-// array, so everything from the returned index on is prunable in one batch —
-// the flat-layout form of the paper's batch pruning, found by binary search
-// instead of a scan.
+// does not exceed lambda. Because rx is descending the bound ascends along
+// the array, so everything from the returned index on is prunable in one
+// batch — the flat-layout form of the paper's batch pruning, found by binary
+// search instead of a scan. The cut is strict (a point is pruned only when
+// its bound is strictly above lambda): candidates tied with the current k-th
+// best distance must reach the collector, whose (Dist, ID) order decides
+// ties canonically — the invariant behind batched/sequential result
+// equivalence.
 func BallCutoff(absIP, qnorm, lambda float64, rx []float64) int {
 	if qnorm <= 0 {
-		if absIP >= lambda {
+		if absIP > lambda {
 			return 0
 		}
 		return len(rx)
 	}
-	// lb_ball(i) >= lambda  <=>  rx[i] <= (absIP-lambda)/qnorm.
+	// lb_ball(i) > lambda  <=>  rx[i] < (absIP-lambda)/qnorm.
 	thresh := (absIP - lambda) / qnorm
-	return sort.Search(len(rx), func(i int) bool { return rx[i] <= thresh })
+	return sort.Search(len(rx), func(i int) bool { return rx[i] < thresh })
 }
 
 // ConeSelect is the fused point-level cone bound kernel (Theorem 3): it
@@ -116,7 +120,9 @@ func BallCutoff(absIP, qnorm, lambda float64, rx []float64) int {
 // appends the indices of the points it cannot prune to sel, returning the
 // extended slice. qcos and qsin are the query's projection onto / rejection
 // from the leaf center; xcos and xsin are the per-point analogues stored by
-// the tree. A point survives when lbCone*(1-slack) < lambda.
+// the tree. A point survives when lbCone*(1-slack) <= lambda: pruning is
+// strict so boundary ties reach the collector's canonical (Dist, ID)
+// ordering (see BallCutoff).
 func ConeSelect(qcos, qsin, lambda, slack float64, xcos, xsin []float64, sel []int32) []int32 {
 	if len(xcos) != len(xsin) {
 		panic("vec: ConeSelect shape mismatch")
@@ -132,7 +138,7 @@ func ConeSelect(qcos, qsin, lambda, slack float64, xcos, xsin []float64, sel []i
 		} else if sumB < 0 {
 			lb = -sumB
 		}
-		if lb*scale < lambda {
+		if lb*scale <= lambda {
 			sel = append(sel, int32(i))
 		}
 	}

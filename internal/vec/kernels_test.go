@@ -73,9 +73,10 @@ func TestBlockKernelsPanicOnShapeMismatch(t *testing.T) {
 }
 
 // ballCutoffNaive is the reference scan the binary search must agree with.
+// Pruning is strict: only a bound strictly above lambda cuts.
 func ballCutoffNaive(absIP, qnorm, lambda float64, rx []float64) int {
 	for i, r := range rx {
-		if absIP-qnorm*r >= lambda {
+		if absIP-qnorm*r > lambda {
 			return i
 		}
 	}
@@ -125,7 +126,7 @@ func coneKeepNaive(qcos, qsin, lambda, slack float64, xcos, xsin []float64) []in
 		} else if sumB < 0 {
 			lb = -sumB
 		}
-		if lb*(1-slack) < lambda {
+		if lb*(1-slack) <= lambda {
 			keep = append(keep, int32(i))
 		}
 	}

@@ -56,3 +56,44 @@ func TestRecallGateExactIndexes(t *testing.T) {
 		}
 	}
 }
+
+// TestRecallGateBatchedPath runs the same gate through SearchBatch: the
+// shared batched traversal must stay exact too, and — stronger — must agree
+// with the per-query path result for result (exact answers are canonical,
+// so the two executions cannot legitimately differ even on ties).
+func TestRecallGateBatchedPath(t *testing.T) {
+	const k = 10
+	for _, set := range []string{"Sift", "Cifar-10"} {
+		data := p2h.Dedup(p2h.GenerateDataset(set, 2000, 1))
+		queries := p2h.GenerateQueries(data, 20, 2)
+		scan := p2h.NewLinearScan(data)
+		for name, ix := range exactIndexes(data) {
+			batch := p2h.SearchBatch(ix, queries, p2h.SearchOptions{K: k}, 2)
+			hits, total := 0, 0
+			for qi := 0; qi < queries.N; qi++ {
+				q := queries.Row(qi)
+				want, _ := scan.Search(q, p2h.SearchOptions{K: k})
+				seq, _ := ix.Search(q, p2h.SearchOptions{K: k})
+				if len(batch[qi]) != len(want) {
+					t.Fatalf("%s/%s query %d: %d results, want %d", set, name, qi, len(batch[qi]), len(want))
+				}
+				for i := range seq {
+					if batch[qi][i] != seq[i] {
+						t.Fatalf("%s/%s query %d rank %d: batched %+v != sequential %+v",
+							set, name, qi, i, batch[qi][i], seq[i])
+					}
+				}
+				kth := want[len(want)-1].Dist
+				for _, r := range batch[qi] {
+					if r.Dist <= kth*(1+1e-9)+1e-12 {
+						hits++
+					}
+				}
+				total += len(want)
+			}
+			if recall := float64(hits) / float64(total); math.Abs(recall-1) > 1e-12 {
+				t.Errorf("%s/%s batched: recall %.6f, want exactly 1.0", set, name, recall)
+			}
+		}
+	}
+}

@@ -1,42 +1,56 @@
 #!/usr/bin/env bash
 # bench.sh — run the key microbenchmarks and emit a machine-readable perf
-# snapshot (ns/op and derived qps per benchmark) so the repository tracks its
-# performance trajectory PR over PR.
+# snapshot (ns/op, derived qps, and allocs/op per benchmark) so the
+# repository tracks its performance trajectory PR over PR.
 #
-#   scripts/bench.sh [out.json]     default out: BENCH_2.json
+#   scripts/bench.sh [out.json]     default out: BENCH_3.json
 #
 # The benchmark suite is shared with the CI bench-regression gate
 # (scripts/bench_regression.sh); this script adds the JSON snapshot. Each
-# benchmark's value is the median ns/op over BENCH_COUNT runs.
+# benchmark's value is the median over BENCH_COUNT runs.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-OUT="${1:-BENCH_2.json}"
+OUT="${1:-BENCH_3.json}"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
 ./scripts/bench_regression.sh run "$RAW"
 
-# "BenchmarkName-8  1234  5678 ns/op ..." -> "BenchmarkName 5678", median per
-# name, then JSON. qps = 1e9 / ns_per_op, meaningful for per-query benchmarks.
+# "BenchmarkName-8  1234  5678 ns/op  90 B/op  1 allocs/op" ->
+# "BenchmarkName 5678 1", median per name, then JSON.
+# qps = 1e9 / ns_per_op, meaningful for per-query benchmarks.
 grep -E '^Benchmark[^ ]+(-[0-9]+)?\s' "$RAW" |
-  awk '{ name = $1; sub(/-[0-9]+$/, "", name); print name, $3 }' |
+  awk '{
+    name = $1; sub(/-[0-9]+$/, "", name)
+    allocs = "-1"
+    for (i = 3; i < NF; i++) if ($(i + 1) == "allocs/op") allocs = $i
+    print name, $3, allocs
+  }' |
   sort |
   awk -v go_version="$(go version | awk '{print $3}')" \
       -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
     {
       if ($1 != name && name != "") emit()
       name = $1
-      vals[++n] = $2
+      ns[++n] = $2
+      al[n] = $3
     }
-    function emit(    mid, med) {
-      # vals arrived sorted lexically per name but medians need numeric order.
+    function median(arr, n,    i, j, t, mid) {
       for (i = 1; i <= n; i++)
         for (j = i + 1; j <= n; j++)
-          if (vals[j] + 0 < vals[i] + 0) { t = vals[i]; vals[i] = vals[j]; vals[j] = t }
+          if (arr[j] + 0 < arr[i] + 0) { t = arr[i]; arr[i] = arr[j]; arr[j] = t }
       mid = int((n + 1) / 2)
-      med = (n % 2 == 1) ? vals[mid] + 0 : (vals[mid] + vals[mid + 1]) / 2
-      lines[++m] = sprintf("    \"%s\": {\"ns_per_op\": %.1f, \"qps\": %.1f}", name, med, 1e9 / med)
+      return (n % 2 == 1) ? arr[mid] + 0 : (arr[mid] + arr[mid + 1]) / 2
+    }
+    function emit(    med, meda, extra) {
+      med = median(ns, n)
+      extra = ""
+      if (al[1] + 0 >= 0) {
+        meda = median(al, n)
+        extra = sprintf(", \"allocs_per_op\": %.1f", meda)
+      }
+      lines[++m] = sprintf("    \"%s\": {\"ns_per_op\": %.1f, \"qps\": %.1f%s}", name, med, 1e9 / med, extra)
       n = 0
     }
     END {

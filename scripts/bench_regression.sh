@@ -6,54 +6,87 @@
 #                                                 benchstat the two runs and
 #                                                 fail on a statistically
 #                                                 significant >15% slowdown
+#                                                 or allocs/op increase
 #
-# The suite covers the three layers the flat tree layout optimizes: the vec
-# kernels, the balltree/bctree searches, and the serving path. -count=6 gives
-# benchstat enough samples for a significance test.
+# The suite covers the layers the execution engine optimizes: the vec
+# kernels, the balltree/bctree searches (per-query and batched), and the
+# serving path. -count=6 gives benchstat enough samples for a significance
+# test; -benchmem records allocs/op so the zero-allocation steady state is
+# gated alongside time.
 set -euo pipefail
 
 COUNT="${BENCH_COUNT:-6}"
 BENCHTIME="${BENCH_TIME:-0.3s}"
 MAX_REGRESSION_PCT="${MAX_REGRESSION_PCT:-15}"
+MAX_ALLOC_REGRESSION_PCT="${MAX_ALLOC_REGRESSION_PCT:-10}"
 
 run() {
   local out="$1"
   : > "$out"
   go test -run '^$' -bench 'BenchmarkDot|BenchmarkSqDistBlock|BenchmarkConeSelect' \
-    -benchtime="$BENCHTIME" -count="$COUNT" ./internal/vec | tee -a "$out"
-  go test -run '^$' -bench 'BenchmarkQueryExactBallTree$|BenchmarkQueryExactBCTree$|BenchmarkQueryBudgetBCTree$|BenchmarkServer' \
-    -benchtime="$BENCHTIME" -count="$COUNT" . | tee -a "$out"
+    -benchmem -benchtime="$BENCHTIME" -count="$COUNT" ./internal/vec | tee -a "$out"
+  go test -run '^$' -bench 'BenchmarkQueryExactBallTree$|BenchmarkQueryExactBCTree$|BenchmarkQueryBudgetBCTree$|BenchmarkSearchBatchExact|BenchmarkServer' \
+    -benchmem -benchtime="$BENCHTIME" -count="$COUNT" . | tee -a "$out"
 }
 
 compare() {
   local base="$1" head="$2"
+
+  # Zero-alloc gate, straight from the raw outputs (benchstat's rendering
+  # of a zero-to-nonzero delta is not parseable reliably): any benchmark
+  # whose best base run allocated nothing must still allocate nothing at
+  # head. Benchmarks new at head have no base line and are skipped.
+  local leaks
+  leaks=$(awk '
+    FNR == 1 { file++ }
+    /^Benchmark/ {
+      name = $1; sub(/-[0-9]+$/, "", name)
+      for (i = 3; i < NF; i++) if ($(i + 1) == "allocs/op") {
+        if (file == 1) { if (!(name in base) || $i + 0 < base[name]) base[name] = $i + 0 }
+        else           { if (!(name in head) || $i + 0 < head[name]) head[name] = $i + 0 }
+      }
+    }
+    END { for (n in head) if (n in base && base[n] == 0 && head[n] > 0)
+            printf "%s: 0 allocs/op at base, %d at head\n", n, head[n] }
+  ' "$base" "$head") || true
+  if [ -n "$leaks" ]; then
+    echo "FAIL: zero-allocation benchmark(s) now allocate:"
+    echo "$leaks"
+    exit 1
+  fi
+
   local report
   report=$(benchstat "$base" "$head")
   echo "$report"
   # benchstat marks a significant delta as "+NN.NN% (p=0.0xx n=6)" and an
-  # insignificant one as "~". Only the sec/op table is a regression signal:
-  # in the B/s table (benchmarks with b.SetBytes) a positive delta is an
-  # improvement, so the scan tracks which metric section it is inside.
+  # insignificant one as "~". Two metric sections are regression signals:
+  # sec/op (a positive delta is a slowdown) and allocs/op (a positive delta
+  # means the zero-allocation steady state is eroding). In the B/s table a
+  # positive delta is an improvement, so the scan tracks which metric
+  # section it is inside.
   local bad
-  bad=$(echo "$report" | awk -v max="$MAX_REGRESSION_PCT" '
-    /sec\/op/ { insec = 1; next }
-    /B\/s|B\/op|allocs\/op/ { insec = 0; next }
-    insec {
+  bad=$(echo "$report" | awk -v maxsec="$MAX_REGRESSION_PCT" -v maxalloc="$MAX_ALLOC_REGRESSION_PCT" '
+    /sec\/op/  { sect = "sec";   next }
+    /allocs\/op/ { sect = "alloc"; next }
+    /B\/s|B\/op/ { sect = "";      next }
+    sect != "" {
       for (i = 1; i < NF; i++) {
         if ($i ~ /^\+[0-9]+(\.[0-9]+)?%$/ && $(i + 1) ~ /^\(p=[0-9.]+$/) {
           pct = substr($i, 2, length($i) - 2) + 0
           p = substr($(i + 1), 4) + 0
-          if (pct > max && p <= 0.05) print
+          max = (sect == "sec") ? maxsec : maxalloc
+          if (pct > max && p <= 0.05) print sect ": " $0
         }
       }
     }') || true
   if [ -n "$bad" ]; then
     echo ""
-    echo "FAIL: statistically significant slowdown(s) above ${MAX_REGRESSION_PCT}%:"
+    echo "FAIL: statistically significant regression(s) above the gates" \
+         "(sec/op > ${MAX_REGRESSION_PCT}%, allocs/op > ${MAX_ALLOC_REGRESSION_PCT}%):"
     echo "$bad"
     exit 1
   fi
-  echo "OK: no significant slowdown above ${MAX_REGRESSION_PCT}%."
+  echo "OK: no significant slowdown above ${MAX_REGRESSION_PCT}% and no allocs/op regression above ${MAX_ALLOC_REGRESSION_PCT}%."
 }
 
 case "${1:-}" in
