@@ -3,6 +3,7 @@ package p2h
 import (
 	"fmt"
 
+	"p2h/internal/core"
 	"p2h/internal/vec"
 )
 
@@ -23,20 +24,21 @@ type BatchIndex interface {
 
 // checkQueryBatch validates a batch of hyperplane queries over d-dimensional
 // points and rescales any row without a unit normal, copying the matrix at
-// most once. The normalization band matches checkQuery, so batched and
-// per-query paths see bit-identical canonical queries.
+// most once. Validation and the normalization band go through the same
+// checked core as checkQuery (core.CheckQuery, core.UnitNormBand), so
+// batched and per-query paths see bit-identical canonical queries.
 func checkQueryBatch(queries *Matrix, d int) *Matrix {
 	if queries.D != d+1 {
-		panic(fmt.Sprintf("p2h: batch queries have dimension %d, want %d (normal) + 1 (offset)", queries.D, d+1))
+		panic(fmt.Sprintf("p2h: %v: batch queries have dimension %d, want %d (normal) + 1 (offset)",
+			core.ErrDimMismatch, queries.D, d+1))
 	}
 	out := queries
 	for i := 0; i < queries.N; i++ {
-		q := out.Row(i)
-		n := vec.Norm(q[:d])
-		if n == 0 {
-			panic("p2h: hyperplane normal must be non-zero")
+		n, err := core.CheckQuery(out.Row(i), d)
+		if err != nil {
+			panic("p2h: " + err.Error())
 		}
-		if n > 1-1e-6 && n < 1+1e-6 {
+		if core.UnitNormBand(n) {
 			continue
 		}
 		if out == queries {

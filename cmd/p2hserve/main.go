@@ -1,12 +1,15 @@
 // Command p2hserve drives the concurrent query-serving layer: it loads or
-// generates a data set, builds an index, wraps it in a p2h.Server, replays a
-// query stream from a file, stdin, or a generator against it from many
-// concurrent clients, and reports throughput and latency percentiles.
+// generates a data set, builds an index of any registered kind through the
+// p2h registry (or loads a saved index container), wraps it in a p2h.Server,
+// replays a query stream from a file, stdin, or a generator against it from
+// many concurrent clients, and reports throughput and latency percentiles.
 //
 // Usage:
 //
 //	p2hserve -set Sift -n 20000 -nq 500 -clients 8 -repeat 4
 //	p2hserve -data data.fvecs -queries queries.fvecs -index dynamic -k 10
+//	p2hserve -index sharded -spec '{"shards":8,"leaf_size":50}'
+//	p2hserve -data data.fvecs -load index.p2h -queries queries.fvecs
 //	awk-or-your-tool-emitting-text-queries | p2hserve -data data.fvecs -stdin
 //
 // Queries arrive as fvecs rows (-queries) or as text lines of d+1
@@ -18,6 +21,7 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -43,9 +47,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		set       = fs.String("set", "Sift", "surrogate data set to generate when -data is empty")
 		n         = fs.Int("n", 10000, "points to generate when -data is empty")
 		seed      = fs.Int64("seed", 1, "seed for data/query generation and index construction")
-		indexKind = fs.String("index", "bc", "index to serve: bc, ball, kd, scan, quant, sharded, dynamic")
-		leafSize  = fs.Int("leafsize", 100, "tree leaf size N0")
-		shards    = fs.Int("shards", 0, "shard count for -index sharded (0: GOMAXPROCS)")
+		indexKind = fs.String("index", "", "index kind to serve ("+strings.Join(p2h.Kinds(), ", ")+"; default: the -spec kind, else bctree)")
+		specJSON  = fs.String("spec", "", "p2h.Spec as JSON, e.g. '{\"shards\":8,\"leaf_size\":50}' (-index overrides its kind)")
+		loadPath  = fs.String("load", "", "serve a saved index container instead of building one")
 		queryPath = fs.String("queries", "", "fvecs file with (normal; offset) query rows")
 		useStdin  = fs.Bool("stdin", false, "read text queries from stdin: d+1 floats per line")
 		nq        = fs.Int("nq", 200, "queries to generate when neither -queries nor -stdin is given")
@@ -71,13 +75,33 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "data: %d points, %d dimensions\n", data.N, data.D)
 
 	buildStart := time.Now()
-	ix, err := buildIndex(*indexKind, data, *leafSize, *shards, *seed)
-	if err != nil {
-		fmt.Fprintf(stderr, "p2hserve: %v\n", err)
-		return 1
+	var ix p2h.Index
+	if *loadPath != "" {
+		ix, err = p2h.Open(*loadPath)
+		if err != nil {
+			fmt.Fprintf(stderr, "p2hserve: %v\n", err)
+			return 1
+		}
+		if ix.Dim() != data.D {
+			fmt.Fprintf(stderr, "p2hserve: loaded index has dimension %d, data has %d\n", ix.Dim(), data.D)
+			return 1
+		}
+		fmt.Fprintf(stdout, "index: %s loaded in %v (%d index bytes)\n",
+			p2h.KindOf(ix), time.Since(buildStart).Round(time.Millisecond), ix.IndexBytes())
+	} else {
+		spec, err := makeSpec(*indexKind, *specJSON, *seed)
+		if err != nil {
+			fmt.Fprintf(stderr, "p2hserve: %v\n", err)
+			return 1
+		}
+		ix, err = p2h.New(data, spec)
+		if err != nil {
+			fmt.Fprintf(stderr, "p2hserve: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "index: %s built in %v (%d index bytes)\n",
+			p2h.KindOf(ix), time.Since(buildStart).Round(time.Millisecond), ix.IndexBytes())
 	}
-	fmt.Fprintf(stdout, "index: %s built in %v (%d index bytes)\n",
-		*indexKind, time.Since(buildStart).Round(time.Millisecond), ix.IndexBytes())
 
 	queries, err := loadQueries(*queryPath, *useStdin, stdin, data, *nq, *seed+1)
 	if err != nil {
@@ -138,24 +162,26 @@ func loadData(path, set string, n int, seed int64) (*p2h.Matrix, error) {
 	return p2h.Dedup(p2h.GenerateDataset(set, n, seed)), nil
 }
 
-func buildIndex(kind string, data *p2h.Matrix, leafSize, shards int, seed int64) (p2h.Index, error) {
-	switch kind {
-	case "bc":
-		return p2h.NewBCTree(data, p2h.BCTreeOptions{LeafSize: leafSize, Seed: seed}), nil
-	case "ball":
-		return p2h.NewBallTree(data, p2h.BallTreeOptions{LeafSize: leafSize, Seed: seed}), nil
-	case "kd":
-		return p2h.NewKDTree(data, p2h.KDTreeOptions{LeafSize: leafSize}), nil
-	case "scan":
-		return p2h.NewLinearScan(data), nil
-	case "quant":
-		return p2h.NewQuantizedScan(data), nil
-	case "sharded":
-		return p2h.NewSharded(data, p2h.ShardedOptions{Shards: shards, LeafSize: leafSize, Seed: seed}), nil
-	case "dynamic":
-		return p2h.NewDynamic(data, p2h.DynamicOptions{LeafSize: leafSize, Seed: seed}), nil
+// makeSpec combines the -index and -spec flags into one p2h.Spec (the JSON
+// is the base, an explicit kind flag overrides it) and defaults the
+// construction seed to the workload seed so runs stay reproducible.
+func makeSpec(kind, specJSON string, seed int64) (p2h.Spec, error) {
+	var spec p2h.Spec
+	if specJSON != "" {
+		if err := json.Unmarshal([]byte(specJSON), &spec); err != nil {
+			return spec, fmt.Errorf("bad -spec JSON: %w", err)
+		}
 	}
-	return nil, fmt.Errorf("unknown index %q (want bc, ball, kd, scan, quant, sharded, or dynamic)", kind)
+	if kind != "" {
+		spec.Kind = kind
+	}
+	if spec.Kind == "" {
+		spec.Kind = p2h.KindBCTree
+	}
+	if spec.Seed == 0 {
+		spec.Seed = seed
+	}
+	return spec, nil
 }
 
 func loadQueries(path string, useStdin bool, stdin io.Reader, data *p2h.Matrix, nq int, seed int64) (*p2h.Matrix, error) {

@@ -25,7 +25,7 @@ func TestServeGeneratedWorkload(t *testing.T) {
 		t.Fatalf("exit %d, stderr: %s", code, errOut)
 	}
 	for _, want := range []string{
-		"data: ", "index: bc built",
+		"data: ", "index: bctree built",
 		"server: 120 queries", "qps", "latency mean",
 		"cache hit rate", "sequential: 120 queries", "speedup:",
 	} {
@@ -48,13 +48,18 @@ func TestServeCacheZeroDisablesCache(t *testing.T) {
 }
 
 func TestServeEveryIndexKind(t *testing.T) {
-	for _, kind := range []string{"bc", "ball", "kd", "scan", "quant", "sharded", "dynamic"} {
+	// Aliases resolve through the registry; the banner prints the
+	// canonical kind name.
+	for kind, canonical := range map[string]string{
+		"bc": "bctree", "ball": "balltree", "kd": "kdtree", "scan": "linearscan",
+		"quant": "quantizedscan", "sharded": "sharded", "dynamic": "dynamic",
+	} {
 		out, errOut, code := runCmd(t, "",
 			"-set", "Sift", "-n", "200", "-nq", "5", "-clients", "2", "-index", kind)
 		if code != 0 {
 			t.Fatalf("%s: exit %d, stderr: %s", kind, code, errOut)
 		}
-		if !strings.Contains(out, "index: "+kind+" built") {
+		if !strings.Contains(out, "index: "+canonical+" built") {
 			t.Fatalf("%s: output:\n%s", kind, out)
 		}
 	}
@@ -125,6 +130,71 @@ func TestServeErrors(t *testing.T) {
 	// Malformed stdin query.
 	_, errOut, code := runCmd(t, "not a number\n", "-set", "Sift", "-n", "100", "-stdin")
 	if code == 0 || !strings.Contains(errOut, "stdin line 1") {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+}
+
+// TestServeSpecFlag drives the registry path: a full Spec as JSON selects
+// and tunes the index without any kind-specific flags.
+func TestServeSpecFlag(t *testing.T) {
+	out, errOut, code := runCmd(t, "",
+		"-set", "Sift", "-n", "200", "-nq", "5", "-clients", "2",
+		"-index", "sharded", "-spec", `{"shards":3,"workers":2,"leaf_size":40}`)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	if !strings.Contains(out, "index: sharded built") {
+		t.Fatalf("output:\n%s", out)
+	}
+	// A spec can also carry the kind by itself: with no -index flag the
+	// spec's kind wins (it is not silently overridden by a default).
+	out, errOut, code = runCmd(t, "",
+		"-set", "Sift", "-n", "200", "-nq", "5", "-spec", `{"kind":"kd"}`)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	if !strings.Contains(out, "index: kdtree built") {
+		t.Fatalf("spec kind overridden:\n%s", out)
+	}
+	// Malformed spec JSON is rejected.
+	if _, _, code := runCmd(t, "", "-set", "Sift", "-n", "100", "-spec", "{nope"); code == 0 {
+		t.Fatal("bad -spec accepted")
+	}
+}
+
+// TestServeLoadedIndex serves a saved container through -load: the
+// deployment path where the index was built offline by p2htool.
+func TestServeLoadedIndex(t *testing.T) {
+	dir := t.TempDir()
+	data := p2h.GenerateDataset("Sift", 200, 1)
+	dataPath := filepath.Join(dir, "data.fvecs")
+	if err := p2h.SaveFvecs(dataPath, data); err != nil {
+		t.Fatal(err)
+	}
+	ix, err := p2h.New(data, p2h.Spec{Kind: p2h.KindBCTree, LeafSize: 50, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ixPath := filepath.Join(dir, "ix.p2h")
+	if err := p2h.SaveFile(ixPath, ix); err != nil {
+		t.Fatal(err)
+	}
+	out, errOut, code := runCmd(t, "",
+		"-data", dataPath, "-load", ixPath, "-nq", "5", "-clients", "2")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	if !strings.Contains(out, "index: bctree loaded") {
+		t.Fatalf("output:\n%s", out)
+	}
+	// A dimension mismatch between -load and the data is rejected.
+	other := p2h.GenerateDataset("Music", 100, 1) // d=100 != 128
+	otherPath := filepath.Join(dir, "other.fvecs")
+	if err := p2h.SaveFvecs(otherPath, other); err != nil {
+		t.Fatal(err)
+	}
+	_, errOut, code = runCmd(t, "", "-data", otherPath, "-load", ixPath, "-nq", "2")
+	if code == 0 || !strings.Contains(errOut, "dimension") {
 		t.Fatalf("exit %d, stderr: %s", code, errOut)
 	}
 }

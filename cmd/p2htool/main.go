@@ -1,21 +1,28 @@
 // Command p2htool is the operational CLI of the library: generate surrogate
-// data sets and hyperplane queries, build and persist tree indexes, inspect
-// them, and answer queries from files.
+// data sets and hyperplane queries, build and persist indexes of any
+// registered kind, inspect them, and answer queries from files.
 //
 // Subcommands:
 //
 //	p2htool gen     -set Sift -n 10000 -seed 1 -out data.fvecs
 //	p2htool queries -data data.fvecs -nq 100 -seed 2 -out queries.fvecs
-//	p2htool build   -type bctree -data data.fvecs -leafsize 100 -out index.bc
-//	p2htool info    -type bctree -index index.bc
-//	p2htool search  -type bctree -index index.bc -queries queries.fvecs -k 10
-//	p2htool eval    -type bctree -index index.bc -data data.fvecs -queries queries.fvecs -k 10
+//	p2htool build   -index bctree -spec '{"leaf_size":100}' -data data.fvecs -out index.p2h
+//	p2htool info    -load index.p2h
+//	p2htool search  -load index.p2h -queries queries.fvecs -k 10
+//	p2htool eval    -load index.p2h -data data.fvecs -queries queries.fvecs -k 10
+//
+// Index selection goes through the p2h registry: -index names any registered
+// kind (p2h.Kinds) and -spec carries the full declarative p2h.Spec as JSON.
+// Saved files are self-describing containers, so info/search/eval need only
+// -load — no kind flag; files written by older releases' bare tree formats
+// load the same way.
 //
 // Data files use the fvecs layout (per vector: int32 dimension then float32
 // components). Query files hold one (normal; offset) row per hyperplane.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -68,6 +75,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// makeSpec combines the -index and -spec flags into one p2h.Spec: the JSON
+// document is the base and an explicit -index overrides its kind.
+func makeSpec(kind, specJSON string) (p2h.Spec, error) {
+	var spec p2h.Spec
+	if specJSON != "" {
+		if err := json.Unmarshal([]byte(specJSON), &spec); err != nil {
+			return spec, fmt.Errorf("bad -spec JSON: %w", err)
+		}
+	}
+	if kind != "" {
+		spec.Kind = kind
+	}
+	if spec.Kind == "" {
+		spec.Kind = p2h.KindBCTree
+	}
+	return spec, nil
 }
 
 func runGen(args []string, stdout, stderr io.Writer) error {
@@ -132,10 +157,11 @@ func runQueries(args []string, stdout, stderr io.Writer) error {
 func runBuild(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("build", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	typ := fs.String("type", "bctree", "index type: bctree or balltree")
+	kind := fs.String("index", "", "index kind ("+strings.Join(p2h.Kinds(), ", ")+"; default from -spec, else bctree)")
+	specJSON := fs.String("spec", "", "p2h.Spec as JSON, e.g. '{\"kind\":\"sharded\",\"shards\":8}'")
 	dataPath := fs.String("data", "", "data fvecs path (required)")
-	leafSize := fs.Int("leafsize", 100, "maximum leaf size N0")
-	seed := fs.Int64("seed", 1, "construction seed")
+	leafSize := fs.Int("leafsize", 0, "override the spec's tree leaf size N0")
+	seed := fs.Int64("seed", 0, "override the spec's construction seed")
 	out := fs.String("out", "", "output index path (required)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -143,67 +169,55 @@ func runBuild(args []string, stdout, stderr io.Writer) error {
 	if *dataPath == "" || *out == "" {
 		return fmt.Errorf("build: -data and -out are required")
 	}
+	spec, err := makeSpec(*kind, *specJSON)
+	if err != nil {
+		return fmt.Errorf("build: %w", err)
+	}
+	if *leafSize > 0 {
+		spec.LeafSize = *leafSize
+	}
+	if *seed != 0 {
+		spec.Seed = *seed
+	}
 	data, err := p2h.LoadFvecs(*dataPath)
 	if err != nil {
 		return fmt.Errorf("build: %w", err)
 	}
 	start := time.Now()
-	switch *typ {
-	case "bctree":
-		ix := p2h.NewBCTree(data, p2h.BCTreeOptions{LeafSize: *leafSize, Seed: *seed})
-		if err := ix.SaveFile(*out); err != nil {
-			return fmt.Errorf("build: %w", err)
-		}
-		fmt.Fprintf(stdout, "built bctree over %d points (d=%d) in %v, %d index bytes -> %s\n",
-			ix.N(), ix.Dim(), time.Since(start).Round(time.Millisecond), ix.IndexBytes(), *out)
-	case "balltree":
-		ix := p2h.NewBallTree(data, p2h.BallTreeOptions{LeafSize: *leafSize, Seed: *seed})
-		if err := ix.SaveFile(*out); err != nil {
-			return fmt.Errorf("build: %w", err)
-		}
-		fmt.Fprintf(stdout, "built balltree over %d points (d=%d) in %v, %d index bytes -> %s\n",
-			ix.N(), ix.Dim(), time.Since(start).Round(time.Millisecond), ix.IndexBytes(), *out)
-	default:
-		return fmt.Errorf("build: unknown index type %q (bctree or balltree)", *typ)
+	ix, err := p2h.New(data, spec)
+	if err != nil {
+		return fmt.Errorf("build: %w", err)
 	}
+	if err := p2h.SaveFile(*out, ix); err != nil {
+		return fmt.Errorf("build: %w", err)
+	}
+	fmt.Fprintf(stdout, "built %s over %d points (d=%d) in %v, %d index bytes -> %s\n",
+		p2h.KindOf(ix), ix.N(), ix.Dim(), time.Since(start).Round(time.Millisecond), ix.IndexBytes(), *out)
 	return nil
-}
-
-// loadIndex restores a persisted tree index of the given type.
-func loadIndex(typ, path string) (p2h.Index, error) {
-	switch typ {
-	case "bctree":
-		return p2h.LoadBCTreeFile(path)
-	case "balltree":
-		return p2h.LoadBallTreeFile(path)
-	}
-	return nil, fmt.Errorf("unknown index type %q (bctree or balltree)", typ)
 }
 
 func runInfo(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("info", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	typ := fs.String("type", "bctree", "index type: bctree or balltree")
-	path := fs.String("index", "", "index path (required)")
+	path := fs.String("load", "", "index path (required; the container records its own kind)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *path == "" {
-		return fmt.Errorf("info: -index is required")
+		return fmt.Errorf("info: -load is required")
 	}
-	ix, err := loadIndex(*typ, *path)
+	ix, err := p2h.Open(*path)
 	if err != nil {
 		return fmt.Errorf("info: %w", err)
 	}
-	fmt.Fprintf(stdout, "type=%s points=%d dim=%d index_bytes=%d\n", *typ, ix.N(), ix.Dim(), ix.IndexBytes())
+	fmt.Fprintf(stdout, "type=%s points=%d dim=%d index_bytes=%d\n", p2h.KindOf(ix), ix.N(), ix.Dim(), ix.IndexBytes())
 	return nil
 }
 
 func runEval(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("eval", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	typ := fs.String("type", "bctree", "index type: bctree or balltree")
-	path := fs.String("index", "", "index path (required)")
+	path := fs.String("load", "", "index path (required)")
 	dataPath := fs.String("data", "", "data fvecs path for ground truth (required)")
 	queriesPath := fs.String("queries", "", "queries fvecs path (required)")
 	k := fs.Int("k", 10, "results per query")
@@ -212,9 +226,9 @@ func runEval(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 	if *path == "" || *dataPath == "" || *queriesPath == "" {
-		return fmt.Errorf("eval: -index, -data and -queries are required")
+		return fmt.Errorf("eval: -load, -data and -queries are required")
 	}
-	ix, err := loadIndex(*typ, *path)
+	ix, err := p2h.Open(*path)
 	if err != nil {
 		return fmt.Errorf("eval: %w", err)
 	}
@@ -263,8 +277,7 @@ func runEval(args []string, stdout, stderr io.Writer) error {
 func runSearch(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("search", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	typ := fs.String("type", "bctree", "index type: bctree or balltree")
-	path := fs.String("index", "", "index path (required)")
+	path := fs.String("load", "", "index path (required)")
 	queriesPath := fs.String("queries", "", "queries fvecs path (required)")
 	k := fs.Int("k", 10, "results per query")
 	budget := fs.Int("budget", 0, "candidate verification budget (0: exact)")
@@ -272,9 +285,9 @@ func runSearch(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 	if *path == "" || *queriesPath == "" {
-		return fmt.Errorf("search: -index and -queries are required")
+		return fmt.Errorf("search: -load and -queries are required")
 	}
-	ix, err := loadIndex(*typ, *path)
+	ix, err := p2h.Open(*path)
 	if err != nil {
 		return fmt.Errorf("search: %w", err)
 	}

@@ -21,7 +21,7 @@ func TestEndToEndPipeline(t *testing.T) {
 	dir := t.TempDir()
 	data := filepath.Join(dir, "data.fvecs")
 	queries := filepath.Join(dir, "q.fvecs")
-	index := filepath.Join(dir, "ix.bc")
+	index := filepath.Join(dir, "ix.p2h")
 
 	out := runOK(t, "gen", "-set", "Sift", "-n", "500", "-seed", "1", "-out", data)
 	if !strings.Contains(out, "wrote 500 points") {
@@ -31,15 +31,16 @@ func TestEndToEndPipeline(t *testing.T) {
 	if !strings.Contains(out, "wrote 5 hyperplane queries") {
 		t.Fatalf("queries output: %s", out)
 	}
-	out = runOK(t, "build", "-type", "bctree", "-data", data, "-leafsize", "50", "-out", index)
+	out = runOK(t, "build", "-index", "bctree", "-data", data, "-leafsize", "50", "-out", index)
 	if !strings.Contains(out, "built bctree over 500 points") {
 		t.Fatalf("build output: %s", out)
 	}
-	out = runOK(t, "info", "-type", "bctree", "-index", index)
-	if !strings.Contains(out, "points=500") {
+	// The container is self-describing: no kind flag on the read side.
+	out = runOK(t, "info", "-load", index)
+	if !strings.Contains(out, "type=bctree") || !strings.Contains(out, "points=500") {
 		t.Fatalf("info output: %s", out)
 	}
-	out = runOK(t, "search", "-type", "bctree", "-index", index, "-queries", queries, "-k", "3")
+	out = runOK(t, "search", "-load", index, "-queries", queries, "-k", "3")
 	if !strings.Contains(out, "query 0:") || !strings.Contains(out, "5 queries in") {
 		t.Fatalf("search output: %s", out)
 	}
@@ -53,15 +54,55 @@ func TestEndToEndPipeline(t *testing.T) {
 	}
 }
 
-func TestBallTreePipeline(t *testing.T) {
+// TestBuildEveryPersistableKind drives the build->info round trip through
+// the registry for every kind that persists, including spec-only parameters.
+func TestBuildEveryPersistableKind(t *testing.T) {
 	dir := t.TempDir()
 	data := filepath.Join(dir, "data.fvecs")
-	index := filepath.Join(dir, "ix.bt")
 	runOK(t, "gen", "-set", "Music", "-n", "300", "-out", data)
-	runOK(t, "build", "-type", "balltree", "-data", data, "-out", index)
-	out := runOK(t, "info", "-type", "balltree", "-index", index)
-	if !strings.Contains(out, "points=300") {
-		t.Fatalf("info output: %s", out)
+
+	cases := []struct {
+		kind string
+		spec string
+	}{
+		{"balltree", ""},
+		{"bctree", ""},
+		{"kdtree", `{"leaf_size":40}`},
+		{"sharded", `{"shards":3,"workers":2}`},
+		{"dynamic", `{"rebuild_fraction":0.5}`},
+	}
+	for _, c := range cases {
+		index := filepath.Join(dir, "ix-"+c.kind+".p2h")
+		args := []string{"build", "-index", c.kind, "-data", data, "-out", index}
+		if c.spec != "" {
+			args = append(args, "-spec", c.spec)
+		}
+		out := runOK(t, args...)
+		if !strings.Contains(out, "built "+c.kind+" over 300 points") {
+			t.Fatalf("%s build output: %s", c.kind, out)
+		}
+		out = runOK(t, "info", "-load", index)
+		if !strings.Contains(out, "type="+c.kind) || !strings.Contains(out, "points=300") {
+			t.Fatalf("%s info output: %s", c.kind, out)
+		}
+	}
+}
+
+// TestSpecCarriesKind checks that -spec alone selects the kind and that an
+// explicit -index flag wins over the spec's kind.
+func TestSpecCarriesKind(t *testing.T) {
+	dir := t.TempDir()
+	data := filepath.Join(dir, "data.fvecs")
+	index := filepath.Join(dir, "ix.p2h")
+	runOK(t, "gen", "-set", "Music", "-n", "200", "-out", data)
+
+	out := runOK(t, "build", "-spec", `{"kind":"balltree","leaf_size":25}`, "-data", data, "-out", index)
+	if !strings.Contains(out, "built balltree") {
+		t.Fatalf("spec kind not honored: %s", out)
+	}
+	out = runOK(t, "build", "-index", "kd", "-spec", `{"kind":"balltree"}`, "-data", data, "-out", index)
+	if !strings.Contains(out, "built kdtree") {
+		t.Fatalf("-index did not override spec kind: %s", out)
 	}
 }
 
@@ -72,9 +113,10 @@ func TestErrors(t *testing.T) {
 		{"gen"},        // missing -out
 		{"gen", "-set", "Nope", "-out", "/tmp/x"}, // unknown set
 		{"build", "-data", "/does/not/exist", "-out", "/tmp/x"},
-		{"info", "-index", "/does/not/exist"},
-		{"search", "-index", "/does/not/exist", "-queries", "/nope"},
-		{"build", "-type", "wat", "-data", "/tmp/x", "-out", "/tmp/y"},
+		{"info", "-load", "/does/not/exist"},
+		{"search", "-load", "/does/not/exist", "-queries", "/nope"},
+		{"build", "-index", "wat", "-data", "/tmp/x", "-out", "/tmp/y"},
+		{"build", "-spec", "{not json", "-data", "/tmp/x", "-out", "/tmp/y"},
 	}
 	for _, args := range cases {
 		var out, errw bytes.Buffer
@@ -84,16 +126,33 @@ func TestErrors(t *testing.T) {
 	}
 }
 
+// TestBuildOnlyKindRefusesSave: hashing kinds build through the registry but
+// document themselves as build-only, so `build` (whose point is the saved
+// file) reports a clear error instead of writing garbage.
+func TestBuildOnlyKindRefusesSave(t *testing.T) {
+	dir := t.TempDir()
+	data := filepath.Join(dir, "data.fvecs")
+	runOK(t, "gen", "-set", "Music", "-n", "100", "-out", data)
+	var out, errw bytes.Buffer
+	if code := run([]string{"build", "-index", "nh", "-data", data,
+		"-out", filepath.Join(dir, "ix.p2h")}, &out, &errw); code != 1 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(errw.String(), "build-only") {
+		t.Fatalf("stderr: %s", errw.String())
+	}
+}
+
 func TestQueryDimensionMismatch(t *testing.T) {
 	dir := t.TempDir()
 	data := filepath.Join(dir, "data.fvecs")
 	other := filepath.Join(dir, "other.fvecs")
-	index := filepath.Join(dir, "ix.bc")
+	index := filepath.Join(dir, "ix.p2h")
 	runOK(t, "gen", "-set", "Sift", "-n", "200", "-out", data)   // d=128
 	runOK(t, "gen", "-set", "Music", "-n", "200", "-out", other) // d=100
-	runOK(t, "build", "-type", "bctree", "-data", data, "-out", index)
+	runOK(t, "build", "-index", "bctree", "-data", data, "-out", index)
 	var out, errw bytes.Buffer
-	if code := run([]string{"search", "-index", index, "-queries", other}, &out, &errw); code != 1 {
+	if code := run([]string{"search", "-load", index, "-queries", other}, &out, &errw); code != 1 {
 		t.Fatalf("exit %d", code)
 	}
 	if !strings.Contains(errw.String(), "dimension") {
@@ -115,12 +174,12 @@ func TestEvalSubcommand(t *testing.T) {
 	dir := t.TempDir()
 	data := filepath.Join(dir, "data.fvecs")
 	queries := filepath.Join(dir, "q.fvecs")
-	index := filepath.Join(dir, "ix.bc")
+	index := filepath.Join(dir, "ix.p2h")
 	runOK(t, "gen", "-set", "Sift", "-n", "800", "-out", data)
 	runOK(t, "queries", "-data", data, "-nq", "5", "-out", queries)
-	runOK(t, "build", "-type", "bctree", "-data", data, "-out", index)
+	runOK(t, "build", "-index", "bctree", "-data", data, "-out", index)
 
-	out := runOK(t, "eval", "-type", "bctree", "-index", index,
+	out := runOK(t, "eval", "-load", index,
 		"-data", data, "-queries", queries, "-k", "5", "-budgets", "0.05,1.0")
 	if !strings.Contains(out, "recall") || !strings.Contains(out, "100.0%") {
 		t.Fatalf("eval output:\n%s", out)
@@ -134,14 +193,14 @@ func TestEvalSubcommand(t *testing.T) {
 
 	// Bad budget fractions are rejected.
 	var outw, errw bytes.Buffer
-	if code := run([]string{"eval", "-type", "bctree", "-index", index,
+	if code := run([]string{"eval", "-load", index,
 		"-data", data, "-queries", queries, "-budgets", "nope"}, &outw, &errw); code != 1 {
 		t.Fatalf("exit %d", code)
 	}
 	// Mismatched data dimensions are rejected.
 	other := filepath.Join(dir, "other.fvecs")
 	runOK(t, "gen", "-set", "Music", "-n", "100", "-out", other)
-	if code := run([]string{"eval", "-type", "bctree", "-index", index,
+	if code := run([]string{"eval", "-load", index,
 		"-data", other, "-queries", queries}, &outw, &errw); code != 1 {
 		t.Fatalf("exit %d", code)
 	}

@@ -23,13 +23,30 @@
 // # Quick start
 //
 //	data := p2h.GenerateDataset("Sift", 10000, 1) // or p2h.FromRows(yourVectors)
-//	index := p2h.NewBCTree(data, p2h.BCTreeOptions{})
+//	index, err := p2h.New(data, p2h.Spec{Kind: p2h.KindBCTree})
 //	q := p2h.Hyperplane(normal, offset)
 //	results, _ := index.Search(q, p2h.SearchOptions{K: 10})
 //
-// Exact search is the default; set SearchOptions.Budget to cap the number of
-// candidate verifications and trade recall for speed (the paper's candidate
-// fraction).
+// New is the declarative entry point: a Spec names any registered index
+// kind (Kinds lists them; RegisterKind adds more) plus its tuning fields,
+// and malformed input returns an error (ErrUnknownKind, ErrDimMismatch)
+// instead of panicking. The kind-specific constructors (NewBCTree, ...)
+// remain as thin wrappers. Exact search is the default; set
+// SearchOptions.Budget to cap the number of candidate verifications and
+// trade recall for speed (the paper's candidate fraction).
+//
+// # Persistence
+//
+// Save and Load (SaveFile, Open) move any persistable index — BallTree,
+// BCTree, KDTree, Sharded, Dynamic — through a self-describing container
+// that records its own kind and Spec, so loading needs no type
+// information:
+//
+//	_ = p2h.SaveFile("index.p2h", index)
+//	loaded, err := p2h.Open("index.p2h") // any persistable kind
+//
+// Malformed input returns errors wrapping ErrFormat. Files written by the
+// older kind-specific Save methods load through the same entry points.
 //
 // # Serving
 //

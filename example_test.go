@@ -5,6 +5,7 @@ package p2h_test
 // behave as shown. Example_quickstart is the README quickstart.
 
 import (
+	"bytes"
 	"fmt"
 
 	p2h "p2h"
@@ -58,12 +59,15 @@ func ExampleServer() {
 	// point 3 at distance 0.8
 }
 
-// The README quickstart: build a BC-Tree over a synthetic data set, answer
-// one exact top-k hyperplane query, and cross-check it against the
-// exhaustive scan.
+// The README quickstart: declare a BC-Tree with a Spec, build it over a
+// synthetic data set, answer one exact top-k hyperplane query, and
+// cross-check it against the exhaustive scan.
 func Example_quickstart() {
 	data := p2h.Dedup(p2h.GenerateDataset("Sift", 2000, 1))
-	index := p2h.NewBCTree(data, p2h.BCTreeOptions{})
+	index, err := p2h.New(data, p2h.Spec{Kind: p2h.KindBCTree})
+	if err != nil {
+		panic(err)
+	}
 
 	queries := p2h.GenerateQueries(data, 1, 2)
 	q := queries.Row(0)
@@ -77,4 +81,34 @@ func Example_quickstart() {
 	// top-k size: 10
 	// matches exhaustive scan: true
 	// pruned some work: true
+}
+
+// Any registered index kind builds from the same declarative Spec, and the
+// persistable kinds round-trip through the self-describing container
+// format: Save writes the kind and Spec alongside the payload, so Load
+// restores the right backend with no type information from the caller.
+func ExampleSave() {
+	data := p2h.Dedup(p2h.GenerateDataset("Music", 1000, 1))
+	index, err := p2h.New(data, p2h.Spec{Kind: p2h.KindBallTree, LeafSize: 50, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+
+	var container bytes.Buffer
+	if err := p2h.Save(&container, index); err != nil {
+		panic(err)
+	}
+	loaded, err := p2h.Load(&container)
+	if err != nil {
+		panic(err)
+	}
+
+	q := p2h.GenerateQueries(data, 1, 2).Row(0)
+	before, _ := index.Search(q, p2h.SearchOptions{K: 3})
+	after, _ := loaded.Search(q, p2h.SearchOptions{K: 3})
+	fmt.Println("restored kind:", p2h.KindOf(loaded))
+	fmt.Println("identical results:", before[0] == after[0] && before[1] == after[1] && before[2] == after[2])
+	// Output:
+	// restored kind: balltree
+	// identical results: true
 }

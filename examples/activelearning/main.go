@@ -17,6 +17,7 @@ package main
 
 import (
 	"fmt"
+	"log"
 	"math"
 	"math/rand"
 
@@ -41,7 +42,10 @@ func main() {
 	test, testLabels := samplePoints(rng, truth, testSize)
 
 	data := p2h.FromRows(pool)
-	index := p2h.NewBCTree(data, p2h.BCTreeOptions{Seed: 1})
+	index, err := p2h.New(data, p2h.Spec{Kind: p2h.KindBCTree, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("pool: %d points, %d dims; test: %d points\n\n", data.N, data.D, len(test))
 
 	seed := rng.Perm(poolSize)[:seedLabels]

@@ -7,6 +7,7 @@ package main
 
 import (
 	"fmt"
+	"log"
 	"time"
 
 	p2h "p2h"
@@ -24,15 +25,17 @@ func main() {
 	gt := p2h.GroundTruth(data, queries, topK)
 	fmt.Printf("data: %d points, %d dims; %d queries, k=%d\n\n", data.N, data.D, queries.N, topK)
 
+	// Every competitor is one declarative Spec through the same entry
+	// point — the registry turns method comparison into a list of configs.
 	type method struct {
-		name  string
-		build func() p2h.Index
+		name string
+		spec p2h.Spec
 	}
 	methods := []method{
-		{"BC-Tree", func() p2h.Index { return p2h.NewBCTree(data, p2h.BCTreeOptions{Seed: 1}) }},
-		{"Ball-Tree", func() p2h.Index { return p2h.NewBallTree(data, p2h.BallTreeOptions{Seed: 1}) }},
-		{"FH", func() p2h.Index { return p2h.NewFH(data, p2h.FHOptions{M: 32, Seed: 1}) }},
-		{"NH", func() p2h.Index { return p2h.NewNH(data, p2h.NHOptions{M: 32, Seed: 1}) }},
+		{"BC-Tree", p2h.Spec{Kind: p2h.KindBCTree, Seed: 1}},
+		{"Ball-Tree", p2h.Spec{Kind: p2h.KindBallTree, Seed: 1}},
+		{"FH", p2h.Spec{Kind: p2h.KindFH, M: 32, Seed: 1}},
+		{"NH", p2h.Spec{Kind: p2h.KindNH, M: 32, Seed: 1}},
 	}
 
 	budgets := []int{data.N / 100, data.N / 20, data.N / 5, data.N}
@@ -44,7 +47,10 @@ func main() {
 
 	for _, m := range methods {
 		start := time.Now()
-		ix := m.build()
+		ix, err := p2h.New(data, m.spec)
+		if err != nil {
+			log.Fatal(err)
+		}
 		buildTime := time.Since(start)
 		fmt.Printf("%-10s %12v %12.1f", m.name, buildTime.Round(time.Millisecond),
 			float64(ix.IndexBytes())/(1024*1024))

@@ -12,6 +12,7 @@ package main
 
 import (
 	"fmt"
+	"log"
 	"math"
 	"math/rand"
 	"time"
@@ -33,8 +34,14 @@ func main() {
 	data := p2h.Dedup(p2h.GenerateDataset("Sift", nPoints, 3))
 	fmt.Printf("data: %d points, %d dims; %d candidate hyperplanes\n\n", data.N, data.D, nCandidates)
 
-	index := p2h.NewBCTree(data, p2h.BCTreeOptions{Seed: 1})
-	scan := p2h.NewLinearScan(data)
+	index, err := p2h.New(data, p2h.Spec{Kind: p2h.KindBCTree, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	scan, err := p2h.New(data, p2h.Spec{Kind: p2h.KindLinearScan})
+	if err != nil {
+		log.Fatal(err)
+	}
 	candidates := makeCandidates(rng, data, nCandidates)
 
 	// Sweep all candidates with the tree.

@@ -1,11 +1,15 @@
-// Quickstart: build a BC-Tree over a synthetic data set, run one exact
-// hyperplane query and one budgeted (approximate) query, and check the
-// results against the exhaustive scan.
+// Quickstart: declare a BC-Tree with a p2h.Spec, build it over a synthetic
+// data set with p2h.New, run one exact hyperplane query and one budgeted
+// (approximate) query, check the results against the exhaustive scan, and
+// round-trip the index through the self-describing container format
+// (p2h.SaveFile / p2h.Open).
 package main
 
 import (
 	"fmt"
 	"log"
+	"os"
+	"path/filepath"
 	"time"
 
 	p2h "p2h"
@@ -17,10 +21,15 @@ func main() {
 	data := p2h.Dedup(p2h.GenerateDataset("Sift", 10000, 1))
 	fmt.Printf("data: %d points, %d dimensions\n", data.N, data.D)
 
+	// One declarative entry point builds any index kind; swap "bctree" for
+	// any name in p2h.Kinds() to change backends without new code.
 	start := time.Now()
-	index := p2h.NewBCTree(data, p2h.BCTreeOptions{LeafSize: 100, Seed: 1})
-	fmt.Printf("BC-Tree built in %v (%d index bytes)\n",
-		time.Since(start).Round(time.Millisecond), index.IndexBytes())
+	index, err := p2h.New(data, p2h.Spec{Kind: p2h.KindBCTree, LeafSize: 100, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s built in %v (%d index bytes)\n",
+		p2h.KindOf(index), time.Since(start).Round(time.Millisecond), index.IndexBytes())
 
 	// One random hyperplane query through the data bulk. A query is the
 	// hyperplane's unit normal plus its offset; build your own with
@@ -45,7 +54,10 @@ func main() {
 		approxTime.Round(time.Microsecond), stats.Candidates, 100*p2h.Recall(approx, exact))
 
 	// Sanity: the exhaustive scan agrees with the exact tree search.
-	scan := p2h.NewLinearScan(data)
+	scan, err := p2h.New(data, p2h.Spec{Kind: p2h.KindLinearScan})
+	if err != nil {
+		log.Fatal(err)
+	}
 	want, _ := scan.Search(q, p2h.SearchOptions{K: 10})
 	for i := range want {
 		if exact[i].ID != want[i].ID {
@@ -53,4 +65,27 @@ func main() {
 		}
 	}
 	fmt.Println("\nexact results verified against the exhaustive scan ✓")
+
+	// Persistence: the container records its own kind, so loading needs no
+	// type information — p2h.Open works on any persistable index kind.
+	dir, err := os.MkdirTemp("", "p2h-quickstart")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "index.p2h")
+	if err := p2h.SaveFile(path, index); err != nil {
+		log.Fatal(err)
+	}
+	loaded, err := p2h.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	restored, _ := loaded.Search(q, p2h.SearchOptions{K: 10})
+	for i := range exact {
+		if restored[i] != exact[i] {
+			log.Fatalf("saved/loaded mismatch at rank %d", i)
+		}
+	}
+	fmt.Printf("index round-tripped through %s as kind %q ✓\n", filepath.Base(path), p2h.KindOf(loaded))
 }

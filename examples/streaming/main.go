@@ -30,7 +30,13 @@ func main() {
 	data := p2h.Dedup(p2h.GenerateDataset("Cifar-10", initial, 1))
 	fmt.Printf("initial pool: %d points, %d dims\n\n", data.N, data.D)
 
-	index := p2h.NewDynamic(data, p2h.DynamicOptions{Seed: 1, RebuildFraction: 0.2})
+	// The declarative entry point returns the Index interface; the dynamic
+	// kind's mutation surface comes from the concrete type.
+	ix, err := p2h.New(data, p2h.Spec{Kind: p2h.KindDynamic, Seed: 1, RebuildFraction: 0.2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	index := ix.(*p2h.Dynamic)
 
 	// Track live vectors for the reference scan (handle -> vector).
 	live := make(map[int32][]float32, data.N)
@@ -95,7 +101,10 @@ func main() {
 		rows = append(rows, p)
 	}
 	snapshot := p2h.FromRows(rows)
-	sharded := p2h.NewSharded(snapshot, p2h.ShardedOptions{Shards: 8, Seed: 2})
+	sharded, err := p2h.New(snapshot, p2h.Spec{Kind: p2h.KindSharded, Shards: 8, Seed: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
 	batch := p2h.GenerateQueries(snapshot, 200, 3)
 	start := time.Now()
 	results := p2h.SearchBatch(sharded, batch, p2h.SearchOptions{K: perQueryK}, 0)

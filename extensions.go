@@ -32,17 +32,17 @@ type Sharded struct {
 	raw   int
 }
 
-// NewSharded indexes the rows of data across multiple shard trees.
+// NewSharded indexes the rows of data across multiple shard trees. It is a
+// thin wrapper over New with Spec{Kind: KindSharded} that panics where New
+// returns an error.
 func NewSharded(data *Matrix, opts ShardedOptions) *Sharded {
-	return &Sharded{
-		index: shard.Build(data.AppendOnes(), shard.Config{
-			Shards:   opts.Shards,
-			LeafSize: opts.LeafSize,
-			Seed:     opts.Seed,
-			Workers:  opts.Workers,
-		}),
-		raw: data.D,
-	}
+	return mustNew(data, Spec{
+		Kind:     KindSharded,
+		Shards:   opts.Shards,
+		LeafSize: opts.LeafSize,
+		Seed:     opts.Seed,
+		Workers:  opts.Workers,
+	}).(*Sharded)
 }
 
 // Search implements Index. SearchOptions.Profile is ignored (the per-phase
@@ -90,16 +90,16 @@ type Dynamic struct {
 
 // NewDynamic creates a mutable index, optionally bulk-loaded with the rows
 // of data (handles are then the row indices). Pass data == nil and
-// opts.Dim to start empty.
+// opts.Dim to start empty. It is a thin wrapper over New with
+// Spec{Kind: KindDynamic} that panics where New returns an error.
 func NewDynamic(data *Matrix, opts DynamicOptions) *Dynamic {
-	cfg := dynamic.Config{LeafSize: opts.LeafSize, Seed: opts.Seed, RebuildFraction: opts.RebuildFraction}
-	if data == nil {
-		if opts.Dim <= 0 {
-			panic("p2h: NewDynamic without data requires DynamicOptions.Dim")
-		}
-		return &Dynamic{index: dynamic.New(opts.Dim+1, cfg), raw: opts.Dim}
-	}
-	return &Dynamic{index: dynamic.NewFromMatrix(data.AppendOnes(), cfg), raw: data.D}
+	return mustNew(data, Spec{
+		Kind:            KindDynamic,
+		Dim:             opts.Dim,
+		LeafSize:        opts.LeafSize,
+		Seed:            opts.Seed,
+		RebuildFraction: opts.RebuildFraction,
+	}).(*Dynamic)
 }
 
 // Insert adds a point and returns its stable handle.
@@ -136,9 +136,11 @@ type QuantizedScan struct {
 	raw  int
 }
 
-// NewQuantizedScan quantizes and indexes the rows of data.
+// NewQuantizedScan quantizes and indexes the rows of data. It is a thin
+// wrapper over New with Spec{Kind: KindQuantizedScan} that panics where New
+// returns an error.
 func NewQuantizedScan(data *Matrix) *QuantizedScan {
-	return &QuantizedScan{scan: quant.NewScan(data.AppendOnes()), raw: data.D}
+	return mustNew(data, Spec{Kind: KindQuantizedScan}).(*QuantizedScan)
 }
 
 // Search implements Index; results are exact despite the quantized filter.
@@ -167,15 +169,27 @@ var _ Index = (*QuantizedScan)(nil)
 // instead of per query — with the sub-batches spread across the workers.
 // Other indexes fall back to a per-query worker loop. Every index in this
 // library is safe for concurrent readers.
+//
+// SearchOptions.Profile is honored only when the whole batch runs on one
+// goroutine (workers == 1 on a non-batched index); on every parallel path
+// it is ignored, matching Sharded.Search — concurrent workers cannot share
+// one per-phase timer.
 func SearchBatch(ix Index, queries *Matrix, opts SearchOptions, workers int) [][]Result {
 	if queries.D != ix.Dim()+1 {
-		panic(fmt.Sprintf("p2h: batch queries have dimension %d, want %d", queries.D, ix.Dim()+1))
+		panic(fmt.Sprintf("p2h: %v: batch queries have dimension %d, want %d",
+			ErrDimMismatch, queries.D, ix.Dim()+1))
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers > queries.N {
 		workers = queries.N
+	}
+	if workers > 1 {
+		// All workers would share this one Profile pointer; dropping it here
+		// keeps concurrent Search calls race-free (and the timings a single
+		// traversal would record are not meaningful split across goroutines).
+		opts.Profile = nil
 	}
 	out := make([][]Result, queries.N)
 	if queries.N == 0 {

@@ -1,0 +1,47 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestCheckQuery(t *testing.T) {
+	norm, err := CheckQuery([]float32{3, 4, 7}, 2)
+	if err != nil {
+		t.Fatalf("valid query rejected: %v", err)
+	}
+	if norm != 5 {
+		t.Fatalf("norm = %v, want 5", norm)
+	}
+
+	if _, err := CheckQuery([]float32{1, 2}, 2); !errors.Is(err, ErrDimMismatch) {
+		t.Fatalf("short query: err = %v, want ErrDimMismatch", err)
+	}
+	if _, err := CheckQuery([]float32{1, 2, 3, 4}, 2); !errors.Is(err, ErrDimMismatch) {
+		t.Fatalf("long query: err = %v, want ErrDimMismatch", err)
+	}
+	if _, err := CheckQuery([]float32{0, 0, 1}, 2); !errors.Is(err, ErrZeroNormal) {
+		t.Fatalf("zero normal: err = %v, want ErrZeroNormal", err)
+	}
+}
+
+func TestUnitNormBand(t *testing.T) {
+	cases := []struct {
+		n    float64
+		want bool
+	}{
+		{1, true},
+		{1 + 5e-7, true},
+		{1 - 5e-7, true},
+		{1 + 2e-6, false},
+		{0.5, false},
+		{2, false},
+		{math.Inf(1), false},
+	}
+	for _, c := range cases {
+		if got := UnitNormBand(c.n); got != c.want {
+			t.Errorf("UnitNormBand(%v) = %v, want %v", c.n, got, c.want)
+		}
+	}
+}

@@ -74,6 +74,9 @@ func NewFromMatrix(data *vec.Matrix, cfg Config) *Index {
 // N returns the number of live points.
 func (ix *Index) N() int { return ix.live }
 
+// Configuration returns the (normalized) construction configuration.
+func (ix *Index) Configuration() Config { return ix.cfg }
+
 // Dim returns the lifted dimensionality.
 func (ix *Index) Dim() int { return ix.dim }
 

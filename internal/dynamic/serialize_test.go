@@ -1,0 +1,191 @@
+package dynamic
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"p2h/internal/binio"
+	"p2h/internal/core"
+	"p2h/internal/vec"
+)
+
+// buildMutated constructs a dynamic index holding every interesting state at
+// once: a tree snapshot, tombstones inside it, and a pending insert buffer.
+func buildMutated(t *testing.T) *Index {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	data := vec.NewMatrix(300, 6)
+	for i := range data.Data {
+		data.Data[i] = float32(rng.NormFloat64())
+	}
+	ix := NewFromMatrix(data, Config{LeafSize: 25, Seed: 3})
+	// Tombstones inside the snapshot (too few to trigger a rebuild).
+	for _, h := range []int32{5, 17, 123} {
+		if !ix.Delete(h) {
+			t.Fatalf("Delete(%d) = false", h)
+		}
+	}
+	// Buffered inserts on top of the snapshot.
+	for i := 0; i < 10; i++ {
+		row := make([]float32, 6)
+		for j := range row {
+			row[j] = float32(rng.NormFloat64())
+		}
+		ix.Insert(row)
+	}
+	if ix.tree == nil || ix.treeDel == 0 || len(ix.buffer) == 0 {
+		t.Fatalf("fixture not in snapshot+delta state: tree=%v del=%d buf=%d",
+			ix.tree != nil, ix.treeDel, len(ix.buffer))
+	}
+	return ix
+}
+
+func randQuery(rng *rand.Rand, d int) []float32 {
+	q := make([]float32, d)
+	for i := range q {
+		q[i] = float32(rng.NormFloat64())
+	}
+	return q
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	orig := buildMutated(t)
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	loaded, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if loaded.N() != orig.N() || loaded.Dim() != orig.Dim() ||
+		loaded.BufferLen() != orig.BufferLen() || loaded.treeDel != orig.treeDel ||
+		loaded.Configuration() != orig.Configuration() {
+		t.Fatalf("state mismatch: %v vs %v", loaded, orig)
+	}
+
+	rng := rand.New(rand.NewSource(42))
+	for qi := 0; qi < 20; qi++ {
+		q := randQuery(rng, 6)
+		for _, opts := range []core.SearchOptions{
+			{K: 5},
+			{K: 4, Budget: 50},
+		} {
+			wantRes, _ := orig.Search(q, opts)
+			gotRes, _ := loaded.Search(q, opts)
+			if !reflect.DeepEqual(gotRes, wantRes) {
+				t.Fatalf("query %d opts %+v: results diverge:\n got %v\nwant %v", qi, opts, gotRes, wantRes)
+			}
+		}
+	}
+
+	// The restored index keeps mutating where the saved one left off:
+	// parallel mutations stay equivalent.
+	row := randQuery(rng, 6)
+	if h1, h2 := orig.Insert(row), loaded.Insert(row); h1 != h2 {
+		t.Fatalf("post-load Insert handles diverge: %d vs %d", h1, h2)
+	}
+	if d1, d2 := orig.Delete(30), loaded.Delete(30); d1 != d2 {
+		t.Fatalf("post-load Delete diverges: %v vs %v", d1, d2)
+	}
+	q := randQuery(rng, 6)
+	wantRes, _ := orig.Search(q, core.SearchOptions{K: 5})
+	gotRes, _ := loaded.Search(q, core.SearchOptions{K: 5})
+	if !reflect.DeepEqual(gotRes, wantRes) {
+		t.Fatalf("post-mutation results diverge:\n got %v\nwant %v", gotRes, wantRes)
+	}
+
+	// Determinism: a second Save of the loaded index is byte-identical to a
+	// second Save of the original.
+	var bufA, bufB bytes.Buffer
+	if err := orig.Save(&bufA); err != nil {
+		t.Fatalf("re-Save orig: %v", err)
+	}
+	if err := loaded.Save(&bufB); err != nil {
+		t.Fatalf("re-Save loaded: %v", err)
+	}
+	if !bytes.Equal(bufA.Bytes(), bufB.Bytes()) {
+		t.Fatal("Save after identical mutations is not byte-identical")
+	}
+}
+
+func TestSaveLoadEmptyAndBufferOnly(t *testing.T) {
+	// Empty index (never inserted).
+	empty := New(4, Config{})
+	var buf bytes.Buffer
+	if err := empty.Save(&buf); err != nil {
+		t.Fatalf("Save empty: %v", err)
+	}
+	loaded, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("Load empty: %v", err)
+	}
+	if loaded.N() != 0 || loaded.Dim() != 4 || loaded.tree != nil {
+		t.Fatalf("empty round-trip: %v", loaded)
+	}
+	if h := loaded.Insert([]float32{1, 2, 3, 4}); h != 0 {
+		t.Fatalf("first handle after empty round-trip = %d", h)
+	}
+
+	// Buffer-only index (too small for a first tree).
+	small := New(3, Config{})
+	for i := 0; i < 5; i++ {
+		small.Insert([]float32{float32(i), 1, 2})
+	}
+	buf.Reset()
+	if err := small.Save(&buf); err != nil {
+		t.Fatalf("Save buffer-only: %v", err)
+	}
+	loaded, err = Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("Load buffer-only: %v", err)
+	}
+	wantRes, _ := small.Search([]float32{1, 0, 0}, core.SearchOptions{K: 3})
+	gotRes, _ := loaded.Search([]float32{1, 0, 0}, core.SearchOptions{K: 3})
+	if !reflect.DeepEqual(gotRes, wantRes) {
+		t.Fatalf("buffer-only results diverge:\n got %v\nwant %v", gotRes, wantRes)
+	}
+}
+
+func TestLoadRejectsCorruption(t *testing.T) {
+	orig := buildMutated(t)
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	good := buf.Bytes()
+
+	for _, cut := range []int{0, 4, len(magic), 25, len(good) / 2, len(good) - 1} {
+		if _, err := Load(bytes.NewReader(good[:cut])); !errors.Is(err, binio.ErrCorrupt) {
+			t.Fatalf("truncated at %d: err = %v, want ErrCorrupt", cut, err)
+		}
+	}
+
+	bad := append([]byte("NOTDYNMC"), good[len(magic):]...)
+	if _, err := Load(bytes.NewReader(bad)); !errors.Is(err, binio.ErrCorrupt) {
+		t.Fatalf("bad magic: err = %v, want ErrCorrupt", err)
+	}
+
+	// An absurd declared size must fail the bound check, not reach a
+	// giant allocation. rows sits after magic + leafSize(4) + seed(8) +
+	// rebuild(8) + dim(4).
+	bad = append([]byte(nil), good...)
+	rowsOff := len(magic) + 4 + 8 + 8 + 4
+	for i := 0; i < 4; i++ {
+		bad[rowsOff+i] = 0x7f
+	}
+	if _, err := Load(bytes.NewReader(bad)); !errors.Is(err, binio.ErrCorrupt) {
+		t.Fatalf("absurd rows: err = %v, want ErrCorrupt", err)
+	}
+
+	// A liveness byte outside 0/1.
+	bad = append([]byte(nil), good...)
+	aliveOff := len(magic) + 4 + 8 + 8 + 4 + 4 + orig.rows.N*orig.dim*4
+	bad[aliveOff] = 7
+	if _, err := Load(bytes.NewReader(bad)); !errors.Is(err, binio.ErrCorrupt) {
+		t.Fatalf("bad liveness byte: err = %v, want ErrCorrupt", err)
+	}
+}

@@ -1,0 +1,162 @@
+package kdtree
+
+import (
+	"io"
+
+	"p2h/internal/binio"
+	"p2h/internal/vec"
+)
+
+// Serialization format: a header with the tree shape, the position->id map
+// and the reordered point storage, then the nodes as a recursive preorder
+// record stream (leaf flag, range, box bounds). The boxes are stored rather
+// than recomputed so a restored tree prunes bitwise-identically to the tree
+// that was saved.
+var magic = []byte("P2HKD001")
+
+// maxSerialDim and maxSerialElems guard corrupt headers against absurd
+// allocations: a declared shape whose element count exceeds the bound fails
+// as corrupt instead of reaching a make() that would panic.
+const (
+	maxSerialDim   = 1 << 20
+	maxSerialElems = 1 << 31 // 8 GiB of float32 — beyond any real index
+)
+
+// Save writes the tree to w, self-contained so Load can restore it without
+// the original data matrix.
+func (t *Tree) Save(w io.Writer) error {
+	bw := binio.NewWriter(w)
+	bw.Bytes(magic)
+	bw.I32(int32(t.leafSize))
+	bw.I32(int32(t.points.N))
+	bw.I32(int32(t.points.D))
+	bw.I32(int32(t.nodes))
+	bw.I32(int32(t.leaves))
+	bw.I32s(t.ids)
+	bw.F32s(t.points.Data)
+	saveNode(bw, t.root)
+	return bw.Flush()
+}
+
+func saveNode(bw *binio.Writer, n *node) {
+	if n.isLeaf() {
+		bw.U8(1)
+	} else {
+		bw.U8(0)
+	}
+	bw.I32(n.start)
+	bw.I32(n.end)
+	bw.F32s(n.lo)
+	bw.F32s(n.hi)
+	if !n.isLeaf() {
+		saveNode(bw, n.left)
+		saveNode(bw, n.right)
+	}
+}
+
+// Load restores a tree written by Save. The stream is validated
+// structurally; corrupt input yields an error wrapping binio.ErrCorrupt.
+func Load(r io.Reader) (*Tree, error) {
+	br := binio.NewReader(r)
+	br.Expect(magic)
+	leafSize := int(br.I32())
+	n := int(br.I32())
+	d := int(br.I32())
+	nodes := int(br.I32())
+	leaves := int(br.I32())
+	if err := br.Err(); err != nil {
+		return nil, err
+	}
+	if leafSize <= 0 || n <= 0 || d <= 0 || d > maxSerialDim {
+		br.Fail("bad header: leafSize=%d n=%d d=%d", leafSize, n, d)
+		return nil, br.Err()
+	}
+	if int64(n)*int64(d) > maxSerialElems {
+		br.Fail("declared size %dx%d exceeds the serialization bound", n, d)
+		return nil, br.Err()
+	}
+	if nodes < 1 || nodes > 2*n || leaves < 1 || leaves > nodes {
+		br.Fail("bad node counts: nodes=%d leaves=%d n=%d", nodes, leaves, n)
+		return nil, br.Err()
+	}
+	t := &Tree{leafSize: leafSize, nodes: nodes, leaves: leaves}
+	t.ids = br.I32s(n)
+	if br.Err() == nil {
+		for _, id := range t.ids {
+			if id < 0 || int(id) >= n {
+				br.Fail("id %d out of range", id)
+				break
+			}
+		}
+	}
+	data := br.F32s(n * d)
+	if err := br.Err(); err != nil {
+		return nil, err
+	}
+	t.points = &vec.Matrix{Data: data, N: n, D: d}
+
+	ld := &loader{br: br, d: d, budget: nodes}
+	t.root = ld.load(0, int32(n))
+	if br.Err() == nil && ld.budget != 0 {
+		br.Fail("node count mismatch: %d unread", ld.budget)
+	}
+	if br.Err() == nil && ld.leaves != leaves {
+		br.Fail("leaf count %d != declared %d", ld.leaves, leaves)
+	}
+	if err := br.Err(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+type loader struct {
+	br     *binio.Reader
+	d      int
+	budget int // remaining nodes allowed; bounds recursion on corrupt input
+	leaves int
+}
+
+// load reads one preorder record covering exactly [start, end) — the
+// declared range is validated against the range the parent hands down, so a
+// corrupt stream cannot smuggle in overlapping or gapped partitions.
+func (ld *loader) load(start, end int32) *node {
+	if ld.budget <= 0 {
+		ld.br.Fail("more nodes than declared")
+		return nil
+	}
+	ld.budget--
+	leaf := ld.br.U8()
+	n := &node{start: ld.br.I32(), end: ld.br.I32()}
+	if ld.br.Err() != nil {
+		return nil
+	}
+	if n.start != start || n.end != end || n.end <= n.start {
+		ld.br.Fail("node range [%d,%d) does not cover [%d,%d)", n.start, n.end, start, end)
+		return nil
+	}
+	n.lo = ld.br.F32s(ld.d)
+	n.hi = ld.br.F32s(ld.d)
+	if ld.br.Err() != nil {
+		return nil
+	}
+	for j := range n.lo {
+		if n.lo[j] > n.hi[j] {
+			ld.br.Fail("inverted box bound at dim %d", j)
+			return nil
+		}
+	}
+	if leaf == 1 {
+		ld.leaves++
+		return n
+	}
+	// Build always splits at the median (nl = len(ids)/2), so the children
+	// of [start, end) cover [start, mid) and [mid, end); the recursive range
+	// checks reject any stream that disagrees.
+	mid := start + (end-start)/2
+	n.left = ld.load(start, mid)
+	n.right = ld.load(mid, end)
+	if ld.br.Err() != nil {
+		return nil
+	}
+	return n
+}

@@ -38,7 +38,6 @@ package server
 
 import (
 	"errors"
-	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -196,12 +195,12 @@ func (e *Engine) Search(q []float32, opts core.SearchOptions) ([]core.Result, co
 	if e.closed.Load() {
 		panic("server: Search on closed engine")
 	}
-	if len(q) != e.dim {
-		panic(fmt.Sprintf("server: query has dimension %d, want %d (normal) + 1 (offset)", len(q), e.dim))
-	}
-	norm := vec.Norm(q[:e.dim-1])
-	if norm == 0 {
-		panic("server: hyperplane normal must be non-zero")
+	// The one shared checked path (core.CheckQuery) validates here, in the
+	// calling goroutine, before the query is enqueued — the engine's
+	// documented panic semantics, implemented once for every index kind.
+	norm, err := core.CheckQuery(q, e.dim-1)
+	if err != nil {
+		panic("server: " + err.Error())
 	}
 	r := &request{q: q, norm: norm, opts: opts.Normalized(), done: make(chan struct{})}
 	e.reqs <- r
@@ -607,12 +606,13 @@ func (e *Engine) serve(r *request, scratch []float32) {
 // canonicalize copies q into dst rescaled to a unit normal (n is ||normal||,
 // already computed at submission), so that scaled duplicates of one
 // hyperplane map to identical bytes and share one cache slot. The tolerance
-// band matches p2h.checkQuery, which stays responsible for validation at the
-// index boundary; this copy exists purely for cache-key identity.
+// band is core.UnitNormBand, shared with p2h's checkQuery, which stays
+// responsible for validation at the index boundary; this copy exists purely
+// for cache-key identity.
 func canonicalize(dst, q []float32, n float64) []float32 {
 	dst = dst[:len(q)]
 	copy(dst, q)
-	if n > 1-1e-6 && n < 1+1e-6 {
+	if core.UnitNormBand(n) {
 		return dst
 	}
 	vec.Scale(dst, 1/n)

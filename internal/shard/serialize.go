@@ -1,0 +1,175 @@
+package shard
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"p2h/internal/bctree"
+	"p2h/internal/binio"
+)
+
+// Serialization format: a header with the global shape, then one
+// length-prefixed record per shard (the id map plus the shard tree's own
+// serialized payload). The per-shard byte lengths let Load slice the stream
+// without parsing tree internals, so shard trees decode in parallel — the
+// load-time mirror of the index's query-time fan-out.
+var magic = []byte("P2HSH001")
+
+// maxSerialShardBytes bounds one shard payload and maxSerialElems the
+// declared global size against corrupt headers allocating absurd buffers: a
+// bad length fails as corrupt instead of reaching a make() that would panic.
+const (
+	maxSerialShardBytes = 1 << 30
+	maxSerialElems      = 1 << 31 // 8 GiB of float32 — beyond any real index
+)
+
+// Save writes the index to w, self-contained so Load can restore it without
+// the original data matrix.
+func (ix *Index) Save(w io.Writer) error {
+	bw := binio.NewWriter(w)
+	bw.Bytes(magic)
+	bw.I32(int32(ix.n))
+	bw.I32(int32(ix.d))
+	bw.I32(int32(len(ix.trees)))
+	bw.I32(int32(ix.workers))
+	var payload bytes.Buffer
+	for si, t := range ix.trees {
+		bw.I32(int32(len(ix.ids[si])))
+		bw.I32s(ix.ids[si])
+		payload.Reset()
+		if err := t.Save(&payload); err != nil {
+			return err
+		}
+		bw.I64(int64(payload.Len()))
+		bw.Bytes(payload.Bytes())
+	}
+	return bw.Flush()
+}
+
+// Load restores an index written by Save. The shard payloads are read
+// sequentially (their lengths come from the stream) and decoded in parallel.
+// Corrupt input yields an error wrapping binio.ErrCorrupt.
+func Load(r io.Reader) (*Index, error) {
+	br := binio.NewReader(r)
+	br.Expect(magic)
+	n := int(br.I32())
+	d := int(br.I32())
+	shards := int(br.I32())
+	workers := int(br.I32())
+	if err := br.Err(); err != nil {
+		return nil, err
+	}
+	if n <= 0 || d <= 0 || shards < 1 || shards > n || workers < 1 {
+		br.Fail("bad header: n=%d d=%d shards=%d workers=%d", n, d, shards, workers)
+		return nil, br.Err()
+	}
+	if int64(n)*int64(d) > maxSerialElems {
+		br.Fail("declared size %dx%d exceeds the serialization bound", n, d)
+		return nil, br.Err()
+	}
+
+	ix := &Index{n: n, d: d, workers: workers}
+	payloads := make([][]byte, shards)
+	seen := make([]bool, n)
+	total := 0
+	for si := 0; si < shards; si++ {
+		nids := int(br.I32())
+		if br.Err() != nil {
+			return nil, br.Err()
+		}
+		if nids < 1 || nids > n {
+			br.Fail("shard %d: bad id count %d", si, nids)
+			return nil, br.Err()
+		}
+		ids := br.I32s(nids)
+		if br.Err() != nil {
+			return nil, br.Err()
+		}
+		for _, id := range ids {
+			if id < 0 || int(id) >= n {
+				br.Fail("shard %d: id %d out of range", si, id)
+				return nil, br.Err()
+			}
+			if seen[id] {
+				br.Fail("shard %d: id %d appears twice", si, id)
+				return nil, br.Err()
+			}
+			seen[id] = true
+		}
+		total += nids
+		ix.ids = append(ix.ids, ids)
+
+		pn := br.I64()
+		if br.Err() != nil {
+			return nil, br.Err()
+		}
+		if pn <= 0 || pn > maxSerialShardBytes {
+			br.Fail("shard %d: bad payload length %d", si, pn)
+			return nil, br.Err()
+		}
+		payloads[si] = br.Raw(int(pn))
+		if br.Err() != nil {
+			return nil, br.Err()
+		}
+	}
+	if total != n {
+		br.Fail("shards cover %d of %d points", total, n)
+		return nil, br.Err()
+	}
+
+	// Decode the shard trees in parallel over a bounded pool — like the
+	// query fan-out, exactly min(GOMAXPROCS, shards) goroutines pull shard
+	// indices from a shared counter, never one goroutine per shard, so a
+	// container declaring thousands of shards cannot flood the scheduler.
+	ix.trees = make([]*bctree.Tree, shards)
+	errs := make([]error, shards)
+	decode := func(si int) {
+		t, err := bctree.Load(bytes.NewReader(payloads[si]))
+		if err != nil {
+			errs[si] = fmt.Errorf("shard %d: %w", si, err)
+			return
+		}
+		if t.N() != len(ix.ids[si]) || t.Dim() != d {
+			errs[si] = fmt.Errorf("shard %d: %w: tree shape %dx%d, want %dx%d",
+				si, binio.ErrCorrupt, t.N(), t.Dim(), len(ix.ids[si]), d)
+			return
+		}
+		ix.trees[si] = t
+	}
+	nw := runtime.GOMAXPROCS(0)
+	if nw > shards {
+		nw = shards
+	}
+	if nw <= 1 {
+		for si := 0; si < shards; si++ {
+			decode(si)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(nw)
+		for w := 0; w < nw; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					si := int(next.Add(1)) - 1
+					if si >= shards {
+						return
+					}
+					decode(si)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return ix, nil
+}

@@ -122,6 +122,12 @@ func (ix *Index) Dim() int { return ix.d }
 // Shards returns the number of shards.
 func (ix *Index) Shards() int { return len(ix.trees) }
 
+// Workers returns the per-query goroutine bound the index was built with.
+func (ix *Index) Workers() int { return ix.workers }
+
+// LeafSize returns the shard trees' maximum leaf size N0.
+func (ix *Index) LeafSize() int { return ix.trees[0].LeafSize() }
+
 // IndexBytes reports the summed footprint of all shard trees plus the
 // id maps.
 func (ix *Index) IndexBytes() int64 {

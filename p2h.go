@@ -63,27 +63,33 @@ type Index interface {
 	Dim() int
 }
 
-// checkQuery validates that q is a hyperplane over d-dimensional points and
-// rescales it to a unit normal if needed, returning the query to use.
-func checkQuery(q []float32, d int) []float32 {
-	if len(q) != d+1 {
-		panic(fmt.Sprintf("p2h: query has dimension %d, want %d (normal) + 1 (offset)", len(q), d+1))
+// canonicalQuery validates that q is a hyperplane over d-dimensional points
+// and rescales it to a unit normal if needed, returning the query to use.
+// Validation goes through core.CheckQuery — the one checked path shared with
+// the batch surface and the serving engine — and reports ErrDimMismatch /
+// ErrZeroNormal. A normal already within core.UnitNormBand of unit length
+// passes as-is, sparing upstream-normalized queries a copy-and-rescale.
+func canonicalQuery(q []float32, d int) ([]float32, error) {
+	n, err := core.CheckQuery(q, d)
+	if err != nil {
+		return nil, err
 	}
-	n := vec.Norm(q[:d])
-	if n == 0 {
-		panic("p2h: hyperplane normal must be non-zero")
-	}
-	// A normal within one part in 10^6 of unit length passes as-is: the
-	// induced distance error sits below the float32 resolution of the
-	// accumulated inner products, and the band admits queries that were
-	// normalized in float32 upstream (e.g. the serving layer's canonical
-	// forms), sparing them a pointless copy-and-rescale.
-	if n > 1-1e-6 && n < 1+1e-6 {
-		return q
+	if core.UnitNormBand(n) {
+		return q, nil
 	}
 	out := make([]float32, len(q))
 	copy(out, q)
 	vec.Scale(out, 1/n)
+	return out, nil
+}
+
+// checkQuery is the panicking wrapper over canonicalQuery backing the Index
+// Search contract (mismatched dimensions are a programming error).
+func checkQuery(q []float32, d int) []float32 {
+	out, err := canonicalQuery(q, d)
+	if err != nil {
+		panic("p2h: " + err.Error())
+	}
 	return out
 }
 
@@ -129,12 +135,10 @@ type BallTree struct {
 }
 
 // NewBallTree indexes the rows of data (raw points; the lift x = (p; 1) is
-// internal).
+// internal). It is a thin wrapper over New with Spec{Kind: KindBallTree}
+// that panics where New returns an error.
 func NewBallTree(data *Matrix, opts BallTreeOptions) *BallTree {
-	return &BallTree{
-		tree: balltree.Build(data.AppendOnes(), balltree.Config{LeafSize: opts.LeafSize, Seed: opts.Seed}),
-		raw:  data.D,
-	}
+	return mustNew(data, Spec{Kind: KindBallTree, LeafSize: opts.LeafSize, Seed: opts.Seed}).(*BallTree)
 }
 
 // Search implements Index.
@@ -193,13 +197,19 @@ func liftPoint(p []float32, d int) []float32 {
 	return out
 }
 
-// Save serializes the index (including its reordered data copy).
+// Save serializes the index (including its reordered data copy) in the bare
+// tree format. New code should prefer the package-level Save, which wraps
+// the same payload in the self-describing container any kind loads from;
+// both formats are accepted by Load and Open.
 func (t *BallTree) Save(w io.Writer) error { return t.tree.Save(w) }
 
-// SaveFile writes the index to the named file.
+// SaveFile writes the index to the named file in the bare tree format; see
+// (*BallTree).Save.
 func (t *BallTree) SaveFile(path string) error { return t.tree.SaveFile(path) }
 
-// LoadBallTree restores an index written by (*BallTree).Save.
+// LoadBallTree restores an index written by (*BallTree).Save. It is kept as
+// a kind-pinned wrapper; new code should prefer the package-level Load,
+// which restores any registered kind (including this format).
 func LoadBallTree(r io.Reader) (*BallTree, error) {
 	tree, err := balltree.Load(r)
 	if err != nil {
@@ -208,7 +218,8 @@ func LoadBallTree(r io.Reader) (*BallTree, error) {
 	return &BallTree{tree: tree, raw: tree.Dim() - 1}, nil
 }
 
-// LoadBallTreeFile restores an index from the named file.
+// LoadBallTreeFile restores an index from the named file; it is the
+// kind-pinned wrapper over Open, kept for compatibility.
 func LoadBallTreeFile(path string) (*BallTree, error) {
 	tree, err := balltree.LoadFile(path)
 	if err != nil {
@@ -233,12 +244,11 @@ type BCTree struct {
 	raw  int
 }
 
-// NewBCTree indexes the rows of data (raw points; the lift is internal).
+// NewBCTree indexes the rows of data (raw points; the lift is internal). It
+// is a thin wrapper over New with Spec{Kind: KindBCTree} that panics where
+// New returns an error.
 func NewBCTree(data *Matrix, opts BCTreeOptions) *BCTree {
-	return &BCTree{
-		tree: bctree.Build(data.AppendOnes(), bctree.Config{LeafSize: opts.LeafSize, Seed: opts.Seed}),
-		raw:  data.D,
-	}
+	return mustNew(data, Spec{Kind: KindBCTree, LeafSize: opts.LeafSize, Seed: opts.Seed}).(*BCTree)
 }
 
 // Search implements Index.
@@ -255,13 +265,19 @@ func (t *BCTree) N() int { return t.tree.N() }
 // Dim implements Index.
 func (t *BCTree) Dim() int { return t.raw }
 
-// Save serializes the index (including its reordered data copy).
+// Save serializes the index (including its reordered data copy) in the bare
+// tree format. New code should prefer the package-level Save, which wraps
+// the same payload in the self-describing container any kind loads from;
+// both formats are accepted by Load and Open.
 func (t *BCTree) Save(w io.Writer) error { return t.tree.Save(w) }
 
-// SaveFile writes the index to the named file.
+// SaveFile writes the index to the named file in the bare tree format; see
+// (*BCTree).Save.
 func (t *BCTree) SaveFile(path string) error { return t.tree.SaveFile(path) }
 
-// LoadBCTree restores an index written by (*BCTree).Save.
+// LoadBCTree restores an index written by (*BCTree).Save. It is kept as a
+// kind-pinned wrapper; new code should prefer the package-level Load, which
+// restores any registered kind (including this format).
 func LoadBCTree(r io.Reader) (*BCTree, error) {
 	tree, err := bctree.Load(r)
 	if err != nil {
@@ -270,7 +286,8 @@ func LoadBCTree(r io.Reader) (*BCTree, error) {
 	return &BCTree{tree: tree, raw: tree.Dim() - 1}, nil
 }
 
-// LoadBCTreeFile restores an index from the named file.
+// LoadBCTreeFile restores an index from the named file; it is the
+// kind-pinned wrapper over Open, kept for compatibility.
 func LoadBCTreeFile(path string) (*BCTree, error) {
 	tree, err := bctree.LoadFile(path)
 	if err != nil {
@@ -291,12 +308,10 @@ type KDTree struct {
 	raw  int
 }
 
-// NewKDTree indexes the rows of data.
+// NewKDTree indexes the rows of data. It is a thin wrapper over New with
+// Spec{Kind: KindKDTree} that panics where New returns an error.
 func NewKDTree(data *Matrix, opts KDTreeOptions) *KDTree {
-	return &KDTree{
-		tree: kdtree.Build(data.AppendOnes(), kdtree.Config{LeafSize: opts.LeafSize}),
-		raw:  data.D,
-	}
+	return mustNew(data, Spec{Kind: KindKDTree, LeafSize: opts.LeafSize}).(*KDTree)
 }
 
 // Search implements Index.
@@ -332,14 +347,12 @@ type NH struct {
 	raw   int
 }
 
-// NewNH indexes the rows of data.
+// NewNH indexes the rows of data. It is a thin wrapper over New with
+// Spec{Kind: KindNH} that panics where New returns an error.
 func NewNH(data *Matrix, opts NHOptions) *NH {
-	return &NH{
-		index: nh.Build(data.AppendOnes(), nh.Config{
-			Lambda: opts.Lambda, M: opts.M, L: opts.L, Seed: opts.Seed,
-		}),
-		raw: data.D,
-	}
+	return mustNew(data, Spec{
+		Kind: KindNH, Lambda: opts.Lambda, M: opts.M, L: opts.L, Seed: opts.Seed,
+	}).(*NH)
 }
 
 // Search implements Index.
@@ -377,14 +390,12 @@ type FH struct {
 	raw   int
 }
 
-// NewFH indexes the rows of data.
+// NewFH indexes the rows of data. It is a thin wrapper over New with
+// Spec{Kind: KindFH} that panics where New returns an error.
 func NewFH(data *Matrix, opts FHOptions) *FH {
-	return &FH{
-		index: fh.Build(data.AppendOnes(), fh.Config{
-			Lambda: opts.Lambda, M: opts.M, L: opts.L, B: opts.B, Seed: opts.Seed,
-		}),
-		raw: data.D,
-	}
+	return mustNew(data, Spec{
+		Kind: KindFH, Lambda: opts.Lambda, M: opts.M, L: opts.L, B: opts.B, Seed: opts.Seed,
+	}).(*FH)
 }
 
 // Search implements Index.
@@ -407,9 +418,11 @@ type LinearScan struct {
 	raw  int
 }
 
-// NewLinearScan wraps the rows of data for exhaustive search.
+// NewLinearScan wraps the rows of data for exhaustive search. It is a thin
+// wrapper over New with Spec{Kind: KindLinearScan} that panics where New
+// returns an error.
 func NewLinearScan(data *Matrix) *LinearScan {
-	return &LinearScan{scan: linearscan.New(data.AppendOnes()), raw: data.D}
+	return mustNew(data, Spec{Kind: KindLinearScan}).(*LinearScan)
 }
 
 // Search implements Index.

@@ -1,0 +1,181 @@
+package p2h
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// ErrFormat is returned by Load and Open for malformed input: a stream that
+// is not an index container (and matches no legacy tree format), a corrupt
+// or truncated envelope, or a payload its kind's loader rejects.
+var ErrFormat = errors.New("p2h: malformed index container")
+
+// containerMagic opens the self-describing container: every index saved
+// with p2h.Save starts with these bytes, followed by the length-prefixed
+// kind tag and JSON-encoded Spec, then the kind's own payload.
+var containerMagic = []byte("P2HIX001")
+
+// Container header bounds; a corrupt length prefix fails fast instead of
+// allocating.
+const (
+	maxKindTagLen  = 64
+	maxSpecJSONLen = 1 << 20
+)
+
+// legacyMagics maps the bare tree formats that predate the container (what
+// (*BallTree).Save and (*BCTree).Save still write) to their kinds, so Load
+// and Open accept files written by every release.
+var legacyMagics = map[string]string{
+	"P2HBT001": KindBallTree,
+	"P2HBT002": KindBallTree,
+	"P2HBC001": KindBCTree,
+	"P2HBC002": KindBCTree,
+}
+
+// Save writes ix to w as a self-describing container: any reader can
+// restore it with Load without knowing the kind in advance. The index's
+// kind must be registered and persistable; build-only kinds (NH, FH, the
+// scan baselines) return an error naming the documented reason.
+func Save(w io.Writer, ix Index) error {
+	k := kindOwning(ix)
+	if k == nil {
+		return fmt.Errorf("p2h: Save: no registered index kind owns %T", ix)
+	}
+	if k.Save == nil {
+		return fmt.Errorf("p2h: Save: index kind %q is build-only: %s", k.Name, k.BuildOnly)
+	}
+	spec := k.SpecOf(ix)
+	spec.Kind = k.Name
+	specJSON, err := json.Marshal(spec)
+	if err != nil {
+		return fmt.Errorf("p2h: Save: encoding spec: %w", err)
+	}
+	var head bytes.Buffer
+	head.Write(containerMagic)
+	writeBlock(&head, []byte(k.Name))
+	writeBlock(&head, specJSON)
+	if _, err := w.Write(head.Bytes()); err != nil {
+		return err
+	}
+	return k.Save(w, ix)
+}
+
+// SaveFile writes ix to the named file in the container format.
+func SaveFile(path string, ix Index) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Save(f, ix); err != nil {
+		f.Close()
+		os.Remove(path)
+		return err
+	}
+	return f.Close()
+}
+
+// Load restores an index of any registered kind from a stream written by
+// Save. Bare legacy streams written by (*BallTree).Save / (*BCTree).Save
+// (and their SaveFile variants) are recognized by their magic and load
+// through the same registry. Malformed input returns an error wrapping
+// ErrFormat; a container naming an unregistered kind returns ErrUnknownKind.
+func Load(r io.Reader) (Index, error) {
+	br := bufio.NewReader(r)
+	head, err := br.Peek(len(containerMagic))
+	if err != nil {
+		return nil, fmt.Errorf("%w: reading magic: %v", ErrFormat, err)
+	}
+	if !bytes.Equal(head, containerMagic) {
+		kindName, ok := legacyMagics[string(head)]
+		if !ok {
+			return nil, fmt.Errorf("%w: unrecognized magic %q", ErrFormat, head)
+		}
+		k, err := lookupKind(kindName)
+		if err != nil {
+			return nil, err
+		}
+		ix, err := k.Load(br, Spec{Kind: kindName})
+		if err != nil {
+			return nil, fmt.Errorf("%w: legacy %s stream: %v", ErrFormat, kindName, err)
+		}
+		return ix, nil
+	}
+	if _, err := br.Discard(len(containerMagic)); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+	}
+
+	kindTag, err := readBlock(br, maxKindTagLen, "kind tag")
+	if err != nil {
+		return nil, err
+	}
+	specJSON, err := readBlock(br, maxSpecJSONLen, "spec")
+	if err != nil {
+		return nil, err
+	}
+	var spec Spec
+	if err := json.Unmarshal(specJSON, &spec); err != nil {
+		return nil, fmt.Errorf("%w: decoding spec: %v", ErrFormat, err)
+	}
+
+	k, err := lookupKind(string(kindTag))
+	if err != nil {
+		return nil, err
+	}
+	if k.Load == nil {
+		return nil, fmt.Errorf("%w: container holds build-only kind %q (%s)", ErrFormat, k.Name, k.BuildOnly)
+	}
+	if spec.Kind == "" {
+		spec.Kind = k.Name
+	}
+	ix, err := k.Load(br, spec)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s payload: %v", ErrFormat, k.Name, err)
+	}
+	return ix, nil
+}
+
+// Open restores an index of any registered kind from the named file; see
+// Load for the accepted formats.
+func Open(path string) (Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	ix, err := Load(f)
+	if err != nil {
+		return nil, fmt.Errorf("p2h: open %s: %w", path, err)
+	}
+	return ix, nil
+}
+
+// writeBlock appends a little-endian uint32 length prefix and the bytes.
+func writeBlock(buf *bytes.Buffer, b []byte) {
+	var n [4]byte
+	binary.LittleEndian.PutUint32(n[:], uint32(len(b)))
+	buf.Write(n[:])
+	buf.Write(b)
+}
+
+// readBlock reads one length-prefixed block, bounding the length.
+func readBlock(br *bufio.Reader, maxLen int, what string) ([]byte, error) {
+	var n [4]byte
+	if _, err := io.ReadFull(br, n[:]); err != nil {
+		return nil, fmt.Errorf("%w: reading %s length: %v", ErrFormat, what, err)
+	}
+	ln := int(binary.LittleEndian.Uint32(n[:]))
+	if ln <= 0 || ln > maxLen {
+		return nil, fmt.Errorf("%w: %s length %d out of range (1..%d)", ErrFormat, what, ln, maxLen)
+	}
+	b := make([]byte, ln)
+	if _, err := io.ReadFull(br, b); err != nil {
+		return nil, fmt.Errorf("%w: reading %s: %v", ErrFormat, what, err)
+	}
+	return b, nil
+}

@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Smoke test of the cmd/ binaries against the registry-driven CLI surface:
+# builds p2htool, p2hserve and p2hbench, generates a tiny data set, and
+# drives -index / -spec and save-then--load flows end to end for every
+# persistable kind plus a build-only kind. CI runs this so the CLI flags and
+# the container format cannot silently rot.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+bin="$tmp/bin"
+
+echo "== build binaries"
+go build -o "$bin/" ./cmd/...
+for b in p2htool p2hserve p2hbench; do
+  [ -x "$bin/$b" ] || { echo "missing binary $b"; exit 1; }
+done
+
+data="$tmp/data.fvecs"
+queries="$tmp/queries.fvecs"
+
+echo "== generate data + queries"
+"$bin/p2htool" gen -set Music -n 2000 -seed 1 -out "$data"
+"$bin/p2htool" queries -data "$data" -nq 10 -seed 2 -out "$queries"
+
+echo "== build/save/info/search/eval each persistable kind via -index/-spec/-load"
+for kind in balltree bctree kdtree sharded dynamic; do
+  spec='{"leaf_size":50}'
+  if [ "$kind" = sharded ]; then spec='{"leaf_size":50,"shards":3,"workers":2}'; fi
+  ix="$tmp/ix-$kind.p2h"
+  "$bin/p2htool" build -index "$kind" -spec "$spec" -seed 1 -data "$data" -out "$ix"
+  "$bin/p2htool" info -load "$ix" | grep "type=$kind" >/dev/null || { echo "info: wrong kind for $kind"; exit 1; }
+  out="$("$bin/p2htool" search -load "$ix" -queries "$queries" -k 3)"
+  grep "^query 0:" >/dev/null <<<"$out" || { echo "search: no results for $kind"; exit 1; }
+done
+
+echo "== eval (ground-truth recall) on the saved bctree"
+out="$("$bin/p2htool" eval -load "$tmp/ix-bctree.p2h" -data "$data" -queries "$queries" -k 5 -budgets "0.1,1.0")"
+grep "100.0%" >/dev/null <<<"$out" || { echo "eval: full budget not exact"; exit 1; }
+
+echo "== spec JSON can carry the kind by itself"
+out="$("$bin/p2htool" build -spec '{"kind":"balltree","leaf_size":25}' -data "$data" -out "$tmp/ix-speconly.p2h")"
+grep "built balltree" >/dev/null <<<"$out" || { echo "spec-only kind failed"; exit 1; }
+
+echo "== build-only kinds refuse to save with a clear diagnostic"
+if "$bin/p2htool" build -index nh -data "$data" -out "$tmp/ix-nh.p2h" 2>"$tmp/nh.err"; then
+  echo "build-only kind saved unexpectedly"; exit 1
+fi
+grep -q "build-only" "$tmp/nh.err" || { echo "build-only diagnostic missing"; exit 1; }
+
+echo "== p2hserve: build via -index/-spec and serve a saved container via -load"
+out="$("$bin/p2hserve" -data "$data" -queries "$queries" -index sharded -spec '{"shards":3,"workers":2}' -clients 2 -repeat 1)"
+grep "index: sharded built" >/dev/null <<<"$out" || { echo "p2hserve -spec failed"; exit 1; }
+out="$("$bin/p2hserve" -data "$data" -queries "$queries" -load "$tmp/ix-bctree.p2h" -clients 2 -repeat 1)"
+grep "index: bctree loaded" >/dev/null <<<"$out" || { echo "p2hserve -load failed"; exit 1; }
+
+echo "== p2hbench: registry-driven single-index benchmark (-index/-spec and -load)"
+out="$("$bin/p2hbench" -index kdtree -spec '{"leaf_size":50}' -sets Music -n 1500 -nq 5 -k 3)"
+grep "index: kdtree built" >/dev/null <<<"$out" || { echo "p2hbench -index failed"; exit 1; }
+out="$("$bin/p2hbench" -load "$tmp/ix-bctree.p2h" -sets Music -n 2000 -nq 5 -k 3)"
+grep "index: bctree loaded" >/dev/null <<<"$out" || { echo "p2hbench -load failed"; exit 1; }
+
+echo "smoke OK"

@@ -1,0 +1,122 @@
+package p2h
+
+import (
+	"fmt"
+
+	"p2h/internal/core"
+)
+
+// Validation errors of the declarative API. The legacy constructors and the
+// panicking Search surface delegate to the same checks, so the two APIs can
+// never drift apart; new code should prefer the error-returning entry points
+// (New, Open, Save, Load).
+var (
+	// ErrDimMismatch reports inputs whose dimensionalities do not line up:
+	// a query of the wrong length, a Spec.Dim contradicting the data
+	// matrix, batch queries not matching the index.
+	ErrDimMismatch = core.ErrDimMismatch
+	// ErrZeroNormal reports a hyperplane query whose normal is the zero
+	// vector.
+	ErrZeroNormal = core.ErrZeroNormal
+)
+
+// Canonical kind names of the built-in index backends, as accepted by
+// Spec.Kind and written into saved index containers. Kinds() lists every
+// registered name; short aliases ("bc", "ball", "kd", "scan", "quant",
+// "shard", "dyn") resolve to these.
+const (
+	KindBallTree      = "balltree"
+	KindBCTree        = "bctree"
+	KindKDTree        = "kdtree"
+	KindNH            = "nh"
+	KindFH            = "fh"
+	KindLinearScan    = "linearscan"
+	KindQuantizedScan = "quantizedscan"
+	KindSharded       = "sharded"
+	KindDynamic       = "dynamic"
+)
+
+// Spec declares an index: which backend to build (Kind) plus the tuning
+// fields the backend reads. Fields a kind does not use are ignored, so one
+// Spec literal — or one JSON document, via the struct tags — can be moved
+// between kinds while tuning. The zero value of every field selects that
+// kind's documented default.
+//
+// Spec is the portable configuration surface of the library: p2h.New builds
+// any registered kind from it, the cmd/ tools accept it as -spec JSON, and
+// p2h.Save embeds it into the container header so a saved index describes
+// itself.
+type Spec struct {
+	// Kind names the index backend (see the Kind* constants and Kinds()).
+	Kind string `json:"kind"`
+
+	// LeafSize is the tree kinds' maximum leaf size N0 (zero: 100).
+	LeafSize int `json:"leaf_size,omitempty"`
+	// Seed makes randomized construction deterministic.
+	Seed int64 `json:"seed,omitempty"`
+
+	// Lambda is NH/FH's sampled transform dimension (zero: 2*(Dim+1)).
+	Lambda int `json:"lambda,omitempty"`
+	// M is NH/FH's number of hash projections (zero: 64).
+	M int `json:"m,omitempty"`
+	// L is NH's collision / FH's separation threshold (zero: 2).
+	L int `json:"l,omitempty"`
+	// B is FH's norm partition ratio in (0,1) (zero: 0.9).
+	B float64 `json:"b,omitempty"`
+
+	// Shards is the sharded kind's partition count (zero: GOMAXPROCS).
+	Shards int `json:"shards,omitempty"`
+	// Workers bounds the sharded kind's per-query goroutines (zero:
+	// min(Shards, GOMAXPROCS)).
+	Workers int `json:"workers,omitempty"`
+
+	// Dim is the data dimensionality, required by the dynamic kind when
+	// starting empty (data == nil); other kinds take it from the data and
+	// reject a contradicting value.
+	Dim int `json:"dim,omitempty"`
+	// RebuildFraction is the dynamic kind's rebuild trigger (zero: 0.25).
+	RebuildFraction float64 `json:"rebuild_fraction,omitempty"`
+}
+
+// New builds an index declared by spec over the rows of data. It is the
+// single constructor behind every kind-specific New* function: the kind is
+// resolved through the registry (ErrUnknownKind if unregistered), the
+// backend validates its inputs, and malformed input returns an error instead
+// of panicking.
+//
+// data may be nil only for kinds that document an empty start (the dynamic
+// kind, with Spec.Dim set).
+func New(data *Matrix, spec Spec) (Index, error) {
+	k, err := lookupKind(spec.Kind)
+	if err != nil {
+		return nil, err
+	}
+	return k.Build(data, spec)
+}
+
+// mustNew backs the legacy panicking constructors.
+func mustNew(data *Matrix, spec Spec) Index {
+	ix, err := New(data, spec)
+	if err != nil {
+		panic("p2h: " + err.Error())
+	}
+	return ix
+}
+
+// checkBuildData rejects construction over no data for the kinds that
+// require a bulk load, and a Spec.Dim contradicting the data matrix (a
+// config/data mix-up worth surfacing even though these kinds take their
+// dimensionality from the data).
+func checkBuildData(kind string, data *Matrix, spec Spec) error {
+	if data == nil || data.N == 0 {
+		return fmt.Errorf("p2h: %s: index construction needs a non-empty data matrix", kind)
+	}
+	if data.D <= 0 {
+		return fmt.Errorf("%w: %s: data matrix has dimension %d", ErrDimMismatch, kind, data.D)
+	}
+	if spec.Dim != 0 && spec.Dim != data.D {
+		return fmt.Errorf("%w: %s: Spec.Dim %d contradicts data dimension %d",
+			ErrDimMismatch, kind, spec.Dim, data.D)
+	}
+	return nil
+}

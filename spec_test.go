@@ -1,0 +1,195 @@
+package p2h
+
+import (
+	"encoding/json"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// specTestData builds a small deterministic matrix.
+func specTestData(n, d int, seed int64) *Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	m := NewMatrix(n, d)
+	for i := range m.Data {
+		m.Data[i] = float32(rng.NormFloat64())
+	}
+	return m
+}
+
+// TestNewBuildsEveryKind: the acceptance bar — every registered kind is
+// constructible via New(data, Spec{Kind: ...}) and answers queries.
+func TestNewBuildsEveryKind(t *testing.T) {
+	data := specTestData(300, 12, 1)
+	queries := GenerateQueries(data, 3, 2)
+	for _, kind := range Kinds() {
+		ix, err := New(data, Spec{Kind: kind, Seed: 7, Shards: 3})
+		if err != nil {
+			t.Fatalf("New(%q): %v", kind, err)
+		}
+		if ix.N() != data.N || ix.Dim() != data.D {
+			t.Fatalf("%s: shape %d/%d, want %d/%d", kind, ix.N(), ix.Dim(), data.N, data.D)
+		}
+		if got := KindOf(ix); got != kind {
+			t.Fatalf("KindOf(%s index) = %q", kind, got)
+		}
+		res, _ := ix.Search(queries.Row(0), SearchOptions{K: 5})
+		if len(res) != 5 {
+			t.Fatalf("%s: %d results, want 5", kind, len(res))
+		}
+	}
+}
+
+// TestNewMatchesLegacyConstructors: the thin wrappers and the declarative
+// path produce identical indexes (same construction code runs underneath).
+func TestNewMatchesLegacyConstructors(t *testing.T) {
+	data := specTestData(250, 10, 3)
+	queries := GenerateQueries(data, 5, 4)
+
+	type build struct {
+		name   string
+		legacy Index
+		spec   Spec
+	}
+	builds := []build{
+		{"balltree", NewBallTree(data, BallTreeOptions{LeafSize: 32, Seed: 5}),
+			Spec{Kind: KindBallTree, LeafSize: 32, Seed: 5}},
+		{"bctree", NewBCTree(data, BCTreeOptions{LeafSize: 32, Seed: 5}),
+			Spec{Kind: KindBCTree, LeafSize: 32, Seed: 5}},
+		{"kdtree", NewKDTree(data, KDTreeOptions{LeafSize: 32}),
+			Spec{Kind: KindKDTree, LeafSize: 32}},
+		{"sharded", NewSharded(data, ShardedOptions{Shards: 3, LeafSize: 32, Seed: 5, Workers: 2}),
+			Spec{Kind: KindSharded, Shards: 3, LeafSize: 32, Seed: 5, Workers: 2}},
+		{"dynamic", NewDynamic(data, DynamicOptions{LeafSize: 32, Seed: 5}),
+			Spec{Kind: KindDynamic, LeafSize: 32, Seed: 5}},
+		{"nh", NewNH(data, NHOptions{M: 16, Seed: 5}), Spec{Kind: KindNH, M: 16, Seed: 5}},
+		{"fh", NewFH(data, FHOptions{M: 16, Seed: 5}), Spec{Kind: KindFH, M: 16, Seed: 5}},
+		{"linearscan", NewLinearScan(data), Spec{Kind: KindLinearScan}},
+		{"quantizedscan", NewQuantizedScan(data), Spec{Kind: KindQuantizedScan}},
+	}
+	for _, b := range builds {
+		viaSpec, err := New(data, b.spec)
+		if err != nil {
+			t.Fatalf("New(%s): %v", b.name, err)
+		}
+		for qi := 0; qi < queries.N; qi++ {
+			want, _ := b.legacy.Search(queries.Row(qi), SearchOptions{K: 4})
+			got, _ := viaSpec.Search(queries.Row(qi), SearchOptions{K: 4})
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s: query %d diverges between legacy and Spec construction", b.name, qi)
+			}
+		}
+	}
+}
+
+func TestNewErrors(t *testing.T) {
+	data := specTestData(50, 4, 1)
+
+	if _, err := New(data, Spec{Kind: "no-such-kind"}); !errors.Is(err, ErrUnknownKind) {
+		t.Fatalf("unknown kind: err = %v, want ErrUnknownKind", err)
+	}
+	if _, err := New(data, Spec{}); !errors.Is(err, ErrUnknownKind) {
+		t.Fatalf("empty kind: err = %v, want ErrUnknownKind", err)
+	}
+	if _, err := New(nil, Spec{Kind: KindBCTree}); err == nil {
+		t.Fatal("nil data accepted by bctree")
+	}
+	if _, err := New(NewMatrix(0, 4), Spec{Kind: KindBallTree}); err == nil {
+		t.Fatal("empty data accepted by balltree")
+	}
+	// Non-dynamic kinds take the dimensionality from the data but reject a
+	// contradicting Spec.Dim (a config/data mix-up).
+	if _, err := New(data, Spec{Kind: KindBCTree, Dim: 99}); !errors.Is(err, ErrDimMismatch) {
+		t.Fatalf("bctree contradicting Dim: err = %v, want ErrDimMismatch", err)
+	}
+	if _, err := New(data, Spec{Kind: KindBCTree, Dim: 4}); err != nil {
+		t.Fatalf("bctree matching Dim: %v", err)
+	}
+	// Dynamic: empty start needs Dim; a contradicting Dim is rejected.
+	if _, err := New(nil, Spec{Kind: KindDynamic}); !errors.Is(err, ErrDimMismatch) {
+		t.Fatalf("dynamic empty start without Dim: err = %v, want ErrDimMismatch", err)
+	}
+	if _, err := New(data, Spec{Kind: KindDynamic, Dim: 7}); !errors.Is(err, ErrDimMismatch) {
+		t.Fatalf("dynamic contradicting Dim: err = %v, want ErrDimMismatch", err)
+	}
+	// Matching Dim is fine, as is an empty start with Dim.
+	if _, err := New(data, Spec{Kind: KindDynamic, Dim: 4}); err != nil {
+		t.Fatalf("dynamic matching Dim: %v", err)
+	}
+	ix, err := New(nil, Spec{Kind: KindDynamic, Dim: 6})
+	if err != nil {
+		t.Fatalf("dynamic empty start: %v", err)
+	}
+	if ix.Dim() != 6 || ix.N() != 0 {
+		t.Fatalf("dynamic empty start shape: %d/%d", ix.N(), ix.Dim())
+	}
+}
+
+// TestKindAliases: the short names the CLIs use resolve to the canonical
+// kinds.
+func TestKindAliases(t *testing.T) {
+	data := specTestData(80, 5, 2)
+	for alias, want := range map[string]string{
+		"bc": KindBCTree, "ball": KindBallTree, "kd": KindKDTree,
+		"scan": KindLinearScan, "linear": KindLinearScan,
+		"quant": KindQuantizedScan, "shard": KindSharded, "dyn": KindDynamic,
+		"BCTree": KindBCTree, " bctree ": KindBCTree, // case- and space-insensitive
+	} {
+		ix, err := New(data, Spec{Kind: alias, Shards: 2})
+		if err != nil {
+			t.Fatalf("New(%q): %v", alias, err)
+		}
+		if got := KindOf(ix); got != want {
+			t.Fatalf("alias %q built %q, want %q", alias, got, want)
+		}
+	}
+}
+
+// TestSpecJSONRoundTrip: the struct tags give a stable wire form, the
+// configuration surface of the cmd tools and the container header.
+func TestSpecJSONRoundTrip(t *testing.T) {
+	spec := Spec{Kind: KindSharded, LeafSize: 64, Seed: 9, Shards: 8, Workers: 4}
+	b, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Spec
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != spec {
+		t.Fatalf("round trip: %+v != %+v", back, spec)
+	}
+	// Zero fields are omitted: a minimal spec stays minimal on the wire.
+	b, err = json.Marshal(Spec{Kind: KindBCTree})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != `{"kind":"bctree"}` {
+		t.Fatalf("minimal spec JSON = %s", b)
+	}
+}
+
+func TestNewServerFromSpec(t *testing.T) {
+	data := specTestData(200, 8, 1)
+	srv, err := NewServerFromSpec(data, Spec{Kind: KindBCTree, LeafSize: 40, Seed: 2}, ServerOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	ix := NewBCTree(data, BCTreeOptions{LeafSize: 40, Seed: 2})
+	queries := GenerateQueries(data, 4, 3)
+	for i := 0; i < queries.N; i++ {
+		want, _ := ix.Search(queries.Row(i), SearchOptions{K: 3})
+		got, _ := srv.Search(queries.Row(i), SearchOptions{K: 3})
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("query %d: server diverges from bare index", i)
+		}
+	}
+
+	if _, err := NewServerFromSpec(data, Spec{Kind: "nope"}, ServerOptions{}); !errors.Is(err, ErrUnknownKind) {
+		t.Fatalf("err = %v, want ErrUnknownKind", err)
+	}
+}
