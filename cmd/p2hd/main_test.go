@@ -1,0 +1,260 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	p2h "p2h"
+	"p2h/internal/httpapi"
+)
+
+// buildFixtures writes a data file, a saved container and a two-index config
+// into dir and returns the config path and the snapshot destination.
+func buildFixtures(t *testing.T, dir string) (configPath, snapPath string) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	data := p2h.NewMatrix(250, 6)
+	for i := range data.Data {
+		data.Data[i] = float32(rng.NormFloat64())
+	}
+	dataPath := filepath.Join(dir, "data.fvecs")
+	if err := p2h.SaveFvecs(dataPath, data); err != nil {
+		t.Fatal(err)
+	}
+	ix, err := p2h.New(data, p2h.Spec{Kind: p2h.KindBCTree, LeafSize: 25, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	container := filepath.Join(dir, "trees.p2h")
+	if err := p2h.SaveFile(container, ix); err != nil {
+		t.Fatal(err)
+	}
+	cfg := map[string]any{
+		"drain_timeout": "5s",
+		"server":        map[string]any{"workers": 2},
+		"indexes": map[string]any{
+			"trees": map[string]any{"path": container},
+			"dyn":   map[string]any{"spec": map[string]any{"kind": "dynamic", "leaf_size": 25}, "data": dataPath},
+		},
+	}
+	b, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	configPath = filepath.Join(dir, "p2hd.json")
+	if err := os.WriteFile(configPath, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return configPath, filepath.Join(dir, "snap.p2h")
+}
+
+// startDaemon runs the daemon on a random port and returns its base URL plus
+// a shutdown func that asserts a clean exit.
+func startDaemon(t *testing.T, args []string) (base string, stdout *bytes.Buffer, shutdown func()) {
+	t.Helper()
+	ready := make(chan string, 1)
+	notifyReady = func(addr string) { ready <- addr }
+	t.Cleanup(func() { notifyReady = func(string) {} })
+
+	ctx, cancel := context.WithCancel(context.Background())
+	stdout = &bytes.Buffer{}
+	stderr := &bytes.Buffer{}
+	done := make(chan int, 1)
+	go func() { done <- run(ctx, args, stdout, stderr) }()
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case <-time.After(10 * time.Second):
+		cancel()
+		t.Fatalf("daemon never came up\nstdout: %s\nstderr: %s", stdout, stderr)
+	}
+	return base, stdout, func() {
+		cancel()
+		select {
+		case code := <-done:
+			if code != 0 {
+				t.Errorf("daemon exited %d\nstderr: %s", code, stderr)
+			}
+		case <-time.After(15 * time.Second):
+			t.Error("daemon did not shut down")
+		}
+	}
+}
+
+func doJSON(t *testing.T, method, url string, body any, out any) int {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil && resp.StatusCode < 300 {
+		if err := json.Unmarshal(raw, out); err != nil {
+			t.Fatalf("decoding %q: %v", raw, err)
+		}
+	}
+	if resp.StatusCode >= 300 {
+		t.Logf("%s %s -> %d: %s", method, url, resp.StatusCode, raw)
+	}
+	return resp.StatusCode
+}
+
+// TestDaemonEndToEnd drives a real p2hd over a TCP socket: config startup
+// with two index kinds, search, mutation, snapshot, hot reload, metrics and
+// graceful drain.
+func TestDaemonEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	configPath, snapPath := buildFixtures(t, dir)
+	base, stdout, shutdown := startDaemon(t, []string{"-listen", "127.0.0.1:0", "-config", configPath})
+
+	var health httpapi.HealthResponse
+	if code := doJSON(t, "GET", base+"/healthz", nil, &health); code != 200 || health.Indexes != 2 {
+		t.Fatalf("healthz: %d %+v", code, health)
+	}
+
+	q := make([]float32, 7)
+	q[0] = 1
+	var sr httpapi.SearchResponse
+	if code := doJSON(t, "POST", base+"/v1/indexes/trees/search",
+		httpapi.SearchRequest{Query: q, SearchOptionsJSON: httpapi.SearchOptionsJSON{K: 3}}, &sr); code != 200 {
+		t.Fatalf("search: %d", code)
+	}
+	if len(sr.Results) != 3 {
+		t.Fatalf("search results: %+v", sr)
+	}
+
+	var ir httpapi.InsertResponse
+	p := make([]float32, 6)
+	p[0] = 50
+	if code := doJSON(t, "POST", base+"/v1/indexes/dyn/insert",
+		httpapi.InsertRequest{Point: p}, &ir); code != 200 {
+		t.Fatalf("insert: %d", code)
+	}
+
+	var snap httpapi.SnapshotResponse
+	if code := doJSON(t, "POST", base+"/v1/indexes/dyn/snapshot",
+		httpapi.SnapshotRequest{Path: snapPath}, &snap); code != 200 {
+		t.Fatalf("snapshot: %d", code)
+	}
+	if st, err := os.Stat(snapPath); err != nil || st.Size() != snap.Bytes {
+		t.Fatalf("snapshot file: %v", err)
+	}
+
+	var reloaded httpapi.IndexInfoResponse
+	if code := doJSON(t, "POST", base+"/v1/indexes/dyn",
+		httpapi.LoadRequest{IndexConfig: httpapi.IndexConfig{Path: snapPath}, Replace: true}, &reloaded); code != 200 {
+		t.Fatalf("hot reload: %d", code)
+	}
+	if reloaded.N != 251 {
+		t.Fatalf("reloaded: %+v", reloaded)
+	}
+
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		"p2hd_http_requests_total{endpoint=\"search\",code=\"200\"}",
+		"p2hd_index_queries_total{index=\"trees\",kind=\"bctree\"}",
+		"p2hd_index_points{index=\"dyn\",kind=\"dynamic\"} 251",
+	} {
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+
+	shutdown()
+	if !strings.Contains(stdout.String(), "p2hd: drained") {
+		t.Errorf("no drain confirmation in output:\n%s", stdout)
+	}
+}
+
+// TestDaemonSingleIndexFlags: the config-less startup path.
+func TestDaemonSingleIndexFlags(t *testing.T) {
+	dir := t.TempDir()
+	configPath, _ := buildFixtures(t, dir)
+	_ = configPath
+	dataPath := filepath.Join(dir, "data.fvecs")
+	base, _, shutdown := startDaemon(t, []string{
+		"-listen", "127.0.0.1:0",
+		"-name", "solo", "-index", "balltree", "-spec", `{"leaf_size":20}`, "-data", dataPath,
+		"-workers", "2",
+	})
+	defer shutdown()
+	var info httpapi.IndexInfoResponse
+	if code := doJSON(t, "GET", base+"/v1/indexes/solo", nil, &info); code != 200 {
+		t.Fatalf("info: %d", code)
+	}
+	if info.Kind != p2h.KindBallTree || info.N != 250 {
+		t.Fatalf("solo info: %+v", info)
+	}
+}
+
+func TestDaemonStartupErrors(t *testing.T) {
+	var out, errOut bytes.Buffer
+	ctx := context.Background()
+	if code := run(ctx, []string{"-config", "/does/not/exist.json"}, &out, &errOut); code != 1 {
+		t.Fatalf("missing config: exit %d", code)
+	}
+	if code := run(ctx, []string{"-data", "x.fvecs"}, &out, &errOut); code != 1 {
+		t.Fatalf("-data without -spec: exit %d", code)
+	}
+	if code := run(ctx, []string{"-load", "/does/not/exist.p2h"}, &out, &errOut); code != 1 {
+		t.Fatalf("missing container: exit %d", code)
+	}
+	if code := run(ctx, []string{"-badflag"}, &out, &errOut); code != 2 {
+		t.Fatalf("bad flag: exit %d", code)
+	}
+}
+
+func TestFlagIndexConfig(t *testing.T) {
+	if _, declared, err := flagIndexConfig("", "", "", ""); declared || err != nil {
+		t.Fatalf("no flags: %v %v", declared, err)
+	}
+	ic, declared, err := flagIndexConfig("x.p2h", "", "", "")
+	if !declared || err != nil || ic.Path != "x.p2h" || ic.Spec != nil {
+		t.Fatalf("load only: %+v %v %v", ic, declared, err)
+	}
+	ic, declared, err = flagIndexConfig("", "sharded", `{"leaf_size":9}`, "d.fvecs")
+	if !declared || err != nil || ic.Spec == nil || ic.Spec.Kind != "sharded" || ic.Spec.LeafSize != 9 || ic.Data != "d.fvecs" {
+		t.Fatalf("kind+spec: %+v %v %v", ic, declared, err)
+	}
+	ic, declared, err = flagIndexConfig("", "", `{"leaf_size":9}`, "")
+	if !declared || err != nil || ic.Spec.Kind != p2h.KindBCTree {
+		t.Fatalf("default kind: %+v %v %v", ic, declared, err)
+	}
+	if _, _, err = flagIndexConfig("", "", `{bad json`, ""); err == nil {
+		t.Fatal("bad spec JSON accepted")
+	}
+	if _, _, err = flagIndexConfig("", "", "", "d.fvecs"); err == nil {
+		t.Fatal("-data alone accepted")
+	}
+}

@@ -12,6 +12,13 @@
 //	p2hserve -data data.fvecs -load index.p2h -queries queries.fvecs
 //	awk-or-your-tool-emitting-text-queries | p2hserve -data data.fvecs -stdin
 //
+// Client mode load-tests a running p2hd daemon over HTTP instead of an
+// in-process server, replaying the same query streams against its
+// /v1/indexes/{name}/search endpoint (or /search_batch with -httpbatch):
+//
+//	p2hserve -url http://127.0.0.1:8080 -name trees -queries queries.fvecs -clients 8
+//	p2hserve -url http://127.0.0.1:8080 -name trees -httpbatch 64 -nq 1000
+//
 // Queries arrive as fvecs rows (-queries) or as text lines of d+1
 // space-separated floats, normal then offset (-stdin). Every query is
 // answered through the server's micro-batching worker pool and result
@@ -21,18 +28,22 @@ package main
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	p2h "p2h"
+	"p2h/internal/httpapi"
 )
 
 func main() {
@@ -62,9 +73,22 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		maxDelay  = fs.Duration("maxdelay", 100*time.Microsecond, "batch window for an under-filled round")
 		cacheSize = fs.Int("cache", 1024, "result cache entries (0 or negative: disabled)")
 		compare   = fs.Bool("compare", false, "also run the workload sequentially on the bare index")
+		url       = fs.String("url", "", "client mode: load-test a running p2hd at this base URL instead of serving in-process")
+		name      = fs.String("name", "default", "client mode: the daemon index to query")
+		httpBatch = fs.Int("httpbatch", 0, "client mode: group queries into search_batch requests of this size (0: per-query search)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	if *url != "" {
+		queries, err := clientQueries(*queryPath, *useStdin, stdin, *dataPath, *set, *n, *nq, *seed)
+		if err != nil {
+			fmt.Fprintf(stderr, "p2hserve: %v\n", err)
+			return 1
+		}
+		return runClient(*url, *name, queries, p2h.SearchOptions{K: *k, Budget: *budget},
+			*clients, *repeat, *httpBatch, stdout, stderr)
 	}
 
 	data, err := loadData(*dataPath, *set, *n, *seed)
@@ -160,6 +184,195 @@ func loadData(path, set string, n int, seed int64) (*p2h.Matrix, error) {
 		return p2h.LoadFvecs(path)
 	}
 	return p2h.Dedup(p2h.GenerateDataset(set, n, seed)), nil
+}
+
+// clientQueries resolves the query stream for client mode: a queries file or
+// stdin stream is used as-is; otherwise queries are generated from the same
+// data the daemon was pointed at (-data, or the -set/-n surrogate), so both
+// sides agree on the distribution.
+func clientQueries(queryPath string, useStdin bool, stdin io.Reader, dataPath, set string, n, nq int, seed int64) (*p2h.Matrix, error) {
+	switch {
+	case queryPath != "":
+		return p2h.LoadFvecs(queryPath)
+	case useStdin:
+		return readTextQueries(stdin)
+	}
+	data, err := loadData(dataPath, set, n, seed)
+	if err != nil {
+		return nil, err
+	}
+	return p2h.GenerateQueries(data, nq, seed+1), nil
+}
+
+// runClient replays the query stream against a running p2hd daemon over
+// HTTP, reusing the same concurrent-replay harness as the in-process mode,
+// and reports client-observed throughput and latency.
+func runClient(baseURL, name string, queries *p2h.Matrix, opts p2h.SearchOptions, clients, repeat, httpBatch int, stdout, stderr io.Writer) int {
+	baseURL = strings.TrimRight(baseURL, "/")
+	client := &http.Client{
+		Timeout: 60 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConns:        2 * clients,
+			MaxIdleConnsPerHost: 2 * clients,
+		},
+	}
+
+	// The daemon knows the index's dimensionality; fail fast on a mismatch
+	// instead of spraying 400s.
+	var info httpapi.IndexInfoResponse
+	if err := getJSON(client, baseURL+"/v1/indexes/"+name, &info); err != nil {
+		fmt.Fprintf(stderr, "p2hserve: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "daemon index %q: %s, %d points, d=%d\n", name, info.Kind, info.N, info.Dim)
+	if queries.N == 0 {
+		fmt.Fprintln(stderr, "p2hserve: no queries")
+		return 1
+	}
+	if queries.D != info.Dim+1 {
+		fmt.Fprintf(stderr, "p2hserve: queries have dimension %d, daemon index needs %d\n", queries.D, info.Dim+1)
+		return 1
+	}
+	fmt.Fprintf(stdout, "queries: %d hyperplanes x %d clients x %d repeats, k=%d budget=%d\n",
+		queries.N, clients, repeat, opts.K, opts.Budget)
+
+	wireOpts := httpapi.SearchOptionsJSON{K: opts.K, Budget: opts.Budget}
+	var errCount atomic.Int64
+	var firstErr atomic.Value
+
+	if httpBatch > 1 {
+		lat, wall, total := replayHTTPBatch(client, baseURL, name, queries, wireOpts,
+			clients, repeat, httpBatch, &errCount, &firstErr)
+		fmt.Fprintf(stdout, "http_batch: %d queries in %d requests (batch=%d) in %v -> %.0f qps\n",
+			total, len(lat), httpBatch, wall.Round(time.Millisecond), qps(total, wall))
+		report(stdout, "http_batch request", lat, wall)
+	} else {
+		searchFn := func(q []float32, o p2h.SearchOptions) ([]p2h.Result, p2h.Stats) {
+			var resp httpapi.SearchResponse
+			err := postJSON(client, baseURL+"/v1/indexes/"+name+"/search",
+				httpapi.SearchRequest{Query: q, SearchOptionsJSON: wireOpts}, &resp)
+			if err != nil {
+				if errCount.Add(1) == 1 {
+					firstErr.Store(err)
+				}
+				return nil, p2h.Stats{}
+			}
+			res := make([]p2h.Result, len(resp.Results))
+			for i, r := range resp.Results {
+				res[i] = p2h.Result{ID: r.ID, Dist: r.Dist}
+			}
+			return res, p2h.Stats{Candidates: resp.Stats.Candidates, IPCount: resp.Stats.IPCount}
+		}
+		lat, wall := replay(searchFn, queries, opts, clients, repeat)
+		report(stdout, "http", lat, wall)
+	}
+
+	if n := errCount.Load(); n > 0 {
+		fmt.Fprintf(stderr, "p2hserve: %d requests failed (first: %v)\n", n, firstErr.Load())
+		return 1
+	}
+	// Server-side view of the same run.
+	if err := getJSON(client, baseURL+"/v1/indexes/"+name, &info); err == nil {
+		hitRate := 0.0
+		if info.Stats.CacheHits+info.Stats.CacheMisses > 0 {
+			hitRate = float64(info.Stats.CacheHits) / float64(info.Stats.CacheHits+info.Stats.CacheMisses)
+		}
+		meanBatch := 0.0
+		if info.Stats.Batches > 0 {
+			meanBatch = float64(info.Stats.Queries) / float64(info.Stats.Batches)
+		}
+		fmt.Fprintf(stdout, "daemon: %d queries served, %d micro-batches (mean %.1f queries/batch), cache hit rate %.1f%%\n",
+			info.Stats.Queries, info.Stats.Batches, meanBatch, 100*hitRate)
+	}
+	return 0
+}
+
+// replayHTTPBatch posts search_batch requests of up to batch queries from
+// each client and returns the per-request latencies, the wall time, and the
+// total query count.
+func replayHTTPBatch(client *http.Client, baseURL, name string, queries *p2h.Matrix, opts httpapi.SearchOptionsJSON, clients, repeat, batch int, errCount *atomic.Int64, firstErr *atomic.Value) ([]time.Duration, time.Duration, int) {
+	perClient := make([][]time.Duration, clients)
+	var total atomic.Int64
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			var lat []time.Duration
+			for rep := 0; rep < repeat; rep++ {
+				for lo := 0; lo < queries.N; lo += batch {
+					hi := lo + batch
+					if hi > queries.N {
+						hi = queries.N
+					}
+					qs := make([][]float32, 0, hi-lo)
+					for i := lo; i < hi; i++ {
+						qs = append(qs, queries.Row((i+c)%queries.N)) // stagger clients
+					}
+					var resp httpapi.BatchSearchResponse
+					t0 := time.Now()
+					err := postJSON(client, baseURL+"/v1/indexes/"+name+"/search_batch",
+						httpapi.BatchSearchRequest{Queries: qs, SearchOptionsJSON: opts}, &resp)
+					lat = append(lat, time.Since(t0))
+					if err != nil {
+						if errCount.Add(1) == 1 {
+							firstErr.Store(err)
+						}
+						continue
+					}
+					total.Add(int64(len(qs)))
+				}
+			}
+			perClient[c] = lat
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	var all []time.Duration
+	for _, lat := range perClient {
+		all = append(all, lat...)
+	}
+	return all, wall, int(total.Load())
+}
+
+func getJSON(client *http.Client, url string, out any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	return decodeJSONResponse(resp, url, out)
+}
+
+func postJSON(client *http.Client, url string, body, out any) error {
+	b, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		return err
+	}
+	return decodeJSONResponse(resp, url, out)
+}
+
+func decodeJSONResponse(resp *http.Response, url string, out any) error {
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var e httpapi.ErrorResponse
+		if json.Unmarshal(raw, &e) == nil && e.Error != "" {
+			return fmt.Errorf("%s: %s (%s)", url, e.Error, e.Code)
+		}
+		return fmt.Errorf("%s: HTTP %d", url, resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(raw, out)
 }
 
 // makeSpec combines the -index and -spec flags into one p2h.Spec (the JSON

@@ -2,12 +2,15 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"net/http/httptest"
 	"path/filepath"
 	"strconv"
 	"strings"
 	"testing"
 
 	p2h "p2h"
+	"p2h/internal/httpapi"
 )
 
 func runCmd(t *testing.T, stdin string, args ...string) (string, string, int) {
@@ -195,6 +198,91 @@ func TestServeLoadedIndex(t *testing.T) {
 	}
 	_, errOut, code = runCmd(t, "", "-data", otherPath, "-load", ixPath, "-nq", "2")
 	if code == 0 || !strings.Contains(errOut, "dimension") {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+}
+
+// startTestDaemon stands up an httpapi handler over one bctree index, the
+// in-process equivalent of a running p2hd.
+func startTestDaemon(t *testing.T, data *p2h.Matrix, name string) *httptest.Server {
+	t.Helper()
+	dir := t.TempDir()
+	dataPath := filepath.Join(dir, "data.fvecs")
+	if err := p2h.SaveFvecs(dataPath, data); err != nil {
+		t.Fatal(err)
+	}
+	m := httpapi.NewManager(p2h.ServerOptions{Workers: 2}, 0)
+	if _, _, err := m.Load(name, httpapi.IndexConfig{
+		Spec: &p2h.Spec{Kind: p2h.KindBCTree, LeafSize: 40, Seed: 1}, Data: dataPath,
+	}, false); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(httpapi.NewHandler(m))
+	t.Cleanup(func() {
+		ts.Close()
+		_ = m.Close(context.Background())
+	})
+	return ts
+}
+
+func TestClientModeAgainstDaemon(t *testing.T) {
+	data := p2h.Dedup(p2h.GenerateDataset("Music", 400, 1))
+	ts := startTestDaemon(t, data, "trees")
+	dir := t.TempDir()
+	queries := p2h.GenerateQueries(data, 8, 2)
+	queriesPath := filepath.Join(dir, "queries.fvecs")
+	if err := p2h.SaveFvecs(queriesPath, queries); err != nil {
+		t.Fatal(err)
+	}
+
+	out, errOut, code := runCmd(t, "",
+		"-url", ts.URL, "-name", "trees", "-queries", queriesPath,
+		"-clients", "2", "-repeat", "2", "-k", "3")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	for _, want := range []string{
+		`daemon index "trees": bctree, 400 points`,
+		"http: 32 queries", "qps", "latency mean",
+		"daemon: 32 queries served", "cache hit rate",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestClientModeHTTPBatch(t *testing.T) {
+	data := p2h.Dedup(p2h.GenerateDataset("Music", 400, 1))
+	ts := startTestDaemon(t, data, "trees")
+	// Generated queries from the same surrogate set (no -queries file).
+	out, errOut, code := runCmd(t, "",
+		"-url", ts.URL, "-name", "trees", "-set", "Music", "-n", "400", "-nq", "20",
+		"-clients", "2", "-repeat", "1", "-k", "3", "-httpbatch", "8")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	if !strings.Contains(out, "http_batch: 40 queries in 6 requests (batch=8)") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestClientModeErrors(t *testing.T) {
+	data := p2h.Dedup(p2h.GenerateDataset("Music", 300, 1))
+	ts := startTestDaemon(t, data, "trees")
+	// Unknown index name fails fast on the info call.
+	_, errOut, code := runCmd(t, "", "-url", ts.URL, "-name", "ghost", "-set", "Music", "-n", "300", "-nq", "5")
+	if code != 1 || !strings.Contains(errOut, "index_not_found") {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	// Dimension mismatch between the query stream and the daemon index.
+	_, errOut, code = runCmd(t, "", "-url", ts.URL, "-name", "trees", "-set", "Sift", "-n", "300", "-nq", "5")
+	if code != 1 || !strings.Contains(errOut, "dimension") {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	// Unreachable daemon.
+	_, errOut, code = runCmd(t, "", "-url", "http://127.0.0.1:1", "-name", "x", "-set", "Music", "-n", "300", "-nq", "2")
+	if code != 1 {
 		t.Fatalf("exit %d, stderr: %s", code, errOut)
 	}
 }

@@ -8,6 +8,7 @@
 //	p2htool queries -data data.fvecs -nq 100 -seed 2 -out queries.fvecs
 //	p2htool build   -index bctree -spec '{"leaf_size":100}' -data data.fvecs -out index.p2h
 //	p2htool info    -load index.p2h
+//	p2htool inspect index.p2h
 //	p2htool search  -load index.p2h -queries queries.fvecs -k 10
 //	p2htool eval    -load index.p2h -data data.fvecs -queries queries.fvecs -k 10
 //
@@ -38,7 +39,7 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-const usage = `usage: p2htool <gen|queries|build|info|search|eval> [flags]
+const usage = `usage: p2htool <gen|queries|build|info|inspect|search|eval> [flags]
 Run 'p2htool <subcommand> -h' for the flags of each subcommand.`
 
 func run(args []string, stdout, stderr io.Writer) int {
@@ -56,6 +57,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		err = runBuild(args[1:], stdout, stderr)
 	case "info":
 		err = runInfo(args[1:], stdout, stderr)
+	case "inspect":
+		err = runInspect(args[1:], stdout, stderr)
 	case "search":
 		err = runSearch(args[1:], stdout, stderr)
 	case "eval":
@@ -211,6 +214,44 @@ func runInfo(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("info: %w", err)
 	}
 	fmt.Fprintf(stdout, "type=%s points=%d dim=%d index_bytes=%d\n", p2h.KindOf(ix), ix.N(), ix.Dim(), ix.IndexBytes())
+	return nil
+}
+
+// runInspect prints a container's header description — kind, recorded spec,
+// raw dimensionality and point count — without loading the index payload,
+// so it stays fast on multi-gigabyte files. Unlike info it never builds the
+// index (and reports the header of containers whose kind this build cannot
+// even load).
+func runInspect(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("inspect", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	path := fs.String("load", "", "index path (or pass it as the positional argument)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *path == "" && fs.NArg() == 1 {
+		*path = fs.Arg(0)
+	}
+	if *path == "" || fs.NArg() > 1 {
+		return fmt.Errorf("inspect: usage: p2htool inspect <file.p2h> (or -load <file.p2h>)")
+	}
+	info, err := p2h.InspectFile(*path)
+	if err != nil {
+		return fmt.Errorf("inspect: %w", err)
+	}
+	specJSON, err := json.Marshal(info.Spec)
+	if err != nil {
+		return fmt.Errorf("inspect: %w", err)
+	}
+	dim, points := "unknown", "unknown"
+	if info.Dim >= 0 {
+		dim = strconv.Itoa(info.Dim)
+	}
+	if info.N >= 0 {
+		points = strconv.Itoa(info.N)
+	}
+	fmt.Fprintf(stdout, "kind=%s dim=%s points=%s legacy=%v\nspec=%s\n",
+		info.Kind, dim, points, info.Legacy, specJSON)
 	return nil
 }
 

@@ -205,3 +205,38 @@ func TestEvalSubcommand(t *testing.T) {
 		t.Fatalf("exit %d", code)
 	}
 }
+
+func TestInspectSubcommand(t *testing.T) {
+	dir := t.TempDir()
+	data := filepath.Join(dir, "data.fvecs")
+	index := filepath.Join(dir, "ix.p2h")
+	runOK(t, "gen", "-set", "Sift", "-n", "400", "-seed", "1", "-out", data)
+	runOK(t, "build", "-index", "sharded", "-spec", `{"shards":3,"leaf_size":40}`, "-data", data, "-out", index)
+
+	// Positional form.
+	out := runOK(t, "inspect", index)
+	for _, want := range []string{
+		"kind=sharded", "dim=128", "points=400", "legacy=false",
+		`"kind":"sharded"`, `"shards":3`, `"leaf_size":40`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("inspect output missing %q:\n%s", want, out)
+		}
+	}
+	// -load form agrees.
+	if out2 := runOK(t, "inspect", "-load", index); out2 != out {
+		t.Fatalf("-load form differs:\n%s\nvs\n%s", out2, out)
+	}
+
+	// Errors: no path, extra args, not a container.
+	var o, e bytes.Buffer
+	if code := run([]string{"inspect"}, &o, &e); code != 1 {
+		t.Fatalf("inspect without a path: exit %d", code)
+	}
+	if code := run([]string{"inspect", index, "extra"}, &o, &e); code != 1 {
+		t.Fatalf("inspect with extra args: exit %d", code)
+	}
+	if code := run([]string{"inspect", data}, &o, &e); code != 1 {
+		t.Fatalf("inspect of a non-container: exit %d", code)
+	}
+}

@@ -60,7 +60,14 @@
 //	defer srv.Close()
 //	results, _ := srv.Search(q, p2h.SearchOptions{K: 10})
 //
+// Server.Snapshot persists the wrapped index atomically while serving, and
+// Server.Drain bounds shutdown with a context. The cmd/p2hd daemon exposes
+// named servers over an HTTP API (search, mutation, snapshots, hot reload,
+// Prometheus metrics); InspectFile describes a saved container — kind,
+// recorded Spec, dimensionality, point count — without loading its payload.
+//
 // The cmd/p2hbench tool regenerates every table and figure of the paper's
 // evaluation section, and cmd/p2hserve benchmarks the serving layer on a
-// query stream; see README.md, DESIGN.md and EXPERIMENTS.md.
+// query stream (in-process, or against a running p2hd with -url); see
+// README.md, DESIGN.md and EXPERIMENTS.md.
 package p2h

@@ -1,0 +1,129 @@
+// Service: stand up the p2hd HTTP layer in-process — two named indexes of
+// different kinds behind one handler — and drive it as a network client:
+// search an immutable BC-Tree, insert into a dynamic index and watch the
+// answer change, snapshot it atomically, hot-swap the index from its own
+// snapshot without dropping the service, and scrape the Prometheus metrics.
+// Everything here is exactly what `cmd/p2hd` does behind a config file.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+
+	p2h "p2h"
+	"p2h/internal/httpapi"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "p2h-service-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// A small synthetic data set, shared by both indexes.
+	data := p2h.Dedup(p2h.GenerateDataset("Music", 5000, 1))
+	dataPath := filepath.Join(dir, "data.fvecs")
+	if err := p2h.SaveFvecs(dataPath, data); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("data: %d points, %d dimensions\n", data.N, data.D)
+
+	// The manager holds named serving engines; the handler exposes them.
+	// cmd/p2hd wires the same two calls behind flags and a config file.
+	mgr := httpapi.NewManager(p2h.ServerOptions{Workers: 4}, 0)
+	mustLoad(mgr, "trees", httpapi.IndexConfig{
+		Spec: &p2h.Spec{Kind: p2h.KindBCTree, LeafSize: 100, Seed: 1}, Data: dataPath,
+	})
+	mustLoad(mgr, "live", httpapi.IndexConfig{
+		Spec: &p2h.Spec{Kind: p2h.KindDynamic, LeafSize: 100, Seed: 1}, Data: dataPath,
+	})
+	ts := httptest.NewServer(httpapi.NewHandler(mgr))
+	defer ts.Close()
+	fmt.Printf("serving 2 indexes at %s\n\n", ts.URL)
+
+	// A hyperplane query against the immutable index.
+	queries := p2h.GenerateQueries(data, 1, 2)
+	q := queries.Row(0)
+	var sr httpapi.SearchResponse
+	post(ts.URL+"/v1/indexes/trees/search", httpapi.SearchRequest{
+		Query: q, SearchOptionsJSON: httpapi.SearchOptionsJSON{K: 3},
+	}, &sr)
+	fmt.Printf("trees top-3: %v (candidates: %d)\n", sr.Results, sr.Stats.Candidates)
+
+	// Mutate the dynamic index over HTTP: a point sitting exactly on a
+	// crafted hyperplane becomes the new nearest neighbor.
+	p := make([]float32, data.D)
+	p[0] = 123
+	var ins httpapi.InsertResponse
+	post(ts.URL+"/v1/indexes/live/insert", httpapi.InsertRequest{Point: p}, &ins)
+	target := make([]float32, data.D+1)
+	target[0], target[data.D] = 1, -123 // hyperplane x0 = 123
+	post(ts.URL+"/v1/indexes/live/search", httpapi.SearchRequest{
+		Query: target, SearchOptionsJSON: httpapi.SearchOptionsJSON{K: 1},
+	}, &sr)
+	fmt.Printf("live after insert: handle %d found at distance %.3f\n", ins.Handle, sr.Results[0].Dist)
+
+	// Snapshot atomically, then hot-swap the serving index from the
+	// snapshot — the name keeps serving throughout.
+	snapPath := filepath.Join(dir, "live.p2h")
+	var snap httpapi.SnapshotResponse
+	post(ts.URL+"/v1/indexes/live/snapshot", httpapi.SnapshotRequest{Path: snapPath}, &snap)
+	fmt.Printf("snapshot: %d bytes -> %s\n", snap.Bytes, filepath.Base(snap.Path))
+	var reloaded httpapi.IndexInfoResponse
+	post(ts.URL+"/v1/indexes/live", httpapi.LoadRequest{
+		IndexConfig: httpapi.IndexConfig{Path: snapPath}, Replace: true,
+	}, &reloaded)
+	fmt.Printf("hot-swapped %q from its snapshot: %d points\n", reloaded.Name, reloaded.N)
+
+	// The engines' counters surface as Prometheus metrics.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		log.Fatal(err)
+	}
+	for _, line := range bytes.Split(buf.Bytes(), []byte("\n")) {
+		if bytes.HasPrefix(line, []byte("p2hd_index_queries_total")) {
+			fmt.Printf("metrics: %s\n", line)
+		}
+	}
+}
+
+func mustLoad(mgr *httpapi.Manager, name string, cfg httpapi.IndexConfig) {
+	if _, _, err := mgr.Load(name, cfg, false); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// post sends one JSON request and decodes the reply, failing on any error.
+func post(url string, body, out any) {
+	b, err := json.Marshal(body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("%s: HTTP %d: %s", url, resp.StatusCode, buf.String())
+	}
+	if err := json.Unmarshal(buf.Bytes(), out); err != nil {
+		log.Fatal(err)
+	}
+}

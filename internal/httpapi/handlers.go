@@ -1,0 +1,386 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	p2h "p2h"
+	"p2h/internal/core"
+)
+
+// maxBodyBytes bounds any request body; a batch of 100k Glove-sized queries
+// fits comfortably, a runaway upload does not.
+const maxBodyBytes = 64 << 20
+
+// batchFanout bounds the goroutines submitting one HTTP batch into the
+// serving engine. The engine micro-batches whatever is concurrently
+// submitted, so this only needs to exceed a worker pool's appetite, not the
+// batch size.
+const batchFanout = 64
+
+// API serves the p2hd HTTP surface over a Manager.
+type API struct {
+	m       *Manager
+	metrics *metrics
+	started time.Time
+}
+
+// NewHandler builds the daemon's HTTP handler over m:
+//
+//	GET    /healthz                           liveness + index count
+//	GET    /metrics                           Prometheus text format
+//	GET    /v1/indexes                        list indexes
+//	GET    /v1/indexes/{name}                 one index's info + stats
+//	POST   /v1/indexes/{name}                 hot-load (or, with replace, hot-swap) an index
+//	DELETE /v1/indexes/{name}                 unload an index
+//	POST   /v1/indexes/{name}/search          one query
+//	POST   /v1/indexes/{name}/search_batch    many queries, shared options
+//	POST   /v1/indexes/{name}/insert          add a point (mutable indexes)
+//	DELETE /v1/indexes/{name}/points/{handle} delete a point (mutable indexes)
+//	POST   /v1/indexes/{name}/snapshot        persist atomically to a server-side path
+//
+// Every response is JSON except /metrics; errors use the ErrorResponse
+// envelope with a stable machine-readable code.
+func NewHandler(m *Manager) http.Handler {
+	a := &API{m: m, metrics: newMetrics(), started: time.Now()}
+	mux := http.NewServeMux()
+	route := func(pattern, endpoint string, h func(http.ResponseWriter, *http.Request)) {
+		// Resolving the endpoint here pre-registers it (the scrape lists it
+		// from the start) and keeps the registry mutex off the request path.
+		mux.HandleFunc(pattern, instrument(a.metrics.endpoint(endpoint), h))
+	}
+	route("GET /healthz", "healthz", a.handleHealthz)
+	route("GET /metrics", "metrics", a.handleMetrics)
+	route("GET /v1/indexes", "list", a.handleList)
+	route("GET /v1/indexes/{name}", "info", a.handleInfo)
+	route("POST /v1/indexes/{name}", "load", a.handleLoad)
+	route("DELETE /v1/indexes/{name}", "unload", a.handleUnload)
+	route("POST /v1/indexes/{name}/search", "search", a.handleSearch)
+	route("POST /v1/indexes/{name}/search_batch", "search_batch", a.handleSearchBatch)
+	route("POST /v1/indexes/{name}/insert", "insert", a.handleInsert)
+	route("DELETE /v1/indexes/{name}/points/{handle}", "delete_point", a.handleDeletePoint)
+	route("POST /v1/indexes/{name}/snapshot", "snapshot", a.handleSnapshot)
+	return mux
+}
+
+// statusRecorder captures the status code a handler writes.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with its endpoint's request counter and
+// latency histogram.
+func instrument(em *endpointMetrics, h func(http.ResponseWriter, *http.Request)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		h(rec, r)
+		em.record(rec.status, time.Since(start))
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+// errorStatus maps an error onto an HTTP status and a stable wire code.
+func errorStatus(err error) (int, string) {
+	switch {
+	case errors.Is(err, ErrIndexNotFound):
+		return http.StatusNotFound, "index_not_found"
+	case errors.Is(err, ErrIndexExists):
+		return http.StatusConflict, "index_exists"
+	case errors.Is(err, p2h.ErrImmutable):
+		return http.StatusMethodNotAllowed, "immutable"
+	case errors.Is(err, p2h.ErrUnknownKind):
+		return http.StatusBadRequest, "unknown_kind"
+	case errors.Is(err, core.ErrDimMismatch):
+		return http.StatusBadRequest, "dim_mismatch"
+	case errors.Is(err, core.ErrZeroNormal):
+		return http.StatusBadRequest, "zero_normal"
+	case errors.Is(err, p2h.ErrFormat):
+		return http.StatusBadRequest, "bad_container"
+	case errors.Is(err, errBodyTooLarge):
+		return http.StatusRequestEntityTooLarge, "body_too_large"
+	case errors.Is(err, ErrBadName), errors.Is(err, ErrBadConfig), errors.Is(err, errBadRequest):
+		return http.StatusBadRequest, "bad_request"
+	case errors.Is(err, fs.ErrNotExist):
+		return http.StatusBadRequest, "file_not_found"
+	case errors.Is(err, ErrManagerClosed):
+		return http.StatusServiceUnavailable, "shutting_down"
+	default:
+		return http.StatusInternalServerError, "internal"
+	}
+}
+
+func (a *API) fail(w http.ResponseWriter, err error) {
+	status, code := errorStatus(err)
+	writeJSON(w, status, ErrorResponse{Error: err.Error(), Code: code})
+}
+
+// decodeBody strictly decodes one JSON document into v. An over-limit body
+// surfaces as its own error so clients can tell "shrink the batch" (413)
+// from "malformed JSON" (400).
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return fmt.Errorf("%w: body exceeds %d bytes", errBodyTooLarge, tooBig.Limit)
+		}
+		return fmt.Errorf("%w: decoding body: %v", errBadRequest, err)
+	}
+	return nil
+}
+
+func (a *API) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:        "ok",
+		Indexes:       a.m.Len(),
+		UptimeSeconds: int64(time.Since(a.started).Seconds()),
+	})
+}
+
+func (a *API) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var b strings.Builder
+	a.metrics.render(&b, a.m.List())
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write([]byte(b.String()))
+}
+
+func (a *API) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, ListResponse{Indexes: a.m.List()})
+}
+
+func (a *API) handleInfo(w http.ResponseWriter, r *http.Request) {
+	info, err := a.m.Get(r.PathValue("name"))
+	if err != nil {
+		a.fail(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (a *API) handleLoad(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req LoadRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		a.fail(w, err)
+		return
+	}
+	info, replaced, err := a.m.Load(name, req.IndexConfig, req.Replace)
+	if err != nil {
+		a.fail(w, err)
+		return
+	}
+	status := http.StatusCreated
+	if replaced {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, info)
+}
+
+func (a *API) handleUnload(w http.ResponseWriter, r *http.Request) {
+	drained, err := a.m.Unload(r.PathValue("name"))
+	if err != nil {
+		a.fail(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, UnloadResponse{Unloaded: true, Drained: drained})
+}
+
+func (a *API) handleSearch(w http.ResponseWriter, r *http.Request) {
+	e, err := a.m.acquire(r.PathValue("name"))
+	if err != nil {
+		a.fail(w, err)
+		return
+	}
+	defer e.release()
+	var req SearchRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		a.fail(w, err)
+		return
+	}
+	q, err := req.query(e.dim)
+	if err != nil {
+		a.fail(w, err)
+		return
+	}
+	opts, err := req.toOptions()
+	if err != nil {
+		a.fail(w, err)
+		return
+	}
+	res, stats := e.srv.Search(q, opts)
+	writeJSON(w, http.StatusOK, SearchResponse{Results: toResultsJSON(res), Stats: toStatsJSON(stats)})
+}
+
+func (a *API) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
+	e, err := a.m.acquire(r.PathValue("name"))
+	if err != nil {
+		a.fail(w, err)
+		return
+	}
+	defer e.release()
+	var req BatchSearchRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		a.fail(w, err)
+		return
+	}
+	if len(req.Queries) == 0 {
+		a.fail(w, fmt.Errorf("%w: empty \"queries\"", errBadRequest))
+		return
+	}
+	opts, err := req.toOptions()
+	if err != nil {
+		a.fail(w, err)
+		return
+	}
+	// Validate everything before submitting anything, so a bad row cannot
+	// leave the batch half-executed.
+	for i, q := range req.Queries {
+		if _, err := core.CheckQuery(q, e.dim); err != nil {
+			a.fail(w, fmt.Errorf("query %d: %w", i, err))
+			return
+		}
+	}
+
+	// Submit the whole batch concurrently: the serving engine's dispatcher
+	// coalesces concurrent submissions into micro-batches and runs them
+	// through the index's zero-allocation batched traversal, so the fan-out
+	// here is what engages the shared-arena path.
+	results := make([][]core.Result, len(req.Queries))
+	stats := make([]core.Stats, len(req.Queries))
+	workers := batchFanout
+	if workers > len(req.Queries) {
+		workers = len(req.Queries)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for wkr := 0; wkr < workers; wkr++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(req.Queries) {
+					return
+				}
+				results[i], stats[i] = e.srv.Search(req.Queries[i], opts)
+			}
+		}()
+	}
+	wg.Wait()
+
+	resp := BatchSearchResponse{Results: make([][]ResultJSON, len(results))}
+	var agg core.Stats
+	for i, res := range results {
+		resp.Results[i] = toResultsJSON(res)
+		agg.Add(stats[i])
+	}
+	resp.Stats = toStatsJSON(agg)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (a *API) handleInsert(w http.ResponseWriter, r *http.Request) {
+	e, err := a.m.acquire(r.PathValue("name"))
+	if err != nil {
+		a.fail(w, err)
+		return
+	}
+	defer e.release()
+	var req InsertRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		a.fail(w, err)
+		return
+	}
+	if len(req.Point) != e.dim {
+		a.fail(w, fmt.Errorf("%w: point has dimension %d, index needs %d",
+			core.ErrDimMismatch, len(req.Point), e.dim))
+		return
+	}
+	h, err := e.srv.Insert(req.Point)
+	if err != nil {
+		a.fail(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, InsertResponse{Handle: h})
+}
+
+func (a *API) handleDeletePoint(w http.ResponseWriter, r *http.Request) {
+	e, err := a.m.acquire(r.PathValue("name"))
+	if err != nil {
+		a.fail(w, err)
+		return
+	}
+	defer e.release()
+	h64, err := strconv.ParseInt(r.PathValue("handle"), 10, 32)
+	if err != nil {
+		a.fail(w, fmt.Errorf("%w: bad handle %q", errBadRequest, r.PathValue("handle")))
+		return
+	}
+	ok, err := e.srv.Delete(int32(h64))
+	if err != nil {
+		a.fail(w, err)
+		return
+	}
+	if !ok {
+		writeJSON(w, http.StatusNotFound, ErrorResponse{
+			Error: fmt.Sprintf("handle %d is not live", h64), Code: "handle_not_found",
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, DeleteResponse{Deleted: true, Handle: int32(h64)})
+}
+
+func (a *API) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	e, err := a.m.acquire(r.PathValue("name"))
+	if err != nil {
+		a.fail(w, err)
+		return
+	}
+	defer e.release()
+	var req SnapshotRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		a.fail(w, err)
+		return
+	}
+	if req.Path == "" {
+		a.fail(w, fmt.Errorf("%w: missing \"path\"", errBadRequest))
+		return
+	}
+	// A build-only kind cannot snapshot by design; report it as the
+	// client-side condition it is, not a daemon fault.
+	if persistable, buildOnly, err := p2h.KindIsPersistable(e.kind); err == nil && !persistable {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{
+			Error: fmt.Sprintf("index kind %q is build-only: %s", e.kind, buildOnly),
+			Code:  "not_persistable",
+		})
+		return
+	}
+	n, err := e.srv.Snapshot(req.Path)
+	if err != nil {
+		a.fail(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, SnapshotResponse{Path: req.Path, Bytes: n})
+}

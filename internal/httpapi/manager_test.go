@@ -1,0 +1,224 @@
+package httpapi
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"testing"
+	"time"
+
+	p2h "p2h"
+)
+
+func managerFixture(t *testing.T) (*Manager, string) {
+	t.Helper()
+	dir := t.TempDir()
+	data := testMatrix(200, 6, 1)
+	dataPath := filepath.Join(dir, "data.fvecs")
+	if err := p2h.SaveFvecs(dataPath, data); err != nil {
+		t.Fatal(err)
+	}
+	return NewManager(p2h.ServerOptions{Workers: 2}, time.Second), dataPath
+}
+
+func TestManagerLoadGetUnload(t *testing.T) {
+	m, dataPath := managerFixture(t)
+	defer m.Close(context.Background())
+	_, replaced, err := m.Load("a", IndexConfig{Spec: &p2h.Spec{Kind: p2h.KindBCTree}, Data: dataPath}, false)
+	if err != nil || replaced {
+		t.Fatalf("Load: %v %v", replaced, err)
+	}
+	info, err := m.Get("a")
+	if err != nil || info.Kind != p2h.KindBCTree || info.N != 200 || info.Dim != 6 {
+		t.Fatalf("Get: %+v %v", info, err)
+	}
+	if m.Len() != 1 || len(m.List()) != 1 {
+		t.Fatalf("Len/List: %d %v", m.Len(), m.List())
+	}
+	drained, err := m.Unload("a")
+	if err != nil || !drained {
+		t.Fatalf("Unload: %v %v", drained, err)
+	}
+	if _, err := m.Get("a"); !errors.Is(err, ErrIndexNotFound) {
+		t.Fatalf("Get after unload: %v", err)
+	}
+	if _, err := m.Unload("a"); !errors.Is(err, ErrIndexNotFound) {
+		t.Fatalf("double Unload: %v", err)
+	}
+}
+
+func TestManagerReplaceSemantics(t *testing.T) {
+	m, dataPath := managerFixture(t)
+	defer m.Close(context.Background())
+	if _, _, err := m.Load("a", IndexConfig{Spec: &p2h.Spec{Kind: p2h.KindBCTree}, Data: dataPath}, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.Load("a", IndexConfig{Spec: &p2h.Spec{Kind: p2h.KindBallTree}, Data: dataPath}, false); !errors.Is(err, ErrIndexExists) {
+		t.Fatalf("collision: %v", err)
+	}
+	loadInfo, replaced, err := m.Load("a", IndexConfig{Spec: &p2h.Spec{Kind: p2h.KindBallTree}, Data: dataPath}, true)
+	if err != nil || !replaced {
+		t.Fatalf("replace: %v %v", replaced, err)
+	}
+	// Load reports the index it installed, not a later table lookup.
+	if loadInfo.Kind != p2h.KindBallTree || loadInfo.Name != "a" || loadInfo.N != 200 {
+		t.Fatalf("Load info: %+v", loadInfo)
+	}
+	info, err := m.Get("a")
+	if err != nil || info.Kind != p2h.KindBallTree {
+		t.Fatalf("after replace: %+v %v", info, err)
+	}
+}
+
+func TestManagerBadNames(t *testing.T) {
+	m, dataPath := managerFixture(t)
+	defer m.Close(context.Background())
+	for _, name := range []string{"", "a/b", "a b", "héllo", string(make([]byte, 80))} {
+		if _, _, err := m.Load(name, IndexConfig{Spec: &p2h.Spec{Kind: p2h.KindBCTree}, Data: dataPath}, false); !errors.Is(err, ErrBadName) {
+			t.Errorf("name %q: err %v, want ErrBadName", name, err)
+		}
+	}
+}
+
+// TestManagerUnloadWaitsForHolders: an unload cannot close an engine out
+// from under a handler still holding the entry; the drain completes once the
+// reference is released.
+func TestManagerUnloadWaitsForHolders(t *testing.T) {
+	m, dataPath := managerFixture(t)
+	defer m.Close(context.Background())
+	if _, _, err := m.Load("a", IndexConfig{Spec: &p2h.Spec{Kind: p2h.KindBCTree}, Data: dataPath}, false); err != nil {
+		t.Fatal(err)
+	}
+	e, err := m.acquire("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	unloaded := make(chan bool, 1)
+	go func() {
+		drained, err := m.Unload("a")
+		if err != nil {
+			t.Error(err)
+		}
+		unloaded <- drained
+	}()
+	// While the reference is held, the entry is already invisible...
+	deadline := time.After(2 * time.Second)
+	for m.Len() != 0 {
+		select {
+		case <-deadline:
+			t.Fatal("unload did not remove the entry")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	// ...and the engine still serves the holder.
+	q := make([]float32, 7)
+	q[0] = 1
+	if res, _ := e.srv.Search(q, p2h.SearchOptions{K: 1}); len(res) != 1 {
+		t.Fatalf("held engine refused to serve: %v", res)
+	}
+	e.release()
+	if drained := <-unloaded; !drained {
+		t.Fatal("unload reported an abandoned engine despite a prompt release")
+	}
+}
+
+// TestManagerUnloadTimesOutOnStuckHolder: a holder that never releases
+// within the drain timeout yields drained=false instead of a hang.
+func TestManagerUnloadTimesOutOnStuckHolder(t *testing.T) {
+	dir := t.TempDir()
+	data := testMatrix(100, 5, 2)
+	dataPath := filepath.Join(dir, "data.fvecs")
+	if err := p2h.SaveFvecs(dataPath, data); err != nil {
+		t.Fatal(err)
+	}
+	m := NewManager(p2h.ServerOptions{Workers: 1}, 50*time.Millisecond)
+	if _, _, err := m.Load("a", IndexConfig{Spec: &p2h.Spec{Kind: p2h.KindBCTree}, Data: dataPath}, false); err != nil {
+		t.Fatal(err)
+	}
+	e, err := m.acquire("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	drained, err := m.Unload("a")
+	if err != nil || drained {
+		t.Fatalf("Unload with stuck holder: drained=%v err=%v", drained, err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("Unload blocked far past the drain timeout")
+	}
+	e.release() // the abandoned engine closes in the background
+}
+
+func TestManagerClosedRejectsUse(t *testing.T) {
+	m, dataPath := managerFixture(t)
+	if err := m.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(context.Background()); err != nil {
+		t.Fatalf("double Close: %v", err)
+	}
+	if _, _, err := m.Load("a", IndexConfig{Spec: &p2h.Spec{Kind: p2h.KindBCTree}, Data: dataPath}, false); !errors.Is(err, ErrManagerClosed) {
+		t.Fatalf("Load after Close: %v", err)
+	}
+	if _, err := m.acquire("a"); !errors.Is(err, ErrManagerClosed) {
+		t.Fatalf("acquire after Close: %v", err)
+	}
+}
+
+// TestManagerInfoRacesMutation races the info/list/metrics read path (which
+// probes a mutable index's size and footprint) against Insert/Delete
+// traffic; run under -race it pins that Describe reads under the mutation
+// lock rather than touching the bare index.
+func TestManagerInfoRacesMutation(t *testing.T) {
+	dir := t.TempDir()
+	data := testMatrix(150, 5, 3)
+	dataPath := filepath.Join(dir, "data.fvecs")
+	if err := p2h.SaveFvecs(dataPath, data); err != nil {
+		t.Fatal(err)
+	}
+	m := NewManager(p2h.ServerOptions{Workers: 2}, time.Second)
+	defer m.Close(context.Background())
+	if _, _, err := m.Load("dyn", IndexConfig{
+		// A small rebuild fraction so the mutation stream triggers tree
+		// swaps, the state info() used to read unsynchronized.
+		Spec: &p2h.Spec{Kind: p2h.KindDynamic, LeafSize: 16, RebuildFraction: 0.05}, Data: dataPath,
+	}, false); err != nil {
+		t.Fatal(err)
+	}
+	e, err := m.acquire("dyn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.release()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		p := make([]float32, 5)
+		for i := 0; i < 150; i++ {
+			p[0] = float32(i)
+			h, err := e.srv.Insert(p)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if i%2 == 0 {
+				if _, err := e.srv.Delete(h); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		if infos := m.List(); len(infos) != 1 || infos[0].N < 150 {
+			t.Fatalf("list mid-mutation: %+v", infos)
+		}
+		if _, err := m.Get("dyn"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	<-done
+}

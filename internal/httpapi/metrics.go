@@ -1,0 +1,188 @@
+package httpapi
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Prometheus text-format metrics, stdlib only: per-endpoint request counters
+// by status code, per-endpoint latency histograms with fixed buckets, and
+// per-index gauges/counters read live from the serving engines at scrape
+// time (the engines already count; the scrape just renders their snapshot).
+
+// latencyBuckets are the histogram upper bounds in seconds, spanning
+// cache-hit microseconds to stuck-second outliers.
+const numLatencyBuckets = 16
+
+var latencyBuckets = [numLatencyBuckets]float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// histogram is a fixed-bucket latency histogram safe for concurrent use.
+// counts[i] covers observations <= latencyBuckets[i]; the +Inf bucket is
+// implicit in total.
+type histogram struct {
+	counts [numLatencyBuckets]atomic.Int64
+	total  atomic.Int64
+	sumNS  atomic.Int64
+}
+
+func (h *histogram) observe(d time.Duration) {
+	s := d.Seconds()
+	for i, ub := range latencyBuckets {
+		if s <= ub {
+			h.counts[i].Add(1)
+			break
+		}
+	}
+	h.total.Add(1)
+	h.sumNS.Add(int64(d))
+}
+
+// endpointMetrics tracks one logical endpoint (route pattern, not URL).
+type endpointMetrics struct {
+	mu      sync.Mutex
+	byCode  map[int]*atomic.Int64
+	latency histogram
+}
+
+func (em *endpointMetrics) code(status int) *atomic.Int64 {
+	em.mu.Lock()
+	defer em.mu.Unlock()
+	c := em.byCode[status]
+	if c == nil {
+		c = &atomic.Int64{}
+		em.byCode[status] = c
+	}
+	return c
+}
+
+// metrics is the daemon-wide registry. Endpoints are registered up front by
+// the router, so the scrape path only reads.
+type metrics struct {
+	mu        sync.Mutex
+	endpoints map[string]*endpointMetrics
+}
+
+func newMetrics() *metrics {
+	return &metrics{endpoints: make(map[string]*endpointMetrics)}
+}
+
+func (m *metrics) endpoint(name string) *endpointMetrics {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	em := m.endpoints[name]
+	if em == nil {
+		em = &endpointMetrics{byCode: make(map[int]*atomic.Int64)}
+		m.endpoints[name] = em
+	}
+	return em
+}
+
+// record counts one finished request on a pre-resolved endpoint. The router
+// resolves the *endpointMetrics once at registration, so the request path
+// touches only the endpoint's own state (a short mutex for the code counter
+// plus atomics), never the registry mutex.
+func (em *endpointMetrics) record(status int, d time.Duration) {
+	em.code(status).Add(1)
+	em.latency.observe(d)
+}
+
+// render writes the whole exposition: HTTP metrics from the registry plus
+// per-index engine counters from the manager's live snapshot. Output is
+// deterministic (sorted label values) so tests and diffs stay stable.
+func (m *metrics) render(w *strings.Builder, indexes []IndexInfoResponse) {
+	m.mu.Lock()
+	names := make([]string, 0, len(m.endpoints))
+	for name := range m.endpoints {
+		names = append(names, name)
+	}
+	ems := make(map[string]*endpointMetrics, len(m.endpoints))
+	for name, em := range m.endpoints {
+		ems[name] = em
+	}
+	m.mu.Unlock()
+	sort.Strings(names)
+
+	w.WriteString("# HELP p2hd_http_requests_total HTTP requests served, by endpoint and status code.\n")
+	w.WriteString("# TYPE p2hd_http_requests_total counter\n")
+	for _, name := range names {
+		em := ems[name]
+		em.mu.Lock()
+		codes := make([]int, 0, len(em.byCode))
+		for code := range em.byCode {
+			codes = append(codes, code)
+		}
+		sort.Ints(codes)
+		for _, code := range codes {
+			fmt.Fprintf(w, "p2hd_http_requests_total{endpoint=%q,code=\"%d\"} %d\n",
+				name, code, em.byCode[code].Load())
+		}
+		em.mu.Unlock()
+	}
+
+	w.WriteString("# HELP p2hd_http_request_duration_seconds HTTP request latency, by endpoint.\n")
+	w.WriteString("# TYPE p2hd_http_request_duration_seconds histogram\n")
+	for _, name := range names {
+		h := &ems[name].latency
+		var cum int64
+		for i, ub := range latencyBuckets {
+			cum += h.counts[i].Load()
+			fmt.Fprintf(w, "p2hd_http_request_duration_seconds_bucket{endpoint=%q,le=%q} %d\n",
+				name, formatBucket(ub), cum)
+		}
+		total := h.total.Load()
+		fmt.Fprintf(w, "p2hd_http_request_duration_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", name, total)
+		fmt.Fprintf(w, "p2hd_http_request_duration_seconds_sum{endpoint=%q} %g\n",
+			name, time.Duration(h.sumNS.Load()).Seconds())
+		fmt.Fprintf(w, "p2hd_http_request_duration_seconds_count{endpoint=%q} %d\n", name, total)
+	}
+
+	renderIndexMetrics(w, indexes)
+}
+
+// formatBucket renders a bucket bound the way Prometheus clients expect
+// (shortest decimal form, no exponent for these magnitudes).
+func formatBucket(ub float64) string {
+	return strconv.FormatFloat(ub, 'g', -1, 64)
+}
+
+// indexCounter describes one per-index series derived from the engine stats.
+var indexCounters = []struct {
+	name, help, typ string
+	value           func(IndexInfoResponse) int64
+}{
+	{"p2hd_index_queries_total", "Searches served, by index.", "counter",
+		func(i IndexInfoResponse) int64 { return i.Stats.Queries }},
+	{"p2hd_index_batches_total", "Micro-batches dispatched by the serving engine, by index.", "counter",
+		func(i IndexInfoResponse) int64 { return i.Stats.Batches }},
+	{"p2hd_index_cache_hits_total", "Searches answered from the result cache, by index.", "counter",
+		func(i IndexInfoResponse) int64 { return i.Stats.CacheHits }},
+	{"p2hd_index_cache_misses_total", "Cacheable searches that ran the index, by index.", "counter",
+		func(i IndexInfoResponse) int64 { return i.Stats.CacheMisses }},
+	{"p2hd_index_inserts_total", "Successful inserts, by index.", "counter",
+		func(i IndexInfoResponse) int64 { return i.Stats.Inserts }},
+	{"p2hd_index_deletes_total", "Deletes of live handles, by index.", "counter",
+		func(i IndexInfoResponse) int64 { return i.Stats.Deletes }},
+	{"p2hd_index_mutation_epoch", "Mutation epoch (0 until the first mutation), by index.", "gauge",
+		func(i IndexInfoResponse) int64 { return int64(i.Stats.Epoch) }},
+	{"p2hd_index_points", "Indexed (live) points, by index.", "gauge",
+		func(i IndexInfoResponse) int64 { return int64(i.N) }},
+	{"p2hd_index_bytes", "Index structure memory footprint, by index.", "gauge",
+		func(i IndexInfoResponse) int64 { return i.IndexBytes }},
+}
+
+func renderIndexMetrics(w *strings.Builder, indexes []IndexInfoResponse) {
+	for _, c := range indexCounters {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", c.name, c.help, c.name, c.typ)
+		for _, ix := range indexes {
+			fmt.Fprintf(w, "%s{index=%q,kind=%q} %d\n", c.name, ix.Name, ix.Kind, c.value(ix))
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package httpapi
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	var h histogram
+	h.observe(50 * time.Microsecond)  // <= 0.0001
+	h.observe(300 * time.Microsecond) // <= 0.0005
+	h.observe(30 * time.Second)       // only +Inf
+	if h.total.Load() != 3 {
+		t.Fatalf("total %d", h.total.Load())
+	}
+	if h.counts[0].Load() != 1 {
+		t.Fatalf("first bucket %d", h.counts[0].Load())
+	}
+	var bucketed int64
+	for i := range h.counts {
+		bucketed += h.counts[i].Load()
+	}
+	if bucketed != 2 {
+		t.Fatalf("bucketed %d, want 2 (one observation beyond the last bound)", bucketed)
+	}
+	wantSum := (50*time.Microsecond + 300*time.Microsecond + 30*time.Second)
+	if h.sumNS.Load() != int64(wantSum) {
+		t.Fatalf("sum %d, want %d", h.sumNS.Load(), int64(wantSum))
+	}
+}
+
+func TestMetricsRenderShape(t *testing.T) {
+	m := newMetrics()
+	m.endpoint("search") // pre-registered, no traffic: histogram renders zeroed
+	m.endpoint("insert").record(200, 2*time.Millisecond)
+	m.endpoint("insert").record(405, 100*time.Microsecond)
+
+	var b strings.Builder
+	m.render(&b, []IndexInfoResponse{{
+		Name: "a", Kind: "bctree", N: 42, IndexBytes: 1000,
+		Stats: ServerStatsJSON{Queries: 7, CacheHits: 3},
+	}})
+	text := b.String()
+	for _, want := range []string{
+		`p2hd_http_requests_total{endpoint="insert",code="200"} 1`,
+		`p2hd_http_requests_total{endpoint="insert",code="405"} 1`,
+		`p2hd_http_request_duration_seconds_bucket{endpoint="insert",le="0.0025"} 2`,
+		`p2hd_http_request_duration_seconds_bucket{endpoint="insert",le="+Inf"} 2`,
+		`p2hd_http_request_duration_seconds_count{endpoint="insert"} 2`,
+		`p2hd_http_request_duration_seconds_count{endpoint="search"} 0`,
+		`p2hd_index_queries_total{index="a",kind="bctree"} 7`,
+		`p2hd_index_cache_hits_total{index="a",kind="bctree"} 3`,
+		`p2hd_index_points{index="a",kind="bctree"} 42`,
+		`p2hd_index_bytes{index="a",kind="bctree"} 1000`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("missing %q\n%s", want, text)
+		}
+	}
+	// Buckets are cumulative: the 100µs observation is already counted at
+	// every wider bound.
+	if !strings.Contains(text, `p2hd_http_request_duration_seconds_bucket{endpoint="insert",le="0.00025"} 1`) {
+		t.Errorf("bucket counts not cumulative:\n%s", text)
+	}
+}

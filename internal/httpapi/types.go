@@ -1,0 +1,248 @@
+package httpapi
+
+import (
+	"fmt"
+
+	p2h "p2h"
+	"p2h/internal/core"
+)
+
+// The JSON wire types of the p2hd HTTP API. Every request body is a single
+// JSON document; every response is either the documented success shape or an
+// ErrorResponse. Field names are snake_case; zero-valued optional fields are
+// omitted.
+
+// SearchOptionsJSON is the query-tuning surface shared by search and
+// search_batch requests: the fields of p2h.SearchOptions that survive a
+// network boundary (Filter is an arbitrary function and Profile a live
+// pointer; neither has a wire form).
+type SearchOptionsJSON struct {
+	// K is the number of neighbors to return (zero: 1).
+	K int `json:"k,omitempty"`
+	// Budget caps candidate verifications (zero or negative: exact).
+	Budget int `json:"budget,omitempty"`
+	// Preference is "center" (default) or "lower-bound".
+	Preference string `json:"preference,omitempty"`
+	// The BC-Tree ablation switches, mirroring p2h.SearchOptions.
+	DisablePointBall bool `json:"disable_point_ball,omitempty"`
+	DisablePointCone bool `json:"disable_point_cone,omitempty"`
+	DisableCollabIP  bool `json:"disable_collab_ip,omitempty"`
+}
+
+// toOptions validates and converts the wire options.
+func (o SearchOptionsJSON) toOptions() (core.SearchOptions, error) {
+	opts := core.SearchOptions{
+		K:                o.K,
+		Budget:           o.Budget,
+		DisablePointBall: o.DisablePointBall,
+		DisablePointCone: o.DisablePointCone,
+		DisableCollabIP:  o.DisableCollabIP,
+	}
+	switch o.Preference {
+	case "", "center":
+		opts.Preference = core.PrefCenter
+	case "lower-bound", "lower_bound":
+		opts.Preference = core.PrefLowerBound
+	default:
+		return opts, fmt.Errorf("%w: unknown preference %q (want \"center\" or \"lower-bound\")",
+			errBadRequest, o.Preference)
+	}
+	if o.K < 0 {
+		return opts, fmt.Errorf("%w: negative k %d", errBadRequest, o.K)
+	}
+	return opts, nil
+}
+
+// SearchRequest asks one top-k hyperplane query. The hyperplane arrives
+// either as the full query vector (normal components then offset, dim+1
+// values) or as a separate normal and offset; exactly one form must be set.
+type SearchRequest struct {
+	Query  []float32 `json:"query,omitempty"`
+	Normal []float32 `json:"normal,omitempty"`
+	Offset float64   `json:"offset,omitempty"`
+	SearchOptionsJSON
+}
+
+// query assembles and validates the hyperplane against the index's raw
+// dimensionality dim.
+func (r *SearchRequest) query(dim int) ([]float32, error) {
+	return assembleQuery(r.Query, r.Normal, r.Offset, dim)
+}
+
+func assembleQuery(query, normal []float32, offset float64, dim int) ([]float32, error) {
+	var q []float32
+	switch {
+	case query != nil && normal != nil:
+		return nil, fmt.Errorf("%w: \"query\" and \"normal\" are mutually exclusive", errBadRequest)
+	case query != nil:
+		q = query
+	case normal != nil:
+		q = make([]float32, len(normal)+1)
+		copy(q, normal)
+		q[len(normal)] = float32(offset)
+	default:
+		return nil, fmt.Errorf("%w: missing \"query\" (or \"normal\"+\"offset\")", errBadRequest)
+	}
+	if _, err := core.CheckQuery(q, dim); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// ResultJSON is one search answer.
+type ResultJSON struct {
+	ID   int32   `json:"id"`
+	Dist float64 `json:"dist"`
+}
+
+// StatsJSON is the wire form of core.Stats.
+type StatsJSON struct {
+	IPCount       int64 `json:"ip_count"`
+	Candidates    int64 `json:"candidates"`
+	NodesVisited  int64 `json:"nodes_visited"`
+	LeavesVisited int64 `json:"leaves_visited"`
+	PrunedNodes   int64 `json:"pruned_nodes"`
+	PrunedPoints  int64 `json:"pruned_points"`
+	BucketProbes  int64 `json:"bucket_probes"`
+	CollabIPs     int64 `json:"collab_ips"`
+}
+
+func toStatsJSON(s core.Stats) StatsJSON {
+	return StatsJSON{
+		IPCount:       s.IPCount,
+		Candidates:    s.Candidates,
+		NodesVisited:  s.NodesVisited,
+		LeavesVisited: s.LeavesVisited,
+		PrunedNodes:   s.PrunedNodes,
+		PrunedPoints:  s.PrunedPoints,
+		BucketProbes:  s.BucketProbes,
+		CollabIPs:     s.CollabIPs,
+	}
+}
+
+func toResultsJSON(res []core.Result) []ResultJSON {
+	out := make([]ResultJSON, len(res))
+	for i, r := range res {
+		out[i] = ResultJSON{ID: r.ID, Dist: r.Dist}
+	}
+	return out
+}
+
+// SearchResponse answers SearchRequest.
+type SearchResponse struct {
+	Results []ResultJSON `json:"results"`
+	Stats   StatsJSON    `json:"stats"`
+}
+
+// BatchSearchRequest asks many queries with shared options; each row is a
+// full (normal; offset) query vector.
+type BatchSearchRequest struct {
+	Queries [][]float32 `json:"queries"`
+	SearchOptionsJSON
+}
+
+// BatchSearchResponse answers BatchSearchRequest: per-query results in
+// request order plus work counters aggregated over the whole batch.
+type BatchSearchResponse struct {
+	Results [][]ResultJSON `json:"results"`
+	Stats   StatsJSON      `json:"stats"`
+}
+
+// InsertRequest adds one raw point (dim values) to a mutable index.
+type InsertRequest struct {
+	Point []float32 `json:"point"`
+}
+
+// InsertResponse carries the stable handle Insert assigned.
+type InsertResponse struct {
+	Handle int32 `json:"handle"`
+}
+
+// DeleteResponse reports a point deletion.
+type DeleteResponse struct {
+	Deleted bool  `json:"deleted"`
+	Handle  int32 `json:"handle"`
+}
+
+// SnapshotRequest asks the daemon to persist an index to a server-side path.
+type SnapshotRequest struct {
+	Path string `json:"path"`
+}
+
+// SnapshotResponse reports a written snapshot.
+type SnapshotResponse struct {
+	Path  string `json:"path"`
+	Bytes int64  `json:"bytes"`
+}
+
+// LoadRequest stands up (or, with Replace, hot-swaps) a named index.
+type LoadRequest struct {
+	IndexConfig
+	// Replace allows overwriting an already-loaded name: the new index is
+	// built first, swapped in atomically, and the old one drained away.
+	Replace bool `json:"replace,omitempty"`
+}
+
+// UnloadResponse reports an index unload.
+type UnloadResponse struct {
+	Unloaded bool `json:"unloaded"`
+	// Drained is false when in-flight queries did not finish within the
+	// manager's drain timeout; the index is gone from the table either way.
+	Drained bool `json:"drained"`
+}
+
+// ServerStatsJSON is the wire form of p2h.ServerStats.
+type ServerStatsJSON struct {
+	Queries     int64  `json:"queries"`
+	Batches     int64  `json:"batches"`
+	CacheHits   int64  `json:"cache_hits"`
+	CacheMisses int64  `json:"cache_misses"`
+	Inserts     int64  `json:"inserts"`
+	Deletes     int64  `json:"deletes"`
+	Epoch       uint64 `json:"epoch"`
+}
+
+func toServerStatsJSON(s p2h.ServerStats) ServerStatsJSON {
+	return ServerStatsJSON{
+		Queries:     s.Queries,
+		Batches:     s.Batches,
+		CacheHits:   s.CacheHits,
+		CacheMisses: s.CacheMisses,
+		Inserts:     s.Inserts,
+		Deletes:     s.Deletes,
+		Epoch:       s.Epoch,
+	}
+}
+
+// IndexInfoResponse describes one served index.
+type IndexInfoResponse struct {
+	Name       string          `json:"name"`
+	Kind       string          `json:"kind"`
+	Dim        int             `json:"dim"`
+	N          int             `json:"n"`
+	IndexBytes int64           `json:"index_bytes"`
+	Mutable    bool            `json:"mutable"`
+	Stats      ServerStatsJSON `json:"stats"`
+	// Source is the declaration the index was stood up from (the container
+	// path, or the spec and data file).
+	Source IndexConfig `json:"source"`
+}
+
+// ListResponse enumerates the served indexes, sorted by name.
+type ListResponse struct {
+	Indexes []IndexInfoResponse `json:"indexes"`
+}
+
+// HealthResponse answers GET /healthz.
+type HealthResponse struct {
+	Status        string `json:"status"`
+	Indexes       int    `json:"indexes"`
+	UptimeSeconds int64  `json:"uptime_seconds"`
+}
+
+// ErrorResponse is the uniform error envelope: a stable machine-readable
+// code plus a human-readable message.
+type ErrorResponse struct {
+	Error string `json:"error"`
+	Code  string `json:"code"`
+}

@@ -1,6 +1,11 @@
 package server
 
 import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
 	"testing"
 
 	"p2h/internal/core"
@@ -121,5 +126,105 @@ func TestHashKeySensitivity(t *testing.T) {
 	ok3.noCone = true
 	if hashKey(q, ok3) == h {
 		t.Fatal("ablation flag not reflected in hash")
+	}
+}
+
+// versionIndex is a one-point index whose answer encodes the state of the
+// last applied mutation: Insert(p) sets the value to p[0], a live Delete
+// bumps it by 0.5. The engine's RWMutex is the only synchronization — that
+// is exactly the contract under test.
+type versionIndex struct {
+	val     float64
+	handles int32
+}
+
+func (v *versionIndex) Search(q []float32, opts core.SearchOptions) ([]core.Result, core.Stats) {
+	return []core.Result{{ID: 0, Dist: v.val}}, core.Stats{Candidates: 1}
+}
+
+func (v *versionIndex) Dim() int { return 2 }
+
+func (v *versionIndex) Insert(p []float32) int32 {
+	v.val = float64(p[0])
+	v.handles++
+	return v.handles
+}
+
+func (v *versionIndex) Delete(h int32) bool {
+	v.val += 0.5
+	return true
+}
+
+// TestCacheEpochNoStaleHitsUnderConcurrentMutation races searchers against a
+// mutator through one engine (run it with -race): every answer the cache
+// serves must reflect at least every mutation that completed before the
+// search was submitted. The mutated state is strictly monotonic, so a stale
+// post-mutation cache hit shows up as an answer below the high-water mark
+// the searcher read before submitting.
+func TestCacheEpochNoStaleHitsUnderConcurrentMutation(t *testing.T) {
+	v := &versionIndex{}
+	e := New(v, v, Config{Workers: 4, MaxBatch: 4, MaxDelay: 20 * time.Microsecond, CacheEntries: 128})
+	defer e.Close()
+
+	q := []float32{1, 0, 0}     // one fixed query, so the cache is hammered
+	var highWater atomic.Uint64 // float64 bits of the last applied state
+
+	seed := func(val float64) {
+		if _, err := e.Insert([]float32{float32(val), 0}); err != nil {
+			t.Fatal(err)
+		}
+		highWater.Store(math.Float64bits(val))
+	}
+	seed(1)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // the mutator: inserts raise the value, deletes nudge it up
+		defer wg.Done()
+		for i := 2; i <= 200; i++ {
+			val := float64(i)
+			if _, err := e.Insert([]float32{float32(i), 0}); err != nil {
+				t.Error(err)
+				return
+			}
+			if i%3 == 0 {
+				if _, err := e.Delete(0); err != nil {
+					t.Error(err)
+					return
+				}
+				val += 0.5
+			}
+			// Publish only after the mutation call returned: from here on,
+			// every newly submitted search must observe at least this state.
+			highWater.Store(math.Float64bits(val))
+		}
+	}()
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 400; i++ {
+				floor := math.Float64frombits(highWater.Load())
+				res, _ := e.Search(q, core.SearchOptions{K: 1})
+				if len(res) != 1 {
+					t.Errorf("no result")
+					return
+				}
+				if res[0].Dist < floor {
+					t.Errorf("stale post-mutation answer: got state %v, mutation %v had completed",
+						res[0].Dist, floor)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	st := e.Stats()
+	if st.CacheHits == 0 {
+		t.Fatal("the cache was never hit; the test exercised nothing")
+	}
+	if st.Epoch == 0 || st.Inserts != 200 || st.Deletes != 66 {
+		t.Fatalf("unexpected mutation counts: %+v", st)
 	}
 }

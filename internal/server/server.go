@@ -37,6 +37,7 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"runtime"
 	"sync"
@@ -155,6 +156,7 @@ type Engine struct {
 	batches  chan []*request
 	inflight atomic.Int64 // chunks dispatched but not yet completed
 	closed   atomic.Bool
+	drained  chan struct{}  // closed once the dispatcher and every worker exited
 	wg       sync.WaitGroup // dispatcher + workers
 
 	queries, batchCount, hits, misses, inserts, deletes atomic.Int64
@@ -173,6 +175,7 @@ func New(ix Searcher, mut Mutator, cfg Config) *Engine {
 		dim:     ix.Dim() + 1,
 		reqs:    make(chan *request, cfg.Workers*cfg.MaxBatch),
 		batches: make(chan []*request, cfg.Workers),
+		drained: make(chan struct{}),
 	}
 	if bi, ok := ix.(BatchSearcher); ok {
 		e.batchIx = bi
@@ -256,14 +259,63 @@ func (e *Engine) Stats() Stats {
 	}
 }
 
+// Drain stops intake and waits — bounded by ctx — for every
+// already-submitted query to finish and the dispatcher and workers to exit.
+// It returns nil once the engine is fully stopped, or ctx.Err() if the
+// deadline expires first (a worker stuck inside the index or a user Filter
+// cannot hold shutdown hostage: the engine is abandoned, not waited on).
+// Drain is idempotent and safe to call concurrently; every call observes the
+// same terminal state, and submitting after any Drain or Close panics.
+func (e *Engine) Drain(ctx context.Context) error {
+	if !e.closed.Swap(true) {
+		close(e.reqs)
+		go func() {
+			e.wg.Wait()
+			close(e.drained)
+		}()
+	}
+	select {
+	case <-e.drained:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
 // Close drains every already-submitted query and stops the batcher and
-// workers. It is idempotent; submitting after Close panics.
-func (e *Engine) Close() {
-	if e.closed.Swap(true) {
+// workers, waiting without bound (Drain with a background context). It is
+// idempotent; submitting after Close panics.
+func (e *Engine) Close() { _ = e.Drain(context.Background()) }
+
+// Exclusive runs fn while the engine guarantees no search or mutation is
+// executing against the index: on a mutable index it holds the write lock
+// that searches read-lock, so fn observes (and is observed by) a fully
+// settled state — the hook the snapshot path uses to serialize a Save
+// against concurrent Insert/Delete. On an immutable index fn runs directly;
+// a read-only fn is safe against concurrent readers, and that is the only
+// kind an immutable index admits.
+func (e *Engine) Exclusive(fn func()) {
+	if e.mut == nil {
+		fn()
 		return
 	}
-	close(e.reqs)
-	e.wg.Wait()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	fn()
+}
+
+// Shared runs fn under the read half of the mutation lock, so a read-only
+// fn (an N()/IndexBytes() stats probe, say) observes a fully applied index
+// state even while Insert/Delete traffic flows. On an immutable index fn
+// runs directly.
+func (e *Engine) Shared(fn func()) {
+	if e.mut == nil {
+		fn()
+		return
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	fn()
 }
 
 // dispatcher assembles incoming requests into rounds and splits every round

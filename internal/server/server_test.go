@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -388,6 +389,107 @@ func TestEngineMutatorPanicDoesNotWedgeLock(t *testing.T) {
 	case <-done:
 	case <-time.After(5 * time.Second):
 		t.Fatal("search deadlocked on a wedged mutation lock")
+	}
+}
+
+func TestEngineDrainBoundedOnStuckWorker(t *testing.T) {
+	data, queries := testData(100, 4, 2, 13)
+	e := New(scanIndex{linearscan.New(data)}, nil, Config{Workers: 1})
+
+	// Wedge the only worker inside a user Filter that blocks until released.
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	stuck := core.SearchOptions{K: 1, Filter: func(id int32) bool {
+		once.Do(func() { close(entered); <-release })
+		return true
+	}}
+	searchDone := make(chan struct{})
+	go func() {
+		defer close(searchDone)
+		e.Search(queries.Row(0), stuck)
+	}()
+	<-entered
+
+	// A bounded Drain must come back with the context's error instead of
+	// hanging on the stuck worker — the p2hd shutdown guarantee.
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := e.Drain(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("Drain on stuck worker: %v, want DeadlineExceeded", err)
+	}
+
+	// Once the worker unblocks, the already-submitted query completes and a
+	// second Drain observes the fully stopped engine.
+	close(release)
+	<-searchDone
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if err := e.Drain(ctx2); err != nil {
+		t.Fatalf("Drain after release: %v", err)
+	}
+}
+
+func TestEngineDrainConcurrentAndIdempotent(t *testing.T) {
+	data, queries := testData(100, 4, 4, 14)
+	e := New(scanIndex{linearscan.New(data)}, nil, Config{Workers: 2})
+	for i := 0; i < queries.N; i++ {
+		e.Search(queries.Row(i), core.SearchOptions{K: 1})
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := e.Drain(context.Background()); err != nil {
+				t.Errorf("concurrent Drain: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	e.Close() // Close after Drain stays a no-op
+	if err := e.Drain(context.Background()); err != nil {
+		t.Fatalf("Drain after Close: %v", err)
+	}
+}
+
+func TestEngineExclusiveSerializesMutation(t *testing.T) {
+	d := 3
+	m := newMutScan(d)
+	e := New(m, m, Config{Workers: 1})
+	defer e.Close()
+	if _, err := e.Insert([]float32{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+
+	inserted := make(chan struct{})
+	e.Exclusive(func() {
+		go func() {
+			defer close(inserted)
+			if _, err := e.Insert([]float32{4, 5, 6}); err != nil {
+				t.Error(err)
+			}
+		}()
+		select {
+		case <-inserted:
+			t.Fatal("Insert completed inside Exclusive")
+		case <-time.After(20 * time.Millisecond):
+		}
+	})
+	select {
+	case <-inserted:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Insert never completed after Exclusive returned")
+	}
+
+	// On an immutable engine, Exclusive still runs fn (no lock to take).
+	data, _ := testData(10, 3, 1, 15)
+	imm := New(scanIndex{linearscan.New(data)}, nil, Config{Workers: 1})
+	defer imm.Close()
+	ran := false
+	imm.Exclusive(func() { ran = true })
+	if !ran {
+		t.Fatal("Exclusive skipped fn on an immutable engine")
 	}
 }
 

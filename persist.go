@@ -155,6 +155,192 @@ func Open(path string) (Index, error) {
 	return ix, nil
 }
 
+// IndexInfo describes a saved index without its payload being loaded:
+// everything Inspect can learn from the container header plus the fixed-size
+// shape prefix of the kind's own payload.
+type IndexInfo struct {
+	// Kind is the registered kind name recorded in the container header (or
+	// sniffed from a legacy bare-tree magic).
+	Kind string
+	// Spec is the declarative Spec recorded in the container header; the
+	// zero value (with Kind set) for legacy streams, which predate specs.
+	Spec Spec
+	// Dim is the raw point dimensionality, or -1 when the payload format is
+	// not one this decoder knows (an out-of-tree registered kind).
+	Dim int
+	// N is the number of indexed points (live points for a dynamic index),
+	// or -1 when the payload format is unknown.
+	N int
+	// Legacy marks a bare tree stream written by (*BallTree).Save /
+	// (*BCTree).Save rather than a self-describing container.
+	Legacy bool
+}
+
+// Inspect reads the header of an index stream written by Save (or by the
+// legacy bare-tree Save methods) and reports its kind, recorded Spec, raw
+// dimensionality and point count without loading the payload: only the
+// container header and the payload's fixed-size shape prefix are read (for
+// a dynamic index also its liveness bitmap, skipping the vector data). A
+// container holding a payload this decoder does not know still reports its
+// kind and Spec, with Dim and N set to -1. Malformed input returns an error
+// wrapping ErrFormat.
+func Inspect(r io.Reader) (IndexInfo, error) {
+	br := bufio.NewReader(r)
+	head, err := br.Peek(len(containerMagic))
+	if err != nil {
+		return IndexInfo{}, fmt.Errorf("%w: reading magic: %v", ErrFormat, err)
+	}
+	if !bytes.Equal(head, containerMagic) {
+		kindName, ok := legacyMagics[string(head)]
+		if !ok {
+			return IndexInfo{}, fmt.Errorf("%w: unrecognized magic %q", ErrFormat, head)
+		}
+		info := IndexInfo{Kind: kindName, Spec: Spec{Kind: kindName}, Legacy: true}
+		info.Dim, info.N, err = payloadShape(br)
+		if err != nil {
+			return IndexInfo{}, err
+		}
+		return info, nil
+	}
+	if _, err := br.Discard(len(containerMagic)); err != nil {
+		return IndexInfo{}, fmt.Errorf("%w: %v", ErrFormat, err)
+	}
+	kindTag, err := readBlock(br, maxKindTagLen, "kind tag")
+	if err != nil {
+		return IndexInfo{}, err
+	}
+	specJSON, err := readBlock(br, maxSpecJSONLen, "spec")
+	if err != nil {
+		return IndexInfo{}, err
+	}
+	info := IndexInfo{Kind: string(kindTag)}
+	if err := json.Unmarshal(specJSON, &info.Spec); err != nil {
+		return IndexInfo{}, fmt.Errorf("%w: decoding spec: %v", ErrFormat, err)
+	}
+	if info.Spec.Kind == "" {
+		info.Spec.Kind = info.Kind
+	}
+	info.Dim, info.N, err = payloadShape(br)
+	if err != nil {
+		return IndexInfo{}, err
+	}
+	return info, nil
+}
+
+// InspectFile reports the kind, Spec, dimensionality and point count of the
+// named index file without loading it; see Inspect.
+func InspectFile(path string) (IndexInfo, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return IndexInfo{}, err
+	}
+	defer f.Close()
+	info, err := Inspect(f)
+	if err != nil {
+		return IndexInfo{}, fmt.Errorf("p2h: inspect %s: %w", path, err)
+	}
+	return info, nil
+}
+
+// maxInspectDim bounds a payload-declared dimensionality, mirroring the
+// serializers' own guards, so a corrupt shape fails instead of driving a
+// huge skip.
+const maxInspectDim = 1 << 20
+
+// payloadShape decodes the raw dimensionality and point count from the
+// fixed-size shape prefix of a known payload format (the built-in kinds'
+// serializers all start with an 8-byte magic and little-endian counters).
+// Unknown payload magics — an out-of-tree registered kind, including one
+// whose whole payload is shorter than a magic — report (-1, -1) with no
+// error; only structurally corrupt known payloads fail.
+func payloadShape(br *bufio.Reader) (dim, n int, err error) {
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return -1, -1, nil // a payload too short for any built-in format
+		}
+		return 0, 0, fmt.Errorf("%w: reading payload magic: %v", ErrFormat, err)
+	}
+	u32 := func() (int, error) {
+		var b [4]byte
+		if _, err := io.ReadFull(br, b[:]); err != nil {
+			return 0, fmt.Errorf("%w: reading payload header: %v", ErrFormat, err)
+		}
+		return int(int32(binary.LittleEndian.Uint32(b[:]))), nil
+	}
+	switch string(magic[:]) {
+	case "P2HBT001", "P2HBT002", "P2HBC001", "P2HBC002", "P2HKD001":
+		// leafSize, n, d — the stored d is lifted (raw + 1).
+		if _, err := u32(); err != nil { // leafSize
+			return 0, 0, err
+		}
+		var lifted int
+		if n, err = u32(); err != nil {
+			return 0, 0, err
+		}
+		if lifted, err = u32(); err != nil {
+			return 0, 0, err
+		}
+		if n <= 0 || lifted <= 1 || lifted > maxInspectDim {
+			return 0, 0, fmt.Errorf("%w: payload header: n=%d d=%d", ErrFormat, n, lifted)
+		}
+		return lifted - 1, n, nil
+	case "P2HSH001":
+		// n, d (lifted), shards, workers.
+		var lifted int
+		if n, err = u32(); err != nil {
+			return 0, 0, err
+		}
+		if lifted, err = u32(); err != nil {
+			return 0, 0, err
+		}
+		if n <= 0 || lifted <= 1 || lifted > maxInspectDim {
+			return 0, 0, fmt.Errorf("%w: payload header: n=%d d=%d", ErrFormat, n, lifted)
+		}
+		return lifted - 1, n, nil
+	case "P2HDY001":
+		// leafSize i32, seed i64, rebuild f64, dim i32 (lifted), rows i32,
+		// then rows*dim float32s (skipped) and rows liveness bytes (read to
+		// count the live points).
+		if _, err := io.CopyN(io.Discard, br, 4+8+8); err != nil {
+			return 0, 0, fmt.Errorf("%w: reading payload header: %v", ErrFormat, err)
+		}
+		lifted, err := u32()
+		if err != nil {
+			return 0, 0, err
+		}
+		rows, err := u32()
+		if err != nil {
+			return 0, 0, err
+		}
+		if lifted <= 1 || lifted > maxInspectDim || rows < 0 {
+			return 0, 0, fmt.Errorf("%w: payload header: dim=%d rows=%d", ErrFormat, lifted, rows)
+		}
+		if _, err := io.CopyN(io.Discard, br, int64(rows)*int64(lifted)*4); err != nil {
+			return 0, 0, fmt.Errorf("%w: skipping vector data: %v", ErrFormat, err)
+		}
+		live := 0
+		for read := 0; read < rows; {
+			chunk := rows - read
+			if chunk > 4096 {
+				chunk = 4096
+			}
+			buf := make([]byte, chunk)
+			if _, err := io.ReadFull(br, buf); err != nil {
+				return 0, 0, fmt.Errorf("%w: reading liveness bitmap: %v", ErrFormat, err)
+			}
+			for _, b := range buf {
+				if b == 1 {
+					live++
+				}
+			}
+			read += chunk
+		}
+		return lifted - 1, live, nil
+	}
+	return -1, -1, nil
+}
+
 // writeBlock appends a little-endian uint32 length prefix and the bytes.
 func writeBlock(buf *bytes.Buffer, b []byte) {
 	var n [4]byte

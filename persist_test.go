@@ -306,3 +306,174 @@ func TestContainerSpecRecorded(t *testing.T) {
 		t.Fatalf("container header does not record the spec: %q", b[:120])
 	}
 }
+
+// TestInspectEveryPersistableKind: Inspect reports kind, Spec, raw dim and
+// point count from the header region alone, for every kind Save can write.
+func TestInspectEveryPersistableKind(t *testing.T) {
+	for kind, ix := range goldenRecipes(t) {
+		var buf bytes.Buffer
+		if err := Save(&buf, ix); err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		info, err := Inspect(&buf)
+		if err != nil {
+			t.Fatalf("%s: Inspect: %v", kind, err)
+		}
+		if info.Kind != kind || info.Legacy {
+			t.Fatalf("%s: Inspect kind=%q legacy=%v", kind, info.Kind, info.Legacy)
+		}
+		if info.Spec.Kind != kind {
+			t.Fatalf("%s: Inspect spec kind %q", kind, info.Spec.Kind)
+		}
+		if info.Dim != ix.Dim() || info.N != ix.N() {
+			t.Fatalf("%s: Inspect dim=%d n=%d, want dim=%d n=%d", kind, info.Dim, info.N, ix.Dim(), ix.N())
+		}
+	}
+}
+
+// TestInspectReadsOnlyThePrefix: the whole point of Inspect — on a large
+// container only the header region is consumed, not the payload body. (The
+// dynamic kind is the documented exception: it skips the vectors but reads
+// its liveness bitmap at the end of the stream.)
+func TestInspectReadsOnlyThePrefix(t *testing.T) {
+	ix, err := New(specTestData(5000, 16, 21), Spec{Kind: KindBallTree, LeafSize: 50, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, ix); err != nil {
+		t.Fatal(err)
+	}
+	total := buf.Len()
+	info, err := Inspect(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.N != 5000 || info.Dim != 16 {
+		t.Fatalf("inspect: %+v", info)
+	}
+	if consumed := total - buf.Len(); consumed > 64<<10 || consumed >= total/2 {
+		t.Fatalf("Inspect consumed %d of %d bytes", consumed, total)
+	}
+}
+
+// TestInspectLegacyBareStream: bare (*BallTree).Save output predating the
+// container is sniffed by magic and still reports its shape.
+func TestInspectLegacyBareStream(t *testing.T) {
+	data := specTestData(80, 5, 9)
+	bt := NewBallTree(data, BallTreeOptions{LeafSize: 16, Seed: 2})
+	var buf bytes.Buffer
+	if err := bt.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	info, err := Inspect(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Legacy || info.Kind != KindBallTree || info.Dim != 5 || info.N != 80 {
+		t.Fatalf("legacy inspect: %+v", info)
+	}
+}
+
+// TestInspectUnknownPayload: a container naming an out-of-tree kind still
+// reports its header; the unknown shape comes back as -1.
+func TestInspectUnknownPayload(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write(containerMagic)
+	block := func(b []byte) {
+		var n [4]byte
+		binary.LittleEndian.PutUint32(n[:], uint32(len(b)))
+		buf.Write(n[:])
+		buf.Write(b)
+	}
+	block([]byte("mycustom"))
+	block([]byte(`{"kind":"mycustom","leaf_size":7}`))
+	buf.Write([]byte("XYZPAY01rest-of-the-payload"))
+	info, err := Inspect(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Kind != "mycustom" || info.Spec.LeafSize != 7 || info.Dim != -1 || info.N != -1 {
+		t.Fatalf("unknown-payload inspect: %+v", info)
+	}
+}
+
+// TestInspectRejectsMalformed: garbage and truncation fail with ErrFormat
+// rather than a misread shape.
+func TestInspectRejectsMalformed(t *testing.T) {
+	ix, err := New(specTestData(60, 4, 5), Spec{Kind: KindBCTree, LeafSize: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, ix); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	for name, b := range map[string][]byte{
+		"garbage":         []byte("not an index container at all"),
+		"empty":           {},
+		"cut mid-header":  good[:10],
+		"cut mid-payload": good[:len(good)-(len(good)-30)], // 30 bytes: inside the kind/spec blocks
+	} {
+		if _, err := Inspect(bytes.NewReader(b)); !errors.Is(err, ErrFormat) {
+			t.Errorf("%s: Inspect err = %v, want ErrFormat", name, err)
+		}
+	}
+}
+
+// TestInspectFileMatchesOpen: the file-level wrapper agrees with what a full
+// Open observes.
+func TestInspectFileMatchesOpen(t *testing.T) {
+	data := specTestData(90, 6, 7)
+	ix, err := New(data, Spec{Kind: KindDynamic, LeafSize: 25, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := ix.(*Dynamic)
+	d.Delete(4)
+	d.Delete(40)
+	path := filepath.Join(t.TempDir(), "dyn.p2h")
+	if err := SaveFile(path, d); err != nil {
+		t.Fatal(err)
+	}
+	info, err := InspectFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Kind != KindOf(loaded) || info.Dim != loaded.Dim() || info.N != loaded.N() {
+		t.Fatalf("InspectFile %+v disagrees with Open (kind=%s dim=%d n=%d)",
+			info, KindOf(loaded), loaded.Dim(), loaded.N())
+	}
+	if info.Spec.LeafSize != 25 {
+		t.Fatalf("InspectFile spec: %+v", info.Spec)
+	}
+}
+
+// TestInspectTinyUnknownPayload: an out-of-tree kind whose payload is
+// shorter than any built-in magic still inspects to its header, shape
+// unknown.
+func TestInspectTinyUnknownPayload(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write(containerMagic)
+	block := func(b []byte) {
+		var n [4]byte
+		binary.LittleEndian.PutUint32(n[:], uint32(len(b)))
+		buf.Write(n[:])
+		buf.Write(b)
+	}
+	block([]byte("tinykind"))
+	block([]byte(`{"kind":"tinykind"}`))
+	buf.Write([]byte("abc")) // 3-byte payload: shorter than any magic
+	info, err := Inspect(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Kind != "tinykind" || info.Dim != -1 || info.N != -1 {
+		t.Fatalf("tiny-payload inspect: %+v", info)
+	}
+}

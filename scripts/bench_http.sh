@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# bench_http.sh — measure the HTTP service end to end and emit a
+# machine-readable snapshot: build p2hd, stand it up over a generated data
+# set, load-test it with p2hserve's client mode (per-query /search and
+# grouped /search_batch), and record client-observed qps plus latency
+# percentiles.
+#
+#   scripts/bench_http.sh [out.json]     default out: BENCH_5.json
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+OUT="${1:-BENCH_5.json}"
+
+N="${BENCH_HTTP_N:-20000}"
+NQ="${BENCH_HTTP_NQ:-200}"
+CLIENTS="${BENCH_HTTP_CLIENTS:-8}"
+REPEAT="${BENCH_HTTP_REPEAT:-2}"
+K="${BENCH_HTTP_K:-10}"
+BATCH="${BENCH_HTTP_BATCH:-64}"
+
+tmp="$(mktemp -d)"
+pid=""
+cleanup() {
+  [ -n "$pid" ] && kill -TERM "$pid" 2>/dev/null && wait "$pid" 2>/dev/null || true
+  rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+bin="$tmp/bin"
+go build -o "$bin/" ./cmd/...
+
+"$bin/p2htool" gen -set Sift -n "$N" -seed 1 -out "$tmp/data.fvecs" >/dev/null
+"$bin/p2htool" queries -data "$tmp/data.fvecs" -nq "$NQ" -seed 2 -out "$tmp/q.fvecs" >/dev/null
+"$bin/p2htool" build -index bctree -data "$tmp/data.fvecs" -seed 1 -out "$tmp/ix.p2h" >/dev/null
+
+"$bin/p2hd" -listen 127.0.0.1:0 -name bench -load "$tmp/ix.p2h" >"$tmp/p2hd.log" 2>&1 &
+pid=$!
+url=""
+for _ in $(seq 1 100); do
+  url="$(sed -n 's|.*listening on \(http://[0-9.:]*\).*|\1|p' "$tmp/p2hd.log" | head -1)"
+  [ -n "$url" ] && break
+  sleep 0.1
+done
+[ -n "$url" ] || { echo "p2hd never came up:"; cat "$tmp/p2hd.log"; exit 1; }
+
+echo "== per-query /search ($CLIENTS clients x $REPEAT repeats x $NQ queries, k=$K)"
+single="$("$bin/p2hserve" -url "$url" -name bench -queries "$tmp/q.fvecs" \
+  -clients "$CLIENTS" -repeat "$REPEAT" -k "$K")"
+echo "$single"
+
+echo "== grouped /search_batch (batch=$BATCH)"
+batch="$("$bin/p2hserve" -url "$url" -name bench -queries "$tmp/q.fvecs" \
+  -clients "$CLIENTS" -repeat "$REPEAT" -k "$K" -httpbatch "$BATCH")"
+echo "$batch"
+
+kill -TERM "$pid"; wait "$pid" 2>/dev/null || true
+pid=""
+grep -q "p2hd: drained" "$tmp/p2hd.log" || { echo "p2hd did not drain cleanly"; exit 1; }
+
+# "http: 3200 queries in 1.9s -> 1684 qps" / "http: latency mean 4.7ms p50 ..."
+qps_single="$(sed -n 's/^http: .* -> \([0-9.]*\) qps$/\1/p' <<<"$single")"
+lat_single="$(sed -n 's/^http: latency \(.*\)$/\1/p' <<<"$single")"
+qps_batch="$(sed -n 's/^http_batch: .* -> \([0-9.]*\) qps$/\1/p' <<<"$batch")"
+lat_batch="$(sed -n 's/^http_batch request: latency \(.*\)$/\1/p' <<<"$batch")"
+hits="$(sed -n 's/^daemon: .*cache hit rate \([0-9.]*\)%$/\1/p' <<<"$single")"
+
+cat >"$OUT" <<JSON
+{
+  "generated_by": "scripts/bench_http.sh",
+  "generated_at": "$(date -u +%Y-%m-%dT%H:%M:%SZ)",
+  "go": "$(go version | awk '{print $3}')",
+  "workload": {"set": "Sift", "n": $N, "nq": $NQ, "clients": $CLIENTS, "repeat": $REPEAT, "k": $K},
+  "http_search": {"qps": ${qps_single:-0}, "latency": "${lat_single}", "cache_hit_rate_pct": ${hits:-0}},
+  "http_search_batch": {"batch": $BATCH, "qps": ${qps_batch:-0}, "request_latency": "${lat_batch}"}
+}
+JSON
+echo "wrote $OUT"

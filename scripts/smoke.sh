@@ -1,19 +1,26 @@
 #!/usr/bin/env bash
 # Smoke test of the cmd/ binaries against the registry-driven CLI surface:
-# builds p2htool, p2hserve and p2hbench, generates a tiny data set, and
-# drives -index / -spec and save-then--load flows end to end for every
-# persistable kind plus a build-only kind. CI runs this so the CLI flags and
-# the container format cannot silently rot.
+# builds p2htool, p2hserve, p2hbench and the p2hd daemon, generates a tiny
+# data set, drives -index / -spec and save-then--load flows end to end for
+# every persistable kind plus a build-only kind, and exercises the daemon's
+# HTTP API (search, batch, insert/delete, snapshot, hot reload, metrics,
+# health, graceful drain) with curl. CI runs this so the CLI flags, the
+# container format and the service surface cannot silently rot.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 tmp="$(mktemp -d)"
-trap 'rm -rf "$tmp"' EXIT
+daemon_pid=""
+cleanup() {
+  [ -n "$daemon_pid" ] && kill -TERM "$daemon_pid" 2>/dev/null && wait "$daemon_pid" 2>/dev/null || true
+  rm -rf "$tmp"
+}
+trap cleanup EXIT
 bin="$tmp/bin"
 
 echo "== build binaries"
 go build -o "$bin/" ./cmd/...
-for b in p2htool p2hserve p2hbench; do
+for b in p2htool p2hserve p2hbench p2hd; do
   [ -x "$bin/$b" ] || { echo "missing binary $b"; exit 1; }
 done
 
@@ -60,5 +67,78 @@ out="$("$bin/p2hbench" -index kdtree -spec '{"leaf_size":50}' -sets Music -n 150
 grep "index: kdtree built" >/dev/null <<<"$out" || { echo "p2hbench -index failed"; exit 1; }
 out="$("$bin/p2hbench" -load "$tmp/ix-bctree.p2h" -sets Music -n 2000 -nq 5 -k 3)"
 grep "index: bctree loaded" >/dev/null <<<"$out" || { echo "p2hbench -load failed"; exit 1; }
+
+echo "== p2htool inspect: header-only container description"
+out="$("$bin/p2htool" inspect "$tmp/ix-sharded.p2h")"
+grep "kind=sharded" >/dev/null <<<"$out" || { echo "inspect: wrong kind: $out"; exit 1; }
+grep "points=" >/dev/null <<<"$out" || { echo "inspect: no point count: $out"; exit 1; }
+grep '"shards":3' >/dev/null <<<"$out" || { echo "inspect: spec not recorded: $out"; exit 1; }
+
+echo "== p2hd: start the daemon on two indexes (container + inline spec)"
+cat >"$tmp/p2hd.json" <<CFG
+{
+  "drain_timeout": "5s",
+  "server": {"workers": 2},
+  "indexes": {
+    "trees": {"path": "$tmp/ix-bctree.p2h"},
+    "dyn":   {"spec": {"kind": "dynamic", "leaf_size": 50}, "data": "$data"}
+  }
+}
+CFG
+"$bin/p2hd" -listen 127.0.0.1:0 -config "$tmp/p2hd.json" >"$tmp/p2hd.log" 2>&1 &
+daemon_pid=$!
+url=""
+for _ in $(seq 1 100); do
+  url="$(sed -n 's|.*listening on \(http://[0-9.:]*\).*|\1|p' "$tmp/p2hd.log" | head -1)"
+  [ -n "$url" ] && break
+  sleep 0.1
+done
+[ -n "$url" ] || { echo "p2hd never came up"; cat "$tmp/p2hd.log"; exit 1; }
+
+echo "== p2hd: healthz + search + search_batch + insert/delete + snapshot + metrics"
+curl -fsS "$url/healthz" | grep '"indexes":2' >/dev/null || { echo "healthz failed"; exit 1; }
+
+dim=$(curl -fsS "$url/v1/indexes/trees" | sed -n 's/.*"dim":\([0-9]*\).*/\1/p')
+q="[1$(for _ in $(seq 2 $((dim + 1))); do printf ',0'; done)]"
+curl -fsS -X POST "$url/v1/indexes/trees/search" -d "{\"query\":$q,\"k\":3}" \
+  | grep '"results":\[{' >/dev/null || { echo "search failed"; exit 1; }
+curl -fsS -X POST "$url/v1/indexes/trees/search_batch" -d "{\"queries\":[$q,$q],\"k\":2}" \
+  | grep '"results":\[\[' >/dev/null || { echo "search_batch failed"; exit 1; }
+
+point="[9$(for _ in $(seq 2 "$dim"); do printf ',0'; done)]"
+handle=$(curl -fsS -X POST "$url/v1/indexes/dyn/insert" -d "{\"point\":$point}" \
+  | sed -n 's/.*"handle":\([0-9]*\).*/\1/p')
+[ -n "$handle" ] || { echo "insert failed"; exit 1; }
+curl -fsS -X DELETE "$url/v1/indexes/dyn/points/$handle" \
+  | grep '"deleted":true' >/dev/null || { echo "delete point failed"; exit 1; }
+# Mutating the immutable index maps onto 405/immutable.
+code=$(curl -sS -o /dev/null -w '%{http_code}' -X POST "$url/v1/indexes/trees/insert" -d "{\"point\":$point}")
+[ "$code" = 405 ] || { echo "immutable insert returned $code, want 405"; exit 1; }
+
+curl -fsS -X POST "$url/v1/indexes/dyn/snapshot" -d "{\"path\":\"$tmp/dyn-snap.p2h\"}" \
+  | grep '"bytes":' >/dev/null || { echo "snapshot failed"; exit 1; }
+[ -s "$tmp/dyn-snap.p2h" ] || { echo "snapshot file missing"; exit 1; }
+
+echo "== p2hd: hot reload the snapshot and keep serving"
+curl -fsS -X POST "$url/v1/indexes/dyn" -d "{\"path\":\"$tmp/dyn-snap.p2h\",\"replace\":true}" \
+  | grep '"kind":"dynamic"' >/dev/null || { echo "hot reload failed"; exit 1; }
+curl -fsS -X POST "$url/v1/indexes/dyn/search" -d "{\"query\":$q,\"k\":1}" \
+  | grep '"results":\[{' >/dev/null || { echo "post-reload search failed"; exit 1; }
+
+curl -fsS "$url/metrics" | grep 'p2hd_index_queries_total{index="trees"' >/dev/null \
+  || { echo "metrics missing index counters"; exit 1; }
+curl -fsS "$url/metrics" | grep 'p2hd_http_request_duration_seconds_bucket' >/dev/null \
+  || { echo "metrics missing latency histogram"; exit 1; }
+
+echo "== p2hserve client mode against the daemon"
+out="$("$bin/p2hserve" -url "$url" -name trees -queries "$queries" -clients 2 -repeat 1 -k 3)"
+grep "daemon index \"trees\"" >/dev/null <<<"$out" || { echo "client mode failed"; exit 1; }
+grep "qps" >/dev/null <<<"$out" || { echo "client mode reported no qps"; exit 1; }
+
+echo "== p2hd: graceful drain on SIGTERM"
+kill -TERM "$daemon_pid"
+wait "$daemon_pid" || { echo "p2hd exited non-zero"; cat "$tmp/p2hd.log"; exit 1; }
+daemon_pid=""
+grep "p2hd: drained" "$tmp/p2hd.log" >/dev/null || { echo "p2hd did not drain"; cat "$tmp/p2hd.log"; exit 1; }
 
 echo "smoke OK"

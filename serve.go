@@ -1,6 +1,9 @@
 package p2h
 
 import (
+	"context"
+	"os"
+	"path/filepath"
 	"time"
 
 	"p2h/internal/server"
@@ -42,6 +45,7 @@ var ErrImmutable = server.ErrImmutable
 // and stops the workers; searching after Close panics.
 type Server struct {
 	engine *server.Engine
+	ix     Index
 }
 
 // mutator matches the Insert/Delete surface of Dynamic (and of any
@@ -71,12 +75,15 @@ func NewServer(ix Index, opts ServerOptions) *Server {
 	if m, ok := ix.(mutator); ok {
 		mut = m
 	}
-	return &Server{engine: server.New(ix, mut, server.Config{
-		Workers:      opts.Workers,
-		MaxBatch:     opts.MaxBatch,
-		MaxDelay:     opts.MaxDelay,
-		CacheEntries: opts.CacheEntries,
-	})}
+	return &Server{
+		engine: server.New(ix, mut, server.Config{
+			Workers:      opts.Workers,
+			MaxBatch:     opts.MaxBatch,
+			MaxDelay:     opts.MaxDelay,
+			CacheEntries: opts.CacheEntries,
+		}),
+		ix: ix,
+	}
 }
 
 // Search answers one top-k hyperplane query, blocking until a worker has
@@ -102,6 +109,74 @@ func (s *Server) Delete(handle int32) (bool, error) {
 // Stats snapshots the server's counters.
 func (s *Server) Stats() ServerStats { return s.engine.Stats() }
 
-// Close drains every already-submitted query and stops the server. It is
-// idempotent; it must not race new Search/Insert/Delete calls.
+// Index returns the index the server wraps. The index is shared with the
+// serving workers; callers must treat it as read-only and route mutations
+// through Server.Insert and Server.Delete. On a mutable index, calling even
+// read methods (N, IndexBytes, Search) directly is racy against concurrent
+// Insert/Delete — use Describe for a synchronized snapshot.
+func (s *Server) Index() Index { return s.ix }
+
+// Describe reads the index's current size and memory footprint under the
+// same lock that serializes mutations, so it is safe to call while
+// Insert/Delete traffic flows (Index().N() directly is not, on a mutable
+// index).
+func (s *Server) Describe() (n int, indexBytes int64) {
+	s.engine.Shared(func() {
+		n = s.ix.N()
+		indexBytes = s.ix.IndexBytes()
+	})
+	return n, indexBytes
+}
+
+// Snapshot atomically persists the wrapped index to path in the
+// self-describing container format: the bytes are written to a temporary
+// file in the destination directory and renamed into place only on success,
+// so a reader never observes a partial file and a failed save leaves any
+// existing file untouched. On a mutable index the save runs with mutations
+// excluded (in-flight searches finish first), so the snapshot is a
+// consistent cut; searches resume as soon as the bytes are written. It
+// returns the snapshot size in bytes.
+func (s *Server) Snapshot(path string) (int64, error) {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	f, err := os.CreateTemp(dir, "."+base+".tmp-*")
+	if err != nil {
+		return 0, err
+	}
+	tmp := f.Name()
+	var saveErr error
+	s.engine.Exclusive(func() { saveErr = Save(f, s.ix) })
+	if saveErr == nil {
+		saveErr = f.Sync()
+	}
+	if cerr := f.Close(); saveErr == nil {
+		saveErr = cerr
+	}
+	if saveErr == nil {
+		saveErr = os.Rename(tmp, path)
+	}
+	if saveErr != nil {
+		os.Remove(tmp)
+		return 0, saveErr
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
+// Drain stops intake and waits — bounded by ctx — for every
+// already-submitted query to finish and the workers to exit. It returns nil
+// once the server is fully stopped, or ctx.Err() if the deadline expires
+// first; a worker stuck inside the index or a user Filter cannot hold
+// shutdown hostage. Drain is idempotent and safe to call concurrently;
+// submitting after any Drain or Close panics.
+func (s *Server) Drain(ctx context.Context) error { return s.engine.Drain(ctx) }
+
+// Close drains every already-submitted query and stops the server, waiting
+// without bound (Drain with a background context). It is idempotent; it must
+// not race new Search/Insert/Delete calls.
 func (s *Server) Close() { s.engine.Close() }

@@ -1,6 +1,9 @@
 package p2h
 
 import (
+	"context"
+	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 	"time"
@@ -170,4 +173,127 @@ func TestServerPanicsOnBadQuery(t *testing.T) {
 		}
 	}()
 	srv.Search(make([]float32, data.D), SearchOptions{K: 1}) // missing offset dim
+}
+
+// TestServerSnapshotRoundTrip: Snapshot writes a loadable container
+// atomically, for both immutable and mutable indexes, and the restored index
+// answers identically.
+func TestServerSnapshotRoundTrip(t *testing.T) {
+	data, queries, _ := testSetup(t)
+	for name, ix := range map[string]Index{
+		"bctree":  NewBCTree(data, BCTreeOptions{Seed: 1}),
+		"dynamic": NewDynamic(data, DynamicOptions{Seed: 1}),
+	} {
+		srv := NewServer(ix, ServerOptions{Workers: 2})
+		path := filepath.Join(t.TempDir(), name+".p2h")
+		n, err := srv.Snapshot(path)
+		if err != nil {
+			t.Fatalf("%s: Snapshot: %v", name, err)
+		}
+		st, err := os.Stat(path)
+		if err != nil || st.Size() != n {
+			t.Fatalf("%s: snapshot size %d, stat %v %v", name, n, st, err)
+		}
+		loaded, err := Open(path)
+		if err != nil {
+			t.Fatalf("%s: Open: %v", name, err)
+		}
+		for i := 0; i < queries.N; i++ {
+			want, _ := ix.Search(queries.Row(i), SearchOptions{K: 3})
+			got, _ := loaded.Search(queries.Row(i), SearchOptions{K: 3})
+			if len(got) != len(want) {
+				t.Fatalf("%s query %d: %d results, want %d", name, i, len(got), len(want))
+			}
+			for j := range want {
+				if got[j] != want[j] {
+					t.Fatalf("%s query %d rank %d: %v != %v", name, i, j, got[j], want[j])
+				}
+			}
+		}
+		// No temp file debris in the destination directory.
+		entries, err := os.ReadDir(filepath.Dir(path))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(entries) != 1 {
+			t.Fatalf("%s: snapshot left debris: %v", name, entries)
+		}
+		srv.Close()
+	}
+}
+
+// TestServerSnapshotConcurrentWithTraffic: snapshots interleaved with
+// concurrent searches and mutations neither race (-race) nor corrupt the
+// written container.
+func TestServerSnapshotConcurrentWithTraffic(t *testing.T) {
+	data, queries, _ := testSetup(t)
+	srv := NewServer(NewDynamic(data, DynamicOptions{Seed: 1}), ServerOptions{Workers: 2})
+	defer srv.Close()
+	dir := t.TempDir()
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			if _, err := srv.Insert(data.Row(i % data.N)); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 40; i++ {
+			srv.Search(queries.Row(i%queries.N), SearchOptions{K: 3})
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 5; i++ {
+			if _, err := srv.Snapshot(filepath.Join(dir, "snap.p2h")); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if _, err := Open(filepath.Join(dir, "snap.p2h")); err != nil {
+		t.Fatalf("final snapshot unreadable: %v", err)
+	}
+}
+
+// TestServerSnapshotBuildOnlyKindFails: a kind without persistence reports
+// the error instead of leaving a temp file behind.
+func TestServerSnapshotBuildOnlyKindFails(t *testing.T) {
+	data, _, _ := testSetup(t)
+	srv := NewServer(NewNH(data, NHOptions{Seed: 1}), ServerOptions{Workers: 1})
+	defer srv.Close()
+	dir := t.TempDir()
+	if _, err := srv.Snapshot(filepath.Join(dir, "nh.p2h")); err == nil {
+		t.Fatal("Snapshot of a build-only kind succeeded")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("failed snapshot left debris: %v", entries)
+	}
+}
+
+// TestServerDrainAndIndex: the bounded-drain surface and the index accessor.
+func TestServerDrainAndIndex(t *testing.T) {
+	data, queries, _ := testSetup(t)
+	ix := NewBCTree(data, BCTreeOptions{Seed: 1})
+	srv := NewServer(ix, ServerOptions{Workers: 2})
+	if srv.Index() != Index(ix) {
+		t.Fatal("Index() does not return the wrapped index")
+	}
+	srv.Search(queries.Row(0), SearchOptions{K: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	srv.Close() // still idempotent after Drain
 }
