@@ -1,0 +1,251 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"time"
+
+	p2h "p2h"
+)
+
+// durableConfig parameterizes the durability benchmark (-durable).
+type durableConfig struct {
+	set      string
+	n, nq, k int
+	seed     int64
+	windows  int // measurement windows in the sustained run
+	perWin   int // inserts applied per window
+	walRecs  int // WAL records for the crash-recovery measurement
+	trials   int // crash-recovery repetitions (median reported)
+}
+
+// windowResult is one sustained-run measurement window.
+type windowResult struct {
+	Window    int     `json:"window"`
+	Inserted  int     `json:"inserted"`      // points inserted since the run began
+	Pending   int     `json:"pending_delta"` // un-folded delta after the window's searches
+	SearchQPS float64 `json:"search_qps"`
+}
+
+// sustainedResult is one full sustained insert+search run.
+type sustainedResult struct {
+	Mode        string         `json:"mode"`
+	InsertQPS   float64        `json:"insert_qps"`
+	Compactions int64          `json:"compactions"`
+	SettleMS    float64        `json:"compaction_settle_ms"` // total time spent waiting for in-flight folds
+	Windows     []windowResult `json:"windows"`
+}
+
+// runDurable measures what the durability work costs and buys: a sustained
+// insert+search run with the delta buffer growing unchecked versus the same
+// run with background compaction absorbing it (per-window search qps shows
+// the degradation and the recovery), plus the median time to reopen a
+// container with a populated write-ahead log — the crash-recovery path.
+// The JSON document goes to out; progress lines go to stderr.
+func runDurable(out, stderr io.Writer, cfg durableConfig) error {
+	data := p2h.Dedup(p2h.GenerateDataset(cfg.set, cfg.n, cfg.seed))
+	queries := p2h.GenerateQueries(data, cfg.nq, cfg.seed+1)
+	inserts := p2h.GenerateDataset(cfg.set, cfg.windows*cfg.perWin+cfg.walRecs, cfg.seed+2)
+	fmt.Fprintf(stderr, "durable: %s, %d base points, d=%d, %d windows x %d inserts, %d queries/window\n",
+		cfg.set, data.N, data.D, cfg.windows, cfg.perWin, queries.N)
+
+	baseline, err := runSustained(stderr, data, queries, inserts, cfg, false)
+	if err != nil {
+		return err
+	}
+	compacted, err := runSustained(stderr, data, queries, inserts, cfg, true)
+	if err != nil {
+		return err
+	}
+
+	recovery, err := measureRecovery(stderr, data, inserts, cfg)
+	if err != nil {
+		return err
+	}
+
+	doc := map[string]any{
+		"generated_by": "p2hbench -durable (scripts/bench_durable.sh)",
+		"generated_at": time.Now().UTC().Format(time.RFC3339),
+		"go":           runtime.Version(),
+		"workload": map[string]any{
+			"set": cfg.set, "n": data.N, "dim": data.D, "nq": cfg.nq, "k": cfg.k,
+			"windows": cfg.windows, "inserts_per_window": cfg.perWin,
+			"wal_sync": "none",
+		},
+		"sustained": []sustainedResult{baseline, compacted},
+		"recovery":  recovery,
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// runSustained builds a dynamic index over data, serves it with (or
+// without) background compaction, and interleaves insert bursts with
+// search windows. The inline-rebuild trigger is pushed out of reach in
+// both runs so the baseline shows pure delta-growth degradation; the
+// compacting run folds the same growth off-thread.
+func runSustained(stderr io.Writer, data, queries, inserts *p2h.Matrix, cfg durableConfig, compact bool) (sustainedResult, error) {
+	mode := "inline_delta_growth"
+	spec := p2h.Spec{Kind: p2h.KindDynamic, LeafSize: 100, Seed: cfg.seed, RebuildFraction: 1e9}
+	if compact {
+		mode = "background_compaction"
+		spec.CompactFraction = 0.02
+	}
+	res := sustainedResult{Mode: mode}
+
+	ix, err := p2h.New(data, spec)
+	if err != nil {
+		return res, err
+	}
+	dir, err := os.MkdirTemp("", "p2hbench-durable")
+	if err != nil {
+		return res, err
+	}
+	defer os.RemoveAll(dir)
+	wal, err := p2h.AttachWAL(ix, filepath.Join(dir, mode+".wal"), p2h.WALSyncNone)
+	if err != nil {
+		return res, err
+	}
+	defer wal.Close()
+	srv := p2h.NewServer(ix, p2h.ServerOptions{
+		CacheEntries:         -1, // measure the index, not the cache
+		WAL:                  wal,
+		BackgroundCompaction: compact,
+	})
+	defer srv.Close()
+
+	var insertTime, settleTime time.Duration
+	next := 0
+	for w := 0; w < cfg.windows; w++ {
+		start := time.Now()
+		for i := 0; i < cfg.perWin; i++ {
+			if _, err := srv.Insert(inserts.Row(next)); err != nil {
+				return res, err
+			}
+			next++
+		}
+		insertTime += time.Since(start)
+
+		if compact {
+			// Let the fold the burst triggered land before timing the
+			// window: the point is search cost versus delta size, and on a
+			// small runner an in-flight build would otherwise just measure
+			// CPU contention. The wait is reported as compaction_settle_ms.
+			start = time.Now()
+			for deadline := time.Now().Add(30 * time.Second); srv.Stats().PendingDelta > 0 && time.Now().Before(deadline); {
+				time.Sleep(2 * time.Millisecond)
+			}
+			settleTime += time.Since(start)
+		}
+
+		start = time.Now()
+		for i := 0; i < queries.N; i++ {
+			srv.Search(queries.Row(i), p2h.SearchOptions{K: cfg.k})
+		}
+		elapsed := time.Since(start)
+		res.Windows = append(res.Windows, windowResult{
+			Window:    w,
+			Inserted:  next,
+			Pending:   srv.Stats().PendingDelta,
+			SearchQPS: round1(float64(queries.N) / elapsed.Seconds()),
+		})
+	}
+	if err := srv.Drain(context.Background()); err != nil {
+		return res, err
+	}
+	res.InsertQPS = round1(float64(next) / insertTime.Seconds())
+	res.SettleMS = round1(settleTime.Seconds() * 1000)
+	res.Compactions = srv.Stats().Compactions
+	fmt.Fprintf(stderr, "durable: %s: insert %.0f qps, search %.0f -> %.0f qps over %d windows, %d compactions\n",
+		mode, res.InsertQPS, res.Windows[0].SearchQPS, res.Windows[len(res.Windows)-1].SearchQPS,
+		cfg.windows, res.Compactions)
+	return res, nil
+}
+
+// measureRecovery saves a container, journals cfg.walRecs mutations into
+// its sidecar log, and times p2h.Open — which replays the whole log — over
+// cfg.trials repetitions. Open only reads the sidecar, so every trial
+// replays the identical history.
+func measureRecovery(stderr io.Writer, data, inserts *p2h.Matrix, cfg durableConfig) (map[string]any, error) {
+	dir, err := os.MkdirTemp("", "p2hbench-recover")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	ix, err := p2h.New(data, p2h.Spec{Kind: p2h.KindDynamic, LeafSize: 100, Seed: cfg.seed})
+	if err != nil {
+		return nil, err
+	}
+	container := filepath.Join(dir, "base.p2h")
+	if err := p2h.SaveFile(container, ix); err != nil {
+		return nil, err
+	}
+	reopened, err := p2h.Open(container)
+	if err != nil {
+		return nil, err
+	}
+	wal, err := p2h.AttachWAL(reopened, p2h.WALPath(container), p2h.WALSyncNone)
+	if err != nil {
+		return nil, err
+	}
+	d := reopened.(*p2h.Dynamic)
+	rng := rand.New(rand.NewSource(cfg.seed + 3))
+	off := inserts.N - cfg.walRecs
+	for i := 0; i < cfg.walRecs; i++ {
+		// Mostly inserts with a delete sprinkled in, like a live log.
+		if i%8 == 7 {
+			h := int32(rng.Intn(d.Handles()))
+			d.Delete(h)
+			if err := wal.AppendDelete(h); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		p := inserts.Row(off + i)
+		if err := wal.AppendInsert(d.Insert(p), p); err != nil {
+			return nil, err
+		}
+	}
+	if err := wal.Close(); err != nil {
+		return nil, err
+	}
+
+	times := make([]float64, cfg.trials)
+	for t := range times {
+		start := time.Now()
+		if _, err := p2h.Open(container); err != nil {
+			return nil, err
+		}
+		times[t] = float64(time.Since(start).Microseconds()) / 1000
+	}
+	sorted := append([]float64(nil), times...)
+	sort.Float64s(sorted)
+	median := sorted[len(sorted)/2]
+	fmt.Fprintf(stderr, "durable: recovery: %d WAL records replayed in median %.1fms over %d trials\n",
+		cfg.walRecs, median, cfg.trials)
+	return map[string]any{
+		"wal_records":    cfg.walRecs,
+		"trials":         cfg.trials,
+		"median_open_ms": round1(median),
+		"per_trial_ms":   rounded(times),
+	}, nil
+}
+
+func round1(v float64) float64 { return float64(int(v*10+0.5)) / 10 }
+
+func rounded(vs []float64) []float64 {
+	out := make([]float64, len(vs))
+	for i, v := range vs {
+		out[i] = round1(v)
+	}
+	return out
+}

@@ -55,6 +55,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		lambdaF  = fs.Int("lambda", 2, "NH/FH sampled dimension as a multiple of d (Table III uses 1 and 8 regardless)")
 		maxL     = fs.Int("maxlambda", 16384, "cap on the sampled dimension for very high-d sets")
 		verbose  = fs.Bool("v", false, "log per-step progress to stderr")
+		durable  = fs.Bool("durable", false, "run the durability benchmark (sustained insert+search with and without background compaction, plus WAL crash-recovery time) and emit JSON")
 		indexK   = fs.String("index", "", "registry kind for the single-index benchmark ("+strings.Join(p2h.Kinds(), ", ")+")")
 		specJSON = fs.String("spec", "", "p2h.Spec as JSON for the single-index benchmark (-index overrides its kind)")
 		loadPath = fs.String("load", "", "benchmark a saved index container instead of building one")
@@ -120,7 +121,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		defer pprof.StopCPUProfile()
 	}
 
-	if custom {
+	if *durable {
+		set := "Sift"
+		if len(cfg.Sets) > 0 {
+			set = cfg.Sets[0]
+		}
+		if err := runDurable(out, stderr, durableConfig{
+			set: set, n: *n, nq: *nq, k: *k, seed: *seed,
+			windows: 12, perWin: *n / 10, walRecs: *n / 4, trials: 5,
+		}); err != nil {
+			fmt.Fprintf(stderr, "p2hbench: %v\n", err)
+			return 1
+		}
+	} else if custom {
 		set := "Sift"
 		if len(cfg.Sets) > 0 {
 			set = cfg.Sets[0]

@@ -9,6 +9,7 @@
 //	p2hd -config p2hd.json
 //	p2hd -listen 127.0.0.1:8080 -name trees -load index.p2h
 //	p2hd -name fresh -index bctree -spec '{"leaf_size":50}' -data data.fvecs
+//	p2hd -name live -load dyn.p2h -wal -compact   # durable dynamic serving
 //	p2hd -listen :8080                      # empty: hot-load indexes via the API
 //
 // The config file declares the listen address, engine tuning and the indexes
@@ -70,6 +71,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		indexKind  = fs.String("index", "", "index kind to build under -name ("+strings.Join(p2h.Kinds(), ", ")+")")
 		specJSON   = fs.String("spec", "", "p2h.Spec as JSON for the -name index (-index overrides its kind)")
 		dataPath   = fs.String("data", "", "fvecs data file the -spec index is built over")
+		wal        = fs.Bool("wal", false, "journal the -load index's mutations to a write-ahead log at <path>.wal, replaying any pending records at startup")
+		walSync    = fs.String("walsync", "", "write-ahead log fsync policy: always (default) or none")
+		compact    = fs.Bool("compact", false, "absorb dynamic indexes' deltas via background compaction instead of inline rebuilds")
 		workers    = fs.Int("workers", 0, "serving workers per index (0: the config file's, else GOMAXPROCS)")
 		maxBatch   = fs.Int("maxbatch", 0, "largest micro-batch per worker (0: the config file's, else 16)")
 		maxDelay   = fs.Duration("maxdelay", 0, "batch window for an under-filled round (0: the config file's, else 100µs)")
@@ -101,6 +105,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	if *cacheSize != 0 {
 		opts.CacheEntries = *cacheSize
 	}
+	if *compact {
+		opts.BackgroundCompaction = true
+	}
 	drainTimeout := *drain
 	if drainTimeout <= 0 {
 		drainTimeout = cfg.DrainTimeoutOrDefault()
@@ -129,7 +136,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 	}
-	if ic, declared, err := flagIndexConfig(*loadPath, *indexKind, *specJSON, *dataPath); err != nil {
+	if ic, declared, err := flagIndexConfig(*loadPath, *indexKind, *specJSON, *dataPath, *wal, *walSync); err != nil {
 		fmt.Fprintf(stderr, "p2hd: %v\n", err)
 		return 1
 	} else if declared {
@@ -183,13 +190,16 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 }
 
 // flagIndexConfig assembles the single-index startup declaration from the
-// -load / -index / -spec / -data flags; declared reports whether any were
-// given.
-func flagIndexConfig(loadPath, indexKind, specJSON, dataPath string) (httpapi.IndexConfig, bool, error) {
+// -load / -index / -spec / -data / -wal flags; declared reports whether any
+// were given.
+func flagIndexConfig(loadPath, indexKind, specJSON, dataPath string, wal bool, walSync string) (httpapi.IndexConfig, bool, error) {
 	if loadPath == "" && indexKind == "" && specJSON == "" && dataPath == "" {
+		if wal || walSync != "" {
+			return httpapi.IndexConfig{}, false, errors.New("-wal needs -load (durability needs a container to recover into)")
+		}
 		return httpapi.IndexConfig{}, false, nil
 	}
-	ic := httpapi.IndexConfig{Path: loadPath, Data: dataPath}
+	ic := httpapi.IndexConfig{Path: loadPath, Data: dataPath, WAL: wal, WALSync: walSync}
 	if indexKind != "" || specJSON != "" {
 		var spec p2h.Spec
 		if specJSON != "" {

@@ -236,25 +236,32 @@ func TestDaemonStartupErrors(t *testing.T) {
 }
 
 func TestFlagIndexConfig(t *testing.T) {
-	if _, declared, err := flagIndexConfig("", "", "", ""); declared || err != nil {
+	if _, declared, err := flagIndexConfig("", "", "", "", false, ""); declared || err != nil {
 		t.Fatalf("no flags: %v %v", declared, err)
 	}
-	ic, declared, err := flagIndexConfig("x.p2h", "", "", "")
+	ic, declared, err := flagIndexConfig("x.p2h", "", "", "", false, "")
 	if !declared || err != nil || ic.Path != "x.p2h" || ic.Spec != nil {
 		t.Fatalf("load only: %+v %v %v", ic, declared, err)
 	}
-	ic, declared, err = flagIndexConfig("", "sharded", `{"leaf_size":9}`, "d.fvecs")
+	ic, declared, err = flagIndexConfig("", "sharded", `{"leaf_size":9}`, "d.fvecs", false, "")
 	if !declared || err != nil || ic.Spec == nil || ic.Spec.Kind != "sharded" || ic.Spec.LeafSize != 9 || ic.Data != "d.fvecs" {
 		t.Fatalf("kind+spec: %+v %v %v", ic, declared, err)
 	}
-	ic, declared, err = flagIndexConfig("", "", `{"leaf_size":9}`, "")
+	ic, declared, err = flagIndexConfig("", "", `{"leaf_size":9}`, "", false, "")
 	if !declared || err != nil || ic.Spec.Kind != p2h.KindBCTree {
 		t.Fatalf("default kind: %+v %v %v", ic, declared, err)
 	}
-	if _, _, err = flagIndexConfig("", "", `{bad json`, ""); err == nil {
+	ic, declared, err = flagIndexConfig("x.p2h", "", "", "", true, "none")
+	if !declared || err != nil || !ic.WAL || ic.WALSync != "none" {
+		t.Fatalf("wal flags: %+v %v %v", ic, declared, err)
+	}
+	if _, _, err = flagIndexConfig("", "", `{bad json`, "", false, ""); err == nil {
 		t.Fatal("bad spec JSON accepted")
 	}
-	if _, _, err = flagIndexConfig("", "", "", "d.fvecs"); err == nil {
+	if _, _, err = flagIndexConfig("", "", "", "d.fvecs", false, ""); err == nil {
 		t.Fatal("-data alone accepted")
+	}
+	if _, _, err = flagIndexConfig("", "", "", "", true, ""); err == nil {
+		t.Fatal("-wal without -load accepted")
 	}
 }

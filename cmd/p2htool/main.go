@@ -252,6 +252,9 @@ func runInspect(args []string, stdout, stderr io.Writer) error {
 	}
 	fmt.Fprintf(stdout, "kind=%s dim=%s points=%s legacy=%v\nspec=%s\n",
 		info.Kind, dim, points, info.Legacy, specJSON)
+	if info.WALPath != "" {
+		fmt.Fprintf(stdout, "wal=%s pending=%d\n", info.WALPath, info.WALRecords)
+	}
 	return nil
 }
 

@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	p2h "p2h"
 )
 
 // runOK runs the tool and fails the test on a non-zero exit.
@@ -226,6 +228,40 @@ func TestInspectSubcommand(t *testing.T) {
 	// -load form agrees.
 	if out2 := runOK(t, "inspect", "-load", index); out2 != out {
 		t.Fatalf("-load form differs:\n%s\nvs\n%s", out2, out)
+	}
+	// No sidecar WAL, no wal line.
+	if strings.Contains(out, "wal=") {
+		t.Fatalf("inspect reports a WAL for a container without one:\n%s", out)
+	}
+
+	// A container whose sidecar WAL holds pending mutations reports them.
+	dyn := filepath.Join(dir, "dyn.p2h")
+	runOK(t, "build", "-index", "dynamic", "-spec", `{"leaf_size":40}`, "-data", data, "-out", dyn)
+	ix, err := p2h.Open(dyn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wal, err := p2h.AttachWAL(ix, p2h.WALPath(dyn), p2h.WALSyncNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := ix.(*p2h.Dynamic)
+	p := make([]float32, 128)
+	if err := wal.AppendInsert(d.Insert(p), p); err != nil {
+		t.Fatal(err)
+	}
+	d.Delete(0)
+	if err := wal.AppendDelete(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := wal.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out = runOK(t, "inspect", dyn)
+	for _, want := range []string{"wal=" + p2h.WALPath(dyn), "pending=2"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("inspect output missing %q:\n%s", want, out)
+		}
 	}
 
 	// Errors: no path, extra args, not a container.

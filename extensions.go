@@ -124,6 +124,48 @@ func (t *Dynamic) N() int { return t.index.N() }
 // Dim implements Index.
 func (t *Dynamic) Dim() int { return t.raw }
 
+// Handles returns the number of handles ever issued, including deleted
+// ones: the next Insert returns exactly Handles(). The write-ahead log uses
+// it as the replay boundary between snapshot contents and logged mutations.
+func (t *Dynamic) Handles() int { return t.index.Handles() }
+
+// Pending reports the delta queries currently pay for beyond the tree:
+// buffered inserts (scanned exhaustively per query) plus tree tombstones
+// (filtered during traversal). Rebuilds and compactions drive it back
+// toward zero.
+func (t *Dynamic) Pending() int { return t.index.Pending() }
+
+// SetBackgroundCompaction hands delta folding to a serving engine (true) or
+// back to inline rebuilds inside Insert/Delete (false, the default). Part
+// of the server.Compactor surface; NewServer flips it when
+// ServerOptions.BackgroundCompaction is set.
+func (t *Dynamic) SetBackgroundCompaction(on bool) { t.index.SetBackgroundCompaction(on) }
+
+// CompactionNeeded reports whether the delta (insert buffer + tombstones)
+// has outgrown the compaction threshold (Spec.CompactFraction, falling back
+// to Spec.RebuildFraction).
+func (t *Dynamic) CompactionNeeded() bool { return t.index.CompactionNeeded() }
+
+// BeginCompaction captures a background rebuild of the delta: build runs
+// without any lock (searches and mutations proceed concurrently), install
+// swaps the fresh tree in and reconciles mutations that raced the build.
+// Both closures are nil when there is nothing to fold. The caller must hold
+// whatever lock serializes mutations around BeginCompaction and install —
+// the serving engine drives this; direct users of a bare Dynamic can call
+// Compact instead.
+func (t *Dynamic) BeginCompaction() (build, install func()) {
+	c := t.index.BeginCompaction()
+	if c == nil {
+		return nil, nil
+	}
+	cfg := t.index.Configuration()
+	return func() { c.Build(cfg) }, func() { t.index.Install(c) }
+}
+
+// Compact runs one capture/build/install compaction cycle inline and
+// reports whether there was anything to fold.
+func (t *Dynamic) Compact() bool { return t.index.Compact() }
+
 var _ Index = (*Dynamic)(nil)
 
 // QuantizedScan is an exhaustive baseline over 8-bit quantized codes: a

@@ -9,12 +9,21 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 )
 
 // ErrCorrupt reports a structurally invalid stream.
 var ErrCorrupt = errors.New("binio: corrupt stream")
+
+// castagnoli is the CRC-32C polynomial table shared by every checksummed
+// record format in this repository (hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Checksum computes the CRC-32C of b, the record checksum used by the
+// dynamic index's write-ahead log.
+func Checksum(b []byte) uint32 { return crc32.Checksum(b, castagnoli) }
 
 // Writer serializes fixed-width values in little-endian order.
 type Writer struct {
@@ -158,12 +167,23 @@ func (r *Reader) F64() float64 {
 	return math.Float64frombits(binary.LittleEndian.Uint64(buf[:]))
 }
 
+// chunkBytes bounds how much any bulk read allocates before bytes actually
+// arrive: a corrupt header declaring a gigantic element count costs one
+// chunk and fails at the stream's real end, instead of a giant make() up
+// front. 64 KiB also batches the underlying reads, replacing the per-value
+// round trips through bufio.
+const chunkBytes = 64 << 10
+
 // Raw reads n bytes and returns them, or nil once the stream has failed.
 // Callers use it to dispatch on one of several accepted magic values.
 func (r *Reader) Raw(n int) []byte {
-	buf := make([]byte, n)
-	if !r.get(buf) {
-		return nil
+	buf := make([]byte, 0, min(n, chunkBytes))
+	for len(buf) < n {
+		c := min(n-len(buf), chunkBytes)
+		buf = append(buf, make([]byte, c)...)
+		if !r.get(buf[len(buf)-c:]) {
+			return nil
+		}
 	}
 	return buf
 }
@@ -184,37 +204,51 @@ func (r *Reader) Expect(want []byte) {
 
 // F32s reads n float32 values.
 func (r *Reader) F32s(n int) []float32 {
-	out := make([]float32, n)
-	var buf [4]byte
-	for i := range out {
-		if !r.get(buf[:]) {
+	out := make([]float32, 0, min(n, chunkBytes/4))
+	var buf [chunkBytes]byte
+	for len(out) < n {
+		c := min(n-len(out), chunkBytes/4)
+		b := buf[:4*c]
+		if !r.get(b) {
 			return nil
 		}
-		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[:]))
+		for i := 0; i < c; i++ {
+			out = append(out, math.Float32frombits(binary.LittleEndian.Uint32(b[4*i:])))
+		}
 	}
 	return out
 }
 
 // F64s reads n float64 values.
 func (r *Reader) F64s(n int) []float64 {
-	out := make([]float64, n)
-	for i := range out {
-		out[i] = r.F64()
-	}
-	if r.err != nil {
-		return nil
+	out := make([]float64, 0, min(n, chunkBytes/8))
+	var buf [chunkBytes]byte
+	for len(out) < n {
+		c := min(n-len(out), chunkBytes/8)
+		b := buf[:8*c]
+		if !r.get(b) {
+			return nil
+		}
+		for i := 0; i < c; i++ {
+			out = append(out, math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:])))
+		}
 	}
 	return out
 }
 
 // I32s reads n int32 values.
 func (r *Reader) I32s(n int) []int32 {
-	out := make([]int32, n)
-	for i := range out {
-		out[i] = r.I32()
-	}
-	if r.err != nil {
-		return nil
+	out := make([]int32, 0, min(n, chunkBytes/4))
+	var buf [chunkBytes]byte
+	for len(out) < n {
+		c := min(n-len(out), chunkBytes/4)
+		b := buf[:4*c]
+		if !r.get(b) {
+			return nil
+		}
+		for i := 0; i < c; i++ {
+			out = append(out, int32(binary.LittleEndian.Uint32(b[4*i:])))
+		}
 	}
 	return out
 }

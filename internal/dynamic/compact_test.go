@@ -1,0 +1,234 @@
+package dynamic
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"p2h/internal/core"
+)
+
+func randLifted(rng *rand.Rand, dim int) []float32 {
+	v := make([]float32, dim)
+	for j := range v {
+		v[j] = rng.Float32()*2 - 1
+	}
+	v[dim-1] = 1 // lifted coordinate
+	return v
+}
+
+func searchHandles(t *testing.T, ix *Index, q []float32, k int) []int32 {
+	t.Helper()
+	res, _ := ix.Search(q, core.SearchOptions{K: k})
+	out := make([]int32, len(res))
+	for i, r := range res {
+		out[i] = r.ID
+	}
+	return out
+}
+
+// TestCompactEquivalence drives identical random mutation streams through a
+// synchronous index and a background-compacted one, interleaving compaction
+// cycles at arbitrary points, and asserts exact search equivalence
+// throughout: tree shape may differ, result sets may not (PR-3 canonical
+// ordering makes exact top-k traversal-order-independent).
+func TestCompactEquivalence(t *testing.T) {
+	const dim, nops = 6, 1200
+	rng := rand.New(rand.NewSource(11))
+	sync := New(dim, Config{Seed: 1})
+	bg := New(dim, Config{Seed: 1})
+	bg.SetBackgroundCompaction(true)
+
+	var handles []int32
+	for i := 0; i < nops; i++ {
+		if len(handles) == 0 || rng.Intn(4) > 0 {
+			v := randLifted(rng, dim)
+			h1 := sync.Insert(v)
+			h2 := bg.Insert(v)
+			if h1 != h2 {
+				t.Fatalf("op %d: handles diverged %d vs %d", i, h1, h2)
+			}
+			handles = append(handles, h1)
+		} else {
+			j := rng.Intn(len(handles))
+			h := handles[j]
+			ok1 := sync.Delete(h)
+			ok2 := bg.Delete(h)
+			if ok1 != ok2 {
+				t.Fatalf("op %d: delete(%d) diverged %v vs %v", i, h, ok1, ok2)
+			}
+			handles = append(handles[:j], handles[j+1:]...)
+		}
+		if bg.CompactionNeeded() && rng.Intn(2) == 0 {
+			if !bg.Compact() {
+				t.Fatalf("op %d: CompactionNeeded but Compact was a no-op", i)
+			}
+		}
+		if i%100 == 99 {
+			if sync.N() != bg.N() || sync.Handles() != bg.Handles() {
+				t.Fatalf("op %d: N %d/%d handles %d/%d", i, sync.N(), bg.N(), sync.Handles(), bg.Handles())
+			}
+			q := randLifted(rng, dim)
+			a := searchHandles(t, sync, q, 10)
+			b := searchHandles(t, bg, q, 10)
+			if len(a) != len(b) {
+				t.Fatalf("op %d: result sizes %d vs %d", i, len(a), len(b))
+			}
+			for j := range a {
+				if a[j] != b[j] {
+					t.Fatalf("op %d: result %d: %d vs %d", i, j, a[j], b[j])
+				}
+			}
+		}
+	}
+
+	// After a canonicalizing Rebuild both indexes serialize identically:
+	// same rows, same liveness, same live set, same (deterministic) tree.
+	sync.Rebuild()
+	bg.Rebuild()
+	var sb, bb bytes.Buffer
+	if err := sync.Save(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if err := bg.Save(&bb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sb.Bytes(), bb.Bytes()) {
+		t.Fatal("Save bytes differ after canonicalizing Rebuild")
+	}
+}
+
+// TestCompactReconciliation races mutations into the capture/build/install
+// window by hand and checks the install-time bookkeeping.
+func TestCompactReconciliation(t *testing.T) {
+	const dim = 4
+	rng := rand.New(rand.NewSource(12))
+	ix := New(dim, Config{Seed: 2})
+	ix.SetBackgroundCompaction(true)
+	for i := 0; i < 500; i++ {
+		ix.Insert(randLifted(rng, dim))
+	}
+
+	c := ix.BeginCompaction()
+	if c == nil {
+		t.Fatal("BeginCompaction returned nil with a 500-point buffer")
+	}
+
+	// Mutations landing between capture and install: new inserts, a delete
+	// of a captured handle, a delete of a handle inserted after capture.
+	var late []int32
+	for i := 0; i < 50; i++ {
+		late = append(late, ix.Insert(randLifted(rng, dim)))
+	}
+	if !ix.Delete(10) {
+		t.Fatal("delete of captured handle failed")
+	}
+	if !ix.Delete(late[7]) {
+		t.Fatal("delete of late handle failed")
+	}
+
+	c.Build(ix.cfg)
+	ix.Install(c)
+
+	if ix.tree == nil || len(ix.treeIDs) != 500 {
+		t.Fatalf("tree over %d ids, want the 500 captured", len(ix.treeIDs))
+	}
+	if ix.treeDel != 1 {
+		t.Fatalf("treeDel = %d, want 1 (handle 10)", ix.treeDel)
+	}
+	if len(ix.buffer) != 49 {
+		t.Fatalf("buffer = %d, want 49 live late inserts", len(ix.buffer))
+	}
+	for _, h := range ix.buffer {
+		if h < 500 {
+			t.Fatalf("buffer holds captured handle %d", h)
+		}
+		if h == late[7] {
+			t.Fatal("buffer holds deleted late handle")
+		}
+	}
+	if ix.N() != 548 {
+		t.Fatalf("N = %d, want 548", ix.N())
+	}
+
+	// The reconciled index answers exactly like a fresh rebuild.
+	q := randLifted(rng, dim)
+	got := searchHandles(t, ix, q, 20)
+	ref := New(dim, Config{Seed: 2})
+	for h := 0; h < ix.Handles(); h++ {
+		v, ok := ix.Vector(int32(h))
+		if ok {
+			if rh := ref.Insert(v); rh != int32(h) {
+				// ref handles drift past deleted ones; rebuild ref from
+				// scratch using the same rows instead.
+				t.Fatalf("reference handle %d != %d", rh, h)
+			}
+		} else {
+			// Keep handle spaces aligned: insert the original row, then
+			// delete it.
+			row := ix.rows.Row(h)
+			if rh := ref.Insert(row); rh != int32(h) {
+				t.Fatalf("reference handle %d != %d", rh, h)
+			}
+			ref.Delete(int32(h))
+		}
+	}
+	ref.Rebuild()
+	want := searchHandles(t, ref, q, 20)
+	if len(got) != len(want) {
+		t.Fatalf("result sizes %d vs %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("result %d: %d vs %d", i, got[i], want[i])
+		}
+	}
+}
+
+// TestCompactionNeededThresholds pins the trigger predicate.
+func TestCompactionNeededThresholds(t *testing.T) {
+	const dim = 3
+	rng := rand.New(rand.NewSource(13))
+	ix := New(dim, Config{RebuildFraction: 100, CompactFraction: 0.5})
+	ix.SetBackgroundCompaction(true)
+
+	// No tree yet: triggers at 2*DefaultLeafSize buffered points.
+	for i := 0; i < 199; i++ {
+		ix.Insert(randLifted(rng, dim))
+	}
+	if ix.CompactionNeeded() {
+		t.Fatal("needed at 199 buffered points before first tree")
+	}
+	ix.Insert(randLifted(rng, dim))
+	if !ix.CompactionNeeded() {
+		t.Fatal("not needed at 200 buffered points")
+	}
+	ix.Compact()
+	if ix.CompactionNeeded() {
+		t.Fatal("needed immediately after compaction")
+	}
+
+	// With a tree: CompactFraction (0.5), not RebuildFraction (100).
+	for !ix.CompactionNeeded() {
+		ix.Insert(randLifted(rng, dim))
+	}
+	// delta must just exceed 0.5*live: live=200+k, delta=k → k > 100+k/2.
+	if delta := ix.BufferLen(); delta != 201 {
+		t.Fatalf("triggered at delta %d, want 201", delta)
+	}
+
+	// CompactFraction falls back to RebuildFraction when unset.
+	fb := New(dim, Config{RebuildFraction: 0.25})
+	fb.SetBackgroundCompaction(true)
+	for i := 0; i < 300; i++ {
+		fb.Insert(randLifted(rng, dim))
+	}
+	fb.Compact()
+	for !fb.CompactionNeeded() {
+		fb.Insert(randLifted(rng, dim))
+	}
+	// live=300+k, delta=k: trigger at k > 0.25*(300+k) ⇒ 0.75k > 75 ⇒ k=101.
+	if delta := fb.BufferLen(); delta != 101 {
+		t.Fatalf("fallback triggered at delta %d, want 101", delta)
+	}
+}

@@ -26,6 +26,12 @@ type Config struct {
 	// RebuildFraction triggers a rebuild when (buffer size + tombstones)
 	// exceeds this fraction of the live set. Zero selects 0.25.
 	RebuildFraction float64
+	// CompactFraction is the background-compaction trigger used instead of
+	// RebuildFraction when SetBackgroundCompaction is on. Zero inherits
+	// RebuildFraction; it is kept distinct so a serving deployment can defer
+	// inline rebuilds (large RebuildFraction) while compacting in the
+	// background at a tighter threshold.
+	CompactFraction float64
 }
 
 func (c Config) normalized() Config {
@@ -49,6 +55,10 @@ type Index struct {
 	treeIDs []int32      // tree-local id -> handle
 	treeDel int          // tombstones inside the tree snapshot
 	buffer  []int32      // handles inserted since the last rebuild
+
+	// background suppresses inline rebuilds; a serving engine folds the
+	// delta off-thread instead (see compact.go).
+	background bool
 }
 
 // New creates a dynamic index for lifted vectors of dimension dim
@@ -82,6 +92,11 @@ func (ix *Index) Dim() int { return ix.dim }
 
 // BufferLen returns the number of points pending outside the tree.
 func (ix *Index) BufferLen() int { return len(ix.buffer) }
+
+// Pending returns the delta queries pay for beyond the tree: buffered
+// inserts (scanned exhaustively) plus tree tombstones (filtered during
+// traversal). It is what the rebuild and compaction triggers measure.
+func (ix *Index) Pending() int { return len(ix.buffer) + ix.treeDel }
 
 // Insert adds a lifted vector and returns its stable handle.
 func (ix *Index) Insert(x []float32) int32 {
@@ -134,6 +149,9 @@ func (ix *Index) Vector(handle int32) ([]float32, bool) {
 // maybeRebuild rebuilds the tree when the delta (buffer + tombstones)
 // outgrows the configured fraction of the live set.
 func (ix *Index) maybeRebuild() {
+	if ix.background {
+		return
+	}
 	treeLive := 0
 	if ix.tree != nil {
 		treeLive = len(ix.treeIDs) - ix.treeDel

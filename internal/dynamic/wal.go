@@ -1,0 +1,411 @@
+package dynamic
+
+// The write-ahead log of a dynamic index. Every Insert/Delete applied through
+// a durable serving stack is appended here as one checksummed record before
+// the mutation is acknowledged, so a crashed process replays the log on top
+// of its latest snapshot and recovers the exact acknowledged state.
+//
+// File layout (little-endian throughout, one header then records to EOF):
+//
+//	header:  magic "P2HWL001" | dim u32 | base u64 | crc32c(previous 20 bytes)
+//	insert:  op=1 | handle u32 | dim float32s | crc32c(op..vector)
+//	delete:  op=2 | handle u32 |               crc32c(op..handle)
+//
+// dim is the raw point width every insert record carries; base is the
+// index's handle count (rows ever inserted) when the log was created or last
+// truncated, so replay can tell a log that belongs to an older snapshot
+// generation (records below the restored handle count are already inside the
+// snapshot and are skipped) from one that skips ahead of it (a gap: records
+// are missing, the pair is corrupt).
+//
+// Torn tails are expected, corruption is not: a crash mid-append leaves a
+// prefix of the final record, which DecodeWAL reports as torn bytes and
+// OpenWAL truncates away — by construction such a record was never
+// acknowledged (acknowledgement follows the completed write). A record whose
+// bytes are all present but whose checksum, opcode or shape is wrong can only
+// be corruption and fails with an error wrapping binio.ErrCorrupt; it is
+// never silently dropped.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sync/atomic"
+
+	"p2h/internal/binio"
+)
+
+// WAL record opcodes.
+const (
+	WALOpInsert byte = 1
+	WALOpDelete byte = 2
+)
+
+var walMagic = []byte("P2HWL001")
+
+// walHeaderLen is the fixed header size: magic(8) + dim(4) + base(8) + crc(4).
+const walHeaderLen = 8 + 4 + 8 + 4
+
+// maxWALDim bounds the header-declared vector width, mirroring the snapshot
+// serializer's guard, so a corrupt header fails instead of sizing huge reads.
+const maxWALDim = 1 << 20
+
+// WALSync is the log's fsync policy.
+type WALSync int
+
+const (
+	// WALSyncAlways fsyncs after every appended record before it is
+	// acknowledged: no acknowledged mutation is lost even to a machine
+	// crash. Each mutation pays one fsync.
+	WALSyncAlways WALSync = iota
+	// WALSyncNone leaves flushing to the OS: acknowledged mutations survive
+	// a process crash (the page cache persists them) but a machine crash may
+	// lose a recent suffix. Mutations cost one write call.
+	WALSyncNone
+)
+
+// WALHeader is the decoded fixed-size log header.
+type WALHeader struct {
+	// Dim is the raw vector width of every insert record.
+	Dim int
+	// Base is the index handle count at log creation/truncation.
+	Base uint64
+}
+
+// WALReplay reports what decoding a log found.
+type WALReplay struct {
+	Header WALHeader
+	// Records is the number of intact records decoded.
+	Records int
+	// TornBytes is the length of the incomplete final record dropped from
+	// the tail (zero for a cleanly closed log).
+	TornBytes int64
+}
+
+// WAL is an open write-ahead log. Appends are not safe for concurrent use;
+// the serving engine serializes them under its mutation lock. Records and
+// Base are safe to read concurrently (metrics scrape them live).
+type WAL struct {
+	f    *os.File
+	path string
+	dim  int
+	mode WALSync
+
+	base    atomic.Uint64
+	records atomic.Int64
+	buf     []byte
+	err     error // sticky append failure; cleared by TruncateTo
+}
+
+// walRecordLen is the encoded size of one record of the given opcode.
+func walRecordLen(op byte, dim int) int64 {
+	n := int64(1 + 4 + 4) // op + handle + crc
+	if op == WALOpInsert {
+		n += int64(dim) * 4
+	}
+	return n
+}
+
+// WALInsertRecordLen and WALDeleteRecordLen report encoded record sizes, so
+// tests and crash harnesses can map byte offsets to record boundaries.
+func WALInsertRecordLen(dim int) int64 { return walRecordLen(WALOpInsert, dim) }
+
+// WALDeleteRecordLen reports the encoded size of a delete record.
+func WALDeleteRecordLen() int64 { return walRecordLen(WALOpDelete, 0) }
+
+// WALHeaderLen reports the encoded header size.
+func WALHeaderLen() int64 { return walHeaderLen }
+
+func encodeWALHeader(dim int, base uint64) []byte {
+	b := make([]byte, walHeaderLen)
+	copy(b, walMagic)
+	binary.LittleEndian.PutUint32(b[8:], uint32(dim))
+	binary.LittleEndian.PutUint64(b[12:], base)
+	binary.LittleEndian.PutUint32(b[20:], binio.Checksum(b[:20]))
+	return b
+}
+
+func decodeWALHeader(b []byte) (WALHeader, error) {
+	if len(b) < walHeaderLen {
+		return WALHeader{}, fmt.Errorf("%w: wal header truncated at %d bytes", binio.ErrCorrupt, len(b))
+	}
+	for i := range walMagic {
+		if b[i] != walMagic[i] {
+			return WALHeader{}, fmt.Errorf("%w: bad wal magic %q", binio.ErrCorrupt, b[:8])
+		}
+	}
+	if got, want := binary.LittleEndian.Uint32(b[20:]), binio.Checksum(b[:20]); got != want {
+		return WALHeader{}, fmt.Errorf("%w: wal header checksum %08x, want %08x", binio.ErrCorrupt, got, want)
+	}
+	dim := int(int32(binary.LittleEndian.Uint32(b[8:])))
+	if dim <= 0 || dim > maxWALDim {
+		return WALHeader{}, fmt.Errorf("%w: wal header dim %d", binio.ErrCorrupt, dim)
+	}
+	return WALHeader{Dim: dim, Base: binary.LittleEndian.Uint64(b[12:])}, nil
+}
+
+// DecodeWAL decodes a log stream, calling emit for every intact record in
+// order. Structural corruption — bad magic, checksum mismatch, unknown
+// opcode — returns an error wrapping binio.ErrCorrupt; an incomplete final
+// record (a torn append from a crash) is not an error and is reported via
+// WALReplay.TornBytes. emit may be nil to count records only; a non-nil
+// error from emit stops the decode and is returned as-is.
+func DecodeWAL(r io.Reader, emit func(op byte, handle int32, vec []float32) error) (WALReplay, error) {
+	var rep WALReplay
+	head := make([]byte, walHeaderLen)
+	if n, err := io.ReadFull(r, head); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return rep, fmt.Errorf("%w: wal header truncated at %d bytes", binio.ErrCorrupt, n)
+		}
+		return rep, err
+	}
+	h, err := decodeWALHeader(head)
+	if err != nil {
+		return rep, err
+	}
+	rep.Header = h
+
+	// One reusable buffer sized for the larger record kind.
+	rec := make([]byte, walRecordLen(WALOpInsert, h.Dim))
+	vec := make([]float32, h.Dim)
+	for {
+		if _, err := io.ReadFull(r, rec[:1]); err != nil {
+			if err == io.EOF {
+				return rep, nil // clean end
+			}
+			return rep, err
+		}
+		op := rec[0]
+		if op != WALOpInsert && op != WALOpDelete {
+			return rep, fmt.Errorf("%w: wal record %d: unknown opcode %d", binio.ErrCorrupt, rep.Records, op)
+		}
+		body := rec[:walRecordLen(op, h.Dim)]
+		if n, err := io.ReadFull(r, body[1:]); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				// A prefix of the final record: a torn append, never
+				// acknowledged, safe to drop.
+				rep.TornBytes = int64(1 + n)
+				return rep, nil
+			}
+			return rep, err
+		}
+		crcOff := len(body) - 4
+		if got, want := binary.LittleEndian.Uint32(body[crcOff:]), binio.Checksum(body[:crcOff]); got != want {
+			return rep, fmt.Errorf("%w: wal record %d: checksum %08x, want %08x",
+				binio.ErrCorrupt, rep.Records, got, want)
+		}
+		handle := int32(binary.LittleEndian.Uint32(body[1:]))
+		if handle < 0 {
+			return rep, fmt.Errorf("%w: wal record %d: negative handle %d", binio.ErrCorrupt, rep.Records, handle)
+		}
+		var v []float32
+		if op == WALOpInsert {
+			for i := range vec {
+				vec[i] = math.Float32frombits(binary.LittleEndian.Uint32(body[5+i*4:]))
+			}
+			v = vec
+		}
+		if emit != nil {
+			if err := emit(op, handle, v); err != nil {
+				return rep, err
+			}
+		}
+		rep.Records++
+	}
+}
+
+// DecodeWALFile decodes the log at path; see DecodeWAL. A missing file
+// returns os.ErrNotExist; an empty file decodes as zero records under a
+// zero-value header (the state a crash can leave mid-truncation, after the
+// snapshot already absorbed every logged record).
+func DecodeWALFile(path string, emit func(op byte, handle int32, vec []float32) error) (WALReplay, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return WALReplay{}, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return WALReplay{}, err
+	}
+	if st.Size() < walHeaderLen {
+		// Shorter than a header: either a fresh file or the remnant of a
+		// crash during TruncateTo, whose records the snapshot that triggered
+		// the truncation already persisted. Nothing to replay.
+		return WALReplay{}, nil
+	}
+	return DecodeWAL(f, emit)
+}
+
+// CreateWAL creates (or truncates) a log at path for vectors of width dim,
+// recording base as the owning index's current handle count.
+func CreateWAL(path string, dim int, base uint64, mode WALSync) (*WAL, error) {
+	if dim <= 0 || dim > maxWALDim {
+		return nil, fmt.Errorf("dynamic: wal dimension %d out of range", dim)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	w := &WAL{f: f, path: path, dim: dim, mode: mode}
+	w.base.Store(base)
+	if err := w.writeHeader(base); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return w, nil
+}
+
+// OpenWAL opens the log at path for appending, creating it when absent (or
+// when only a truncation remnant shorter than a header exists). An existing
+// log must carry the expected dim; replay reports what the file held, and a
+// torn final record is truncated away before the first append. base is the
+// owning index's current handle count, written into the header only when the
+// file is created fresh.
+func OpenWAL(path string, dim int, base uint64, mode WALSync) (*WAL, WALReplay, error) {
+	st, err := os.Stat(path)
+	if errors.Is(err, os.ErrNotExist) || (err == nil && st.Size() < walHeaderLen) {
+		w, cerr := CreateWAL(path, dim, base, mode)
+		return w, WALReplay{}, cerr
+	}
+	if err != nil {
+		return nil, WALReplay{}, err
+	}
+	rep, err := DecodeWALFile(path, nil)
+	if err != nil {
+		return nil, rep, err
+	}
+	if rep.Header.Dim != dim {
+		return nil, rep, fmt.Errorf("%w: wal %s holds vectors of width %d, index needs %d",
+			binio.ErrCorrupt, path, rep.Header.Dim, dim)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, rep, err
+	}
+	if rep.TornBytes > 0 {
+		if err := f.Truncate(st.Size() - rep.TornBytes); err != nil {
+			f.Close()
+			return nil, rep, err
+		}
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, rep, err
+	}
+	w := &WAL{f: f, path: path, dim: dim, mode: mode}
+	w.base.Store(rep.Header.Base)
+	w.records.Store(int64(rep.Records))
+	return w, rep, nil
+}
+
+func (w *WAL) writeHeader(base uint64) error {
+	if _, err := w.f.Write(encodeWALHeader(w.dim, base)); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+// Path returns the log's file path.
+func (w *WAL) Path() string { return w.path }
+
+// Dim returns the vector width of insert records.
+func (w *WAL) Dim() int { return w.dim }
+
+// Base returns the handle count recorded at the last truncation.
+func (w *WAL) Base() uint64 { return w.base.Load() }
+
+// Records returns the number of records currently in the log (mutations
+// pending beyond the last snapshot). Safe to call concurrently with appends.
+func (w *WAL) Records() int64 { return w.records.Load() }
+
+// Mode returns the fsync policy.
+func (w *WAL) Mode() WALSync { return w.mode }
+
+// append writes one framed record and applies the fsync policy. A failed
+// append leaves the log sticky-failed — the file tail may hold a partial
+// record, so later appends must not interleave with it — until the next
+// TruncateTo resets the file.
+func (w *WAL) append(body []byte) error {
+	if w.err != nil {
+		return fmt.Errorf("dynamic: wal %s failed earlier: %w", w.path, w.err)
+	}
+	if _, err := w.f.Write(body); err != nil {
+		w.err = err
+		return err
+	}
+	if w.mode == WALSyncAlways {
+		if err := w.f.Sync(); err != nil {
+			w.err = err
+			return err
+		}
+	}
+	w.records.Add(1)
+	return nil
+}
+
+// AppendInsert logs an applied insert: the handle the index assigned and the
+// raw point. The mutation must not be acknowledged unless this returns nil.
+func (w *WAL) AppendInsert(handle int32, p []float32) error {
+	if len(p) != w.dim {
+		return fmt.Errorf("dynamic: wal %s: insert of width %d, log holds %d", w.path, len(p), w.dim)
+	}
+	n := walRecordLen(WALOpInsert, w.dim)
+	if int64(cap(w.buf)) < n {
+		w.buf = make([]byte, n)
+	}
+	b := w.buf[:n]
+	b[0] = WALOpInsert
+	binary.LittleEndian.PutUint32(b[1:], uint32(handle))
+	for i, v := range p {
+		binary.LittleEndian.PutUint32(b[5+i*4:], math.Float32bits(v))
+	}
+	binary.LittleEndian.PutUint32(b[n-4:], binio.Checksum(b[:n-4]))
+	return w.append(b)
+}
+
+// AppendDelete logs an applied delete of a live handle.
+func (w *WAL) AppendDelete(handle int32) error {
+	n := walRecordLen(WALOpDelete, 0)
+	if int64(cap(w.buf)) < n {
+		w.buf = make([]byte, n)
+	}
+	b := w.buf[:n]
+	b[0] = WALOpDelete
+	binary.LittleEndian.PutUint32(b[1:], uint32(handle))
+	binary.LittleEndian.PutUint32(b[n-4:], binio.Checksum(b[:n-4]))
+	return w.append(b)
+}
+
+// TruncateTo empties the log and records base as the new snapshot boundary:
+// every record so far is covered by a snapshot the caller just persisted.
+// Called with the same lock held that serializes appends. A crash inside
+// leaves a file shorter than a header, which OpenWAL and DecodeWALFile treat
+// as empty — correct, because the snapshot persisted first.
+func (w *WAL) TruncateTo(base uint64) error {
+	if err := w.f.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	if err := w.writeHeader(base); err != nil {
+		return err
+	}
+	w.base.Store(base)
+	w.records.Store(0)
+	w.err = nil
+	return nil
+}
+
+// Close syncs (regardless of policy) and closes the file.
+func (w *WAL) Close() error {
+	if err := w.f.Sync(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}

@@ -55,6 +55,13 @@ type IndexConfig struct {
 	Spec *p2h.Spec `json:"spec,omitempty"`
 	// Data is the fvecs file the Spec is built over.
 	Data string `json:"data,omitempty"`
+	// WAL attaches a write-ahead log at Path + ".wal": pending records are
+	// replayed on load and every acknowledged mutation is journaled, so a
+	// daemon crash loses nothing. Requires Path (durability needs a
+	// container to recover into) and a dynamic container.
+	WAL bool `json:"wal,omitempty"`
+	// WALSync is the log's fsync policy, "always" (default) or "none".
+	WALSync string `json:"wal_sync,omitempty"`
 }
 
 func (c IndexConfig) validate() error {
@@ -63,6 +70,15 @@ func (c IndexConfig) validate() error {
 		return fmt.Errorf("%w: \"path\" excludes \"spec\" and \"data\"", ErrBadConfig)
 	case c.Path == "" && c.Spec == nil:
 		return fmt.Errorf("%w: need \"path\" or \"spec\"", ErrBadConfig)
+	case c.WAL && c.Path == "":
+		return fmt.Errorf("%w: \"wal\" requires \"path\"", ErrBadConfig)
+	case !c.WAL && c.WALSync != "":
+		return fmt.Errorf("%w: \"wal_sync\" without \"wal\"", ErrBadConfig)
+	}
+	if c.WAL {
+		if _, err := p2h.ParseWALSyncMode(c.WALSync); err != nil {
+			return fmt.Errorf("%w: %v", ErrBadConfig, err)
+		}
 	}
 	return nil
 }
@@ -74,15 +90,20 @@ type ServerConfig struct {
 	MaxBatch     int      `json:"max_batch,omitempty"`
 	MaxDelay     Duration `json:"max_delay,omitempty"`
 	CacheEntries int      `json:"cache_entries,omitempty"`
+	// BackgroundCompaction moves dynamic indexes' delta absorption off the
+	// mutation path: the tree is rebuilt by a background goroutine and
+	// hot-swapped in, instead of rebuilding inline inside an Insert/Delete.
+	BackgroundCompaction bool `json:"background_compaction,omitempty"`
 }
 
 // Options converts to the p2h serving options.
 func (c ServerConfig) Options() p2h.ServerOptions {
 	return p2h.ServerOptions{
-		Workers:      c.Workers,
-		MaxBatch:     c.MaxBatch,
-		MaxDelay:     time.Duration(c.MaxDelay),
-		CacheEntries: c.CacheEntries,
+		Workers:              c.Workers,
+		MaxBatch:             c.MaxBatch,
+		MaxDelay:             time.Duration(c.MaxDelay),
+		CacheEntries:         c.CacheEntries,
+		BackgroundCompaction: c.BackgroundCompaction,
 	}
 }
 

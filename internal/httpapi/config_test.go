@@ -77,9 +77,12 @@ func TestLoadConfigRejectsBadDeclarations(t *testing.T) {
 		doc  string
 		want error
 	}{
-		"bad name":      {`{"indexes": {"a/b": {"path": "x.p2h"}}}`, ErrBadName},
-		"empty decl":    {`{"indexes": {"a": {}}}`, ErrBadConfig},
-		"path and spec": {`{"indexes": {"a": {"path": "x.p2h", "spec": {"kind": "bctree"}}}}`, ErrBadConfig},
+		"bad name":         {`{"indexes": {"a/b": {"path": "x.p2h"}}}`, ErrBadName},
+		"empty decl":       {`{"indexes": {"a": {}}}`, ErrBadConfig},
+		"path and spec":    {`{"indexes": {"a": {"path": "x.p2h", "spec": {"kind": "bctree"}}}}`, ErrBadConfig},
+		"wal without path": {`{"indexes": {"a": {"spec": {"kind": "dynamic", "dim": 4}, "wal": true}}}`, ErrBadConfig},
+		"sync without wal": {`{"indexes": {"a": {"path": "x.p2h", "wal_sync": "none"}}}`, ErrBadConfig},
+		"unknown wal sync": {`{"indexes": {"a": {"path": "x.p2h", "wal": true, "wal_sync": "fsync"}}}`, ErrBadConfig},
 	} {
 		path := filepath.Join(dir, name+".json")
 		if err := os.WriteFile(path, []byte(c.doc), 0o644); err != nil {

@@ -153,11 +153,19 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
 }
 
 func (a *API) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, HealthResponse{
+	resp := HealthResponse{
 		Status:        "ok",
-		Indexes:       a.m.Len(),
 		UptimeSeconds: int64(time.Since(a.started).Seconds()),
-	})
+	}
+	for _, info := range a.m.List() {
+		resp.Indexes++
+		if info.WAL != nil {
+			resp.WALIndexes++
+			resp.WALReplayedRecords += info.WAL.Replayed
+			resp.WALPendingRecords += info.WAL.Records
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (a *API) handleMetrics(w http.ResponseWriter, r *http.Request) {

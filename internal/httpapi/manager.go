@@ -69,6 +69,12 @@ type managed struct {
 	kind    string
 	dim     int
 	mutable bool
+	// wal is the index's write-ahead log, nil unless cfg.WAL attached one.
+	// Owned by the entry: retirement closes it after the engine drains, so
+	// no journaling append can race the close. replayed is the pending
+	// record count the load-time replay consumed.
+	wal      *p2h.WAL
+	replayed int
 	// refs counts handlers currently holding the entry. Retirement (unload,
 	// hot swap, shutdown) first removes the entry from the table — so no new
 	// reference can start — then waits for refs before draining the engine,
@@ -83,7 +89,7 @@ func (e *managed) release() { e.refs.Done() }
 // while Insert/Delete traffic flows.
 func (e *managed) info() IndexInfoResponse {
 	n, bytes := e.srv.Describe()
-	return IndexInfoResponse{
+	info := IndexInfoResponse{
 		Name:       e.name,
 		Kind:       e.kind,
 		Dim:        e.dim,
@@ -93,6 +99,15 @@ func (e *managed) info() IndexInfoResponse {
 		Stats:      toServerStatsJSON(e.srv.Stats()),
 		Source:     e.cfg,
 	}
+	if e.wal != nil {
+		info.WAL = &WALInfoJSON{
+			Path:     e.wal.Path(),
+			Sync:     e.wal.SyncMode().String(),
+			Records:  e.wal.Records(),
+			Replayed: e.replayed,
+		}
+	}
+	return info
 }
 
 // Manager holds the named indexes a daemon serves. All methods are safe for
@@ -120,14 +135,31 @@ func NewManager(opts p2h.ServerOptions, drainTimeout time.Duration) *Manager {
 	}
 }
 
-// buildIndex materializes an IndexConfig into an index. Untyped build
+// buildIndex materializes an IndexConfig into an index, plus the attached
+// write-ahead log when the declaration asks for one. Untyped build
 // failures (a spec its kind rejects, a spec with no data) are tagged
 // ErrBadConfig — the declaration is at fault, not the daemon — while typed
 // errors (unknown kind, dim mismatch, bad container, missing file) pass
 // through for their own HTTP mapping.
-func buildIndex(cfg IndexConfig) (p2h.Index, error) {
+//
+// p2h.Open itself replays a pending sidecar log, so by the time AttachWAL
+// runs the records are already in the index and it replays nothing — the
+// replayed count reported on the wire is therefore probed from the log
+// just before Open consumes it.
+func buildIndex(cfg IndexConfig) (p2h.Index, *p2h.WAL, int, error) {
 	if err := cfg.validate(); err != nil {
-		return nil, err
+		return nil, nil, 0, err
+	}
+	pending := 0
+	if cfg.WAL {
+		if _, err := p2h.ParseWALSyncMode(cfg.WALSync); err != nil {
+			return nil, nil, 0, fmt.Errorf("%w: %v", ErrBadConfig, err)
+		}
+		n, err := p2h.CountWALRecords(p2h.WALPath(cfg.Path))
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		pending = n
 	}
 	var ix p2h.Index
 	var err error
@@ -137,15 +169,29 @@ func buildIndex(cfg IndexConfig) (p2h.Index, error) {
 		var data *p2h.Matrix
 		if cfg.Data != "" {
 			if data, err = p2h.LoadFvecs(cfg.Data); err != nil {
-				return nil, err
+				return nil, nil, 0, err
 			}
 		}
 		ix, err = p2h.New(data, *cfg.Spec)
 	}
-	if err != nil && !typedBuildError(err) {
-		return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
+	if err != nil {
+		if !typedBuildError(err) {
+			err = fmt.Errorf("%w: %v", ErrBadConfig, err)
+		}
+		return nil, nil, 0, err
 	}
-	return ix, err
+	if !cfg.WAL {
+		return ix, nil, 0, nil
+	}
+	mode, _ := p2h.ParseWALSyncMode(cfg.WALSync)
+	wal, err := p2h.AttachWAL(ix, p2h.WALPath(cfg.Path), mode)
+	if err != nil {
+		if !typedBuildError(err) {
+			err = fmt.Errorf("%w: %v", ErrBadConfig, err)
+		}
+		return nil, nil, 0, err
+	}
+	return ix, wal, pending, nil
 }
 
 func typedBuildError(err error) bool {
@@ -184,18 +230,22 @@ func (m *Manager) Load(name string, cfg IndexConfig, replace bool) (info IndexIn
 	}
 	// Build outside the lock: construction can take seconds and the old
 	// index (if any) should serve through all of it.
-	ix, err := buildIndex(cfg)
+	ix, wal, replayed, err := buildIndex(cfg)
 	if err != nil {
 		return IndexInfoResponse{}, false, err
 	}
+	opts := m.opts
+	opts.WAL = wal
 	_, mutable := ix.(mutator)
 	e := &managed{
-		name:    name,
-		srv:     p2h.NewServer(ix, m.opts),
-		cfg:     cfg,
-		kind:    p2h.KindOf(ix),
-		dim:     ix.Dim(),
-		mutable: mutable,
+		name:     name,
+		srv:      p2h.NewServer(ix, opts),
+		cfg:      cfg,
+		kind:     p2h.KindOf(ix),
+		dim:      ix.Dim(),
+		mutable:  mutable,
+		wal:      wal,
+		replayed: replayed,
 	}
 
 	m.mu.Lock()
@@ -255,10 +305,22 @@ func (m *Manager) retire(e *managed) (drained bool) {
 		go func() {
 			e.refs.Wait()
 			e.srv.Close()
+			e.closeWAL()
 		}()
 		return false
 	}
-	return e.srv.Drain(ctx) == nil
+	drained = e.srv.Drain(ctx) == nil
+	// The engine is stopped (or abandoned past the bound): no mutation can
+	// reach the journal anymore, so the log can be closed. A mutation that
+	// raced the drain either journaled before it or failed loudly.
+	e.closeWAL()
+	return drained
+}
+
+func (e *managed) closeWAL() {
+	if e.wal != nil {
+		_ = e.wal.Close()
+	}
 }
 
 // acquire returns the named entry with its reference count raised; the

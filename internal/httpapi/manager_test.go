@@ -222,3 +222,82 @@ func TestManagerInfoRacesMutation(t *testing.T) {
 	}
 	<-done
 }
+
+// TestManagerWALLifecycle walks the durability loop through the manager:
+// load a dynamic container with a WAL attached, mutate, unload (the crash
+// stand-in — the container file never sees the mutations), reload and find
+// them replayed, snapshot and find the log truncated.
+func TestManagerWALLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	ix, err := p2h.New(testMatrix(50, 4, 3), p2h.Spec{Kind: p2h.KindDynamic, LeafSize: 16, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "dyn.idx")
+	if err := p2h.SaveFile(path, ix); err != nil {
+		t.Fatal(err)
+	}
+	m := NewManager(p2h.ServerOptions{Workers: 2, BackgroundCompaction: true}, time.Second)
+	defer m.Close(context.Background())
+	cfg := IndexConfig{Path: path, WAL: true, WALSync: "none"}
+
+	info, _, err := m.Load("d", cfg, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.WAL == nil || info.WAL.Sync != "none" || info.WAL.Records != 0 || info.WAL.Replayed != 0 {
+		t.Fatalf("fresh WAL info: %+v", info.WAL)
+	}
+
+	e, err := m.acquire("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := e.srv.Insert([]float32{1, 2, 3, float32(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ok, err := e.srv.Delete(0); err != nil || !ok {
+		t.Fatalf("delete: %v %v", ok, err)
+	}
+	e.release()
+	info, err = m.Get("d")
+	if err != nil || info.WAL.Records != 3 {
+		t.Fatalf("after mutations: records=%d err=%v", info.WAL.Records, err)
+	}
+
+	// Unload without snapshotting: the mutations exist only in the log.
+	if _, err := m.Unload("d"); err != nil {
+		t.Fatal(err)
+	}
+	info, _, err = m.Load("d", cfg, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.WAL.Replayed != 3 || info.WAL.Records != 3 || info.N != 51 {
+		t.Fatalf("after reload: %+v n=%d", info.WAL, info.N)
+	}
+
+	// Snapshot truncates the log; a further reload replays nothing.
+	e, err = m.acquire("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = e.srv.Snapshot(path)
+	e.release()
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err = m.Get("d")
+	if err != nil || info.WAL.Records != 0 {
+		t.Fatalf("after snapshot: records=%d err=%v", info.WAL.Records, err)
+	}
+	if _, err := m.Unload("d"); err != nil {
+		t.Fatal(err)
+	}
+	info, _, err = m.Load("d", cfg, false)
+	if err != nil || info.WAL.Replayed != 0 || info.N != 51 {
+		t.Fatalf("after snapshot reload: %+v n=%d err=%v", info.WAL, info.N, err)
+	}
+}

@@ -172,10 +172,26 @@ var indexCounters = []struct {
 		func(i IndexInfoResponse) int64 { return i.Stats.Deletes }},
 	{"p2hd_index_mutation_epoch", "Mutation epoch (0 until the first mutation), by index.", "gauge",
 		func(i IndexInfoResponse) int64 { return int64(i.Stats.Epoch) }},
+	{"p2hd_index_compactions_total", "Background compaction cycles installed, by index.", "counter",
+		func(i IndexInfoResponse) int64 { return i.Stats.Compactions }},
+	{"p2hd_index_pending_delta", "Un-folded delta (insert buffer + tombstones) searches pay for, by index.", "gauge",
+		func(i IndexInfoResponse) int64 { return int64(i.Stats.PendingDelta) }},
 	{"p2hd_index_points", "Indexed (live) points, by index.", "gauge",
 		func(i IndexInfoResponse) int64 { return int64(i.N) }},
 	{"p2hd_index_bytes", "Index structure memory footprint, by index.", "gauge",
 		func(i IndexInfoResponse) int64 { return i.IndexBytes }},
+}
+
+// walCounters are the per-index series that only exist for indexes with a
+// write-ahead log attached; indexes without one emit no sample.
+var walCounters = []struct {
+	name, help, typ string
+	value           func(*WALInfoJSON) int64
+}{
+	{"p2hd_index_wal_records", "Pending write-ahead log records (acknowledged mutations not yet snapshotted), by index.", "gauge",
+		func(w *WALInfoJSON) int64 { return w.Records }},
+	{"p2hd_index_wal_replayed_records_total", "Write-ahead log records replayed at load time, by index.", "counter",
+		func(w *WALInfoJSON) int64 { return int64(w.Replayed) }},
 }
 
 func renderIndexMetrics(w *strings.Builder, indexes []IndexInfoResponse) {
@@ -183,6 +199,14 @@ func renderIndexMetrics(w *strings.Builder, indexes []IndexInfoResponse) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", c.name, c.help, c.name, c.typ)
 		for _, ix := range indexes {
 			fmt.Fprintf(w, "%s{index=%q,kind=%q} %d\n", c.name, ix.Name, ix.Kind, c.value(ix))
+		}
+	}
+	for _, c := range walCounters {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", c.name, c.help, c.name, c.typ)
+		for _, ix := range indexes {
+			if ix.WAL != nil {
+				fmt.Fprintf(w, "%s{index=%q,kind=%q} %d\n", c.name, ix.Name, ix.Kind, c.value(ix.WAL))
+			}
 		}
 	}
 }

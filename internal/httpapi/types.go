@@ -200,18 +200,38 @@ type ServerStatsJSON struct {
 	Inserts     int64  `json:"inserts"`
 	Deletes     int64  `json:"deletes"`
 	Epoch       uint64 `json:"epoch"`
+	Compactions int64  `json:"compactions"`
+	// PendingDelta is the un-folded delta (insert buffer + tombstones)
+	// searches currently pay for; rebuilds and compactions reset it.
+	PendingDelta int `json:"pending_delta"`
 }
 
 func toServerStatsJSON(s p2h.ServerStats) ServerStatsJSON {
 	return ServerStatsJSON{
-		Queries:     s.Queries,
-		Batches:     s.Batches,
-		CacheHits:   s.CacheHits,
-		CacheMisses: s.CacheMisses,
-		Inserts:     s.Inserts,
-		Deletes:     s.Deletes,
-		Epoch:       s.Epoch,
+		Queries:      s.Queries,
+		Batches:      s.Batches,
+		CacheHits:    s.CacheHits,
+		CacheMisses:  s.CacheMisses,
+		Inserts:      s.Inserts,
+		Deletes:      s.Deletes,
+		Epoch:        s.Epoch,
+		Compactions:  s.Compactions,
+		PendingDelta: s.PendingDelta,
 	}
+}
+
+// WALInfoJSON describes an index's attached write-ahead log.
+type WALInfoJSON struct {
+	// Path is the log file's location.
+	Path string `json:"path"`
+	// Sync is the fsync policy, "always" or "none".
+	Sync string `json:"sync"`
+	// Records is the current pending record count — acknowledged mutations
+	// not yet absorbed by a snapshot.
+	Records int64 `json:"records"`
+	// Replayed is the pending record count the load-time replay consumed to
+	// restore the pre-crash state.
+	Replayed int `json:"replayed"`
 }
 
 // IndexInfoResponse describes one served index.
@@ -223,6 +243,8 @@ type IndexInfoResponse struct {
 	IndexBytes int64           `json:"index_bytes"`
 	Mutable    bool            `json:"mutable"`
 	Stats      ServerStatsJSON `json:"stats"`
+	// WAL describes the attached write-ahead log, when the index has one.
+	WAL *WALInfoJSON `json:"wal,omitempty"`
 	// Source is the declaration the index was stood up from (the container
 	// path, or the spec and data file).
 	Source IndexConfig `json:"source"`
@@ -233,11 +255,21 @@ type ListResponse struct {
 	Indexes []IndexInfoResponse `json:"indexes"`
 }
 
-// HealthResponse answers GET /healthz.
+// HealthResponse answers GET /healthz. A served daemon has by definition
+// finished every load-time WAL replay (indexes only enter the table fully
+// recovered), so WALReplayedRecords reporting alongside "ok" doubles as
+// the replay-completion signal crash-recovery probes look for.
 type HealthResponse struct {
 	Status        string `json:"status"`
 	Indexes       int    `json:"indexes"`
 	UptimeSeconds int64  `json:"uptime_seconds"`
+	// WALIndexes counts loaded indexes with a write-ahead log attached.
+	WALIndexes int `json:"wal_indexes"`
+	// WALReplayedRecords totals the pending records consumed by load-time
+	// replays across those indexes.
+	WALReplayedRecords int `json:"wal_replayed_records"`
+	// WALPendingRecords totals the records currently in the logs.
+	WALPendingRecords int64 `json:"wal_pending_records"`
 }
 
 // ErrorResponse is the uniform error envelope: a stable machine-readable

@@ -74,6 +74,39 @@ type Mutator interface {
 	Delete(handle int32) bool
 }
 
+// Journal is a durability sink for applied mutations. The engine appends
+// every applied Insert/Delete — under the same lock that serialized the
+// mutation, so the log order is the apply order — and reports the append
+// error to the mutating caller instead of acknowledging: an acknowledged
+// mutation is always in the journal. p2h's write-ahead log implements it.
+type Journal interface {
+	// AppendInsert logs an applied insert: the handle the index assigned
+	// and the raw point as submitted.
+	AppendInsert(handle int32, p []float32) error
+	// AppendDelete logs an applied delete of a previously live handle.
+	AppendDelete(handle int32) error
+}
+
+// Compactor is the optional background-compaction surface of a mutable
+// index (p2h.Dynamic). When Config.BackgroundCompaction is set and the
+// Mutator exposes it, mutations stop folding the index's delta inline;
+// instead the engine watches CompactionNeeded after every mutation and runs
+// capture/build/install cycles on its own goroutine, holding the mutation
+// lock only for the capture and install steps — searches proceed against
+// the old tree for the whole build.
+type Compactor interface {
+	// SetBackgroundCompaction hands delta folding to the engine (true) or
+	// back to inline rebuilds (false).
+	SetBackgroundCompaction(on bool)
+	// CompactionNeeded reports whether the delta has outgrown the index's
+	// compaction threshold. Called under the mutation lock.
+	CompactionNeeded() bool
+	// BeginCompaction captures the rebuild under the mutation lock and
+	// returns a build closure to run unlocked plus an install closure to
+	// run under the lock again; both nil when there is nothing to fold.
+	BeginCompaction() (build, install func())
+}
+
 // ErrImmutable is returned by Insert/Delete when the wrapped index has no
 // mutation surface.
 var ErrImmutable = errors.New("server: underlying index does not support mutation")
@@ -94,6 +127,12 @@ type Config struct {
 	// CacheEntries bounds the result cache (zero: 1024; negative: cache
 	// disabled).
 	CacheEntries int
+	// Journal, when non-nil, receives every applied mutation before it is
+	// acknowledged; see Journal.
+	Journal Journal
+	// BackgroundCompaction moves delta folding off the mutation path when
+	// the index exposes the Compactor surface; ignored otherwise.
+	BackgroundCompaction bool
 }
 
 func (c Config) normalized() Config {
@@ -121,6 +160,11 @@ type Stats struct {
 	Inserts     int64  // successful Insert calls
 	Deletes     int64  // Delete calls that removed a live handle
 	Epoch       uint64 // mutation epoch (0 until the first mutation)
+	Compactions int64  // background compaction cycles installed
+	// PendingDelta is the mutable index's un-folded delta (insert buffer +
+	// tombstones) at snapshot time — what searches pay for linearly until
+	// the next rebuild or compaction. Zero for immutable indexes.
+	PendingDelta int
 }
 
 // request is one in-flight search; done is closed once res/stats (or
@@ -152,14 +196,19 @@ type Engine struct {
 	epoch atomic.Uint64 // bumped by every applied mutation
 	cache *lru          // nil when disabled
 
-	reqs     chan *request
-	batches  chan []*request
-	inflight atomic.Int64 // chunks dispatched but not yet completed
-	closed   atomic.Bool
-	drained  chan struct{}  // closed once the dispatcher and every worker exited
-	wg       sync.WaitGroup // dispatcher + workers
+	journal Journal   // nil when mutations need no durability log
+	comp    Compactor // nil unless background compaction is on
 
-	queries, batchCount, hits, misses, inserts, deletes atomic.Int64
+	reqs      chan *request
+	batches   chan []*request
+	inflight  atomic.Int64 // chunks dispatched but not yet completed
+	closed    atomic.Bool
+	drained   chan struct{}  // closed once the dispatcher and every worker exited
+	wg        sync.WaitGroup // dispatcher + workers + compaction loop
+	compactCh chan struct{}  // wake signal for the compaction loop (cap 1)
+	stopComp  chan struct{}  // closed by the first Drain
+
+	queries, batchCount, hits, misses, inserts, deletes, compactions atomic.Int64
 }
 
 // New builds and starts an engine over ix. Pass the index's mutation surface
@@ -182,6 +231,17 @@ func New(ix Searcher, mut Mutator, cfg Config) *Engine {
 	}
 	if cfg.CacheEntries > 0 {
 		e.cache = newLRU(cfg.CacheEntries)
+	}
+	if mut != nil {
+		e.journal = cfg.Journal
+		if c, ok := mut.(Compactor); ok && cfg.BackgroundCompaction {
+			e.comp = c
+			c.SetBackgroundCompaction(true)
+			e.compactCh = make(chan struct{}, 1)
+			e.stopComp = make(chan struct{})
+			e.wg.Add(1)
+			go e.compactLoop()
+		}
 	}
 	e.wg.Add(1 + cfg.Workers)
 	go e.dispatcher()
@@ -217,7 +277,11 @@ func (e *Engine) Search(q []float32, opts core.SearchOptions) ([]core.Result, co
 }
 
 // Insert adds a point through the mutation surface, serialized against
-// searches. It returns the stable handle assigned by the index.
+// searches. It returns the stable handle assigned by the index. With a
+// Journal configured, a non-nil error means the point is in memory but its
+// log append failed — the caller must not acknowledge it as durable (and
+// the journal refuses further appends until reset, so no later mutation can
+// be logged over the gap).
 func (e *Engine) Insert(p []float32) (int32, error) {
 	if e.mut == nil {
 		return 0, ErrImmutable
@@ -226,12 +290,19 @@ func (e *Engine) Insert(p []float32) (int32, error) {
 	defer e.mu.Unlock() // deferred so a panicking mutator cannot wedge the lock
 	h := e.mut.Insert(p)
 	e.epoch.Add(1)
+	if e.journal != nil {
+		if err := e.journal.AppendInsert(h, p); err != nil {
+			return h, err
+		}
+	}
 	e.inserts.Add(1)
+	e.wakeCompactor()
 	return h, nil
 }
 
 // Delete removes a handle through the mutation surface, serialized against
-// searches. It reports whether the handle was live.
+// searches. It reports whether the handle was live. Journal errors behave
+// as in Insert.
 func (e *Engine) Delete(handle int32) (bool, error) {
 	if e.mut == nil {
 		return false, ErrImmutable
@@ -241,21 +312,90 @@ func (e *Engine) Delete(handle int32) (bool, error) {
 	ok := e.mut.Delete(handle)
 	if ok {
 		e.epoch.Add(1)
+		if e.journal != nil {
+			if err := e.journal.AppendDelete(handle); err != nil {
+				return true, err
+			}
+		}
 		e.deletes.Add(1)
+		e.wakeCompactor()
 	}
 	return ok, nil
 }
 
+// wakeCompactor nudges the compaction loop when a mutation pushed the delta
+// over the threshold. Called with the write lock held; the send never
+// blocks (the channel holds one pending wake).
+func (e *Engine) wakeCompactor() {
+	if e.comp == nil || !e.comp.CompactionNeeded() {
+		return
+	}
+	select {
+	case e.compactCh <- struct{}{}:
+	default:
+	}
+}
+
+// compactLoop folds the index's delta off the mutation path: on every wake
+// it runs capture/build/install cycles until the delta is back under the
+// threshold, holding the mutation lock only for capture and install.
+// Mutations landing during a build are reconciled at install by the index
+// (see Compactor); a cycle therefore never blocks the very mutations that
+// outgrow the threshold again, which is why the loop re-checks and chains.
+func (e *Engine) compactLoop() {
+	defer e.wg.Done()
+	for {
+		select {
+		case <-e.stopComp:
+			return
+		case <-e.compactCh:
+		}
+		for {
+			select {
+			case <-e.stopComp:
+				return
+			default:
+			}
+			var build, install func()
+			e.mu.Lock()
+			if e.comp.CompactionNeeded() {
+				build, install = e.comp.BeginCompaction()
+			}
+			e.mu.Unlock()
+			if build == nil {
+				break
+			}
+			build()
+			e.mu.Lock()
+			install()
+			e.mu.Unlock()
+			// No epoch bump: a compaction changes the tree, not the answer
+			// set, so cached results stay exact.
+			e.compactions.Add(1)
+		}
+	}
+}
+
 // Stats snapshots the engine's counters.
 func (e *Engine) Stats() Stats {
+	pending := 0
+	if p, ok := e.mut.(interface{ Pending() int }); ok {
+		// The delta shrinks under the mutation lock (compaction install,
+		// inline rebuild); read it like a search would.
+		e.mu.RLock()
+		pending = p.Pending()
+		e.mu.RUnlock()
+	}
 	return Stats{
-		Queries:     e.queries.Load(),
-		Batches:     e.batchCount.Load(),
-		CacheHits:   e.hits.Load(),
-		CacheMisses: e.misses.Load(),
-		Inserts:     e.inserts.Load(),
-		Deletes:     e.deletes.Load(),
-		Epoch:       e.epoch.Load(),
+		Queries:      e.queries.Load(),
+		Batches:      e.batchCount.Load(),
+		CacheHits:    e.hits.Load(),
+		CacheMisses:  e.misses.Load(),
+		Inserts:      e.inserts.Load(),
+		Deletes:      e.deletes.Load(),
+		Epoch:        e.epoch.Load(),
+		Compactions:  e.compactions.Load(),
+		PendingDelta: pending,
 	}
 }
 
@@ -269,6 +409,9 @@ func (e *Engine) Stats() Stats {
 func (e *Engine) Drain(ctx context.Context) error {
 	if !e.closed.Swap(true) {
 		close(e.reqs)
+		if e.stopComp != nil {
+			close(e.stopComp) // the loop finishes any in-flight cycle first
+		}
 		go func() {
 			e.wg.Wait()
 			close(e.drained)

@@ -72,9 +72,14 @@ func Load(r io.Reader) (*Index, error) {
 		return nil, br.Err()
 	}
 
+	// Allocations below grow with bytes actually read, never with the
+	// declared counts alone: a corrupt header claiming 2^31 points or shards
+	// must fail at the stream's real end, not reach a multi-GiB make().
+	// payloads is appended per record, and the duplicate-id check waits until
+	// every id has been read from the stream (bounding n by the input size);
+	// the loop itself only range-checks.
 	ix := &Index{n: n, d: d, workers: workers}
-	payloads := make([][]byte, shards)
-	seen := make([]bool, n)
+	var payloads [][]byte
 	total := 0
 	for si := 0; si < shards; si++ {
 		nids := int(br.I32())
@@ -94,11 +99,6 @@ func Load(r io.Reader) (*Index, error) {
 				br.Fail("shard %d: id %d out of range", si, id)
 				return nil, br.Err()
 			}
-			if seen[id] {
-				br.Fail("shard %d: id %d appears twice", si, id)
-				return nil, br.Err()
-			}
-			seen[id] = true
 		}
 		total += nids
 		ix.ids = append(ix.ids, ids)
@@ -111,7 +111,7 @@ func Load(r io.Reader) (*Index, error) {
 			br.Fail("shard %d: bad payload length %d", si, pn)
 			return nil, br.Err()
 		}
-		payloads[si] = br.Raw(int(pn))
+		payloads = append(payloads, br.Raw(int(pn)))
 		if br.Err() != nil {
 			return nil, br.Err()
 		}
@@ -119,6 +119,16 @@ func Load(r io.Reader) (*Index, error) {
 	if total != n {
 		br.Fail("shards cover %d of %d points", total, n)
 		return nil, br.Err()
+	}
+	seen := make([]bool, n)
+	for si, ids := range ix.ids {
+		for _, id := range ids {
+			if seen[id] {
+				br.Fail("shard %d: id %d appears twice", si, id)
+				return nil, br.Err()
+			}
+			seen[id] = true
+		}
 	}
 
 	// Decode the shard trees in parallel over a bounded pool — like the

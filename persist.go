@@ -142,6 +142,16 @@ func Load(r io.Reader) (Index, error) {
 
 // Open restores an index of any registered kind from the named file; see
 // Load for the accepted formats.
+//
+// For a dynamic index, Open also replays the sidecar write-ahead log
+// (path + ".wal") when one is present: mutations acknowledged by a durable
+// server after the container was last snapshotted are applied on top, so
+// the returned index is at the exact pre-crash state — same live set, same
+// handle counter. A corrupt sidecar fails the whole Open (wrapping
+// ErrFormat) rather than silently serving a stale state; a missing sidecar
+// is the common case and is not an error. The replay is read-only: to keep
+// logging new mutations, attach the log with AttachWAL (idempotent over the
+// same records) and serve through ServerOptions.WAL.
 func Open(path string) (Index, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -151,6 +161,11 @@ func Open(path string) (Index, error) {
 	ix, err := Load(f)
 	if err != nil {
 		return nil, fmt.Errorf("p2h: open %s: %w", path, err)
+	}
+	if d, ok := ix.(*Dynamic); ok {
+		if _, err := replayWAL(d, WALPath(path)); err != nil {
+			return nil, fmt.Errorf("p2h: open %s: %w", path, err)
+		}
 	}
 	return ix, nil
 }
@@ -174,6 +189,15 @@ type IndexInfo struct {
 	// Legacy marks a bare tree stream written by (*BallTree).Save /
 	// (*BCTree).Save rather than a self-describing container.
 	Legacy bool
+	// WALPath is the sidecar write-ahead log found next to the container
+	// ("" when none exists). Only InspectFile can probe for it; Inspect on
+	// a bare stream always reports no sidecar.
+	WALPath string
+	// WALRecords is the number of pending records in the sidecar log:
+	// acknowledged mutations a durable server has applied since the
+	// container was last snapshotted, which Open will replay. Zero when
+	// there is no sidecar (or it holds nothing).
+	WALRecords int
 }
 
 // Inspect reads the header of an index stream written by Save (or by the
@@ -228,7 +252,11 @@ func Inspect(r io.Reader) (IndexInfo, error) {
 }
 
 // InspectFile reports the kind, Spec, dimensionality and point count of the
-// named index file without loading it; see Inspect.
+// named index file without loading it; see Inspect. It additionally probes
+// for a sidecar write-ahead log (path + ".wal") and reports its pending
+// record count — the mutations Open would replay — without touching the
+// container payload or the logged vectors beyond checksum verification. A
+// corrupt sidecar fails the inspection, like a corrupt container.
 func InspectFile(path string) (IndexInfo, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -238,6 +266,15 @@ func InspectFile(path string) (IndexInfo, error) {
 	info, err := Inspect(f)
 	if err != nil {
 		return IndexInfo{}, fmt.Errorf("p2h: inspect %s: %w", path, err)
+	}
+	walPath := WALPath(path)
+	if _, err := os.Stat(walPath); err == nil {
+		n, err := CountWALRecords(walPath)
+		if err != nil {
+			return IndexInfo{}, fmt.Errorf("p2h: inspect %s: %w", path, err)
+		}
+		info.WALPath = walPath
+		info.WALRecords = n
 	}
 	return info, nil
 }

@@ -319,6 +319,7 @@ func init() {
 				LeafSize:        spec.LeafSize,
 				Seed:            spec.Seed,
 				RebuildFraction: spec.RebuildFraction,
+				CompactFraction: spec.CompactFraction,
 			}
 			d := spec.Dim
 			if data != nil && data.N > 0 {
@@ -338,10 +339,15 @@ func init() {
 			return &Dynamic{index: dynamic.NewFromMatrix(data.AppendOnes(), cfg), raw: data.D}, nil
 		},
 		Save: func(w io.Writer, ix Index) error { return ix.(*Dynamic).index.Save(w) },
-		Load: func(r io.Reader, _ Spec) (Index, error) {
+		Load: func(r io.Reader, spec Spec) (Index, error) {
 			ix, err := dynamic.Load(r)
 			if err != nil {
 				return nil, err
+			}
+			// The payload format predates CompactFraction; the container
+			// header's Spec carries it across Save/Load.
+			if spec.CompactFraction > 0 {
+				ix.SetCompactFraction(spec.CompactFraction)
 			}
 			return &Dynamic{index: ix, raw: ix.Dim() - 1}, nil
 		},
@@ -354,6 +360,7 @@ func init() {
 				LeafSize:        cfg.LeafSize,
 				Seed:            cfg.Seed,
 				RebuildFraction: cfg.RebuildFraction,
+				CompactFraction: cfg.CompactFraction,
 				Dim:             t.raw,
 			}
 		},

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# bench_durable.sh — measure what the durability layer costs and buys, and
+# emit a machine-readable snapshot: a sustained insert+search run with the
+# delta buffer growing unchecked versus the same run under background
+# compaction (per-window search qps shows the degradation and the
+# recovery), plus the median time to reopen a container whose write-ahead
+# log holds a quarter of the corpus — the crash-recovery path.
+#
+#   scripts/bench_durable.sh [out.json]     default out: BENCH_6.json
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+OUT="${1:-BENCH_6.json}"
+
+N="${BENCH_DURABLE_N:-20000}"
+NQ="${BENCH_DURABLE_NQ:-200}"
+K="${BENCH_DURABLE_K:-10}"
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+go build -o "$tmp/p2hbench" ./cmd/p2hbench
+"$tmp/p2hbench" -durable -n "$N" -nq "$NQ" -k "$K" -seed 1 -out "$OUT" >/dev/null
+echo "wrote $OUT"

@@ -141,4 +141,60 @@ wait "$daemon_pid" || { echo "p2hd exited non-zero"; cat "$tmp/p2hd.log"; exit 1
 daemon_pid=""
 grep "p2hd: drained" "$tmp/p2hd.log" >/dev/null || { echo "p2hd did not drain"; cat "$tmp/p2hd.log"; exit 1; }
 
+echo "== p2hd: durable dynamic — mutate, kill -9, restart, recover"
+"$bin/p2htool" build -index dynamic -spec '{"leaf_size":50}' -seed 1 -data "$data" -out "$tmp/durable.p2h"
+"$bin/p2hd" -listen 127.0.0.1:0 -name live -load "$tmp/durable.p2h" -wal -walsync always -compact \
+  >"$tmp/p2hd-wal.log" 2>&1 &
+daemon_pid=$!
+url=""
+for _ in $(seq 1 100); do
+  url="$(sed -n 's|.*listening on \(http://[0-9.:]*\).*|\1|p' "$tmp/p2hd-wal.log" | head -1)"
+  [ -n "$url" ] && break
+  sleep 0.1
+done
+[ -n "$url" ] || { echo "durable p2hd never came up"; cat "$tmp/p2hd-wal.log"; exit 1; }
+
+n0=$(curl -fsS "$url/v1/indexes/live" | sed -n 's/.*"n":\([0-9]*\).*/\1/p')
+h1=$(curl -fsS -X POST "$url/v1/indexes/live/insert" -d "{\"point\":$point}" \
+  | sed -n 's/.*"handle":\([0-9]*\).*/\1/p')
+h2=$(curl -fsS -X POST "$url/v1/indexes/live/insert" -d "{\"point\":$point}" \
+  | sed -n 's/.*"handle":\([0-9]*\).*/\1/p')
+h3=$(curl -fsS -X POST "$url/v1/indexes/live/insert" -d "{\"point\":$point}" \
+  | sed -n 's/.*"handle":\([0-9]*\).*/\1/p')
+[ -n "$h1" ] && [ -n "$h2" ] && [ -n "$h3" ] || { echo "durable insert failed"; exit 1; }
+
+kill -9 "$daemon_pid"
+wait "$daemon_pid" 2>/dev/null || true
+daemon_pid=""
+
+"$bin/p2hd" -listen 127.0.0.1:0 -name live -load "$tmp/durable.p2h" -wal -walsync always -compact \
+  >"$tmp/p2hd-wal2.log" 2>&1 &
+daemon_pid=$!
+url=""
+for _ in $(seq 1 100); do
+  url="$(sed -n 's|.*listening on \(http://[0-9.:]*\).*|\1|p' "$tmp/p2hd-wal2.log" | head -1)"
+  [ -n "$url" ] && break
+  sleep 0.1
+done
+[ -n "$url" ] || { echo "durable p2hd never came back"; cat "$tmp/p2hd-wal2.log"; exit 1; }
+
+info="$(curl -fsS "$url/v1/indexes/live")"
+grep "\"n\":$((n0 + 3))" >/dev/null <<<"$info" || { echo "acked inserts lost across kill -9: $info"; exit 1; }
+grep '"replayed":3' >/dev/null <<<"$info" || { echo "WAL replay count wrong: $info"; exit 1; }
+curl -fsS "$url/healthz" | grep '"wal_replayed_records":3' >/dev/null \
+  || { echo "healthz does not report replay completion"; exit 1; }
+curl -fsS -X POST "$url/v1/indexes/live/search" -d "{\"query\":$q,\"k\":1}" \
+  | grep '"results":\[{' >/dev/null || { echo "post-recovery search failed"; exit 1; }
+curl -fsS -X DELETE "$url/v1/indexes/live/points/$h2" \
+  | grep '"deleted":true' >/dev/null || { echo "recovered handle not live"; exit 1; }
+
+echo "== p2hd: snapshot absorbs the write-ahead log"
+curl -fsS -X POST "$url/v1/indexes/live/snapshot" -d "{\"path\":\"$tmp/durable.p2h\"}" \
+  | grep '"bytes":' >/dev/null || { echo "durable snapshot failed"; exit 1; }
+curl -fsS "$url/v1/indexes/live" | grep '"records":0' >/dev/null \
+  || { echo "snapshot did not truncate the WAL"; exit 1; }
+kill -TERM "$daemon_pid"
+wait "$daemon_pid" || { echo "durable p2hd exited non-zero"; cat "$tmp/p2hd-wal2.log"; exit 1; }
+daemon_pid=""
+
 echo "smoke OK"

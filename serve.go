@@ -25,6 +25,20 @@ type ServerOptions struct {
 	// CacheEntries bounds the result cache (zero: 1024; negative: cache
 	// disabled).
 	CacheEntries int
+	// WAL, when non-nil, makes mutations durable: every applied
+	// Insert/Delete is appended to the attached write-ahead log before the
+	// call returns, and Snapshot truncates the log atomically with the
+	// saved container. Attach it to the same Dynamic index with AttachWAL
+	// (which also replays any pending records) before starting the server.
+	WAL *WAL
+	// BackgroundCompaction moves the Dynamic index's delta folding off the
+	// mutation path: instead of rebuilding inline inside the unlucky
+	// Insert/Delete that crosses the threshold — stalling every search for
+	// the whole build — the server rebuilds on a background goroutine and
+	// hot-swaps the tree, holding the mutation lock only for the capture
+	// and install steps. Ignored for indexes without the compaction
+	// surface.
+	BackgroundCompaction bool
 }
 
 // ServerStats is a point-in-time snapshot of a Server's counters.
@@ -46,6 +60,7 @@ var ErrImmutable = server.ErrImmutable
 type Server struct {
 	engine *server.Engine
 	ix     Index
+	wal    *WAL // nil unless ServerOptions.WAL attached one
 }
 
 // mutator matches the Insert/Delete surface of Dynamic (and of any
@@ -75,14 +90,20 @@ func NewServer(ix Index, opts ServerOptions) *Server {
 	if m, ok := ix.(mutator); ok {
 		mut = m
 	}
+	cfg := server.Config{
+		Workers:              opts.Workers,
+		MaxBatch:             opts.MaxBatch,
+		MaxDelay:             opts.MaxDelay,
+		CacheEntries:         opts.CacheEntries,
+		BackgroundCompaction: opts.BackgroundCompaction,
+	}
+	if opts.WAL != nil {
+		cfg.Journal = opts.WAL
+	}
 	return &Server{
-		engine: server.New(ix, mut, server.Config{
-			Workers:      opts.Workers,
-			MaxBatch:     opts.MaxBatch,
-			MaxDelay:     opts.MaxDelay,
-			CacheEntries: opts.CacheEntries,
-		}),
-		ix: ix,
+		engine: server.New(ix, mut, cfg),
+		ix:     ix,
+		wal:    opts.WAL,
 	}
 }
 
@@ -130,12 +151,16 @@ func (s *Server) Describe() (n int, indexBytes int64) {
 
 // Snapshot atomically persists the wrapped index to path in the
 // self-describing container format: the bytes are written to a temporary
-// file in the destination directory and renamed into place only on success,
-// so a reader never observes a partial file and a failed save leaves any
-// existing file untouched. On a mutable index the save runs with mutations
-// excluded (in-flight searches finish first), so the snapshot is a
-// consistent cut; searches resume as soon as the bytes are written. It
-// returns the snapshot size in bytes.
+// file in the destination directory, fsynced, and renamed into place only
+// on success, so a reader never observes a partial file and a failed save
+// leaves any existing file untouched. On a mutable index the whole
+// save-sync-rename sequence runs with mutations excluded (in-flight
+// searches finish first), so the snapshot is a consistent cut. With a
+// write-ahead log attached the log is truncated under the same exclusion,
+// after the rename: every logged record is inside the renamed container
+// before it leaves the log, so a crash at any instant leaves either the old
+// container plus the full log, or the new container plus a log whose
+// leftover records replay as no-ops. It returns the snapshot size in bytes.
 func (s *Server) Snapshot(path string) (int64, error) {
 	dir, base := filepath.Split(path)
 	if dir == "" {
@@ -147,16 +172,21 @@ func (s *Server) Snapshot(path string) (int64, error) {
 	}
 	tmp := f.Name()
 	var saveErr error
-	s.engine.Exclusive(func() { saveErr = Save(f, s.ix) })
-	if saveErr == nil {
-		saveErr = f.Sync()
-	}
-	if cerr := f.Close(); saveErr == nil {
-		saveErr = cerr
-	}
-	if saveErr == nil {
-		saveErr = os.Rename(tmp, path)
-	}
+	s.engine.Exclusive(func() {
+		saveErr = Save(f, s.ix)
+		if saveErr == nil {
+			saveErr = f.Sync()
+		}
+		if cerr := f.Close(); saveErr == nil {
+			saveErr = cerr
+		}
+		if saveErr == nil {
+			saveErr = os.Rename(tmp, path)
+		}
+		if saveErr == nil && s.wal != nil {
+			saveErr = s.wal.truncate()
+		}
+	})
 	if saveErr != nil {
 		os.Remove(tmp)
 		return 0, saveErr
@@ -167,6 +197,10 @@ func (s *Server) Snapshot(path string) (int64, error) {
 	}
 	return st.Size(), nil
 }
+
+// WAL returns the attached write-ahead log, or nil when the server runs
+// without one.
+func (s *Server) WAL() *WAL { return s.wal }
 
 // Drain stops intake and waits — bounded by ctx — for every
 // already-submitted query to finish and the workers to exit. It returns nil

@@ -76,6 +76,13 @@ type Spec struct {
 	Dim int `json:"dim,omitempty"`
 	// RebuildFraction is the dynamic kind's rebuild trigger (zero: 0.25).
 	RebuildFraction float64 `json:"rebuild_fraction,omitempty"`
+	// CompactFraction is the dynamic kind's background-compaction trigger,
+	// used instead of RebuildFraction when a server runs with
+	// ServerOptions.BackgroundCompaction (zero: RebuildFraction). Keeping
+	// the two distinct lets a serving deployment defer inline rebuilds
+	// (large RebuildFraction) while compacting off-thread at a tighter
+	// threshold.
+	CompactFraction float64 `json:"compact_fraction,omitempty"`
 }
 
 // New builds an index declared by spec over the rows of data. It is the
