@@ -170,6 +170,16 @@ func BenchmarkQueryExactBCTree(b *testing.B) {
 	queryBench(b, NewBCTree(data, BCTreeOptions{Seed: 1}), queries)
 }
 
+func BenchmarkQueryExactBallTreeQuant(b *testing.B) {
+	data, queries := benchData(b)
+	queryBench(b, NewBallTree(data, BallTreeOptions{Seed: 1, Quantize: true}), queries)
+}
+
+func BenchmarkQueryExactBCTreeQuant(b *testing.B) {
+	data, queries := benchData(b)
+	queryBench(b, NewBCTree(data, BCTreeOptions{Seed: 1, Quantize: true}), queries)
+}
+
 func BenchmarkQueryExactLinearScan(b *testing.B) {
 	data, queries := benchData(b)
 	queryBench(b, NewLinearScan(data), queries)

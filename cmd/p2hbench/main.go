@@ -58,6 +58,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		durable  = fs.Bool("durable", false, "run the durability benchmark (sustained insert+search with and without background compaction, plus WAL crash-recovery time) and emit JSON")
 		indexK   = fs.String("index", "", "registry kind for the single-index benchmark ("+strings.Join(p2h.Kinds(), ", ")+")")
 		specJSON = fs.String("spec", "", "p2h.Spec as JSON for the single-index benchmark (-index overrides its kind)")
+		quantize = fs.Bool("quantize", false, "enable the 8-bit quantized leaf mirror on the single-index benchmark (shorthand for \"quantize\":true in -spec)")
 		loadPath = fs.String("load", "", "benchmark a saved index container instead of building one")
 		n        = fs.Int("n", 20000, "points for the single-index benchmark (before dedup)")
 		outPath  = fs.String("out", "", "also write results to this file")
@@ -89,7 +90,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		cfg.Progress = stderr
 	}
 
-	custom := *indexK != "" || *specJSON != "" || *loadPath != ""
+	custom := *indexK != "" || *specJSON != "" || *loadPath != "" || *quantize
 
 	names := splitList(*exp)
 	if len(names) == 1 && names[0] == "all" {
@@ -141,6 +142,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if err := runCustom(out, customConfig{
 			set: set, n: *n, nq: *nq, k: *k, seed: *seed,
 			kind: *indexK, specJSON: *specJSON, loadPath: *loadPath,
+			quantize: *quantize,
 		}); err != nil {
 			fmt.Fprintf(stderr, "p2hbench: %v\n", err)
 			return 1
@@ -180,6 +182,7 @@ type customConfig struct {
 	kind     string
 	specJSON string
 	loadPath string
+	quantize bool
 }
 
 // runCustom benchmarks one index selected through the registry (built from
@@ -218,6 +221,9 @@ func runCustom(w io.Writer, cfg customConfig) error {
 		}
 		if spec.Seed == 0 {
 			spec.Seed = cfg.seed
+		}
+		if cfg.quantize {
+			spec.Quantize = true
 		}
 		var err error
 		ix, err = p2h.New(data, spec)

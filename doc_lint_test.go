@@ -1,0 +1,79 @@
+package p2h_test
+
+// Documentation lint: every exported symbol of the root package must carry a
+// doc comment. The public API is the library's contract — an undocumented
+// export either needs words or should not be exported. CI runs this test as
+// its own step (see .github/workflows/ci.yml).
+
+import (
+	"go/ast"
+	"go/doc"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"strings"
+	"testing"
+)
+
+func TestExportedSymbolsDocumented(t *testing.T) {
+	fset := token.NewFileSet()
+	notTest := func(fi fs.FileInfo) bool { return !strings.HasSuffix(fi.Name(), "_test.go") }
+	pkgs, err := parser.ParseDir(fset, ".", notTest, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, ok := pkgs["p2h"]
+	if !ok {
+		t.Fatalf("package p2h not found in %v", pkgs)
+	}
+	d := doc.New(pkg, "p2h", 0)
+
+	var missing []string
+	report := func(kind, name, comment string) {
+		if comment == "" && ast.IsExported(name) {
+			missing = append(missing, kind+" "+name)
+		}
+	}
+	// A const/var group counts as documented when either the group or the
+	// individual spec carries a comment.
+	values := func(kind string, vs []*doc.Value) {
+		for _, v := range vs {
+			if v.Doc != "" {
+				continue
+			}
+			for _, spec := range v.Decl.Specs {
+				vspec, ok := spec.(*ast.ValueSpec)
+				if !ok || vspec.Doc.Text() != "" || vspec.Comment.Text() != "" {
+					continue
+				}
+				for _, ident := range vspec.Names {
+					report(kind, ident.Name, "")
+				}
+			}
+		}
+	}
+
+	if d.Doc == "" {
+		missing = append(missing, "package p2h")
+	}
+	values("const", d.Consts)
+	values("var", d.Vars)
+	for _, f := range d.Funcs {
+		report("func", f.Name, f.Doc)
+	}
+	for _, typ := range d.Types {
+		report("type", typ.Name, typ.Doc)
+		for _, f := range typ.Funcs {
+			report("func", f.Name, f.Doc)
+		}
+		for _, m := range typ.Methods {
+			report("method "+typ.Name+".", m.Name, m.Doc)
+		}
+		values("const", typ.Consts)
+		values("var", typ.Vars)
+	}
+
+	for _, m := range missing {
+		t.Errorf("undocumented exported symbol: %s", m)
+	}
+}

@@ -83,6 +83,37 @@ func Example_quickstart() {
 	// pruned some work: true
 }
 
+// Spec.Quantize adds an 8-bit quantized mirror of the tree's leaf blocks:
+// leaf rows are first screened by an integer-kernel scan whose error bound is
+// exact, so results stay bitwise identical to the unquantized index while
+// exact queries verify far fewer float rows. The mirror persists through
+// Save/Load with the tree.
+func ExampleNew_quantized() {
+	data := p2h.Dedup(p2h.GenerateDataset("Sift", 2000, 1))
+	plain, err := p2h.New(data, p2h.Spec{Kind: p2h.KindBCTree, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	quantized, err := p2h.New(data, p2h.Spec{Kind: p2h.KindBCTree, Seed: 1, Quantize: true})
+	if err != nil {
+		panic(err)
+	}
+
+	q := p2h.GenerateQueries(data, 1, 2).Row(0)
+	want, plainStats := plain.Search(q, p2h.SearchOptions{K: 10})
+	got, quantStats := quantized.Search(q, p2h.SearchOptions{K: 10})
+
+	same := len(got) == len(want)
+	for i := range got {
+		same = same && got[i] == want[i]
+	}
+	fmt.Println("identical results:", same)
+	fmt.Println("fewer verified candidates:", quantStats.Candidates < plainStats.Candidates)
+	// Output:
+	// identical results: true
+	// fewer verified candidates: true
+}
+
 // Any registered index kind builds from the same declarative Spec, and the
 // persistable kinds round-trip through the self-describing container
 // format: Save writes the kind and Spec alongside the payload, so Load

@@ -22,6 +22,9 @@ type ShardedOptions struct {
 	// Workers bounds the goroutines used per query; zero selects
 	// min(Shards, GOMAXPROCS), 1 makes queries sequential.
 	Workers int
+	// Quantize stores an 8-bit leaf mirror on every shard tree and filters
+	// leaf rows through its exact error bound; see Spec.Quantize.
+	Quantize bool
 }
 
 // Sharded is a parallel BC-Tree index: the data is partitioned into compact
@@ -42,6 +45,7 @@ func NewSharded(data *Matrix, opts ShardedOptions) *Sharded {
 		LeafSize: opts.LeafSize,
 		Seed:     opts.Seed,
 		Workers:  opts.Workers,
+		Quantize: opts.Quantize,
 	}).(*Sharded)
 }
 

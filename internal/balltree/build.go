@@ -4,6 +4,7 @@ import (
 	"math/rand"
 
 	"p2h/internal/partition"
+	"p2h/internal/quant"
 	"p2h/internal/vec"
 )
 
@@ -30,6 +31,10 @@ func Build(data *vec.Matrix, cfg Config) *Tree {
 	t.centers = &vec.Matrix{Data: b.centers, N: len(t.nodes), D: data.D}
 	// Materialize the reordered copy so leaves scan sequentially.
 	t.points = data.SubsetRows(t.ids)
+	if cfg.Quantize {
+		t.qz = quant.NewQuantizer(t.points)
+		t.codes = t.qz.EncodeMatrix(t.points)
+	}
 	return t
 }
 

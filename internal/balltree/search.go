@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"p2h/internal/core"
+	"p2h/internal/quant"
 	"p2h/internal/vec"
 )
 
@@ -43,6 +44,12 @@ type Searcher struct {
 	st    core.Stats
 	opts  core.SearchOptions
 	buf   []float64 // per-leaf scratch for blocked inner products
+
+	// Quantized-filter state, live only while useQuant is set: qf is the
+	// query's fitted integer filter, sel the per-leaf survivor scratch.
+	qf       quant.CodeFilter
+	sel      []int32
+	useQuant bool
 }
 
 // NewSearcher returns a reusable executor bound to the tree.
@@ -66,6 +73,16 @@ func (s *Searcher) Search(q []float32, opts core.SearchOptions, dst []core.Resul
 	s.opts = opts
 	s.st = core.Stats{}
 	s.tk.Init(opts.K)
+	// The quantized filter applies to plain exact scans only: budgeted
+	// searches keep the float path so "candidates verified" keeps meaning
+	// the same work, and filtered searches stay point-at-a-time. Results
+	// are identical either way (the filter is exact), which the
+	// quantized-vs-float equality tests pin down.
+	s.useQuant = s.tree.qz != nil && opts.Filter == nil && opts.Budget <= 0 &&
+		!opts.DisableQuantFilter
+	if s.useQuant {
+		s.tree.qz.Fit(&s.qf, q)
+	}
 	ip := vec.Dot(q, s.tree.center(0))
 	s.st.IPCount++
 	s.visit(0, ip)
@@ -148,6 +165,12 @@ func (s *Searcher) preferRight(n *nodeRec, ipl, ipr float64) bool {
 // whole (budget-capped) block is verified by one blocked kernel call.
 func (s *Searcher) scanLeaf(n *nodeRec) {
 	s.st.LeavesVisited++
+	// The quantized filter needs a finite lambda to prune against; until the
+	// heap fills, leaves scan on the float path.
+	if s.useQuant && s.tk.Full() {
+		s.scanLeafQuant(n)
+		return
+	}
 	var start time.Time
 	if s.opts.Profile != nil {
 		start = time.Now()
@@ -177,6 +200,53 @@ func (s *Searcher) scanLeaf(n *nodeRec) {
 
 	if s.opts.Profile != nil {
 		s.opts.Profile.Add(core.PhaseVerify, time.Since(start))
+	}
+}
+
+// scanLeafQuant is the quantized leaf scan: one integer-kernel pass over the
+// leaf's code block (vec.CodeSelect) removes every row whose error-bounded
+// approximate score provably cannot beat the current k-th best, and only the
+// survivors are verified against the float rows. When nothing is pruned the
+// whole block goes through the same vec.DotBlock call as the float path, so
+// verified distances are bitwise identical to an unquantized search.
+func (s *Searcher) scanLeafQuant(n *nodeRec) {
+	m := int(n.count())
+	if m == 0 {
+		return
+	}
+	d := s.tree.points.D
+	start64 := int(n.start) * d
+	var t0 time.Time
+	if s.opts.Profile != nil {
+		t0 = time.Now()
+	}
+	codes := s.tree.codes[start64 : start64+m*d]
+	s.sel = vec.CodeSelect(codes, d, s.qf.W, s.qf.Base, s.qf.InvS, s.qf.Eps,
+		s.tk.Lambda(), s.sel[:0])
+	s.st.PrunedPoints += int64(m - len(s.sel))
+	if s.opts.Profile != nil {
+		s.opts.Profile.Add(core.PhaseBound, time.Since(t0))
+		t0 = time.Now()
+	}
+
+	if len(s.sel) == m {
+		rows := s.tree.points.Data[start64 : start64+m*d]
+		dists := s.scratch(m)
+		vec.DotBlock(s.q, rows, dists)
+		for i := 0; i < m; i++ {
+			s.tk.Push(s.tree.ids[int(n.start)+i], math.Abs(dists[i]))
+		}
+	} else {
+		for _, i := range s.sel {
+			pos := int(n.start) + int(i)
+			dist := math.Abs(vec.Dot(s.q, s.tree.points.Row(pos)))
+			s.tk.Push(s.tree.ids[pos], dist)
+		}
+	}
+	s.st.IPCount += int64(len(s.sel))
+	s.st.Candidates += int64(len(s.sel))
+	if s.opts.Profile != nil {
+		s.opts.Profile.Add(core.PhaseVerify, time.Since(t0))
 	}
 }
 

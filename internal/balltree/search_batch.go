@@ -53,6 +53,7 @@ type batchSearcher struct {
 	opts    core.SearchOptions
 	scr     exec.BatchScratch
 	stats   []core.Stats
+	quant   bool // quantized leaf filtering active for this batch
 }
 
 func (b *batchSearcher) run(queries *vec.Matrix, opts core.SearchOptions, out [][]core.Result, stats []core.Stats) {
@@ -62,6 +63,10 @@ func (b *batchSearcher) run(queries *vec.Matrix, opts core.SearchOptions, out []
 	b.queries, b.opts, b.stats = queries, opts, stats
 	scr := &b.scr
 	scr.Reset(queries, opts.K)
+	b.quant = t.qz != nil && !opts.DisableQuantFilter
+	if b.quant {
+		scr.ResetQuant(t.qz, queries)
+	}
 
 	mark := scr.Mark()
 	act, ips := scr.Alloc(nq)
@@ -145,6 +150,10 @@ func (b *batchSearcher) visit(ni int32, act []int32, ips []float64) {
 // one multi-query kernel call over widened (conversion-free) operands;
 // per-query results follow from the row-major distance block.
 func (b *batchSearcher) scanLeaf(n *nodeRec, act []int32) {
+	if b.quant {
+		b.scanLeafQuant(n, act)
+		return
+	}
 	t := b.tree
 	m := int(n.count())
 	if m == 0 {
@@ -168,6 +177,59 @@ func (b *batchSearcher) scanLeaf(n *nodeRec, act []int32) {
 		tk := &b.scr.Heaps[qi]
 		for r := 0; r < m; r++ {
 			tk.Push(t.ids[start+r], math.Abs(dists[r*nact+j]))
+		}
+	}
+}
+
+// scanLeafQuant is the batched quantized leaf scan. Unlike the float path's
+// shared multi-query kernel, each active query filters the (4x smaller,
+// cache-resident) code block independently and verifies only its own
+// survivors — the filter typically removes most rows, so sharing the float
+// row stream would widen rows no survivor needs. Queries whose heap is not
+// yet full fall back to this query's dense float scan, exactly like the
+// single-query path. Verified distances go through the same float kernels,
+// so batched results stay bitwise identical to per-query Search.
+func (b *batchSearcher) scanLeafQuant(n *nodeRec, act []int32) {
+	t := b.tree
+	m := int(n.count())
+	if m == 0 {
+		return
+	}
+	start := int(n.start)
+	d := t.points.D
+	rows := t.points.Data[start*d : (start+m)*d]
+	codes := t.codes[start*d : (start+m)*d]
+	for _, qi := range act {
+		st := &b.stats[qi]
+		st.LeavesVisited++
+		tk := &b.scr.Heaps[qi]
+		q := b.queries.Row(int(qi))
+		if !tk.Full() {
+			dists := b.scr.Dists(m)
+			vec.DotBlock(q, rows, dists)
+			st.IPCount += int64(m)
+			st.Candidates += int64(m)
+			for r := 0; r < m; r++ {
+				tk.Push(t.ids[start+r], math.Abs(dists[r]))
+			}
+			continue
+		}
+		w, base, invS, eps := b.scr.QuantFilter(int(qi), d)
+		sel := vec.CodeSelect(codes, d, w, base, invS, eps, tk.Lambda(), b.scr.Sel(m))
+		st.PrunedPoints += int64(m - len(sel))
+		st.IPCount += int64(len(sel))
+		st.Candidates += int64(len(sel))
+		if len(sel) == m {
+			dists := b.scr.Dists(m)
+			vec.DotBlock(q, rows, dists)
+			for r := 0; r < m; r++ {
+				tk.Push(t.ids[start+r], math.Abs(dists[r]))
+			}
+		} else {
+			for _, r := range sel {
+				pos := start + int(r)
+				tk.Push(t.ids[pos], math.Abs(vec.Dot(q, t.points.Row(pos))))
+			}
 		}
 	}
 }

@@ -6,16 +6,20 @@ import (
 	"os"
 
 	"p2h/internal/binio"
+	"p2h/internal/quant"
 	"p2h/internal/vec"
 )
 
 // Serialization formats. Version 2 mirrors the in-memory flat arena: columnar
-// node arrays instead of a recursive record stream. Version 1 (the pointer
-// tree era) is still accepted by Load and converted to the arena on the fly;
-// Save always writes version 2.
+// node arrays instead of a recursive record stream. Version 3 is version 2
+// plus a trailing quantization section (grid tables and the 8-bit code
+// mirror). Version 1 (the pointer tree era) is still accepted by Load and
+// converted to the arena on the fly; Save writes version 2, or version 3 when
+// the tree is quantized, so unquantized files stay readable by older code.
 var (
 	magicV1 = []byte("P2HBT001")
 	magicV2 = []byte("P2HBT002")
+	magicV3 = []byte("P2HBT003")
 )
 
 // maxSerialDim guards against corrupt headers allocating absurd buffers.
@@ -25,7 +29,11 @@ const maxSerialDim = 1 << 20
 // Load can restore it without the original data matrix.
 func (t *Tree) Save(w io.Writer) error {
 	bw := binio.NewWriter(w)
-	bw.Bytes(magicV2)
+	if t.qz != nil {
+		bw.Bytes(magicV3)
+	} else {
+		bw.Bytes(magicV2)
+	}
 	bw.I32(int32(t.leafSize))
 	bw.I32(int32(t.points.N))
 	bw.I32(int32(t.points.D))
@@ -44,6 +52,9 @@ func (t *Tree) Save(w io.Writer) error {
 		bw.I32(n.left)
 		bw.I32(n.right)
 	}
+	if t.qz != nil {
+		quant.WriteSection(bw, t.qz, t.codes)
+	}
 	return bw.Flush()
 }
 
@@ -56,7 +67,8 @@ func Load(r io.Reader) (*Tree, error) {
 	if err := br.Err(); err != nil {
 		return nil, err
 	}
-	v2 := bytes.Equal(magic, magicV2)
+	v3 := bytes.Equal(magic, magicV3)
+	v2 := v3 || bytes.Equal(magic, magicV2)
 	if !v2 && !bytes.Equal(magic, magicV1) {
 		br.Fail("bad magic %q", magic)
 		return nil, br.Err()
@@ -98,6 +110,9 @@ func Load(r io.Reader) (*Tree, error) {
 		loadFlat(br, t, nodes, d)
 	} else {
 		loadLegacy(br, t, nodes, d)
+	}
+	if v3 && br.Err() == nil {
+		t.qz, t.codes = quant.ReadSection(br, t.points)
 	}
 	if err := br.Err(); err != nil {
 		return nil, err

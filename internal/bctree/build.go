@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"p2h/internal/partition"
+	"p2h/internal/quant"
 	"p2h/internal/vec"
 )
 
@@ -38,6 +39,10 @@ func Build(data *vec.Matrix, cfg Config) *Tree {
 	b.build(t.ids, 0)
 	t.centers = &vec.Matrix{Data: b.centers, N: len(t.nodes), D: data.D}
 	t.points = data.SubsetRows(t.ids)
+	if cfg.Quantize {
+		t.qz = quant.NewQuantizer(t.points)
+		t.codes = t.qz.EncodeMatrix(t.points)
+	}
 	return t
 }
 

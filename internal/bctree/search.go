@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"p2h/internal/core"
+	"p2h/internal/quant"
 	"p2h/internal/vec"
 )
 
@@ -49,6 +50,11 @@ type Searcher struct {
 	opts    core.SearchOptions
 	buf     []float64 // per-leaf scratch for blocked inner products
 	sel     []int32   // per-leaf scratch for cone-bound survivors
+
+	// Quantized-filter state, live only while useQuant is set: qf is the
+	// query's fitted integer filter (see quant.CodeFilter).
+	qf       quant.CodeFilter
+	useQuant bool
 }
 
 // NewSearcher returns a reusable executor bound to the tree.
@@ -73,6 +79,16 @@ func (s *Searcher) Search(q []float32, opts core.SearchOptions, dst []core.Resul
 	s.opts = opts
 	s.st = core.Stats{}
 	s.tk.Init(opts.K)
+	// The quantized filter applies to plain exact scans only: budgeted
+	// searches keep the float path so "candidates verified" keeps meaning
+	// the same work, and filtered searches stay point-at-a-time. Results
+	// are identical either way (the filter is exact), which the
+	// quantized-vs-float equality tests pin down.
+	s.useQuant = s.tree.qz != nil && opts.Filter == nil && opts.Budget <= 0 &&
+		!opts.DisableQuantFilter
+	if s.useQuant {
+		s.tree.qz.Fit(&s.qf, q)
+	}
 	ip := vec.Dot(q, s.tree.center(0))
 	s.st.IPCount++
 	s.visit(0, ip)
@@ -215,6 +231,26 @@ func (s *Searcher) scanWithPruning(n *nodeRec, ip float64) {
 		s.sel = sel // keep the grown capacity for the next leaf
 		s.st.PrunedPoints += int64(m - len(sel))
 		dense = len(sel) == m
+	}
+
+	// Quantized filter: one integer-kernel pass over what the geometric
+	// bounds left standing (the whole prefix, or the cone survivors). Like
+	// them it prunes against the λ snapshot and needs a finite λ to act.
+	if s.useQuant && m > 0 && s.tk.Full() {
+		d := s.tree.points.D
+		if dense {
+			sel = vec.CodeSelect(s.tree.codes[start*d:(start+m)*d], d,
+				s.qf.W, s.qf.Base, s.qf.InvS, s.qf.Eps, lambda, s.sel[:0])
+			s.sel = sel
+			s.st.PrunedPoints += int64(m - len(sel))
+			dense = len(sel) == m
+		} else if len(sel) > 0 {
+			before := len(sel)
+			sel = vec.CodeSelectIdx(s.tree.codes[start*d:(start+m)*d], d,
+				s.qf.W, s.qf.Base, s.qf.InvS, s.qf.Eps, lambda, sel)
+			s.sel = sel
+			s.st.PrunedPoints += int64(before - len(sel))
+		}
 	}
 
 	// Cap verification work by the remaining candidate budget.

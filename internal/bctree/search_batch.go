@@ -57,6 +57,7 @@ type batchSearcher struct {
 	opts    core.SearchOptions
 	scr     exec.BatchScratch
 	stats   []core.Stats
+	quant   bool // quantized leaf filtering active for this batch
 }
 
 func (b *batchSearcher) run(queries *vec.Matrix, opts core.SearchOptions, out [][]core.Result, stats []core.Stats) {
@@ -66,6 +67,10 @@ func (b *batchSearcher) run(queries *vec.Matrix, opts core.SearchOptions, out []
 	b.queries, b.opts, b.stats = queries, opts, stats
 	scr := &b.scr
 	scr.Reset(queries, opts.K)
+	b.quant = t.qz != nil && !opts.DisableQuantFilter
+	if b.quant {
+		scr.ResetQuant(t.qz, queries)
+	}
 
 	mark := scr.Mark()
 	act, ips := scr.Alloc(nq)
@@ -168,6 +173,10 @@ func (b *batchSearcher) visit(ni int32, act []int32, ips []float64) {
 // its own share. A query whose prefix is empty costs nothing beyond its
 // pruning bookkeeping.
 func (b *batchSearcher) scanLeaf(n *nodeRec, act []int32, ips []float64) {
+	if b.quant {
+		b.scanLeafQuant(n, act, ips)
+		return
+	}
 	t := b.tree
 	m := int(n.count())
 	if m == 0 {
@@ -213,6 +222,70 @@ func (b *batchSearcher) scanLeaf(n *nodeRec, act []int32, ips []float64) {
 		tk := &b.scr.Heaps[qi]
 		for r := 0; r < mj; r++ {
 			tk.Push(t.ids[start+r], math.Abs(dists[r*nact+j]))
+		}
+	}
+}
+
+// scanLeafQuant is the batched quantized leaf scan. The point-level ball
+// bound still cuts each query's prefix of the radius-sorted leaf first; the
+// code filter then runs over that prefix of the (4x smaller, cache-resident)
+// code block, and only its survivors are verified. As in Ball-Tree batch
+// mode, each query filters and verifies independently instead of sharing a
+// multi-query kernel — the filter removes most rows, so widening the float
+// stream for all queries would do work no survivor needs. Queries whose heap
+// is not yet full fall back to a dense float scan of their prefix, exactly
+// like the single-query path. Results stay bitwise identical to per-query
+// Search (canonical exact results; see internal/exec).
+func (b *batchSearcher) scanLeafQuant(n *nodeRec, act []int32, ips []float64) {
+	t := b.tree
+	m := int(n.count())
+	if m == 0 {
+		return
+	}
+	start := int(n.start)
+	d := t.points.D
+	for j, qi := range act {
+		st := &b.stats[qi]
+		st.LeavesVisited++
+		tk := &b.scr.Heaps[qi]
+		mj := m
+		if !b.opts.DisablePointBall {
+			mj = vec.BallCutoff(math.Abs(ips[j]), b.scr.QNorms[qi],
+				tk.Lambda(), t.rx[start:start+m])
+			st.PrunedPoints += int64(m - mj)
+		}
+		if mj == 0 {
+			continue
+		}
+		rows := t.points.Data[start*d : (start+mj)*d]
+		q := b.queries.Row(int(qi))
+		if !tk.Full() {
+			dists := b.scr.Dists(mj)
+			vec.DotBlock(q, rows, dists)
+			st.IPCount += int64(mj)
+			st.Candidates += int64(mj)
+			for r := 0; r < mj; r++ {
+				tk.Push(t.ids[start+r], math.Abs(dists[r]))
+			}
+			continue
+		}
+		w, base, invS, eps := b.scr.QuantFilter(int(qi), d)
+		sel := vec.CodeSelect(t.codes[start*d:(start+mj)*d], d,
+			w, base, invS, eps, tk.Lambda(), b.scr.Sel(mj))
+		st.PrunedPoints += int64(mj - len(sel))
+		st.IPCount += int64(len(sel))
+		st.Candidates += int64(len(sel))
+		if len(sel) == mj {
+			dists := b.scr.Dists(mj)
+			vec.DotBlock(q, rows, dists)
+			for r := 0; r < mj; r++ {
+				tk.Push(t.ids[start+r], math.Abs(dists[r]))
+			}
+		} else {
+			for _, r := range sel {
+				pos := start + int(r)
+				tk.Push(t.ids[pos], math.Abs(vec.Dot(q, t.points.Row(pos))))
+			}
 		}
 	}
 }

@@ -21,6 +21,7 @@ import (
 	"fmt"
 
 	"p2h/internal/exec"
+	"p2h/internal/quant"
 	"p2h/internal/vec"
 )
 
@@ -47,6 +48,12 @@ type Config struct {
 	// Seed drives the random pivot choice of the seed-grow split
 	// (Algorithm 2); builds are deterministic given a seed.
 	Seed int64
+	// Quantize stores an 8-bit quantized mirror of the reordered points and
+	// filters leaf rows through its exact error bound after the ball and
+	// cone bounds, before float verification. Results are unchanged (the
+	// filter is conservative); exact unfiltered searches get cheaper leaf
+	// scans for +25% memory.
+	Quantize bool
 }
 
 func (c Config) normalized() Config {
@@ -86,6 +93,13 @@ type Tree struct {
 
 	leafSize int
 	leaves   int
+
+	// Quantized mirror (Config.Quantize): codes is the 8-bit encoding of the
+	// reordered points, position-aligned so a leaf's code block sits at
+	// [start*d, end*d) like its float block. Both are nil when quantization
+	// is off.
+	qz    *quant.Quantizer
+	codes []uint8
 
 	// Free lists of the execution-engine state (internal/exec): Search and
 	// SearchBatch recycle their scratch through these, so steady-state
@@ -127,14 +141,21 @@ func (t *Tree) height(ni int32) int {
 	return hr + 1
 }
 
+// Quantized reports whether the tree carries the 8-bit leaf mirror.
+func (t *Tree) Quantized() bool { return t.qz != nil }
+
 // IndexBytes estimates the memory footprint of the index structure: the
-// packed centers matrix, the node records, the position->id map, and the
-// three Θ(n)-size point-level arrays that BC-Tree adds over Ball-Tree
-// (Theorem 6).
+// packed centers matrix, the node records, the position->id map, the three
+// Θ(n)-size point-level arrays that BC-Tree adds over Ball-Tree (Theorem 6),
+// and the quantized mirror when present.
 func (t *Tree) IndexBytes() int64 {
 	const perNode = 2*8 /*radius+norm*/ + 2*4 /*range*/ + 2*4 /*children*/
-	return t.centers.Bytes() + int64(len(t.nodes))*perNode +
+	b := t.centers.Bytes() + int64(len(t.nodes))*perNode +
 		int64(len(t.ids))*4 + int64(t.points.N)*3*8
+	if t.qz != nil {
+		b += int64(len(t.codes)) + int64(t.points.D)*(4+4+8)
+	}
+	return b
 }
 
 // DataBytes returns the size of the reordered data copy.

@@ -202,6 +202,20 @@ func (r *Reader) Expect(want []byte) {
 	}
 }
 
+// U8s reads n raw bytes, chunked like the other bulk readers so a corrupt
+// length costs one chunk rather than one giant allocation.
+func (r *Reader) U8s(n int) []uint8 {
+	out := make([]uint8, 0, min(n, chunkBytes))
+	for len(out) < n {
+		c := min(n-len(out), chunkBytes)
+		out = append(out, make([]uint8, c)...)
+		if !r.get(out[len(out)-c:]) {
+			return nil
+		}
+	}
+	return out
+}
+
 // F32s reads n float32 values.
 func (r *Reader) F32s(n int) []float32 {
 	out := make([]float32, 0, min(n, chunkBytes/4))

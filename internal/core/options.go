@@ -55,6 +55,11 @@ type SearchOptions struct {
 	// (Lemma 2), so both children of a visited internal node cost a full
 	// O(d) inner product. Used by the Theorem 5 ablation bench.
 	DisableCollabIP bool
+	// DisableQuantFilter turns off the quantized leaf filter on trees built
+	// with quantization (Spec.Quantize), forcing the pure float leaf scan.
+	// Results are identical either way — the filter is exact — so this is
+	// an ablation/escape hatch for measuring the filter's contribution.
+	DisableQuantFilter bool
 }
 
 // Normalized returns a copy with defaults applied.

@@ -1,22 +1,10 @@
-// Package exec is the query-execution engine shared by the tree indexes:
-// reusable single-query searchers with pooled scratch (so steady-state
-// search allocates nothing), and the scratch arena behind the batched
-// traversal mode that walks a tree's arena once for a whole group of
-// queries.
-//
-// The engine rests on one invariant established by internal/core and the
-// strict pruning inequalities in the tree searches: exact results are
-// *canonical* — the unique k smallest (Dist, ID) pairs — so any traversal
-// order that offers a superset of the true top-k to the collector returns
-// bitwise-identical results. That is what lets the batched traversal share
-// node visits and leaf verification across queries without replicating each
-// query's individual branch order.
 package exec
 
 import (
 	"sync"
 
 	"p2h/internal/core"
+	"p2h/internal/quant"
 	"p2h/internal/vec"
 )
 
@@ -84,6 +72,16 @@ type BatchScratch struct {
 	prefix []int32   // per-active-query verified prefix length (BC-Tree)
 	rows64 []float64 // one leaf's row block, widened per visit
 	ctr64  []float64 // node centers widened for the bound computations
+
+	// Quantized-filter state (ResetQuant): one fitted integer filter per
+	// query of the batch. qw packs the int16 weights row-major (nq x d);
+	// qbase/qinvS/qeps hold each query's affine form and error bound; sel is
+	// the per-leaf survivor scratch shared by the sequential leaf loop.
+	qw    []int16
+	qbase []float64
+	qinvS []float64
+	qeps  []float64
+	sel   []int32
 }
 
 // Reset prepares the scratch for a batch of nq queries with k results each:
@@ -113,6 +111,42 @@ func (b *BatchScratch) Reset(queries *vec.Matrix, k int) {
 		b.QNorms[i] = vec.Norm(queries.Row(i))
 	}
 	b.mark = 0
+}
+
+// ResetQuant fits the quantized filter of every query in the batch into the
+// scratch's packed per-query state (see quant.Quantizer.FitInto). Call after
+// Reset when the tree carries a quantized mirror; the per-query coefficients
+// are then read back with QuantFilter during leaf scans.
+func (b *BatchScratch) ResetQuant(qz *quant.Quantizer, queries *vec.Matrix) {
+	nq, d := queries.N, queries.D
+	if cap(b.qw) < nq*d {
+		b.qw = make([]int16, nq*d)
+	}
+	b.qw = b.qw[:nq*d]
+	if nq > len(b.qbase) {
+		b.qbase = make([]float64, nq)
+		b.qinvS = make([]float64, nq)
+		b.qeps = make([]float64, nq)
+	}
+	for qi := 0; qi < nq; qi++ {
+		b.qbase[qi], b.qinvS[qi], b.qeps[qi] =
+			qz.FitInto(b.qw[qi*d:(qi+1)*d], queries.Row(qi))
+	}
+}
+
+// QuantFilter returns query qi's fitted filter coefficients as packed by
+// ResetQuant: the weight row plus the affine form and error bound.
+func (b *BatchScratch) QuantFilter(qi, d int) (w []int16, base, invS, eps float64) {
+	return b.qw[qi*d : (qi+1)*d], b.qbase[qi], b.qinvS[qi], b.qeps[qi]
+}
+
+// Sel returns an empty survivor-index slice with capacity at least n, reused
+// across the leaf scans of a batch.
+func (b *BatchScratch) Sel(n int) []int32 {
+	if cap(b.sel) < n {
+		b.sel = make([]int32, 0, n)
+	}
+	return b.sel[:0]
 }
 
 // Mark returns the current arena watermark, to be passed to Release once the

@@ -1,0 +1,209 @@
+package quant
+
+import (
+	"fmt"
+	"math"
+
+	"p2h/internal/vec"
+)
+
+// weightMax is the largest magnitude a rounded int16 weight may take. It sits
+// one below math.MaxInt16-1 so that math.Round can never push a weight past
+// the int16 range, and so each product code*weight stays within the headroom
+// the SIMD kernel's 32-bit lanes assume (see vec.CodeDot).
+const weightMax = 32766
+
+// epsSlack is the relative inflation applied to the error bound to absorb
+// the float64 rounding of the bound computation itself. The true relative
+// error of those few operations is ~2^-50; 1e-9 dominates it by orders of
+// magnitude while remaining negligible against any real quantization error.
+const epsSlack = 1e-9
+
+// arithUlp bounds the relative rounding of one float64 operation, with a 8x
+// margin over the true unit roundoff 2^-53. The filter's absolute-value
+// summation error term scales this by the number of accumulated terms.
+const arithUlp = 8.0 / (1 << 53)
+
+// CodeFilter is a query's fitted quantized filter: the affine form of the
+// approximate inner product with integer weights,
+//
+//	approx(x) = Base + CodeDot(code(x), W) * InvS,
+//
+// plus the rigorous total error bound Eps with
+// |<query,x> - approx(x)| <= Eps for every row the quantizer's per-dimension
+// bound holds for (see Quantizer.Validate). A row is prunable exactly when
+// |approx| - Eps strictly exceeds the current k-th best distance.
+//
+// W is retained across Fit calls, so a long-lived searcher re-fits with zero
+// steady-state allocations.
+type CodeFilter struct {
+	Base float64
+	InvS float64
+	Eps  float64
+	W    []int16
+}
+
+// Fit computes the filter coefficients of query, reusing f's weight slice
+// when it is already large enough.
+func (q *Quantizer) Fit(f *CodeFilter, query []float32) {
+	d := q.Dim()
+	if cap(f.W) < d {
+		f.W = make([]int16, d)
+	}
+	f.W = f.W[:d]
+	f.Base, f.InvS, f.Eps = q.FitInto(f.W, query)
+}
+
+// FitInto is Fit over a caller-owned weight slice of length Dim() — the form
+// the batched engine uses to pack all per-query weights into one arena. It
+// returns the affine form's base, the scale to convert the integer dot back
+// to the float domain, and the total error bound.
+//
+// The bound is MaxError (quantization proper) plus an exactly-accounted
+// weight-rounding term — each true weight w_j = query_j*step_j (exact in
+// float64: two 24-bit mantissas) is rounded to wq_j = round(w_j*S) and every
+// code is at most 255, contributing sum_j 255*|w_j - wq_j/S| — plus an
+// absolute-value term covering the float64 rounding of evaluating the affine
+// form itself. Inflating by epsSlack then absorbs the rounding of computing
+// the bound. The filter therefore never prunes a row whose exact distance
+// could still win, which is what keeps exact recall at 1.0.
+func (q *Quantizer) FitInto(w []int16, query []float32) (base, invS, eps float64) {
+	d := q.Dim()
+	if len(query) != d {
+		panic(fmt.Sprintf("quant: query dimension %d != %d", len(query), d))
+	}
+	if len(w) != d {
+		panic(fmt.Sprintf("quant: weight buffer length %d != %d", len(w), d))
+	}
+	var absBase, maxW float64
+	for j, v := range query {
+		t := float64(v) * float64(q.lo[j])
+		base += t
+		absBase += math.Abs(t)
+		if a := math.Abs(float64(v) * float64(q.step[j])); a > maxW {
+			maxW = a
+		}
+	}
+	eps = q.MaxError(query)
+	if maxW == 0 {
+		// All weights vanish (constant dimensions or a zero query): the
+		// approximation is the constant base.
+		for j := range w {
+			w[j] = 0
+		}
+		eps = eps*(1+epsSlack) + float64(d+4)*arithUlp*absBase
+		return base, 0, eps
+	}
+	s := weightMax / maxW
+	var r, sumW float64
+	for j, v := range query {
+		wj := float64(v) * float64(q.step[j])
+		c := math.Round(wj * s)
+		w[j] = int16(c)
+		r += math.Abs(wj - c/s)
+		sumW += math.Abs(wj)
+	}
+	eps = (eps+levels*r)*(1+epsSlack) +
+		float64(d+4)*arithUlp*(absBase+levels*(sumW+r))
+	return base, 1 / s, eps
+}
+
+// EncodeTo quantizes x into dst, which must have length Dim(). It is Encode
+// without the allocation.
+func (q *Quantizer) EncodeTo(dst []uint8, x []float32) {
+	if len(x) != q.Dim() {
+		panic(fmt.Sprintf("quant: vector dimension %d != %d", len(x), q.Dim()))
+	}
+	if len(dst) != len(x) {
+		panic(fmt.Sprintf("quant: code buffer length %d != %d", len(dst), len(x)))
+	}
+	for j, v := range x {
+		if q.step[j] == 0 {
+			dst[j] = 0
+			continue
+		}
+		c := math.Round(float64(v-q.lo[j]) / float64(q.step[j]))
+		if c < 0 {
+			c = 0
+		}
+		if c > levels {
+			c = levels
+		}
+		dst[j] = uint8(c)
+	}
+}
+
+// EncodeMatrix quantizes every row of data into one packed row-major code
+// block, the mirror layout the trees store alongside their float arenas.
+func (q *Quantizer) EncodeMatrix(data *vec.Matrix) []uint8 {
+	if data.D != q.Dim() {
+		panic(fmt.Sprintf("quant: matrix dimension %d != %d", data.D, q.Dim()))
+	}
+	codes := make([]uint8, data.N*data.D)
+	for i := 0; i < data.N; i++ {
+		q.EncodeTo(codes[i*data.D:(i+1)*data.D], data.Row(i))
+	}
+	return codes
+}
+
+// Tables returns copies of the per-dimension grids, the serializable state of
+// the quantizer.
+func (q *Quantizer) Tables() (lo, step []float32, halfE []float64) {
+	lo = append([]float32(nil), q.lo...)
+	step = append([]float32(nil), q.step...)
+	halfE = append([]float64(nil), q.halfE...)
+	return lo, step, halfE
+}
+
+// NewQuantizerFromTables reconstructs a quantizer from serialized grids. It
+// validates shape and finiteness; the semantic soundness of the tables
+// against a concrete data/code pair is Validate's job.
+func NewQuantizerFromTables(lo, step []float32, halfE []float64) (*Quantizer, error) {
+	d := len(lo)
+	if d == 0 || len(step) != d || len(halfE) != d {
+		return nil, fmt.Errorf("quant: table lengths %d/%d/%d", len(lo), len(step), len(halfE))
+	}
+	for j := 0; j < d; j++ {
+		bad := math.IsNaN(float64(lo[j])) || math.IsInf(float64(lo[j]), 0) ||
+			!(float64(step[j]) >= 0) || math.IsInf(float64(step[j]), 0) ||
+			!(halfE[j] >= 0) || math.IsInf(halfE[j], 0)
+		if bad {
+			return nil, fmt.Errorf("quant: invalid grid at dimension %d (lo=%v step=%v halfE=%v)",
+				j, lo[j], step[j], halfE[j])
+		}
+	}
+	return &Quantizer{
+		lo:    append([]float32(nil), lo...),
+		step:  append([]float32(nil), step...),
+		halfE: append([]float64(nil), halfE...),
+	}, nil
+}
+
+// Validate checks the invariant every filter bound rests on: for each row i
+// and dimension j, the decoded grid point of codes is within halfE_j of the
+// stored float value. Loaded containers run this before trusting a quantized
+// mirror — a corrupted or inconsistent code block would otherwise silently
+// prune true neighbors, which is far worse than failing the load.
+func (q *Quantizer) Validate(data *vec.Matrix, codes []uint8) error {
+	d := q.Dim()
+	if data.D != d {
+		return fmt.Errorf("quant: matrix dimension %d != %d", data.D, d)
+	}
+	if len(codes) != data.N*d {
+		return fmt.Errorf("quant: code block length %d != %d rows * %d dims", len(codes), data.N, d)
+	}
+	const tol = 1 + 1e-9
+	for i := 0; i < data.N; i++ {
+		row := data.Row(i)
+		code := codes[i*d : (i+1)*d]
+		for j, v := range row {
+			g := float64(q.lo[j]) + float64(code[j])*float64(q.step[j])
+			// The negated form catches NaN on either side.
+			if !(math.Abs(float64(v)-g) <= q.halfE[j]*tol) {
+				return fmt.Errorf("quant: row %d dim %d: value %v vs grid point %v exceeds bound %v",
+					i, j, v, g, q.halfE[j])
+			}
+		}
+	}
+	return nil
+}

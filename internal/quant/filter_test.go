@@ -1,0 +1,179 @@
+package quant
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"p2h/internal/vec"
+)
+
+// TestQuickCodeFilterBound: the integer-weight affine form obeys its error
+// bound, |<q,x> - (Base + CodeDot*InvS)| <= Eps, for every indexed vector —
+// the soundness property the in-tree filter rests on.
+func TestQuickCodeFilterBound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(150) + 10
+		d := rng.Intn(24) + 1
+		scale := math.Exp(rng.NormFloat64() * 4) // spans tiny to huge ranges
+		m := vec.NewMatrix(n, d)
+		for i := range m.Data {
+			m.Data[i] = float32(rng.NormFloat64() * scale)
+		}
+		qz := NewQuantizer(m)
+		query := make([]float32, d)
+		for j := range query {
+			query[j] = float32(rng.NormFloat64())
+		}
+		var cf CodeFilter
+		qz.Fit(&cf, query)
+		for i := 0; i < n; i++ {
+			row := m.Row(i)
+			exact := vec.Dot(query, row)
+			ip := vec.CodeDot(qz.Encode(row), cf.W)
+			approx := cf.Base + float64(ip)*cf.InvS
+			if math.Abs(exact-approx) > cf.Eps {
+				t.Logf("seed %d row %d: |%v - %v| = %v > eps %v",
+					seed, i, exact, approx, math.Abs(exact-approx), cf.Eps)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCodeFilterReusesWeights: Fit on a live filter must not allocate once
+// the weight slice has grown to the dimensionality.
+func TestCodeFilterReusesWeights(t *testing.T) {
+	m := vec.NewMatrix(50, 16)
+	rng := rand.New(rand.NewSource(1))
+	for i := range m.Data {
+		m.Data[i] = float32(rng.NormFloat64())
+	}
+	qz := NewQuantizer(m)
+	query := make([]float32, 16)
+	for j := range query {
+		query[j] = float32(rng.NormFloat64())
+	}
+	var cf CodeFilter
+	qz.Fit(&cf, query)
+	allocs := testing.AllocsPerRun(100, func() { qz.Fit(&cf, query) })
+	if allocs != 0 {
+		t.Fatalf("Fit allocated %v times per run", allocs)
+	}
+}
+
+func TestEncodeToMatchesEncode(t *testing.T) {
+	m := vec.NewMatrix(40, 9)
+	rng := rand.New(rand.NewSource(5))
+	for i := range m.Data {
+		m.Data[i] = float32(rng.NormFloat64() * 3)
+	}
+	qz := NewQuantizer(m)
+	dst := make([]uint8, 9)
+	for i := 0; i < m.N; i++ {
+		qz.EncodeTo(dst, m.Row(i))
+		want := qz.Encode(m.Row(i))
+		for j := range dst {
+			if dst[j] != want[j] {
+				t.Fatalf("row %d dim %d: EncodeTo %d != Encode %d", i, j, dst[j], want[j])
+			}
+		}
+	}
+}
+
+func TestTablesRoundTrip(t *testing.T) {
+	m := vec.NewMatrix(60, 7)
+	rng := rand.New(rand.NewSource(9))
+	for i := range m.Data {
+		m.Data[i] = float32(rng.NormFloat64() * 2)
+	}
+	qz := NewQuantizer(m)
+	lo, step, halfE := qz.Tables()
+	back, err := NewQuantizerFromTables(lo, step, halfE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	codes := qz.EncodeMatrix(m)
+	if err := back.Validate(m, codes); err != nil {
+		t.Fatalf("round-tripped quantizer rejects its own codes: %v", err)
+	}
+	for i := 0; i < m.N; i++ {
+		a := qz.Encode(m.Row(i))
+		b := back.Encode(m.Row(i))
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("row %d dim %d: %d != %d after round trip", i, j, a[j], b[j])
+			}
+		}
+	}
+}
+
+func TestNewQuantizerFromTablesRejectsBadGrids(t *testing.T) {
+	nan := float32(math.NaN())
+	cases := []struct {
+		name  string
+		lo    []float32
+		step  []float32
+		halfE []float64
+	}{
+		{"empty", nil, nil, nil},
+		{"length mismatch", []float32{0, 1}, []float32{1}, []float64{1, 1}},
+		{"nan lo", []float32{nan}, []float32{1}, []float64{1}},
+		{"negative step", []float32{0}, []float32{-1}, []float64{1}},
+		{"nan step", []float32{0}, []float32{nan}, []float64{1}},
+		{"negative halfE", []float32{0}, []float32{1}, []float64{-1}},
+		{"inf halfE", []float32{0}, []float32{1}, []float64{math.Inf(1)}},
+	}
+	for _, tc := range cases {
+		if _, err := NewQuantizerFromTables(tc.lo, tc.step, tc.halfE); err == nil {
+			t.Fatalf("%s: expected error", tc.name)
+		}
+	}
+}
+
+// TestValidateCatchesTampering: flipping a single code or shrinking a halfE
+// entry must fail validation — the property the container loader relies on
+// to refuse mirrors that would silently prune true neighbors.
+func TestValidateCatchesTampering(t *testing.T) {
+	m := vec.NewMatrix(30, 5)
+	rng := rand.New(rand.NewSource(13))
+	for i := range m.Data {
+		m.Data[i] = float32(rng.NormFloat64())
+	}
+	qz := NewQuantizer(m)
+	codes := qz.EncodeMatrix(m)
+	if err := qz.Validate(m, codes); err != nil {
+		t.Fatalf("clean codes must validate: %v", err)
+	}
+	if err := qz.Validate(m, codes[:len(codes)-1]); err == nil {
+		t.Fatal("truncated codes must fail")
+	}
+	tampered := append([]uint8(nil), codes...)
+	// Push one code to the opposite end of its grid: the decoded point moves
+	// far outside the halfE band unless the dimension is (nearly) constant.
+	if tampered[7] < 128 {
+		tampered[7] = 255
+	} else {
+		tampered[7] = 0
+	}
+	if err := qz.Validate(m, tampered); err == nil {
+		t.Fatal("tampered code must fail")
+	}
+	lo, step, halfE := qz.Tables()
+	for j := range halfE {
+		halfE[j] /= 16
+	}
+	tight, err := NewQuantizerFromTables(lo, step, halfE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tight.Validate(m, codes); err == nil {
+		t.Fatal("understated halfE must fail")
+	}
+}

@@ -1,13 +1,3 @@
-// Package quant provides per-dimension scalar quantization (8-bit codes)
-// with a rigorous inner-product error bound, and a filter-then-verify
-// exhaustive scan built on it.
-//
-// The paper's Section III-A(4) argues Ball-Tree combines easily with other
-// optimizations; this package is one such optimization made concrete: codes
-// are 4x smaller than float32 vectors, the approximate inner product is
-// computed directly on codes, and the error bound makes the filter exact —
-// a point is only skipped when its approximate score provably cannot beat
-// the current k-th best.
 package quant
 
 import (
@@ -80,19 +70,7 @@ func (q *Quantizer) Encode(x []float32) []uint8 {
 		panic(fmt.Sprintf("quant: vector dimension %d != %d", len(x), q.Dim()))
 	}
 	out := make([]uint8, len(x))
-	for j, v := range x {
-		if q.step[j] == 0 {
-			continue
-		}
-		c := math.Round(float64(v-q.lo[j]) / float64(q.step[j]))
-		if c < 0 {
-			c = 0
-		}
-		if c > levels {
-			c = levels
-		}
-		out[j] = uint8(c)
-	}
+	q.EncodeTo(out, x)
 	return out
 }
 
@@ -157,11 +135,7 @@ type Scan struct {
 // NewScan quantizes the lifted data matrix.
 func NewScan(data *vec.Matrix) *Scan {
 	q := NewQuantizer(data)
-	codes := make([]uint8, data.N*data.D)
-	for i := 0; i < data.N; i++ {
-		copy(codes[i*data.D:(i+1)*data.D], q.Encode(data.Row(i)))
-	}
-	return &Scan{data: data, quant: q, codes: codes}
+	return &Scan{data: data, quant: q, codes: q.EncodeMatrix(data)}
 }
 
 // N returns the number of indexed points.
@@ -182,8 +156,8 @@ func (s *Scan) Search(q []float32, opts core.SearchOptions) ([]core.Result, core
 	opts = opts.Normalized()
 	var st core.Stats
 	tk := core.NewTopK(opts.K)
-	base, w := s.quant.QueryCoeffs(q)
-	eps := s.quant.MaxError(q)
+	var f CodeFilter
+	s.quant.Fit(&f, q)
 	d := s.data.D
 	for i := 0; i < s.data.N; i++ {
 		if !opts.BudgetLeft(st.Candidates) {
@@ -192,11 +166,12 @@ func (s *Scan) Search(q []float32, opts core.SearchOptions) ([]core.Result, core
 		if opts.Filter != nil && !opts.Filter(int32(i)) {
 			continue
 		}
-		approx := math.Abs(approxIP(base, w, s.codes[i*d:(i+1)*d]))
+		ip := vec.CodeDot(s.codes[i*d:(i+1)*d], f.W)
+		approx := math.Abs(f.Base + float64(ip)*f.InvS)
 		// |<x,q>| >= approx - eps: skip only when that floor strictly
 		// exceeds the current k-th best distance (ties must reach the
 		// collector's canonical (Dist, ID) order, as in the trees).
-		if approx-eps > tk.Lambda() {
+		if approx-f.Eps > tk.Lambda() {
 			st.PrunedPoints++
 			continue
 		}

@@ -35,6 +35,9 @@ type Config struct {
 	// Workers bounds the goroutines used per query. Zero selects
 	// min(Shards, GOMAXPROCS); 1 makes queries sequential.
 	Workers int
+	// Quantize enables the 8-bit quantized leaf mirror on every shard tree;
+	// see bctree.Config.Quantize.
+	Quantize bool
 }
 
 func (c Config) normalized() Config {
@@ -85,6 +88,7 @@ func Build(data *vec.Matrix, cfg Config) *Index {
 		ix.trees = append(ix.trees, bctree.Build(sub, bctree.Config{
 			LeafSize: cfg.LeafSize,
 			Seed:     cfg.Seed + int64(si) + 1,
+			Quantize: cfg.Quantize,
 		}))
 	}
 	return ix
@@ -127,6 +131,9 @@ func (ix *Index) Workers() int { return ix.workers }
 
 // LeafSize returns the shard trees' maximum leaf size N0.
 func (ix *Index) LeafSize() int { return ix.trees[0].LeafSize() }
+
+// Quantized reports whether the shard trees carry the 8-bit leaf mirror.
+func (ix *Index) Quantized() bool { return ix.trees[0].Quantized() }
 
 // IndexBytes reports the summed footprint of all shard trees plus the
 // id maps.

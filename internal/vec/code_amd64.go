@@ -1,0 +1,17 @@
+//go:build amd64 && !purego
+
+package vec
+
+// codeDotArch dispatches to the SSE2 assembly kernel. SSE2 is part of the
+// amd64 baseline (GOAMD64=v1), so no feature detection is needed. Callers
+// guarantee len(codes) == len(w) <= codeChunk, which keeps the kernel's
+// 32-bit lane accumulators from overflowing (see codeChunk).
+func codeDotArch(codes []uint8, w []int16) int64 {
+	if len(codes) == 0 {
+		return 0
+	}
+	return codeDotAsm(&codes[0], &w[0], int64(len(codes)))
+}
+
+//go:noescape
+func codeDotAsm(codes *byte, w *int16, n int64) int64

@@ -1,0 +1,90 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// codeDotAsm computes sum codes[j]*w[j] over n elements with SSE2, the
+// amd64 baseline ISA. Per 16-element iteration: PUNPCK{L,H}BW zero-extends
+// 16 uint8 codes into two 8 x i16 vectors, PMADDWL (PMADDWD) multiplies
+// them against the int16 weights and adds adjacent pairs into 4 x i32, and
+// PADDL accumulates into two i32x4 registers. The caller bounds n at 2048
+// so the i32 lanes cannot overflow (see codeChunk in code.go). The final
+// reduction widens each i32 lane to i64 before summing, so the returned
+// int64 is the exact integer dot product.
+//
+// func codeDotAsm(codes *byte, w *int16, n int64) int64
+TEXT ·codeDotAsm(SB), NOSPLIT, $0-32
+	MOVQ codes+0(FP), SI
+	MOVQ w+8(FP), DI
+	MOVQ n+16(FP), CX
+	PXOR X7, X7 // zero register for the byte->word unpack
+	PXOR X6, X6 // i32x4 accumulator, lanes 0..7
+	PXOR X5, X5 // i32x4 accumulator, lanes 8..15
+	XORQ AX, AX // scalar accumulator for the tail
+
+loop16:
+	CMPQ CX, $16
+	JLT  tail
+	MOVOU (SI), X0 // 16 codes
+	MOVO  X0, X1
+	PUNPCKLBW X7, X0 // low 8 codes -> 8 x i16
+	PUNPCKHBW X7, X1 // high 8 codes -> 8 x i16
+	MOVOU (DI), X2   // weights 0..7
+	MOVOU 16(DI), X3 // weights 8..15
+	PMADDWL X2, X0   // pairwise i16*i16, adjacent sums -> 4 x i32
+	PMADDWL X3, X1
+	PADDL X0, X6
+	PADDL X1, X5
+	ADDQ $16, SI
+	ADDQ $32, DI
+	SUBQ $16, CX
+	JMP  loop16
+
+tail:
+	TESTQ CX, CX
+	JE    done
+
+tailloop:
+	MOVBQZX (SI), DX
+	MOVWQSX (DI), BX
+	IMULQ   BX, DX
+	ADDQ    DX, AX
+	INCQ    SI
+	ADDQ    $2, DI
+	DECQ    CX
+	JNZ     tailloop
+
+done:
+	// Widen the 8 i32 lanes to i64 one at a time (PSRLO shifts the whole
+	// register right by 4 bytes, exposing the next lane) and sum into AX.
+	MOVL    X6, BX
+	MOVLQSX BX, BX
+	ADDQ    BX, AX
+	PSRLO   $4, X6
+	MOVL    X6, BX
+	MOVLQSX BX, BX
+	ADDQ    BX, AX
+	PSRLO   $4, X6
+	MOVL    X6, BX
+	MOVLQSX BX, BX
+	ADDQ    BX, AX
+	PSRLO   $4, X6
+	MOVL    X6, BX
+	MOVLQSX BX, BX
+	ADDQ    BX, AX
+	MOVL    X5, BX
+	MOVLQSX BX, BX
+	ADDQ    BX, AX
+	PSRLO   $4, X5
+	MOVL    X5, BX
+	MOVLQSX BX, BX
+	ADDQ    BX, AX
+	PSRLO   $4, X5
+	MOVL    X5, BX
+	MOVLQSX BX, BX
+	ADDQ    BX, AX
+	PSRLO   $4, X5
+	MOVL    X5, BX
+	MOVLQSX BX, BX
+	ADDQ    BX, AX
+	MOVQ    AX, ret+24(FP)
+	RET

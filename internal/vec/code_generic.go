@@ -1,0 +1,26 @@
+//go:build !amd64 || purego
+
+package vec
+
+// codeDotArch is the portable integer dot kernel: four independent int64
+// accumulation chains over a bounds-check-free block, mirroring the float
+// kernels' structure so the compiler can keep the multiply units busy.
+// Integer accumulation cannot overflow here regardless of length (the
+// caller's codeChunk bound only matters for the SIMD lanes), and integer
+// addition is associative, so this is bit-identical to the assembly kernel.
+func codeDotArch(codes []uint8, w []int16) int64 {
+	var s0, s1, s2, s3 int64
+	j := 0
+	for ; j+4 <= len(codes); j += 4 {
+		c := codes[j : j+4 : j+4]
+		v := w[j : j+4 : j+4]
+		s0 += int64(c[0]) * int64(v[0])
+		s1 += int64(c[1]) * int64(v[1])
+		s2 += int64(c[2]) * int64(v[2])
+		s3 += int64(c[3]) * int64(v[3])
+	}
+	for ; j < len(codes); j++ {
+		s0 += int64(codes[j]) * int64(w[j])
+	}
+	return s0 + s1 + s2 + s3
+}

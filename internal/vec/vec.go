@@ -1,10 +1,3 @@
-// Package vec provides the dense vector and matrix kernels used by every
-// index in this repository.
-//
-// Vectors are stored as []float32, the storage format common to similarity
-// search systems, while every accumulation runs in float64 so that the
-// geometric bounds built on top of these kernels are stable enough to prune
-// safely (see internal/balltree and internal/bctree).
 package vec
 
 import "math"

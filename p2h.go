@@ -126,6 +126,9 @@ type BallTreeOptions struct {
 	LeafSize int
 	// Seed makes construction deterministic.
 	Seed int64
+	// Quantize stores an 8-bit leaf mirror and filters leaf rows through its
+	// exact error bound before float verification; see Spec.Quantize.
+	Quantize bool
 }
 
 // BallTree is the paper's Section III index.
@@ -138,7 +141,9 @@ type BallTree struct {
 // internal). It is a thin wrapper over New with Spec{Kind: KindBallTree}
 // that panics where New returns an error.
 func NewBallTree(data *Matrix, opts BallTreeOptions) *BallTree {
-	return mustNew(data, Spec{Kind: KindBallTree, LeafSize: opts.LeafSize, Seed: opts.Seed}).(*BallTree)
+	return mustNew(data, Spec{
+		Kind: KindBallTree, LeafSize: opts.LeafSize, Seed: opts.Seed, Quantize: opts.Quantize,
+	}).(*BallTree)
 }
 
 // Search implements Index.
@@ -235,6 +240,9 @@ type BCTreeOptions struct {
 	LeafSize int
 	// Seed makes construction deterministic.
 	Seed int64
+	// Quantize stores an 8-bit leaf mirror and filters leaf rows through its
+	// exact error bound after the ball and cone bounds; see Spec.Quantize.
+	Quantize bool
 }
 
 // BCTree is the paper's Section IV index: Ball-Tree plus point-level ball
@@ -248,7 +256,9 @@ type BCTree struct {
 // is a thin wrapper over New with Spec{Kind: KindBCTree} that panics where
 // New returns an error.
 func NewBCTree(data *Matrix, opts BCTreeOptions) *BCTree {
-	return mustNew(data, Spec{Kind: KindBCTree, LeafSize: opts.LeafSize, Seed: opts.Seed}).(*BCTree)
+	return mustNew(data, Spec{
+		Kind: KindBCTree, LeafSize: opts.LeafSize, Seed: opts.Seed, Quantize: opts.Quantize,
+	}).(*BCTree)
 }
 
 // Search implements Index.

@@ -34,8 +34,10 @@ const (
 var legacyMagics = map[string]string{
 	"P2HBT001": KindBallTree,
 	"P2HBT002": KindBallTree,
+	"P2HBT003": KindBallTree,
 	"P2HBC001": KindBCTree,
 	"P2HBC002": KindBCTree,
+	"P2HBC003": KindBCTree,
 }
 
 // Save writes ix to w as a self-describing container: any reader can

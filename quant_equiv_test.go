@@ -1,0 +1,132 @@
+package p2h_test
+
+// Byte-equality property tests for the quantized leaf filter at the public
+// API boundary: for every quantizable kind and every option shape, the
+// quantized index must return results bitwise identical to its unquantized
+// twin — the filter is conservative and exact answers are canonical, so
+// equality holds down to the float bits, not merely to recall. DESIGN.md's
+// "Quantized leaf scan" section derives why.
+
+import (
+	"bytes"
+	"testing"
+
+	p2h "p2h"
+)
+
+// quantTwin builds the same kind twice over the same data, with and without
+// the quantized mirror.
+func quantTwin(t *testing.T, kind string, data *p2h.Matrix) (plain, quantized p2h.Index) {
+	t.Helper()
+	spec := p2h.Spec{Kind: kind, Seed: 7, LeafSize: 64}
+	if kind == p2h.KindSharded {
+		spec.Shards = 4
+		spec.Workers = 1
+	}
+	plain, err := p2h.New(data, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Quantize = true
+	quantized, err = p2h.New(data, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plain, quantized
+}
+
+func requireIdentical(t *testing.T, label string, got, want []p2h.Result) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d results, want %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s rank %d: got %+v, want %+v", label, i, got[i], want[i])
+		}
+	}
+}
+
+// TestQuantizedEquivalence sweeps kinds x option shapes through the
+// single-query path.
+func TestQuantizedEquivalence(t *testing.T) {
+	data := p2h.Dedup(p2h.GenerateDataset("Cifar-10", 1500, 11))
+	queries := p2h.GenerateQueries(data, 25, 12)
+	shapes := []struct {
+		name string
+		opts p2h.SearchOptions
+	}{
+		{"exact", p2h.SearchOptions{K: 10}},
+		{"k1", p2h.SearchOptions{K: 1}},
+		{"kBig", p2h.SearchOptions{K: data.N + 3}}, // k > n: the heap never fills
+		{"budget", p2h.SearchOptions{K: 10, Budget: 120}},
+		{"filtered", p2h.SearchOptions{K: 10, Filter: func(id int32) bool { return id%2 == 0 }}},
+		{"ablated", p2h.SearchOptions{K: 10, DisableQuantFilter: true}},
+	}
+	for _, kind := range []string{p2h.KindBallTree, p2h.KindBCTree, p2h.KindSharded} {
+		plain, quantized := quantTwin(t, kind, data)
+		for _, shape := range shapes {
+			t.Run(kind+"/"+shape.name, func(t *testing.T) {
+				for qi := 0; qi < queries.N; qi++ {
+					q := queries.Row(qi)
+					want, _ := plain.Search(q, shape.opts)
+					got, _ := quantized.Search(q, shape.opts)
+					requireIdentical(t, shape.name, got, want)
+				}
+			})
+		}
+	}
+}
+
+// TestQuantizedEquivalenceBatched runs the same sweep through the batched
+// execution engine.
+func TestQuantizedEquivalenceBatched(t *testing.T) {
+	data := p2h.Dedup(p2h.GenerateDataset("Cifar-10", 1500, 13))
+	queries := p2h.GenerateQueries(data, 25, 14)
+	for _, kind := range []string{p2h.KindBallTree, p2h.KindBCTree, p2h.KindSharded} {
+		plain, quantized := quantTwin(t, kind, data)
+		t.Run(kind, func(t *testing.T) {
+			opts := p2h.SearchOptions{K: 10}
+			want := p2h.SearchBatch(plain, queries, opts, 2)
+			got := p2h.SearchBatch(quantized, queries, opts, 2)
+			for qi := 0; qi < queries.N; qi++ {
+				requireIdentical(t, "batched", got[qi], want[qi])
+			}
+		})
+	}
+}
+
+// TestQuantizedContainerRoundTrip pins the persistence surface: the container
+// header records Quantize, the payload carries the mirror, and the restored
+// index keeps both the speedup machinery and byte-identical answers.
+func TestQuantizedContainerRoundTrip(t *testing.T) {
+	data := p2h.Dedup(p2h.GenerateDataset("Sift", 1200, 15))
+	queries := p2h.GenerateQueries(data, 10, 16)
+	for _, kind := range []string{p2h.KindBallTree, p2h.KindBCTree, p2h.KindSharded} {
+		t.Run(kind, func(t *testing.T) {
+			_, quantized := quantTwin(t, kind, data)
+			var buf bytes.Buffer
+			if err := p2h.Save(&buf, quantized); err != nil {
+				t.Fatal(err)
+			}
+			raw := buf.Bytes()
+			info, err := p2h.Inspect(bytes.NewReader(raw))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !info.Spec.Quantize {
+				t.Fatalf("%s container header lost Quantize: %+v", kind, info.Spec)
+			}
+			loaded, err := p2h.Load(bytes.NewReader(raw))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for qi := 0; qi < queries.N; qi++ {
+				q := queries.Row(qi)
+				want, _ := quantized.Search(q, p2h.SearchOptions{K: 5})
+				got, _ := loaded.Search(q, p2h.SearchOptions{K: 5})
+				requireIdentical(t, "restored", got, want)
+			}
+		})
+	}
+}

@@ -16,11 +16,14 @@ import (
 // exactIndexes enumerates the indexes that promise exact answers.
 func exactIndexes(data *p2h.Matrix) map[string]p2h.Index {
 	return map[string]p2h.Index{
-		"balltree": p2h.NewBallTree(data, p2h.BallTreeOptions{Seed: 3}),
-		"bctree":   p2h.NewBCTree(data, p2h.BCTreeOptions{Seed: 3}),
-		"kdtree":   p2h.NewKDTree(data, p2h.KDTreeOptions{}),
-		"sharded":  p2h.NewSharded(data, p2h.ShardedOptions{Shards: 4, Seed: 3}),
-		"dynamic":  p2h.NewDynamic(data, p2h.DynamicOptions{Seed: 3}),
+		"balltree":       p2h.NewBallTree(data, p2h.BallTreeOptions{Seed: 3}),
+		"bctree":         p2h.NewBCTree(data, p2h.BCTreeOptions{Seed: 3}),
+		"kdtree":         p2h.NewKDTree(data, p2h.KDTreeOptions{}),
+		"sharded":        p2h.NewSharded(data, p2h.ShardedOptions{Shards: 4, Seed: 3}),
+		"dynamic":        p2h.NewDynamic(data, p2h.DynamicOptions{Seed: 3}),
+		"balltree-quant": p2h.NewBallTree(data, p2h.BallTreeOptions{Seed: 3, Quantize: true}),
+		"bctree-quant":   p2h.NewBCTree(data, p2h.BCTreeOptions{Seed: 3, Quantize: true}),
+		"sharded-quant":  p2h.NewSharded(data, p2h.ShardedOptions{Shards: 4, Seed: 3, Quantize: true}),
 	}
 }
 

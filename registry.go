@@ -204,7 +204,9 @@ func init() {
 			if err := checkBuildData(KindBallTree, data, spec); err != nil {
 				return nil, err
 			}
-			tree := balltree.Build(data.AppendOnes(), balltree.Config{LeafSize: spec.LeafSize, Seed: spec.Seed})
+			tree := balltree.Build(data.AppendOnes(), balltree.Config{
+				LeafSize: spec.LeafSize, Seed: spec.Seed, Quantize: spec.Quantize,
+			})
 			return &BallTree{tree: tree, raw: data.D}, nil
 		},
 		Save: func(w io.Writer, ix Index) error { return ix.(*BallTree).tree.Save(w) },
@@ -218,7 +220,7 @@ func init() {
 		Owns: func(ix Index) bool { _, ok := ix.(*BallTree); return ok },
 		SpecOf: func(ix Index) Spec {
 			t := ix.(*BallTree)
-			return Spec{Kind: KindBallTree, LeafSize: t.tree.LeafSize()}
+			return Spec{Kind: KindBallTree, LeafSize: t.tree.LeafSize(), Quantize: t.tree.Quantized()}
 		},
 	})
 
@@ -230,7 +232,9 @@ func init() {
 			if err := checkBuildData(KindBCTree, data, spec); err != nil {
 				return nil, err
 			}
-			tree := bctree.Build(data.AppendOnes(), bctree.Config{LeafSize: spec.LeafSize, Seed: spec.Seed})
+			tree := bctree.Build(data.AppendOnes(), bctree.Config{
+				LeafSize: spec.LeafSize, Seed: spec.Seed, Quantize: spec.Quantize,
+			})
 			return &BCTree{tree: tree, raw: data.D}, nil
 		},
 		Save: func(w io.Writer, ix Index) error { return ix.(*BCTree).tree.Save(w) },
@@ -244,7 +248,7 @@ func init() {
 		Owns: func(ix Index) bool { _, ok := ix.(*BCTree); return ok },
 		SpecOf: func(ix Index) Spec {
 			t := ix.(*BCTree)
-			return Spec{Kind: KindBCTree, LeafSize: t.tree.LeafSize()}
+			return Spec{Kind: KindBCTree, LeafSize: t.tree.LeafSize(), Quantize: t.tree.Quantized()}
 		},
 	})
 
@@ -287,6 +291,7 @@ func init() {
 				LeafSize: spec.LeafSize,
 				Seed:     spec.Seed,
 				Workers:  spec.Workers,
+				Quantize: spec.Quantize,
 			})
 			return &Sharded{index: ix, raw: data.D}, nil
 		},
@@ -306,6 +311,7 @@ func init() {
 				LeafSize: t.index.LeafSize(),
 				Shards:   t.index.Shards(),
 				Workers:  t.index.Workers(),
+				Quantize: t.index.Quantized(),
 			}
 		},
 	})

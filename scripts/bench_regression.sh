@@ -23,9 +23,9 @@ MAX_ALLOC_REGRESSION_PCT="${MAX_ALLOC_REGRESSION_PCT:-10}"
 run() {
   local out="$1"
   : > "$out"
-  go test -run '^$' -bench 'BenchmarkDot|BenchmarkSqDistBlock|BenchmarkConeSelect' \
+  go test -run '^$' -bench 'BenchmarkDot|BenchmarkSqDistBlock|BenchmarkConeSelect|BenchmarkCodeDot|BenchmarkCodeSelect' \
     -benchmem -benchtime="$BENCHTIME" -count="$COUNT" ./internal/vec | tee -a "$out"
-  go test -run '^$' -bench 'BenchmarkQueryExactBallTree$|BenchmarkQueryExactBCTree$|BenchmarkQueryBudgetBCTree$|BenchmarkSearchBatchExact|BenchmarkServer' \
+  go test -run '^$' -bench 'BenchmarkQueryExactBallTree|BenchmarkQueryExactBCTree|BenchmarkQueryBudgetBCTree$|BenchmarkSearchBatchExact|BenchmarkServer' \
     -benchmem -benchtime="$BENCHTIME" -count="$COUNT" . | tee -a "$out"
 }
 

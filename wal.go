@@ -21,6 +21,7 @@ const (
 	WALSyncNone
 )
 
+// String returns the policy's flag/config name ("always" or "none").
 func (m WALSyncMode) String() string {
 	if m == WALSyncNone {
 		return "none"
