@@ -1,0 +1,467 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	p2h "p2h"
+	"p2h/internal/httpapi"
+)
+
+// The chaos benchmark (-chaos) answers the overload questions with numbers:
+// flood the real serving stack (HTTP handler, admission control, SLO
+// feedback controller) at twice its measured exact-search capacity and
+// report what the non-shed p99 settles to under degradation, what fraction
+// of traffic was shed or expired, and what recall the degraded answers still
+// deliver — then measure what WAL group commit buys: concurrent fsync-always
+// insert throughput against the one-fsync-per-insert sequential baseline.
+//
+// The SLO is split the way a deadline-budgeted service splits it: clients
+// attach a deadline at 80% of the SLO (a response slower than that is a
+// deadline failure, not an SLO-compliant success), and the controller
+// defends an internal objective at 60% so degradation engages before
+// deadline cancellation clips the latency histogram it watches. Admission
+// control bounds queueing delay to the client deadline — a request that
+// would only expire in the queue is shed up front as a 429.
+
+// chaosConfig parameterizes the chaos benchmark.
+type chaosConfig struct {
+	set      string
+	n, nq, k int
+	seed     int64
+	workers  int
+	slo      time.Duration // p99 objective the controller defends
+	calib    time.Duration // closed-loop capacity calibration window
+	flood    time.Duration // open-loop 2x flood duration
+}
+
+// outcome is one flood request as the client saw it.
+type outcome struct {
+	at     time.Duration // arrival, relative to flood start
+	lat    time.Duration
+	status int
+	recall float64 // valid when status == 200
+}
+
+func runChaos(out, stderr io.Writer, cfg chaosConfig) error {
+	data := p2h.Dedup(p2h.GenerateDataset(cfg.set, cfg.n, cfg.seed))
+	queries := p2h.GenerateQueries(data, cfg.nq, cfg.seed+1)
+	gt := p2h.GroundTruth(data, queries, cfg.k)
+	fmt.Fprintf(stderr, "chaos: %s, %d points, d=%d, %d queries, k=%d, SLO p99 %v\n",
+		cfg.set, data.N, data.D, queries.N, cfg.k, cfg.slo)
+
+	ix, err := p2h.New(data, p2h.Spec{Kind: p2h.KindBCTree, LeafSize: 100, Seed: cfg.seed})
+	if err != nil {
+		return err
+	}
+	dir, err := os.MkdirTemp("", "p2hbench-chaos")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "bench.p2h")
+	if err := p2h.SaveFile(path, ix); err != nil {
+		return err
+	}
+
+	// The deadline budget: 80% of the SLO for the client deadline, 60% for
+	// the controller's internal objective (see the file comment).
+	deadline := cfg.slo * 4 / 5
+	target := cfg.slo * 3 / 5
+
+	// The real daemon stack: manager, SLO controller, HTTP handler on a
+	// loopback listener. Cache off — the flood must hit the index. Admission
+	// bounds queueing delay to the client deadline.
+	mgr := httpapi.NewManager(p2h.ServerOptions{
+		Workers: cfg.workers, CacheEntries: -1,
+		MaxQueueDelay: deadline,
+	}, 0)
+	defer mgr.Close(context.Background())
+	if _, _, err := mgr.Load("bench", httpapi.IndexConfig{Path: path}, false); err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: httpapi.NewHandler(mgr)}
+	go srv.Serve(ln)
+	defer srv.Close()
+	url := "http://" + ln.Addr().String() + "/v1/indexes/bench/search"
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns: 4096, MaxIdleConnsPerHost: 4096,
+	}}
+
+	ceiling := func() int { return mgr.List()[0].Stats.BudgetCeiling }
+
+	// Phase 1 — capacity: closed-loop exact search with one client per
+	// worker, controller not yet running. This is the honest ceiling the
+	// flood doubles.
+	var calibLats []time.Duration
+	var calibMu sync.Mutex
+	var calibN atomic.Int64
+	calibStart := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.workers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := c; time.Since(calibStart) < cfg.calib; i++ {
+				t0 := time.Now()
+				status, _, err := postSearch(client, url, queries.Row(i%queries.N), cfg.k, 0)
+				if err != nil || status != 200 {
+					continue
+				}
+				lat := time.Since(t0)
+				calibN.Add(1)
+				calibMu.Lock()
+				calibLats = append(calibLats, lat)
+				calibMu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+	capacity := float64(calibN.Load()) / cfg.calib.Seconds()
+	calibP99 := quantileDur(calibLats, 0.99)
+	fmt.Fprintf(stderr, "chaos: capacity %.0f qps exact (p99 %v) with %d workers\n",
+		capacity, calibP99.Round(10*time.Microsecond), cfg.workers)
+
+	if err := mgr.StartSLO(httpapi.SLOConfig{
+		TargetP99:     httpapi.Duration(target),
+		Interval:      httpapi.Duration(100 * time.Millisecond),
+		MinWindow:     20,
+		BreachWindows: 1, RecoverWindows: 8,
+	}); err != nil {
+		return err
+	}
+
+	// Phase 2 — flood at 2x capacity, open loop: arrivals do not wait for
+	// completions, exactly the regime that melts an unprotected server.
+	rate := 2 * capacity
+	interval := time.Duration(float64(time.Second) / rate)
+	timeoutMS := int(max64(int64(deadline/time.Millisecond), 1))
+	var mu sync.Mutex
+	var outcomes []outcome
+	var ceilingTimeline []int
+	stopSample := make(chan struct{})
+	go func() { // ceiling timeline, one sample per controller interval
+		tick := time.NewTicker(100 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stopSample:
+				return
+			case <-tick.C:
+				mu.Lock()
+				ceilingTimeline = append(ceilingTimeline, ceiling())
+				mu.Unlock()
+			}
+		}
+	}()
+	floodStart := time.Now()
+	tick := time.NewTicker(interval)
+	for i := 0; time.Since(floodStart) < cfg.flood; i++ {
+		<-tick.C
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			at := time.Since(floodStart)
+			qi := i % queries.N
+			t0 := time.Now()
+			status, res, err := postSearch(client, url, queries.Row(qi), cfg.k, timeoutMS)
+			if err != nil {
+				return
+			}
+			o := outcome{at: at, lat: time.Since(t0), status: status}
+			if status == 200 {
+				o.recall = p2h.Recall(res, gt[qi])
+			}
+			mu.Lock()
+			outcomes = append(outcomes, o)
+			mu.Unlock()
+		}(i)
+	}
+	tick.Stop()
+	wg.Wait()
+	close(stopSample)
+
+	stats := mgr.List()[0].Stats
+	finalCeiling := stats.BudgetCeiling
+
+	// Steady state = the last half of the flood, after the controller had
+	// time to engage; the transient before it is reported separately.
+	var served, shed, expired int
+	var lateLats []time.Duration
+	var lateRecall float64
+	var lateServed int
+	for _, o := range outcomes {
+		switch o.status {
+		case 200:
+			served++
+		case 429:
+			shed++
+		case 504:
+			expired++
+		}
+		if o.at >= cfg.flood/2 && o.status == 200 {
+			lateLats = append(lateLats, o.lat)
+			lateRecall += o.recall
+			lateServed++
+		}
+	}
+	total := len(outcomes)
+	lateP99 := quantileDur(lateLats, 0.99)
+	if lateServed > 0 {
+		lateRecall /= float64(lateServed)
+	}
+	sloMet := lateServed > 0 && lateP99 <= cfg.slo
+	fmt.Fprintf(stderr, "chaos: flood 2x for %v: %d arrivals, %d served (%.1f%%), %d shed, %d expired; steady-state p99 %v (SLO met: %v), recall %.3f, ceiling %d\n",
+		cfg.flood, total, served, 100*frac(served, total), shed, expired,
+		lateP99.Round(10*time.Microsecond), sloMet, lateRecall, finalCeiling)
+
+	// Phase 3 — recovery: load gone, the controller must walk back to exact.
+	recovered := false
+	recoverStart := time.Now()
+	for time.Since(recoverStart) < 10*time.Second {
+		if ceiling() == 0 {
+			recovered = true
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	recoverMS := time.Since(recoverStart).Seconds() * 1000
+	fmt.Fprintf(stderr, "chaos: recovered to exact serving: %v (%.0fms after load stopped)\n", recovered, recoverMS)
+
+	gc, err := runGroupCommit(stderr, data.D, cfg.seed)
+	if err != nil {
+		return err
+	}
+
+	doc := map[string]any{
+		"generated_by": "p2hbench -chaos (scripts/bench_overload.sh)",
+		"generated_at": time.Now().UTC().Format(time.RFC3339),
+		"go":           runtime.Version(),
+		"workload": map[string]any{
+			"set": cfg.set, "n": data.N, "dim": data.D, "nq": cfg.nq, "k": cfg.k,
+			"workers": cfg.workers, "index": "bctree",
+			"slo_p99_ms":           float64(cfg.slo) / 1e6,
+			"client_deadline_ms":   float64(deadline) / 1e6,
+			"controller_target_ms": float64(target) / 1e6,
+		},
+		"capacity": map[string]any{
+			"exact_qps": round1(capacity),
+			"p99_ms":    round3(calibP99.Seconds() * 1000),
+		},
+		"flood": map[string]any{
+			"rate_x":                 2,
+			"duration_s":             cfg.flood.Seconds(),
+			"arrivals":               total,
+			"served":                 served,
+			"shed":                   shed,
+			"expired":                expired,
+			"served_fraction":        round3(frac(served, total)),
+			"shed_fraction":          round3(frac(shed, total)),
+			"expired_fraction":       round3(frac(expired, total)),
+			"steady_state_p99_ms":    round3(lateP99.Seconds() * 1000),
+			"steady_state_recall":    round3(lateRecall),
+			"slo_met":                sloMet,
+			"final_budget_ceiling":   finalCeiling,
+			"degraded_queries_total": stats.DegradedQueries,
+			"ceiling_timeline":       ceilingTimeline,
+		},
+		"recovery": map[string]any{
+			"recovered_to_exact": recovered,
+			"recover_ms":         round1(recoverMS),
+		},
+		"group_commit": gc,
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// runGroupCommit measures insert throughput under WALSyncAlways two ways:
+// one writer paying one fsync per insert (the pre-group-commit cost), and
+// 64 writers whose waits share fsyncs through the engine's group-commit
+// path. Byte-level crash-equivalence of the two logs is pinned by
+// internal/crashtest; this measures only the throughput side.
+func runGroupCommit(stderr io.Writer, dim int, seed int64) (map[string]any, error) {
+	const (
+		seqInserts = 1500
+		grpWriters = 64
+		grpPerW    = 150
+	)
+	rng := rand.New(rand.NewSource(seed + 7))
+	base := p2h.GenerateDataset("Sift", 2000, seed+8)
+	vec := func() []float32 {
+		v := make([]float32, base.D)
+		for i := range v {
+			v[i] = rng.Float32()*2 - 1
+		}
+		return v
+	}
+	vecs := make([][]float32, seqInserts+grpWriters*grpPerW)
+	for i := range vecs {
+		vecs[i] = vec()
+	}
+
+	dir, err := os.MkdirTemp("", "p2hbench-gc")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	// Sequential: every insert waits for its own fsync.
+	ix1, err := p2h.New(base, p2h.Spec{Kind: p2h.KindDynamic, LeafSize: 100, Seed: seed, RebuildFraction: 1e9})
+	if err != nil {
+		return nil, err
+	}
+	d1 := ix1.(*p2h.Dynamic)
+	w1, err := p2h.AttachWAL(d1, filepath.Join(dir, "seq.wal"), p2h.WALSyncAlways)
+	if err != nil {
+		return nil, err
+	}
+	t0 := time.Now()
+	for i := 0; i < seqInserts; i++ {
+		h := d1.Insert(vecs[i])
+		if err := w1.AppendInsert(h, vecs[i]); err != nil {
+			return nil, err
+		}
+		if err := w1.WaitDurable(); err != nil {
+			return nil, err
+		}
+	}
+	seqQPS := float64(seqInserts) / time.Since(t0).Seconds()
+	seqSyncs := w1.Syncs()
+	w1.Close()
+
+	// Group commit: concurrent writers through the serving engine, which
+	// appends under the mutation lock and waits for durability outside it.
+	ix2, err := p2h.New(base, p2h.Spec{Kind: p2h.KindDynamic, LeafSize: 100, Seed: seed, RebuildFraction: 1e9})
+	if err != nil {
+		return nil, err
+	}
+	w2, err := p2h.AttachWAL(ix2, filepath.Join(dir, "grp.wal"), p2h.WALSyncAlways)
+	if err != nil {
+		return nil, err
+	}
+	srv := p2h.NewServer(ix2, p2h.ServerOptions{WAL: w2, CacheEntries: -1})
+	var wg sync.WaitGroup
+	var insErr atomic.Value
+	t0 = time.Now()
+	for g := 0; g < grpWriters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < grpPerW; i++ {
+				if _, err := srv.Insert(vecs[seqInserts+g*grpPerW+i]); err != nil {
+					insErr.Store(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	grpElapsed := time.Since(t0)
+	if err, _ := insErr.Load().(error); err != nil {
+		return nil, err
+	}
+	grpInserts := grpWriters * grpPerW
+	grpQPS := float64(grpInserts) / grpElapsed.Seconds()
+	grpSyncs := w2.Syncs()
+	srv.Close()
+	w2.Close()
+
+	speedup := grpQPS / seqQPS
+	fmt.Fprintf(stderr, "chaos: group commit %.0f inserts/s vs %.0f sequential (%.1fx), %d records / %d fsyncs (%.1fx amortized)\n",
+		grpQPS, seqQPS, speedup, grpInserts, grpSyncs, float64(grpInserts)/float64(grpSyncs))
+	return map[string]any{
+		"wal_sync":                "always",
+		"sequential_insert_qps":   round1(seqQPS),
+		"sequential_fsyncs":       seqSyncs,
+		"group_writers":           grpWriters,
+		"group_insert_qps":        round1(grpQPS),
+		"group_fsyncs":            grpSyncs,
+		"group_records":           grpInserts,
+		"speedup":                 round2(speedup),
+		"fsync_amortization":      round1(float64(grpInserts) / float64(grpSyncs)),
+		"crash_equivalence_suite": "internal/crashtest TestWALGroupCommitCrashPoints",
+	}, nil
+}
+
+// postSearch runs one HTTP search and returns the status plus decoded
+// results (200 only).
+func postSearch(client *http.Client, url string, q []float32, k, timeoutMS int) (int, []p2h.Result, error) {
+	body, err := json.Marshal(httpapi.SearchRequest{
+		Query:             q,
+		SearchOptionsJSON: httpapi.SearchOptionsJSON{K: k, TimeoutMS: timeoutMS},
+	})
+	if err != nil {
+		return 0, nil, err
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode, nil, nil
+	}
+	var sr httpapi.SearchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		return resp.StatusCode, nil, err
+	}
+	res := make([]p2h.Result, len(sr.Results))
+	for i, r := range sr.Results {
+		res[i] = p2h.Result{ID: r.ID, Dist: r.Dist}
+	}
+	return resp.StatusCode, res, nil
+}
+
+// quantileDur returns the q-quantile of lats (0 when empty).
+func quantileDur(lats []time.Duration, q float64) time.Duration {
+	if len(lats) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), lats...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(q*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+func frac(a, b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func round2(v float64) float64 { return float64(int64(v*100+0.5)) / 100 }
+func round3(v float64) float64 { return float64(int64(v*1000+0.5)) / 1000 }

@@ -56,6 +56,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		maxL     = fs.Int("maxlambda", 16384, "cap on the sampled dimension for very high-d sets")
 		verbose  = fs.Bool("v", false, "log per-step progress to stderr")
 		durable  = fs.Bool("durable", false, "run the durability benchmark (sustained insert+search with and without background compaction, plus WAL crash-recovery time) and emit JSON")
+		chaos    = fs.Bool("chaos", false, "run the overload benchmark (2x-capacity flood against the serving stack with SLO degradation, plus WAL group-commit insert throughput) and emit JSON")
+		sloP99   = fs.Duration("slo", 25*time.Millisecond, "end-to-end p99 SLO for the -chaos benchmark (client deadline 80%, controller objective 60% of it)")
+		workers  = fs.Int("workers", 4, "serving workers for the -chaos benchmark")
 		indexK   = fs.String("index", "", "registry kind for the single-index benchmark ("+strings.Join(p2h.Kinds(), ", ")+")")
 		specJSON = fs.String("spec", "", "p2h.Spec as JSON for the single-index benchmark (-index overrides its kind)")
 		quantize = fs.Bool("quantize", false, "enable the 8-bit quantized leaf mirror on the single-index benchmark (shorthand for \"quantize\":true in -spec)")
@@ -122,7 +125,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 		defer pprof.StopCPUProfile()
 	}
 
-	if *durable {
+	if *chaos {
+		set := "Sift"
+		if len(cfg.Sets) > 0 {
+			set = cfg.Sets[0]
+		}
+		if err := runChaos(out, stderr, chaosConfig{
+			set: set, n: *n, nq: *nq, k: *k, seed: *seed,
+			workers: *workers, slo: *sloP99,
+			calib: 2 * time.Second, flood: 12 * time.Second,
+		}); err != nil {
+			fmt.Fprintf(stderr, "p2hbench: %v\n", err)
+			return 1
+		}
+	} else if *durable {
 		set := "Sift"
 		if len(cfg.Sets) > 0 {
 			set = cfg.Sets[0]

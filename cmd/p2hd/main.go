@@ -47,6 +47,7 @@ import (
 	"time"
 
 	p2h "p2h"
+	"p2h/internal/faultinject"
 	"p2h/internal/httpapi"
 )
 
@@ -79,6 +80,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		maxDelay   = fs.Duration("maxdelay", 0, "batch window for an under-filled round (0: the config file's, else 100µs)")
 		cacheSize  = fs.Int("cache", 0, "result cache entries per index (0: the config file's, else 1024; negative: disabled)")
 		drain      = fs.Duration("drain", 0, "shutdown/unload drain bound (0: the config file's, else 10s)")
+		maxQueue   = fs.Int("maxqueue", 0, "admitted-but-unfinished request cap per index (0: the config file's, else 4*workers*maxbatch; negative: shedding disabled)")
+		maxTimeout = fs.Duration("maxtimeout", 0, "cap on client timeout_ms, backstop for requests without one (0: the config file's, else 30s)")
+		sloTarget  = fs.Duration("slo", 0, "p99 latency objective; breaching it degrades search budgets until load recedes (0: the config file's slo block, else off)")
+		faults     = fs.String("faults", "", "arm fault-injection points, e.g. 'wal.fsync=delay:5ms;engine.search=delay:2ms' (also via P2HD_FAULTS)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -107,6 +112,29 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 	if *compact {
 		opts.BackgroundCompaction = true
+	}
+	if *maxQueue != 0 {
+		opts.MaxQueue = *maxQueue
+	}
+	if *maxTimeout > 0 {
+		cfg.MaxTimeout = httpapi.Duration(*maxTimeout)
+	}
+	if *sloTarget > 0 {
+		cfg.SLO = &httpapi.SLOConfig{TargetP99: httpapi.Duration(*sloTarget)}
+	}
+	// Chaos hooks: the -faults flag and the P2HD_FAULTS environment variable
+	// arm fault-injection points before any index loads, so even startup
+	// replay runs under the injected faults.
+	for _, spec := range []string{os.Getenv("P2HD_FAULTS"), *faults} {
+		if err := faultinject.Configure(spec); err != nil {
+			fmt.Fprintf(stderr, "p2hd: %v\n", err)
+			return 1
+		}
+	}
+	if faultinject.Armed() {
+		// Loud on purpose: a daemon accidentally started with faults armed
+		// should be impossible to mistake for a healthy one.
+		fmt.Fprintf(stderr, "p2hd: fault injection armed — serving degraded on purpose\n")
 	}
 	drainTimeout := *drain
 	if drainTimeout <= 0 {
@@ -154,7 +182,14 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "p2hd: %v\n", err)
 		return 1
 	}
-	srv := &http.Server{Handler: httpapi.NewHandler(mgr)}
+	if cfg.SLO != nil {
+		if err := mgr.StartSLO(*cfg.SLO); err != nil {
+			fmt.Fprintf(stderr, "p2hd: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "p2hd: SLO controller on, target p99 %v\n", time.Duration(cfg.SLO.TargetP99))
+	}
+	srv := &http.Server{Handler: httpapi.NewHandlerWithOptions(mgr, cfg.HandlerOptions())}
 	fmt.Fprintf(stdout, "p2hd: listening on http://%s\n", ln.Addr())
 	notifyReady(ln.Addr().String())
 
@@ -173,6 +208,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	// budget, so a slow-but-healthy HTTP drain cannot starve the engine
 	// drain of time, and a stuck query still cannot hold the process
 	// hostage for more than two timeouts.
+	// Flip /healthz to 503 first: load balancers stop routing while the HTTP
+	// drain still serves whatever is in flight (and any stragglers).
+	mgr.BeginDrain()
 	fmt.Fprintln(stdout, "p2hd: shutting down")
 	httpCtx, cancelHTTP := context.WithTimeout(context.Background(), drainTimeout)
 	defer cancelHTTP()

@@ -30,9 +30,11 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
 	"sort"
@@ -76,6 +78,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		url       = fs.String("url", "", "client mode: load-test a running p2hd at this base URL instead of serving in-process")
 		name      = fs.String("name", "default", "client mode: the daemon index to query")
 		httpBatch = fs.Int("httpbatch", 0, "client mode: group queries into search_batch requests of this size (0: per-query search)")
+		timeoutMS = fs.Int("timeoutms", 0, "client mode: per-request timeout_ms sent to the daemon (0: the daemon's default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -88,7 +91,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			return 1
 		}
 		return runClient(*url, *name, queries, p2h.SearchOptions{K: *k, Budget: *budget},
-			*clients, *repeat, *httpBatch, stdout, stderr)
+			*clients, *repeat, *httpBatch, *timeoutMS, stdout, stderr)
 	}
 
 	data, err := loadData(*dataPath, *set, *n, *seed)
@@ -207,7 +210,7 @@ func clientQueries(queryPath string, useStdin bool, stdin io.Reader, dataPath, s
 // runClient replays the query stream against a running p2hd daemon over
 // HTTP, reusing the same concurrent-replay harness as the in-process mode,
 // and reports client-observed throughput and latency.
-func runClient(baseURL, name string, queries *p2h.Matrix, opts p2h.SearchOptions, clients, repeat, httpBatch int, stdout, stderr io.Writer) int {
+func runClient(baseURL, name string, queries *p2h.Matrix, opts p2h.SearchOptions, clients, repeat, httpBatch, timeoutMS int, stdout, stderr io.Writer) int {
 	baseURL = strings.TrimRight(baseURL, "/")
 	client := &http.Client{
 		Timeout: 60 * time.Second,
@@ -236,21 +239,22 @@ func runClient(baseURL, name string, queries *p2h.Matrix, opts p2h.SearchOptions
 	fmt.Fprintf(stdout, "queries: %d hyperplanes x %d clients x %d repeats, k=%d budget=%d\n",
 		queries.N, clients, repeat, opts.K, opts.Budget)
 
-	wireOpts := httpapi.SearchOptionsJSON{K: opts.K, Budget: opts.Budget}
+	wireOpts := httpapi.SearchOptionsJSON{K: opts.K, Budget: opts.Budget, TimeoutMS: timeoutMS}
 	var errCount atomic.Int64
 	var firstErr atomic.Value
+	var rs retryStats
 
 	if httpBatch > 1 {
 		lat, wall, total := replayHTTPBatch(client, baseURL, name, queries, wireOpts,
-			clients, repeat, httpBatch, &errCount, &firstErr)
+			clients, repeat, httpBatch, &rs, &errCount, &firstErr)
 		fmt.Fprintf(stdout, "http_batch: %d queries in %d requests (batch=%d) in %v -> %.0f qps\n",
 			total, len(lat), httpBatch, wall.Round(time.Millisecond), qps(total, wall))
 		report(stdout, "http_batch request", lat, wall)
 	} else {
 		searchFn := func(q []float32, o p2h.SearchOptions) ([]p2h.Result, p2h.Stats) {
 			var resp httpapi.SearchResponse
-			err := postJSON(client, baseURL+"/v1/indexes/"+name+"/search",
-				httpapi.SearchRequest{Query: q, SearchOptionsJSON: wireOpts}, &resp)
+			err := postJSONRetry(client, baseURL+"/v1/indexes/"+name+"/search",
+				httpapi.SearchRequest{Query: q, SearchOptionsJSON: wireOpts}, &resp, &rs)
 			if err != nil {
 				if errCount.Add(1) == 1 {
 					firstErr.Store(err)
@@ -267,6 +271,12 @@ func runClient(baseURL, name string, queries *p2h.Matrix, opts p2h.SearchOptions
 		report(stdout, "http", lat, wall)
 	}
 
+	// The overload story of the run: how often the daemon shed (429) or was
+	// transiently unreachable, and how many of those the backoff recovered.
+	if shed, retries := rs.shed.Load(), rs.retries.Load(); shed > 0 || retries > 0 {
+		fmt.Fprintf(stdout, "client: %d responses shed (429), %d retry attempts, %d requests exhausted retries\n",
+			shed, retries, errCount.Load())
+	}
 	if n := errCount.Load(); n > 0 {
 		fmt.Fprintf(stderr, "p2hserve: %d requests failed (first: %v)\n", n, firstErr.Load())
 		return 1
@@ -290,7 +300,7 @@ func runClient(baseURL, name string, queries *p2h.Matrix, opts p2h.SearchOptions
 // replayHTTPBatch posts search_batch requests of up to batch queries from
 // each client and returns the per-request latencies, the wall time, and the
 // total query count.
-func replayHTTPBatch(client *http.Client, baseURL, name string, queries *p2h.Matrix, opts httpapi.SearchOptionsJSON, clients, repeat, batch int, errCount *atomic.Int64, firstErr *atomic.Value) ([]time.Duration, time.Duration, int) {
+func replayHTTPBatch(client *http.Client, baseURL, name string, queries *p2h.Matrix, opts httpapi.SearchOptionsJSON, clients, repeat, batch int, rs *retryStats, errCount *atomic.Int64, firstErr *atomic.Value) ([]time.Duration, time.Duration, int) {
 	perClient := make([][]time.Duration, clients)
 	var total atomic.Int64
 	start := time.Now()
@@ -312,8 +322,8 @@ func replayHTTPBatch(client *http.Client, baseURL, name string, queries *p2h.Mat
 					}
 					var resp httpapi.BatchSearchResponse
 					t0 := time.Now()
-					err := postJSON(client, baseURL+"/v1/indexes/"+name+"/search_batch",
-						httpapi.BatchSearchRequest{Queries: qs, SearchOptionsJSON: opts}, &resp)
+					err := postJSONRetry(client, baseURL+"/v1/indexes/"+name+"/search_batch",
+						httpapi.BatchSearchRequest{Queries: qs, SearchOptionsJSON: opts}, &resp, rs)
 					lat = append(lat, time.Since(t0))
 					if err != nil {
 						if errCount.Add(1) == 1 {
@@ -356,6 +366,23 @@ func postJSON(client *http.Client, url string, body, out any) error {
 	return decodeJSONResponse(resp, url, out)
 }
 
+// apiError is a non-200 daemon answer, carrying what the retry policy keys
+// on: the status code and any Retry-After suggestion.
+type apiError struct {
+	url        string
+	status     int
+	code       string
+	msg        string
+	retryAfter time.Duration
+}
+
+func (e *apiError) Error() string {
+	if e.msg != "" {
+		return fmt.Sprintf("%s: %s (%s)", e.url, e.msg, e.code)
+	}
+	return fmt.Sprintf("%s: HTTP %d", e.url, e.status)
+}
+
 func decodeJSONResponse(resp *http.Response, url string, out any) error {
 	defer resp.Body.Close()
 	raw, err := io.ReadAll(resp.Body)
@@ -363,16 +390,74 @@ func decodeJSONResponse(resp *http.Response, url string, out any) error {
 		return err
 	}
 	if resp.StatusCode != http.StatusOK {
+		ae := &apiError{url: url, status: resp.StatusCode}
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+			ae.retryAfter = time.Duration(secs) * time.Second
+		}
 		var e httpapi.ErrorResponse
 		if json.Unmarshal(raw, &e) == nil && e.Error != "" {
-			return fmt.Errorf("%s: %s (%s)", url, e.Error, e.Code)
+			ae.msg, ae.code = e.Error, e.Code
 		}
-		return fmt.Errorf("%s: HTTP %d", url, resp.StatusCode)
+		return ae
 	}
 	if out == nil {
 		return nil
 	}
 	return json.Unmarshal(raw, out)
+}
+
+// retryStats counts the overload-handling work the client did.
+type retryStats struct {
+	shed    atomic.Int64 // 429 responses received
+	retries atomic.Int64 // retry attempts issued (any retryable cause)
+}
+
+// The retry schedule: exponential from retryBase, capped at retryCap, with
+// full jitter (a uniform draw up to the current step) so a fleet of shed
+// clients does not reconverge on the daemon in lockstep.
+const (
+	retryAttempts = 8
+	retryBase     = 10 * time.Millisecond
+	retryCap      = 2 * time.Second
+)
+
+// postJSONRetry is postJSON plus the overload policy: 429 responses (the
+// daemon shedding; wait at least its Retry-After), 503s (draining or
+// mid-swap), and transport-level errors (connection refused/reset mid-flood)
+// are retried with jittered exponential backoff; anything else — including
+// 504, where the deadline already spent the time budget a retry would need —
+// fails fast.
+func postJSONRetry(client *http.Client, url string, body, out any, rs *retryStats) error {
+	backoff := retryBase
+	for attempt := 0; ; attempt++ {
+		err := postJSON(client, url, body, out)
+		if err == nil {
+			return nil
+		}
+		var ae *apiError
+		transient := !errors.As(err, &ae) // transport error: no HTTP answer at all
+		wait := backoff
+		if !transient {
+			switch ae.status {
+			case http.StatusTooManyRequests:
+				rs.shed.Add(1)
+				if ae.retryAfter > wait {
+					wait = ae.retryAfter
+				}
+			case http.StatusServiceUnavailable:
+			default:
+				return err
+			}
+		}
+		if attempt >= retryAttempts {
+			return err
+		}
+		rs.retries.Add(1)
+		time.Sleep(wait/2 + time.Duration(rand.Int63n(int64(wait))))
+		if backoff *= 2; backoff > retryCap {
+			backoff = retryCap
+		}
+	}
 }
 
 // makeSpec combines the -index and -spec flags into one p2h.Spec (the JSON

@@ -90,6 +90,7 @@ func (s *Searcher) Search(q []float32, opts core.SearchOptions, dst []core.Resul
 	s.q = nil
 	s.opts.Filter = nil
 	s.opts.Profile = nil
+	s.opts.Cancel = nil
 	return s.tk.DrainInto(dst), s.st
 }
 
@@ -110,6 +111,9 @@ func (s *Searcher) scratch(m int) []float64 {
 func (s *Searcher) visit(ni int32, ip float64) {
 	if !s.opts.BudgetLeft(s.st.Candidates) {
 		return
+	}
+	if s.opts.Canceled() {
+		return // deadline fired: keep what the collector already holds
 	}
 	s.st.NodesVisited++
 	n := &s.tree.nodes[ni]

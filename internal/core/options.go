@@ -40,6 +40,17 @@ type SearchOptions struct {
 	// Profile, if non-nil, receives the per-phase time breakdown
 	// (Figure 10). Leaving it nil removes all timing overhead.
 	Profile *Profile
+	// Cancel, if non-nil, is polled between traversal steps (the tree
+	// methods check it at every node visit, so at least once per leaf
+	// block); when it reports true the search abandons the remaining
+	// traversal and returns the best results found so far. This is the
+	// cooperative half of deadline propagation: a serving layer derives
+	// Cancel from a request context so an expired query stops burning the
+	// worker instead of finishing a scan nobody is waiting for. Results of
+	// a canceled search are valid but possibly incomplete; callers that
+	// need to distinguish must check their own cancellation signal after
+	// the call.
+	Cancel func() bool
 
 	// The three switches below ablate BC-Tree strategies (paper Figure 8
 	// and Theorem 5). They are ignored by the other indexes.
@@ -74,4 +85,10 @@ func (o SearchOptions) Normalized() SearchOptions {
 // so far.
 func (o SearchOptions) BudgetLeft(verified int64) bool {
 	return o.Budget <= 0 || verified < int64(o.Budget)
+}
+
+// Canceled polls the cooperative cancellation signal; false when none is
+// attached.
+func (o SearchOptions) Canceled() bool {
+	return o.Cancel != nil && o.Cancel()
 }

@@ -64,19 +64,27 @@ func Script(rng *rand.Rand, dim, base, n int, delFrac float64) []Op {
 
 // Apply runs one op against the index and journals it in the same order
 // the serving engine uses: mutate in memory first, then append to the log,
-// so the log never holds a record for a mutation that did not happen.
+// then wait for the commit group's fsync — so the log never holds a record
+// for a mutation that did not happen, and no op is acknowledged before it is
+// durable.
 func Apply(d *p2h.Dynamic, w *p2h.WAL, op Op) error {
 	if op.Delete {
 		if !d.Delete(op.Handle) {
 			return fmt.Errorf("crashtest: scripted delete of handle %d found it dead", op.Handle)
 		}
-		return w.AppendDelete(op.Handle)
+		if err := w.AppendDelete(op.Handle); err != nil {
+			return err
+		}
+		return w.WaitDurable()
 	}
 	h := d.Insert(op.Vec)
 	if h != op.Handle {
 		return fmt.Errorf("crashtest: insert got handle %d, script expected %d", h, op.Handle)
 	}
-	return w.AppendInsert(h, op.Vec)
+	if err := w.AppendInsert(h, op.Vec); err != nil {
+		return err
+	}
+	return w.WaitDurable()
 }
 
 // Ledger maps WAL byte offsets to durable-op prefixes. Offsets[i] is the

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"p2h"
+	"p2h/internal/faultinject"
 )
 
 const (
@@ -377,6 +378,146 @@ func TestServerSearchDuringCompactionRecovers(t *testing.T) {
 			if got[i] != want[i] {
 				t.Fatalf("query %d: recovered handles %v, reference %v", qi, got, want)
 			}
+		}
+	}
+}
+
+// TestWALGroupCommitCrashPoints is the crash harness for the group-commit
+// path: concurrent writers share fsyncs under WALSyncAlways (a slow-fsync
+// fault guarantees real commit groups form), and the log they produce must
+// recover byte-identically at any truncation point — exactly like the
+// sequential log, because group commit changes when records become durable,
+// never what is written. Mutation+append runs under one lock in script
+// order (the serving engine's discipline), so per-op reference states and
+// byte offsets stay well-defined even with eight writers in flight.
+func TestWALGroupCommitCrashPoints(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(61))
+	base := buildBase(t, dir, 17)
+	ops := Script(rng, rawDim, baseRows, 120, 0.3)
+
+	t.Cleanup(faultinject.Reset)
+	if err := faultinject.Configure("wal.fsync=delay:2ms"); err != nil {
+		t.Fatal(err)
+	}
+
+	ix, err := p2h.Open(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := ix.(*p2h.Dynamic)
+	w, err := p2h.AttachWAL(d, p2h.WALPath(base), p2h.WALSyncAlways)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	refBytes := make([][]byte, len(ops)+1)
+	refHandles := make([]int, len(ops)+1)
+	refBytes[0] = saveBytes(t, d)
+	refHandles[0] = d.Handles()
+	ledger := Ledger{Offsets: make([]int64, len(ops))}
+
+	var mu sync.Mutex
+	next := 0
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				if next >= len(ops) {
+					mu.Unlock()
+					return
+				}
+				i := next
+				next++
+				op := ops[i]
+				if op.Delete {
+					if !d.Delete(op.Handle) {
+						t.Errorf("op %d: scripted delete of %d found it dead", i, op.Handle)
+						mu.Unlock()
+						return
+					}
+					err = w.AppendDelete(op.Handle)
+				} else {
+					if h := d.Insert(op.Vec); h != op.Handle {
+						t.Errorf("op %d: insert got handle %d, want %d", i, h, op.Handle)
+						mu.Unlock()
+						return
+					}
+					err = w.AppendInsert(op.Handle, op.Vec)
+				}
+				if err != nil {
+					t.Errorf("op %d: append: %v", i, err)
+					mu.Unlock()
+					return
+				}
+				st, serr := os.Stat(w.Path())
+				if serr != nil {
+					t.Error(serr)
+					mu.Unlock()
+					return
+				}
+				ledger.Offsets[i] = st.Size()
+				refBytes[i+1] = saveBytes(t, d)
+				refHandles[i+1] = d.Handles()
+				mu.Unlock()
+				// The durability wait runs outside the lock — this is where
+				// concurrent waiters pile onto one fsync.
+				if err := w.WaitDurable(); err != nil {
+					t.Errorf("op %d: WaitDurable: %v", i, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	syncs := w.Syncs()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	faultinject.Reset()
+	if syncs >= int64(len(ops)) {
+		t.Fatalf("no fsync was ever shared: %d syncs for %d always-sync ops", syncs, len(ops))
+	}
+	t.Logf("group commit: %d ops, %d fsyncs (%.1fx amortization)",
+		len(ops), syncs, float64(len(ops))/float64(syncs))
+
+	walBytes, err := os.ReadFile(p2h.WALPath(base))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := ledger.Durable(int64(len(walBytes))); n != len(ops) {
+		t.Fatalf("full log holds %d durable ops, want %d", n, len(ops))
+	}
+	killDir := filepath.Join(dir, "kill")
+	if err := os.MkdirAll(killDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		cut := int64(rng.Intn(len(walBytes) + 1))
+		k := ledger.Durable(cut)
+		path := filepath.Join(killDir, "g.idx")
+		copyFile(t, path, base)
+		if err := os.WriteFile(p2h.WALPath(path), walBytes[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		rec, err := p2h.Open(path)
+		if err != nil {
+			t.Fatalf("cut %d: recovery failed: %v", cut, err)
+		}
+		dd := rec.(*p2h.Dynamic)
+		if dd.Handles() != refHandles[k] {
+			t.Fatalf("cut %d (%d durable ops): handle counter %d, want %d",
+				cut, k, dd.Handles(), refHandles[k])
+		}
+		if got := saveBytes(t, dd); !bytes.Equal(got, refBytes[k]) {
+			t.Fatalf("cut %d (%d durable ops): recovered state differs from reference (%d vs %d bytes)",
+				cut, k, len(got), len(refBytes[k]))
 		}
 	}
 }

@@ -33,9 +33,11 @@ import (
 	"io"
 	"math"
 	"os"
+	"sync"
 	"sync/atomic"
 
 	"p2h/internal/binio"
+	"p2h/internal/faultinject"
 )
 
 // WAL record opcodes.
@@ -57,9 +59,12 @@ const maxWALDim = 1 << 20
 type WALSync int
 
 const (
-	// WALSyncAlways fsyncs after every appended record before it is
+	// WALSyncAlways makes every appended record durable before it is
 	// acknowledged: no acknowledged mutation is lost even to a machine
-	// crash. Each mutation pays one fsync.
+	// crash. Durability is reached by calling WaitDurable after the append;
+	// concurrent waiters share one fsync (group commit), so under load many
+	// mutations amortize a single disk flush while a lone writer degrades to
+	// the classical fsync-per-append.
 	WALSyncAlways WALSync = iota
 	// WALSyncNone leaves flushing to the OS: acknowledged mutations survive
 	// a process crash (the page cache persists them) but a machine crash may
@@ -86,8 +91,9 @@ type WALReplay struct {
 }
 
 // WAL is an open write-ahead log. Appends are not safe for concurrent use;
-// the serving engine serializes them under its mutation lock. Records and
-// Base are safe to read concurrently (metrics scrape them live).
+// the serving engine serializes them under its mutation lock. WaitDurable is
+// safe for concurrent use — that is the point of group commit. Records, Base
+// and Syncs are safe to read concurrently (metrics scrape them live).
 type WAL struct {
 	f    *os.File
 	path string
@@ -96,8 +102,27 @@ type WAL struct {
 
 	base    atomic.Uint64
 	records atomic.Int64
+	syncs   atomic.Int64
 	buf     []byte
 	err     error // sticky append failure; cleared by TruncateTo
+
+	// Group-commit state (WALSyncAlways only). Appends assign monotone
+	// sequence numbers; WaitDurable elects the first waiter as leader, which
+	// fsyncs once for every record appended so far while followers sleep on
+	// the condition, then advances synced and wakes them. gcMu guards the
+	// four fields below; the append path touches them only to bump appended.
+	gcMu     sync.Mutex
+	gcCond   sync.Cond // waiters for synced to advance; Broadcast by leader
+	appended uint64    // seq of the latest fully written record
+	synced   uint64    // seq through which records are known on disk
+	syncing  bool      // a leader's fsync is in flight
+	syncErr  error     // sticky group-commit failure; cleared by TruncateTo
+}
+
+func newWAL(f *os.File, path string, dim int, mode WALSync) *WAL {
+	w := &WAL{f: f, path: path, dim: dim, mode: mode}
+	w.gcCond.L = &w.gcMu
+	return w
 }
 
 // walRecordLen is the encoded size of one record of the given opcode.
@@ -250,7 +275,7 @@ func CreateWAL(path string, dim int, base uint64, mode WALSync) (*WAL, error) {
 	if err != nil {
 		return nil, err
 	}
-	w := &WAL{f: f, path: path, dim: dim, mode: mode}
+	w := newWAL(f, path, dim, mode)
 	w.base.Store(base)
 	if err := w.writeHeader(base); err != nil {
 		f.Close()
@@ -296,7 +321,7 @@ func OpenWAL(path string, dim int, base uint64, mode WALSync) (*WAL, WALReplay, 
 		f.Close()
 		return nil, rep, err
 	}
-	w := &WAL{f: f, path: path, dim: dim, mode: mode}
+	w := newWAL(f, path, dim, mode)
 	w.base.Store(rep.Header.Base)
 	w.records.Store(int64(rep.Records))
 	return w, rep, nil
@@ -325,10 +350,17 @@ func (w *WAL) Records() int64 { return w.records.Load() }
 // Mode returns the fsync policy.
 func (w *WAL) Mode() WALSync { return w.mode }
 
-// append writes one framed record and applies the fsync policy. A failed
-// append leaves the log sticky-failed — the file tail may hold a partial
-// record, so later appends must not interleave with it — until the next
-// TruncateTo resets the file.
+// Syncs returns the number of fsyncs the group-commit path has issued. Under
+// load Records grows much faster than Syncs — the ratio is the group-commit
+// amortization factor metrics report.
+func (w *WAL) Syncs() int64 { return w.syncs.Load() }
+
+// append writes one framed record and assigns it the next durability sequence
+// number. Under WALSyncAlways the record is NOT yet on disk when append
+// returns — the caller must not acknowledge the mutation until a following
+// WaitDurable succeeds. A failed append leaves the log sticky-failed — the
+// file tail may hold a partial record, so later appends must not interleave
+// with it — until the next TruncateTo resets the file.
 func (w *WAL) append(body []byte) error {
 	if w.err != nil {
 		return fmt.Errorf("dynamic: wal %s failed earlier: %w", w.path, w.err)
@@ -337,18 +369,77 @@ func (w *WAL) append(body []byte) error {
 		w.err = err
 		return err
 	}
-	if w.mode == WALSyncAlways {
-		if err := w.f.Sync(); err != nil {
-			w.err = err
-			return err
-		}
-	}
 	w.records.Add(1)
+	if w.mode == WALSyncAlways {
+		w.gcMu.Lock()
+		w.appended++
+		w.gcMu.Unlock()
+	}
 	return nil
 }
 
+// WaitDurable blocks until every record appended before the call is on disk,
+// then returns nil. Under WALSyncNone it returns immediately — durability is
+// the OS's business there. Safe for concurrent use: the first waiter becomes
+// the commit-group leader and fsyncs once on behalf of everything appended so
+// far; waiters arriving while that fsync is in flight sleep and either find
+// their record covered when it lands or lead the next group. A lone writer
+// thus degrades to one fsync per append (the classical WALSyncAlways cost),
+// while N concurrent writers amortize one fsync across the whole group.
+//
+// A failed fsync is returned to every waiter whose records it stranded and
+// leaves the log sticky-failed until TruncateTo, mirroring append's contract:
+// after an fsync error the kernel may have dropped the dirty pages, so no
+// later fsync can retroactively promise those records are durable.
+func (w *WAL) WaitDurable() error {
+	if w.mode != WALSyncAlways {
+		return nil
+	}
+	w.gcMu.Lock()
+	defer w.gcMu.Unlock()
+	target := w.appended
+	for w.synced < target {
+		if w.syncErr != nil {
+			return fmt.Errorf("dynamic: wal %s: group commit failed earlier: %w", w.path, w.syncErr)
+		}
+		if w.syncing {
+			w.gcCond.Wait()
+			continue
+		}
+		w.syncing = true
+		goal := w.appended // everything written so far rides this fsync
+		w.gcMu.Unlock()
+		err := w.syncOnce()
+		w.gcMu.Lock()
+		w.syncing = false
+		if err != nil {
+			w.syncErr = err
+			w.gcCond.Broadcast()
+			return err
+		}
+		if goal > w.synced {
+			w.synced = goal
+		}
+		w.gcCond.Broadcast()
+	}
+	return nil
+}
+
+// syncOnce issues one fsync through the wal.fsync failpoint, so chaos tests
+// can slow or fail the disk underneath the commit group.
+func (w *WAL) syncOnce() error {
+	if faultinject.Armed() {
+		if err := faultinject.Inject("wal.fsync"); err != nil {
+			return err
+		}
+	}
+	w.syncs.Add(1)
+	return w.f.Sync()
+}
+
 // AppendInsert logs an applied insert: the handle the index assigned and the
-// raw point. The mutation must not be acknowledged unless this returns nil.
+// raw point. The mutation must not be acknowledged unless this returns nil —
+// and, under WALSyncAlways, a following WaitDurable returns nil too.
 func (w *WAL) AppendInsert(handle int32, p []float32) error {
 	if len(p) != w.dim {
 		return fmt.Errorf("dynamic: wal %s: insert of width %d, log holds %d", w.path, len(p), w.dim)
@@ -398,6 +489,14 @@ func (w *WAL) TruncateTo(base uint64) error {
 	w.base.Store(base)
 	w.records.Store(0)
 	w.err = nil
+	// Everything the log held is inside the snapshot now; pending commit
+	// groups have nothing left to flush, and a sticky fsync failure is
+	// forgiven because the failed records no longer exist.
+	w.gcMu.Lock()
+	w.synced = w.appended
+	w.syncErr = nil
+	w.gcCond.Broadcast()
+	w.gcMu.Unlock()
 	return nil
 }
 

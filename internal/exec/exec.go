@@ -19,10 +19,11 @@ type Searcher interface {
 // Eligible reports whether a batch of queries sharing opts can run through
 // the shared batched traversal. Budgeted queries keep per-query traversal
 // semantics (the candidate budget is defined relative to a single query's
-// visit order), and Filter/Profile carry per-query state the shared walk
-// cannot split.
+// visit order), and Filter/Profile/Cancel carry per-query state the shared
+// walk cannot split (a cancellation signal belongs to one caller's deadline,
+// not to every query sharing the arena walk).
 func Eligible(opts core.SearchOptions) bool {
-	return opts.Budget <= 0 && opts.Filter == nil && opts.Profile == nil
+	return opts.Budget <= 0 && opts.Filter == nil && opts.Profile == nil && opts.Cancel == nil
 }
 
 // Fallback answers queries one at a time through s — the per-query path for

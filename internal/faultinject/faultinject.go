@@ -1,0 +1,200 @@
+// Package faultinject is the chaos-testing switchboard of the serving stack:
+// named failpoints compiled into production code paths (an fsync about to
+// run, a worker about to serve a search, a deadline about to be computed)
+// that are inert until a test or an operator arms them. An armed point can
+// inject latency (a slow disk, a stuck worker), an error (a failing fsync),
+// or both, with an optional activation count.
+//
+// The disarmed fast path is one atomic load — callers guard every injection
+// site with Armed(), so an unarmed binary pays nothing measurable even on
+// per-leaf-block call sites. Points are plain dotted names owned by their
+// call sites; the ones wired up in this repository:
+//
+//	wal.fsync     before each write-ahead-log fsync (group-commit leader)
+//	engine.search before a serving worker executes a search
+//	clock.skew    added to the daemon's deadline computation (Delay only)
+//
+// Faults are configured programmatically (Enable/Disable) or from a spec
+// string (Configure), which the p2hd -faults flag and the P2HD_FAULTS
+// environment variable feed:
+//
+//	wal.fsync=delay:5ms            every fsync stalls 5ms
+//	wal.fsync=error                every fsync fails with ErrInjected
+//	engine.search=delay:2ms,count:100   first 100 searches stall 2ms
+//	clock.skew=delay:-1s           deadlines computed 1s in the past
+//
+// Multiple faults are separated by ';'.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected is the error an armed failpoint returns when configured to
+// fail. Call sites propagate it like the real failure they stand in for
+// (an fsync error, a dead disk), so chaos tests can trace a failure back to
+// the injection that caused it.
+var ErrInjected = errors.New("faultinject: injected failure")
+
+// Fault describes what one armed point does on each hit.
+type Fault struct {
+	// Delay is slept before returning (negative delays are meaningful only
+	// for clock.skew-style points that read the value instead of sleeping).
+	Delay time.Duration
+	// Fail makes Inject return ErrInjected after the delay.
+	Fail bool
+	// Count limits how many hits fire (0: unlimited). Once spent, the point
+	// behaves as disarmed.
+	Count int64
+}
+
+type point struct {
+	fault Fault
+	hits  atomic.Int64
+	spent atomic.Bool
+}
+
+var (
+	mu     sync.RWMutex
+	points = map[string]*point{}
+	armed  atomic.Bool
+)
+
+// Armed reports whether any failpoint is active. It is the one-atomic-load
+// guard call sites use before paying for Inject's map lookup.
+func Armed() bool { return armed.Load() }
+
+// Enable arms the named point with f, replacing any existing fault.
+func Enable(name string, f Fault) {
+	mu.Lock()
+	points[name] = &point{fault: f}
+	armed.Store(true)
+	mu.Unlock()
+}
+
+// Disable disarms the named point.
+func Disable(name string) {
+	mu.Lock()
+	delete(points, name)
+	armed.Store(len(points) > 0)
+	mu.Unlock()
+}
+
+// Reset disarms every point.
+func Reset() {
+	mu.Lock()
+	points = map[string]*point{}
+	armed.Store(false)
+	mu.Unlock()
+}
+
+// lookup returns the active point, or nil when the name is disarmed or its
+// activation count is spent.
+func lookup(name string) *point {
+	mu.RLock()
+	p := points[name]
+	mu.RUnlock()
+	if p == nil || p.spent.Load() {
+		return nil
+	}
+	if p.fault.Count > 0 && p.hits.Add(1) > p.fault.Count {
+		p.spent.Store(true)
+		return nil
+	}
+	if p.fault.Count <= 0 {
+		p.hits.Add(1)
+	}
+	return p
+}
+
+// Inject fires the named point: it sleeps the configured delay and returns
+// ErrInjected when the fault is set to fail, or nil when the point is
+// disarmed. Callers must treat the error exactly like the real failure the
+// point shadows.
+func Inject(name string) error {
+	p := lookup(name)
+	if p == nil {
+		return nil
+	}
+	if p.fault.Delay > 0 {
+		time.Sleep(p.fault.Delay)
+	}
+	if p.fault.Fail {
+		return ErrInjected
+	}
+	return nil
+}
+
+// Delay returns the named point's configured delay without sleeping — the
+// read-only form clock-skew injection uses — or zero when disarmed.
+func Delay(name string) time.Duration {
+	p := lookup(name)
+	if p == nil {
+		return 0
+	}
+	return p.fault.Delay
+}
+
+// Hits reports how many times the named point has fired (armed lookups,
+// whether or not they failed). Zero for unknown points.
+func Hits(name string) int64 {
+	mu.RLock()
+	p := points[name]
+	mu.RUnlock()
+	if p == nil {
+		return 0
+	}
+	return p.hits.Load()
+}
+
+// Configure arms failpoints from a spec string: ';'-separated
+// "point=action[,action...]" clauses where an action is "delay:<duration>",
+// "error", or "count:<n>". An empty spec is a no-op; a malformed one returns
+// an error naming the offending clause.
+func Configure(spec string) error {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil
+	}
+	for _, clause := range strings.Split(spec, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		name, actions, ok := strings.Cut(clause, "=")
+		name = strings.TrimSpace(name)
+		if !ok || name == "" {
+			return fmt.Errorf("faultinject: bad clause %q (want point=action[,action...])", clause)
+		}
+		var f Fault
+		for _, act := range strings.Split(actions, ",") {
+			act = strings.TrimSpace(act)
+			switch {
+			case act == "error":
+				f.Fail = true
+			case strings.HasPrefix(act, "delay:"):
+				d, err := time.ParseDuration(strings.TrimPrefix(act, "delay:"))
+				if err != nil {
+					return fmt.Errorf("faultinject: %s: bad delay %q: %v", name, act, err)
+				}
+				f.Delay = d
+			case strings.HasPrefix(act, "count:"):
+				n, err := strconv.ParseInt(strings.TrimPrefix(act, "count:"), 10, 64)
+				if err != nil || n < 0 {
+					return fmt.Errorf("faultinject: %s: bad count %q", name, act)
+				}
+				f.Count = n
+			default:
+				return fmt.Errorf("faultinject: %s: unknown action %q (want delay:<dur>, error, or count:<n>)", name, act)
+			}
+		}
+		Enable(name, f)
+	}
+	return nil
+}

@@ -1,0 +1,101 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDisarmedIsFree(t *testing.T) {
+	Reset()
+	if Armed() {
+		t.Fatal("fresh registry reports armed")
+	}
+	if err := Inject("wal.fsync"); err != nil {
+		t.Fatalf("disarmed Inject returned %v", err)
+	}
+	if d := Delay("clock.skew"); d != 0 {
+		t.Fatalf("disarmed Delay = %v", d)
+	}
+}
+
+func TestErrorInjection(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	Enable("wal.fsync", Fault{Fail: true})
+	if !Armed() {
+		t.Fatal("not armed after Enable")
+	}
+	if err := Inject("wal.fsync"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Inject = %v, want ErrInjected", err)
+	}
+	if Hits("wal.fsync") != 1 {
+		t.Fatalf("hits = %d, want 1", Hits("wal.fsync"))
+	}
+	Disable("wal.fsync")
+	if Armed() {
+		t.Fatal("still armed after Disable of last point")
+	}
+	if err := Inject("wal.fsync"); err != nil {
+		t.Fatalf("disabled Inject = %v", err)
+	}
+}
+
+func TestDelayInjection(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	Enable("engine.search", Fault{Delay: 20 * time.Millisecond})
+	start := time.Now()
+	if err := Inject("engine.search"); err != nil {
+		t.Fatalf("Inject = %v", err)
+	}
+	if took := time.Since(start); took < 15*time.Millisecond {
+		t.Fatalf("delay fault slept only %v", took)
+	}
+}
+
+func TestCountLimit(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	Enable("wal.fsync", Fault{Fail: true, Count: 2})
+	for i := 0; i < 2; i++ {
+		if err := Inject("wal.fsync"); !errors.Is(err, ErrInjected) {
+			t.Fatalf("hit %d: %v, want ErrInjected", i, err)
+		}
+	}
+	if err := Inject("wal.fsync"); err != nil {
+		t.Fatalf("spent point still fires: %v", err)
+	}
+}
+
+func TestNegativeDelayReadable(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	Enable("clock.skew", Fault{Delay: -time.Second})
+	if d := Delay("clock.skew"); d != -time.Second {
+		t.Fatalf("Delay = %v, want -1s", d)
+	}
+}
+
+func TestConfigure(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	err := Configure("wal.fsync=delay:5ms,error; engine.search=delay:1ms,count:3; clock.skew=delay:-1s")
+	if err != nil {
+		t.Fatalf("Configure: %v", err)
+	}
+	if err := Inject("wal.fsync"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("wal.fsync = %v, want ErrInjected", err)
+	}
+	if d := Delay("clock.skew"); d != -time.Second {
+		t.Fatalf("clock.skew delay = %v", d)
+	}
+	for _, bad := range []string{"nameonly", "p=delay:xyz", "p=count:-1", "p=frobnicate"} {
+		if err := Configure(bad); err == nil {
+			t.Fatalf("Configure(%q) accepted", bad)
+		}
+	}
+	if err := Configure(""); err != nil {
+		t.Fatalf("empty spec: %v", err)
+	}
+}

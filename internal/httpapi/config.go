@@ -94,6 +94,13 @@ type ServerConfig struct {
 	// mutation path: the tree is rebuilt by a background goroutine and
 	// hot-swapped in, instead of rebuilding inline inside an Insert/Delete.
 	BackgroundCompaction bool `json:"background_compaction,omitempty"`
+	// MaxQueue statically caps each index's admitted-but-unfinished requests
+	// (zero: 4*workers*max_batch; negative: admission control off).
+	MaxQueue int `json:"max_queue,omitempty"`
+	// MaxQueueDelay bounds the queueing delay admission control accepts
+	// (zero: 50ms); when the backlog's expected drain time exceeds it, new
+	// deadline-carrying searches are shed with 429 + Retry-After.
+	MaxQueueDelay Duration `json:"max_queue_delay,omitempty"`
 }
 
 // Options converts to the p2h serving options.
@@ -104,6 +111,8 @@ func (c ServerConfig) Options() p2h.ServerOptions {
 		MaxDelay:             time.Duration(c.MaxDelay),
 		CacheEntries:         c.CacheEntries,
 		BackgroundCompaction: c.BackgroundCompaction,
+		MaxQueue:             c.MaxQueue,
+		MaxQueueDelay:        time.Duration(c.MaxQueueDelay),
 	}
 }
 
@@ -119,8 +128,19 @@ type Config struct {
 	Listen string `json:"listen,omitempty"`
 	// DrainTimeout bounds shutdown and unload waits (zero: 10s).
 	DrainTimeout Duration `json:"drain_timeout,omitempty"`
+	// MaxTimeout caps any client timeout_ms and backstops requests that name
+	// none (zero: 30s) — every search the daemon runs carries a deadline.
+	MaxTimeout Duration `json:"max_timeout,omitempty"`
+	// DefaultTimeout is the deadline applied to requests without timeout_ms
+	// (zero: MaxTimeout).
+	DefaultTimeout Duration `json:"default_timeout,omitempty"`
 	// Server tunes every index's serving engine.
 	Server ServerConfig `json:"server,omitempty"`
+	// SLO, when present, runs the latency feedback controller: per-index p99
+	// is sampled every interval and the budget ceiling stepped down (bounded,
+	// with hysteresis) while the objective is breached — approximate-but-fast
+	// under spike, exact again as load recedes.
+	SLO *SLOConfig `json:"slo,omitempty"`
 	// Indexes maps index names to their declarations.
 	Indexes map[string]IndexConfig `json:"indexes,omitempty"`
 }
@@ -147,6 +167,11 @@ func LoadConfig(path string) (Config, error) {
 			return Config{}, fmt.Errorf("httpapi: config %s: index %q: %w", path, name, err)
 		}
 	}
+	if cfg.SLO != nil {
+		if err := cfg.SLO.validate(); err != nil {
+			return Config{}, fmt.Errorf("httpapi: config %s: %w", path, err)
+		}
+	}
 	return cfg, nil
 }
 
@@ -157,4 +182,13 @@ func (c Config) DrainTimeoutOrDefault() time.Duration {
 		return DefaultDrainTimeout
 	}
 	return time.Duration(c.DrainTimeout)
+}
+
+// HandlerOptions resolves the config's request-deadline policy for
+// NewHandlerWithOptions.
+func (c Config) HandlerOptions() HandlerOptions {
+	return HandlerOptions{
+		MaxTimeout:     time.Duration(c.MaxTimeout),
+		DefaultTimeout: time.Duration(c.DefaultTimeout),
+	}
 }

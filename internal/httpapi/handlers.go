@@ -1,10 +1,12 @@
 package httpapi
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io/fs"
+	"math"
 	"net/http"
 	"strconv"
 	"strings"
@@ -14,6 +16,7 @@ import (
 
 	p2h "p2h"
 	"p2h/internal/core"
+	"p2h/internal/faultinject"
 )
 
 // maxBodyBytes bounds any request body; a batch of 100k Glove-sized queries
@@ -26,11 +29,28 @@ const maxBodyBytes = 64 << 20
 // batch size.
 const batchFanout = 64
 
+// DefaultMaxTimeout caps client timeout_ms values and backstops requests
+// that name none, so every search the daemon dispatches carries a deadline —
+// a stuck traversal can hold a connection, never the worker pool forever.
+const DefaultMaxTimeout = 30 * time.Second
+
+// HandlerOptions tunes the HTTP layer's request-deadline policy.
+type HandlerOptions struct {
+	// MaxTimeout caps any client timeout_ms and bounds requests without one
+	// (non-positive: DefaultMaxTimeout).
+	MaxTimeout time.Duration
+	// DefaultTimeout is the deadline applied when the request names no
+	// timeout_ms (non-positive: MaxTimeout).
+	DefaultTimeout time.Duration
+}
+
 // API serves the p2hd HTTP surface over a Manager.
 type API struct {
-	m       *Manager
-	metrics *metrics
-	started time.Time
+	m              *Manager
+	metrics        *metrics
+	started        time.Time
+	maxTimeout     time.Duration
+	defaultTimeout time.Duration
 }
 
 // NewHandler builds the daemon's HTTP handler over m:
@@ -49,8 +69,21 @@ type API struct {
 //
 // Every response is JSON except /metrics; errors use the ErrorResponse
 // envelope with a stable machine-readable code.
-func NewHandler(m *Manager) http.Handler {
-	a := &API{m: m, metrics: newMetrics(), started: time.Now()}
+func NewHandler(m *Manager) http.Handler { return NewHandlerWithOptions(m, HandlerOptions{}) }
+
+// NewHandlerWithOptions is NewHandler with an explicit request-deadline
+// policy (see HandlerOptions).
+func NewHandlerWithOptions(m *Manager, opts HandlerOptions) http.Handler {
+	if opts.MaxTimeout <= 0 {
+		opts.MaxTimeout = DefaultMaxTimeout
+	}
+	if opts.DefaultTimeout <= 0 || opts.DefaultTimeout > opts.MaxTimeout {
+		opts.DefaultTimeout = opts.MaxTimeout
+	}
+	a := &API{
+		m: m, metrics: newMetrics(), started: time.Now(),
+		maxTimeout: opts.MaxTimeout, defaultTimeout: opts.DefaultTimeout,
+	}
 	mux := http.NewServeMux()
 	route := func(pattern, endpoint string, h func(http.ResponseWriter, *http.Request)) {
 		// Resolving the endpoint here pre-registers it (the scrape lists it
@@ -101,9 +134,37 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
+// searchContext derives one request's deadline: the client's timeout_ms,
+// else the daemon default, both capped by the daemon max — so every search
+// dispatched into an engine is deadline-bounded. The context also inherits
+// the connection's (a client that hangs up cancels its in-flight work). The
+// clock.skew failpoint, when armed, shifts the computed deadline — the chaos
+// hook for "the daemon's clock is wrong" without touching the real clock.
+func (a *API) searchContext(r *http.Request, timeoutMS int) (context.Context, context.CancelFunc) {
+	d := time.Duration(timeoutMS) * time.Millisecond
+	if d <= 0 {
+		d = a.defaultTimeout
+	}
+	if d > a.maxTimeout {
+		d = a.maxTimeout
+	}
+	if faultinject.Armed() {
+		d += faultinject.Delay("clock.skew")
+	}
+	return context.WithDeadline(r.Context(), time.Now().Add(d))
+}
+
 // errorStatus maps an error onto an HTTP status and a stable wire code.
 func errorStatus(err error) (int, string) {
 	switch {
+	case errors.Is(err, p2h.ErrOverloaded):
+		return http.StatusTooManyRequests, "overloaded"
+	case errors.Is(err, p2h.ErrDraining):
+		return http.StatusServiceUnavailable, "draining"
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout, "deadline_exceeded"
+	case errors.Is(err, context.Canceled):
+		return http.StatusGatewayTimeout, "canceled"
 	case errors.Is(err, ErrIndexNotFound):
 		return http.StatusNotFound, "index_not_found"
 	case errors.Is(err, ErrIndexExists):
@@ -132,6 +193,17 @@ func errorStatus(err error) (int, string) {
 }
 
 func (a *API) fail(w http.ResponseWriter, err error) {
+	var oe *p2h.OverloadError
+	if errors.As(err, &oe) {
+		// Whole seconds, rounded up: Retry-After's wire granularity. A
+		// sub-second suggestion still reads "1" — retrying sooner than the
+		// engine's own estimate only feeds the backlog being shed.
+		secs := int(math.Ceil(oe.RetryAfter.Seconds()))
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+	}
 	status, code := errorStatus(err)
 	writeJSON(w, status, ErrorResponse{Error: err.Error(), Code: code})
 }
@@ -157,20 +229,37 @@ func (a *API) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Status:        "ok",
 		UptimeSeconds: int64(time.Since(a.started).Seconds()),
 	}
+	status := http.StatusOK
+	switch {
+	case a.m.Draining():
+		// Load balancers must stop routing before the listener closes;
+		// requests that still arrive are served until the drain completes.
+		resp.Status = "draining"
+		resp.Reason = "shutting down: drain begun, in-flight requests completing"
+		status = http.StatusServiceUnavailable
+	case a.m.Swapping():
+		resp.Status = "swapping"
+		resp.Reason = "index hot-swap in progress: old engine draining"
+		status = http.StatusServiceUnavailable
+	}
 	for _, info := range a.m.List() {
 		resp.Indexes++
+		if info.Stats.BudgetCeiling > 0 {
+			resp.Degraded = true
+			resp.DegradedIndexes++
+		}
 		if info.WAL != nil {
 			resp.WALIndexes++
 			resp.WALReplayedRecords += info.WAL.Replayed
 			resp.WALPendingRecords += info.WAL.Records
 		}
 	}
-	writeJSON(w, http.StatusOK, resp)
+	writeJSON(w, status, resp)
 }
 
 func (a *API) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	var b strings.Builder
-	a.metrics.render(&b, a.m.List())
+	a.metrics.render(&b, a.m.List(), a.m.Draining(), a.m.Swapping())
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_, _ = w.Write([]byte(b.String()))
 }
@@ -238,7 +327,16 @@ func (a *API) handleSearch(w http.ResponseWriter, r *http.Request) {
 		a.fail(w, err)
 		return
 	}
-	res, stats := e.srv.Search(q, opts)
+	ctx, cancel := a.searchContext(r, req.TimeoutMS)
+	defer cancel()
+	res, stats, err := e.srv.SearchCtx(ctx, q, opts)
+	if err != nil {
+		// An expired deadline answers 504 even when partial results exist:
+		// a truncated top-k is not the top-k the client asked for, and a
+		// clean error is what its hedging logic keys on.
+		a.fail(w, err)
+		return
+	}
 	writeJSON(w, http.StatusOK, SearchResponse{Results: toResultsJSON(res), Stats: toStatsJSON(stats)})
 }
 
@@ -276,11 +374,35 @@ func (a *API) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 	// coalesces concurrent submissions into micro-batches and runs them
 	// through the index's zero-allocation batched traversal, so the fan-out
 	// here is what engages the shared-arena path.
+	//
+	// The whole batch shares one deadline. A member the engine sheds is
+	// retried after the engine's own Retry-After estimate — the members of
+	// one admitted HTTP request co-arrived, so backing off self-paces the
+	// fan-out to the engine's capacity instead of failing a half-executed
+	// batch — while the deadline bounds the total wait. Any terminal error
+	// (deadline expired, engine draining) aborts the batch: the response is
+	// one JSON document, all-or-nothing.
+	ctx, cancel := a.searchContext(r, req.TimeoutMS)
+	defer cancel()
 	results := make([][]core.Result, len(req.Queries))
 	stats := make([]core.Stats, len(req.Queries))
 	workers := batchFanout
 	if workers > len(req.Queries) {
 		workers = len(req.Queries)
+	}
+	var abortMu sync.Mutex
+	var abortErr error
+	abort := func(err error) {
+		abortMu.Lock()
+		if abortErr == nil {
+			abortErr = err
+		}
+		abortMu.Unlock()
+	}
+	aborted := func() bool {
+		abortMu.Lock()
+		defer abortMu.Unlock()
+		return abortErr != nil
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -290,14 +412,35 @@ func (a *API) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= len(req.Queries) {
+				if i >= len(req.Queries) || aborted() {
 					return
 				}
-				results[i], stats[i] = e.srv.Search(req.Queries[i], opts)
+				for {
+					res, st, err := e.srv.SearchCtx(ctx, req.Queries[i], opts)
+					if err == nil {
+						results[i], stats[i] = res, st
+						break
+					}
+					var oe *p2h.OverloadError
+					if !errors.As(err, &oe) {
+						abort(err)
+						return
+					}
+					select {
+					case <-ctx.Done():
+						abort(ctx.Err())
+						return
+					case <-time.After(oe.RetryAfter):
+					}
+				}
 			}
 		}()
 	}
 	wg.Wait()
+	if aborted() {
+		a.fail(w, abortErr)
+		return
+	}
 
 	resp := BatchSearchResponse{Results: make([][]ResultJSON, len(results))}
 	var agg core.Stats

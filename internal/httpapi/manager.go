@@ -17,6 +17,7 @@ import (
 	"regexp"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	p2h "p2h"
@@ -105,6 +106,7 @@ func (e *managed) info() IndexInfoResponse {
 			Sync:     e.wal.SyncMode().String(),
 			Records:  e.wal.Records(),
 			Replayed: e.replayed,
+			Syncs:    e.wal.Syncs(),
 		}
 	}
 	return info
@@ -116,9 +118,19 @@ type Manager struct {
 	opts         p2h.ServerOptions
 	drainTimeout time.Duration
 
+	// draining flips once BeginDrain (or Close) runs: /healthz answers 503
+	// so load balancers stop routing while in-flight work still completes.
+	// swapping counts hot-swap retirements in progress, for the same signal.
+	draining atomic.Bool
+	swapping atomic.Int64
+
 	mu      sync.RWMutex
 	indexes map[string]*managed
 	closed  bool
+	// SLO controller lifecycle (see controller.go); nil when not running.
+	sloCfg  SLOConfig
+	sloStop chan struct{}
+	sloDone chan struct{}
 }
 
 // NewManager creates an empty manager. opts tunes every index's serving
@@ -264,10 +276,26 @@ func (m *Manager) Load(name string, cfg IndexConfig, replace bool) (info IndexIn
 	m.mu.Unlock()
 
 	if old != nil {
-		go m.retire(old)
+		m.swapping.Add(1)
+		go func() {
+			defer m.swapping.Add(-1)
+			m.retire(old)
+		}()
 	}
 	return e.info(), old != nil, nil
 }
+
+// BeginDrain marks the daemon as draining: /healthz flips to 503 so load
+// balancers stop routing new traffic, while everything already in flight —
+// and any stragglers that still arrive — keeps being served. Call it before
+// http.Server.Shutdown to turn connection resets into a clean handoff.
+func (m *Manager) BeginDrain() { m.draining.Store(true) }
+
+// Draining reports whether BeginDrain (or Close) has run.
+func (m *Manager) Draining() bool { return m.draining.Load() }
+
+// Swapping reports whether any hot-swap is still retiring its old engine.
+func (m *Manager) Swapping() bool { return m.swapping.Load() > 0 }
 
 // Unload removes the named index and drains its engine, waiting up to the
 // manager's drain timeout for in-flight requests. The index is gone from the
@@ -380,6 +408,8 @@ func (m *Manager) Len() int {
 // and reports the first context error, if any. Intended to run after the
 // HTTP server has shut down, so no handler still holds a reference.
 func (m *Manager) Close(ctx context.Context) error {
+	m.draining.Store(true)
+	m.stopSLO()
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()

@@ -94,10 +94,11 @@ func (em *endpointMetrics) record(status int, d time.Duration) {
 	em.latency.observe(d)
 }
 
-// render writes the whole exposition: HTTP metrics from the registry plus
-// per-index engine counters from the manager's live snapshot. Output is
-// deterministic (sorted label values) so tests and diffs stay stable.
-func (m *metrics) render(w *strings.Builder, indexes []IndexInfoResponse) {
+// render writes the whole exposition: HTTP metrics from the registry,
+// per-index engine counters from the manager's live snapshot, and the
+// daemon-level overload gauges. Output is deterministic (sorted label
+// values) so tests and diffs stay stable.
+func (m *metrics) render(w *strings.Builder, indexes []IndexInfoResponse, draining, swapping bool) {
 	m.mu.Lock()
 	names := make([]string, 0, len(m.endpoints))
 	for name := range m.endpoints {
@@ -145,6 +146,37 @@ func (m *metrics) render(w *strings.Builder, indexes []IndexInfoResponse) {
 	}
 
 	renderIndexMetrics(w, indexes)
+	renderDaemonGauges(w, indexes, draining, swapping)
+}
+
+// renderDaemonGauges emits the daemon-level overload signals: whether the
+// manager is draining or mid-swap (the /healthz 503 conditions) and whether
+// any index serves degraded — the gauges an operator alerts on.
+func renderDaemonGauges(w *strings.Builder, indexes []IndexInfoResponse, draining, swapping bool) {
+	degraded := 0
+	for _, ix := range indexes {
+		if ix.Stats.BudgetCeiling > 0 {
+			degraded = 1
+			break
+		}
+	}
+	for _, g := range []struct {
+		name, help string
+		value      int
+	}{
+		{"p2hd_draining", "1 while the daemon is draining for shutdown.", b2i(draining)},
+		{"p2hd_swapping", "1 while an index hot-swap is retiring its old engine.", b2i(swapping)},
+		{"p2hd_degraded", "1 while any index serves under an SLO budget ceiling.", degraded},
+	} {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", g.name, g.help, g.name, g.name, g.value)
+	}
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // formatBucket renders a bucket bound the way Prometheus clients expect
@@ -180,6 +212,18 @@ var indexCounters = []struct {
 		func(i IndexInfoResponse) int64 { return int64(i.N) }},
 	{"p2hd_index_bytes", "Index structure memory footprint, by index.", "gauge",
 		func(i IndexInfoResponse) int64 { return i.IndexBytes }},
+	{"p2hd_index_shed_total", "Searches rejected by admission control (HTTP 429), by index.", "counter",
+		func(i IndexInfoResponse) int64 { return i.Stats.Shed }},
+	{"p2hd_index_expired_total", "Searches whose deadline fired before index work ran, by index.", "counter",
+		func(i IndexInfoResponse) int64 { return i.Stats.Expired }},
+	{"p2hd_index_worker_panics_total", "Worker-pool panics isolated without losing the pool, by index.", "counter",
+		func(i IndexInfoResponse) int64 { return i.Stats.Panics }},
+	{"p2hd_index_degraded_queries_total", "Searches whose budget the degradation ceiling clamped, by index.", "counter",
+		func(i IndexInfoResponse) int64 { return i.Stats.DegradedQueries }},
+	{"p2hd_index_budget_ceiling", "Current degradation budget ceiling (0: serving exact), by index.", "gauge",
+		func(i IndexInfoResponse) int64 { return int64(i.Stats.BudgetCeiling) }},
+	{"p2hd_index_backlog", "Admitted-but-unfinished requests, by index.", "gauge",
+		func(i IndexInfoResponse) int64 { return i.Stats.Backlog }},
 }
 
 // walCounters are the per-index series that only exist for indexes with a
@@ -192,6 +236,8 @@ var walCounters = []struct {
 		func(w *WALInfoJSON) int64 { return w.Records }},
 	{"p2hd_index_wal_replayed_records_total", "Write-ahead log records replayed at load time, by index.", "counter",
 		func(w *WALInfoJSON) int64 { return int64(w.Replayed) }},
+	{"p2hd_index_wal_syncs_total", "Fsyncs the write-ahead log issued (records/syncs is the group-commit amortization), by index.", "counter",
+		func(w *WALInfoJSON) int64 { return w.Syncs }},
 }
 
 func renderIndexMetrics(w *strings.Builder, indexes []IndexInfoResponse) {

@@ -40,7 +40,7 @@ func TestMetricsRenderShape(t *testing.T) {
 	m.render(&b, []IndexInfoResponse{{
 		Name: "a", Kind: "bctree", N: 42, IndexBytes: 1000,
 		Stats: ServerStatsJSON{Queries: 7, CacheHits: 3},
-	}})
+	}}, false, true)
 	text := b.String()
 	for _, want := range []string{
 		`p2hd_http_requests_total{endpoint="insert",code="200"} 1`,
@@ -53,6 +53,11 @@ func TestMetricsRenderShape(t *testing.T) {
 		`p2hd_index_cache_hits_total{index="a",kind="bctree"} 3`,
 		`p2hd_index_points{index="a",kind="bctree"} 42`,
 		`p2hd_index_bytes{index="a",kind="bctree"} 1000`,
+		`p2hd_index_shed_total{index="a",kind="bctree"} 0`,
+		`p2hd_index_budget_ceiling{index="a",kind="bctree"} 0`,
+		"p2hd_draining 0",
+		"p2hd_swapping 1",
+		"p2hd_degraded 0",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("missing %q\n%s", want, text)

@@ -27,6 +27,12 @@ type SearchOptionsJSON struct {
 	DisablePointBall bool `json:"disable_point_ball,omitempty"`
 	DisablePointCone bool `json:"disable_point_cone,omitempty"`
 	DisableCollabIP  bool `json:"disable_collab_ip,omitempty"`
+	// TimeoutMS is the client's deadline for the whole request in
+	// milliseconds, capped by the daemon's max_timeout. Zero applies the
+	// daemon's default. A request that misses its deadline answers 504 with
+	// no results; one that expires while still queued never touches the
+	// index.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
 }
 
 // toOptions validates and converts the wire options.
@@ -49,6 +55,9 @@ func (o SearchOptionsJSON) toOptions() (core.SearchOptions, error) {
 	}
 	if o.K < 0 {
 		return opts, fmt.Errorf("%w: negative k %d", errBadRequest, o.K)
+	}
+	if o.TimeoutMS < 0 {
+		return opts, fmt.Errorf("%w: negative timeout_ms %d", errBadRequest, o.TimeoutMS)
 	}
 	return opts, nil
 }
@@ -204,19 +213,38 @@ type ServerStatsJSON struct {
 	// PendingDelta is the un-folded delta (insert buffer + tombstones)
 	// searches currently pay for; rebuilds and compactions reset it.
 	PendingDelta int `json:"pending_delta"`
+	// Shed counts deadline-carrying searches rejected by admission control
+	// (HTTP 429); Expired counts requests whose deadline fired before any
+	// index work ran; Panics counts worker-pool panics isolated without
+	// losing the pool.
+	Shed    int64 `json:"shed"`
+	Expired int64 `json:"expired"`
+	Panics  int64 `json:"panics"`
+	// DegradedQueries counts searches whose budget the degradation ceiling
+	// clamped; BudgetCeiling is the current cap (zero: serving exact);
+	// Backlog is the admitted-but-unfinished request count right now.
+	DegradedQueries int64 `json:"degraded_queries"`
+	BudgetCeiling   int   `json:"budget_ceiling"`
+	Backlog         int64 `json:"backlog"`
 }
 
 func toServerStatsJSON(s p2h.ServerStats) ServerStatsJSON {
 	return ServerStatsJSON{
-		Queries:      s.Queries,
-		Batches:      s.Batches,
-		CacheHits:    s.CacheHits,
-		CacheMisses:  s.CacheMisses,
-		Inserts:      s.Inserts,
-		Deletes:      s.Deletes,
-		Epoch:        s.Epoch,
-		Compactions:  s.Compactions,
-		PendingDelta: s.PendingDelta,
+		Queries:         s.Queries,
+		Batches:         s.Batches,
+		CacheHits:       s.CacheHits,
+		CacheMisses:     s.CacheMisses,
+		Inserts:         s.Inserts,
+		Deletes:         s.Deletes,
+		Epoch:           s.Epoch,
+		Compactions:     s.Compactions,
+		PendingDelta:    s.PendingDelta,
+		Shed:            s.Shed,
+		Expired:         s.Expired,
+		Panics:          s.Panics,
+		DegradedQueries: s.DegradedQueries,
+		BudgetCeiling:   s.BudgetCeiling,
+		Backlog:         s.Backlog,
 	}
 }
 
@@ -232,6 +260,10 @@ type WALInfoJSON struct {
 	// Replayed is the pending record count the load-time replay consumed to
 	// restore the pre-crash state.
 	Replayed int `json:"replayed"`
+	// Syncs is the number of fsyncs the log has issued; under group commit
+	// the ratio Records/Syncs is the amortization factor concurrent durable
+	// writers achieved.
+	Syncs int64 `json:"syncs"`
 }
 
 // IndexInfoResponse describes one served index.
@@ -259,10 +291,23 @@ type ListResponse struct {
 // finished every load-time WAL replay (indexes only enter the table fully
 // recovered), so WALReplayedRecords reporting alongside "ok" doubles as
 // the replay-completion signal crash-recovery probes look for.
+//
+// Status is "ok" (200), or "draining"/"swapping" (503) while the daemon is
+// shutting down or an index hot-swap is retiring its old engine — the signal
+// load balancers use to stop routing before connections start resetting.
+// Degraded reporting true (still 200) means at least one index is serving
+// under an SLO-controller budget ceiling: answers are approximate until load
+// recedes.
 type HealthResponse struct {
 	Status        string `json:"status"`
 	Indexes       int    `json:"indexes"`
 	UptimeSeconds int64  `json:"uptime_seconds"`
+	// Reason explains a non-ok status in human-readable form.
+	Reason string `json:"reason,omitempty"`
+	// Degraded reports whether any index currently serves with a budget
+	// ceiling; DegradedIndexes counts them.
+	Degraded        bool `json:"degraded,omitempty"`
+	DegradedIndexes int  `json:"degraded_indexes,omitempty"`
 	// WALIndexes counts loaded indexes with a write-ahead log attached.
 	WALIndexes int `json:"wal_indexes"`
 	// WALReplayedRecords totals the pending records consumed by load-time

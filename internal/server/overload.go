@@ -1,0 +1,326 @@
+package server
+
+// Overload resilience: the admission-controlled, deadline-aware submission
+// path (SearchCtx) and the two feedback signals it runs on — an EWMA of
+// per-query service time for the latency-derived admission limit, and a
+// fixed-bucket latency histogram an external SLO controller samples to step
+// the degradation ceiling (SetBudgetCeiling).
+//
+// The blocking Search path is untouched by all of this: in-process callers
+// (benchmarks, tests, batch tooling) queue without shedding and without
+// deadlines, exactly as before. Only SearchCtx submissions can be rejected.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync/atomic"
+	"time"
+
+	"p2h/internal/core"
+)
+
+// ErrOverloaded is the errors.Is target for admission rejections; the
+// concrete error is an *OverloadError carrying the suggested retry delay.
+var ErrOverloaded = errors.New("server: overloaded")
+
+// ErrDraining is returned by SearchCtx once Drain or Close has stopped
+// intake (where the blocking Search would panic).
+var ErrDraining = errors.New("server: engine draining")
+
+// OverloadError reports a shed request: the engine's backlog exceeded what
+// it can drain within the configured queueing-delay bound, so the request
+// was rejected instead of admitted to a queue it would only time out in.
+type OverloadError struct {
+	// Backlog is the number of admitted-but-unfinished requests at
+	// rejection time.
+	Backlog int64
+	// Limit is the admission limit the backlog exceeded.
+	Limit int64
+	// RetryAfter estimates how long until the backlog drains to the limit —
+	// the value an HTTP layer forwards as a Retry-After header.
+	RetryAfter time.Duration
+}
+
+// Error describes the rejection.
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("server: overloaded: backlog %d over limit %d, retry after %v",
+		e.Backlog, e.Limit, e.RetryAfter)
+}
+
+// Unwrap makes errors.Is(err, ErrOverloaded) match.
+func (e *OverloadError) Unwrap() error { return ErrOverloaded }
+
+// ewmaAlpha weights the service-time moving average; small enough to ride
+// out one odd chunk, large enough to track a load shift within tens of
+// chunks.
+const ewmaAlpha = 0.2
+
+// observeService folds one per-query service-time sample (a worker's chunk
+// wall time divided by the chunk size) into the EWMA.
+func (e *Engine) observeService(perQuery time.Duration) {
+	for {
+		old := e.ewmaSvc.Load()
+		cur := math.Float64frombits(old)
+		next := float64(perQuery)
+		if cur != 0 {
+			next = ewmaAlpha*next + (1-ewmaAlpha)*cur
+		}
+		if e.ewmaSvc.CompareAndSwap(old, math.Float64bits(next)) {
+			return
+		}
+	}
+}
+
+// serviceTime returns the smoothed per-query service time, or zero before
+// the first sample.
+func (e *Engine) serviceTime() time.Duration {
+	return time.Duration(math.Float64frombits(e.ewmaSvc.Load()))
+}
+
+// admissionLimit is the backlog bound SearchCtx sheds against: the static
+// MaxQueue ceiling, tightened by the latency-derived limit — the number of
+// requests the worker pool can drain within MaxQueueDelay at the current
+// smoothed service time. Zero means unlimited (shedding disabled).
+func (e *Engine) admissionLimit() int64 {
+	if e.cfg.MaxQueue < 0 {
+		return 0
+	}
+	limit := int64(e.cfg.MaxQueue)
+	if svc := e.serviceTime(); svc > 0 {
+		derived := int64(e.cfg.MaxQueueDelay) * int64(e.cfg.Workers) / int64(svc)
+		if derived < int64(e.cfg.Workers) {
+			// Never shed below one request per worker: the pool must stay
+			// busy even when a misbehaving index makes single queries slow.
+			derived = int64(e.cfg.Workers)
+		}
+		if derived < limit {
+			limit = derived
+		}
+	}
+	return limit
+}
+
+// admit decides whether one more request may enter. It returns nil and
+// leaves the backlog incremented on admission; on rejection the backlog is
+// untouched and the error carries the retry estimate.
+func (e *Engine) admit() error {
+	limit := e.admissionLimit()
+	for {
+		b := e.backlog.Load()
+		if limit > 0 && b >= limit {
+			e.shed.Add(1)
+			svc := e.serviceTime()
+			if svc <= 0 {
+				svc = time.Millisecond
+			}
+			retry := time.Duration(b-limit+int64(e.cfg.Workers)) * svc / time.Duration(e.cfg.Workers)
+			if retry < time.Millisecond {
+				retry = time.Millisecond
+			}
+			return &OverloadError{Backlog: b, Limit: limit, RetryAfter: retry}
+		}
+		if e.backlog.CompareAndSwap(b, b+1) {
+			return nil
+		}
+	}
+}
+
+// SearchCtx is the deadline-aware, admission-controlled form of Search — the
+// submission path a network serving layer uses. It differs from Search in
+// three ways:
+//
+//   - Admission control: when the backlog of admitted-but-unfinished
+//     requests exceeds what the pool can drain within MaxQueueDelay, the
+//     request is rejected immediately with an *OverloadError
+//     (errors.Is(err, ErrOverloaded)) instead of joining a queue it would
+//     only expire in. Rejecting the newest arrival keeps the work already
+//     queued meaningful.
+//
+//   - Deadline propagation: a request whose ctx expires while still queued
+//     is dropped before dispatch (ctx.Err() is returned, no index work is
+//     done); one that expires mid-search abandons the remaining traversal
+//     at the next leaf-block boundary (core.SearchOptions.Cancel) and
+//     returns ctx.Err() alongside the partial results found so far.
+//
+//   - Closed engines return ErrDraining instead of panicking.
+//
+// Malformed queries still panic, exactly like Search — that contract belongs
+// to the query, not the transport. A nil or never-canceled ctx makes
+// SearchCtx behave like Search plus admission control.
+func (e *Engine) SearchCtx(ctx context.Context, q []float32, opts core.SearchOptions) ([]core.Result, core.Stats, error) {
+	if e.closed.Load() {
+		return nil, core.Stats{}, ErrDraining
+	}
+	norm, err := core.CheckQuery(q, e.dim-1)
+	if err != nil {
+		panic("server: " + err.Error())
+	}
+	if ctx != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			e.expired.Add(1)
+			return nil, core.Stats{}, cerr
+		}
+	}
+	if err := e.admit(); err != nil {
+		return nil, core.Stats{}, err
+	}
+	r := &request{
+		q: q, norm: norm, opts: e.applyCeiling(opts.Normalized()),
+		ctx: ctx, done: make(chan struct{}),
+	}
+	start := time.Now()
+	if !e.submit(r) {
+		e.backlog.Add(-1)
+		return nil, core.Stats{}, ErrDraining
+	}
+	<-r.done
+	e.backlog.Add(-1)
+	e.latency.observe(time.Since(start))
+	if r.panicVal != nil {
+		panic(r.panicVal)
+	}
+	return r.res, r.stats, r.err
+}
+
+// SetBudgetCeiling caps the candidate budget of every subsequently submitted
+// search: queries asking for exact answers (Budget <= 0) or for more than
+// the ceiling run with Budget = ceiling instead. Zero (or negative) removes
+// the cap. This is the engine's degradation knob — an SLO controller steps
+// it down when the latency objective is breached and back up as load
+// recedes. Cached results are unaffected in correctness terms: the budget is
+// part of the cache key, so degraded and exact answers never alias.
+func (e *Engine) SetBudgetCeiling(ceiling int) {
+	if ceiling < 0 {
+		ceiling = 0
+	}
+	e.budgetCeiling.Store(int64(ceiling))
+}
+
+// BudgetCeiling returns the current degradation cap (zero when serving
+// exact).
+func (e *Engine) BudgetCeiling() int {
+	return int(e.budgetCeiling.Load())
+}
+
+// applyCeiling clamps one request's budget to the degradation ceiling. Must
+// run at submission time, before the options reach cache-key computation or
+// batch grouping, so every downstream consumer sees one consistent budget.
+func (e *Engine) applyCeiling(opts core.SearchOptions) core.SearchOptions {
+	if c := e.budgetCeiling.Load(); c > 0 && (opts.Budget <= 0 || opts.Budget > int(c)) {
+		opts.Budget = int(c)
+		e.degradedQueries.Add(1)
+	}
+	return opts
+}
+
+// cancelFor builds the cooperative cancellation hook the tree traversals
+// poll between leaf blocks. Nil when the request carries no context — the
+// nil check inside core.SearchOptions.Canceled keeps the unexpired path at
+// one branch per node visit.
+func cancelFor(ctx context.Context) func() bool {
+	if ctx == nil || ctx.Done() == nil {
+		return nil
+	}
+	return func() bool {
+		select {
+		case <-ctx.Done():
+			return true
+		default:
+			return false
+		}
+	}
+}
+
+// numLatBuckets fixed upper bounds span cache-hit microseconds to
+// stuck-second outliers; they mirror the HTTP layer's histogram so the two
+// agree about where a percentile falls.
+const numLatBuckets = 16
+
+var latBounds = [numLatBuckets]float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// latHist is a fixed-bucket latency histogram safe for concurrent use.
+type latHist struct {
+	counts [numLatBuckets]atomic.Int64
+	total  atomic.Int64
+}
+
+func (h *latHist) observe(d time.Duration) {
+	s := d.Seconds()
+	for i, ub := range latBounds {
+		if s <= ub {
+			h.counts[i].Add(1)
+			break
+		}
+	}
+	h.total.Add(1) // observations above the last bound live only in total
+}
+
+// LatencySnapshot is a point-in-time copy of the engine's completion-latency
+// histogram (queue wait plus service, per submitted request). Subtract two
+// snapshots to get a window, then ask the window for a quantile — the loop
+// an SLO controller runs.
+type LatencySnapshot struct {
+	// Counts[i] holds observations at or below bucket i's upper bound (see
+	// Bounds); observations beyond the last bound count only toward Total.
+	Counts [numLatBuckets]int64
+	// Total is every observation, including the implicit +Inf bucket.
+	Total int64
+}
+
+// LatencyBounds returns the histogram's upper bounds in seconds.
+func LatencyBounds() []float64 { return latBounds[:] }
+
+// Latency snapshots the engine's completion-latency histogram.
+func (e *Engine) Latency() LatencySnapshot {
+	var s LatencySnapshot
+	for i := range s.Counts {
+		s.Counts[i] = e.latency.counts[i].Load()
+	}
+	s.Total = e.latency.total.Load()
+	return s
+}
+
+// Sub returns the windowed histogram of observations between prev and s.
+func (s LatencySnapshot) Sub(prev LatencySnapshot) LatencySnapshot {
+	var d LatencySnapshot
+	for i := range s.Counts {
+		d.Counts[i] = s.Counts[i] - prev.Counts[i]
+	}
+	d.Total = s.Total - prev.Total
+	return d
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) in seconds by linear
+// interpolation inside the containing bucket. Observations beyond the last
+// bound report the last bound — a floor, which is the conservative direction
+// for a breach detector. Zero when the window is empty.
+func (s LatencySnapshot) Quantile(q float64) float64 {
+	if s.Total <= 0 {
+		return 0
+	}
+	rank := q * float64(s.Total)
+	var cum int64
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = latBounds[i-1]
+		}
+		if float64(cum+c) >= rank {
+			frac := (rank - float64(cum)) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			return lo + frac*(latBounds[i]-lo)
+		}
+		cum += c
+	}
+	return latBounds[numLatBuckets-1]
+}

@@ -1,0 +1,266 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"p2h/internal/core"
+	"p2h/internal/linearscan"
+)
+
+// slowIndex wraps an index with a fixed per-search delay that polls the
+// cancellation hook, standing in for a long leaf-block traversal.
+type slowIndex struct {
+	scanIndex
+	delay time.Duration
+	step  time.Duration
+}
+
+func (s slowIndex) Search(q []float32, opts core.SearchOptions) ([]core.Result, core.Stats) {
+	deadline := time.Now().Add(s.delay)
+	for time.Now().Before(deadline) {
+		if opts.Canceled() {
+			return nil, core.Stats{} // partial: nothing verified yet
+		}
+		time.Sleep(s.step)
+	}
+	return s.scanIndex.Search(q, opts)
+}
+
+func TestSearchCtxMatchesSearch(t *testing.T) {
+	data, queries := testData(300, 8, 10, 1)
+	e := New(scanIndex{linearscan.New(data)}, nil, Config{Workers: 2})
+	defer e.Close()
+	for i := 0; i < queries.N; i++ {
+		q := queries.Row(i)
+		want, _ := e.Search(q, core.SearchOptions{K: 3})
+		got, _, err := e.SearchCtx(context.Background(), q, core.SearchOptions{K: 3})
+		if err != nil {
+			t.Fatalf("query %d: SearchCtx error %v", i, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("query %d: got %d results, want %d", i, len(got), len(want))
+		}
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("query %d result %d: %v != %v", i, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+func TestSearchCtxNilContext(t *testing.T) {
+	data, queries := testData(100, 8, 1, 2)
+	e := New(scanIndex{linearscan.New(data)}, nil, Config{Workers: 1})
+	defer e.Close()
+	res, _, err := e.SearchCtx(nil, queries.Row(0), core.SearchOptions{K: 2})
+	if err != nil || len(res) != 2 {
+		t.Fatalf("nil ctx: res=%d err=%v", len(res), err)
+	}
+}
+
+func TestSearchCtxShedsUnderOverload(t *testing.T) {
+	data, queries := testData(200, 8, 4, 3)
+	slow := slowIndex{scanIndex{linearscan.New(data)}, 5 * time.Millisecond, time.Millisecond}
+	e := New(slow, nil, Config{
+		Workers: 1, MaxBatch: 1, CacheEntries: -1,
+		MaxQueue: 2, MaxQueueDelay: time.Hour, // only the static limit binds
+	})
+	defer e.Close()
+
+	const flood = 32
+	var served, shed atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < flood; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, _, err := e.SearchCtx(context.Background(), queries.Row(i%queries.N), core.SearchOptions{K: 1})
+			switch {
+			case err == nil:
+				served.Add(1)
+			case errors.Is(err, ErrOverloaded):
+				var oe *OverloadError
+				if !errors.As(err, &oe) {
+					t.Errorf("overload error is %T, not *OverloadError", err)
+					return
+				}
+				if oe.RetryAfter <= 0 {
+					t.Errorf("RetryAfter = %v, want > 0", oe.RetryAfter)
+				}
+				shed.Add(1)
+			default:
+				t.Errorf("unexpected error %v", err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if shed.Load() == 0 {
+		t.Fatalf("flood of %d against MaxQueue=2 shed nothing (served %d)", flood, served.Load())
+	}
+	if served.Load() == 0 {
+		t.Fatal("everything was shed; admitted requests must still be served")
+	}
+	st := e.Stats()
+	if st.Shed != shed.Load() {
+		t.Fatalf("Stats.Shed = %d, callers saw %d", st.Shed, shed.Load())
+	}
+	if st.Backlog != 0 {
+		t.Fatalf("Backlog = %d after quiescence, want 0", st.Backlog)
+	}
+}
+
+func TestSearchCtxQueuedExpiryDropsBeforeDispatch(t *testing.T) {
+	data, queries := testData(100, 8, 2, 4)
+	e := New(scanIndex{linearscan.New(data)}, nil, Config{Workers: 1})
+	defer e.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // expired before submission
+	_, _, err := e.SearchCtx(ctx, queries.Row(0), core.SearchOptions{K: 1})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if e.Stats().Expired == 0 {
+		t.Fatal("Stats.Expired did not count the dropped request")
+	}
+	// The engine keeps serving.
+	if _, _, err := e.SearchCtx(context.Background(), queries.Row(1), core.SearchOptions{K: 1}); err != nil {
+		t.Fatalf("engine wedged after expired request: %v", err)
+	}
+}
+
+func TestSearchCtxMidSearchDeadline(t *testing.T) {
+	data, queries := testData(100, 8, 1, 5)
+	slow := slowIndex{scanIndex{linearscan.New(data)}, time.Second, 100 * time.Microsecond}
+	e := New(slow, nil, Config{Workers: 1, CacheEntries: 8})
+	defer e.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	q := queries.Row(0)
+	start := time.Now()
+	res, _, err := e.SearchCtx(ctx, q, core.SearchOptions{K: 3})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if took := time.Since(start); took > 500*time.Millisecond {
+		t.Fatalf("deadline at 10ms but the search ran %v — cancellation not honored", took)
+	}
+	if len(res) != 0 {
+		t.Fatalf("canceled slowIndex returned %d results, want its partial (empty) set", len(res))
+	}
+	// The truncated answer must not have been cached: a fresh uncancelled
+	// search of the same query gets the real results.
+	full, _, err := e.SearchCtx(context.Background(), q, core.SearchOptions{K: 3})
+	if err != nil || len(full) != 3 {
+		t.Fatalf("after cancel: res=%d err=%v, want 3 exact results", len(full), err)
+	}
+	if e.Stats().CacheHits != 0 {
+		t.Fatal("full search hit the cache — the canceled partial was cached")
+	}
+}
+
+func TestSearchCtxOnDrainedEngine(t *testing.T) {
+	data, queries := testData(50, 8, 1, 6)
+	e := New(scanIndex{linearscan.New(data)}, nil, Config{Workers: 1})
+	e.Close()
+	_, _, err := e.SearchCtx(context.Background(), queries.Row(0), core.SearchOptions{K: 1})
+	if !errors.Is(err, ErrDraining) {
+		t.Fatalf("err = %v, want ErrDraining", err)
+	}
+}
+
+func TestBudgetCeilingDegradesAndRestores(t *testing.T) {
+	data, queries := testData(500, 8, 4, 7)
+	e := New(scanIndex{linearscan.New(data)}, nil, Config{Workers: 2, CacheEntries: -1})
+	defer e.Close()
+	q := queries.Row(0)
+
+	_, st := e.Search(q, core.SearchOptions{K: 3})
+	if st.Candidates != 500 {
+		t.Fatalf("exact scan verified %d candidates, want 500", st.Candidates)
+	}
+	e.SetBudgetCeiling(100)
+	if e.BudgetCeiling() != 100 {
+		t.Fatalf("BudgetCeiling = %d", e.BudgetCeiling())
+	}
+	_, st, err := e.SearchCtx(context.Background(), q, core.SearchOptions{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Candidates > 100 {
+		t.Fatalf("degraded search verified %d candidates, ceiling 100", st.Candidates)
+	}
+	// A budget under the ceiling passes through untouched.
+	_, st, _ = e.SearchCtx(context.Background(), q, core.SearchOptions{K: 3, Budget: 50})
+	if st.Candidates > 50 {
+		t.Fatalf("explicit budget 50 verified %d candidates", st.Candidates)
+	}
+	if e.Stats().DegradedQueries == 0 {
+		t.Fatal("DegradedQueries did not count the clamped search")
+	}
+	e.SetBudgetCeiling(0)
+	_, st, _ = e.SearchCtx(context.Background(), q, core.SearchOptions{K: 3})
+	if st.Candidates != 500 {
+		t.Fatalf("after restore: %d candidates, want exact 500", st.Candidates)
+	}
+	if c := e.Stats().BudgetCeiling; c != 0 {
+		t.Fatalf("Stats.BudgetCeiling = %d after restore", c)
+	}
+}
+
+func TestLatencyQuantileWindows(t *testing.T) {
+	var a, b LatencySnapshot
+	// 99 fast observations in bucket 0, one slow in the 1s bucket.
+	a.Counts[0], a.Total = 10, 10
+	b = a
+	b.Counts[0] += 89
+	b.Counts[12] += 1 // bucket upper bound 1s
+	b.Total += 90
+	w := b.Sub(a)
+	if w.Total != 90 {
+		t.Fatalf("window total = %d", w.Total)
+	}
+	if p50 := w.Quantile(0.5); p50 > latBounds[0] {
+		t.Fatalf("p50 = %v, want within first bucket", p50)
+	}
+	if p999 := w.Quantile(0.999); p999 <= latBounds[11] {
+		t.Fatalf("p99.9 = %v, want inside the 1s bucket", p999)
+	}
+	if (LatencySnapshot{}).Quantile(0.99) != 0 {
+		t.Fatal("empty window quantile must be 0")
+	}
+}
+
+// TestWorkerPanicIsolated pins the bulkhead: a panic escaping the
+// per-request recovery (simulated via a panicking canonical path is not
+// reachable, so we use the per-request Filter panic plus a full-pool flood)
+// must neither lose the panic nor shrink the pool.
+func TestWorkerPanicIsolated(t *testing.T) {
+	data, queries := testData(100, 8, 4, 8)
+	e := New(scanIndex{linearscan.New(data)}, nil, Config{Workers: 2})
+	defer e.Close()
+	for round := 0; round < 4; round++ {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("filter panic did not reach the caller")
+				}
+			}()
+			e.Search(queries.Row(0), core.SearchOptions{
+				K:      1,
+				Filter: func(id int32) bool { panic("boom") },
+			})
+		}()
+	}
+	// The pool still serves after repeated panics.
+	for i := 0; i < queries.N; i++ {
+		if res, _ := e.Search(queries.Row(i), core.SearchOptions{K: 1}); len(res) != 1 {
+			t.Fatalf("query %d starved after panics", i)
+		}
+	}
+}

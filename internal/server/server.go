@@ -45,6 +45,7 @@ import (
 	"time"
 
 	"p2h/internal/core"
+	"p2h/internal/faultinject"
 	"p2h/internal/vec"
 )
 
@@ -127,6 +128,17 @@ type Config struct {
 	// CacheEntries bounds the result cache (zero: 1024; negative: cache
 	// disabled).
 	CacheEntries int
+	// MaxQueue is the static ceiling on requests admitted through SearchCtx
+	// but not yet finished — queued plus executing (zero: 4*Workers*MaxBatch;
+	// negative: admission control disabled). The blocking Search path ignores
+	// it.
+	MaxQueue int
+	// MaxQueueDelay bounds the queueing delay admission control will accept
+	// (zero: 50ms): when the backlog's expected drain time at the smoothed
+	// service rate exceeds it, SearchCtx sheds new arrivals with an
+	// *OverloadError rather than admit requests that would only expire in
+	// the queue.
+	MaxQueueDelay time.Duration
 	// Journal, when non-nil, receives every applied mutation before it is
 	// acknowledged; see Journal.
 	Journal Journal
@@ -148,6 +160,12 @@ func (c Config) normalized() Config {
 	if c.CacheEntries == 0 {
 		c.CacheEntries = 1024
 	}
+	if c.MaxQueue == 0 {
+		c.MaxQueue = 4 * c.Workers * c.MaxBatch
+	}
+	if c.MaxQueueDelay <= 0 {
+		c.MaxQueueDelay = 50 * time.Millisecond
+	}
 	return c
 }
 
@@ -165,21 +183,51 @@ type Stats struct {
 	// tombstones) at snapshot time — what searches pay for linearly until
 	// the next rebuild or compaction. Zero for immutable indexes.
 	PendingDelta int
+
+	// Overload counters (see SearchCtx and SetBudgetCeiling).
+
+	Shed            int64 // SearchCtx submissions rejected by admission control
+	Expired         int64 // requests whose deadline fired before index work ran
+	Panics          int64 // worker-pool panics isolated (chunk failed, pool alive)
+	DegradedQueries int64 // searches whose budget the degradation ceiling clamped
+	Backlog         int64 // admitted-but-unfinished requests right now
+	BudgetCeiling   int   // current degradation cap (zero: serving exact)
 }
 
-// request is one in-flight search; done is closed once res/stats (or
-// panicVal) are set.
+// request is one in-flight search; done is closed exactly once (guarded by
+// state) after res/stats, err, or panicVal are set.
 type request struct {
 	q        []float32 // caller's query, read-only
 	norm     float64   // ||normal||, computed once at submission
 	opts     core.SearchOptions
-	canon    []float32 // canonical unit-normal form, set by the serving worker
-	hash     uint64    // cache hash of (canon, opts), set with canon
-	dupOf    *request  // earlier identical request in the same chunk, if any
+	ctx      context.Context // nil for uncancellable (Search) submissions
+	canon    []float32       // canonical unit-normal form, set by the serving worker
+	hash     uint64          // cache hash of (canon, opts), set with canon
+	dupOf    *request        // earlier identical request in the same chunk, if any
 	res      []core.Result
 	stats    core.Stats
-	panicVal any // panic raised while serving, re-raised in the caller
+	err      error         // terminal error (expired deadline), set before finish
+	panicVal any           // panic raised while serving, re-raised in the caller
+	state    atomic.Uint32 // 0 pending, 1 finished
 	done     chan struct{}
+}
+
+// finish publishes the request: the first caller closes done, later calls
+// are no-ops. Result fields must be set before calling.
+func (r *request) finish() {
+	if r.state.CompareAndSwap(0, 1) {
+		close(r.done)
+	}
+}
+
+// tryFail finishes the request with a panic value and/or error, unless a
+// racing path already finished it. Used by the worker-pool panic isolation
+// to fail the stragglers of a chunk whose serving code blew up.
+func (r *request) tryFail(p any, err error) {
+	if r.state.CompareAndSwap(0, 1) {
+		r.panicVal, r.err = p, err
+		close(r.done)
+	}
 }
 
 // Engine is the concurrent serving layer. All methods are safe for
@@ -196,19 +244,41 @@ type Engine struct {
 	epoch atomic.Uint64 // bumped by every applied mutation
 	cache *lru          // nil when disabled
 
-	journal Journal   // nil when mutations need no durability log
-	comp    Compactor // nil unless background compaction is on
+	journal Journal        // nil when mutations need no durability log
+	durable durableJournal // journal's group-commit surface, when offered
+	comp    Compactor      // nil unless background compaction is on
 
 	reqs      chan *request
 	batches   chan []*request
 	inflight  atomic.Int64 // chunks dispatched but not yet completed
 	closed    atomic.Bool
+	subMu     sync.RWMutex   // submitters read-lock around the reqs send; Drain write-locks to close it
 	drained   chan struct{}  // closed once the dispatcher and every worker exited
 	wg        sync.WaitGroup // dispatcher + workers + compaction loop
 	compactCh chan struct{}  // wake signal for the compaction loop (cap 1)
 	stopComp  chan struct{}  // closed by the first Drain
 
 	queries, batchCount, hits, misses, inserts, deletes, compactions atomic.Int64
+
+	// Overload state (see overload.go): the admitted-but-unfinished request
+	// count, shed/expired/panic counters, the smoothed per-query service
+	// time (float64 bits), the degradation ceiling, and the completion
+	// latency histogram the SLO controller samples.
+	backlog         atomic.Int64
+	shed            atomic.Int64
+	expired         atomic.Int64
+	panics          atomic.Int64
+	degradedQueries atomic.Int64
+	ewmaSvc         atomic.Uint64
+	budgetCeiling   atomic.Int64
+	latency         latHist
+}
+
+// durableJournal is the optional group-commit surface of a Journal: after a
+// mutation's append succeeded under the lock, the engine waits for
+// durability outside it, so concurrent mutations share one fsync.
+type durableJournal interface {
+	WaitDurable() error
 }
 
 // New builds and starts an engine over ix. Pass the index's mutation surface
@@ -234,6 +304,9 @@ func New(ix Searcher, mut Mutator, cfg Config) *Engine {
 	}
 	if mut != nil {
 		e.journal = cfg.Journal
+		if d, ok := cfg.Journal.(durableJournal); ok {
+			e.durable = d
+		}
 		if c, ok := mut.(Compactor); ok && cfg.BackgroundCompaction {
 			e.comp = c
 			c.SetBackgroundCompaction(true)
@@ -265,15 +338,45 @@ func (e *Engine) Search(q []float32, opts core.SearchOptions) ([]core.Result, co
 	if err != nil {
 		panic("server: " + err.Error())
 	}
-	r := &request{q: q, norm: norm, opts: opts.Normalized(), done: make(chan struct{})}
-	e.reqs <- r
+	r := &request{q: q, norm: norm, opts: e.applyCeiling(opts.Normalized()), done: make(chan struct{})}
+	// The blocking path is never shed, but it still counts toward the
+	// backlog (and the latency histogram) so admission control and the SLO
+	// controller see the whole load, whichever door it came through.
+	e.backlog.Add(1)
+	start := time.Now()
+	if !e.submit(r) {
+		e.backlog.Add(-1)
+		panic("server: Search on closed engine")
+	}
 	<-r.done
+	e.backlog.Add(-1)
+	e.latency.observe(time.Since(start))
 	if r.panicVal != nil {
 		// A panic raised while serving (e.g. by a user Filter) belongs to
 		// the caller that submitted the query, not to the worker pool.
 		panic(r.panicVal)
 	}
 	return r.res, r.stats
+}
+
+// submit enqueues r on the request channel, serialized against Drain's
+// close: submitters hold the read half while they send, Drain holds the
+// write half while it closes, so a send can never race the close (each
+// blind path alone would be a close/send data race under concurrent Drain).
+// It reports false when the engine closed first — the send did not happen
+// and the caller owns the backlog rollback and its own closed-engine
+// contract (panic for Search, ErrDraining for SearchCtx). A submitter that
+// wins the race sends on a channel the dispatcher is still draining — close
+// only makes the channel reject new sends, already-queued requests are
+// served through the drain.
+func (e *Engine) submit(r *request) bool {
+	e.subMu.RLock()
+	defer e.subMu.RUnlock()
+	if e.closed.Load() {
+		return false
+	}
+	e.reqs <- r
+	return true
 }
 
 // Insert adds a point through the mutation surface, serialized against
@@ -286,18 +389,28 @@ func (e *Engine) Insert(p []float32) (int32, error) {
 	if e.mut == nil {
 		return 0, ErrImmutable
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock() // deferred so a panicking mutator cannot wedge the lock
-	h := e.mut.Insert(p)
-	e.epoch.Add(1)
-	if e.journal != nil {
-		if err := e.journal.AppendInsert(h, p); err != nil {
-			return h, err
+	h, err := func() (int32, error) {
+		e.mu.Lock()
+		defer e.mu.Unlock() // deferred so a panicking mutator cannot wedge the lock
+		h := e.mut.Insert(p)
+		e.epoch.Add(1)
+		if e.journal != nil {
+			if err := e.journal.AppendInsert(h, p); err != nil {
+				return h, err
+			}
 		}
+		e.inserts.Add(1)
+		e.wakeCompactor()
+		return h, nil
+	}()
+	if err == nil && e.durable != nil {
+		// Wait for the journal's group commit outside the mutation lock:
+		// concurrent mutations (and searches) proceed while this record's
+		// fsync is in flight, and every mutation that appended before the
+		// flush lands rides the same one.
+		err = e.durable.WaitDurable()
 	}
-	e.inserts.Add(1)
-	e.wakeCompactor()
-	return h, nil
+	return h, err
 }
 
 // Delete removes a handle through the mutation surface, serialized against
@@ -307,20 +420,26 @@ func (e *Engine) Delete(handle int32) (bool, error) {
 	if e.mut == nil {
 		return false, ErrImmutable
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	ok := e.mut.Delete(handle)
-	if ok {
-		e.epoch.Add(1)
-		if e.journal != nil {
-			if err := e.journal.AppendDelete(handle); err != nil {
-				return true, err
+	ok, err := func() (bool, error) {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		ok := e.mut.Delete(handle)
+		if ok {
+			e.epoch.Add(1)
+			if e.journal != nil {
+				if err := e.journal.AppendDelete(handle); err != nil {
+					return true, err
+				}
 			}
+			e.deletes.Add(1)
+			e.wakeCompactor()
 		}
-		e.deletes.Add(1)
-		e.wakeCompactor()
+		return ok, nil
+	}()
+	if err == nil && ok && e.durable != nil {
+		err = e.durable.WaitDurable()
 	}
-	return ok, nil
+	return ok, err
 }
 
 // wakeCompactor nudges the compaction loop when a mutation pushed the delta
@@ -387,15 +506,21 @@ func (e *Engine) Stats() Stats {
 		e.mu.RUnlock()
 	}
 	return Stats{
-		Queries:      e.queries.Load(),
-		Batches:      e.batchCount.Load(),
-		CacheHits:    e.hits.Load(),
-		CacheMisses:  e.misses.Load(),
-		Inserts:      e.inserts.Load(),
-		Deletes:      e.deletes.Load(),
-		Epoch:        e.epoch.Load(),
-		Compactions:  e.compactions.Load(),
-		PendingDelta: pending,
+		Queries:         e.queries.Load(),
+		Batches:         e.batchCount.Load(),
+		CacheHits:       e.hits.Load(),
+		CacheMisses:     e.misses.Load(),
+		Inserts:         e.inserts.Load(),
+		Deletes:         e.deletes.Load(),
+		Epoch:           e.epoch.Load(),
+		Compactions:     e.compactions.Load(),
+		PendingDelta:    pending,
+		Shed:            e.shed.Load(),
+		Expired:         e.expired.Load(),
+		Panics:          e.panics.Load(),
+		DegradedQueries: e.degradedQueries.Load(),
+		Backlog:         e.backlog.Load(),
+		BudgetCeiling:   int(e.budgetCeiling.Load()),
 	}
 }
 
@@ -407,8 +532,13 @@ func (e *Engine) Stats() Stats {
 // Drain is idempotent and safe to call concurrently; every call observes the
 // same terminal state, and submitting after any Drain or Close panics.
 func (e *Engine) Drain(ctx context.Context) error {
-	if !e.closed.Swap(true) {
+	e.subMu.Lock()
+	first := !e.closed.Swap(true)
+	if first {
 		close(e.reqs)
+	}
+	e.subMu.Unlock()
+	if first {
 		if e.stopComp != nil {
 			close(e.stopComp) // the loop finishes any in-flight cycle first
 		}
@@ -564,9 +694,62 @@ func (e *Engine) worker() {
 	defer e.wg.Done()
 	ws := &workerScratch{one: make([]float32, e.dim)}
 	for batch := range e.batches {
-		e.serveBatch(batch, ws)
+		e.serveChunk(batch, ws)
 		e.inflight.Add(-1)
 	}
+}
+
+// serveChunk is the worker pool's panic bulkhead around one chunk. The
+// per-request paths already route index and user-code panics back to their
+// callers; what this catches is a panic in the engine's own serving code,
+// which would otherwise kill the worker and silently shrink the pool. The
+// chunk's unfinished requests fail with the panic value (no caller hangs, no
+// panic is lost), the scratch is replaced (the old one may be mid-mutation),
+// and the worker lives on. It also times the chunk to feed the smoothed
+// service time admission control divides by, and drops requests whose
+// deadline expired while queued before any index work runs on them.
+func (e *Engine) serveChunk(batch []*request, ws *workerScratch) {
+	defer func() {
+		if p := recover(); p != nil {
+			e.panics.Add(1)
+			for _, r := range batch {
+				r.tryFail(p, nil)
+			}
+			*ws = workerScratch{one: make([]float32, e.dim)}
+		}
+	}()
+	// Expired work is dropped at the door: a request whose deadline fired
+	// while it sat in the queue gets ctx.Err() back without costing a
+	// canonicalization, a cache probe, or a leaf block.
+	alive := batch[:0]
+	for _, r := range batch {
+		if r.ctx != nil && r.ctx.Err() != nil {
+			e.expired.Add(1)
+			r.tryFail(nil, r.ctx.Err())
+			continue
+		}
+		alive = append(alive, r)
+	}
+	if len(alive) == 0 {
+		return
+	}
+	start := time.Now()
+	// The engine.search failpoint stands in for a slow or failing index
+	// (a stuck traversal, a poisoned mmap). Its delay runs inside the timed
+	// section on purpose: injected latency must feed the smoothed service
+	// time, so admission control reacts to a chaos-slowed engine exactly as
+	// it would to a genuinely slow one.
+	if faultinject.Armed() {
+		if err := faultinject.Inject("engine.search"); err != nil {
+			for _, r := range alive {
+				r.tryFail(nil, err)
+			}
+			e.observeService(time.Since(start) / time.Duration(len(alive)))
+			return
+		}
+	}
+	e.serveBatch(alive, ws)
+	e.observeService(time.Since(start) / time.Duration(len(alive)))
 }
 
 // serveBatch answers one dispatched chunk. Requests with a Filter or
@@ -603,7 +786,7 @@ func (e *Engine) serveBatch(batch []*request, ws *workerScratch) {
 			if res, st, hit := e.cache.get(r.hash, r.canon, makeOptsKey(r.opts), e.epoch.Load()); hit {
 				e.hits.Add(1)
 				r.res, r.stats = res, st
-				close(r.done)
+				r.finish()
 				continue
 			}
 		}
@@ -661,8 +844,9 @@ func (e *Engine) serveBatch(batch []*request, ws *workerScratch) {
 		} else {
 			r.res = append([]core.Result(nil), lead.res...)
 			r.stats = lead.stats
+			r.err = lead.err
 		}
-		close(r.done)
+		r.finish()
 	}
 	ws.dups = ws.dups[:0]
 }
@@ -701,7 +885,7 @@ func (e *Engine) runGroup(group []*request, opts core.SearchOptions, ws *workerS
 		if p := recover(); p != nil {
 			for _, r := range group[served:] {
 				r.panicVal = p
-				close(r.done)
+				r.finish()
 			}
 		}
 	}()
@@ -720,7 +904,14 @@ func (e *Engine) runGroup(group []*request, opts core.SearchOptions, ws *workerS
 			e.cache.put(r.hash, r.canon, ok, epoch, res[i], sts[i])
 		}
 		r.res, r.stats = res[i], sts[i]
-		close(r.done)
+		if r.ctx != nil {
+			// The shared traversal ran to completion (it cannot split one
+			// caller's deadline out of the arena walk), so the answer is
+			// exact and cacheable — but a caller whose deadline has since
+			// passed still gets the deadline error its contract promises.
+			r.err = r.ctx.Err()
+		}
+		r.finish()
 		served = i + 1
 	}
 }
@@ -728,12 +919,14 @@ func (e *Engine) runGroup(group []*request, opts core.SearchOptions, ws *workerS
 // finishMiss completes a canonicalized cache miss through the single-query
 // path (a group of one gains nothing from the batch surface).
 func (e *Engine) finishMiss(r *request) {
-	defer close(r.done)
+	defer r.finish()
 	defer func() {
 		if p := recover(); p != nil {
 			r.panicVal = p
 		}
 	}()
+	opts := r.opts
+	opts.Cancel = cancelFor(r.ctx)
 	var epoch uint64
 	res, st := func() ([]core.Result, core.Stats) {
 		if e.mut != nil {
@@ -741,9 +934,14 @@ func (e *Engine) finishMiss(r *request) {
 			defer e.mu.RUnlock()
 		}
 		epoch = e.epoch.Load()
-		return e.ix.Search(r.canon, r.opts)
+		return e.ix.Search(r.canon, opts)
 	}()
-	if e.cache != nil {
+	if r.ctx != nil {
+		r.err = r.ctx.Err()
+	}
+	if e.cache != nil && r.err == nil {
+		// A canceled search's results are truncated, not exact — they must
+		// never be served to a future caller as the real answer.
 		e.cache.put(r.hash, r.canon, makeOptsKey(r.opts), epoch, res, st)
 	}
 	r.res, r.stats = res, st
@@ -753,7 +951,7 @@ func (e *Engine) finishMiss(r *request) {
 // the cache, search under the read lock, publish. Duplicate queries inside
 // one batch hit the cache entry their first occurrence installed.
 func (e *Engine) serve(r *request, scratch []float32) {
-	defer close(r.done)
+	defer r.finish()
 	defer func() {
 		// A panicking Search (a user Filter, a buggy index) must neither
 		// kill the worker pool nor strand the rest of the chunk; the panic
@@ -779,6 +977,11 @@ func (e *Engine) serve(r *request, scratch []float32) {
 		e.misses.Add(1)
 	}
 
+	// The cancellation hook lives only in this call-time copy of the
+	// options, never in r.opts: cache keys and batch grouping must not see
+	// per-request transport state.
+	opts := r.opts
+	opts.Cancel = cancelFor(r.ctx)
 	var epoch uint64
 	res, st := func() ([]core.Result, core.Stats) {
 		if e.mut != nil {
@@ -789,10 +992,13 @@ func (e *Engine) serve(r *request, scratch []float32) {
 		// move while the search runs, so stamping entries with it is
 		// race-free.
 		epoch = e.epoch.Load()
-		return e.ix.Search(q, r.opts)
+		return e.ix.Search(q, opts)
 	}()
 
-	if cacheable {
+	if r.ctx != nil {
+		r.err = r.ctx.Err()
+	}
+	if cacheable && r.err == nil {
 		e.cache.put(h, q, ok, epoch, res, st)
 	}
 	r.res, r.stats = res, st

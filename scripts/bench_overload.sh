@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# bench_overload.sh — measure how the serving stack behaves past its
+# capacity, and emit a machine-readable snapshot: a closed-loop calibration
+# of exact-search capacity, an open-loop flood at twice that rate against
+# the real daemon stack (admission control, deadlines, SLO feedback
+# controller), the steady-state non-shed p99 and recall the degraded mode
+# settles to, recovery time back to exact once the flood stops, and the
+# WAL group-commit insert throughput against the fsync-per-insert baseline.
+#
+#   scripts/bench_overload.sh [out.json]     default out: BENCH_8.json
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+OUT="${1:-BENCH_8.json}"
+
+N="${BENCH_OVERLOAD_N:-60000}"
+NQ="${BENCH_OVERLOAD_NQ:-64}"
+K="${BENCH_OVERLOAD_K:-10}"
+SLO="${BENCH_OVERLOAD_SLO:-25ms}"
+WORKERS="${BENCH_OVERLOAD_WORKERS:-4}"
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+go build -o "$tmp/p2hbench" ./cmd/p2hbench
+"$tmp/p2hbench" -chaos -n "$N" -nq "$NQ" -k "$K" -seed 1 \
+  -slo "$SLO" -workers "$WORKERS" -out "$OUT" >/dev/null
+echo "wrote $OUT"

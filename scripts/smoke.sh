@@ -197,4 +197,72 @@ kill -TERM "$daemon_pid"
 wait "$daemon_pid" || { echo "durable p2hd exited non-zero"; cat "$tmp/p2hd-wal2.log"; exit 1; }
 daemon_pid=""
 
+echo "== p2hd: chaos — injected faults, flood, shed, recover, no acked loss"
+# A deliberately tiny daemon (one worker, two queue slots) under injected
+# slow fsyncs and slow searches: a flood must split into clean 200s and
+# 429s, the shed counter must surface in /metrics, and inserts acked during
+# the chaos must survive a kill -9 with the faults gone.
+"$bin/p2htool" build -index dynamic -spec '{"leaf_size":50}' -seed 1 -data "$data" -out "$tmp/chaos.p2h"
+P2HD_FAULTS="wal.fsync=delay:2ms;engine.search=delay:10ms" \
+  "$bin/p2hd" -listen 127.0.0.1:0 -name chaos -load "$tmp/chaos.p2h" -wal -walsync always \
+  -workers 1 -maxbatch 1 -cache=-1 -maxqueue 2 -maxtimeout 5s \
+  >"$tmp/p2hd-chaos.log" 2>&1 &
+daemon_pid=$!
+url=""
+for _ in $(seq 1 100); do
+  url="$(sed -n 's|.*listening on \(http://[0-9.:]*\).*|\1|p' "$tmp/p2hd-chaos.log" | head -1)"
+  [ -n "$url" ] && break
+  sleep 0.1
+done
+[ -n "$url" ] || { echo "chaos p2hd never came up"; cat "$tmp/p2hd-chaos.log"; exit 1; }
+grep "fault injection armed" "$tmp/p2hd-chaos.log" >/dev/null \
+  || { echo "faults not armed"; cat "$tmp/p2hd-chaos.log"; exit 1; }
+
+: >"$tmp/chaos-codes"
+flood_pids=()
+for i in $(seq 1 24); do
+  curl -sS -o /dev/null -w '%{http_code}\n' -X POST "$url/v1/indexes/chaos/search" \
+    -d "{\"query\":$q,\"k\":1}" >>"$tmp/chaos-codes" &
+  flood_pids+=($!)
+done
+wait "${flood_pids[@]}"
+grep -q '^200$' "$tmp/chaos-codes" || { echo "flood: nothing served"; sort "$tmp/chaos-codes" | uniq -c; exit 1; }
+grep -q '^429$' "$tmp/chaos-codes" || { echo "flood: nothing shed"; sort "$tmp/chaos-codes" | uniq -c; exit 1; }
+if grep -Eqv '^(200|429)$' "$tmp/chaos-codes"; then
+  echo "flood: unexpected status"; sort "$tmp/chaos-codes" | uniq -c; exit 1
+fi
+curl -fsS "$url/metrics" | grep -E 'p2hd_index_shed_total\{index="chaos"[^}]*\} [1-9]' >/dev/null \
+  || { echo "metrics missing shed count"; exit 1; }
+# Flood over: the very next request is served.
+curl -fsS -X POST "$url/v1/indexes/chaos/search" -d "{\"query\":$q,\"k\":1}" \
+  | grep '"results":\[{' >/dev/null || { echo "post-flood search failed"; exit 1; }
+
+cn0=$(curl -fsS "$url/v1/indexes/chaos" | sed -n 's/.*"n":\([0-9]*\).*/\1/p')
+for i in 1 2 3; do
+  h=$(curl -fsS -X POST "$url/v1/indexes/chaos/insert" -d "{\"point\":$point}" \
+    | sed -n 's/.*"handle":\([0-9]*\).*/\1/p')
+  [ -n "$h" ] || { echo "chaos insert $i failed"; exit 1; }
+done
+kill -9 "$daemon_pid"
+wait "$daemon_pid" 2>/dev/null || true
+daemon_pid=""
+
+"$bin/p2hd" -listen 127.0.0.1:0 -name chaos -load "$tmp/chaos.p2h" -wal -walsync always \
+  >"$tmp/p2hd-chaos2.log" 2>&1 &
+daemon_pid=$!
+url=""
+for _ in $(seq 1 100); do
+  url="$(sed -n 's|.*listening on \(http://[0-9.:]*\).*|\1|p' "$tmp/p2hd-chaos2.log" | head -1)"
+  [ -n "$url" ] && break
+  sleep 0.1
+done
+[ -n "$url" ] || { echo "chaos p2hd never came back"; cat "$tmp/p2hd-chaos2.log"; exit 1; }
+info="$(curl -fsS "$url/v1/indexes/chaos")"
+grep "\"n\":$((cn0 + 3))" >/dev/null <<<"$info" \
+  || { echo "acked inserts lost across chaos kill -9: $info"; exit 1; }
+grep '"replayed":3' >/dev/null <<<"$info" || { echo "chaos WAL replay count wrong: $info"; exit 1; }
+kill -TERM "$daemon_pid"
+wait "$daemon_pid" || { echo "chaos p2hd exited non-zero"; cat "$tmp/p2hd-chaos2.log"; exit 1; }
+daemon_pid=""
+
 echo "smoke OK"

@@ -25,6 +25,14 @@ type ServerOptions struct {
 	// CacheEntries bounds the result cache (zero: 1024; negative: cache
 	// disabled).
 	CacheEntries int
+	// MaxQueue is the static ceiling on requests admitted through SearchCtx
+	// but not yet finished (zero: 4*Workers*MaxBatch; negative: admission
+	// control disabled). The blocking Search path ignores it.
+	MaxQueue int
+	// MaxQueueDelay bounds the queueing delay admission control will accept
+	// (zero: 50ms); when the backlog's expected drain time exceeds it,
+	// SearchCtx sheds new arrivals with an *OverloadError.
+	MaxQueueDelay time.Duration
 	// WAL, when non-nil, makes mutations durable: every applied
 	// Insert/Delete is appended to the attached write-ahead log before the
 	// call returns, and Snapshot truncates the log atomically with the
@@ -44,9 +52,27 @@ type ServerOptions struct {
 // ServerStats is a point-in-time snapshot of a Server's counters.
 type ServerStats = server.Stats
 
+// LatencySnapshot is a point-in-time copy of a Server's completion-latency
+// histogram; subtract two snapshots and ask the window for a Quantile — the
+// sampling loop an SLO controller runs.
+type LatencySnapshot = server.LatencySnapshot
+
+// OverloadError reports a search shed by admission control; it carries the
+// backlog, the limit it exceeded, and a suggested retry delay. Matches
+// ErrOverloaded under errors.Is.
+type OverloadError = server.OverloadError
+
 // ErrImmutable is returned by Server.Insert and Server.Delete when the
 // wrapped index has no mutation surface (only Dynamic has one).
 var ErrImmutable = server.ErrImmutable
+
+// ErrOverloaded is the errors.Is target for admission rejections from
+// Server.SearchCtx.
+var ErrOverloaded = server.ErrOverloaded
+
+// ErrDraining is returned by Server.SearchCtx once Drain or Close has
+// stopped intake (where the blocking Search would panic).
+var ErrDraining = server.ErrDraining
 
 // Server is a concurrent query-serving layer over any Index: callers from
 // any number of goroutines submit queries that are micro-batched over a
@@ -95,6 +121,8 @@ func NewServer(ix Index, opts ServerOptions) *Server {
 		MaxBatch:             opts.MaxBatch,
 		MaxDelay:             opts.MaxDelay,
 		CacheEntries:         opts.CacheEntries,
+		MaxQueue:             opts.MaxQueue,
+		MaxQueueDelay:        opts.MaxQueueDelay,
 		BackgroundCompaction: opts.BackgroundCompaction,
 	}
 	if opts.WAL != nil {
@@ -114,6 +142,33 @@ func NewServer(ix Index, opts ServerOptions) *Server {
 func (s *Server) Search(q []float32, opts SearchOptions) ([]Result, Stats) {
 	return s.engine.Search(q, opts)
 }
+
+// SearchCtx is the deadline-aware, admission-controlled form of Search — the
+// submission path the network serving layer uses. A request is shed with an
+// *OverloadError (errors.Is ErrOverloaded) when the backlog exceeds what the
+// workers can drain within MaxQueueDelay; one whose ctx expires while queued
+// is dropped before any index work with ctx.Err(); one expiring mid-search
+// abandons the remaining traversal at the next leaf-block boundary and
+// returns ctx.Err() alongside the partial results found so far. A drained
+// server returns ErrDraining instead of panicking. Malformed queries still
+// panic, exactly like Search.
+func (s *Server) SearchCtx(ctx context.Context, q []float32, opts SearchOptions) ([]Result, Stats, error) {
+	return s.engine.SearchCtx(ctx, q, opts)
+}
+
+// SetBudgetCeiling caps the candidate budget of every subsequently submitted
+// search (zero removes the cap) — the degradation knob an SLO controller
+// steps down under latency breach and restores as load recedes. See
+// ServerStats.BudgetCeiling and DegradedQueries for observability.
+func (s *Server) SetBudgetCeiling(ceiling int) { s.engine.SetBudgetCeiling(ceiling) }
+
+// BudgetCeiling returns the current degradation cap (zero when serving
+// exact).
+func (s *Server) BudgetCeiling() int { return s.engine.BudgetCeiling() }
+
+// Latency snapshots the server's completion-latency histogram (queue wait
+// plus service, per submitted request).
+func (s *Server) Latency() LatencySnapshot { return s.engine.Latency() }
 
 // Insert adds a point through the underlying Dynamic index, serialized
 // against in-flight searches, and returns its stable handle.

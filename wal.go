@@ -168,9 +168,18 @@ func (w *WAL) AppendInsert(handle int32, p []float32) error {
 // AppendDelete logs an applied delete.
 func (w *WAL) AppendDelete(handle int32) error { return w.wal.AppendDelete(handle) }
 
+// WaitDurable blocks until every record appended before the call is on disk
+// (a no-op under WALSyncNone). The serving engine calls it after releasing
+// the mutation lock, so concurrent mutations share one fsync — group commit.
+func (w *WAL) WaitDurable() error { return w.wal.WaitDurable() }
+
 // Records returns the number of pending records — acknowledged mutations
 // not yet absorbed by a snapshot. Safe to call concurrently with appends.
 func (w *WAL) Records() int64 { return w.wal.Records() }
+
+// Syncs returns how many fsyncs the group-commit path has issued; the ratio
+// Records-ever-appended to Syncs is the group-commit amortization factor.
+func (w *WAL) Syncs() int64 { return w.wal.Syncs() }
 
 // Replayed reports how many pending records AttachWAL applied to the index
 // when the log was opened.
