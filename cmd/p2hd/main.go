@@ -65,6 +65,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("p2hd", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
+		mode       = fs.String("mode", "serve", "\"serve\" (index daemon) or \"router\" (cluster scatter-gather front; -config names the partition map)")
 		listen     = fs.String("listen", "", "address to bind (default: the config file's, else 127.0.0.1:8080)")
 		configPath = fs.String("config", "", "JSON config file declaring indexes and tuning")
 		name       = fs.String("name", "default", "name of the index declared by -load / -index / -spec / -data")
@@ -86,6 +87,14 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		faults     = fs.String("faults", "", "arm fault-injection points, e.g. 'wal.fsync=delay:5ms;engine.search=delay:2ms' (also via P2HD_FAULTS)")
 	)
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	switch *mode {
+	case "serve":
+	case "router":
+		return runRouter(ctx, *configPath, *listen, stdout, stderr)
+	default:
+		fmt.Fprintf(stderr, "p2hd: unknown -mode %q (want \"serve\" or \"router\")\n", *mode)
 		return 2
 	}
 

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"time"
+
+	"p2h/internal/cluster"
+)
+
+// runRouter is p2hd -mode router: stand up the scatter-gather front over the
+// partition map in configPath. The router holds no index data — it fans
+// searches out to the member daemons, hedges against slow ones, merges exact
+// top-k answers, probes member health, and drives snapshot replication.
+func runRouter(ctx context.Context, configPath, listen string, stdout, stderr io.Writer) int {
+	if configPath == "" {
+		fmt.Fprintln(stderr, "p2hd: -mode router needs -config (the cluster partition map)")
+		return 2
+	}
+	cfg, err := cluster.LoadConfig(configPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "p2hd: %v\n", err)
+		return 1
+	}
+	addr := listen
+	if addr == "" {
+		addr = cfg.Listen
+	}
+	if addr == "" {
+		addr = "127.0.0.1:8080"
+	}
+	rt, err := cluster.NewRouter(cfg)
+	if err != nil {
+		fmt.Fprintf(stderr, "p2hd: %v\n", err)
+		return 1
+	}
+	rt.Start()
+	defer rt.Close()
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "p2hd: %v\n", err)
+		return 1
+	}
+	srv := &http.Server{Handler: cluster.NewHandler(rt)}
+	fmt.Fprintf(stdout, "p2hd: router over %d member(s), %d index(es)\n",
+		len(rt.MemberNames()), len(rt.IndexNames()))
+	fmt.Fprintf(stdout, "p2hd: listening on http://%s\n", ln.Addr())
+	notifyReady(ln.Addr().String())
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(stderr, "p2hd: %v\n", err)
+			return 1
+		}
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(stdout, "p2hd: shutting down")
+	shCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shCtx); err != nil {
+		fmt.Fprintf(stderr, "p2hd: shutdown: %v\n", err)
+		return 1
+	}
+	fmt.Fprintln(stdout, "p2hd: drained")
+	return 0
+}

@@ -14,10 +14,13 @@
 //
 // Client mode load-tests a running p2hd daemon over HTTP instead of an
 // in-process server, replaying the same query streams against its
-// /v1/indexes/{name}/search endpoint (or /search_batch with -httpbatch):
+// /v1/indexes/{name}/search endpoint (or /search_batch with -httpbatch).
+// -url accepts a comma-separated list of daemons (or cluster routers) and
+// round-robins requests across them:
 //
 //	p2hserve -url http://127.0.0.1:8080 -name trees -queries queries.fvecs -clients 8
 //	p2hserve -url http://127.0.0.1:8080 -name trees -httpbatch 64 -nq 1000
+//	p2hserve -url http://10.0.0.1:8080,http://10.0.0.2:8080 -name trees -nq 1000
 //
 // Queries arrive as fvecs rows (-queries) or as text lines of d+1
 // space-separated floats, normal then offset (-stdin). Every query is
@@ -75,7 +78,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		maxDelay  = fs.Duration("maxdelay", 100*time.Microsecond, "batch window for an under-filled round")
 		cacheSize = fs.Int("cache", 1024, "result cache entries (0 or negative: disabled)")
 		compare   = fs.Bool("compare", false, "also run the workload sequentially on the bare index")
-		url       = fs.String("url", "", "client mode: load-test a running p2hd at this base URL instead of serving in-process")
+		url       = fs.String("url", "", "client mode: load-test running p2hd daemon(s) at these comma-separated base URLs (round-robin) instead of serving in-process")
 		name      = fs.String("name", "default", "client mode: the daemon index to query")
 		httpBatch = fs.Int("httpbatch", 0, "client mode: group queries into search_batch requests of this size (0: per-query search)")
 		timeoutMS = fs.Int("timeoutms", 0, "client mode: per-request timeout_ms sent to the daemon (0: the daemon's default)")
@@ -207,25 +210,64 @@ func clientQueries(queryPath string, useStdin bool, stdin io.Reader, dataPath, s
 	return p2h.GenerateQueries(data, nq, seed+1), nil
 }
 
-// runClient replays the query stream against a running p2hd daemon over
-// HTTP, reusing the same concurrent-replay harness as the in-process mode,
-// and reports client-observed throughput and latency.
+// urlRing round-robins requests across a comma-separated member list, so one
+// p2hserve run spreads load over every daemon (or router) it was pointed at.
+type urlRing struct {
+	urls []string
+	next atomic.Int64
+}
+
+func newURLRing(list string) (*urlRing, error) {
+	r := &urlRing{}
+	for _, u := range strings.Split(list, ",") {
+		u = strings.TrimRight(strings.TrimSpace(u), "/")
+		if u != "" {
+			r.urls = append(r.urls, u)
+		}
+	}
+	if len(r.urls) == 0 {
+		return nil, errors.New("-url: no base URLs")
+	}
+	return r, nil
+}
+
+func (r *urlRing) pick() string {
+	return r.urls[int(r.next.Add(1)-1)%len(r.urls)]
+}
+
+// runClient replays the query stream against running p2hd daemons over
+// HTTP — round-robin across every -url member — reusing the same
+// concurrent-replay harness as the in-process mode, and reports
+// client-observed throughput and latency.
 func runClient(baseURL, name string, queries *p2h.Matrix, opts p2h.SearchOptions, clients, repeat, httpBatch, timeoutMS int, stdout, stderr io.Writer) int {
-	baseURL = strings.TrimRight(baseURL, "/")
+	ring, err := newURLRing(baseURL)
+	if err != nil {
+		fmt.Fprintf(stderr, "p2hserve: %v\n", err)
+		return 1
+	}
 	client := &http.Client{
 		Timeout: 60 * time.Second,
 		Transport: &http.Transport{
-			MaxIdleConns:        2 * clients,
+			MaxIdleConns:        2 * clients * len(ring.urls),
 			MaxIdleConnsPerHost: 2 * clients,
 		},
 	}
 
 	// The daemon knows the index's dimensionality; fail fast on a mismatch
-	// instead of spraying 400s.
+	// instead of spraying 400s. Any member that answers will do.
 	var info httpapi.IndexInfoResponse
-	if err := getJSON(client, baseURL+"/v1/indexes/"+name, &info); err != nil {
-		fmt.Fprintf(stderr, "p2hserve: %v\n", err)
+	infoErr := errors.New("no members")
+	for _, u := range ring.urls {
+		if infoErr = getJSON(client, u+"/v1/indexes/"+name, &info); infoErr == nil {
+			break
+		}
+	}
+	if infoErr != nil {
+		fmt.Fprintf(stderr, "p2hserve: %v\n", infoErr)
 		return 1
+	}
+	if len(ring.urls) > 1 {
+		fmt.Fprintf(stdout, "members: %d, round-robin\n", len(ring.urls))
 	}
 	fmt.Fprintf(stdout, "daemon index %q: %s, %d points, d=%d\n", name, info.Kind, info.N, info.Dim)
 	if queries.N == 0 {
@@ -245,7 +287,7 @@ func runClient(baseURL, name string, queries *p2h.Matrix, opts p2h.SearchOptions
 	var rs retryStats
 
 	if httpBatch > 1 {
-		lat, wall, total := replayHTTPBatch(client, baseURL, name, queries, wireOpts,
+		lat, wall, total := replayHTTPBatch(client, ring, name, queries, wireOpts,
 			clients, repeat, httpBatch, &rs, &errCount, &firstErr)
 		fmt.Fprintf(stdout, "http_batch: %d queries in %d requests (batch=%d) in %v -> %.0f qps\n",
 			total, len(lat), httpBatch, wall.Round(time.Millisecond), qps(total, wall))
@@ -253,7 +295,7 @@ func runClient(baseURL, name string, queries *p2h.Matrix, opts p2h.SearchOptions
 	} else {
 		searchFn := func(q []float32, o p2h.SearchOptions) ([]p2h.Result, p2h.Stats) {
 			var resp httpapi.SearchResponse
-			err := postJSONRetry(client, baseURL+"/v1/indexes/"+name+"/search",
+			err := postJSONRetry(client, ring.pick()+"/v1/indexes/"+name+"/search",
 				httpapi.SearchRequest{Query: q, SearchOptionsJSON: wireOpts}, &resp, &rs)
 			if err != nil {
 				if errCount.Add(1) == 1 {
@@ -281,8 +323,9 @@ func runClient(baseURL, name string, queries *p2h.Matrix, opts p2h.SearchOptions
 		fmt.Fprintf(stderr, "p2hserve: %d requests failed (first: %v)\n", n, firstErr.Load())
 		return 1
 	}
-	// Server-side view of the same run.
-	if err := getJSON(client, baseURL+"/v1/indexes/"+name, &info); err == nil {
+	// Server-side view of the same run (the first member's, under
+	// round-robin).
+	if err := getJSON(client, ring.urls[0]+"/v1/indexes/"+name, &info); err == nil {
 		hitRate := 0.0
 		if info.Stats.CacheHits+info.Stats.CacheMisses > 0 {
 			hitRate = float64(info.Stats.CacheHits) / float64(info.Stats.CacheHits+info.Stats.CacheMisses)
@@ -300,7 +343,7 @@ func runClient(baseURL, name string, queries *p2h.Matrix, opts p2h.SearchOptions
 // replayHTTPBatch posts search_batch requests of up to batch queries from
 // each client and returns the per-request latencies, the wall time, and the
 // total query count.
-func replayHTTPBatch(client *http.Client, baseURL, name string, queries *p2h.Matrix, opts httpapi.SearchOptionsJSON, clients, repeat, batch int, rs *retryStats, errCount *atomic.Int64, firstErr *atomic.Value) ([]time.Duration, time.Duration, int) {
+func replayHTTPBatch(client *http.Client, ring *urlRing, name string, queries *p2h.Matrix, opts httpapi.SearchOptionsJSON, clients, repeat, batch int, rs *retryStats, errCount *atomic.Int64, firstErr *atomic.Value) ([]time.Duration, time.Duration, int) {
 	perClient := make([][]time.Duration, clients)
 	var total atomic.Int64
 	start := time.Now()
@@ -322,7 +365,7 @@ func replayHTTPBatch(client *http.Client, baseURL, name string, queries *p2h.Mat
 					}
 					var resp httpapi.BatchSearchResponse
 					t0 := time.Now()
-					err := postJSONRetry(client, baseURL+"/v1/indexes/"+name+"/search_batch",
+					err := postJSONRetry(client, ring.pick()+"/v1/indexes/"+name+"/search_batch",
 						httpapi.BatchSearchRequest{Queries: qs, SearchOptionsJSON: opts}, &resp, rs)
 					lat = append(lat, time.Since(t0))
 					if err != nil {

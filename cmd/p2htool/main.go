@@ -11,6 +11,8 @@
 //	p2htool inspect index.p2h
 //	p2htool search  -load index.p2h -queries queries.fvecs -k 10
 //	p2htool eval    -load index.p2h -data data.fvecs -queries queries.fvecs -k 10
+//	p2htool cluster split  -data data.fvecs -members 3 -replicas 1 -out cluster/
+//	p2htool cluster status -config cluster/cluster.json
 //
 // Index selection goes through the p2h registry: -index names any registered
 // kind (p2h.Kinds) and -spec carries the full declarative p2h.Spec as JSON.
@@ -39,7 +41,7 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-const usage = `usage: p2htool <gen|queries|build|info|inspect|search|eval> [flags]
+const usage = `usage: p2htool <gen|queries|build|info|inspect|search|eval|cluster> [flags]
 Run 'p2htool <subcommand> -h' for the flags of each subcommand.`
 
 func run(args []string, stdout, stderr io.Writer) int {
@@ -63,6 +65,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		err = runSearch(args[1:], stdout, stderr)
 	case "eval":
 		err = runEval(args[1:], stdout, stderr)
+	case "cluster":
+		err = runCluster(args[1:], stdout, stderr)
 	case "-h", "-help", "--help", "help":
 		fmt.Fprintln(stdout, usage)
 		return 0

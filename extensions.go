@@ -49,6 +49,25 @@ func NewSharded(data *Matrix, opts ShardedOptions) *Sharded {
 	}).(*Sharded)
 }
 
+// ShardPlan returns the row partition a Sharded build over data with this
+// spec uses: one slice of data row indices per shard, in shard order. It is
+// deterministic in spec.Seed and byte-for-byte the partition New(data, spec)
+// with Kind KindSharded produces, so a cluster deployment can split the data
+// set across member daemons — shard i served as a KindBCTree index built
+// over data.SubsetRows(plan[i]) with Seed spec.Seed+int64(i)+1 — and a
+// scatter-gather merge over those members reproduces the in-process Sharded
+// results exactly. Spec fields other than Shards, LeafSize and Seed do not
+// affect the plan. It panics on empty data.
+func ShardPlan(data *Matrix, spec Spec) [][]int32 {
+	return shard.Plan(data.AppendOnes(), shard.Config{
+		Shards:   spec.Shards,
+		LeafSize: spec.LeafSize,
+		Seed:     spec.Seed,
+		Workers:  spec.Workers,
+		Quantize: spec.Quantize,
+	})
+}
+
 // Search implements Index. SearchOptions.Profile is ignored (the per-phase
 // timers are not meaningful across concurrent shards).
 func (t *Sharded) Search(q []float32, opts SearchOptions) ([]Result, Stats) {

@@ -1,0 +1,68 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"p2h/internal/httpapi"
+)
+
+// mergeTopK merges per-shard top-k lists into the exact global top-k, in the
+// canonical order internal/shard (and therefore the in-process Sharded
+// index) uses: distance ascending, id ascending on ties. The per-shard lists
+// already carry global ids.
+func mergeTopK(lists [][]httpapi.ResultJSON, k int) []httpapi.ResultJSON {
+	var n int
+	for _, l := range lists {
+		n += len(l)
+	}
+	merged := make([]httpapi.ResultJSON, 0, n)
+	for _, l := range lists {
+		merged = append(merged, l...)
+	}
+	sort.Slice(merged, func(i, j int) bool {
+		if merged[i].Dist != merged[j].Dist {
+			return merged[i].Dist < merged[j].Dist
+		}
+		return merged[i].ID < merged[j].ID
+	})
+	if len(merged) > k {
+		merged = merged[:k]
+	}
+	return merged
+}
+
+// addStats accumulates b into a; work counters are plain sums, exactly as
+// core.Stats.Add aggregates shards in process.
+func addStats(a *httpapi.StatsJSON, b httpapi.StatsJSON) {
+	a.IPCount += b.IPCount
+	a.Candidates += b.Candidates
+	a.NodesVisited += b.NodesVisited
+	a.LeavesVisited += b.LeavesVisited
+	a.PrunedNodes += b.PrunedNodes
+	a.PrunedPoints += b.PrunedPoints
+	a.BucketProbes += b.BucketProbes
+	a.CollabIPs += b.CollabIPs
+}
+
+// translateIDs rewrites a shard's local result ids to global ids in place,
+// per the shard's declared mapping: an explicit ids table, a constant base
+// offset, or the identity when neither is declared.
+func translateIDs(sc ShardConfig, res []httpapi.ResultJSON) error {
+	switch {
+	case len(sc.IDs) > 0:
+		for i, r := range res {
+			if r.ID < 0 || int(r.ID) >= len(sc.IDs) {
+				return fmt.Errorf("cluster: shard %q returned id %d outside its %d-row id map (partition map out of date?)",
+					sc.Index, r.ID, len(sc.IDs))
+			}
+			res[i].ID = sc.IDs[r.ID]
+		}
+	case sc.IDBase != nil:
+		base := *sc.IDBase
+		for i := range res {
+			res[i].ID += base
+		}
+	}
+	return nil
+}

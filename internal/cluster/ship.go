@@ -1,0 +1,104 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"os"
+)
+
+// ReplicaShipResult reports one replica's side of a shard ship.
+type ReplicaShipResult struct {
+	// Member is the replica's name.
+	Member string `json:"member"`
+	// OK reports a successful restore (the replica is now serving the
+	// shipped snapshot).
+	OK bool `json:"ok"`
+	// Error carries the failure when OK is false.
+	Error string `json:"error,omitempty"`
+}
+
+// ShipReport reports one shard's snapshot shipment.
+type ShipReport struct {
+	// Index is the logical index name.
+	Index string `json:"index"`
+	// Shard is the shard's position in the partition map.
+	Shard int `json:"shard"`
+	// Source is the member the snapshot was cut on (the shard's primary).
+	Source string `json:"source"`
+	// Points and Epoch identify the shipped cut, from the primary's
+	// container stream headers.
+	Points int    `json:"points"`
+	Epoch  uint64 `json:"epoch"`
+	// Bytes is the container size streamed.
+	Bytes int64 `json:"bytes"`
+	// Replicas reports each replica's restore.
+	Replicas []ReplicaShipResult `json:"replicas"`
+}
+
+// Ship replicates index shards: for each selected shard it cuts an atomic
+// snapshot on the primary (GET /container), spools it, and streams it to
+// every replica (POST /restore), which hot-swaps it in. shard selects one
+// shard by position; negative ships them all. Shards without replicas are
+// reported with an empty replica list. A replica that fails to restore is
+// reported, not fatal — the others still converge.
+func (rt *Router) Ship(ctx context.Context, index string, shard int) ([]ShipReport, error) {
+	ri, ok := rt.indexes[index]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownIndex, index)
+	}
+	if shard >= len(ri.shards) {
+		return nil, fmt.Errorf("cluster: index %q has %d shards, no shard %d", index, len(ri.shards), shard)
+	}
+	var reports []ShipReport
+	for si, rs := range ri.shards {
+		if shard >= 0 && si != shard {
+			continue
+		}
+		rep, err := rt.shipShard(ctx, index, si, rs.cfg)
+		if err != nil {
+			return reports, err
+		}
+		reports = append(reports, rep)
+	}
+	rt.metrics.ships.Add(1)
+	return reports, nil
+}
+
+// shipShard ships one shard primary→replicas through a local spool file, so
+// the primary streams its snapshot once however many replicas receive it.
+func (rt *Router) shipShard(ctx context.Context, index string, si int, sc ShardConfig) (ShipReport, error) {
+	rep := ShipReport{Index: index, Shard: si, Source: sc.Primary, Replicas: []ReplicaShipResult{}}
+	if len(sc.Replicas) == 0 {
+		return rep, nil
+	}
+	primary := rt.members[sc.Primary]
+	spool, err := os.CreateTemp("", "p2h-ship-*.p2h")
+	if err != nil {
+		return rep, err
+	}
+	defer os.Remove(spool.Name())
+	points, epoch, size, err := primary.downloadContainer(ctx, sc.Index, spool)
+	if cerr := spool.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return rep, fmt.Errorf("cluster: snapshot of %q on primary %s: %w", sc.Index, sc.Primary, err)
+	}
+	rep.Points, rep.Epoch, rep.Bytes = points, epoch, size
+	for _, replica := range sc.Replicas {
+		rr := ReplicaShipResult{Member: replica}
+		f, err := os.Open(spool.Name())
+		if err != nil {
+			return rep, err
+		}
+		_, err = rt.members[replica].restore(ctx, sc.Index, f, size)
+		f.Close()
+		if err != nil {
+			rr.Error = err.Error()
+		} else {
+			rr.OK = true
+		}
+		rep.Replicas = append(rep.Replicas, rr)
+	}
+	return rep, nil
+}

@@ -5,9 +5,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"io/fs"
 	"math"
 	"net/http"
+	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
@@ -101,6 +104,8 @@ func NewHandlerWithOptions(m *Manager, opts HandlerOptions) http.Handler {
 	route("POST /v1/indexes/{name}/insert", "insert", a.handleInsert)
 	route("DELETE /v1/indexes/{name}/points/{handle}", "delete_point", a.handleDeletePoint)
 	route("POST /v1/indexes/{name}/snapshot", "snapshot", a.handleSnapshot)
+	route("GET /v1/indexes/{name}/container", "container", a.handleContainer)
+	route("POST /v1/indexes/{name}/restore", "restore", a.handleRestore)
 	return mux
 }
 
@@ -501,6 +506,127 @@ func (a *API) handleDeletePoint(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, DeleteResponse{Deleted: true, Handle: int32(h64)})
+}
+
+// handleContainer streams a fresh atomic snapshot of the index as raw
+// container bytes — the wire half of snapshot shipping: a cluster router
+// GETs this on a shard's primary and POSTs the bytes to /restore on the
+// replicas. Response headers carry the point count and mutation epoch of
+// the streamed cut (X-P2H-Points, X-P2H-Epoch) so the shipper can record
+// the version it replicated without re-parsing the container.
+//
+// An index with a write-ahead log snapshots to its own canonical container
+// path (the snapshot truncates the log, so writing anywhere else would
+// orphan the truncated records); an index without one snapshots to a
+// temporary file in the manager's spool directory, removed after the
+// stream.
+func (a *API) handleContainer(w http.ResponseWriter, r *http.Request) {
+	e, err := a.m.acquire(r.PathValue("name"))
+	if err != nil {
+		a.fail(w, err)
+		return
+	}
+	defer e.release()
+	if persistable, buildOnly, err := p2h.KindIsPersistable(e.kind); err == nil && !persistable {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{
+			Error: fmt.Sprintf("index kind %q is build-only: %s", e.kind, buildOnly),
+			Code:  "not_persistable",
+		})
+		return
+	}
+	path := e.cfg.Path
+	if e.wal == nil || path == "" {
+		f, err := os.CreateTemp(a.m.spoolDir(), ".p2hd-container-*.p2h")
+		if err != nil {
+			a.fail(w, err)
+			return
+		}
+		path = f.Name()
+		f.Close()
+		defer os.Remove(path)
+	}
+	// Snapshot first, then read the stats: the exclusive cut inside Snapshot
+	// means the streamed bytes are at least as new as the n/epoch reported.
+	size, err := e.srv.Snapshot(path)
+	if err != nil {
+		a.fail(w, err)
+		return
+	}
+	n, _ := e.srv.Describe()
+	f, err := os.Open(path)
+	if err != nil {
+		a.fail(w, err)
+		return
+	}
+	defer f.Close()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.FormatInt(size, 10))
+	w.Header().Set("X-P2H-Kind", e.kind)
+	w.Header().Set("X-P2H-Points", strconv.Itoa(n))
+	w.Header().Set("X-P2H-Epoch", strconv.FormatUint(e.srv.Stats().Epoch, 10))
+	_, _ = io.Copy(w, f)
+}
+
+// maxContainerBytes bounds a restore upload; far above any container this
+// daemon could serve from memory, far below a runaway stream.
+const maxContainerBytes = 8 << 30
+
+// handleRestore accepts raw container bytes, spools them to the manager's
+// spool directory and hot-swaps them in under the request's index name (a
+// fresh name loads rather than swaps). This is the receiving half of
+// snapshot shipping: the sender is any p2h.Save container — typically the
+// /container stream of the shard's primary. A container that fails to load
+// leaves the currently-served index untouched and the spool file removed;
+// a successful swap removes the spool file of the index it replaced.
+func (a *API) handleRestore(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if err := checkName(name); err != nil {
+		a.fail(w, err)
+		return
+	}
+	spool := a.m.spoolDir()
+	f, err := os.CreateTemp(spool, "p2hd-restore-"+name+"-*.p2h")
+	if err != nil {
+		a.fail(w, err)
+		return
+	}
+	path := f.Name()
+	_, err = io.Copy(f, http.MaxBytesReader(w, r.Body, maxContainerBytes))
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(path)
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			a.fail(w, fmt.Errorf("%w: container exceeds %d bytes", errBodyTooLarge, tooBig.Limit))
+			return
+		}
+		a.fail(w, err)
+		return
+	}
+	// Remember what the swap replaces so its spool file can be reclaimed;
+	// only files this handler created (inside the spool dir) are touched.
+	oldPath := ""
+	if old, err := a.m.Get(name); err == nil {
+		oldPath = old.Source.Path
+	}
+	info, replaced, err := a.m.Load(name, IndexConfig{Path: path}, true)
+	if err != nil {
+		os.Remove(path)
+		a.fail(w, err)
+		return
+	}
+	if replaced && oldPath != "" && oldPath != path && filepath.Dir(oldPath) == filepath.Dir(path) {
+		if base := filepath.Base(oldPath); strings.HasPrefix(base, "p2hd-restore-") {
+			os.Remove(oldPath)
+		}
+	}
+	status := http.StatusCreated
+	if replaced {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, info)
 }
 
 func (a *API) handleSnapshot(w http.ResponseWriter, r *http.Request) {

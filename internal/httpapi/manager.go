@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"io/fs"
+	"os"
 	"regexp"
 	"sort"
 	"sync"
@@ -117,6 +118,10 @@ func (e *managed) info() IndexInfoResponse {
 type Manager struct {
 	opts         p2h.ServerOptions
 	drainTimeout time.Duration
+	// spool is where container uploads (/restore) and transient snapshot
+	// streams (/container) are written; empty selects os.TempDir(). Set
+	// once via SetSpoolDir before serving.
+	spool string
 
 	// draining flips once BeginDrain (or Close) runs: /healthz answers 503
 	// so load balancers stop routing while in-flight work still completes.
@@ -145,6 +150,19 @@ func NewManager(opts p2h.ServerOptions, drainTimeout time.Duration) *Manager {
 		drainTimeout: drainTimeout,
 		indexes:      make(map[string]*managed),
 	}
+}
+
+// SetSpoolDir sets the directory restore uploads and transient container
+// streams use (empty: os.TempDir()). Call it before the manager serves
+// requests; it is not synchronized against in-flight handlers.
+func (m *Manager) SetSpoolDir(dir string) { m.spool = dir }
+
+// spoolDir resolves the spool directory, defaulting to the system temp dir.
+func (m *Manager) spoolDir() string {
+	if m.spool == "" {
+		return os.TempDir()
+	}
+	return m.spool
 }
 
 // buildIndex materializes an IndexConfig into an index, plus the attached

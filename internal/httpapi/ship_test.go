@@ -1,0 +1,114 @@
+package httpapi
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// rawPost sends non-JSON bytes (container uploads) to the fixture daemon.
+func (f *fixture) rawPost(t *testing.T, path string, body []byte) (int, []byte) {
+	t.Helper()
+	resp, err := f.ts.Client().Post(f.ts.URL+path, "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, out
+}
+
+// TestContainerRestoreRoundTrip proves the two halves of snapshot shipping
+// compose: the /container stream of one index restores under another name
+// and answers queries byte-identically.
+func TestContainerRestoreRoundTrip(t *testing.T) {
+	f := newFixture(t)
+
+	resp, err := f.ts.Client().Get(f.ts.URL + "/v1/indexes/trees/container")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("container answered %d: %s", resp.StatusCode, raw)
+	}
+	if got := resp.Header.Get("X-P2H-Kind"); got != "bctree" {
+		t.Fatalf("X-P2H-Kind = %q, want bctree", got)
+	}
+	if n, _ := strconv.Atoi(resp.Header.Get("X-P2H-Points")); n != 300 {
+		t.Fatalf("X-P2H-Points = %d, want 300", n)
+	}
+	if cl, _ := strconv.Atoi(resp.Header.Get("Content-Length")); cl != len(raw) {
+		t.Fatalf("Content-Length %d but read %d bytes", cl, len(raw))
+	}
+
+	// Restore under a fresh name: 201, then an identical answer.
+	status, body := f.rawPost(t, "/v1/indexes/copy/restore", raw)
+	if status != http.StatusCreated {
+		t.Fatalf("fresh restore answered %d: %s", status, body)
+	}
+	q := f.queries.Row(0)
+	s1, a1 := f.do(t, http.MethodPost, "/v1/indexes/trees/search", SearchRequest{Query: q, SearchOptionsJSON: SearchOptionsJSON{K: 10}})
+	s2, a2 := f.do(t, http.MethodPost, "/v1/indexes/copy/search", SearchRequest{Query: q, SearchOptionsJSON: SearchOptionsJSON{K: 10}})
+	if s1 != http.StatusOK || s2 != http.StatusOK {
+		t.Fatalf("search answered %d / %d", s1, s2)
+	}
+	if !bytes.Equal(a1, a2) {
+		t.Fatalf("restored copy answers differently:\n%s\nvs\n%s", a1, a2)
+	}
+
+	// Restoring again over the same name hot-swaps: 200.
+	status, body = f.rawPost(t, "/v1/indexes/copy/restore", raw)
+	if status != http.StatusOK {
+		t.Fatalf("replacing restore answered %d: %s", status, body)
+	}
+	s3, a3 := f.do(t, http.MethodPost, "/v1/indexes/copy/search", SearchRequest{Query: q, SearchOptionsJSON: SearchOptionsJSON{K: 10}})
+	if s3 != http.StatusOK || !bytes.Equal(a1, a3) {
+		t.Fatalf("post-swap search wrong: %d %s", s3, a3)
+	}
+}
+
+func TestRestoreRejectsGarbage(t *testing.T) {
+	f := newFixture(t)
+	status, body := f.rawPost(t, "/v1/indexes/junk/restore", []byte("not a container"))
+	if status != http.StatusBadRequest && status != http.StatusUnprocessableEntity {
+		t.Fatalf("garbage restore answered %d: %s", status, body)
+	}
+	// The failed load must not have registered the name.
+	status, _ = f.do(t, http.MethodGet, "/v1/indexes/junk", nil)
+	if status != http.StatusNotFound {
+		t.Fatalf("junk index exists after failed restore: %d", status)
+	}
+	// And the serving set is untouched.
+	status, _ = f.do(t, http.MethodPost, "/v1/indexes/trees/search",
+		SearchRequest{Query: f.queries.Row(0), SearchOptionsJSON: SearchOptionsJSON{K: 3}})
+	if status != http.StatusOK {
+		t.Fatalf("trees broken after bad restore: %d", status)
+	}
+}
+
+func TestContainerUnknownIndex(t *testing.T) {
+	f := newFixture(t)
+	resp, err := f.ts.Client().Get(f.ts.URL + "/v1/indexes/nope/container")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("container for unknown index answered %d: %s", resp.StatusCode, raw)
+	}
+	if !strings.Contains(string(raw), "index_not_found") {
+		t.Fatalf("unexpected error body: %s", raw)
+	}
+}

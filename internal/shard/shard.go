@@ -61,9 +61,12 @@ type Index struct {
 	workers int
 }
 
-// Build partitions the lifted data into cfg.Shards compact regions and
-// builds one BC-Tree per region.
-func Build(data *vec.Matrix, cfg Config) *Index {
+// Plan returns the row partition Build would use for this data and config:
+// one slice of row indices per shard, in shard order. It is deterministic in
+// cfg.Seed and exactly the partition a Build with the same inputs produces,
+// so out-of-process deployments (one tree per daemon) can mirror the
+// in-process sharding — and its exact merge semantics — bit for bit.
+func Plan(data *vec.Matrix, cfg Config) [][]int32 {
 	if data == nil || data.N == 0 {
 		panic("shard: empty data")
 	}
@@ -77,7 +80,14 @@ func Build(data *vec.Matrix, cfg Config) *Index {
 	for i := range all {
 		all[i] = int32(i)
 	}
-	parts := splitParts(data, all, cfg.Shards, rng)
+	return splitParts(data, all, cfg.Shards, rng)
+}
+
+// Build partitions the lifted data into cfg.Shards compact regions and
+// builds one BC-Tree per region.
+func Build(data *vec.Matrix, cfg Config) *Index {
+	parts := Plan(data, cfg)
+	cfg = cfg.normalized()
 
 	ix := &Index{n: data.N, d: data.D, workers: cfg.Workers}
 	for si, part := range parts {

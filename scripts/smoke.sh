@@ -11,8 +11,12 @@ cd "$(dirname "$0")/.."
 
 tmp="$(mktemp -d)"
 daemon_pid=""
+cluster_pids=()
 cleanup() {
   [ -n "$daemon_pid" ] && kill -TERM "$daemon_pid" 2>/dev/null && wait "$daemon_pid" 2>/dev/null || true
+  for p in "${cluster_pids[@]}"; do
+    kill -TERM "$p" 2>/dev/null && wait "$p" 2>/dev/null || true
+  done
   rm -rf "$tmp"
 }
 trap cleanup EXIT
@@ -264,5 +268,96 @@ grep '"replayed":3' >/dev/null <<<"$info" || { echo "chaos WAL replay count wron
 kill -TERM "$daemon_pid"
 wait "$daemon_pid" || { echo "chaos p2hd exited non-zero"; cat "$tmp/p2hd-chaos2.log"; exit 1; }
 daemon_pid=""
+
+echo "== cluster: split, boot 3 members + router, verify byte-identity with single node"
+# The same spec the single-node sharded container above was built with, so
+# the routed cluster and the single daemon serve the same logical index and
+# must answer byte-identically.
+cdir="$tmp/cluster"
+"$bin/p2htool" cluster split -data "$data" -name trees \
+  -spec '{"leaf_size":50,"shards":3,"workers":2,"seed":1}' \
+  -members 3 -replicas 1 -out "$cdir" >/dev/null
+
+member_urls=()
+for i in 0 1 2; do
+  ( cd "$cdir" && exec "$bin/p2hd" -listen 127.0.0.1:0 -config "member-m$i.json" ) \
+    >"$tmp/member-m$i.log" 2>&1 &
+  cluster_pids+=($!)
+done
+for i in 0 1 2; do
+  murl=""
+  for _ in $(seq 1 100); do
+    murl="$(sed -n 's|.*listening on \(http://[0-9.:]*\).*|\1|p' "$tmp/member-m$i.log" | head -1)"
+    [ -n "$murl" ] && break
+    sleep 0.1
+  done
+  [ -n "$murl" ] || { echo "member m$i never came up"; cat "$tmp/member-m$i.log"; exit 1; }
+  member_urls+=("$murl")
+  sed -i "s|@m$i@|$murl|" "$cdir/cluster.json"
+done
+
+"$bin/p2hd" -mode router -listen 127.0.0.1:0 -config "$cdir/cluster.json" \
+  >"$tmp/router.log" 2>&1 &
+cluster_pids+=($!)
+rurl=""
+for _ in $(seq 1 100); do
+  rurl="$(sed -n 's|.*listening on \(http://[0-9.:]*\).*|\1|p' "$tmp/router.log" | head -1)"
+  [ -n "$rurl" ] && break
+  sleep 0.1
+done
+[ -n "$rurl" ] || { echo "router never came up"; cat "$tmp/router.log"; exit 1; }
+
+# Single-node oracle: the ix-sharded.p2h container built earlier with the
+# same spec, served by one daemon.
+"$bin/p2hd" -listen 127.0.0.1:0 -name trees -load "$tmp/ix-sharded.p2h" \
+  >"$tmp/oracle.log" 2>&1 &
+cluster_pids+=($!)
+ourl=""
+for _ in $(seq 1 100); do
+  ourl="$(sed -n 's|.*listening on \(http://[0-9.:]*\).*|\1|p' "$tmp/oracle.log" | head -1)"
+  [ -n "$ourl" ] && break
+  sleep 0.1
+done
+[ -n "$ourl" ] || { echo "oracle daemon never came up"; cat "$tmp/oracle.log"; exit 1; }
+
+curl -fsS "$rurl/healthz" | grep '"status":"ok"' >/dev/null \
+  || { echo "router unhealthy"; curl -sS "$rurl/healthz"; exit 1; }
+curl -fsS "$rurl/v1/indexes/trees" | grep '"kind":"cluster"' >/dev/null \
+  || { echo "router index info wrong"; exit 1; }
+
+for body in "{\"query\":$q,\"k\":5}" "{\"query\":$q,\"k\":5,\"budget\":200}" "{\"query\":$q,\"k\":9999}"; do
+  curl -fsS -X POST "$ourl/v1/indexes/trees/search" -d "$body" >"$tmp/ans-oracle"
+  curl -fsS -X POST "$rurl/v1/indexes/trees/search" -d "$body" >"$tmp/ans-router"
+  cmp -s "$tmp/ans-oracle" "$tmp/ans-router" \
+    || { echo "router answer differs from single node for $body"; cat "$tmp/ans-oracle" "$tmp/ans-router"; exit 1; }
+done
+curl -fsS -X POST "$ourl/v1/indexes/trees/search_batch" -d "{\"queries\":[$q,$q],\"k\":4}" >"$tmp/ans-oracle"
+curl -fsS -X POST "$rurl/v1/indexes/trees/search_batch" -d "{\"queries\":[$q,$q],\"k\":4}" >"$tmp/ans-router"
+cmp -s "$tmp/ans-oracle" "$tmp/ans-router" || { echo "router batch answer differs"; exit 1; }
+
+echo "== cluster: status, ship, p2hserve round-robin"
+out="$("$bin/p2htool" cluster status -config "$cdir/cluster.json")"
+grep "healthy" >/dev/null <<<"$out" || { echo "cluster status shows no healthy member"; echo "$out"; exit 1; }
+grep "primary" >/dev/null <<<"$out" || { echo "cluster status shows no placement"; echo "$out"; exit 1; }
+curl -fsS -X POST "$rurl/v1/cluster/ship" -d '{"index":"trees"}' \
+  | grep '"ok":true' >/dev/null || { echo "ship failed"; exit 1; }
+out="$("$bin/p2hserve" -url "${member_urls[0]},${member_urls[1]}" -name trees-s0 -queries "$queries" -clients 2 -repeat 1 -k 3 2>/dev/null || true)"
+grep "round-robin" >/dev/null <<<"$out" || { echo "p2hserve round-robin not engaged"; echo "$out"; exit 1; }
+
+echo "== cluster: kill a member, searches keep answering off the replica"
+kill -9 "${cluster_pids[0]}"
+wait "${cluster_pids[0]}" 2>/dev/null || true
+for i in $(seq 1 8); do
+  code=$(curl -sS -o /dev/null -w '%{http_code}' -X POST "$rurl/v1/indexes/trees/search" -d "{\"query\":$q,\"k\":5}")
+  [ "$code" = 200 ] || { echo "search $i after member kill returned $code"; cat "$tmp/router.log"; exit 1; }
+done
+curl -fsS -X POST "$rurl/v1/indexes/trees/search" -d "{\"query\":$q,\"k\":5}" >"$tmp/ans-router"
+curl -fsS -X POST "$ourl/v1/indexes/trees/search" -d "{\"query\":$q,\"k\":5}" >"$tmp/ans-oracle"
+cmp -s "$tmp/ans-oracle" "$tmp/ans-router" || { echo "replica answer differs from single node"; exit 1; }
+sleep 1.2   # a probe round marks the member down
+curl -fsS "$rurl/healthz" | grep '"status":"degraded"' >/dev/null \
+  || { echo "router healthz not degraded after member kill"; curl -sS "$rurl/healthz"; exit 1; }
+curl -fsS "$rurl/metrics" | grep 'p2hd_router_member_state{member="m0"} 4' >/dev/null \
+  || { echo "metrics do not mark m0 down"; exit 1; }
 
 echo "smoke OK"
