@@ -57,6 +57,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		verbose  = fs.Bool("v", false, "log per-step progress to stderr")
 		durable  = fs.Bool("durable", false, "run the durability benchmark (sustained insert+search with and without background compaction, plus WAL crash-recovery time) and emit JSON")
 		chaos    = fs.Bool("chaos", false, "run the overload benchmark (2x-capacity flood against the serving stack with SLO degradation, plus WAL group-commit insert throughput) and emit JSON")
+		filter   = fs.Bool("filter", false, "run the filtered-search benchmark (predicate pushdown vs post-filter at ~1%/10%/50% selectivity, with byte-identity and recall gates) and emit JSON")
+		repeat   = fs.Int("repeat", 3, "timed passes over the query set per measurement for the -filter benchmark")
 		sloP99   = fs.Duration("slo", 25*time.Millisecond, "end-to-end p99 SLO for the -chaos benchmark (client deadline 80%, controller objective 60% of it)")
 		workers  = fs.Int("workers", 4, "serving workers for the -chaos benchmark")
 		indexK   = fs.String("index", "", "registry kind for the single-index benchmark ("+strings.Join(p2h.Kinds(), ", ")+")")
@@ -125,7 +127,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		defer pprof.StopCPUProfile()
 	}
 
-	if *chaos {
+	if *filter {
+		set := "Sift"
+		if len(cfg.Sets) > 0 {
+			set = cfg.Sets[0]
+		}
+		if err := runFilter(out, stderr, filterConfig{
+			set: set, n: *n, nq: *nq, k: *k, seed: *seed,
+			leafSize: *leafSize, repeat: *repeat,
+		}); err != nil {
+			fmt.Fprintf(stderr, "p2hbench: %v\n", err)
+			return 1
+		}
+	} else if *chaos {
 		set := "Sift"
 		if len(cfg.Sets) > 0 {
 			set = cfg.Sets[0]

@@ -122,6 +122,7 @@ func runClusterSplit(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("cluster split", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	dataPath := fs.String("data", "", "data fvecs path (required)")
+	attrsPath := fs.String("attrs", "", "optional JSON array of per-point attribute payloads (one per data row, in row order)")
 	name := fs.String("name", "default", "logical index name the router serves")
 	membersFlag := fs.String("members", "", "member count, or comma-separated name=url pairs (required)")
 	shards := fs.Int("shards", 0, "number of shards (0: one per member)")
@@ -165,6 +166,20 @@ func runClusterSplit(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return fmt.Errorf("cluster split: %w", err)
 	}
+	var points []p2h.PointAttrs
+	if *attrsPath != "" {
+		raw, err := os.ReadFile(*attrsPath)
+		if err != nil {
+			return fmt.Errorf("cluster split: %w", err)
+		}
+		if err := json.Unmarshal(raw, &points); err != nil {
+			return fmt.Errorf("cluster split: decoding %s: %w", *attrsPath, err)
+		}
+		if len(points) != data.N {
+			return fmt.Errorf("cluster split: %s holds %d payloads, data holds %d rows",
+				*attrsPath, len(points), data.N)
+		}
+	}
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		return fmt.Errorf("cluster split: %w", err)
 	}
@@ -196,6 +211,18 @@ func runClusterSplit(args []string, stdout, stderr io.Writer) error {
 		})
 		if err != nil {
 			return fmt.Errorf("cluster split: shard %d: %w", si, err)
+		}
+		if points != nil {
+			// Attach the shard's own rows in shard-local order: filtered
+			// queries routed to this member see the same payloads the
+			// in-process sharded index would, so merges stay byte-identical.
+			sub := make([]p2h.PointAttrs, len(part))
+			for i, row := range part {
+				sub[i] = points[row]
+			}
+			if err := p2h.AttachAttributes(ix, sub); err != nil {
+				return fmt.Errorf("cluster split: shard %d: %w", si, err)
+			}
 		}
 		if err := p2h.SaveFile(filepath.Join(*outDir, file), ix); err != nil {
 			return fmt.Errorf("cluster split: shard %d: %w", si, err)

@@ -167,6 +167,7 @@ func runBuild(args []string, stdout, stderr io.Writer) error {
 	kind := fs.String("index", "", "index kind ("+strings.Join(p2h.Kinds(), ", ")+"; default from -spec, else bctree)")
 	specJSON := fs.String("spec", "", "p2h.Spec as JSON, e.g. '{\"kind\":\"sharded\",\"shards\":8}'")
 	dataPath := fs.String("data", "", "data fvecs path (required)")
+	attrsPath := fs.String("attrs", "", "optional JSON array of per-point attribute payloads (one per data row, in row order)")
 	leafSize := fs.Int("leafsize", 0, "override the spec's tree leaf size N0")
 	seed := fs.Int64("seed", 0, "override the spec's construction seed")
 	out := fs.String("out", "", "output index path (required)")
@@ -190,10 +191,29 @@ func runBuild(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return fmt.Errorf("build: %w", err)
 	}
+	var points []p2h.PointAttrs
+	if *attrsPath != "" {
+		raw, err := os.ReadFile(*attrsPath)
+		if err != nil {
+			return fmt.Errorf("build: %w", err)
+		}
+		if err := json.Unmarshal(raw, &points); err != nil {
+			return fmt.Errorf("build: decoding %s: %w", *attrsPath, err)
+		}
+		if len(points) != data.N {
+			return fmt.Errorf("build: %s holds %d payloads, data holds %d rows",
+				*attrsPath, len(points), data.N)
+		}
+	}
 	start := time.Now()
 	ix, err := p2h.New(data, spec)
 	if err != nil {
 		return fmt.Errorf("build: %w", err)
+	}
+	if points != nil {
+		if err := p2h.AttachAttributes(ix, points); err != nil {
+			return fmt.Errorf("build: %w", err)
+		}
 	}
 	if err := p2h.SaveFile(*out, ix); err != nil {
 		return fmt.Errorf("build: %w", err)
@@ -256,6 +276,10 @@ func runInspect(args []string, stdout, stderr io.Writer) error {
 	}
 	fmt.Fprintf(stdout, "kind=%s dim=%s points=%s legacy=%v\nspec=%s\n",
 		info.Kind, dim, points, info.Legacy, specJSON)
+	if info.HasAttrs {
+		fmt.Fprintf(stdout, "attrs=present tags=[%s] fields=[%s]\n",
+			strings.Join(info.AttrTags, ","), strings.Join(info.AttrFields, ","))
+	}
 	if info.WALPath != "" {
 		fmt.Fprintf(stdout, "wal=%s pending=%d\n", info.WALPath, info.WALRecords)
 	}

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 
+	"p2h/internal/attr"
 	"p2h/internal/dynamic"
 	"p2h/internal/quant"
 	"p2h/internal/shard"
@@ -130,6 +131,13 @@ func (t *Dynamic) Insert(p []float32) int32 {
 	return t.index.Insert(liftPoint(p, t.raw))
 }
 
+// InsertWithAttrs adds a point with an attribute payload and returns its
+// stable handle. The index keeps the payload (callers must not mutate it);
+// searches with SearchOptions.Pred evaluate it per handle.
+func (t *Dynamic) InsertWithAttrs(p []float32, at PointAttrs) int32 {
+	return t.index.InsertWithAttrs(liftPoint(p, t.raw), at)
+}
+
 // Delete removes a handle; it reports whether the handle was live.
 func (t *Dynamic) Delete(handle int32) bool { return t.index.Delete(handle) }
 
@@ -197,8 +205,9 @@ var _ Index = (*Dynamic)(nil)
 // exact while the hot loop reads 4x less memory. One of the optimizations
 // the paper's Section III-A(4) says the tree methods combine with.
 type QuantizedScan struct {
-	scan *quant.Scan
-	raw  int
+	scan  *quant.Scan
+	raw   int
+	attrs *attr.Store
 }
 
 // NewQuantizedScan quantizes and indexes the rows of data. It is a thin
@@ -210,6 +219,10 @@ func NewQuantizedScan(data *Matrix) *QuantizedScan {
 
 // Search implements Index; results are exact despite the quantized filter.
 func (t *QuantizedScan) Search(q []float32, opts SearchOptions) ([]Result, Stats) {
+	opts, empty := applyPred(opts, t.attrs)
+	if empty {
+		return nil, Stats{}
+	}
 	return t.scan.Search(checkQuery(q, t.raw), opts)
 }
 
@@ -272,7 +285,7 @@ func SearchBatch(ix Index, queries *Matrix, opts SearchOptions, workers int) [][
 		// or fewer shards than workers — the worker split below keeps the
 		// caller's parallelism.
 		if sh, sharded := ix.(*Sharded); sharded &&
-			opts.Budget <= 0 && opts.Filter == nil && opts.Profile == nil &&
+			opts.Budget <= 0 && opts.Filter == nil && opts.Pred == nil && opts.Profile == nil &&
 			sh.Shards() >= workers {
 			res, _ := bi.SearchBatch(queries, opts)
 			return res

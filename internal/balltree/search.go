@@ -4,6 +4,7 @@ import (
 	"math"
 	"time"
 
+	"p2h/internal/attr"
 	"p2h/internal/core"
 	"p2h/internal/quant"
 	"p2h/internal/vec"
@@ -50,6 +51,12 @@ type Searcher struct {
 	qf       quant.CodeFilter
 	sel      []int32
 	useQuant bool
+
+	// Predicate state, live only while opts.Pred is set on a tree with an
+	// attribute store: pred is the predicate compiled against the store,
+	// usePush gates the per-node summary skip.
+	pred    *attr.Prog
+	usePush bool
 }
 
 // NewSearcher returns a reusable executor bound to the tree.
@@ -73,25 +80,60 @@ func (s *Searcher) Search(q []float32, opts core.SearchOptions, dst []core.Resul
 	s.opts = opts
 	s.st = core.Stats{}
 	s.tk.Init(opts.K)
-	// The quantized filter applies to plain exact scans only: budgeted
-	// searches keep the float path so "candidates verified" keeps meaning
-	// the same work, and filtered searches stay point-at-a-time. Results
-	// are identical either way (the filter is exact), which the
-	// quantized-vs-float equality tests pin down.
+	run := s.preparePred()
+	// The quantized filter applies to exact scans only: budgeted searches
+	// keep the float path so "candidates verified" keeps meaning the same
+	// work, and Filter-closure searches stay point-at-a-time. A declarative
+	// predicate composes with it (rows are predicate-filtered before the
+	// code kernel). Results are identical either way (the filter is exact),
+	// which the quantized-vs-float equality tests pin down.
 	s.useQuant = s.tree.qz != nil && opts.Filter == nil && opts.Budget <= 0 &&
 		!opts.DisableQuantFilter
-	if s.useQuant {
-		s.tree.qz.Fit(&s.qf, q)
+	if run {
+		if s.useQuant {
+			s.tree.qz.Fit(&s.qf, q)
+		}
+		ip := vec.Dot(q, s.tree.center(0))
+		s.st.IPCount++
+		s.visit(0, ip)
 	}
-	ip := vec.Dot(q, s.tree.center(0))
-	s.st.IPCount++
-	s.visit(0, ip)
 	// Drop caller-owned references so the pooled Searcher cannot pin them.
 	s.q = nil
 	s.opts.Filter = nil
 	s.opts.Profile = nil
 	s.opts.Cancel = nil
+	s.opts.Pred = nil
+	s.pred = nil
+	s.usePush = false
 	return s.tk.DrainInto(dst), s.st
+}
+
+// preparePred resolves opts.Pred against the tree's attribute store. It
+// reports whether the traversal should run at all: a predicate on a tree
+// without attributes constant-folds against the empty payload — it either
+// accepts every point (and is dropped) or rejects every point (empty result,
+// no traversal).
+func (s *Searcher) preparePred() bool {
+	s.pred, s.usePush = nil, false
+	if s.opts.Pred == nil {
+		return true
+	}
+	if s.tree.attrs == nil {
+		return s.opts.Pred.MatchesEmpty()
+	}
+	s.pred = s.tree.attrs.Compile(s.opts.Pred)
+	s.usePush = s.tree.attrSums != nil
+	return true
+}
+
+// accept reports whether id passes the predicate and the caller filter —
+// exactly the acceptance an equivalent Filter closure would compute, which
+// is what keeps pushdown results bitwise equal to post-filtering.
+func (s *Searcher) accept(id int32) bool {
+	if s.pred != nil && !s.pred.Match(id) {
+		return false
+	}
+	return s.opts.Filter == nil || s.opts.Filter(id)
 }
 
 // scratch returns a distance buffer of at least m entries, reused across the
@@ -114,6 +156,17 @@ func (s *Searcher) visit(ni int32, ip float64) {
 	}
 	if s.opts.Canceled() {
 		return // deadline fired: keep what the collector already holds
+	}
+	if s.usePush && s.tree.attrSums.Node(ni, s.pred) == attr.TriNo {
+		// Predicate pushdown: the node's attribute summaries prove no point
+		// under it can match, so the whole subtree is skipped. The skip only
+		// removes points a per-row filter would have rejected anyway, so the
+		// accepted-candidate sequence — and with it the results, budgeted or
+		// not — is unchanged.
+		n := &s.tree.nodes[ni]
+		s.st.FilterSkippedNodes++
+		s.st.FilterSkippedPoints += int64(n.count())
+		return
 	}
 	s.st.NodesVisited++
 	n := &s.tree.nodes[ni]
@@ -172,7 +225,11 @@ func (s *Searcher) scanLeaf(n *nodeRec) {
 	// The quantized filter needs a finite lambda to prune against; until the
 	// heap fills, leaves scan on the float path.
 	if s.useQuant && s.tk.Full() {
-		s.scanLeafQuant(n)
+		if s.pred != nil {
+			s.scanLeafQuantPred(n)
+		} else {
+			s.scanLeafQuant(n)
+		}
 		return
 	}
 	var start time.Time
@@ -180,7 +237,7 @@ func (s *Searcher) scanLeaf(n *nodeRec) {
 		start = time.Now()
 	}
 
-	if s.opts.Filter != nil {
+	if s.opts.Filter != nil || s.pred != nil {
 		s.scanLeafFiltered(n)
 	} else {
 		m := int(n.count())
@@ -254,20 +311,72 @@ func (s *Searcher) scanLeafQuant(n *nodeRec) {
 	}
 }
 
-// scanLeafFiltered is the point-at-a-time path for filtered queries: rejected
-// ids must not cost an inner product nor count against the budget.
+// scanLeafFiltered is the point-at-a-time path for filtered queries (a
+// Filter closure, a compiled predicate, or both): rejected ids must not cost
+// an inner product nor count against the budget.
 func (s *Searcher) scanLeafFiltered(n *nodeRec) {
 	for pos := n.start; pos < n.end; pos++ {
 		if !s.opts.BudgetLeft(s.st.Candidates) {
 			break
 		}
 		id := s.tree.ids[pos]
-		if !s.opts.Filter(id) {
+		if !s.accept(id) {
 			continue
 		}
 		d := math.Abs(vec.Dot(s.q, s.tree.points.Row(int(pos))))
 		s.st.IPCount++
 		s.st.Candidates++
 		s.tk.Push(id, d)
+	}
+}
+
+// scanLeafQuantPred is the quantized leaf scan for predicate searches: the
+// leaf's rows are filtered by the compiled predicate first, the survivors go
+// through the integer code kernel (vec.CodeSelectIdx) which removes rows the
+// error-bounded approximate score proves cannot beat the current k-th best,
+// and the remainder is verified in float. Exactness is unchanged — the code
+// filter is conservative and predicate searches here are unbudgeted — so
+// results stay bitwise equal to the unquantized filtered scan.
+func (s *Searcher) scanLeafQuantPred(n *nodeRec) {
+	m := int(n.count())
+	if m == 0 {
+		return
+	}
+	d := s.tree.points.D
+	start64 := int(n.start) * d
+	var t0 time.Time
+	if s.opts.Profile != nil {
+		t0 = time.Now()
+	}
+	if cap(s.sel) < m {
+		s.sel = make([]int32, 0, m)
+	}
+	sel := s.sel[:0]
+	for i := 0; i < m; i++ {
+		if s.pred.Match(s.tree.ids[int(n.start)+i]) {
+			sel = append(sel, int32(i))
+		}
+	}
+	if len(sel) > 0 {
+		codes := s.tree.codes[start64 : start64+m*d]
+		before := len(sel)
+		sel = vec.CodeSelectIdx(codes, d, s.qf.W, s.qf.Base, s.qf.InvS, s.qf.Eps,
+			s.tk.Lambda(), sel)
+		s.st.PrunedPoints += int64(before - len(sel))
+	}
+	s.sel = sel
+	if s.opts.Profile != nil {
+		s.opts.Profile.Add(core.PhaseBound, time.Since(t0))
+		t0 = time.Now()
+	}
+	for _, i := range sel {
+		pos := int(n.start) + int(i)
+		dist := math.Abs(vec.Dot(s.q, s.tree.points.Row(pos)))
+		s.tk.Push(s.tree.ids[pos], dist)
+	}
+	s.st.IPCount += int64(len(sel))
+	s.st.Candidates += int64(len(sel))
+	if s.opts.Profile != nil {
+		s.opts.Profile.Add(core.PhaseVerify, time.Since(t0))
 	}
 }

@@ -18,6 +18,7 @@ package balltree
 import (
 	"fmt"
 
+	"p2h/internal/attr"
 	"p2h/internal/exec"
 	"p2h/internal/quant"
 	"p2h/internal/vec"
@@ -85,6 +86,13 @@ type Tree struct {
 	qz    *quant.Quantizer
 	codes []uint8
 
+	// Attribute store and its per-node summaries (AttachAttrs): attrs rows
+	// are original data ids, so predicate evaluation speaks the same id
+	// space as results; attrSums lets visit() skip subtrees a predicate
+	// provably cannot match. Both nil when no attributes are attached.
+	attrs    *attr.Store
+	attrSums *attr.Summaries
+
 	// Free lists of the execution-engine state (internal/exec): Search and
 	// SearchBatch recycle their scratch through these, so steady-state
 	// queries allocate nothing.
@@ -128,6 +136,31 @@ func (t *Tree) height(ni int32) int {
 // Quantized reports whether the tree carries the 8-bit leaf mirror.
 func (t *Tree) Quantized() bool { return t.qz != nil }
 
+// AttachAttrs binds a per-point attribute store (row i = data id i) to the
+// tree and builds the per-node summaries predicate pushdown skips subtrees
+// with. Summaries are derived state: cheap to rebuild, never serialized.
+// Passing nil detaches. The caller must not mutate the store afterwards.
+func (t *Tree) AttachAttrs(st *attr.Store) error {
+	if st == nil {
+		t.attrs, t.attrSums = nil, nil
+		return nil
+	}
+	if st.N() != t.points.N {
+		return fmt.Errorf("balltree: attribute store covers %d rows, index holds %d", st.N(), t.points.N)
+	}
+	infos := make([]attr.NodeInfo, len(t.nodes))
+	for i := range t.nodes {
+		n := &t.nodes[i]
+		infos[i] = attr.NodeInfo{Start: n.start, End: n.end, Left: n.left, Right: n.right}
+	}
+	t.attrs = st
+	t.attrSums = attr.BuildSummaries(st, t.ids, infos)
+	return nil
+}
+
+// Attrs returns the attached attribute store, nil when none.
+func (t *Tree) Attrs() *attr.Store { return t.attrs }
+
 // IndexBytes estimates the memory footprint of the index structure itself:
 // the packed centers matrix, the node records (radius, range, child indices),
 // the position->id map, and the quantized mirror when present. The reordered
@@ -138,6 +171,9 @@ func (t *Tree) IndexBytes() int64 {
 	b := t.centers.Bytes() + int64(len(t.nodes))*perNode + int64(len(t.ids))*4
 	if t.qz != nil {
 		b += int64(len(t.codes)) + int64(t.points.D)*(4+4+8)
+	}
+	if t.attrs != nil {
+		b += t.attrs.MemBytes() + t.attrSums.MemBytes()
 	}
 	return b
 }

@@ -4,6 +4,7 @@ import (
 	"math"
 	"time"
 
+	"p2h/internal/attr"
 	"p2h/internal/core"
 	"p2h/internal/quant"
 	"p2h/internal/vec"
@@ -55,6 +56,12 @@ type Searcher struct {
 	// query's fitted integer filter (see quant.CodeFilter).
 	qf       quant.CodeFilter
 	useQuant bool
+
+	// Predicate state, live only while opts.Pred is set on a tree with an
+	// attribute store: pred is the predicate compiled against the store,
+	// usePush gates the per-node summary skip.
+	pred    *attr.Prog
+	usePush bool
 }
 
 // NewSearcher returns a reusable executor bound to the tree.
@@ -79,25 +86,60 @@ func (s *Searcher) Search(q []float32, opts core.SearchOptions, dst []core.Resul
 	s.opts = opts
 	s.st = core.Stats{}
 	s.tk.Init(opts.K)
-	// The quantized filter applies to plain exact scans only: budgeted
-	// searches keep the float path so "candidates verified" keeps meaning
-	// the same work, and filtered searches stay point-at-a-time. Results
-	// are identical either way (the filter is exact), which the
-	// quantized-vs-float equality tests pin down.
+	run := s.preparePred()
+	// The quantized filter applies to exact scans only: budgeted searches
+	// keep the float path so "candidates verified" keeps meaning the same
+	// work, and Filter-closure searches stay point-at-a-time. A declarative
+	// predicate composes with it (rows are predicate-filtered before the
+	// code kernel). Results are identical either way (the filter is exact),
+	// which the quantized-vs-float equality tests pin down.
 	s.useQuant = s.tree.qz != nil && opts.Filter == nil && opts.Budget <= 0 &&
 		!opts.DisableQuantFilter
-	if s.useQuant {
-		s.tree.qz.Fit(&s.qf, q)
+	if run {
+		if s.useQuant {
+			s.tree.qz.Fit(&s.qf, q)
+		}
+		ip := vec.Dot(q, s.tree.center(0))
+		s.st.IPCount++
+		s.visit(0, ip)
 	}
-	ip := vec.Dot(q, s.tree.center(0))
-	s.st.IPCount++
-	s.visit(0, ip)
 	// Drop caller-owned references so the pooled Searcher cannot pin them.
 	s.q = nil
 	s.opts.Filter = nil
 	s.opts.Profile = nil
 	s.opts.Cancel = nil
+	s.opts.Pred = nil
+	s.pred = nil
+	s.usePush = false
 	return s.tk.DrainInto(dst), s.st
+}
+
+// preparePred resolves opts.Pred against the tree's attribute store. It
+// reports whether the traversal should run at all: a predicate on a tree
+// without attributes constant-folds against the empty payload — it either
+// accepts every point (and is dropped) or rejects every point (empty result,
+// no traversal).
+func (s *Searcher) preparePred() bool {
+	s.pred, s.usePush = nil, false
+	if s.opts.Pred == nil {
+		return true
+	}
+	if s.tree.attrs == nil {
+		return s.opts.Pred.MatchesEmpty()
+	}
+	s.pred = s.tree.attrs.Compile(s.opts.Pred)
+	s.usePush = s.tree.attrSums != nil
+	return true
+}
+
+// accept reports whether id passes the predicate and the caller filter —
+// exactly the acceptance an equivalent Filter closure would compute, which
+// is what keeps pushdown results bitwise equal to post-filtering.
+func (s *Searcher) accept(id int32) bool {
+	if s.pred != nil && !s.pred.Match(id) {
+		return false
+	}
+	return s.opts.Filter == nil || s.opts.Filter(id)
 }
 
 // scratch returns a distance buffer of at least m entries, reused across the
@@ -121,6 +163,17 @@ func (s *Searcher) visit(ni int32, ip float64) {
 	}
 	if s.opts.Canceled() {
 		return // deadline fired: keep what the collector already holds
+	}
+	if s.usePush && s.tree.attrSums.Node(ni, s.pred) == attr.TriNo {
+		// Predicate pushdown: the node's attribute summaries prove no point
+		// under it can match, so the whole subtree is skipped. The skip only
+		// removes points a per-row filter would have rejected anyway, so the
+		// accepted-candidate sequence — and with it the results, budgeted or
+		// not — is unchanged.
+		n := &s.tree.nodes[ni]
+		s.st.FilterSkippedNodes++
+		s.st.FilterSkippedPoints += int64(n.count())
+		return
 	}
 	s.st.NodesVisited++
 	n := &s.tree.nodes[ni]
@@ -199,8 +252,15 @@ func (s *Searcher) scanWithPruning(n *nodeRec, ip float64) {
 		leafStart = time.Now()
 	}
 
-	if s.opts.Filter != nil {
-		verifyDur = s.scanFiltered(n, ip)
+	if s.opts.Filter != nil || s.pred != nil {
+		// Predicate searches with the quantized mirror keep the code kernel:
+		// rows are predicate-filtered first, then code-selected (useQuant
+		// already implies Filter == nil and no budget).
+		if s.pred != nil && s.useQuant && s.tk.Full() {
+			verifyDur = s.scanPredQuant(n, ip)
+		} else {
+			verifyDur = s.scanFiltered(n, ip)
+		}
 		if profiling {
 			s.opts.Profile.Add(core.PhaseVerify, verifyDur)
 			s.opts.Profile.Add(core.PhaseBound, time.Since(leafStart)-verifyDur)
@@ -302,10 +362,11 @@ func (s *Searcher) scanWithPruning(n *nodeRec, ip float64) {
 	}
 }
 
-// scanFiltered is the point-at-a-time path for filtered queries: rejected
-// ids must not cost an inner product nor count against the budget, so the
-// bounds are evaluated per point with the evolving λ, as in Algorithm 5.
-// It returns the time spent on verification for the profile's phase split.
+// scanFiltered is the point-at-a-time path for filtered queries (a Filter
+// closure, a compiled predicate, or both): rejected ids must not cost an
+// inner product nor count against the budget, so the bounds are evaluated per
+// point with the evolving λ, as in Algorithm 5. It returns the time spent on
+// verification for the profile's phase split.
 func (s *Searcher) scanFiltered(n *nodeRec, ip float64) time.Duration {
 	profiling := s.opts.Profile != nil
 	var verifyDur time.Duration
@@ -344,7 +405,7 @@ func (s *Searcher) scanFiltered(n *nodeRec, ip float64) time.Duration {
 			}
 		}
 		id := s.tree.ids[start+i]
-		if !s.opts.Filter(id) {
+		if !s.accept(id) {
 			continue
 		}
 		var t0 time.Time
@@ -358,6 +419,83 @@ func (s *Searcher) scanFiltered(n *nodeRec, ip float64) time.Duration {
 		if profiling {
 			verifyDur += time.Since(t0)
 		}
+	}
+	return verifyDur
+}
+
+// scanPredQuant is the quantized leaf scan for predicate searches: the ball
+// cutoff trims the radius-sorted tail, the remaining rows are filtered by the
+// compiled predicate, the cone bound prunes single survivors, and the integer
+// code kernel (vec.CodeSelectIdx) removes rows whose error-bounded approximate
+// score provably cannot beat the current k-th best, leaving only the remainder
+// for float verification. All bounds prune against the λ snapshot at leaf
+// entry — conservative, as in scanWithPruning — and predicate-with-quant
+// searches are unbudgeted, so results stay bitwise equal to the unquantized
+// filtered scan. Returns the verification time for the profile's phase split.
+func (s *Searcher) scanPredQuant(n *nodeRec, ip float64) time.Duration {
+	var verifyDur time.Duration
+	start := int(n.start)
+	count := int(n.count())
+	lambda := s.tk.Lambda()
+	absIP := math.Abs(ip)
+
+	m := count
+	if !s.opts.DisablePointBall {
+		m = vec.BallCutoff(absIP, s.qnorm, lambda, s.tree.rx[start:start+count])
+		s.st.PrunedPoints += int64(count - m)
+	}
+	useCone := !s.opts.DisablePointCone && n.centerNorm > 0
+	var qcos, qsin float64
+	if useCone {
+		qcos = ip / n.centerNorm
+		qsin = math.Sqrt(math.Max(0, s.sqQnorm-qcos*qcos))
+	}
+	if cap(s.sel) < m {
+		s.sel = make([]int32, 0, m)
+	}
+	sel := s.sel[:0]
+	for i := 0; i < m; i++ {
+		if !s.pred.Match(s.tree.ids[start+i]) {
+			continue
+		}
+		if useCone {
+			sumA := qcos*s.tree.xcos[start+i] - qsin*s.tree.xsin[start+i]
+			sumB := qcos*s.tree.xcos[start+i] + qsin*s.tree.xsin[start+i]
+			var lbCone float64
+			if sumA > 0 && qcos > 0 && s.tree.xcos[start+i] > 0 {
+				lbCone = sumA
+			} else if sumB < 0 {
+				lbCone = -sumB
+			}
+			if lbCone*(1-boundSlack) > lambda {
+				s.st.PrunedPoints++
+				continue
+			}
+		}
+		sel = append(sel, int32(i))
+	}
+	if len(sel) > 0 {
+		d := s.tree.points.D
+		codes := s.tree.codes[start*d : (start+m)*d]
+		before := len(sel)
+		sel = vec.CodeSelectIdx(codes, d, s.qf.W, s.qf.Base, s.qf.InvS, s.qf.Eps,
+			lambda, sel)
+		s.st.PrunedPoints += int64(before - len(sel))
+	}
+	s.sel = sel
+	var t0 time.Time
+	if s.opts.Profile != nil {
+		t0 = time.Now()
+	}
+	for _, i := range sel {
+		pos := start + int(i)
+		v := math.Abs(vec.Dot(s.q, s.tree.points.Row(pos)))
+		s.tk.Push(s.tree.ids[pos], v)
+	}
+	s.st.IPCount += int64(len(sel))
+	s.st.Candidates += int64(len(sel))
+	if s.opts.Profile != nil {
+		verifyDur = time.Since(t0)
 	}
 	return verifyDur
 }

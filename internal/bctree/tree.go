@@ -20,6 +20,7 @@ package bctree
 import (
 	"fmt"
 
+	"p2h/internal/attr"
 	"p2h/internal/exec"
 	"p2h/internal/quant"
 	"p2h/internal/vec"
@@ -101,6 +102,13 @@ type Tree struct {
 	qz    *quant.Quantizer
 	codes []uint8
 
+	// Attribute store and its per-node summaries (AttachAttrs): attrs rows
+	// are shard-local/original data ids (the id space of results), and
+	// attrSums lets visit() skip subtrees a predicate provably cannot
+	// match. Both nil when no attributes are attached.
+	attrs    *attr.Store
+	attrSums *attr.Summaries
+
 	// Free lists of the execution-engine state (internal/exec): Search and
 	// SearchBatch recycle their scratch through these, so steady-state
 	// queries allocate nothing.
@@ -144,6 +152,32 @@ func (t *Tree) height(ni int32) int {
 // Quantized reports whether the tree carries the 8-bit leaf mirror.
 func (t *Tree) Quantized() bool { return t.qz != nil }
 
+// AttachAttrs binds a per-point attribute store (row i = the id the tree
+// reports as result i) and builds the per-node summaries predicate pushdown
+// skips subtrees with. Summaries are derived state: cheap to rebuild, never
+// serialized. Passing nil detaches. The caller must not mutate the store
+// afterwards.
+func (t *Tree) AttachAttrs(st *attr.Store) error {
+	if st == nil {
+		t.attrs, t.attrSums = nil, nil
+		return nil
+	}
+	if st.N() != t.points.N {
+		return fmt.Errorf("bctree: attribute store covers %d rows, index holds %d", st.N(), t.points.N)
+	}
+	infos := make([]attr.NodeInfo, len(t.nodes))
+	for i := range t.nodes {
+		n := &t.nodes[i]
+		infos[i] = attr.NodeInfo{Start: n.start, End: n.end, Left: n.left, Right: n.right}
+	}
+	t.attrs = st
+	t.attrSums = attr.BuildSummaries(st, t.ids, infos)
+	return nil
+}
+
+// Attrs returns the attached attribute store, nil when none.
+func (t *Tree) Attrs() *attr.Store { return t.attrs }
+
 // IndexBytes estimates the memory footprint of the index structure: the
 // packed centers matrix, the node records, the position->id map, the three
 // Θ(n)-size point-level arrays that BC-Tree adds over Ball-Tree (Theorem 6),
@@ -154,6 +188,9 @@ func (t *Tree) IndexBytes() int64 {
 		int64(len(t.ids))*4 + int64(t.points.N)*3*8
 	if t.qz != nil {
 		b += int64(len(t.codes)) + int64(t.points.D)*(4+4+8)
+	}
+	if t.attrs != nil {
+		b += t.attrs.MemBytes() + t.attrSums.MemBytes()
 	}
 	return b
 }

@@ -63,11 +63,16 @@ func newFixture(t *testing.T, tweak func(*Config)) *fixture {
 	f.data = p2h.Dedup(p2h.GenerateDataset("Sift", 1200, 7))
 	f.queries = p2h.GenerateQueries(f.data, 12, 11)
 	f.spec = p2h.Spec{Kind: p2h.KindSharded, Shards: testShards, LeafSize: 25, Seed: 42}
+	attrs := clusterAttrs(f.data.N)
 	dir := t.TempDir()
 
-	// The oracle daemon: the sharded index in one process.
+	// The oracle daemon: the sharded index in one process, with attribute
+	// payloads attached so declarative predicates have something to filter.
 	sharded, err := p2h.New(f.data, f.spec)
 	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p2h.AttachAttributes(sharded, attrs); err != nil {
 		t.Fatal(err)
 	}
 	shardedPath := filepath.Join(dir, "sharded.p2h")
@@ -78,7 +83,8 @@ func newFixture(t *testing.T, tweak func(*Config)) *fixture {
 
 	// The members: shard si's tree is built exactly as Sharded builds it —
 	// the plan's rows, the derived seed — so the cluster serves the same
-	// trees out of process.
+	// trees out of process. Each shard carries its own rows' payloads in
+	// shard-local order, exactly as p2htool cluster split -attrs writes them.
 	f.plan = p2h.ShardPlan(f.data, f.spec)
 	if len(f.plan) != testShards {
 		t.Fatalf("plan has %d shards, want %d", len(f.plan), testShards)
@@ -89,6 +95,13 @@ func newFixture(t *testing.T, tweak func(*Config)) *fixture {
 			Kind: p2h.KindBCTree, LeafSize: f.spec.LeafSize, Seed: f.spec.Seed + int64(si) + 1,
 		})
 		if err != nil {
+			t.Fatal(err)
+		}
+		sub := make([]p2h.PointAttrs, len(part))
+		for i, row := range part {
+			sub[i] = attrs[row]
+		}
+		if err := p2h.AttachAttributes(ix, sub); err != nil {
 			t.Fatal(err)
 		}
 		shardPaths[si] = filepath.Join(dir, fmt.Sprintf("shard%d.p2h", si))
@@ -240,6 +253,74 @@ func TestRouterOracleByteIdentical(t *testing.T) {
 				f.mustEqualResponses("/v1/indexes/trees/search", body)
 			}
 		})
+	}
+}
+
+// clusterAttrs builds the deterministic per-row payloads the fixture attaches
+// to both the sharded oracle and the member shard trees: tags at roughly 1%,
+// 10% and 50% selectivity plus a numeric field, keyed by global row id.
+func clusterAttrs(n int) []p2h.PointAttrs {
+	attrs := make([]p2h.PointAttrs, n)
+	for i := range attrs {
+		var tags []string
+		if i%100 == 0 {
+			tags = append(tags, "hot")
+		}
+		if i%10 == 0 {
+			tags = append(tags, "warm")
+		}
+		if i%2 == 0 {
+			tags = append(tags, "even")
+		}
+		attrs[i] = p2h.PointAttrs{
+			Tags:   tags,
+			Floats: map[string]float64{"score": float64(i%1000) / 1000},
+		}
+	}
+	return attrs
+}
+
+// TestRouterPredOracleByteIdentical proves declarative predicates survive the
+// wire: a filtered search routed through the cluster — serialized in the
+// request body, fanned out to the shard members, merged by the router — must
+// answer byte-identically to the single-daemon sharded oracle, across
+// selectivities from ~1% to everything-matches-nothing.
+func TestRouterPredOracleByteIdentical(t *testing.T) {
+	f := newFixture(t, nil)
+	cases := []struct {
+		name string
+		pred *p2h.Pred
+	}{
+		{"tag_1pct", p2h.TagIs("hot")},
+		{"tag_10pct", p2h.TagIs("warm")},
+		{"tag_50pct", p2h.TagIs("even")},
+		{"range_20pct", p2h.FieldBetween("score", 0.2, 0.4)},
+		{"and", p2h.AllOf(p2h.TagIs("even"), p2h.FieldAtLeast("score", 0.5))},
+		{"or", p2h.OneOf(p2h.TagIs("hot"), p2h.FieldAtMost("score", 0.05))},
+		{"not", p2h.NotOf(p2h.TagIs("even"))},
+		{"empty", p2h.TagIs("no-such-tag")},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			opts := httpapi.SearchOptionsJSON{K: 10, Filter: tc.pred}
+			for qi := 0; qi < f.queries.N; qi++ {
+				body := marshal(t, httpapi.SearchRequest{Query: f.queries.Row(qi), SearchOptionsJSON: opts})
+				f.mustEqualResponses("/v1/indexes/trees/search", body)
+			}
+			queries := make([][]float32, f.queries.N)
+			for qi := range queries {
+				queries[qi] = f.queries.Row(qi)
+			}
+			body := marshal(t, httpapi.BatchSearchRequest{Queries: queries, SearchOptionsJSON: opts})
+			f.mustEqualResponses("/v1/indexes/trees/search_batch", body)
+		})
+	}
+	// Budgeted filtered fan-out exercises the router's budget split together
+	// with the predicate.
+	budgeted := httpapi.SearchOptionsJSON{K: 10, Budget: 150, Filter: p2h.TagIs("warm")}
+	for qi := 0; qi < f.queries.N; qi++ {
+		body := marshal(t, httpapi.SearchRequest{Query: f.queries.Row(qi), SearchOptionsJSON: budgeted})
+		f.mustEqualResponses("/v1/indexes/trees/search", body)
 	}
 }
 

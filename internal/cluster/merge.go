@@ -43,6 +43,8 @@ func addStats(a *httpapi.StatsJSON, b httpapi.StatsJSON) {
 	a.PrunedPoints += b.PrunedPoints
 	a.BucketProbes += b.BucketProbes
 	a.CollabIPs += b.CollabIPs
+	a.FilterSkippedNodes += b.FilterSkippedNodes
+	a.FilterSkippedPoints += b.FilterSkippedPoints
 }
 
 // translateIDs rewrites a shard's local result ids to global ids in place,

@@ -1,5 +1,7 @@
 package core
 
+import "p2h/internal/attr"
+
 // Preference selects the branching order of the tree search
 // (paper Section III-C, "Branch Preference Choice").
 type Preference int
@@ -35,8 +37,24 @@ type SearchOptions struct {
 	Preference Preference
 	// Filter, if non-nil, restricts the search to ids it accepts: rejected
 	// points are neither verified nor counted against the budget. Used for
-	// tombstones (internal/dynamic) and attribute filtering.
+	// tombstones (internal/dynamic) and ad-hoc filtering. Being an opaque
+	// function, it has no wire form and defeats the serving result cache;
+	// prefer Pred for attribute filtering.
 	Filter func(id int32) bool
+	// Pred, if non-nil, restricts the search to points whose attribute
+	// payload satisfies the declarative predicate. Unlike Filter it is
+	// data, not code: it serializes (the p2hd JSON "filter" field and the
+	// cluster router forward it), participates in the serving result cache
+	// via its canonical encoding, and the tree indexes push it down —
+	// per-node attribute summaries skip whole subtrees the predicate
+	// provably cannot match. Results are exactly the ones an equivalent
+	// Filter would produce; rejected points are neither verified nor
+	// counted against the budget. On an index without an attribute store
+	// the predicate constant-folds against the empty payload: it either
+	// accepts everything or nothing. Pred composes with Filter (both must
+	// accept). A Pred must be valid (attr.Pred.Validate) and treated as
+	// immutable once a search has seen it.
+	Pred *attr.Pred
 	// Profile, if non-nil, receives the per-phase time breakdown
 	// (Figure 10). Leaving it nil removes all timing overhead.
 	Profile *Profile

@@ -14,6 +14,14 @@ type Stats struct {
 	PrunedPoints  int64 // leaf points skipped by point-level bounds
 	BucketProbes  int64 // hash-table probes (NH/FH only)
 	CollabIPs     int64 // O(1) center inner products obtained via Lemma 2
+
+	// Predicate-pushdown counters (Pred searches on attribute-carrying
+	// trees). FilterSkippedNodes counts subtrees skipped because the
+	// per-node attribute summaries proved the predicate cannot match;
+	// FilterSkippedPoints totals the points under them — work a post-filter
+	// scan would have paid per row.
+	FilterSkippedNodes  int64
+	FilterSkippedPoints int64
 }
 
 // Add accumulates o into s.
@@ -26,6 +34,8 @@ func (s *Stats) Add(o Stats) {
 	s.PrunedPoints += o.PrunedPoints
 	s.BucketProbes += o.BucketProbes
 	s.CollabIPs += o.CollabIPs
+	s.FilterSkippedNodes += o.FilterSkippedNodes
+	s.FilterSkippedPoints += o.FilterSkippedPoints
 }
 
 // Phase identifies one bucket of the Figure 10 time-profile breakdown.

@@ -12,6 +12,7 @@ package dynamic
 import (
 	"fmt"
 
+	"p2h/internal/attr"
 	"p2h/internal/bctree"
 	"p2h/internal/core"
 	"p2h/internal/vec"
@@ -55,6 +56,13 @@ type Index struct {
 	treeIDs []int32      // tree-local id -> handle
 	treeDel int          // tombstones inside the tree snapshot
 	buffer  []int32      // handles inserted since the last rebuild
+
+	// attrs holds one attribute payload per handle, aligned with rows; nil
+	// until the first attributed insert, then padded with empty payloads so
+	// indexing stays direct. Predicates evaluate per handle at query time —
+	// the mutable delta has no per-node summaries to push down into, which
+	// keeps inserts O(1); the static kinds own the pushdown path.
+	attrs []attr.Point
 
 	// background suppresses inline rebuilds; a serving engine folds the
 	// delta off-thread instead (see compact.go).
@@ -100,6 +108,26 @@ func (ix *Index) Pending() int { return len(ix.buffer) + ix.treeDel }
 
 // Insert adds a lifted vector and returns its stable handle.
 func (ix *Index) Insert(x []float32) int32 {
+	handle := ix.insertRow(x)
+	if ix.attrs != nil {
+		ix.attrs = append(ix.attrs, attr.Point{})
+	}
+	ix.maybeRebuild()
+	return handle
+}
+
+// InsertWithAttrs adds a lifted vector with an attribute payload and returns
+// its stable handle. The index keeps the payload (callers must not mutate
+// it); predicate searches evaluate it per handle.
+func (ix *Index) InsertWithAttrs(x []float32, at attr.Point) int32 {
+	ix.ensureAttrs() // pad earlier unattributed rows before this one lands
+	handle := ix.insertRow(x)
+	ix.attrs = append(ix.attrs, at)
+	ix.maybeRebuild()
+	return handle
+}
+
+func (ix *Index) insertRow(x []float32) int32 {
 	if len(x) != ix.dim {
 		panic(fmt.Sprintf("dynamic: vector dimension %d != %d", len(x), ix.dim))
 	}
@@ -109,8 +137,43 @@ func (ix *Index) Insert(x []float32) int32 {
 	ix.alive = append(ix.alive, true)
 	ix.live++
 	ix.buffer = append(ix.buffer, handle)
-	ix.maybeRebuild()
 	return handle
+}
+
+// ensureAttrs pads the attribute column with empty payloads up to the current
+// row count, so it stays handle-indexed.
+func (ix *Index) ensureAttrs() {
+	for len(ix.attrs) < ix.rows.N {
+		ix.attrs = append(ix.attrs, attr.Point{})
+	}
+}
+
+// HasAttrs reports whether any handle ever carried an attribute payload.
+func (ix *Index) HasAttrs() bool { return ix.attrs != nil }
+
+// AttrAt returns handle's attribute payload (the zero Point when none was
+// recorded). The handle need not be live; dead handles report what they held.
+func (ix *Index) AttrAt(handle int32) attr.Point {
+	if int(handle) < len(ix.attrs) {
+		return ix.attrs[handle]
+	}
+	return attr.Point{}
+}
+
+// SetAttrs replaces the whole attribute column: points[i] becomes handle i's
+// payload. len(points) must equal Handles(); pass nil to detach. Used by
+// bulk loads and container restores.
+func (ix *Index) SetAttrs(points []attr.Point) error {
+	if points == nil {
+		ix.attrs = nil
+		return nil
+	}
+	if len(points) != ix.rows.N {
+		return fmt.Errorf("dynamic: attribute column covers %d handles, index has issued %d",
+			len(points), ix.rows.N)
+	}
+	ix.attrs = points
+	return nil
 }
 
 // Delete removes a handle. It reports whether the handle was live.
@@ -196,15 +259,24 @@ func (ix *Index) Rebuild() {
 // Search answers a top-k P2HNNS query over the live set: the tree snapshot
 // (with tombstones filtered) plus an exhaustive pass over the buffer.
 // Results carry stable handles. opts.Filter composes with the liveness
-// filter and receives handles.
+// filter and receives handles. opts.Pred is evaluated per handle against the
+// stored attribute payloads — before the user filter, matching the static
+// kinds' acceptance order — and stripped from the options the snapshot tree
+// sees (the tree's rows are transient, its summaries would be stale after
+// one rebuild; the liveness closure already forces the per-row path).
 func (ix *Index) Search(q []float32, opts core.SearchOptions) ([]core.Result, core.Stats) {
 	opts = opts.Normalized()
 	var st core.Stats
 	tk := core.NewTopK(opts.K)
 
 	userFilter := opts.Filter
+	pred := opts.Pred
+	opts.Filter, opts.Pred = nil, nil
 	accepts := func(handle int32) bool {
 		if !ix.alive[handle] {
+			return false
+		}
+		if pred != nil && !pred.Matches(ix.AttrAt(handle)) {
 			return false
 		}
 		return userFilter == nil || userFilter(handle)

@@ -10,6 +10,11 @@ package dynamic
 //	header:  magic "P2HWL001" | dim u32 | base u64 | crc32c(previous 20 bytes)
 //	insert:  op=1 | handle u32 | dim float32s | crc32c(op..vector)
 //	delete:  op=2 | handle u32 |               crc32c(op..handle)
+//	insert+: op=3 | handle u32 | dim float32s | alen u32 | alen attr bytes | crc32c(op..attrs)
+//
+// op=3 is an insert carrying an attribute payload (internal/attr's point wire
+// encoding, opaque to this layer); alen is bounded by maxWALAttrLen so a
+// corrupt length fails instead of sizing a huge read.
 //
 // dim is the raw point width every insert record carries; base is the
 // index's handle count (rows ever inserted) when the log was created or last
@@ -44,6 +49,10 @@ import (
 const (
 	WALOpInsert byte = 1
 	WALOpDelete byte = 2
+	// WALOpInsertAttrs is an insert whose record additionally carries the
+	// point's attribute payload (length-prefixed, encoding owned by
+	// internal/attr).
+	WALOpInsertAttrs byte = 3
 )
 
 var walMagic = []byte("P2HWL001")
@@ -54,6 +63,10 @@ const walHeaderLen = 8 + 4 + 8 + 4
 // maxWALDim bounds the header-declared vector width, mirroring the snapshot
 // serializer's guard, so a corrupt header fails instead of sizing huge reads.
 const maxWALDim = 1 << 20
+
+// maxWALAttrLen bounds the attribute payload of one op=3 record; it matches
+// internal/attr's own encoded-point cap.
+const maxWALAttrLen = 1 << 20
 
 // WALSync is the log's fsync policy.
 type WALSync int
@@ -141,6 +154,12 @@ func WALInsertRecordLen(dim int) int64 { return walRecordLen(WALOpInsert, dim) }
 // WALDeleteRecordLen reports the encoded size of a delete record.
 func WALDeleteRecordLen() int64 { return walRecordLen(WALOpDelete, 0) }
 
+// WALInsertAttrsRecordLen reports the encoded size of an op=3 record carrying
+// an attribute payload of attrLen bytes.
+func WALInsertAttrsRecordLen(dim, attrLen int) int64 {
+	return walRecordLen(WALOpInsert, dim) + 4 + int64(attrLen)
+}
+
 // WALHeaderLen reports the encoded header size.
 func WALHeaderLen() int64 { return walHeaderLen }
 
@@ -174,11 +193,13 @@ func decodeWALHeader(b []byte) (WALHeader, error) {
 
 // DecodeWAL decodes a log stream, calling emit for every intact record in
 // order. Structural corruption — bad magic, checksum mismatch, unknown
-// opcode — returns an error wrapping binio.ErrCorrupt; an incomplete final
-// record (a torn append from a crash) is not an error and is reported via
-// WALReplay.TornBytes. emit may be nil to count records only; a non-nil
-// error from emit stops the decode and is returned as-is.
-func DecodeWAL(r io.Reader, emit func(op byte, handle int32, vec []float32) error) (WALReplay, error) {
+// opcode, an oversized attribute length — returns an error wrapping
+// binio.ErrCorrupt; an incomplete final record (a torn append from a crash)
+// is not an error and is reported via WALReplay.TornBytes. emit may be nil to
+// count records only; a non-nil error from emit stops the decode and is
+// returned as-is. attrs is the raw attribute payload of an op=3 record (nil
+// otherwise), valid only for the duration of the call.
+func DecodeWAL(r io.Reader, emit func(op byte, handle int32, vec []float32, attrs []byte) error) (WALReplay, error) {
 	var rep WALReplay
 	head := make([]byte, walHeaderLen)
 	if n, err := io.ReadFull(r, head); err != nil {
@@ -193,7 +214,8 @@ func DecodeWAL(r io.Reader, emit func(op byte, handle int32, vec []float32) erro
 	}
 	rep.Header = h
 
-	// One reusable buffer sized for the larger record kind.
+	// One reusable buffer, sized for the fixed record kinds up front and
+	// grown on demand for attribute payloads.
 	rec := make([]byte, walRecordLen(WALOpInsert, h.Dim))
 	vec := make([]float32, h.Dim)
 	for {
@@ -204,18 +226,54 @@ func DecodeWAL(r io.Reader, emit func(op byte, handle int32, vec []float32) erro
 			return rep, err
 		}
 		op := rec[0]
-		if op != WALOpInsert && op != WALOpDelete {
+		if op != WALOpInsert && op != WALOpDelete && op != WALOpInsertAttrs {
 			return rep, fmt.Errorf("%w: wal record %d: unknown opcode %d", binio.ErrCorrupt, rep.Records, op)
 		}
-		body := rec[:walRecordLen(op, h.Dim)]
-		if n, err := io.ReadFull(r, body[1:]); err != nil {
-			if err == io.EOF || err == io.ErrUnexpectedEOF {
-				// A prefix of the final record: a torn append, never
-				// acknowledged, safe to drop.
-				rep.TornBytes = int64(1 + n)
-				return rep, nil
+		var body []byte
+		if op == WALOpInsertAttrs {
+			// Variable-length record: read up to and including the attribute
+			// length, then the payload and checksum. A cut anywhere is a torn
+			// tail; only a record whose bytes are all present can fail the
+			// checksum.
+			pre := int(walRecordLen(WALOpInsert, h.Dim)) // op+handle+vec+alen, alen in the crc slot
+			if n, err := io.ReadFull(r, rec[1:pre]); err != nil {
+				if err == io.EOF || err == io.ErrUnexpectedEOF {
+					rep.TornBytes = int64(1 + n)
+					return rep, nil
+				}
+				return rep, err
 			}
-			return rep, err
+			alen := int(binary.LittleEndian.Uint32(rec[pre-4:]))
+			if alen <= 0 || alen > maxWALAttrLen {
+				return rep, fmt.Errorf("%w: wal record %d: attribute payload length %d out of range",
+					binio.ErrCorrupt, rep.Records, alen)
+			}
+			total := pre + alen + 4
+			if cap(rec) < total {
+				grown := make([]byte, total)
+				copy(grown, rec[:pre])
+				rec = grown
+			}
+			rec = rec[:cap(rec)]
+			if n, err := io.ReadFull(r, rec[pre:total]); err != nil {
+				if err == io.EOF || err == io.ErrUnexpectedEOF {
+					rep.TornBytes = int64(pre + n)
+					return rep, nil
+				}
+				return rep, err
+			}
+			body = rec[:total]
+		} else {
+			body = rec[:walRecordLen(op, h.Dim)]
+			if n, err := io.ReadFull(r, body[1:]); err != nil {
+				if err == io.EOF || err == io.ErrUnexpectedEOF {
+					// A prefix of the final record: a torn append, never
+					// acknowledged, safe to drop.
+					rep.TornBytes = int64(1 + n)
+					return rep, nil
+				}
+				return rep, err
+			}
 		}
 		crcOff := len(body) - 4
 		if got, want := binary.LittleEndian.Uint32(body[crcOff:]), binio.Checksum(body[:crcOff]); got != want {
@@ -227,14 +285,18 @@ func DecodeWAL(r io.Reader, emit func(op byte, handle int32, vec []float32) erro
 			return rep, fmt.Errorf("%w: wal record %d: negative handle %d", binio.ErrCorrupt, rep.Records, handle)
 		}
 		var v []float32
-		if op == WALOpInsert {
+		var attrs []byte
+		if op == WALOpInsert || op == WALOpInsertAttrs {
 			for i := range vec {
 				vec[i] = math.Float32frombits(binary.LittleEndian.Uint32(body[5+i*4:]))
 			}
 			v = vec
 		}
+		if op == WALOpInsertAttrs {
+			attrs = body[5+h.Dim*4+4 : crcOff]
+		}
 		if emit != nil {
-			if err := emit(op, handle, v); err != nil {
+			if err := emit(op, handle, v, attrs); err != nil {
 				return rep, err
 			}
 		}
@@ -246,7 +308,7 @@ func DecodeWAL(r io.Reader, emit func(op byte, handle int32, vec []float32) erro
 // returns os.ErrNotExist; an empty file decodes as zero records under a
 // zero-value header (the state a crash can leave mid-truncation, after the
 // snapshot already absorbed every logged record).
-func DecodeWALFile(path string, emit func(op byte, handle int32, vec []float32) error) (WALReplay, error) {
+func DecodeWALFile(path string, emit func(op byte, handle int32, vec []float32, attrs []byte) error) (WALReplay, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return WALReplay{}, err
@@ -454,6 +516,34 @@ func (w *WAL) AppendInsert(handle int32, p []float32) error {
 	for i, v := range p {
 		binary.LittleEndian.PutUint32(b[5+i*4:], math.Float32bits(v))
 	}
+	binary.LittleEndian.PutUint32(b[n-4:], binio.Checksum(b[:n-4]))
+	return w.append(b)
+}
+
+// AppendInsertAttrs logs an applied insert that carries an attribute payload
+// (the point wire encoding of internal/attr, opaque here). Same durability
+// contract as AppendInsert.
+func (w *WAL) AppendInsertAttrs(handle int32, p []float32, attrs []byte) error {
+	if len(p) != w.dim {
+		return fmt.Errorf("dynamic: wal %s: insert of width %d, log holds %d", w.path, len(p), w.dim)
+	}
+	if len(attrs) == 0 || len(attrs) > maxWALAttrLen {
+		return fmt.Errorf("dynamic: wal %s: attribute payload of %d bytes out of range (1..%d)",
+			w.path, len(attrs), maxWALAttrLen)
+	}
+	n := WALInsertAttrsRecordLen(w.dim, len(attrs))
+	if int64(cap(w.buf)) < n {
+		w.buf = make([]byte, n)
+	}
+	b := w.buf[:n]
+	b[0] = WALOpInsertAttrs
+	binary.LittleEndian.PutUint32(b[1:], uint32(handle))
+	for i, v := range p {
+		binary.LittleEndian.PutUint32(b[5+i*4:], math.Float32bits(v))
+	}
+	alenOff := 5 + w.dim*4
+	binary.LittleEndian.PutUint32(b[alenOff:], uint32(len(attrs)))
+	copy(b[alenOff+4:], attrs)
 	binary.LittleEndian.PutUint32(b[n-4:], binio.Checksum(b[:n-4]))
 	return w.append(b)
 }

@@ -58,7 +58,7 @@ func appendOps(t *testing.T, w *WAL, ops []walOp) {
 func decodeAll(t *testing.T, path string) ([]walOp, WALReplay) {
 	t.Helper()
 	var got []walOp
-	rep, err := DecodeWALFile(path, func(op byte, handle int32, vec []float32) error {
+	rep, err := DecodeWALFile(path, func(op byte, handle int32, vec []float32, attrs []byte) error {
 		got = append(got, walOp{op: op, handle: handle, vec: append([]float32(nil), vec...)})
 		return nil
 	})
@@ -166,7 +166,7 @@ func TestWALTornTail(t *testing.T) {
 			t.Fatal(err)
 		}
 		var n int
-		rep, err := DecodeWALFile(torn, func(byte, int32, []float32) error { n++; return nil })
+		rep, err := DecodeWALFile(torn, func(byte, int32, []float32, []byte) error { n++; return nil })
 		if err != nil {
 			t.Fatalf("cut %d: decode: %v", cut, err)
 		}
@@ -188,7 +188,7 @@ func TestWALTornTail(t *testing.T) {
 		}
 		w2.Close()
 		n = 0
-		rep, err = DecodeWALFile(torn, func(byte, int32, []float32) error { n++; return nil })
+		rep, err = DecodeWALFile(torn, func(byte, int32, []float32, []byte) error { n++; return nil })
 		if err != nil || rep.TornBytes != 0 || n != len(ops) {
 			t.Fatalf("cut %d: after repair decode: n=%d torn=%d err=%v", cut, n, rep.TornBytes, err)
 		}
@@ -244,7 +244,7 @@ func TestWALShortFileIsEmpty(t *testing.T) {
 		if err := os.WriteFile(path, make([]byte, size), 0o644); err != nil {
 			t.Fatal(err)
 		}
-		rep, err := DecodeWALFile(path, func(byte, int32, []float32) error {
+		rep, err := DecodeWALFile(path, func(byte, int32, []float32, []byte) error {
 			t.Fatalf("size %d: emit called", size)
 			return nil
 		})
@@ -363,7 +363,7 @@ func FuzzWALDecode(f *testing.F) {
 	f.Fuzz(func(t *testing.T, data []byte) {
 		var n int
 		var vecWidths []int
-		rep, err := DecodeWAL(bytes.NewReader(data), func(op byte, handle int32, vec []float32) error {
+		rep, err := DecodeWAL(bytes.NewReader(data), func(op byte, handle int32, vec []float32, attrs []byte) error {
 			n++
 			if op == WALOpInsert {
 				vecWidths = append(vecWidths, len(vec))

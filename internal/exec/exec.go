@@ -21,9 +21,14 @@ type Searcher interface {
 // semantics (the candidate budget is defined relative to a single query's
 // visit order), and Filter/Profile/Cancel carry per-query state the shared
 // walk cannot split (a cancellation signal belongs to one caller's deadline,
-// not to every query sharing the arena walk).
+// not to every query sharing the arena walk). Pred likewise takes the
+// per-query path: each fallback Searcher compiles the predicate against the
+// tree's attribute store and runs the pushdown natively, which the shared
+// walk's per-node active sets have no slot for — and per-query results are
+// bitwise what the batch would produce anyway.
 func Eligible(opts core.SearchOptions) bool {
-	return opts.Budget <= 0 && opts.Filter == nil && opts.Profile == nil && opts.Cancel == nil
+	return opts.Budget <= 0 && opts.Filter == nil && opts.Pred == nil &&
+		opts.Profile == nil && opts.Cancel == nil
 }
 
 // Fallback answers queries one at a time through s — the per-query path for

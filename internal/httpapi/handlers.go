@@ -474,7 +474,12 @@ func (a *API) handleInsert(w http.ResponseWriter, r *http.Request) {
 			core.ErrDimMismatch, len(req.Point), e.dim))
 		return
 	}
-	h, err := e.srv.Insert(req.Point)
+	var h int32
+	if req.Attrs != nil && !req.Attrs.Empty() {
+		h, err = e.srv.InsertWithAttrs(req.Point, *req.Attrs)
+	} else {
+		h, err = e.srv.Insert(req.Point)
+	}
 	if err != nil {
 		a.fail(w, err)
 		return

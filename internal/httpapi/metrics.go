@@ -224,6 +224,10 @@ var indexCounters = []struct {
 		func(i IndexInfoResponse) int64 { return int64(i.Stats.BudgetCeiling) }},
 	{"p2hd_index_backlog", "Admitted-but-unfinished requests, by index.", "gauge",
 		func(i IndexInfoResponse) int64 { return i.Stats.Backlog }},
+	{"p2hd_index_filter_skipped_nodes_total", "Whole subtrees pruned by predicate pushdown, by index.", "counter",
+		func(i IndexInfoResponse) int64 { return i.Stats.FilterSkippedNodes }},
+	{"p2hd_index_filter_skipped_points_total", "Points under pushdown-pruned subtrees (post-filter work avoided), by index.", "counter",
+		func(i IndexInfoResponse) int64 { return i.Stats.FilterSkippedPoints }},
 }
 
 // walCounters are the per-index series that only exist for indexes with a

@@ -27,6 +27,12 @@ type SearchOptionsJSON struct {
 	DisablePointBall bool `json:"disable_point_ball,omitempty"`
 	DisablePointCone bool `json:"disable_point_cone,omitempty"`
 	DisableCollabIP  bool `json:"disable_collab_ip,omitempty"`
+	// Filter is a declarative attribute predicate (p2h.Pred's JSON form:
+	// tag / any_tag / field+min/max / and / or / not) restricting the search
+	// to matching points. Unlike an in-process Filter closure it survives
+	// the network boundary, stays cacheable, and the tree kinds push it down
+	// into traversal.
+	Filter *p2h.Pred `json:"filter,omitempty"`
 	// TimeoutMS is the client's deadline for the whole request in
 	// milliseconds, capped by the daemon's max_timeout. Zero applies the
 	// daemon's default. A request that misses its deadline answers 504 with
@@ -58,6 +64,12 @@ func (o SearchOptionsJSON) toOptions() (core.SearchOptions, error) {
 	}
 	if o.TimeoutMS < 0 {
 		return opts, fmt.Errorf("%w: negative timeout_ms %d", errBadRequest, o.TimeoutMS)
+	}
+	if o.Filter != nil {
+		if err := o.Filter.Validate(); err != nil {
+			return opts, fmt.Errorf("%w: filter: %v", errBadRequest, err)
+		}
+		opts.Pred = o.Filter
 	}
 	return opts, nil
 }
@@ -114,18 +126,24 @@ type StatsJSON struct {
 	PrunedPoints  int64 `json:"pruned_points"`
 	BucketProbes  int64 `json:"bucket_probes"`
 	CollabIPs     int64 `json:"collab_ips"`
+	// FilterSkipped* count whole subtrees (and the points under them) a
+	// pushed-down predicate proved unmatchable without visiting.
+	FilterSkippedNodes  int64 `json:"filter_skipped_nodes,omitempty"`
+	FilterSkippedPoints int64 `json:"filter_skipped_points,omitempty"`
 }
 
 func toStatsJSON(s core.Stats) StatsJSON {
 	return StatsJSON{
-		IPCount:       s.IPCount,
-		Candidates:    s.Candidates,
-		NodesVisited:  s.NodesVisited,
-		LeavesVisited: s.LeavesVisited,
-		PrunedNodes:   s.PrunedNodes,
-		PrunedPoints:  s.PrunedPoints,
-		BucketProbes:  s.BucketProbes,
-		CollabIPs:     s.CollabIPs,
+		IPCount:             s.IPCount,
+		Candidates:          s.Candidates,
+		NodesVisited:        s.NodesVisited,
+		LeavesVisited:       s.LeavesVisited,
+		PrunedNodes:         s.PrunedNodes,
+		PrunedPoints:        s.PrunedPoints,
+		BucketProbes:        s.BucketProbes,
+		CollabIPs:           s.CollabIPs,
+		FilterSkippedNodes:  s.FilterSkippedNodes,
+		FilterSkippedPoints: s.FilterSkippedPoints,
 	}
 }
 
@@ -157,9 +175,13 @@ type BatchSearchResponse struct {
 	Stats   StatsJSON      `json:"stats"`
 }
 
-// InsertRequest adds one raw point (dim values) to a mutable index.
+// InsertRequest adds one raw point (dim values) to a mutable index,
+// optionally with an attribute payload predicates can filter on.
 type InsertRequest struct {
 	Point []float32 `json:"point"`
+	// Attrs carries the point's tags and numeric fields; with a WAL
+	// attached the payload is journaled alongside the vector.
+	Attrs *p2h.PointAttrs `json:"attrs,omitempty"`
 }
 
 // InsertResponse carries the stable handle Insert assigned.
@@ -226,6 +248,11 @@ type ServerStatsJSON struct {
 	DegradedQueries int64 `json:"degraded_queries"`
 	BudgetCeiling   int   `json:"budget_ceiling"`
 	Backlog         int64 `json:"backlog"`
+	// FilterSkipped* accumulate predicate-pushdown pruning across every
+	// search the index actually ran: whole subtrees the per-node attribute
+	// summaries proved could not match, and the points under them.
+	FilterSkippedNodes  int64 `json:"filter_skipped_nodes"`
+	FilterSkippedPoints int64 `json:"filter_skipped_points"`
 }
 
 func toServerStatsJSON(s p2h.ServerStats) ServerStatsJSON {
@@ -245,6 +272,9 @@ func toServerStatsJSON(s p2h.ServerStats) ServerStatsJSON {
 		DegradedQueries: s.DegradedQueries,
 		BudgetCeiling:   s.BudgetCeiling,
 		Backlog:         s.Backlog,
+
+		FilterSkippedNodes:  s.FilterSkippedNodes,
+		FilterSkippedPoints: s.FilterSkippedPoints,
 	}
 }
 

@@ -10,17 +10,25 @@ import (
 
 // optsKey is the cache-relevant projection of SearchOptions: every field
 // that changes what Search returns, none that doesn't (Filter and Profile
-// make a query uncacheable and never reach the cache).
+// make a query uncacheable and never reach the cache). A declarative Pred
+// stays cacheable — its canonical encoding keys the entry, so two
+// structurally equal predicates share one slot while an opaque Filter
+// closure never could.
 type optsKey struct {
 	k, budget                int
 	preference               core.Preference
 	noBall, noCone, noCollab bool
+	pred                     string // Pred.Canon(); "" when unfiltered
 }
 
 func makeOptsKey(o core.SearchOptions) optsKey {
 	budget := o.Budget
 	if budget < 0 {
 		budget = 0 // any non-positive budget means unlimited; one key for all
+	}
+	pred := ""
+	if o.Pred != nil {
+		pred = o.Pred.Canon()
 	}
 	return optsKey{
 		k:          o.K,
@@ -29,6 +37,7 @@ func makeOptsKey(o core.SearchOptions) optsKey {
 		noBall:     o.DisablePointBall,
 		noCone:     o.DisablePointCone,
 		noCollab:   o.DisableCollabIP,
+		pred:       pred,
 	}
 }
 
@@ -62,6 +71,11 @@ func hashKey(q []float32, ok optsKey) uint64 {
 		flags |= 4
 	}
 	mix(flags, 1)
+	mix(uint64(len(ok.pred)), 4)
+	for i := 0; i < len(ok.pred); i++ {
+		h ^= uint64(ok.pred[i])
+		h *= prime64
+	}
 	return h
 }
 

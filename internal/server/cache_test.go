@@ -8,6 +8,7 @@ import (
 
 	"testing"
 
+	"p2h/internal/attr"
 	"p2h/internal/core"
 )
 
@@ -126,6 +127,57 @@ func TestHashKeySensitivity(t *testing.T) {
 	ok3.noCone = true
 	if hashKey(q, ok3) == h {
 		t.Fatal("ablation flag not reflected in hash")
+	}
+}
+
+func TestOptsKeyPredCanonical(t *testing.T) {
+	a := makeOptsKey(core.SearchOptions{K: 3, Pred: &attr.Pred{Tag: "hot"}})
+	b := makeOptsKey(core.SearchOptions{K: 3, Pred: &attr.Pred{Tag: "hot"}})
+	if a != b {
+		t.Fatalf("equal predicates behind distinct pointers keyed differently: %+v vs %+v", a, b)
+	}
+	if c := makeOptsKey(core.SearchOptions{K: 3, Pred: &attr.Pred{Tag: "cold"}}); a == c {
+		t.Fatal("different predicates share a key")
+	}
+	plain := makeOptsKey(core.SearchOptions{K: 3})
+	if a == plain {
+		t.Fatal("filtered and unfiltered searches share a key")
+	}
+	q := []float32{1, 0, 0.5}
+	if hashKey(q, a) == hashKey(q, plain) {
+		t.Fatal("predicate not reflected in hash")
+	}
+}
+
+// TestCachePredicateHit is the regression for predicate cacheability: a
+// repeated filtered query must be served from the cache (keyed by the
+// predicate's canonical encoding, not its pointer), while queries with a
+// different predicate — or none — must not.
+func TestCachePredicateHit(t *testing.T) {
+	v := &versionIndex{val: 1}
+	e := New(v, nil, Config{Workers: 1, CacheEntries: 16})
+	defer e.Close()
+
+	q := []float32{1, 0, 0}
+	hot := func() core.SearchOptions {
+		// A fresh Pred value every call: a hit proves canonical keying.
+		return core.SearchOptions{K: 1, Pred: &attr.Pred{Tag: "hot"}}
+	}
+	first, _ := e.Search(q, hot())
+	again, _ := e.Search(q, hot())
+	if st := e.Stats(); st.CacheHits != 1 {
+		t.Fatalf("repeated predicate query missed the cache: hits=%d", st.CacheHits)
+	}
+	if len(first) != 1 || len(again) != 1 || first[0] != again[0] {
+		t.Fatalf("cached filtered answer differs: %v vs %v", first, again)
+	}
+	e.Search(q, core.SearchOptions{K: 1, Pred: &attr.Pred{Tag: "cold"}})
+	if st := e.Stats(); st.CacheHits != 1 {
+		t.Fatalf("different predicate served a cached entry: hits=%d", st.CacheHits)
+	}
+	e.Search(q, core.SearchOptions{K: 1})
+	if st := e.Stats(); st.CacheHits != 1 {
+		t.Fatalf("unfiltered query served a filtered entry: hits=%d", st.CacheHits)
 	}
 }
 

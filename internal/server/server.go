@@ -39,11 +39,13 @@ package server
 import (
 	"context"
 	"errors"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"p2h/internal/attr"
 	"p2h/internal/core"
 	"p2h/internal/faultinject"
 	"p2h/internal/vec"
@@ -75,6 +77,13 @@ type Mutator interface {
 	Delete(handle int32) bool
 }
 
+// AttrMutator is the optional attributed write surface of a mutable index:
+// an insert that also binds a per-point attribute payload (p2h.Dynamic
+// exposes it). Engines probe for it with a type assertion on the Mutator.
+type AttrMutator interface {
+	InsertWithAttrs(p []float32, at attr.Point) int32
+}
+
 // Journal is a durability sink for applied mutations. The engine appends
 // every applied Insert/Delete — under the same lock that serialized the
 // mutation, so the log order is the apply order — and reports the append
@@ -86,6 +95,14 @@ type Journal interface {
 	AppendInsert(handle int32, p []float32) error
 	// AppendDelete logs an applied delete of a previously live handle.
 	AppendDelete(handle int32) error
+}
+
+// AttrJournal is the optional attributed append surface of a Journal: an
+// insert record that carries the point's attribute payload, so a replay
+// restores both. A Journal without it rejects attributed inserts rather
+// than silently logging them payload-less.
+type AttrJournal interface {
+	AppendInsertAttrs(handle int32, p []float32, at attr.Point) error
 }
 
 // Compactor is the optional background-compaction surface of a mutable
@@ -192,6 +209,13 @@ type Stats struct {
 	DegradedQueries int64 // searches whose budget the degradation ceiling clamped
 	Backlog         int64 // admitted-but-unfinished requests right now
 	BudgetCeiling   int   // current degradation cap (zero: serving exact)
+
+	// Predicate-pushdown totals, accumulated over every search the index
+	// actually ran (cache hits replay an answer without re-pruning): whole
+	// subtrees the per-node attribute summaries proved could not match, and
+	// the points under them.
+	FilterSkippedNodes  int64
+	FilterSkippedPoints int64
 }
 
 // request is one in-flight search; done is closed exactly once (guarded by
@@ -259,6 +283,7 @@ type Engine struct {
 	stopComp  chan struct{}  // closed by the first Drain
 
 	queries, batchCount, hits, misses, inserts, deletes, compactions atomic.Int64
+	fltSkipNodes, fltSkipPoints                                      atomic.Int64
 
 	// Overload state (see overload.go): the admitted-but-unfinished request
 	// count, shed/expired/panic counters, the smoothed per-query service
@@ -413,6 +438,46 @@ func (e *Engine) Insert(p []float32) (int32, error) {
 	return h, err
 }
 
+// InsertWithAttrs adds a point with an attribute payload through the
+// mutation surface, serialized against searches. It requires the index's
+// mutator to expose AttrMutator and, when a Journal is configured, the
+// journal to expose AttrJournal — otherwise ErrImmutable respectively an
+// error, never a silently dropped payload. Durability semantics match
+// Insert.
+func (e *Engine) InsertWithAttrs(p []float32, at attr.Point) (int32, error) {
+	if e.mut == nil {
+		return 0, ErrImmutable
+	}
+	am, ok := e.mut.(AttrMutator)
+	if !ok {
+		return 0, ErrImmutable
+	}
+	var aj AttrJournal
+	if e.journal != nil {
+		if aj, ok = e.journal.(AttrJournal); !ok {
+			return 0, fmt.Errorf("server: journal %T cannot log attributed inserts", e.journal)
+		}
+	}
+	h, err := func() (int32, error) {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		h := am.InsertWithAttrs(p, at)
+		e.epoch.Add(1)
+		if aj != nil {
+			if err := aj.AppendInsertAttrs(h, p, at); err != nil {
+				return h, err
+			}
+		}
+		e.inserts.Add(1)
+		e.wakeCompactor()
+		return h, nil
+	}()
+	if err == nil && e.durable != nil {
+		err = e.durable.WaitDurable()
+	}
+	return h, err
+}
+
 // Delete removes a handle through the mutation surface, serialized against
 // searches. It reports whether the handle was live. Journal errors behave
 // as in Insert.
@@ -521,6 +586,20 @@ func (e *Engine) Stats() Stats {
 		DegradedQueries: e.degradedQueries.Load(),
 		Backlog:         e.backlog.Load(),
 		BudgetCeiling:   int(e.budgetCeiling.Load()),
+
+		FilterSkippedNodes:  e.fltSkipNodes.Load(),
+		FilterSkippedPoints: e.fltSkipPoints.Load(),
+	}
+}
+
+// noteFilterStats folds one fresh search's predicate-pushdown pruning into
+// the engine totals; answers replayed from the cache pass nothing here.
+func (e *Engine) noteFilterStats(st core.Stats) {
+	if st.FilterSkippedNodes != 0 {
+		e.fltSkipNodes.Add(st.FilterSkippedNodes)
+	}
+	if st.FilterSkippedPoints != 0 {
+		e.fltSkipPoints.Add(st.FilterSkippedPoints)
 	}
 }
 
@@ -858,7 +937,8 @@ func sameBatchOpts(a, b core.SearchOptions) bool {
 	return a.K == b.K && a.Budget == b.Budget && a.Preference == b.Preference &&
 		a.DisablePointBall == b.DisablePointBall &&
 		a.DisablePointCone == b.DisablePointCone &&
-		a.DisableCollabIP == b.DisableCollabIP
+		a.DisableCollabIP == b.DisableCollabIP &&
+		a.Pred.Equal(b.Pred)
 }
 
 // runGroup answers one options-group of cache misses through the native
@@ -900,6 +980,7 @@ func (e *Engine) runGroup(group []*request, opts core.SearchOptions, ws *workerS
 	}()
 	ok := makeOptsKey(opts)
 	for i, r := range group {
+		e.noteFilterStats(sts[i])
 		if e.cache != nil {
 			e.cache.put(r.hash, r.canon, ok, epoch, res[i], sts[i])
 		}
@@ -939,6 +1020,7 @@ func (e *Engine) finishMiss(r *request) {
 	if r.ctx != nil {
 		r.err = r.ctx.Err()
 	}
+	e.noteFilterStats(st)
 	if e.cache != nil && r.err == nil {
 		// A canceled search's results are truncated, not exact — they must
 		// never be served to a future caller as the real answer.
@@ -998,6 +1080,7 @@ func (e *Engine) serve(r *request, scratch []float32) {
 	if r.ctx != nil {
 		r.err = r.ctx.Err()
 	}
+	e.noteFilterStats(st)
 	if cacheable && r.err == nil {
 		e.cache.put(h, q, ok, epoch, res, st)
 	}

@@ -17,6 +17,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"p2h/internal/attr"
 	"p2h/internal/bctree"
 	"p2h/internal/core"
 	"p2h/internal/partition"
@@ -59,6 +60,11 @@ type Index struct {
 	ids     [][]int32 // shard-local row -> global data id
 	n, d    int
 	workers int
+
+	// attrs is the global attribute store (row = global data id); each shard
+	// tree holds the Subset over its own rows, so predicate pushdown runs
+	// per shard and opts.Pred passes through shardOpts untranslated.
+	attrs *attr.Store
 }
 
 // Plan returns the row partition Build would use for this data and config:
@@ -145,12 +151,43 @@ func (ix *Index) LeafSize() int { return ix.trees[0].LeafSize() }
 // Quantized reports whether the shard trees carry the 8-bit leaf mirror.
 func (ix *Index) Quantized() bool { return ix.trees[0].Quantized() }
 
+// AttachAttrs binds a per-point attribute store (row i = global data id i):
+// every shard tree gets the Subset over its own rows, in shard-local row
+// order, so each tree's pushdown summaries speak its local id space and a
+// global predicate needs no per-shard translation. Passing nil detaches.
+func (ix *Index) AttachAttrs(st *attr.Store) error {
+	if st == nil {
+		for _, t := range ix.trees {
+			t.AttachAttrs(nil)
+		}
+		ix.attrs = nil
+		return nil
+	}
+	if st.N() != ix.n {
+		return fmt.Errorf("shard: attribute store covers %d rows, index holds %d", st.N(), ix.n)
+	}
+	for si, t := range ix.trees {
+		if err := t.AttachAttrs(st.Subset(ix.ids[si])); err != nil {
+			return err
+		}
+	}
+	ix.attrs = st
+	return nil
+}
+
+// Attrs returns the attached global attribute store, nil when none.
+func (ix *Index) Attrs() *attr.Store { return ix.attrs }
+
 // IndexBytes reports the summed footprint of all shard trees plus the
-// id maps.
+// id maps (and, when attributes are attached, the global store the per-shard
+// subsets were carved from).
 func (ix *Index) IndexBytes() int64 {
 	var total int64
 	for si, t := range ix.trees {
 		total += t.IndexBytes() + int64(len(ix.ids[si]))*4
+	}
+	if ix.attrs != nil {
+		total += ix.attrs.MemBytes()
 	}
 	return total
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"p2h/internal/attr"
 	"p2h/internal/balltree"
 	"p2h/internal/bctree"
 	"p2h/internal/core"
@@ -314,8 +315,9 @@ type KDTreeOptions struct {
 
 // KDTree is the bounding-box alternative the paper's Section III-A discusses.
 type KDTree struct {
-	tree *kdtree.Tree
-	raw  int
+	tree  *kdtree.Tree
+	raw   int
+	attrs *attr.Store
 }
 
 // NewKDTree indexes the rows of data. It is a thin wrapper over New with
@@ -326,6 +328,10 @@ func NewKDTree(data *Matrix, opts KDTreeOptions) *KDTree {
 
 // Search implements Index.
 func (t *KDTree) Search(q []float32, opts SearchOptions) ([]Result, Stats) {
+	opts, empty := applyPred(opts, t.attrs)
+	if empty {
+		return nil, Stats{}
+	}
 	return t.tree.Search(checkQuery(q, t.raw), opts)
 }
 
@@ -355,6 +361,7 @@ type NHOptions struct {
 type NH struct {
 	index *nh.Index
 	raw   int
+	attrs *attr.Store
 }
 
 // NewNH indexes the rows of data. It is a thin wrapper over New with
@@ -367,6 +374,10 @@ func NewNH(data *Matrix, opts NHOptions) *NH {
 
 // Search implements Index.
 func (t *NH) Search(q []float32, opts SearchOptions) ([]Result, Stats) {
+	opts, empty := applyPred(opts, t.attrs)
+	if empty {
+		return nil, Stats{}
+	}
 	return t.index.Search(checkQuery(q, t.raw), opts)
 }
 
@@ -398,6 +409,7 @@ type FHOptions struct {
 type FH struct {
 	index *fh.Index
 	raw   int
+	attrs *attr.Store
 }
 
 // NewFH indexes the rows of data. It is a thin wrapper over New with
@@ -410,6 +422,10 @@ func NewFH(data *Matrix, opts FHOptions) *FH {
 
 // Search implements Index.
 func (t *FH) Search(q []float32, opts SearchOptions) ([]Result, Stats) {
+	opts, empty := applyPred(opts, t.attrs)
+	if empty {
+		return nil, Stats{}
+	}
 	return t.index.Search(checkQuery(q, t.raw), opts)
 }
 
@@ -424,8 +440,9 @@ func (t *FH) Dim() int { return t.raw }
 
 // LinearScan is the exhaustive baseline; exact, with no index structure.
 type LinearScan struct {
-	scan *linearscan.Scanner
-	raw  int
+	scan  *linearscan.Scanner
+	raw   int
+	attrs *attr.Store
 }
 
 // NewLinearScan wraps the rows of data for exhaustive search. It is a thin
@@ -437,6 +454,10 @@ func NewLinearScan(data *Matrix) *LinearScan {
 
 // Search implements Index.
 func (t *LinearScan) Search(q []float32, opts SearchOptions) ([]Result, Stats) {
+	opts, empty := applyPred(opts, t.attrs)
+	if empty {
+		return nil, Stats{}
+	}
 	return t.scan.Search(checkQuery(q, t.raw), opts)
 }
 

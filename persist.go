@@ -9,6 +9,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+
+	"p2h/internal/attr"
+	"p2h/internal/binio"
 )
 
 // ErrFormat is returned by Load and Open for malformed input: a stream that
@@ -21,11 +24,19 @@ var ErrFormat = errors.New("p2h: malformed index container")
 // kind tag and JSON-encoded Spec, then the kind's own payload.
 var containerMagic = []byte("P2HIX001")
 
+// containerMagicV2 opens the container variant carrying per-point
+// attributes: the same header as v1, then one length-prefixed attribute
+// section (see internal/attr.WriteSection) between the spec and the kind
+// payload. Save emits it only when the index actually carries attributes, so
+// unattributed saves stay byte-identical to every earlier release.
+var containerMagicV2 = []byte("P2HIX002")
+
 // Container header bounds; a corrupt length prefix fails fast instead of
 // allocating.
 const (
-	maxKindTagLen  = 64
-	maxSpecJSONLen = 1 << 20
+	maxKindTagLen     = 64
+	maxSpecJSONLen    = 1 << 20
+	maxAttrSectionLen = 1 << 28
 )
 
 // legacyMagics maps the bare tree formats that predate the container (what
@@ -58,14 +69,55 @@ func Save(w io.Writer, ix Index) error {
 	if err != nil {
 		return fmt.Errorf("p2h: Save: encoding spec: %w", err)
 	}
+	st, err := storeOf(ix)
+	if err != nil {
+		return fmt.Errorf("p2h: Save: collecting attributes: %w", err)
+	}
 	var head bytes.Buffer
-	head.Write(containerMagic)
-	writeBlock(&head, []byte(k.Name))
-	writeBlock(&head, specJSON)
+	if st == nil {
+		head.Write(containerMagic)
+		writeBlock(&head, []byte(k.Name))
+		writeBlock(&head, specJSON)
+	} else {
+		head.Write(containerMagicV2)
+		writeBlock(&head, []byte(k.Name))
+		writeBlock(&head, specJSON)
+		section, err := encodeAttrSection(st)
+		if err != nil {
+			return fmt.Errorf("p2h: Save: encoding attributes: %w", err)
+		}
+		writeBlock(&head, section)
+	}
 	if _, err := w.Write(head.Bytes()); err != nil {
 		return err
 	}
 	return k.Save(w, ix)
+}
+
+// encodeAttrSection serializes an attribute store to the block a v2
+// container embeds.
+func encodeAttrSection(st *attr.Store) ([]byte, error) {
+	var buf bytes.Buffer
+	bw := binio.NewWriter(&buf)
+	attr.WriteSection(bw, st)
+	if err := bw.Flush(); err != nil {
+		return nil, err
+	}
+	if buf.Len() > maxAttrSectionLen {
+		return nil, fmt.Errorf("attribute section is %d bytes, limit %d", buf.Len(), maxAttrSectionLen)
+	}
+	return buf.Bytes(), nil
+}
+
+// decodeAttrSection restores the store from a v2 container's attribute
+// block.
+func decodeAttrSection(section []byte) (*attr.Store, error) {
+	br := binio.NewReader(bytes.NewReader(section))
+	st := attr.ReadSection(br)
+	if err := br.Err(); err != nil {
+		return nil, err
+	}
+	return st, nil
 }
 
 // SaveFile writes ix to the named file in the container format.
@@ -93,7 +145,8 @@ func Load(r io.Reader) (Index, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: reading magic: %v", ErrFormat, err)
 	}
-	if !bytes.Equal(head, containerMagic) {
+	v2 := bytes.Equal(head, containerMagicV2)
+	if !v2 && !bytes.Equal(head, containerMagic) {
 		kindName, ok := legacyMagics[string(head)]
 		if !ok {
 			return nil, fmt.Errorf("%w: unrecognized magic %q", ErrFormat, head)
@@ -124,6 +177,16 @@ func Load(r io.Reader) (Index, error) {
 	if err := json.Unmarshal(specJSON, &spec); err != nil {
 		return nil, fmt.Errorf("%w: decoding spec: %v", ErrFormat, err)
 	}
+	var st *attr.Store
+	if v2 {
+		section, err := readBlock(br, maxAttrSectionLen, "attribute section")
+		if err != nil {
+			return nil, err
+		}
+		if st, err = decodeAttrSection(section); err != nil {
+			return nil, fmt.Errorf("%w: attribute section: %v", ErrFormat, err)
+		}
+	}
 
 	k, err := lookupKind(string(kindTag))
 	if err != nil {
@@ -138,6 +201,11 @@ func Load(r io.Reader) (Index, error) {
 	ix, err := k.Load(br, spec)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %s payload: %v", ErrFormat, k.Name, err)
+	}
+	if st != nil {
+		if err := attachStore(ix, st); err != nil {
+			return nil, fmt.Errorf("%w: attaching attributes: %v", ErrFormat, err)
+		}
 	}
 	return ix, nil
 }
@@ -191,6 +259,14 @@ type IndexInfo struct {
 	// Legacy marks a bare tree stream written by (*BallTree).Save /
 	// (*BCTree).Save rather than a self-describing container.
 	Legacy bool
+	// HasAttrs marks a v2 container carrying a per-point attribute section.
+	HasAttrs bool
+	// AttrTags is the attribute section's tag vocabulary (sorted); nil when
+	// the container carries no attributes.
+	AttrTags []string
+	// AttrFields is the attribute section's field schema as "name:int" /
+	// "name:float" entries in name order; nil when no attributes.
+	AttrFields []string
 	// WALPath is the sidecar write-ahead log found next to the container
 	// ("" when none exists). Only InspectFile can probe for it; Inspect on
 	// a bare stream always reports no sidecar.
@@ -216,7 +292,8 @@ func Inspect(r io.Reader) (IndexInfo, error) {
 	if err != nil {
 		return IndexInfo{}, fmt.Errorf("%w: reading magic: %v", ErrFormat, err)
 	}
-	if !bytes.Equal(head, containerMagic) {
+	v2 := bytes.Equal(head, containerMagicV2)
+	if !v2 && !bytes.Equal(head, containerMagic) {
 		kindName, ok := legacyMagics[string(head)]
 		if !ok {
 			return IndexInfo{}, fmt.Errorf("%w: unrecognized magic %q", ErrFormat, head)
@@ -245,6 +322,26 @@ func Inspect(r io.Reader) (IndexInfo, error) {
 	}
 	if info.Spec.Kind == "" {
 		info.Spec.Kind = info.Kind
+	}
+	if v2 {
+		section, err := readBlock(br, maxAttrSectionLen, "attribute section")
+		if err != nil {
+			return IndexInfo{}, err
+		}
+		st, err := decodeAttrSection(section)
+		if err != nil {
+			return IndexInfo{}, fmt.Errorf("%w: attribute section: %v", ErrFormat, err)
+		}
+		info.HasAttrs = true
+		info.AttrTags = st.Tags()
+		names, kinds := st.Fields()
+		for i, name := range names {
+			k := "float"
+			if kinds[i] == attr.FieldInt {
+				k = "int"
+			}
+			info.AttrFields = append(info.AttrFields, name+":"+k)
+		}
 	}
 	info.Dim, info.N, err = payloadShape(br)
 	if err != nil {

@@ -60,6 +60,70 @@ func TestRecallGateExactIndexes(t *testing.T) {
 	}
 }
 
+// TestRecallGateFiltered runs the gate with a declarative predicate: exact
+// indexes answering a filtered search through subtree pushdown must return
+// recall 1.0 against the exhaustive filtered linear scan, so an unsound
+// per-node attribute summary (one that prunes a subtree that held a match)
+// shows up here directly.
+func TestRecallGateFiltered(t *testing.T) {
+	const k = 10
+	for _, set := range []string{"Sift", "Cifar-10"} {
+		data := p2h.Dedup(p2h.GenerateDataset(set, 2000, 1))
+		queries := p2h.GenerateQueries(data, 20, 2)
+		attrs := make([]p2h.PointAttrs, data.N)
+		for i := range attrs {
+			var tags []string
+			if i%10 == 0 {
+				tags = append(tags, "warm")
+			}
+			attrs[i] = p2h.PointAttrs{
+				Tags:   tags,
+				Floats: map[string]float64{"score": float64(i%1000) / 1000},
+			}
+		}
+		scan := p2h.NewLinearScan(data)
+		if err := p2h.AttachAttributes(scan, attrs); err != nil {
+			t.Fatal(err)
+		}
+		for _, pred := range []*p2h.Pred{
+			p2h.TagIs("warm"),
+			p2h.FieldBetween("score", 0.2, 0.4),
+			p2h.AllOf(p2h.TagIs("warm"), p2h.FieldAtLeast("score", 0.3)),
+		} {
+			opts := p2h.SearchOptions{K: k, Pred: pred}
+			for name, ix := range exactIndexes(data) {
+				if err := p2h.AttachAttributes(ix, attrs); err != nil {
+					t.Fatalf("%s/%s: %v", set, name, err)
+				}
+				hits, total := 0, 0
+				for qi := 0; qi < queries.N; qi++ {
+					q := queries.Row(qi)
+					got, _ := ix.Search(q, opts)
+					want, _ := scan.Search(q, opts)
+					if len(got) != len(want) {
+						t.Fatalf("%s/%s pred %s query %d: %d results, want %d",
+							set, name, pred.Canon(), qi, len(got), len(want))
+					}
+					if len(want) == 0 {
+						continue
+					}
+					kth := want[len(want)-1].Dist
+					for _, r := range got {
+						if r.Dist <= kth*(1+1e-9)+1e-12 {
+							hits++
+						}
+					}
+					total += len(want)
+				}
+				if recall := float64(hits) / float64(total); math.Abs(recall-1) > 1e-12 {
+					t.Errorf("%s/%s pred %s: recall %.6f, want exactly 1.0",
+						set, name, pred.Canon(), recall)
+				}
+			}
+		}
+	}
+}
+
 // TestRecallGateBatchedPath runs the same gate through SearchBatch: the
 // shared batched traversal must stay exact too, and — stronger — must agree
 // with the per-query path result for result (exact answers are canonical,

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# bench_filter.sh — measure filtered search: predicate pushdown versus an
+# equivalent per-row post-filter at ~1%, ~10% and ~50% selectivity, and emit
+# a machine-readable snapshot.
+#
+#   scripts/bench_filter.sh [out.json]     default out: BENCH_10.json
+#
+# The measurement (cmd/p2hbench/filter.go) runs the same tag predicate both
+# ways over one attributed BC-Tree and verifies, every run, that the two
+# strategies return byte-identical results and exact recall against a
+# brute-force filtered linear scan. The benchmark itself is the gate: it
+# exits non-zero if pushdown fails to beat post-filter at the selective
+# tiers (<=10% match fraction) or any filtered answer drops below recall
+# 1.0 — so this script failing is the CI signal.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+OUT="${1:-BENCH_10.json}"
+
+N="${BENCH_FILTER_N:-20000}"
+NQ="${BENCH_FILTER_NQ:-50}"
+K="${BENCH_FILTER_K:-10}"
+LEAF="${BENCH_FILTER_LEAF:-20}"
+REPEAT="${BENCH_FILTER_REPEAT:-3}"
+
+go run ./cmd/p2hbench -filter -sets Sift -n "$N" -nq "$NQ" -k "$K" \
+  -leafsize "$LEAF" -repeat "$REPEAT" -out "$OUT" >/dev/null
+
+echo "wrote $OUT"
+echo "bench_filter OK"

@@ -31,16 +31,39 @@ done
 data="$tmp/data.fvecs"
 queries="$tmp/queries.fvecs"
 
-echo "== generate data + queries"
+echo "== generate data + queries + attribute payloads"
 "$bin/p2htool" gen -set Music -n 2000 -seed 1 -out "$data"
 "$bin/p2htool" queries -data "$data" -nq 10 -seed 2 -out "$queries"
+
+# Per-row attribute payloads (gen dedups, so derive the row count from the
+# fvecs file itself: each row is one int32 dim plus dim float32s).
+attrs="$tmp/attrs.json"
+fdim=$(od -An -td4 -N4 "$data" | tr -d ' ')
+nrows=$(( $(stat -c %s "$data") / (4 * (fdim + 1)) ))
+awk -v n="$nrows" 'BEGIN{
+  printf "["
+  for (i = 0; i < n; i++) {
+    t = ""
+    if (i % 100 == 0) t = "\"hot\""
+    if (i % 10 == 0)  t = (t == "" ? "" : t ",") "\"warm\""
+    if (i % 2 == 0)   t = (t == "" ? "" : t ",") "\"even\""
+    printf "%s{\"tags\":[%s],\"floats\":{\"score\":%.3f}}", (i ? "," : ""), t, (i % 1000) / 1000
+  }
+  print "]"
+}' > "$attrs"
 
 echo "== build/save/info/search/eval each persistable kind via -index/-spec/-load"
 for kind in balltree bctree kdtree sharded dynamic; do
   spec='{"leaf_size":50}'
-  if [ "$kind" = sharded ]; then spec='{"leaf_size":50,"shards":3,"workers":2}'; fi
+  extra=()
+  if [ "$kind" = sharded ]; then
+    # The sharded container doubles as the cluster stage's attributed
+    # single-node oracle, so it carries the payloads.
+    spec='{"leaf_size":50,"shards":3,"workers":2}'
+    extra=(-attrs "$attrs")
+  fi
   ix="$tmp/ix-$kind.p2h"
-  "$bin/p2htool" build -index "$kind" -spec "$spec" -seed 1 -data "$data" -out "$ix"
+  "$bin/p2htool" build -index "$kind" -spec "$spec" -seed 1 -data "$data" -out "$ix" "${extra[@]}"
   "$bin/p2htool" info -load "$ix" | grep "type=$kind" >/dev/null || { echo "info: wrong kind for $kind"; exit 1; }
   out="$("$bin/p2htool" search -load "$ix" -queries "$queries" -k 3)"
   grep "^query 0:" >/dev/null <<<"$out" || { echo "search: no results for $kind"; exit 1; }
@@ -77,6 +100,13 @@ out="$("$bin/p2htool" inspect "$tmp/ix-sharded.p2h")"
 grep "kind=sharded" >/dev/null <<<"$out" || { echo "inspect: wrong kind: $out"; exit 1; }
 grep "points=" >/dev/null <<<"$out" || { echo "inspect: no point count: $out"; exit 1; }
 grep '"shards":3' >/dev/null <<<"$out" || { echo "inspect: spec not recorded: $out"; exit 1; }
+grep "attrs=present tags=\[even,hot,warm\]" >/dev/null <<<"$out" \
+  || { echo "inspect: attribute section not reported: $out"; exit 1; }
+grep "fields=\[score:float\]" >/dev/null <<<"$out" \
+  || { echo "inspect: attribute schema wrong: $out"; exit 1; }
+out="$("$bin/p2htool" inspect "$tmp/ix-bctree.p2h")"
+grep "attrs=present" >/dev/null <<<"$out" \
+  && { echo "inspect: unattributed container reports attrs: $out"; exit 1; }
 
 echo "== p2hd: start the daemon on two indexes (container + inline spec)"
 cat >"$tmp/p2hd.json" <<CFG
@@ -276,7 +306,7 @@ echo "== cluster: split, boot 3 members + router, verify byte-identity with sing
 cdir="$tmp/cluster"
 "$bin/p2htool" cluster split -data "$data" -name trees \
   -spec '{"leaf_size":50,"shards":3,"workers":2,"seed":1}' \
-  -members 3 -replicas 1 -out "$cdir" >/dev/null
+  -attrs "$attrs" -members 3 -replicas 1 -out "$cdir" >/dev/null
 
 member_urls=()
 for i in 0 1 2; do
@@ -325,15 +355,26 @@ curl -fsS "$rurl/healthz" | grep '"status":"ok"' >/dev/null \
 curl -fsS "$rurl/v1/indexes/trees" | grep '"kind":"cluster"' >/dev/null \
   || { echo "router index info wrong"; exit 1; }
 
-for body in "{\"query\":$q,\"k\":5}" "{\"query\":$q,\"k\":5,\"budget\":200}" "{\"query\":$q,\"k\":9999}"; do
+for body in "{\"query\":$q,\"k\":5}" "{\"query\":$q,\"k\":5,\"budget\":200}" "{\"query\":$q,\"k\":9999}" \
+            "{\"query\":$q,\"k\":5,\"filter\":{\"tag\":\"hot\"}}" \
+            "{\"query\":$q,\"k\":5,\"filter\":{\"and\":[{\"tag\":\"even\"},{\"field\":\"score\",\"min\":0.5}]}}"; do
   curl -fsS -X POST "$ourl/v1/indexes/trees/search" -d "$body" >"$tmp/ans-oracle"
   curl -fsS -X POST "$rurl/v1/indexes/trees/search" -d "$body" >"$tmp/ans-router"
   cmp -s "$tmp/ans-oracle" "$tmp/ans-router" \
     || { echo "router answer differs from single node for $body"; cat "$tmp/ans-oracle" "$tmp/ans-router"; exit 1; }
 done
+# The selective predicate must actually prune subtrees, not just post-filter.
+grep '"filter_skipped_nodes":[1-9]' "$tmp/ans-router" >/dev/null \
+  || { echo "routed filtered search skipped no subtrees"; cat "$tmp/ans-router"; exit 1; }
+code=$(curl -sS -o /dev/null -w '%{http_code}' -X POST "$rurl/v1/indexes/trees/search" \
+  -d "{\"query\":$q,\"k\":5,\"filter\":{\"bogus\":1}}")
+[ "$code" = 400 ] || { echo "malformed filter answered $code, want 400"; exit 1; }
 curl -fsS -X POST "$ourl/v1/indexes/trees/search_batch" -d "{\"queries\":[$q,$q],\"k\":4}" >"$tmp/ans-oracle"
 curl -fsS -X POST "$rurl/v1/indexes/trees/search_batch" -d "{\"queries\":[$q,$q],\"k\":4}" >"$tmp/ans-router"
 cmp -s "$tmp/ans-oracle" "$tmp/ans-router" || { echo "router batch answer differs"; exit 1; }
+curl -fsS -X POST "$ourl/v1/indexes/trees/search_batch" -d "{\"queries\":[$q,$q],\"k\":4,\"filter\":{\"tag\":\"warm\"}}" >"$tmp/ans-oracle"
+curl -fsS -X POST "$rurl/v1/indexes/trees/search_batch" -d "{\"queries\":[$q,$q],\"k\":4,\"filter\":{\"tag\":\"warm\"}}" >"$tmp/ans-router"
+cmp -s "$tmp/ans-oracle" "$tmp/ans-router" || { echo "router filtered batch answer differs"; exit 1; }
 
 echo "== cluster: status, ship, p2hserve round-robin"
 out="$("$bin/p2htool" cluster status -config "$cdir/cluster.json")"

@@ -176,6 +176,14 @@ func (s *Server) Insert(p []float32) (int32, error) {
 	return s.engine.Insert(p)
 }
 
+// InsertWithAttrs adds a point with an attribute payload through the
+// underlying Dynamic index, serialized against in-flight searches, and
+// returns its stable handle. With a WAL attached the payload is logged with
+// the vector, so a replay restores both.
+func (s *Server) InsertWithAttrs(p []float32, at PointAttrs) (int32, error) {
+	return s.engine.InsertWithAttrs(p, at)
+}
+
 // Delete removes a handle through the underlying Dynamic index, serialized
 // against in-flight searches. It reports whether the handle was live.
 func (s *Server) Delete(handle int32) (bool, error) {

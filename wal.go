@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 
+	"p2h/internal/attr"
 	"p2h/internal/binio"
 	"p2h/internal/dynamic"
 )
@@ -118,16 +119,27 @@ func replayWAL(d *Dynamic, path string) (int, error) {
 	}
 
 	applied := 0
-	_, err = dynamic.DecodeWALFile(path, func(op byte, handle int32, v []float32) error {
+	_, err = dynamic.DecodeWALFile(path, func(op byte, handle int32, v []float32, attrs []byte) error {
 		h := d.Handles()
 		switch op {
-		case dynamic.WALOpInsert:
+		case dynamic.WALOpInsert, dynamic.WALOpInsertAttrs:
 			switch {
 			case int(handle) < h:
 				// Already inside the snapshot: the crash hit between the
 				// snapshot rename and the log truncation. Skip.
 			case int(handle) == h:
-				if got := d.Insert(v); got != handle {
+				var got int32
+				if op == dynamic.WALOpInsertAttrs {
+					pt, perr := attr.DecodePoint(attrs)
+					if perr != nil {
+						return fmt.Errorf("%w: wal %s: record for handle %d: %v",
+							ErrFormat, path, handle, perr)
+					}
+					got = d.InsertWithAttrs(v, *pt)
+				} else {
+					got = d.Insert(v)
+				}
+				if got != handle {
 					return fmt.Errorf("%w: wal %s: replayed insert got handle %d, want %d",
 						ErrFormat, path, got, handle)
 				}
@@ -163,6 +175,12 @@ func wrapWALErr(path string, err error) error {
 // the mutation lock (it implements server.Journal).
 func (w *WAL) AppendInsert(handle int32, p []float32) error {
 	return w.wal.AppendInsert(handle, p)
+}
+
+// AppendInsertAttrs logs an applied attributed insert (the payload travels
+// with the vector so a replay restores both).
+func (w *WAL) AppendInsertAttrs(handle int32, p []float32, at PointAttrs) error {
+	return w.wal.AppendInsertAttrs(handle, p, attr.AppendPoint(nil, &at))
 }
 
 // AppendDelete logs an applied delete.

@@ -360,10 +360,22 @@ func containerFuzzSeeds(t testing.TB) map[string][]byte {
 	truncated := bc[:len(bc)*2/3]
 	flipped := append([]byte(nil), dynBuf.Bytes()...)
 	flipped[len(flipped)/2] ^= 0x20
+	attributed, err := New(data, Spec{Kind: KindBCTree, LeafSize: 16, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := make([]PointAttrs, data.N)
+	for i := range pts {
+		pts[i] = PointAttrs{Tags: []string{"t"}, Ints: map[string]int64{"c": int64(i)}}
+	}
+	if err := AttachAttributes(attributed, pts); err != nil {
+		t.Fatal(err)
+	}
 	return map[string][]byte{
 		"seed-bctree":    bc,
 		"seed-dynamic":   dynBuf.Bytes(),
 		"seed-sharded":   save(New(data, Spec{Kind: KindSharded, Shards: 2, LeafSize: 16, Seed: 2})),
+		"seed-attrs":     save(attributed, nil),
 		"seed-truncated": truncated,
 		"seed-flipped":   flipped,
 		"seed-badmagic":  []byte("NOTANIDX container bytes"),
